@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 13 (design ablations — the §3.3 claims, quantified): what the
+ * two DIE-IRB design decisions are worth.
+ *
+ *  (a) duplicate dataflow — paper: forward primary results to BOTH
+ *      streams (so the IRB never needs forwarding buses and duplicates
+ *      wake as early as primaries); ablation: keep per-stream dataflow
+ *      ("own"), i.e. duplicates wait on duplicate producers.
+ *  (b) issue bandwidth — paper: the reuse test is folded into wakeup via
+ *      the Rdy2 flags, so a hit consumes NO issue slot; ablation: treat
+ *      the IRB like a functional unit whose hits occupy issue bandwidth
+ *      (the pre-Citron [12] design the paper argues against).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using harness::Table;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool own_dataflow;
+    bool hits_burn_slots;
+    int issueWidth;
+};
+
+const std::vector<Variant> variants = {
+    {"paper design", false, false, 8},
+    {"dup-own-dataflow", true, false, 8},
+    {"hits-burn-issue", false, true, 8},
+    {"paper @issue4", false, false, 4},
+    {"hits-burn @issue4", false, true, 4},
+};
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    harness::banner(
+        "Figure 13 — DIE-IRB design ablations (§3.3)",
+        "primary-fed duplicate wakeup and issue-slot-free reuse hits are "
+        "both needed for the full benefit; the IRB-as-functional-unit "
+        "alternative wastes issue bandwidth");
+
+    std::vector<std::string> cols = {"workload", "DIE"};
+    for (const auto &v : variants)
+        cols.push_back(v.name);
+    Table t(cols);
+
+    std::vector<std::vector<double>> ipcs(variants.size());
+    for (const auto &w : workloads::list()) {
+        const auto die =
+            harness::runWorkload(w.name, harness::baseConfig("die"));
+        t.row().cell(w.name).num(die.ipc(), 3);
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            Config cfg = harness::baseConfig("die-irb");
+            cfg.setBool("dieirb.dup_own_dataflow",
+                        variants[i].own_dataflow);
+            cfg.setBool("irb.consumes_issue_slot",
+                        variants[i].hits_burn_slots);
+            cfg.setInt("width.issue", variants[i].issueWidth);
+            const auto r = harness::runWorkload(w.name, cfg);
+            ipcs[i].push_back(r.ipc());
+            t.num(r.ipc(), 3);
+        }
+        std::fflush(stdout);
+    }
+
+    t.row().cell("== avg IPC ==").cell("");
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        t.num(harness::mean(ipcs[i]), 3);
+
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 2 (in the supplied paper text, §2.2): percentage IPC loss with
+ * respect to SIE for base DIE and the seven resource-doubling
+ * configurations (2xALU, 2xRUU, 2xWidths and their combinations) across
+ * the twelve workloads.
+ *
+ * Paper shape: base DIE loses ~22% on average (spread ~1%..43%); doubling
+ * the ALUs is the most effective single lever; doubling all three gets
+ * within a whisker of SIE.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using harness::Table;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool twoXAlu;
+    bool twoXRuu;
+    bool twoXWidths;
+};
+
+const std::vector<Variant> variants = {
+    {"DIE", false, false, false},
+    {"DIE-2xALU", true, false, false},
+    {"DIE-2xRUU", false, true, false},
+    {"DIE-2xWidths", false, false, true},
+    {"DIE-2xALU-2xRUU", true, true, false},
+    {"DIE-2xALU-2xWidths", true, false, true},
+    {"DIE-2xRUU-2xWidths", false, true, true},
+    {"DIE-2xALL", true, true, true},
+};
+
+Config
+makeConfig(const Variant &v)
+{
+    Config c = harness::baseConfig("die");
+    if (v.twoXAlu) {
+        c.setInt("fu.intalu", 8);
+        c.setInt("fu.intmul", 4);
+        c.setInt("fu.fpadd", 4);
+        c.setInt("fu.fpmul", 2);
+    }
+    if (v.twoXRuu) {
+        c.setInt("ruu.size", 256);
+        c.setInt("lsq.size", 128);
+    }
+    if (v.twoXWidths) {
+        c.setInt("width.fetch", 16);
+        c.setInt("width.decode", 16);
+        c.setInt("width.issue", 16);
+        c.setInt("width.commit", 16);
+    }
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    harness::banner(
+        "Figure 2 — % IPC loss vs SIE for DIE resource-doubling variants",
+        "base DIE ~22% avg loss (1%..43% spread); 2xALU is the best single "
+        "lever (~13%); 2xALU+2xRUU+2xWidths ~= SIE");
+
+    std::vector<std::string> cols = {"workload", "SIE IPC"};
+    for (const auto &v : variants)
+        cols.push_back(v.name);
+    Table table(cols);
+
+    std::vector<std::vector<double>> losses(variants.size());
+
+    for (const auto &w : workloads::list()) {
+        const harness::SimResult sie =
+            harness::runWorkload(w.name, harness::baseConfig("sie"));
+        table.row().cell(w.name).num(sie.ipc(), 3);
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const harness::SimResult r =
+                harness::runWorkload(w.name, makeConfig(variants[i]));
+            const double loss = 1.0 - r.ipc() / sie.ipc();
+            losses[i].push_back(loss);
+            table.pct(loss, 1);
+        }
+        std::fflush(stdout);
+    }
+
+    table.row().cell("== average ==").cell("");
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        table.pct(harness::mean(losses[i]), 1);
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9 (reconstructed): sensitivity of DIE-IRB to IRB capacity,
+ * sweeping 128..8192 entries (direct-mapped). The paper settles on 1024
+ * entries; the curve should show diminishing returns near that point for
+ * kernels whose hot static footprint fits.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using harness::Table;
+
+int
+main()
+{
+    setQuiet(true);
+    harness::banner(
+        "Figure 9 — DIE-IRB IPC vs IRB size (direct-mapped)",
+        "diminishing returns by 1024 entries (the paper's pick); tiny "
+        "IRBs forfeit most of the recovery");
+
+    const std::vector<int> sizes = {128, 256, 512, 1024, 2048, 4096, 8192};
+
+    std::vector<std::string> cols = {"workload", "DIE"};
+    for (const int s : sizes)
+        cols.push_back("IRB-" + std::to_string(s));
+    Table t(cols);
+
+    std::vector<std::vector<double>> ipcs(sizes.size());
+
+    // Representative kernels across the reuse spectrum plus a synthetic
+    // with a large static footprint (where capacity genuinely binds).
+    const std::vector<std::string> apps = {"compress", "parse", "raster",
+                                           "neural", "object", "sort"};
+    for (const auto &w : apps) {
+        const auto die =
+            harness::runWorkload(w, harness::baseConfig("die"));
+        t.row().cell(w).num(die.ipc(), 3);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            Config cfg = harness::baseConfig("die-irb");
+            cfg.setInt("irb.entries", sizes[i]);
+            const auto r = harness::runWorkload(w, cfg);
+            ipcs[i].push_back(r.ipc());
+            t.num(r.ipc(), 3);
+        }
+        std::fflush(stdout);
+    }
+
+    // Synthetic big-footprint program: 200 blocks * ~12 insts ~= 2.4K
+    // static instructions, so small IRBs thrash.
+    workloads::SyntheticParams sp;
+    sp.seed = 5;
+    sp.blocks = 200;
+    sp.instsPerBlock = 10;
+    sp.reuseFraction = 0.7;
+    sp.outerIters = 150;
+    const Program big = workloads::synthetic(sp);
+    const auto die = harness::run(big, harness::baseConfig("die"));
+    t.row().cell("synthetic-big").num(die.ipc(), 3);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        Config cfg = harness::baseConfig("die-irb");
+        cfg.setInt("irb.entries", sizes[i]);
+        const auto r = harness::run(big, cfg);
+        t.num(r.ipc(), 3);
+    }
+
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): raw operation rates of
+ * the building blocks — assembler, functional VM, branch predictors,
+ * cache model, IRB lookup/update, and full cycle-level simulation in all
+ * three modes. Useful to keep the simulator fast enough for full sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "branch/predictor.hh"
+#include "common/logging.hh"
+#include "core/irb.hh"
+#include "harness/runner.hh"
+#include "mem/cache.hh"
+#include "vm/vm.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const std::string src = workloads::source("compress", 1);
+    for (auto _ : state) {
+        Program p = assemble(src, "bm");
+        benchmark::DoNotOptimize(p.text.data());
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_VmExecute(benchmark::State &state)
+{
+    const Program prog = workloads::build("anneal", 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Vm vm(prog);
+        vm.run();
+        insts += vm.instCount();
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecute);
+
+void
+BM_BimodalPredict(benchmark::State &state)
+{
+    Config cfg;
+    cfg.set("bp.kind", "bimodal");
+    BranchPredictor bp(cfg);
+    const Inst br = makeB(Opcode::BEQ, 1, 2, 4);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const auto p = bp.predict(pc, br);
+        benchmark::DoNotOptimize(p.taken);
+        bp.update(pc, br, true, pc + 16);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_BimodalPredict);
+
+void
+BM_TournamentPredict(benchmark::State &state)
+{
+    Config cfg;
+    BranchPredictor bp(cfg);
+    const Inst br = makeB(Opcode::BNE, 1, 2, 4);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const auto p = bp.predict(pc, br);
+        benchmark::DoNotOptimize(p.taken);
+        bp.update(pc, br, (pc >> 2) & 1, pc + 16);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_TournamentPredict);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams p;
+    p.sizeBytes = 64 * 1024;
+    p.assoc = 2;
+    p.blockBytes = 32;
+    Cache c(p);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false).hit);
+        a = (a + 4093) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_IrbLookupUpdate(benchmark::State &state)
+{
+    Config cfg;
+    cfg.setInt("irb.entries", state.range(0));
+    Irb irb(cfg);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        irb.beginCycle();
+        benchmark::DoNotOptimize(irb.lookup(pc).pcHit);
+        irb.update(pc, pc, pc + 1, pc + 2);
+        pc = 0x1000 + ((pc + 4) & 0xffff);
+    }
+}
+BENCHMARK(BM_IrbLookupUpdate)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_SimulateMode(benchmark::State &state, const char *mode)
+{
+    setQuiet(true);
+    const Program prog = workloads::build("anneal", 1);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        OooCore core(prog, harness::baseConfig(mode));
+        const CoreResult r = core.run();
+        cycles += r.cycles;
+    }
+    state.counters["cycle/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_SimulateMode, sie, "sie");
+BENCHMARK_CAPTURE(BM_SimulateMode, die, "die");
+BENCHMARK_CAPTURE(BM_SimulateMode, die_irb, "die-irb");
+
+} // namespace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Config explorer: sweep one machine parameter over a list of values for
+ * a chosen workload and execution mode, printing an IPC curve — the
+ * "what if" tool for sizing studies beyond the canned benches.
+ *
+ * Usage: config_explorer <workload> <mode> <key> <v1> [v2 ...]
+ *   e.g. config_explorer compress die-irb irb.entries 128 512 1024 4096
+ *        config_explorer neural die fu.fpadd 1 2 4
+ *        config_explorer pointer sie mem.lat 50 100 200 400
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc < 5) {
+        std::fprintf(stderr,
+                     "usage: %s <workload> <sie|die|die-irb> <config.key> "
+                     "<value> [value ...]\n",
+                     argv[0]);
+        std::fprintf(stderr, "workloads:");
+        for (const auto &w : workloads::list())
+            std::fprintf(stderr, " %s", w.name.c_str());
+        std::fprintf(stderr, "\n");
+        return 1;
+    }
+
+    const std::string workload = argv[1];
+    const std::string mode = argv[2];
+    const std::string key = argv[3];
+
+    if (!workloads::exists(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+        return 1;
+    }
+
+    const Program prog = workloads::build(workload, 1);
+
+    harness::Table t({key, "cycles", "IPC", "vs first"});
+    double first_ipc = 0.0;
+    for (int i = 4; i < argc; ++i) {
+        Config cfg = harness::baseConfig(mode);
+        cfg.set(key, argv[i]);
+        const auto r = harness::run(prog, cfg);
+        if (first_ipc == 0.0)
+            first_ipc = r.ipc();
+        t.row()
+            .cell(argv[i])
+            .num(static_cast<double>(r.core.cycles), 0)
+            .num(r.ipc(), 3)
+            .pct(r.ipc() / first_ipc - 1.0, 1);
+    }
+
+    std::printf("%s x %s, sweeping %s:\n\n%s", workload.c_str(),
+                mode.c_str(), key.c_str(), t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,711 @@
+#include "asm/assembler.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+lower(std::string s)
+{
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Strip a '#' or ';' comment (not inside a string literal). */
+std::string
+stripComment(const std::string &line)
+{
+    bool in_str = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"')
+            in_str = !in_str;
+        else if (!in_str && (c == '#' || c == ';'))
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Split operands on commas (respecting string literals). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false;
+    for (const char c : s) {
+        if (c == '"')
+            in_str = !in_str;
+        if (c == ',' && !in_str) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+const std::map<std::string, RegId> &
+regAliases()
+{
+    static const std::map<std::string, RegId> aliases = [] {
+        std::map<std::string, RegId> m;
+        m["zero"] = intReg(0);
+        m["ra"] = intReg(1);
+        m["sp"] = intReg(2);
+        m["gp"] = intReg(3);
+        m["tp"] = intReg(4);
+        m["fp"] = intReg(8);
+        for (unsigned i = 0; i < 3; ++i)
+            m["t" + std::to_string(i)] = intReg(5 + i);
+        for (unsigned i = 3; i < 7; ++i)
+            m["t" + std::to_string(i)] = intReg(25 + i); // t3-t6 = x28-x31
+        m["s0"] = intReg(8);
+        m["s1"] = intReg(9);
+        for (unsigned i = 0; i < 8; ++i)
+            m["a" + std::to_string(i)] = intReg(10 + i);
+        for (unsigned i = 2; i < 12; ++i)
+            m["s" + std::to_string(i)] = intReg(16 + i); // s2-s11 = x18-x27
+        return m;
+    }();
+    return aliases;
+}
+
+// ---------------------------------------------------------------------------
+// Assembler proper
+// ---------------------------------------------------------------------------
+
+enum class Section { Text, Data };
+
+struct PendingInst
+{
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    int lineNo;
+    Addr pc; // assigned in pass 1
+};
+
+class Assembler
+{
+  public:
+    Program run(const std::string &source, const std::string &name);
+
+  private:
+    [[noreturn]] void err(int line, const char *fmt, ...) const
+        __attribute__((format(printf, 3, 4)));
+
+    // Pass 1: layout.
+    void layoutLine(const std::string &line, int line_no);
+    void layoutData(const std::string &directive,
+                    const std::vector<std::string> &ops, int line_no);
+    unsigned instWords(const std::string &mnemonic,
+                       const std::vector<std::string> &ops, int line_no);
+
+    // Pass 2: emission.
+    void emitAll();
+    void emit(const PendingInst &pi);
+    void emitNative(Opcode op, const PendingInst &pi);
+
+    // Operand parsing.
+    std::int64_t parseImm(const std::string &tok, int line_no) const;
+    std::optional<std::int64_t> tryParseImm(const std::string &tok) const;
+    Addr labelAddr(const std::string &label, int line_no) const;
+    std::int64_t immOrLabelValue(const std::string &tok, int line_no) const;
+    unsigned regNum(const std::string &tok, bool want_fp, int line_no) const;
+    void parseMemOperand(const std::string &tok, int line_no,
+                         unsigned &base, std::int32_t &off) const;
+    std::int32_t branchOffset(const std::string &tok, Addr pc,
+                              int line_no) const;
+
+    void push(const Inst &inst) { out.push(inst); }
+    void emitLi(unsigned rd, std::int64_t value, int line_no);
+
+    Section section = Section::Text;
+    std::map<std::string, Addr> labels;
+    std::vector<PendingInst> pending;
+    Addr textPc = textBase;
+    Program out;
+    std::string entryLabel;
+    int entryLine = 0;
+};
+
+void
+Assembler::err(int line, const char *fmt, ...) const
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char msg[256];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
+    va_end(ap);
+    fatal("asm:%d: %s", line, msg);
+}
+
+std::optional<std::int64_t>
+Assembler::tryParseImm(const std::string &tok) const
+{
+    if (tok.empty())
+        return std::nullopt;
+    // Character literal.
+    if (tok.size() >= 3 && tok.front() == '\'' && tok.back() == '\'') {
+        if (tok.size() == 3)
+            return static_cast<std::int64_t>(tok[1]);
+        if (tok.size() == 4 && tok[1] == '\\') {
+            switch (tok[2]) {
+              case 'n': return '\n';
+              case 't': return '\t';
+              case '0': return 0;
+              case '\\': return '\\';
+              default: return std::nullopt;
+            }
+        }
+        return std::nullopt;
+    }
+    char *end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0')
+        return std::nullopt;
+    return v;
+}
+
+std::int64_t
+Assembler::parseImm(const std::string &tok, int line_no) const
+{
+    const auto v = tryParseImm(tok);
+    if (!v)
+        err(line_no, "bad immediate '%s'", tok.c_str());
+    return *v;
+}
+
+Addr
+Assembler::labelAddr(const std::string &label, int line_no) const
+{
+    const auto it = labels.find(label);
+    if (it == labels.end())
+        err(line_no, "undefined label '%s'", label.c_str());
+    return it->second;
+}
+
+std::int64_t
+Assembler::immOrLabelValue(const std::string &tok, int line_no) const
+{
+    if (const auto v = tryParseImm(tok))
+        return *v;
+    return static_cast<std::int64_t>(labelAddr(tok, line_no));
+}
+
+unsigned
+Assembler::regNum(const std::string &tok, bool want_fp, int line_no) const
+{
+    const std::string t = lower(tok);
+    RegId id = noReg;
+    const auto &aliases = regAliases();
+    if (const auto it = aliases.find(t); it != aliases.end()) {
+        id = it->second;
+    } else if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'f')) {
+        char *end = nullptr;
+        const long n = std::strtol(t.c_str() + 1, &end, 10);
+        if (*end == '\0' && n >= 0 && n < 32)
+            id = t[0] == 'x' ? intReg(n) : fpReg(n);
+    }
+    if (id == noReg)
+        err(line_no, "bad register '%s'", tok.c_str());
+    const bool is_fp = id >= numIntRegs;
+    if (is_fp != want_fp) {
+        err(line_no, "register '%s' is in the wrong file (want %s)",
+            tok.c_str(), want_fp ? "fp" : "int");
+    }
+    return is_fp ? id - numIntRegs : id;
+}
+
+void
+Assembler::parseMemOperand(const std::string &tok, int line_no,
+                           unsigned &base, std::int32_t &off) const
+{
+    // "off(base)" or "(base)".
+    const auto open = tok.find('(');
+    const auto close = tok.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        err(line_no, "bad memory operand '%s'", tok.c_str());
+    }
+    const std::string off_s = trim(tok.substr(0, open));
+    const std::string base_s =
+        trim(tok.substr(open + 1, close - open - 1));
+    off = off_s.empty()
+        ? 0
+        : static_cast<std::int32_t>(parseImm(off_s, line_no));
+    base = regNum(base_s, false, line_no);
+    if (!fitsSigned(off, immBitsI))
+        err(line_no, "memory offset %d out of range", off);
+}
+
+std::int32_t
+Assembler::branchOffset(const std::string &tok, Addr pc, int line_no) const
+{
+    std::int64_t target;
+    if (const auto v = tryParseImm(tok))
+        target = static_cast<std::int64_t>(pc) + *v * 4;
+    else
+        target = static_cast<std::int64_t>(labelAddr(tok, line_no));
+    const std::int64_t delta = target - static_cast<std::int64_t>(pc);
+    if (delta % 4 != 0)
+        err(line_no, "misaligned branch target");
+    return static_cast<std::int32_t>(delta / 4);
+}
+
+unsigned
+Assembler::instWords(const std::string &mnemonic,
+                     const std::vector<std::string> &ops, int line_no)
+{
+    const std::string m = lower(mnemonic);
+    if (m == "la")
+        return 2;
+    if (m == "li") {
+        if (ops.size() != 2)
+            err(line_no, "li needs 2 operands");
+        const std::int64_t v = parseImm(ops[1], line_no);
+        return fitsSigned(v, immBitsI) ? 1 : 2;
+    }
+    return 1;
+}
+
+void
+Assembler::layoutData(const std::string &directive,
+                      const std::vector<std::string> &ops, int line_no)
+{
+    auto &data = out.data;
+    const auto put = [&](std::uint64_t v, unsigned size) {
+        for (unsigned i = 0; i < size; ++i)
+            data.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+
+    if (directive == ".byte" || directive == ".half" ||
+        directive == ".word" || directive == ".dword" ||
+        directive == ".quad") {
+        const unsigned size = directive == ".byte" ? 1
+                            : directive == ".half" ? 2
+                            : directive == ".word" ? 4 : 8;
+        for (const auto &o : ops)
+            put(static_cast<std::uint64_t>(immOrLabelValue(o, line_no)),
+                size);
+    } else if (directive == ".double") {
+        for (const auto &o : ops) {
+            char *end = nullptr;
+            const double d = std::strtod(o.c_str(), &end);
+            if (end == o.c_str() || *end != '\0')
+                err(line_no, "bad double '%s'", o.c_str());
+            put(std::bit_cast<std::uint64_t>(d), 8);
+        }
+    } else if (directive == ".space") {
+        if (ops.size() != 1)
+            err(line_no, ".space needs one operand");
+        const std::int64_t n = parseImm(ops[0], line_no);
+        if (n < 0)
+            err(line_no, ".space size must be non-negative");
+        data.insert(data.end(), static_cast<std::size_t>(n), 0);
+    } else if (directive == ".asciiz") {
+        if (ops.size() != 1 || ops[0].size() < 2 || ops[0].front() != '"' ||
+            ops[0].back() != '"') {
+            err(line_no, ".asciiz needs a quoted string");
+        }
+        const std::string body = ops[0].substr(1, ops[0].size() - 2);
+        for (std::size_t i = 0; i < body.size(); ++i) {
+            char c = body[i];
+            if (c == '\\' && i + 1 < body.size()) {
+                ++i;
+                c = body[i] == 'n' ? '\n' : body[i] == 't' ? '\t' : body[i];
+            }
+            data.push_back(static_cast<std::uint8_t>(c));
+        }
+        data.push_back(0);
+    } else if (directive == ".align") {
+        if (ops.size() != 1)
+            err(line_no, ".align needs one operand");
+        const std::int64_t a = parseImm(ops[0], line_no);
+        if (a <= 0 || !isPowerOf2(static_cast<std::uint64_t>(a)))
+            err(line_no, ".align needs a power of two");
+        while (data.size() % static_cast<std::size_t>(a) != 0)
+            data.push_back(0);
+    } else {
+        err(line_no, "unknown directive '%s'", directive.c_str());
+    }
+}
+
+void
+Assembler::layoutLine(const std::string &raw, int line_no)
+{
+    std::string line = trim(stripComment(raw));
+
+    // Peel off any leading labels.
+    while (true) {
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        const std::string head = trim(line.substr(0, colon));
+        bool is_label = !head.empty();
+        for (const char c : head) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+                c != '.') {
+                is_label = false;
+                break;
+            }
+        }
+        if (!is_label)
+            break;
+        if (labels.count(head))
+            err(line_no, "duplicate label '%s'", head.c_str());
+        labels[head] = section == Section::Text
+            ? textPc
+            : dataBase + out.data.size();
+        line = trim(line.substr(colon + 1));
+    }
+
+    if (line.empty())
+        return;
+
+    // Directive or instruction?
+    std::istringstream iss(line);
+    std::string word;
+    iss >> word;
+    std::string rest;
+    std::getline(iss, rest);
+    rest = trim(rest);
+    const auto ops = splitOperands(rest);
+
+    if (word[0] == '.') {
+        const std::string d = lower(word);
+        if (d == ".text") {
+            section = Section::Text;
+        } else if (d == ".data") {
+            section = Section::Data;
+        } else if (d == ".entry") {
+            // resolved in pass 2 (label may be forward); remember it
+            if (ops.size() != 1)
+                err(line_no, ".entry needs one label");
+            entryLabel = ops[0];
+            entryLine = line_no;
+        } else {
+            if (section != Section::Data)
+                err(line_no, "data directive outside .data");
+            layoutData(d, ops, line_no);
+        }
+        return;
+    }
+
+    if (section != Section::Text)
+        err(line_no, "instruction in .data section");
+
+    PendingInst pi{lower(word), ops, line_no, textPc};
+    textPc += 4 * instWords(pi.mnemonic, ops, line_no);
+    pending.push_back(std::move(pi));
+}
+
+void
+Assembler::emitLi(unsigned rd, std::int64_t value, int line_no)
+{
+    if (fitsSigned(value, immBitsI)) {
+        push(makeI(Opcode::ADDI, rd, 0, static_cast<std::int32_t>(value)));
+        return;
+    }
+    // lui rd, hi ; ori rd, rd, lo  (ORI zero-extends its 14-bit immediate)
+    const std::int64_t hi = value >> immBitsI;
+    const std::int64_t lo = value & ((1 << immBitsI) - 1);
+    if (!fitsSigned(hi, immBitsU))
+        err(line_no, "constant %lld out of li range", (long long)value);
+    push(makeI(Opcode::LUI, rd, 0, static_cast<std::int32_t>(hi)));
+    push(makeI(Opcode::ORI, rd, rd, static_cast<std::int32_t>(lo)));
+}
+
+void
+Assembler::emitNative(Opcode op, const PendingInst &pi)
+{
+    const auto &ops = pi.operands;
+    const int ln = pi.lineNo;
+    const auto need = [&](std::size_t n) {
+        if (ops.size() != n)
+            err(ln, "%s needs %zu operands, got %zu", opName(op), n,
+                ops.size());
+    };
+    const bool fp_srcs = readsFpRegs(op);
+    const bool fp_dst = writesFpReg(op);
+
+    switch (opFormat(op)) {
+      case Format::R: {
+        const Inst probe(op, 0, 0, 0, 0);
+        if (probe.usesRs2()) {
+            need(3);
+            push(makeR(op, regNum(ops[0], fp_dst, ln),
+                       regNum(ops[1], fp_srcs, ln),
+                       regNum(ops[2], fp_srcs, ln)));
+        } else {
+            need(2);
+            push(makeR(op, regNum(ops[0], fp_dst, ln),
+                       regNum(ops[1], fp_srcs, ln), 0));
+        }
+        break;
+      }
+      case Format::I: {
+        if (isLoad(op)) {
+            need(2);
+            unsigned base;
+            std::int32_t off;
+            parseMemOperand(ops[1], ln, base, off);
+            push(makeI(op, regNum(ops[0], fp_dst, ln), base, off));
+        } else if (isOutput(op)) {
+            need(1);
+            push(makeI(op, 0, regNum(ops[0], false, ln), 0));
+        } else if (op == Opcode::JALR) {
+            // jalr rd, rs1, imm
+            need(3);
+            const std::int64_t imm = parseImm(ops[2], ln);
+            if (!fitsSigned(imm, immBitsI))
+                err(ln, "jalr immediate out of range");
+            push(makeI(op, regNum(ops[0], false, ln),
+                       regNum(ops[1], false, ln),
+                       static_cast<std::int32_t>(imm)));
+        } else {
+            need(3);
+            const std::int64_t imm = parseImm(ops[2], ln);
+            const bool logical = op == Opcode::ANDI || op == Opcode::ORI ||
+                                 op == Opcode::XORI;
+            const bool ok = logical
+                ? imm >= 0 && imm < (1 << immBitsI)
+                : fitsSigned(imm, immBitsI);
+            if (!ok)
+                err(ln, "immediate %lld out of range", (long long)imm);
+            // Logical immediates are zero-extended at execution; store the
+            // 14-bit field sign-extended so every I-format Inst.imm is in
+            // the encodable range.
+            push(makeI(op, regNum(ops[0], false, ln),
+                       regNum(ops[1], false, ln),
+                       static_cast<std::int32_t>(
+                           logical ? sext(static_cast<std::uint64_t>(imm),
+                                          immBitsI)
+                                   : imm)));
+        }
+        break;
+      }
+      case Format::U: {
+        need(2);
+        const std::int64_t imm = parseImm(ops[1], ln);
+        if (!fitsSigned(imm, immBitsU))
+            err(ln, "lui immediate out of range");
+        push(makeI(op, regNum(ops[0], false, ln), 0,
+                   static_cast<std::int32_t>(imm)));
+        break;
+      }
+      case Format::B: {
+        need(3);
+        push(makeB(op, regNum(ops[0], false, ln), regNum(ops[1], false, ln),
+                   branchOffset(ops[2], pi.pc, ln)));
+        break;
+      }
+      case Format::J: {
+        need(2);
+        push(makeJ(op, regNum(ops[0], false, ln),
+                   branchOffset(ops[1], pi.pc, ln)));
+        break;
+      }
+      case Format::S: {
+        need(2);
+        unsigned base;
+        std::int32_t off;
+        parseMemOperand(ops[1], ln, base, off);
+        push(makeS(op, base, regNum(ops[0], op == Opcode::FSD, ln), off));
+        break;
+      }
+      case Format::N:
+        need(0);
+        push(Inst(op, 0, 0, 0, 0));
+        break;
+    }
+}
+
+void
+Assembler::emit(const PendingInst &pi)
+{
+    const auto &ops = pi.operands;
+    const int ln = pi.lineNo;
+    const std::string &m = pi.mnemonic;
+
+    const auto need = [&](std::size_t n) {
+        if (ops.size() != n)
+            err(ln, "%s needs %zu operands, got %zu", m.c_str(), n,
+                ops.size());
+    };
+
+    // Pseudo-instructions first.
+    if (m == "li") {
+        need(2);
+        emitLi(regNum(ops[0], false, ln), parseImm(ops[1], ln), ln);
+        return;
+    }
+    if (m == "la") {
+        need(2);
+        const Addr a = labelAddr(ops[1], ln);
+        const unsigned rd = regNum(ops[0], false, ln);
+        // Always two words (layout reserved two).
+        const std::int64_t hi = static_cast<std::int64_t>(a) >> immBitsI;
+        const std::int64_t lo = a & ((1 << immBitsI) - 1);
+        push(makeI(Opcode::LUI, rd, 0, static_cast<std::int32_t>(hi)));
+        push(makeI(Opcode::ORI, rd, rd, static_cast<std::int32_t>(lo)));
+        return;
+    }
+    if (m == "mv") {
+        need(2);
+        push(makeI(Opcode::ADDI, regNum(ops[0], false, ln),
+                   regNum(ops[1], false, ln), 0));
+        return;
+    }
+    if (m == "neg") {
+        need(2);
+        push(makeR(Opcode::SUB, regNum(ops[0], false, ln), 0,
+                   regNum(ops[1], false, ln)));
+        return;
+    }
+    if (m == "j") {
+        need(1);
+        push(makeJ(Opcode::JAL, 0, branchOffset(ops[0], pi.pc, ln)));
+        return;
+    }
+    if (m == "jr") {
+        need(1);
+        push(makeI(Opcode::JALR, 0, regNum(ops[0], false, ln), 0));
+        return;
+    }
+    if (m == "call") {
+        need(1);
+        push(makeJ(Opcode::JAL, regRa, branchOffset(ops[0], pi.pc, ln)));
+        return;
+    }
+    if (m == "ret") {
+        need(0);
+        push(makeI(Opcode::JALR, 0, regRa, 0));
+        return;
+    }
+    if (m == "beqz" || m == "bnez" || m == "bltz" || m == "bgez" ||
+        m == "bgtz" || m == "blez") {
+        need(2);
+        const unsigned rs = regNum(ops[0], false, ln);
+        const std::int32_t off = branchOffset(ops[1], pi.pc, ln);
+        if (m == "beqz")
+            push(makeB(Opcode::BEQ, rs, 0, off));
+        else if (m == "bnez")
+            push(makeB(Opcode::BNE, rs, 0, off));
+        else if (m == "bltz")
+            push(makeB(Opcode::BLT, rs, 0, off));
+        else if (m == "bgez")
+            push(makeB(Opcode::BGE, rs, 0, off));
+        else if (m == "bgtz")
+            push(makeB(Opcode::BLT, 0, rs, off));
+        else
+            push(makeB(Opcode::BGE, 0, rs, off));
+        return;
+    }
+
+    Opcode op;
+    if (!opFromName(m, op))
+        err(ln, "unknown mnemonic '%s'", m.c_str());
+    emitNative(op, pi);
+}
+
+void
+Assembler::emitAll()
+{
+    for (const auto &pi : pending) {
+        const std::size_t before = out.text.size();
+        emit(pi);
+        const std::size_t emitted = out.text.size() - before;
+        const unsigned planned =
+            static_cast<unsigned>((pi.pc - textBase) / 4);
+        panic_if(before != planned,
+                 "asm layout drift at line %d: planned word %u, emitting "
+                 "at %zu", pi.lineNo, planned, before);
+        (void)emitted;
+    }
+}
+
+Program
+Assembler::run(const std::string &source, const std::string &name)
+{
+    out = Program{};
+    out.name = name;
+
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        layoutLine(line, line_no);
+    }
+
+    emitAll();
+
+    if (!entryLabel.empty())
+        out.entry = labelAddr(entryLabel, entryLine);
+    else
+        out.entry = textBase;
+    return out;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Assembler as;
+    return as.run(source, name);
+}
+
+RegId
+parseRegister(const std::string &token)
+{
+    const std::string t = lower(trim(token));
+    const auto &aliases = regAliases();
+    if (const auto it = aliases.find(t); it != aliases.end())
+        return it->second;
+    if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'f')) {
+        char *end = nullptr;
+        const long n = std::strtol(t.c_str() + 1, &end, 10);
+        if (*end == '\0' && n >= 0 && n < 32)
+            return t[0] == 'x' ? intReg(n) : fpReg(n);
+    }
+    fatal("bad register '%s'", token.c_str());
+}
+
+} // namespace direb

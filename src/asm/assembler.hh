@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Two-pass assembler for the mini-ISA.
+ *
+ * Supports `.text`/`.data` sections, labels, data directives (.byte,
+ * .half, .word, .dword, .double, .space, .asciiz, .align), the full
+ * instruction set, RISC-V style register aliases (zero/ra/sp/a0../t0../s0..)
+ * and a set of pseudo-instructions (li, la, mv, neg, j, jr, call, ret,
+ * beqz/bnez/bltz/bgez/bgtz/blez).
+ *
+ * Errors raise FatalError with the offending line number, so malformed
+ * workloads fail loudly and testably.
+ */
+
+#ifndef DIREB_ASM_ASSEMBLER_HH
+#define DIREB_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "vm/program.hh"
+
+namespace direb
+{
+
+/**
+ * Assemble @p source into a loadable Program.
+ *
+ * @param source full assembly text
+ * @param name program name recorded in the image
+ * @return the assembled program (text at textBase, data at dataBase)
+ * @throws FatalError on any syntax or range error
+ */
+Program assemble(const std::string &source, const std::string &name = "asm");
+
+/**
+ * Parse a register operand ("x7", "f3", "sp", "a0", ...).
+ * @return unified RegId
+ * @throws FatalError if @p token is not a register
+ */
+RegId parseRegister(const std::string &token);
+
+} // namespace direb
+
+#endif // DIREB_ASM_ASSEMBLER_HH

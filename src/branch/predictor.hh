@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Front-end branch prediction: direction predictors (bimodal, gshare,
+ * tournament), a branch target buffer, and a return address stack, wrapped
+ * in a single BranchPredictor facade the fetch stage talks to.
+ *
+ * Per the paper's DIE model the PC and prediction structures live OUTSIDE
+ * the Sphere of Replication (control-flow errors are caught when the
+ * branch resolves), so a single predictor serves both streams.
+ */
+
+#ifndef DIREB_BRANCH_PREDICTOR_HH
+#define DIREB_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace direb
+{
+
+/** 2-bit saturating counter. */
+class SatCounter2
+{
+  public:
+    explicit SatCounter2(std::uint8_t initial = 1) : value(initial) {}
+
+    bool taken() const { return value >= 2; }
+
+    void
+    update(bool was_taken)
+    {
+        if (was_taken && value < 3)
+            ++value;
+        else if (!was_taken && value > 0)
+            --value;
+    }
+
+    std::uint8_t raw() const { return value; }
+
+  private:
+    std::uint8_t value;
+};
+
+/** Direction predictor interface. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+    /** Predict direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) const = 0;
+    /** Train with the resolved direction (commit time, in order). */
+    virtual void update(Addr pc, bool taken) = 0;
+    /**
+     * Shift the just-made prediction into the speculative history used
+     * for indexing (fetch time). No-op for history-less predictors.
+     */
+    virtual void notifySpeculative(bool predicted_taken) {}
+    /** Speculative-history snapshot taken at fetch (checkpointing). */
+    virtual std::uint64_t snapshotHistory() const { return 0; }
+    /** Squash repair: restore speculative history to a checkpoint. */
+    virtual void restoreHistoryTo(std::uint64_t hist) {}
+    /** Committed (retire-order) history. */
+    virtual std::uint64_t committedHistorySnapshot() const { return 0; }
+    /** Table size in entries (for reporting). */
+    virtual std::size_t size() const = 0;
+};
+
+/** Classic per-PC 2-bit counter table. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries);
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+    std::size_t size() const override { return table.size(); }
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<SatCounter2> table;
+};
+
+/**
+ * Global-history-xor-PC predictor. Predictions index with a speculative
+ * history (shifted at fetch by notifySpeculative) so in-flight branches
+ * see consistent context; commits maintain the architectural history and
+ * retrain; squashes resynchronise the speculative copy.
+ */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    GsharePredictor(std::size_t entries, unsigned history_bits);
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+    void notifySpeculative(bool predicted_taken) override;
+    std::uint64_t snapshotHistory() const override { return specGhr; }
+    void restoreHistoryTo(std::uint64_t hist) override { specGhr = hist; }
+    std::uint64_t committedHistorySnapshot() const override { return ghr; }
+    std::size_t size() const override { return table.size(); }
+
+    std::uint64_t history() const { return ghr; }
+    std::uint64_t specHistory() const { return specGhr; }
+
+  private:
+    std::size_t index(Addr pc, std::uint64_t hist) const;
+    std::vector<SatCounter2> table;
+    unsigned histBits;
+    std::uint64_t ghr = 0;     //!< committed history
+    std::uint64_t specGhr = 0; //!< fetch-time speculative history
+};
+
+/** McFarling-style tournament of bimodal + gshare with a chooser table. */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    TournamentPredictor(std::size_t bimodal_entries,
+                        std::size_t gshare_entries, unsigned history_bits,
+                        std::size_t chooser_entries);
+    bool predict(Addr pc) const override;
+    void update(Addr pc, bool taken) override;
+    void
+    notifySpeculative(bool predicted_taken) override
+    {
+        gshare.notifySpeculative(predicted_taken);
+    }
+    std::uint64_t
+    snapshotHistory() const override
+    {
+        return gshare.snapshotHistory();
+    }
+    void
+    restoreHistoryTo(std::uint64_t hist) override
+    {
+        gshare.restoreHistoryTo(hist);
+    }
+    std::uint64_t
+    committedHistorySnapshot() const override
+    {
+        return gshare.committedHistorySnapshot();
+    }
+    std::size_t size() const override;
+
+  private:
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+    std::vector<SatCounter2> chooser; //!< taken() == trust gshare
+};
+
+/** Direct-mapped branch target buffer with tags. */
+class Btb
+{
+  public:
+    Btb(std::size_t entries, unsigned tag_bits = 16);
+
+    /** Look up a target for @p pc; returns false on miss. */
+    bool lookup(Addr pc, Addr &target) const;
+
+    /** Install / refresh the mapping pc -> target. */
+    void update(Addr pc, Addr target);
+
+    std::size_t size() const { return targets.size(); }
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::uint32_t tagOf(Addr pc) const;
+
+    std::vector<Addr> targets;
+    std::vector<std::uint32_t> tags;
+    std::vector<bool> valid;
+    unsigned tagBits;
+};
+
+/** Return address stack (with wrap-around overwrite like real hardware). */
+class Ras
+{
+  public:
+    explicit Ras(std::size_t entries);
+
+    void push(Addr return_pc);
+    /** Pop the predicted return address; 0 if empty. */
+    Addr pop();
+    Addr top() const;
+    bool empty() const { return count == 0; }
+    std::size_t capacity() const { return stack.size(); }
+
+  private:
+    std::vector<Addr> stack;
+    std::size_t tos = 0;
+    std::size_t count = 0;
+};
+
+/** A complete front-end prediction for one instruction. */
+struct BranchPrediction
+{
+    bool taken = false;     //!< predicted direction (always true for jumps)
+    Addr target = 0;        //!< predicted target (valid if taken)
+    bool fromRas = false;   //!< target came from the RAS
+    bool btbMiss = false;   //!< taken prediction without a target
+    /** Speculative-history checkpoint at fetch (for squash repair). */
+    std::uint64_t histAtFetch = 0;
+};
+
+/**
+ * Facade combining direction predictor + BTB + RAS.
+ *
+ * Config keys (defaults): bp.kind=tournament|gshare|bimodal,
+ * bp.bimodal_entries=2048, bp.gshare_entries=4096, bp.history_bits=12,
+ * bp.chooser_entries=4096, bp.btb_entries=2048, bp.ras_entries=16.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const Config &config);
+
+    /**
+     * Predict the outcome of @p inst at @p pc.
+     * JAL/JALR with rd==ra push the RAS; JALR with rs1==ra pops it.
+     */
+    BranchPrediction predict(Addr pc, const Inst &inst);
+
+    /** Train with the architecturally resolved outcome. */
+    void update(Addr pc, const Inst &inst, bool taken, Addr target);
+
+    /** Pipeline squash: restore the speculative history checkpoint. */
+    void recoverHistory(std::uint64_t hist);
+
+    /** Committed global history (rewind fallback). */
+    std::uint64_t committedHistory() const;
+
+    stats::Group &statGroup() { return group; }
+
+    /** Exposed counters for characterisation tables. @{ */
+    std::uint64_t lookups() const { return numLookups.value(); }
+    std::uint64_t condLookups() const { return numCondLookups.value(); }
+    /** @} */
+
+  private:
+    std::unique_ptr<DirectionPredictor> dir;
+    Btb btb;
+    Ras ras;
+
+    stats::Group group{"bp"};
+    stats::Scalar numLookups;
+    stats::Scalar numCondLookups;
+    stats::Scalar numBtbHits;
+    stats::Scalar numRasPops;
+};
+
+} // namespace direb
+
+#endif // DIREB_BRANCH_PREDICTOR_HH

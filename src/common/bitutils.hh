@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the ISA, caches and the IRB.
+ */
+
+#ifndef DIREB_COMMON_BITUTILS_HH
+#define DIREB_COMMON_BITUTILS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace direb
+{
+
+/** Return true if @p n is a (non-zero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(@p n); @p n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    assert(n != 0);
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(@p n); @p n must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 64);
+    const std::uint64_t width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t(0) : ((std::uint64_t(1) << width) - 1);
+    return (val >> lo) & mask;
+}
+
+/** Insert @p field into bits [hi:lo] of @p val and return the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned hi, unsigned lo, std::uint64_t field)
+{
+    assert(hi >= lo && hi < 64);
+    const std::uint64_t width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t(0) : ((std::uint64_t(1) << width) - 1);
+    return (val & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p val to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t val, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    if (width == 64)
+        return static_cast<std::int64_t>(val);
+    const std::uint64_t sign = std::uint64_t(1) << (width - 1);
+    const std::uint64_t mask = (std::uint64_t(1) << width) - 1;
+    val &= mask;
+    return static_cast<std::int64_t>((val ^ sign) - sign);
+}
+
+/** True if @p val fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(std::int64_t val, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    if (width == 64)
+        return true;
+    const std::int64_t lo = -(std::int64_t(1) << (width - 1));
+    const std::int64_t hi = (std::int64_t(1) << (width - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t val)
+{
+    unsigned c = 0;
+    while (val) {
+        val &= val - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace direb
+
+#endif // DIREB_COMMON_BITUTILS_HH

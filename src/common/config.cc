@@ -1,0 +1,149 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    fatal_if(key.empty(), "config: empty key");
+    values[key] = value;
+}
+
+void
+Config::setInt(const std::string &key, std::int64_t value)
+{
+    set(key, std::to_string(value));
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    set(key, std::to_string(value));
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    set(key, value ? "true" : "false");
+}
+
+void
+Config::parse(const std::string &assignment)
+{
+    const auto eq = assignment.find('=');
+    fatal_if(eq == std::string::npos || eq == 0,
+             "config: expected key=value, got '%s'", assignment.c_str());
+    set(assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+void
+Config::parseAll(const std::vector<std::string> &assignments)
+{
+    for (const auto &a : assignments)
+        parse(a);
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    consumed.insert(key);
+    const auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config: key '%s' has non-integer value '%s'", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    const std::int64_t v =
+        getInt(key, static_cast<std::int64_t>(def));
+    fatal_if(v < 0, "config: key '%s' must be non-negative", key.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    consumed.insert(key);
+    const auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config: key '%s' has non-numeric value '%s'", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    consumed.insert(key);
+    const auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("config: key '%s' has non-boolean value '%s'", key.c_str(),
+          s.c_str());
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    consumed.insert(key);
+    const auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[k, v] : values) {
+        if (!consumed.count(k))
+            unused.push_back(k);
+    }
+    return unused;
+}
+
+void
+Config::checkUnused() const
+{
+    const auto unused = unusedKeys();
+    if (!unused.empty()) {
+        std::string all;
+        for (const auto &k : unused)
+            all += (all.empty() ? "" : ", ") + k;
+        fatal("config: unknown key(s): %s", all.c_str());
+    }
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::entries() const
+{
+    return {values.begin(), values.end()};
+}
+
+} // namespace direb

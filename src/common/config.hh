@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Typed key/value configuration store.
+ *
+ * Every simulator component declares its parameters against a Config with a
+ * default; benches and tests override parameters with "key=value" strings.
+ * Unknown keys are rejected at get() time only if never declared, and a
+ * consumed-key audit (checkUnused) catches typos in overrides.
+ */
+
+#ifndef DIREB_COMMON_CONFIG_HH
+#define DIREB_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+/**
+ * String-backed typed configuration. Values are stored as strings and
+ * converted on access; the first get() with a default registers the key.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set a raw override, e.g. set("ruu.size", "256"). */
+    void set(const std::string &key, const std::string &value);
+
+    /** Convenience setters. */
+    void setInt(const std::string &key, std::int64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    /** Parse a "key=value" override string; fatal() on bad syntax. */
+    void parse(const std::string &assignment);
+
+    /** Parse many "key=value" strings (e.g. argv tail). */
+    void parseAll(const std::vector<std::string> &assignments);
+
+    /** Typed getters: return the override if present, else @p def. */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** True if the key has an explicit override. */
+    bool has(const std::string &key) const;
+
+    /** Keys that were set but never read — typically typos. */
+    std::vector<std::string> unusedKeys() const;
+
+    /** fatal() if any override key was never consumed by a component. */
+    void checkUnused() const;
+
+    /** All explicitly set key/value pairs, sorted by key. */
+    std::vector<std::pair<std::string, std::string>> entries() const;
+
+  private:
+    std::map<std::string, std::string> values;
+    mutable std::set<std::string> consumed;
+};
+
+} // namespace direb
+
+#endif // DIREB_COMMON_CONFIG_HH

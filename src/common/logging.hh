@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * panic()  — an internal simulator bug; aborts.
+ * fatal()  — a user error (bad configuration, bad program); exits cleanly.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef DIREB_COMMON_LOGGING_HH
+#define DIREB_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace direb
+{
+
+/** Exception thrown by fatal() so that tests can intercept user errors. */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : message(std::move(msg)) {}
+    const char *what() const noexcept override { return message.c_str(); }
+
+  private:
+    std::string message;
+};
+
+/** Abort with a message: only for genuine simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Raise a FatalError: for user mistakes (bad config, malformed program). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches to keep tables clean). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace direb
+
+#define panic(...) ::direb::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::direb::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::direb::warnImpl(__VA_ARGS__)
+#define inform(...) ::direb::informImpl(__VA_ARGS__)
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** fatal() unless @p cond holds. */
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // DIREB_COMMON_LOGGING_HH

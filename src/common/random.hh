@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic PRNG (xorshift128+) so that every simulation run and every
+ * synthetic workload is exactly reproducible from its seed.
+ */
+
+#ifndef DIREB_COMMON_RANDOM_HH
+#define DIREB_COMMON_RANDOM_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace direb
+{
+
+/**
+ * Small, fast, seedable PRNG. Not cryptographic; statistically fine for
+ * workload generation and fault injection.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding to avoid weak all-zero-ish states.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        for (auto *s : {&s0, &s1}) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            *s = x ^ (x >> 31);
+        }
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Uniform double in [0,1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+};
+
+} // namespace direb
+
+#endif // DIREB_COMMON_RANDOM_HH

@@ -1,0 +1,183 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace stats
+{
+
+void
+Distribution::init(double min, double max, unsigned buckets)
+{
+    panic_if(buckets == 0, "distribution needs at least one bucket");
+    panic_if(max <= min, "distribution range must be non-empty");
+    lo = min;
+    hi = max;
+    width = (max - min) / buckets;
+    counts.assign(buckets, 0);
+}
+
+void
+Distribution::sample(double v)
+{
+    panic_if(counts.empty(), "distribution sampled before init()");
+    total += v;
+    ++samples;
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+    }
+}
+
+void
+Distribution::reset()
+{
+    total = 0.0;
+    samples = underflow = overflow = 0;
+    counts.assign(counts.size(), 0);
+}
+
+void
+Group::addScalar(Scalar *s, const std::string &stat_name,
+                 const std::string &desc)
+{
+    scalars.push_back({s, stat_name, desc});
+}
+
+void
+Group::addAverage(Average *a, const std::string &stat_name,
+                  const std::string &desc)
+{
+    averages.push_back({a, stat_name, desc});
+}
+
+void
+Group::addDistribution(Distribution *d, const std::string &stat_name,
+                       const std::string &desc)
+{
+    distributions.push_back({d, stat_name, desc});
+}
+
+void
+Group::addFormula(Formula *f, const std::string &stat_name,
+                  const std::string &desc)
+{
+    formulas.push_back({f, stat_name, desc});
+}
+
+void
+Group::addChild(Group *child)
+{
+    panic_if(child == nullptr, "null child stat group");
+    children.push_back(child);
+}
+
+void
+Group::reset()
+{
+    for (auto &s : scalars)
+        s.stat->reset();
+    for (auto &a : averages)
+        a.stat->reset();
+    for (auto &d : distributions)
+        d.stat->reset();
+    for (auto *c : children)
+        c->reset();
+}
+
+void
+Group::collect(const std::string &prefix,
+               std::map<std::string, double> &out) const
+{
+    const std::string base =
+        name.empty() ? prefix : (prefix.empty() ? name : prefix + "." + name);
+    const auto full = [&](const std::string &n) {
+        return base.empty() ? n : base + "." + n;
+    };
+    for (const auto &s : scalars)
+        out[full(s.name)] = static_cast<double>(s.stat->value());
+    for (const auto &a : averages)
+        out[full(a.name)] = a.stat->mean();
+    for (const auto &d : distributions)
+        out[full(d.name)] = d.stat->mean();
+    for (const auto &f : formulas)
+        out[full(f.name)] = f.stat->value();
+    for (const auto *c : children)
+        c->collect(base, out);
+}
+
+std::map<std::string, double>
+Group::snapshot() const
+{
+    std::map<std::string, double> out;
+    collect("", out);
+    return out;
+}
+
+void
+Group::render(const std::string &prefix, std::string &out) const
+{
+    const std::string base =
+        name.empty() ? prefix : (prefix.empty() ? name : prefix + "." + name);
+    const auto full = [&](const std::string &n) {
+        return base.empty() ? n : base + "." + n;
+    };
+    char line[512];
+    for (const auto &s : scalars) {
+        std::snprintf(line, sizeof(line), "%-44s %16llu  # %s\n",
+                      full(s.name).c_str(),
+                      static_cast<unsigned long long>(s.stat->value()),
+                      s.desc.c_str());
+        out += line;
+    }
+    for (const auto &a : averages) {
+        std::snprintf(line, sizeof(line), "%-44s %16.4f  # %s\n",
+                      full(a.name).c_str(), a.stat->mean(), a.desc.c_str());
+        out += line;
+    }
+    for (const auto &d : distributions) {
+        std::snprintf(line, sizeof(line), "%-44s %16.4f  # %s (mean)\n",
+                      full(d.name).c_str(), d.stat->mean(), d.desc.c_str());
+        out += line;
+        const auto &c = d.stat->bucketCounts();
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (c[i] == 0)
+                continue;
+            std::snprintf(line, sizeof(line),
+                          "%-44s %16llu  #   [%g,%g)\n",
+                          (full(d.name) + "." + std::to_string(i)).c_str(),
+                          static_cast<unsigned long long>(c[i]),
+                          d.stat->bucketLow(i), d.stat->bucketHigh(i));
+            out += line;
+        }
+    }
+    for (const auto &f : formulas) {
+        std::snprintf(line, sizeof(line), "%-44s %16.4f  # %s\n",
+                      full(f.name).c_str(), f.stat->value(), f.desc.c_str());
+        out += line;
+    }
+    for (const auto *c : children)
+        c->render(base, out);
+}
+
+std::string
+Group::dump() const
+{
+    std::string out;
+    render("", out);
+    return out;
+}
+
+} // namespace stats
+
+} // namespace direb

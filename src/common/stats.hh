@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Minimal gem5-flavoured statistics package.
+ *
+ * Components own a StatGroup and register named statistics in it. A Scalar
+ * is a counter; an Average tracks mean of samples; a Distribution buckets
+ * samples; a Formula is a named ratio of two scalars evaluated at dump time.
+ * StatGroup::dump() renders everything as "name value # description" lines,
+ * and snapshot() exports name->double for programmatic use by benches.
+ */
+
+#ifndef DIREB_COMMON_STATS_HH
+#define DIREB_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+namespace stats
+{
+
+/** Monotonic counter. */
+class Scalar
+{
+  public:
+    Scalar &operator++() { ++count; return *this; }
+    Scalar &operator+=(std::uint64_t n) { count += n; return *this; }
+    void reset() { count = 0; }
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Mean of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        total += v;
+        ++samples;
+    }
+
+    void reset() { total = 0.0; samples = 0; }
+    std::uint64_t count() const { return samples; }
+    double mean() const { return samples ? total / samples : 0.0; }
+
+  private:
+    double total = 0.0;
+    std::uint64_t samples = 0;
+};
+
+/** Fixed-bucket histogram over [min, max] with uniform bucket width. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Configure buckets; must be called before sampling. */
+    void init(double min, double max, unsigned buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return samples; }
+    double mean() const { return samples ? total / samples : 0.0; }
+    std::uint64_t underflows() const { return underflow; }
+    std::uint64_t overflows() const { return overflow; }
+    const std::vector<std::uint64_t> &bucketCounts() const { return counts; }
+    double bucketLow(unsigned i) const { return lo + i * width; }
+    double bucketHigh(unsigned i) const { return lo + (i + 1) * width; }
+
+  private:
+    double lo = 0.0;
+    double hi = 1.0;
+    double width = 1.0;
+    double total = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::vector<std::uint64_t> counts;
+};
+
+class Group;
+
+/**
+ * Deferred ratio of two scalars (e.g. IPC = insts / cycles), evaluated at
+ * dump/snapshot time so it always reflects the final counts.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    Formula(const Scalar *num, const Scalar *den) : numer(num), denom(den) {}
+
+    double
+    value() const
+    {
+        if (!numer || !denom || denom->value() == 0)
+            return 0.0;
+        return static_cast<double>(numer->value()) /
+               static_cast<double>(denom->value());
+    }
+
+  private:
+    const Scalar *numer = nullptr;
+    const Scalar *denom = nullptr;
+};
+
+/**
+ * Named collection of statistics. Groups may nest via a name prefix.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string group_name = "") : name(std::move(group_name))
+    {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Register a statistic; the group does NOT take ownership. */
+    void addScalar(Scalar *s, const std::string &stat_name,
+                   const std::string &desc);
+    void addAverage(Average *a, const std::string &stat_name,
+                    const std::string &desc);
+    void addDistribution(Distribution *d, const std::string &stat_name,
+                         const std::string &desc);
+    void addFormula(Formula *f, const std::string &stat_name,
+                    const std::string &desc);
+
+    /** Attach a child group whose stats appear prefixed under this one. */
+    void addChild(Group *child);
+
+    /** Reset every registered statistic (recursively). */
+    void reset();
+
+    /** Render all stats as text ("name value # desc"). */
+    std::string dump() const;
+
+    /** Flatten everything to name -> value (means for avg/dist). */
+    std::map<std::string, double> snapshot() const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        T *stat;
+        std::string name;
+        std::string desc;
+    };
+
+    void collect(const std::string &prefix,
+                 std::map<std::string, double> &out) const;
+    void render(const std::string &prefix, std::string &out) const;
+
+    std::string name;
+    std::vector<Named<Scalar>> scalars;
+    std::vector<Named<Average>> averages;
+    std::vector<Named<Distribution>> distributions;
+    std::vector<Named<Formula>> formulas;
+    std::vector<Group *> children;
+};
+
+} // namespace stats
+
+} // namespace direb
+
+#endif // DIREB_COMMON_STATS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Core scalar typedefs shared by every module of the simulator.
+ */
+
+#ifndef DIREB_COMMON_TYPES_HH
+#define DIREB_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace direb
+{
+
+/** Simulated memory address. */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Architectural register value (int registers; FP stored as bit pattern). */
+using RegVal = std::uint64_t;
+
+/** Dynamic instruction sequence number (program order, 1-based). */
+using InstSeq = std::uint64_t;
+
+/** Sentinel for "no sequence number". */
+constexpr InstSeq invalidSeq = 0;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace direb
+
+#endif // DIREB_COMMON_TYPES_HH

@@ -1,0 +1,269 @@
+#include "core/irb.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace direb
+{
+
+Irb::Irb(const Config &config)
+{
+    const std::size_t total = config.getUint("irb.entries", 1024);
+    assoc = static_cast<unsigned>(config.getUint("irb.assoc", 1));
+    fatal_if(assoc == 0, "irb.assoc must be positive");
+    fatal_if(total % assoc != 0, "irb.entries must be divisible by assoc");
+    sets = total / assoc;
+    fatal_if(!isPowerOf2(sets), "irb set count must be a power of two");
+    entries.resize(total);
+
+    readPorts = static_cast<unsigned>(config.getUint("irb.read_ports", 4));
+    writePorts = static_cast<unsigned>(config.getUint("irb.write_ports", 2));
+    rwPorts = static_cast<unsigned>(config.getUint("irb.rw_ports", 2));
+    pipeDepth = config.getUint("irb.pipeline_depth", 3);
+
+    const unsigned ctr_bits =
+        static_cast<unsigned>(config.getUint("irb.ctr_bits", 2));
+    fatal_if(ctr_bits > 8, "irb.ctr_bits out of range");
+    ctrEnabled = ctr_bits > 0;
+    ctrMax = ctrEnabled ? static_cast<std::uint8_t>((1u << ctr_bits) - 1) : 0;
+
+    const std::size_t victims = config.getUint("irb.victim_entries", 0);
+    victimBuf.resize(victims);
+
+    beginCycle();
+
+    group.addScalar(&numLookups, "lookups", "PC lookups attempted");
+    group.addScalar(&numPcHits, "pc_hits", "lookups finding a valid entry");
+    group.addScalar(&numPcMisses, "pc_misses", "lookups missing");
+    group.addScalar(&numReuseHits, "reuse_hits",
+                    "reuse tests passed (operands matched)");
+    group.addScalar(&numReuseMisses, "reuse_misses",
+                    "reuse tests failed (operands differed)");
+    group.addScalar(&numLookupDrops, "lookup_port_drops",
+                    "lookups dropped for lack of a port");
+    group.addScalar(&numUpdates, "updates", "entries written at commit");
+    group.addScalar(&numUpdateDrops, "update_port_drops",
+                    "updates dropped for lack of a port");
+    group.addScalar(&numCtrDeferrals, "ctr_deferrals",
+                    "replacements deferred by CTR hysteresis");
+    group.addScalar(&numVictimHits, "victim_hits",
+                    "PC hits served from the victim buffer");
+    group.addScalar(&numEvictions, "evictions", "live entries replaced");
+}
+
+void
+Irb::beginCycle()
+{
+    lookupsLeft = readPorts;
+    updatesLeft = writePorts;
+    sharedLeft = rwPorts;
+}
+
+std::size_t
+Irb::setOf(Addr pc) const
+{
+    return (pc >> 2) & (sets - 1);
+}
+
+Irb::Entry *
+Irb::find(Addr pc)
+{
+    const std::size_t base = setOf(pc) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+Irb::Entry *
+Irb::findVictimBuf(Addr pc)
+{
+    for (auto &e : victimBuf) {
+        if (e.valid && e.pc == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+IrbLookup
+Irb::lookup(Addr pc)
+{
+    ++numLookups;
+    IrbLookup res;
+
+    if (lookupsLeft > 0) {
+        --lookupsLeft;
+    } else if (sharedLeft > 0) {
+        --sharedLeft;
+    } else {
+        ++numLookupDrops;
+        res.portDrop = true;
+        return res;
+    }
+
+    ++stamp;
+    if (Entry *e = find(pc)) {
+        e->lruStamp = stamp;
+        // Useful entries charge their CTR up, buying resistance against
+        // conflicting replacements (the hysteresis of Figure 4).
+        if (ctrEnabled && e->ctr < ctrMax)
+            ++e->ctr;
+        res.pcHit = true;
+        res.op1 = e->op1;
+        res.op2 = e->op2;
+        res.result = e->result;
+        ++numPcHits;
+        return res;
+    }
+
+    if (Entry *v = findVictimBuf(pc)) {
+        // Hit in the victim buffer: serve it and swap back into the main
+        // array so subsequent lookups hit directly.
+        v->lruStamp = stamp;
+        res.pcHit = true;
+        res.op1 = v->op1;
+        res.op2 = v->op2;
+        res.result = v->result;
+        ++numPcHits;
+        ++numVictimHits;
+
+        const std::size_t base = setOf(pc) * assoc;
+        Entry *slot = &entries[base];
+        for (unsigned w = 1; w < assoc; ++w) {
+            Entry &cand = entries[base + w];
+            if (!cand.valid) {
+                slot = &cand;
+                break;
+            }
+            if (cand.lruStamp < slot->lruStamp)
+                slot = &cand;
+        }
+        std::swap(*slot, *v);
+        slot->lruStamp = stamp;
+        return res;
+    }
+
+    ++numPcMisses;
+    return res;
+}
+
+void
+Irb::recordReuseTest(bool passed)
+{
+    if (passed)
+        ++numReuseHits;
+    else
+        ++numReuseMisses;
+}
+
+bool
+Irb::update(Addr pc, RegVal op1, RegVal op2, RegVal result)
+{
+    if (updatesLeft > 0) {
+        --updatesLeft;
+    } else if (sharedLeft > 0) {
+        --sharedLeft;
+    } else {
+        ++numUpdateDrops;
+        return false;
+    }
+
+    ++stamp;
+    ++numUpdates;
+
+    if (Entry *e = find(pc)) {
+        e->op1 = op1;
+        e->op2 = op2;
+        e->result = result;
+        e->lruStamp = stamp;
+        if (ctrEnabled && e->ctr < ctrMax)
+            ++e->ctr;
+        return true;
+    }
+
+    // Choose a slot: invalid first, else LRU within the set.
+    const std::size_t base = setOf(pc) * assoc;
+    Entry *slot = nullptr;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Entry &cand = entries[base + w];
+        if (!cand.valid) {
+            slot = &cand;
+            break;
+        }
+        if (!slot || cand.lruStamp < slot->lruStamp)
+            slot = &cand;
+    }
+
+    if (slot->valid) {
+        // CTR hysteresis: a live entry resists replacement until its
+        // counter drains, filtering one-shot PCs out of hot sets.
+        if (ctrEnabled && slot->ctr > 0) {
+            --slot->ctr;
+            ++numCtrDeferrals;
+            return true; // port consumed, no replacement
+        }
+        ++numEvictions;
+        if (!victimBuf.empty()) {
+            // Spill the victim into the victim buffer (LRU slot).
+            Entry *vslot = nullptr;
+            for (auto &v : victimBuf) {
+                if (!v.valid) {
+                    vslot = &v;
+                    break;
+                }
+                if (!vslot || v.lruStamp < vslot->lruStamp)
+                    vslot = &v;
+            }
+            *vslot = *slot;
+        }
+    }
+
+    slot->pc = pc;
+    slot->op1 = op1;
+    slot->op2 = op2;
+    slot->result = result;
+    slot->ctr = ctrEnabled ? 1 : 0;
+    slot->lruStamp = stamp;
+    slot->valid = true;
+    return true;
+}
+
+bool
+Irb::corruptEntry(Addr pc, unsigned bit)
+{
+    if (Entry *e = find(pc)) {
+        e->result ^= RegVal(1) << (bit & 63);
+        return true;
+    }
+    return false;
+}
+
+bool
+Irb::corruptRandomEntry(std::uint64_t rnd, unsigned bit)
+{
+    const std::size_t n = entries.size();
+    const std::size_t start = rnd % n;
+    for (std::size_t i = 0; i < n; ++i) {
+        Entry &e = entries[(start + i) % n];
+        if (e.valid) {
+            e.result ^= RegVal(1) << (bit & 63);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Irb::invalidate(Addr pc)
+{
+    if (Entry *e = find(pc))
+        e->valid = false;
+    for (auto &v : victimBuf) {
+        if (v.valid && v.pc == pc)
+            v.valid = false;
+    }
+}
+
+} // namespace direb

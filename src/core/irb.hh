@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Instruction Reuse Buffer (IRB) — the paper's central structure.
+ *
+ * A PC-indexed table of previously executed instructions: each entry holds
+ * the PC tag, the two source-operand values, the ALU result, and a small
+ * saturating counter (the CTR field of Figure 4) that provides replacement
+ * hysteresis — the paper's "simple mechanism that can possibly reduce
+ * conflict misses".
+ *
+ * Port model (paper §3.2): 4 read ports, 2 write ports, 2 read/write
+ * ports. Lookups (issued at fetch, on behalf of duplicate-stream
+ * instructions) draw from read + shared ports; updates (at commit) draw
+ * from write + shared ports. Lookups beyond the per-cycle port budget are
+ * forced PC-misses; updates beyond it are dropped. The 3-stage pipelined
+ * access (Cacti-justified in the paper) is modelled by the owner recording
+ * lookup-ready time = fetch + pipelineDepth.
+ *
+ * Organisations for the conflict-miss study: direct-mapped (paper
+ * default), set-associative (LRU), and an optional small fully-associative
+ * victim buffer behind the main array.
+ */
+
+#ifndef DIREB_CORE_IRB_HH
+#define DIREB_CORE_IRB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace direb
+{
+
+/** Result of a PC lookup. */
+struct IrbLookup
+{
+    bool pcHit = false;      //!< a valid entry with matching tag exists
+    bool portDrop = false;   //!< lookup could not get a port this cycle
+    RegVal op1 = 0;          //!< stored first operand value
+    RegVal op2 = 0;          //!< stored second operand value
+    RegVal result = 0;       //!< stored ALU result
+};
+
+/**
+ * The Instruction Reuse Buffer.
+ *
+ * Config keys (defaults): irb.entries=1024, irb.assoc=1,
+ * irb.read_ports=4, irb.write_ports=2, irb.rw_ports=2,
+ * irb.pipeline_depth=3, irb.ctr_bits=2 (0 disables hysteresis),
+ * irb.victim_entries=0.
+ */
+class Irb
+{
+  public:
+    explicit Irb(const Config &config);
+
+    /** Reset per-cycle port budgets. Call once per simulated cycle. */
+    void beginCycle();
+
+    /**
+     * Look up @p pc (consumes a lookup port). If no port is available the
+     * result has portDrop set and must be treated as a PC miss.
+     */
+    IrbLookup lookup(Addr pc);
+
+    /**
+     * Record the outcome of the reuse test the issue logic performed
+     * against an earlier lookup (for hit-rate statistics only).
+     */
+    void recordReuseTest(bool passed);
+
+    /**
+     * Insert/refresh the entry for @p pc at commit (consumes an update
+     * port; silently dropped if none available — returns false).
+     * CTR hysteresis: replacing a *different* PC's live entry first
+     * decrements its counter; the replacement only happens at zero.
+     */
+    bool update(Addr pc, RegVal op1, RegVal op2, RegVal result);
+
+    /** Corrupt the stored result for @p pc if present (fault injection). */
+    bool corruptEntry(Addr pc, unsigned bit);
+
+    /**
+     * Corrupt the first live entry at or after index (@p rnd mod size) —
+     * models a transient striking a random cell of the array.
+     * @return false if the buffer holds no valid entries.
+     */
+    bool corruptRandomEntry(std::uint64_t rnd, unsigned bit);
+
+    /** Drop the entry for @p pc (used after a failed commit check). */
+    void invalidate(Addr pc);
+
+    /** Pipelined access latency in cycles (lookup ready = fetch + this). */
+    Cycle pipelineDepth() const { return pipeDepth; }
+
+    /** Entry count of the main array. */
+    std::size_t size() const { return sets * assoc; }
+
+    stats::Group &statGroup() { return group; }
+
+    /** Statistics accessors for benches. @{ */
+    std::uint64_t pcHits() const { return numPcHits.value(); }
+    std::uint64_t pcMisses() const { return numPcMisses.value(); }
+    std::uint64_t reuseHits() const { return numReuseHits.value(); }
+    std::uint64_t reuseMisses() const { return numReuseMisses.value(); }
+    std::uint64_t lookupDrops() const { return numLookupDrops.value(); }
+    std::uint64_t updateDrops() const { return numUpdateDrops.value(); }
+    std::uint64_t ctrDeferrals() const { return numCtrDeferrals.value(); }
+    std::uint64_t victimHits() const { return numVictimHits.value(); }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        Addr pc = invalidAddr;
+        RegVal op1 = 0;
+        RegVal op2 = 0;
+        RegVal result = 0;
+        std::uint8_t ctr = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    std::size_t setOf(Addr pc) const;
+    Entry *find(Addr pc);
+    Entry *findVictimBuf(Addr pc);
+
+    std::size_t sets = 0;
+    unsigned assoc = 1;
+    std::vector<Entry> entries;       //!< sets * assoc, set-major
+    std::vector<Entry> victimBuf;     //!< fully associative, LRU
+    std::uint64_t stamp = 0;
+
+    unsigned readPorts = 4;
+    unsigned writePorts = 2;
+    unsigned rwPorts = 2;
+    unsigned lookupsLeft = 0;
+    unsigned updatesLeft = 0;
+    unsigned sharedLeft = 0;
+    Cycle pipeDepth = 3;
+    std::uint8_t ctrMax = 3;
+    bool ctrEnabled = true;
+
+    stats::Group group{"irb"};
+    stats::Scalar numLookups;
+    stats::Scalar numPcHits;
+    stats::Scalar numPcMisses;
+    stats::Scalar numReuseHits;
+    stats::Scalar numReuseMisses;
+    stats::Scalar numLookupDrops;
+    stats::Scalar numUpdates;
+    stats::Scalar numUpdateDrops;
+    stats::Scalar numCtrDeferrals;
+    stats::Scalar numVictimHits;
+    stats::Scalar numEvictions;
+};
+
+} // namespace direb
+
+#endif // DIREB_CORE_IRB_HH

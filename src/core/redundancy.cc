@@ -1,0 +1,63 @@
+#include "core/redundancy.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+FaultSite
+faultSiteFromName(const std::string &name)
+{
+    if (name == "none")
+        return FaultSite::None;
+    if (name == "fu")
+        return FaultSite::Fu;
+    if (name == "fwd_one")
+        return FaultSite::FwdOne;
+    if (name == "fwd_both")
+        return FaultSite::FwdBoth;
+    if (name == "irb")
+        return FaultSite::Irb;
+    fatal("unknown fault site '%s'", name.c_str());
+}
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::None: return "none";
+      case FaultSite::Fu: return "fu";
+      case FaultSite::FwdOne: return "fwd_one";
+      case FaultSite::FwdBoth: return "fwd_both";
+      case FaultSite::Irb: return "irb";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const Config &config)
+    : site_(faultSiteFromName(config.getString("fault.site", "none"))),
+      rate(config.getDouble("fault.rate", 0.0)),
+      rng(config.getUint("fault.seed", 1))
+{
+    fatal_if(rate < 0.0 || rate > 1.0, "fault.rate must be in [0,1]");
+
+    group.addScalar(&numInjected, "injected", "bit flips injected");
+    group.addScalar(&numDetected, "detected", "flips caught by the checker");
+    group.addScalar(&numEscaped, "escaped",
+                    "flips that committed undetected");
+    group.addScalar(&numSquashed, "squashed",
+                    "flips squashed on the wrong path");
+}
+
+bool
+FaultInjector::strike()
+{
+    if (!enabled())
+        return false;
+    if (!rng.chance(rate))
+        return false;
+    ++numInjected;
+    return true;
+}
+
+} // namespace direb

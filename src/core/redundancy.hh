@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Temporal-redundancy support: the commit-time pair checker and the
+ * fault-injection harness used to validate the Sphere-of-Replication
+ * argument of the paper's §3.4.
+ *
+ * Faults are injected into the *checked* copies of values (the datapath
+ * results the checker compares), never into the functional architectural
+ * state — so a simulation with injection enabled still computes correct
+ * program results, and a detected fault costs an instruction-rewind in
+ * the timing model exactly as the paper describes.
+ */
+
+#ifndef DIREB_CORE_REDUNDANCY_HH
+#define DIREB_CORE_REDUNDANCY_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace direb
+{
+
+/** Where a transient fault strikes. */
+enum class FaultSite : std::uint8_t
+{
+    None,     //!< injection disabled
+    Fu,       //!< a functional-unit result (one stream's copy)
+    FwdOne,   //!< forwarding to one stream's waiting instruction
+    FwdBoth,  //!< forwarding bus shared by both streams (DIE-IRB only —
+              //!< in plain DIE each stream has its own dataflow, so this
+              //!< degenerates to FwdOne)
+    Irb,      //!< a stored IRB entry after insertion
+};
+
+/** Parse a fault-site name ("none", "fu", "fwd_one", "fwd_both", "irb"). */
+FaultSite faultSiteFromName(const std::string &name);
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Poisson-ish fault injector: each eligible event independently suffers a
+ * bit flip with probability fault.rate.
+ *
+ * Config keys (defaults): fault.rate=0.0, fault.site=none, fault.seed=1.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const Config &config);
+
+    bool enabled() const { return site_ != FaultSite::None && rate > 0.0; }
+    FaultSite site() const { return site_; }
+
+    /** Draw: should a fault strike this event? Counts injections. */
+    bool strike();
+
+    /** Bit position (0..63) for the flip. */
+    unsigned bitToFlip() { return static_cast<unsigned>(rng.below(64)); }
+
+    /** Raw random value (e.g. to pick a victim IRB entry). */
+    std::uint64_t randomValue() { return rng.next(); }
+
+    /** The checker caught an injected fault. */
+    void recordDetected() { ++numDetected; }
+
+    /** A corrupted pair committed with a passing check (silent escape). */
+    void recordEscaped() { ++numEscaped; }
+
+    /** An injected fault was squashed before reaching the checker. */
+    void recordSquashed() { ++numSquashed; }
+
+    std::uint64_t injected() const { return numInjected.value(); }
+    std::uint64_t detected() const { return numDetected.value(); }
+    std::uint64_t escaped() const { return numEscaped.value(); }
+    std::uint64_t squashed() const { return numSquashed.value(); }
+
+    stats::Group &statGroup() { return group; }
+
+  private:
+    FaultSite site_ = FaultSite::None;
+    double rate = 0.0;
+    Rng rng;
+
+    stats::Group group{"fault"};
+    stats::Scalar numInjected;
+    stats::Scalar numDetected;
+    stats::Scalar numEscaped;
+    stats::Scalar numSquashed;
+};
+
+/**
+ * Commit-time pair checker ("Check & Retire" of Figure 1). Compares the
+ * ALU-equivalent results of a (primary, duplicate) pair; stores also
+ * compare their data operand.
+ */
+class Checker
+{
+  public:
+    explicit Checker() = default;
+
+    /** Compare the two copies; true means the pair may retire. */
+    bool
+    check(RegVal primary, RegVal duplicate)
+    {
+        ++numChecks;
+        if (primary == duplicate)
+            return true;
+        ++numMismatches;
+        return false;
+    }
+
+    std::uint64_t checks() const { return numChecks.value(); }
+    std::uint64_t mismatches() const { return numMismatches.value(); }
+
+    void
+    registerStats(stats::Group &parent)
+    {
+        group.addScalar(&numChecks, "checks", "pair comparisons performed");
+        group.addScalar(&numMismatches, "mismatches",
+                        "pair comparisons that failed (rewinds)");
+        parent.addChild(&group);
+    }
+
+  private:
+    stats::Group group{"checker"};
+    stats::Scalar numChecks;
+    stats::Scalar numMismatches;
+};
+
+} // namespace direb
+
+#endif // DIREB_CORE_REDUNDANCY_HH

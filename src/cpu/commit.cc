@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Commit stage: in-order retirement, the DIE "Check & Retire" pair
+ * comparison, branch-predictor training, store performance at commit,
+ * commit-time IRB updates (through the IRB's write ports), and the
+ * checker-triggered instruction rewind.
+ */
+
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+
+namespace direb
+{
+
+void
+OooCore::retireEntry(RuuEntry &e)
+{
+    panic_if(e.wrongPath, "retiring a wrong-path entry (pc %#llx)",
+             static_cast<unsigned long long>(e.pc));
+
+    if (isControl(e.inst.op))
+        bp->update(e.pc, e.inst, e.outcome.taken, e.outcome.target);
+
+    if (isStore(e.inst.op)) {
+        // The store performs its single (primary) cache access at commit.
+        fus->tryMemPort(now); // consume a port if one is free
+        memHier->dataAccess(e.outcome.effAddr, true);
+    }
+
+    if (e.holdsLsqSlot) {
+        panic_if(lsqUsed == 0, "LSQ accounting underflow at commit");
+        --lsqUsed;
+    }
+}
+
+void
+OooCore::faultRewind(std::size_t pair_offset)
+{
+    panic_if(pair_offset != 0, "rewind only defined at the RUU head");
+
+    // Rebuild the replay stream in strict program order: first the
+    // correct-path RUU contents (the faulting pair included), then any
+    // replay records already re-fetched into the IFQ but not dispatched,
+    // then whatever was still pending from an earlier rewind. Track the
+    // youngest history checkpoint so the speculative global history can
+    // be repaired past everything being replayed.
+    std::deque<ReplayRecord> records;
+    std::uint64_t rewind_hist = bp->committedHistory();
+    for (std::size_t off = 0; off < ruuCount; ++off) {
+        RuuEntry &e = entryAt(off);
+        if (e.wrongPath || e.isDup)
+            continue;
+        if (e.hasPrediction) {
+            rewind_hist = isBranch(e.inst.op)
+                ? (e.histAtFetch << 1) | (e.outcome.taken ? 1 : 0)
+                : e.histAtFetch;
+        }
+        records.push_back({e.inst, e.pc, e.outcome});
+    }
+    for (const FetchedInst &fi : ifq) {
+        if (fi.hasOutcome)
+            records.push_back({fi.inst, fi.pc, fi.savedOutcome});
+    }
+    records.insert(records.end(), replayQueue.begin(), replayQueue.end());
+    replayQueue = std::move(records);
+    panic_if(replayQueue.empty(), "rewind with nothing to replay");
+
+    // Faults pending in younger entries never reach the checker; also
+    // invalidate every squashed entry's seq so dangling dependence edges
+    // and create-vector slots cannot match reused slots.
+    for (std::size_t off = 0; off < ruuCount; ++off) {
+        RuuEntry &e = entryAt(off);
+        if (off >= 2 && e.faulted)
+            injector->recordSquashed();
+        e.seq = invalidSeq;
+    }
+
+    ruuCount = 0;
+    lsqUsed = 0;
+    rebuildCreateVectors();
+    specCtx.exitSpec();
+    ifq.clear();
+
+    haltSeen = false; // a pending HALT re-arrives through the replay
+    fetchPc = replayQueue.back().outcome.nextPc;
+    fetchStallUntil = now + p.redirectPenalty;
+    lastFetchBlock = invalidAddr;
+    bp->recoverHistory(rewind_hist);
+    ++numRewinds;
+}
+
+void
+OooCore::commitStage()
+{
+    unsigned budget = p.commitWidth;
+    const bool dual = p.mode != ExecMode::Sie;
+
+    while (budget > 0 && ruuCount > 0 && running) {
+        RuuEntry &head = ruu[ruuHead];
+        if (!head.completed)
+            break;
+
+        if (!dual) {
+            retireEntry(head);
+            ruuHead = (ruuHead + 1) % p.ruuSize;
+            --ruuCount;
+            --budget;
+            ++numEntriesCommitted;
+            ++numArchInsts;
+            lastCommitCycle = now;
+
+            if (head.isHalt) {
+                finishRun(badPcSeen ? StopReason::BadPc
+                                    : StopReason::Halted);
+                return;
+            }
+            if (numArchInsts.value() >= maxArchInsts) {
+                finishRun(StopReason::InstLimit);
+                return;
+            }
+            continue;
+        }
+
+        // DIE modes: the pair occupies two adjacent entries and retires
+        // (and counts against commit width) as two entries.
+        if (budget < 2)
+            break;
+        panic_if(ruuCount < 2, "primary without duplicate at commit");
+        RuuEntry &dup = ruu[(ruuHead + 1) % p.ruuSize];
+        panic_if(!dup.isDup || dup.pairIdx != static_cast<int>(ruuHead),
+                 "RUU head is not a well-formed pair");
+        if (!dup.completed)
+            break;
+
+        const bool ok = pairChecker.check(head.checkValue, dup.checkValue);
+        if (!ok) {
+            // Without injection enabled a mismatch can only be a
+            // simulator bug: fail loudly.
+            panic_if(!injector->enabled(),
+                     "checker mismatch without injected fault at pc %#llx "
+                     "(simulator bug)",
+                     static_cast<unsigned long long>(head.pc));
+            injector->recordDetected();
+            // A failing check invalidates the IRB entry for this PC, so
+            // the replayed duplicate cannot pick the bad value up again.
+            if (reuseBuffer)
+                reuseBuffer->invalidate(head.pc);
+            faultRewind(0);
+            return;
+        }
+        if (head.faulted || dup.faulted) {
+            // A corrupted pair slipped through (identical corruption on
+            // both copies — the FwdBoth scenario of Figure 6(c)).
+            injector->recordEscaped();
+        }
+
+        retireEntry(head);
+
+        // Commit-time IRB update (paper §3.2: off the critical path,
+        // through the write/rw ports). A reuse hit needs no rewrite —
+        // the stored tuple is bit-identical already.
+        if (reuseBuffer && dup.cls != OpClass::Nop &&
+            !isOutput(dup.inst.op) && !dup.reuseHit) {
+            reuseBuffer->update(head.pc, head.outcome.op1Val,
+                                head.outcome.op2Val, head.outcome.result);
+        }
+        // Fault site "irb": a transient strikes a random live entry; it
+        // is caught when (and only when) a duplicate later reuses it.
+        if (reuseBuffer && injector->site() == FaultSite::Irb &&
+            injector->strike()) {
+            reuseBuffer->corruptRandomEntry(injector->randomValue(),
+                                            injector->bitToFlip());
+        }
+
+        const bool was_halt = head.isHalt;
+        ruuHead = (ruuHead + 2) % p.ruuSize;
+        ruuCount -= 2;
+        budget -= 2;
+        numEntriesCommitted += 2;
+        ++numArchInsts;
+        lastCommitCycle = now;
+
+        if (was_halt) {
+            finishRun(badPcSeen ? StopReason::BadPc : StopReason::Halted);
+            return;
+        }
+        if (numArchInsts.value() >= maxArchInsts) {
+            finishRun(StopReason::InstLimit);
+            return;
+        }
+    }
+}
+
+} // namespace direb

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * OooCore construction, the main run loop, RUU bookkeeping, and the squash
+ * machinery shared by branch-misprediction recovery and fault rewinds.
+ */
+
+#include "cpu/ooo_core.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+ExecMode
+execModeFromName(const std::string &name)
+{
+    if (name == "sie")
+        return ExecMode::Sie;
+    if (name == "die")
+        return ExecMode::Die;
+    if (name == "die-irb" || name == "dieirb")
+        return ExecMode::DieIrb;
+    fatal("unknown execution mode '%s'", name.c_str());
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Sie: return "sie";
+      case ExecMode::Die: return "die";
+      case ExecMode::DieIrb: return "die-irb";
+    }
+    return "?";
+}
+
+CoreParams
+CoreParams::fromConfig(const Config &config)
+{
+    CoreParams p;
+    p.mode = execModeFromName(config.getString("core.mode", "sie"));
+    p.fetchWidth =
+        static_cast<unsigned>(config.getUint("width.fetch", 8));
+    p.decodeWidth =
+        static_cast<unsigned>(config.getUint("width.decode", 8));
+    p.issueWidth = static_cast<unsigned>(config.getUint("width.issue", 8));
+    p.commitWidth =
+        static_cast<unsigned>(config.getUint("width.commit", 8));
+    p.ruuSize = config.getUint("ruu.size", 128);
+    p.lsqSize = config.getUint("lsq.size", 64);
+    p.ifqSize = config.getUint("ifq.size", 2 * p.fetchWidth);
+    p.redirectPenalty = config.getUint("redirect.penalty", 2);
+    p.dupOwnDataflow = config.getBool("dieirb.dup_own_dataflow", false);
+    p.irbConsumesIssueSlot =
+        config.getBool("irb.consumes_issue_slot", false);
+
+    fatal_if(p.fetchWidth == 0 || p.decodeWidth == 0 || p.issueWidth == 0 ||
+                 p.commitWidth == 0,
+             "pipeline widths must be positive");
+    fatal_if(p.ruuSize < 4, "ruu.size too small");
+    fatal_if(p.mode != ExecMode::Sie && p.ruuSize % 2 != 0,
+             "DIE modes need an even ruu.size");
+    return p;
+}
+
+OooCore::OooCore(const Program &program, const Config &config)
+    : p(CoreParams::fromConfig(config)), prog(program), arch(mem),
+      specCtx(arch)
+{
+    bp = std::make_unique<BranchPredictor>(config);
+    memHier = std::make_unique<MemHierarchy>(config);
+    fus = std::make_unique<FuPool>(config);
+    injector = std::make_unique<FaultInjector>(config);
+    if (p.mode == ExecMode::DieIrb)
+        reuseBuffer = std::make_unique<Irb>(config);
+
+    ruu.resize(p.ruuSize);
+    createVec[0].assign(numArchRegs, Producer{});
+    createVec[1].assign(numArchRegs, Producer{});
+
+    loadProgram(prog, mem, arch);
+    fetchPc = prog.entry;
+
+    group.addScalar(&numCycles, "cycles", "simulated cycles");
+    group.addScalar(&numArchInsts, "arch_insts",
+                    "architectural instructions committed");
+    group.addScalar(&numEntriesCommitted, "entries_committed",
+                    "RUU entries retired (2x arch insts under DIE)");
+    group.addScalar(&numDispatched, "dispatched", "RUU entries dispatched");
+    group.addScalar(&numWrongPathDispatched, "wrong_path",
+                    "wrong-path RUU entries dispatched");
+    group.addScalar(&numIssuedTotal, "issued",
+                    "RUU entries issued to functional units");
+    group.addScalar(&numBypassedAlu, "bypassed_alu",
+                    "duplicates that skipped the ALUs via IRB reuse");
+    group.addScalar(&numRecoveries, "recoveries",
+                    "branch misprediction recoveries");
+    group.addScalar(&numRewinds, "rewinds", "checker-triggered rewinds");
+    group.addScalar(&numDispatchStallRuu, "dispatch_stall_ruu",
+                    "dispatch cycles stalled: RUU full");
+    group.addScalar(&numDispatchStallLsq, "dispatch_stall_lsq",
+                    "dispatch cycles stalled: LSQ full");
+    group.addScalar(&numIssueStallFu, "issue_stall_fu",
+                    "ready instructions denied a functional unit");
+    group.addScalar(&numLoadsForwarded, "loads_forwarded",
+                    "loads served by store-to-load forwarding");
+    group.addScalar(&numLoadsBlocked, "loads_blocked",
+                    "load-issue attempts blocked by unresolved stores");
+    ipcFormula = stats::Formula(&numArchInsts, &numCycles);
+    group.addFormula(&ipcFormula, "ipc", "architectural IPC");
+
+    group.addChild(&bp->statGroup());
+    group.addChild(&memHier->statGroup());
+    group.addChild(&fus->statGroup());
+    group.addChild(&injector->statGroup());
+    pairChecker.registerStats(group);
+    if (reuseBuffer)
+        group.addChild(&reuseBuffer->statGroup());
+}
+
+OooCore::~OooCore() = default;
+
+OooCore::RuuEntry &
+OooCore::entryAt(std::size_t offset)
+{
+    panic_if(offset >= ruuCount, "RUU offset %zu out of range (count %zu)",
+             offset, ruuCount);
+    return ruu[(ruuHead + offset) % p.ruuSize];
+}
+
+const OooCore::RuuEntry &
+OooCore::entryAt(std::size_t offset) const
+{
+    return const_cast<OooCore *>(this)->entryAt(offset);
+}
+
+int
+OooCore::allocEntry()
+{
+    panic_if(ruuCount >= p.ruuSize, "RUU overflow");
+    const int idx = static_cast<int>((ruuHead + ruuCount) % p.ruuSize);
+    ++ruuCount;
+    ruu[idx] = RuuEntry{};
+    ruu[idx].seq = nextSeq++;
+    return idx;
+}
+
+bool
+OooCore::ruuFull(unsigned needed) const
+{
+    return ruuCount + needed > p.ruuSize;
+}
+
+void
+OooCore::rebuildCreateVectors()
+{
+    createVec[0].assign(numArchRegs, Producer{});
+    createVec[1].assign(numArchRegs, Producer{});
+    for (std::size_t off = 0; off < ruuCount; ++off) {
+        const int idx = static_cast<int>((ruuHead + off) % p.ruuSize);
+        const RuuEntry &e = ruu[idx];
+        const RegId dst = e.inst.dstReg();
+        if (dst == noReg)
+            continue;
+        const bool own_dataflow =
+            p.mode == ExecMode::Die ||
+            (p.mode == ExecMode::DieIrb && p.dupOwnDataflow);
+        if (!e.isDup)
+            createVec[0][dst] = {idx, e.seq};
+        else if (own_dataflow)
+            createVec[1][dst] = {idx, e.seq};
+    }
+}
+
+void
+OooCore::squashYoungerThan(std::size_t keep_count)
+{
+    panic_if(keep_count > ruuCount, "bad squash point");
+    for (std::size_t off = keep_count; off < ruuCount; ++off) {
+        RuuEntry &e = entryAt(off);
+        if (e.holdsLsqSlot) {
+            panic_if(lsqUsed == 0, "LSQ accounting underflow");
+            --lsqUsed;
+        }
+        if (e.faulted)
+            injector->recordSquashed();
+        e.seq = invalidSeq; // invalidate dangling dependence edges
+    }
+    ruuCount = keep_count;
+    rebuildCreateVectors();
+}
+
+void
+OooCore::finishRun(StopReason reason)
+{
+    running = false;
+    stopReason = reason;
+}
+
+void
+OooCore::tick()
+{
+    if (reuseBuffer)
+        reuseBuffer->beginCycle();
+
+    commitStage();
+    if (!running)
+        return;
+    writebackStage();
+    memoryStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+
+    ++now;
+    ++numCycles;
+
+    // Deadlock detector: the pipeline must retire something eventually.
+    panic_if(ruuCount > 0 && now - lastCommitCycle > 200'000,
+             "pipeline deadlock at cycle %llu (pc %#llx, %zu in RUU)",
+             static_cast<unsigned long long>(now),
+             static_cast<unsigned long long>(entryAt(0).pc), ruuCount);
+}
+
+CoreResult
+OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
+{
+    maxArchInsts = max_insts;
+    while (running && now < max_cycles)
+        tick();
+    if (running)
+        finishRun(StopReason::InstLimit);
+
+    CoreResult r;
+    r.stop = stopReason;
+    r.cycles = now;
+    r.archInsts = numArchInsts.value();
+    r.ruuEntriesCommitted = numEntriesCommitted.value();
+    r.ipc = r.cycles ? static_cast<double>(r.archInsts) / r.cycles : 0.0;
+    return r;
+}
+
+} // namespace direb

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Dispatch stage: in-order functional execution (SimpleScalar style),
+ * misprediction detection, RUU/LSQ allocation, DIE duplication into two
+ * adjacent entries, dependence linking through the per-stream create
+ * vectors, and the forwarding-fault injection points of §3.4.
+ */
+
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+
+namespace direb
+{
+
+void
+OooCore::linkSources(RuuEntry &e, int idx, unsigned stream)
+{
+    const RegId srcs[2] = {e.inst.srcReg1(), e.inst.srcReg2()};
+    for (const RegId src : srcs) {
+        if (src == noReg)
+            continue;
+        const Producer &prod = createVec[stream][src];
+        if (prod.idx < 0)
+            continue;
+        RuuEntry &pe = ruu[prod.idx];
+        if (pe.seq != prod.seq || pe.completed)
+            continue; // producer retired/squashed/done: operand is ready
+        pe.dependents.push_back({idx, e.seq});
+        ++e.srcPending;
+    }
+}
+
+void
+OooCore::setupIrbFields(RuuEntry &dup, const FetchedInst &fi)
+{
+    // The 3-stage pipelined lookup (Figure 3) starts at fetch and is
+    // complete by the time the instruction reaches the issue window; it
+    // is port-arbitrated here, at window entry, which paces lookups at
+    // the DIE dispatch rate (<= width/2 per cycle) — the basis of the
+    // paper's 4R/2W/2RW sufficiency argument. The result becomes usable
+    // one cycle later, i.e. at the duplicate's first issue opportunity.
+    // Loads/stores participate for address generation only; outputs and
+    // NOP/HALT produce nothing worth reusing.
+    const bool eligible =
+        dup.cls != OpClass::Nop && !isOutput(dup.inst.op);
+    if (!eligible)
+        return;
+    dup.irb = reuseBuffer->lookup(dup.pc);
+    dup.irbReadyAt = now + 1;
+    dup.irbCandidate = dup.irb.pcHit;
+}
+
+void
+OooCore::maybeInjectForwardFault(RuuEntry &prim, RuuEntry &dup)
+{
+    const FaultSite site = injector->site();
+    if (site != FaultSite::FwdOne && site != FaultSite::FwdBoth)
+        return;
+    // A forwarding fault needs a forwarded operand to ride on.
+    if (dup.srcPending == 0 && prim.srcPending == 0)
+        return;
+    if (!injector->strike())
+        return;
+    const RegVal flip = RegVal(1) << injector->bitToFlip();
+    if (site == FaultSite::FwdBoth && p.mode == ExecMode::DieIrb) {
+        // DIE-IRB forwards primary results to BOTH streams on one bus: a
+        // strike there corrupts both copies identically -> undetectable.
+        prim.checkValue ^= flip;
+        dup.checkValue ^= flip;
+        prim.faulted = dup.faulted = true;
+    } else {
+        // Plain DIE keeps per-stream dataflow, so any single forwarding
+        // strike lands on one stream's copy only.
+        dup.checkValue ^= flip;
+        dup.faulted = true;
+    }
+}
+
+void
+OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
+{
+    const bool dual = p.mode != ExecMode::Sie;
+    const bool was_spec = specCtx.inSpec();
+
+    ExecOutcome outcome;
+    bool synthesized_halt = false;
+    if (fi.hasOutcome) {
+        outcome = fi.savedOutcome;
+    } else if (!was_spec && !prog.inText(fi.pc)) {
+        // The committed path left the text segment: end the program.
+        outcome.nextPc = fi.pc + 4;
+        outcome.halted = true;
+        synthesized_halt = true;
+        badPcSeen = true;
+    } else {
+        outcome = execute(fi.inst, fi.pc, specCtx);
+    }
+
+    // Misprediction detection: the branch itself is correct-path; younger
+    // instructions execute on shadow state until it resolves.
+    bool mispredicted = false;
+    if (!was_spec && !fi.hasOutcome && outcome.nextPc != fi.predNextPc) {
+        mispredicted = true;
+        specCtx.enterSpec();
+    }
+
+    if (!was_spec && outcome.halted)
+        haltSeen = true;
+
+    const int idx = allocEntry();
+    RuuEntry &e = ruu[idx];
+    e.inst = fi.inst;
+    e.pc = fi.pc;
+    e.outcome = outcome;
+    e.cls = opClassOf(fi.inst.op);
+    e.wrongPath = was_spec;
+    e.dispatchedAt = now;
+    e.predTaken = fi.predTaken;
+    e.predNextPc = fi.predNextPc;
+    e.histAtFetch = fi.histAtFetch;
+    e.hasPrediction = fi.hasPrediction;
+    e.mispredicted = mispredicted;
+    e.isMemOp = isMem(fi.inst.op);
+    e.needsMemAccess = isLoad(fi.inst.op);
+    e.checkValue = outcome.result;
+    e.isHalt = outcome.halted; // covers HALT, synthesized, and replayed
+    if (synthesized_halt) {
+        e.cls = OpClass::Nop;
+        e.isMemOp = false;
+        e.needsMemAccess = false;
+    }
+
+    linkSources(e, idx, 0);
+
+    if (e.isMemOp) {
+        e.holdsLsqSlot = true;
+        ++lsqUsed;
+    }
+
+    const RegId dst = e.inst.dstReg();
+
+    ++numDispatched;
+    if (e.wrongPath)
+        ++numWrongPathDispatched;
+    width_left -= 1;
+
+    if (!dual) {
+        if (dst != noReg)
+            createVec[0][dst] = {idx, e.seq};
+        return;
+    }
+
+    // Duplicate-stream entry, adjacent in the RUU (paper Figure 1).
+    const int didx = allocEntry();
+    RuuEntry &d = ruu[didx];
+    RuuEntry &prim = ruu[idx]; // re-reference: allocEntry may not move,
+                               // but be explicit about aliasing
+    d.inst = prim.inst;
+    d.pc = prim.pc;
+    d.outcome = prim.outcome;
+    d.cls = prim.cls;
+    d.isDup = true;
+    d.wrongPath = prim.wrongPath;
+    d.dispatchedAt = now;
+    d.predTaken = prim.predTaken;
+    d.predNextPc = prim.predNextPc;
+    d.mispredicted = prim.mispredicted;
+    d.isMemOp = prim.isMemOp;
+    d.needsMemAccess = false; // memory accessed once, by the primary
+    d.checkValue = prim.outcome.result;
+    d.isHalt = prim.isHalt;
+    if (synthesized_halt)
+        d.cls = OpClass::Nop;
+
+    prim.pairIdx = didx;
+    d.pairIdx = idx;
+
+    // Dataflow: plain DIE keeps the duplicate stream independent
+    // (createVec[1]); DIE-IRB forwards primary results to both streams —
+    // unless the dup_own_dataflow ablation keeps the streams independent
+    // even with the IRB. The duplicate links its sources BEFORE the
+    // primary registers as a producer, so an instruction like
+    // "addi s0, s0, 1" reads the previous producer of s0 in both streams,
+    // not its own primary.
+    const bool own_dataflow =
+        p.mode == ExecMode::Die ||
+        (p.mode == ExecMode::DieIrb && p.dupOwnDataflow);
+    linkSources(d, didx, own_dataflow ? 1 : 0);
+    if (dst != noReg) {
+        createVec[0][dst] = {idx, prim.seq};
+        if (own_dataflow)
+            createVec[1][dst] = {didx, d.seq};
+    }
+
+    if (p.mode == ExecMode::DieIrb)
+        setupIrbFields(d, fi);
+
+    maybeInjectForwardFault(prim, d);
+
+    ++numDispatched;
+    if (d.wrongPath)
+        ++numWrongPathDispatched;
+    width_left -= 1;
+}
+
+void
+OooCore::dispatchStage()
+{
+    const unsigned units_per_inst = p.mode == ExecMode::Sie ? 1 : 2;
+    unsigned budget = p.decodeWidth;
+
+    while (budget >= units_per_inst && !ifq.empty()) {
+        if (haltSeen)
+            break;
+        const FetchedInst &fi = ifq.front();
+
+        if (ruuFull(units_per_inst)) {
+            ++numDispatchStallRuu;
+            break;
+        }
+        if (isMem(fi.inst.op) && lsqUsed >= p.lsqSize) {
+            ++numDispatchStallLsq;
+            break;
+        }
+
+        const FetchedInst taken = fi;
+        ifq.pop_front();
+        dispatchOne(taken, budget);
+    }
+}
+
+} // namespace direb

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Back-end stages: writeback/wakeup (including the IRB reuse test, which
+ * the paper folds into wakeup via the Rdy2L/Rdy2R flags), load/store
+ * queue memory issue with store-to-load forwarding, out-of-order
+ * select/issue against the FU pool, and branch-misprediction recovery.
+ */
+
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+
+namespace direb
+{
+
+void
+OooCore::wakeDependents(int idx)
+{
+    RuuEntry &e = ruu[idx];
+    for (const DepEdge &dep : e.dependents) {
+        RuuEntry &c = ruu[dep.idx];
+        if (c.seq != dep.seq)
+            continue; // consumer was squashed; slot may be reused
+        panic_if(c.srcPending == 0, "wakeup underflow (seq %llu)",
+                 static_cast<unsigned long long>(c.seq));
+        --c.srcPending;
+    }
+    e.dependents.clear();
+}
+
+void
+OooCore::completeEntry(int idx)
+{
+    RuuEntry &e = ruu[idx];
+    e.completed = true;
+
+    // Fault site "fu": a transient strikes the unit producing this value.
+    if (injector->site() == FaultSite::Fu && e.cls != OpClass::Nop &&
+        !e.bypassedAlu && injector->strike()) {
+        e.checkValue ^= RegVal(1) << injector->bitToFlip();
+        e.faulted = true;
+    }
+
+    // In DIE-IRB only primary results are forwarded; duplicate completions
+    // wake nobody (their dependents list is empty by construction).
+    wakeDependents(idx);
+
+    if (e.mispredicted && !e.wrongPath && !e.recoveryDone)
+        handleMispredictRecovery(idx);
+}
+
+void
+OooCore::tryReuseTest(RuuEntry &e)
+{
+    if (!e.isDup || !e.irbCandidate || e.reuseTested || e.issued ||
+        e.completed || e.srcPending > 0 || now < e.irbReadyAt) {
+        return;
+    }
+    e.reuseTested = true;
+    // A corrupted forwarded operand (fault injection) cannot match the
+    // stored operand values: the reuse test fails and the duplicate
+    // executes with the corrupted input — exactly the §3.4 behaviour.
+    const bool pass = !e.faulted && e.irb.op1 == e.outcome.op1Val &&
+                      e.irb.op2 == e.outcome.op2Val;
+    reuseBuffer->recordReuseTest(pass);
+    if (!pass)
+        return;
+
+    // Reuse hit: pick up the stored result and skip the ALUs entirely —
+    // no issue slot, no functional unit, no result forwarding.
+    e.reuseHit = true;
+    e.bypassedAlu = true;
+    e.issued = true;
+    e.completeAt = now + 1;
+    e.checkValue = e.irb.result;
+    ++numBypassedAlu;
+}
+
+void
+OooCore::writebackStage()
+{
+    // Oldest-first scan; a recovery squash inside completeEntry() shrinks
+    // ruuCount, which the loop condition re-checks every iteration.
+    for (std::size_t off = 0; off < ruuCount; ++off) {
+        const int idx = static_cast<int>((ruuHead + off) % p.ruuSize);
+        RuuEntry &e = ruu[idx];
+        if (e.completed)
+            continue;
+        // Duplicate loads: address generation may be done, but the
+        // register copy only arrives when the single (primary) memory
+        // access returns — the duplicate stream must not see a faster
+        // memory than the primary one.
+        if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
+            if (ruu[e.pairIdx].completed)
+                completeEntry(idx);
+            continue;
+        }
+        if (!e.issued || e.completeAt > now)
+            continue;
+        if (e.needsMemAccess && e.addrDone && !e.memStarted)
+            continue; // load waiting for a memory port / disambiguation
+        if (e.addrGenPending) {
+            e.addrGenPending = false;
+            e.addrDone = true;
+            if (e.needsMemAccess)
+                continue; // primary load: wait for the memory stage
+            if (e.isDup && isLoad(e.inst.op)) {
+                // Re-checked above next cycle (or now if the primary is
+                // already done).
+                if (ruu[e.pairIdx].completed)
+                    completeEntry(idx);
+                continue;
+            }
+            // Stores and address-only ops are done after address
+            // generation (the access happens once, at primary commit).
+        }
+        completeEntry(idx);
+    }
+}
+
+bool
+OooCore::olderStoreBlocks(std::size_t load_offset, bool &forwarded) const
+{
+    const RuuEntry &load = entryAt(load_offset);
+    forwarded = false;
+    for (std::size_t off = 0; off < load_offset; ++off) {
+        const RuuEntry &e = entryAt(off);
+        if (!isStore(e.inst.op) || e.isDup)
+            continue;
+        if (!e.addrDone)
+            return true; // conservative disambiguation
+        // 8-byte-granular overlap check; latest matching store wins.
+        if ((e.outcome.effAddr >> 3) == (load.outcome.effAddr >> 3))
+            forwarded = true;
+    }
+    return false;
+}
+
+void
+OooCore::memoryStage()
+{
+    for (std::size_t off = 0; off < ruuCount; ++off) {
+        RuuEntry &e = entryAt(off);
+        if (!e.needsMemAccess || !e.addrDone || e.memStarted || e.completed)
+            continue;
+        bool forwarded = false;
+        if (olderStoreBlocks(off, forwarded)) {
+            ++numLoadsBlocked;
+            continue;
+        }
+        if (forwarded) {
+            e.memStarted = true;
+            e.completeAt = now + 1;
+            ++numLoadsForwarded;
+            continue;
+        }
+        if (!fus->tryMemPort(now))
+            continue;
+        e.memStarted = true;
+        e.completeAt = now + memHier->dataAccess(e.outcome.effAddr, false);
+    }
+}
+
+void
+OooCore::issueStage()
+{
+    fus->beginCycle(now);
+
+    // Reuse-test pre-pass: the paper performs the operand comparison as
+    // part of wakeup, so reuse hits never compete for issue bandwidth.
+    // The irb.consumes_issue_slot ablation instead treats the IRB like a
+    // functional unit (pre-[12] designs): hits are tested in the issue
+    // loop and burn an issue slot.
+    if (reuseBuffer && !p.irbConsumesIssueSlot) {
+        for (std::size_t off = 0; off < ruuCount; ++off)
+            tryReuseTest(entryAt(off));
+    }
+
+    unsigned slots = p.issueWidth;
+    for (std::size_t off = 0; off < ruuCount && slots > 0; ++off) {
+        RuuEntry &e = entryAt(off);
+        if (e.issued || e.completed || e.srcPending > 0)
+            continue;
+        // Rdy2L/Rdy2R semantics (paper Figure 5): a duplicate with a
+        // pending reuse test is not schedulable until the test resolves.
+        if (e.irbCandidate && !e.reuseTested) {
+            if (!p.irbConsumesIssueSlot)
+                continue;
+            tryReuseTest(e);
+            if (!e.reuseTested)
+                continue; // IRB data still in flight
+            if (e.reuseHit) {
+                --slots; // ablation: the hit occupies issue bandwidth
+                continue;
+            }
+        }
+        Cycle lat = 1;
+        if (!fus->tryIssue(e.cls, now, lat)) {
+            ++numIssueStallFu;
+            continue; // other ready instructions may still find a unit
+        }
+        e.issued = true;
+        e.completeAt = now + lat;
+        if (e.isMemOp)
+            e.addrGenPending = true; // first completion = address ready
+        --slots;
+        ++numIssuedTotal;
+    }
+}
+
+void
+OooCore::handleMispredictRecovery(int idx)
+{
+    RuuEntry &e = ruu[idx];
+    panic_if(!replayQueue.empty(), "recovery during fault replay");
+
+    // Keep everything up to and including the branch's pair.
+    const std::size_t own_off =
+        (static_cast<std::size_t>(idx) + p.ruuSize - ruuHead) % p.ruuSize;
+    std::size_t keep = own_off + 1;
+    if (e.pairIdx >= 0) {
+        const std::size_t pair_off =
+            (static_cast<std::size_t>(e.pairIdx) + p.ruuSize - ruuHead) %
+            p.ruuSize;
+        keep = std::max(keep, pair_off + 1);
+        ruu[e.pairIdx].recoveryDone = true;
+    }
+    e.recoveryDone = true;
+
+    squashYoungerThan(keep);
+    specCtx.exitSpec();
+    ifq.clear();
+
+    fetchPc = e.outcome.nextPc;
+    fetchStallUntil = now + p.redirectPenalty;
+    lastFetchBlock = invalidAddr;
+    // Repair the speculative global history to this branch's fetch-time
+    // checkpoint, shifted by its now-known actual direction.
+    if (e.hasPrediction) {
+        bp->recoverHistory(isBranch(e.inst.op)
+                               ? (e.histAtFetch << 1) |
+                                     (e.outcome.taken ? 1 : 0)
+                               : e.histAtFetch);
+    }
+    ++numRecoveries;
+}
+
+} // namespace direb

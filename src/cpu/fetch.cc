@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fetch stage: instruction-cache timing, branch prediction, IRB lookups
+ * (issued in parallel with fetch, per Figure 4 of the paper), and the
+ * fault-rewind replay path.
+ */
+
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+
+namespace direb
+{
+
+void
+OooCore::fetchStage()
+{
+    if (now < fetchStallUntil || haltSeen || !running)
+        return;
+
+    unsigned budget = p.fetchWidth;
+
+    // Charge I-cache timing once per block transition. Returns false and
+    // stalls the front end on a miss.
+    const auto charge_icache = [&](Addr pc) {
+        const Addr block_bytes = memHier->l1i().params().blockBytes;
+        const Addr block = pc & ~(block_bytes - 1);
+        if (block == lastFetchBlock)
+            return true;
+        const Cycle lat = memHier->instAccess(pc);
+        lastFetchBlock = block;
+        if (lat > memHier->l1i().params().hitLatency) {
+            fetchStallUntil = now + lat;
+            return false;
+        }
+        return true;
+    };
+
+    // Fault-rewind replay: re-inject the already-executed correct-path
+    // instructions with their saved outcomes (perfectly predicted).
+    while (!replayQueue.empty() && budget > 0 && ifq.size() < p.ifqSize) {
+        const ReplayRecord &r = replayQueue.front();
+        if (!charge_icache(r.pc))
+            return;
+        FetchedInst fi;
+        fi.inst = r.inst;
+        fi.pc = r.pc;
+        fi.fetchCycle = now;
+        fi.predNextPc = r.outcome.nextPc;
+        fi.predTaken = r.outcome.taken;
+        fi.hasOutcome = true;
+        fi.savedOutcome = r.outcome;
+        ifq.push_back(fi);
+        replayQueue.pop_front();
+        --budget;
+    }
+    if (!replayQueue.empty())
+        return;
+
+    while (budget > 0 && ifq.size() < p.ifqSize) {
+        if (!charge_icache(fetchPc))
+            return;
+
+        FetchedInst fi;
+        fi.inst = prog.fetch(fetchPc); // NOP outside the text segment
+        fi.pc = fetchPc;
+        fi.fetchCycle = now;
+
+        const BranchPrediction pred = bp->predict(fetchPc, fi.inst);
+        fi.predTaken = pred.taken;
+        fi.predNextPc = pred.taken ? pred.target : fetchPc + 4;
+        fi.histAtFetch = pred.histAtFetch;
+        fi.hasPrediction = true;
+        ifq.push_back(fi);
+        --budget;
+
+        const bool redirect = fi.predNextPc != fetchPc + 4;
+        fetchPc = fi.predNextPc;
+        if (redirect)
+            break; // taken control transfer ends the fetch group
+    }
+}
+
+} // namespace direb

@@ -1,0 +1,138 @@
+#include "cpu/fu_pool.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+FuPool::FuPool(const Config &config)
+{
+    const auto count = [&](const char *key, unsigned def) {
+        const auto n = config.getUint(key, def);
+        fatal_if(n == 0, "%s must be positive", key);
+        return static_cast<std::size_t>(n);
+    };
+    intAlu.units.resize(count("fu.intalu", 4));
+    intMulDiv.units.resize(count("fu.intmul", 2));
+    fpAdd.units.resize(count("fu.fpadd", 2));
+    fpMulDiv.units.resize(count("fu.fpmul", 1));
+    memPorts.resize(count("fu.memport", 2));
+
+    const auto tim = [&](OpClass cls, const char *key, Cycle op_def,
+                         Cycle iss_def) {
+        auto &t = timings[static_cast<unsigned>(cls)];
+        t.opLatency = config.getUint(std::string("lat.") + key, op_def);
+        t.issueLatency =
+            config.getUint(std::string("lat.") + key + "_issue", iss_def);
+    };
+    tim(OpClass::IntAlu, "intalu", 1, 1);
+    tim(OpClass::IntMul, "intmul", 3, 1);
+    tim(OpClass::IntDiv, "intdiv", 20, 19);
+    tim(OpClass::FpAdd, "fpadd", 2, 1);
+    tim(OpClass::FpMul, "fpmul", 4, 1);
+    tim(OpClass::FpDiv, "fpdiv", 12, 12);
+    tim(OpClass::FpSqrt, "fpsqrt", 24, 24);
+    // Memory ops charge an IntAlu for address generation.
+    timings[static_cast<unsigned>(OpClass::MemRead)] =
+        timings[static_cast<unsigned>(OpClass::IntAlu)];
+    timings[static_cast<unsigned>(OpClass::MemWrite)] =
+        timings[static_cast<unsigned>(OpClass::IntAlu)];
+    timings[static_cast<unsigned>(OpClass::Nop)] = {1, 1};
+
+    group.addScalar(&numIssued, "issued", "operations issued to units");
+    group.addScalar(&numFuBusy, "fu_busy",
+                    "issue attempts rejected: all units busy");
+    group.addScalar(&numMemPortBusy, "memport_busy",
+                    "memory accesses delayed: all ports busy");
+}
+
+FuPool::Group_ *
+FuPool::groupFor(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::MemRead:  // address generation
+      case OpClass::MemWrite: // address generation
+        return &intAlu;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return &intMulDiv;
+      case OpClass::FpAdd:
+        return &fpAdd;
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return &fpMulDiv;
+      case OpClass::Nop:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+const FuPool::Group_ *
+FuPool::groupFor(OpClass cls) const
+{
+    return const_cast<FuPool *>(this)->groupFor(cls);
+}
+
+const OpTiming &
+FuPool::timing(OpClass cls) const
+{
+    return timings[static_cast<unsigned>(cls)];
+}
+
+unsigned
+FuPool::unitCount(OpClass cls) const
+{
+    const Group_ *g = groupFor(cls);
+    return g ? static_cast<unsigned>(g->units.size()) : 0;
+}
+
+bool
+FuPool::canIssue(OpClass cls, Cycle now) const
+{
+    const Group_ *g = groupFor(cls);
+    if (!g)
+        return true; // Nop class needs no unit
+    for (const auto &u : g->units) {
+        if (u.freeAt <= now)
+            return true;
+    }
+    return false;
+}
+
+bool
+FuPool::tryIssue(OpClass cls, Cycle now, Cycle &op_latency)
+{
+    const OpTiming &t = timing(cls);
+    Group_ *g = groupFor(cls);
+    if (!g) {
+        op_latency = 1;
+        return true;
+    }
+    for (auto &u : g->units) {
+        if (u.freeAt <= now) {
+            u.freeAt = now + t.issueLatency;
+            op_latency = t.opLatency;
+            ++numIssued;
+            return true;
+        }
+    }
+    ++numFuBusy;
+    return false;
+}
+
+bool
+FuPool::tryMemPort(Cycle now)
+{
+    for (auto &u : memPorts) {
+        if (u.freeAt <= now) {
+            u.freeAt = now + 1;
+            return true;
+        }
+    }
+    ++numMemPortBusy;
+    return false;
+}
+
+} // namespace direb

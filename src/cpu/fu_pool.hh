@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional-unit pool with SimpleScalar-style latency / issue-rate
+ * semantics.
+ *
+ * Units come in four physical kinds, each serving a set of operation
+ * classes: integer ALUs (IntAlu — also branches and address generation),
+ * integer multiplier/dividers (IntMul, IntDiv), FP adders (FpAdd — also
+ * compares/converts), and FP multiplier/divider/sqrt units (FpMul, FpDiv,
+ * FpSqrt). Memory ports are modelled separately. An operation occupies its
+ * unit for issueLatency cycles (non-pipelined ops block the unit) and
+ * produces its result after opLatency cycles.
+ */
+
+#ifndef DIREB_CPU_FU_POOL_HH
+#define DIREB_CPU_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace direb
+{
+
+/** Latency descriptor for one operation class. */
+struct OpTiming
+{
+    Cycle opLatency = 1;     //!< cycles until result available
+    Cycle issueLatency = 1;  //!< cycles the unit is blocked
+};
+
+/**
+ * Pool of functional units + memory ports.
+ *
+ * Config keys (defaults): fu.intalu=4, fu.intmul=2, fu.fpadd=2, fu.fpmul=1,
+ * fu.memport=2; lat.intmul=3, lat.intdiv=20/19, lat.fpadd=2, lat.fpmul=4,
+ * lat.fpdiv=12/12, lat.fpsqrt=24/24 (op/issue).
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const Config &config);
+
+    /** Per-cycle bookkeeping: nothing to do (units track freeAt), kept for
+     * symmetry and future port models. */
+    void beginCycle(Cycle now) {}
+
+    /**
+     * Try to claim a unit for @p cls at cycle @p now.
+     * @return true and set @p op_latency on success; false if all busy.
+     */
+    bool tryIssue(OpClass cls, Cycle now, Cycle &op_latency);
+
+    /** Would tryIssue succeed (no state change)? */
+    bool canIssue(OpClass cls, Cycle now) const;
+
+    /** Try to claim a cache port for a memory access at @p now. */
+    bool tryMemPort(Cycle now);
+
+    /** Timing of @p cls. */
+    const OpTiming &timing(OpClass cls) const;
+
+    /** Number of units able to execute @p cls. */
+    unsigned unitCount(OpClass cls) const;
+
+    stats::Group &statGroup() { return group; }
+
+    /** Count of issue attempts that failed because all units were busy. */
+    std::uint64_t structuralStalls() const { return numFuBusy.value(); }
+
+  private:
+    /** One physical unit: busy until freeAt. */
+    struct Unit
+    {
+        Cycle freeAt = 0;
+    };
+
+    /** Unit group serving a set of op classes. */
+    struct Group_
+    {
+        std::vector<Unit> units;
+    };
+
+    Group_ *groupFor(OpClass cls);
+    const Group_ *groupFor(OpClass cls) const;
+
+    Group_ intAlu;
+    Group_ intMulDiv;
+    Group_ fpAdd;
+    Group_ fpMulDiv;
+    std::vector<Unit> memPorts;
+
+    OpTiming timings[16];
+
+    stats::Group group{"fu"};
+    stats::Scalar numIssued;
+    stats::Scalar numFuBusy;
+    stats::Scalar numMemPortBusy;
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_FU_POOL_HH

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Execution-driven, cycle-level out-of-order superscalar core with a
+ * unified ROB + issue window (a SimpleScalar-style RUU), a load/store
+ * queue, a functional-unit pool, branch prediction with wrong-path
+ * execution, and the paper's three execution modes:
+ *
+ *  - SIE     — Single Instruction Execution (plain superscalar baseline);
+ *  - DIE     — Dual Instruction Execution: every instruction is duplicated
+ *              at dispatch into two adjacent RUU entries, the two streams
+ *              have independent dataflow, memory is accessed once, and
+ *              pairs are checked at commit (Ray et al. [24]);
+ *  - DIE-IRB — DIE + the paper's Instruction Reuse Buffer on the duplicate
+ *              stream: duplicates receive operands from *primary*-stream
+ *              producers, the reuse test happens at wakeup, and a passing
+ *              duplicate bypasses the ALUs (and the issue bandwidth)
+ *              entirely.
+ *
+ * Pipeline per cycle (processed commit-first so results flow one stage per
+ * cycle): commit -> writeback/wakeup -> LSQ memory issue -> select/issue
+ * -> dispatch (functional execution + duplication) -> fetch (+branch
+ * prediction + IRB lookup).
+ */
+
+#ifndef DIREB_CPU_OOO_CORE_HH
+#define DIREB_CPU_OOO_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/irb.hh"
+#include "core/redundancy.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/spec_state.hh"
+#include "mem/cache.hh"
+#include "vm/vm.hh"
+
+namespace direb
+{
+
+/** Redundancy mode of the core. */
+enum class ExecMode : std::uint8_t { Sie, Die, DieIrb };
+
+/** Parse "sie" / "die" / "die-irb". */
+ExecMode execModeFromName(const std::string &name);
+const char *execModeName(ExecMode mode);
+
+/** Machine-width / capacity parameters (paper §2.2 base configuration). */
+struct CoreParams
+{
+    ExecMode mode = ExecMode::Sie;
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 8;   //!< RUU entries dispatched per cycle
+    unsigned issueWidth = 8;    //!< instructions selected per cycle
+    unsigned commitWidth = 8;   //!< RUU entries retired per cycle
+    std::size_t ruuSize = 128;  //!< unified ROB+window entries
+    std::size_t lsqSize = 64;   //!< load/store queue entries
+    std::size_t ifqSize = 16;   //!< fetch/decode queue entries
+    Cycle redirectPenalty = 2;  //!< front-end bubble after squash
+
+    /**
+     * DIE-IRB design ablations (paper §3.3 defaults: primary-fed
+     * duplicates, reuse test folded into wakeup).
+     * @{
+     */
+    bool dupOwnDataflow = false;    //!< duplicates wait on dup producers
+    bool irbConsumesIssueSlot = false; //!< reuse hits burn issue bandwidth
+    /** @} */
+
+    /** Read core.* / width.* / ruu.* / lsq.* keys from @p config. */
+    static CoreParams fromConfig(const Config &config);
+};
+
+/** Final results of a timing run. */
+struct CoreResult
+{
+    StopReason stop = StopReason::InstLimit;
+    Cycle cycles = 0;
+    std::uint64_t archInsts = 0;   //!< architectural instructions committed
+    std::uint64_t ruuEntriesCommitted = 0;
+    double ipc = 0.0;              //!< architectural IPC
+};
+
+/**
+ * The out-of-order core. Owns all substrate components; construct one per
+ * (program, config) run.
+ */
+class OooCore
+{
+  public:
+    OooCore(const Program &program, const Config &config);
+    ~OooCore();
+
+    OooCore(const OooCore &) = delete;
+    OooCore &operator=(const OooCore &) = delete;
+
+    /** Run to completion (HALT / limits). */
+    CoreResult run(std::uint64_t max_insts = 50'000'000,
+                   Cycle max_cycles = 500'000'000);
+
+    /** Advance exactly one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    /** Committed architectural state (registers/memory/output). */
+    const ArchState &archState() const { return arch; }
+
+    /** Components (exposed for stats/bench inspection). @{ */
+    stats::Group &statGroup() { return group; }
+    BranchPredictor &predictor() { return *bp; }
+    MemHierarchy &memHierarchy() { return *memHier; }
+    FuPool &fuPool() { return *fus; }
+    Irb *irb() { return reuseBuffer.get(); }
+    FaultInjector &faultInjector() { return *injector; }
+    Checker &checker() { return pairChecker; }
+    const CoreParams &params() const { return p; }
+    /** @} */
+
+    Cycle cycle() const { return now; }
+    std::uint64_t committedArchInsts() const { return numArchInsts.value(); }
+    bool done() const { return !running; }
+
+  private:
+    // ---- pipeline structures ------------------------------------------------
+
+    /** An instruction waiting in the fetch/decode queue. */
+    struct FetchedInst
+    {
+        Inst inst;
+        Addr pc = 0;
+        Cycle fetchCycle = 0;
+        Addr predNextPc = 0;
+        bool predTaken = false;
+        std::uint64_t histAtFetch = 0; //!< bp history checkpoint
+        bool hasPrediction = false;    //!< false for replay records
+        // Fault-rewind replay: outcome already known, skip functional exec.
+        bool hasOutcome = false;
+        ExecOutcome savedOutcome;
+        bool synthesizedHalt = false;
+    };
+
+    /** A (consumer, seq) edge used for wakeup; seq guards reallocation. */
+    struct DepEdge
+    {
+        int idx;
+        InstSeq seq;
+    };
+
+    /** One RUU entry. */
+    struct RuuEntry
+    {
+        Inst inst;
+        Addr pc = 0;
+        InstSeq seq = invalidSeq;
+        ExecOutcome outcome;
+        OpClass cls = OpClass::Nop;
+
+        bool isDup = false;
+        int pairIdx = -1;        //!< partner entry (DIE modes)
+        bool wrongPath = false;  //!< dispatched in spec mode
+
+        unsigned srcPending = 0;
+        std::vector<DepEdge> dependents;
+        bool issued = false;
+        bool completed = false;
+        Cycle completeAt = 0;
+        Cycle dispatchedAt = 0;
+
+        // memory state machine (primary loads)
+        bool isMemOp = false;
+        bool needsMemAccess = false; //!< primary load: must access dcache
+        bool addrGenPending = false; //!< scheduled completion is addr-gen
+        bool addrDone = false;
+        bool memStarted = false;
+        bool holdsLsqSlot = false;
+
+        // control
+        bool predTaken = false;
+        Addr predNextPc = 0;
+        std::uint64_t histAtFetch = 0;
+        bool hasPrediction = false;
+        bool mispredicted = false;
+        bool recoveryDone = false;
+
+        // IRB (duplicate stream)
+        bool irbCandidate = false; //!< PC hit; reuse test pending
+        IrbLookup irb;
+        Cycle irbReadyAt = 0;
+        bool reuseTested = false;
+        bool reuseHit = false;
+        bool bypassedAlu = false;
+
+        // checker / fault injection
+        RegVal checkValue = 0;
+        bool faulted = false;
+
+        bool isHalt = false;
+    };
+
+    /** Record used to replay committed-path work after a fault rewind. */
+    struct ReplayRecord
+    {
+        Inst inst;
+        Addr pc;
+        ExecOutcome outcome;
+    };
+
+    // ---- pipeline stages (one call each per tick) ---------------------------
+    void commitStage();
+    void writebackStage();
+    void memoryStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // ---- helpers -------------------------------------------------------------
+    RuuEntry &entryAt(std::size_t offset);
+    const RuuEntry &entryAt(std::size_t offset) const;
+    int allocEntry();
+    bool ruuFull(unsigned needed) const;
+
+    void completeEntry(int idx);
+    void wakeDependents(int idx);
+    void tryReuseTest(RuuEntry &e);
+    void handleMispredictRecovery(int idx);
+    void squashYoungerThan(std::size_t keep_count);
+    void rebuildCreateVectors();
+    void faultRewind(std::size_t pair_offset);
+    void retireEntry(RuuEntry &e);
+    bool olderStoreBlocks(std::size_t load_offset, bool &forwarded) const;
+    void dispatchOne(const FetchedInst &fi, unsigned &width_left);
+    void linkSources(RuuEntry &e, int idx, unsigned stream);
+    void setupIrbFields(RuuEntry &dup, const FetchedInst &fi);
+    void maybeInjectForwardFault(RuuEntry &prim, RuuEntry &dup);
+    void finishRun(StopReason reason);
+
+    // ---- configuration & components -----------------------------------------
+    CoreParams p;
+    const Program &prog;
+
+    Memory mem;
+    ArchState arch;
+    SpecExecContext specCtx;
+
+    std::unique_ptr<BranchPredictor> bp;
+    std::unique_ptr<MemHierarchy> memHier;
+    std::unique_ptr<FuPool> fus;
+    std::unique_ptr<Irb> reuseBuffer;      //!< only in DIE-IRB mode
+    std::unique_ptr<FaultInjector> injector;
+    Checker pairChecker;
+
+    // ---- machine state --------------------------------------------------------
+    Cycle now = 0;
+    bool running = true;
+    StopReason stopReason = StopReason::InstLimit;
+    std::uint64_t maxArchInsts = 0;
+
+    std::vector<RuuEntry> ruu;
+    std::size_t ruuHead = 0;
+    std::size_t ruuCount = 0;
+    std::size_t lsqUsed = 0;
+    InstSeq nextSeq = 1;
+
+    /** Newest in-flight producer of a register (seq guards slot reuse). */
+    struct Producer
+    {
+        int idx = -1;
+        InstSeq seq = invalidSeq;
+    };
+
+    /** createVec[stream][reg] = newest in-flight producer. */
+    std::vector<Producer> createVec[2];
+
+    std::deque<FetchedInst> ifq;
+    std::deque<ReplayRecord> replayQueue;
+    Addr fetchPc = 0;
+    Cycle fetchStallUntil = 0;
+    Addr lastFetchBlock = invalidAddr;
+    bool haltSeen = false;   //!< stop fetching/dispatching new work
+    bool badPcSeen = false;
+
+    Cycle lastCommitCycle = 0;
+
+    // ---- statistics ------------------------------------------------------------
+    stats::Group group{"core"};
+    stats::Scalar numCycles;
+    stats::Scalar numArchInsts;
+    stats::Scalar numEntriesCommitted;
+    stats::Scalar numDispatched;
+    stats::Scalar numWrongPathDispatched;
+    stats::Scalar numIssuedTotal;
+    stats::Scalar numBypassedAlu;
+    stats::Scalar numRecoveries;
+    stats::Scalar numRewinds;
+    stats::Scalar numDispatchStallRuu;
+    stats::Scalar numDispatchStallLsq;
+    stats::Scalar numIssueStallFu;
+    stats::Scalar numLoadsForwarded;
+    stats::Scalar numLoadsBlocked;
+    stats::Formula ipcFormula;
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_OOO_CORE_HH

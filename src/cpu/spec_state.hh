@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Speculation-aware execution context for the out-of-order core.
+ *
+ * The core executes instructions functionally at dispatch (SimpleScalar
+ * style). Correct-path instructions update the architectural state
+ * directly; once a branch misprediction is dispatched past, the core
+ * enters "spec mode" and all younger (wrong-path) instructions execute
+ * against a shadow register file and a byte-granular memory overlay that
+ * are discarded on recovery. Wrong-path program output is dropped.
+ */
+
+#ifndef DIREB_CPU_SPEC_STATE_HH
+#define DIREB_CPU_SPEC_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "vm/arch_state.hh"
+
+namespace direb
+{
+
+/** ExecContext that overlays speculative state on an ArchState. */
+class SpecExecContext : public ExecContext
+{
+  public:
+    explicit SpecExecContext(ArchState &arch_state) : arch(arch_state) {}
+
+    /** Enter wrong-path execution (idempotent). */
+    void
+    enterSpec()
+    {
+        spec = true;
+    }
+
+    /** Discard all speculative state and return to the committed view. */
+    void
+    exitSpec()
+    {
+        spec = false;
+        intValid = 0;
+        fpValid = 0;
+        specMem.clear();
+    }
+
+    bool inSpec() const { return spec; }
+
+    RegVal
+    readIntReg(unsigned idx) const override
+    {
+        idx &= 31;
+        if (idx == 0)
+            return 0;
+        if (spec && (intValid & (1u << idx)))
+            return intShadow[idx];
+        return arch.readIntReg(idx);
+    }
+
+    void
+    writeIntReg(unsigned idx, RegVal val) override
+    {
+        idx &= 31;
+        if (idx == 0)
+            return;
+        if (spec) {
+            intShadow[idx] = val;
+            intValid |= 1u << idx;
+        } else {
+            arch.writeIntReg(idx, val);
+        }
+    }
+
+    RegVal
+    readFpReg(unsigned idx) const override
+    {
+        idx &= 31;
+        if (spec && (fpValid & (1u << idx)))
+            return fpShadow[idx];
+        return arch.readFpReg(idx);
+    }
+
+    void
+    writeFpReg(unsigned idx, RegVal val) override
+    {
+        idx &= 31;
+        if (spec) {
+            fpShadow[idx] = val;
+            fpValid |= 1u << idx;
+        } else {
+            arch.writeFpReg(idx, val);
+        }
+    }
+
+    std::uint64_t
+    memRead(Addr addr, unsigned size) override
+    {
+        if (!spec || specMem.empty())
+            return spec ? readSpecBytes(addr, size)
+                        : arch.memRead(addr, size);
+        return readSpecBytes(addr, size);
+    }
+
+    void
+    memWrite(Addr addr, std::uint64_t val, unsigned size) override
+    {
+        if (spec) {
+            for (unsigned i = 0; i < size; ++i) {
+                specMem[addr + i] =
+                    static_cast<std::uint8_t>(val >> (8 * i));
+            }
+        } else {
+            arch.memWrite(addr, val, size);
+        }
+    }
+
+    void
+    output(const char *text) override
+    {
+        if (!spec)
+            arch.output(text);
+    }
+
+  private:
+    std::uint64_t
+    readSpecBytes(Addr addr, unsigned size)
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            const auto it = specMem.find(addr + i);
+            const std::uint8_t b = it != specMem.end()
+                ? it->second
+                : static_cast<std::uint8_t>(arch.memRead(addr + i, 1));
+            v |= static_cast<std::uint64_t>(b) << (8 * i);
+        }
+        return v;
+    }
+
+    ArchState &arch;
+    bool spec = false;
+    std::array<RegVal, numIntRegs> intShadow{};
+    std::array<RegVal, numFpRegs> fpShadow{};
+    std::uint32_t intValid = 0;
+    std::uint32_t fpValid = 0;
+    std::unordered_map<Addr, std::uint8_t> specMem;
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_SPEC_STATE_HH

@@ -1,0 +1,124 @@
+#include "harness/report.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+Table::Table(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    panic_if(header.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    panic_if(rows.empty(), "cell() before row()");
+    rows.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::num(double value, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return cell(buf);
+}
+
+Table &
+Table::pct(double fraction, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return cell(buf);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    const auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string v = c < cells.size() ? cells[c] : "";
+            if (c == 0) {
+                line += v + std::string(widths[c] - v.size(), ' ');
+            } else {
+                line += std::string(widths[c] - v.size(), ' ') + v;
+            }
+            if (c + 1 < widths.size())
+                line += "  ";
+        }
+        return line + "\n";
+    };
+
+    std::string out = render_row(header);
+    std::size_t total = 0;
+    for (const auto w : widths)
+        total += w;
+    out += std::string(total + 2 * (widths.size() - 1), '-') + "\n";
+    for (const auto &r : rows)
+        out += render_row(r);
+    return out;
+}
+
+void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Paper: %s\n", claim.c_str());
+    std::printf("==================================================="
+                "===========================\n\n");
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const double v : values) {
+        panic_if(v <= 0.0, "geomean needs positive values");
+        s += std::log(v);
+    }
+    return std::exp(s / static_cast<double>(values.size()));
+}
+
+} // namespace harness
+
+} // namespace direb

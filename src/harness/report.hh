@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench binaries: fixed-width columns,
+ * a title block naming the figure/table being reproduced, and geometric-
+ * mean helpers (the paper reports cross-benchmark averages).
+ */
+
+#ifndef DIREB_HARNESS_REPORT_HH
+#define DIREB_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+namespace harness
+{
+
+/** Incremental fixed-width table builder. */
+class Table
+{
+  public:
+    /** @param column_names header cells; first column is left-aligned. */
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Start a new row. */
+    Table &row();
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &text);
+    /** Append a numeric cell with @p decimals digits. */
+    Table &num(double value, int decimals = 3);
+    /** Append a percentage cell ("12.3%"). */
+    Table &pct(double fraction, int decimals = 1);
+
+    /** Render with column separators and a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a bench banner: experiment id + what the paper's version shows. */
+void banner(const std::string &experiment, const std::string &claim);
+
+/** Arithmetic mean of @p values (0 for empty). */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of @p values (0 for empty; values must be positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace harness
+
+} // namespace direb
+
+#endif // DIREB_HARNESS_REPORT_HH

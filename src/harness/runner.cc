@@ -1,0 +1,91 @@
+#include "harness/runner.hh"
+
+#include <cstdio>
+
+#include "workloads/workloads.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+Config
+baseConfig(const std::string &mode)
+{
+    Config c;
+    c.set("core.mode", mode);
+    return c;
+}
+
+SimResult
+run(const Program &program, const Config &config, std::uint64_t max_insts)
+{
+    OooCore core(program, config);
+    SimResult r;
+    r.core = core.run(max_insts);
+    r.stats = core.statGroup().snapshot();
+    r.output = core.archState().out;
+    r.statsText = core.statGroup().dump();
+    return r;
+}
+
+SimResult
+runWorkload(const std::string &workload, const Config &config,
+            unsigned scale, std::uint64_t max_insts)
+{
+    const Program prog = workloads::build(workload, scale);
+    return run(prog, config, max_insts);
+}
+
+std::string
+goldenCheck(const Program &program, const Config &config,
+            std::uint64_t max_insts)
+{
+    Vm vm(program);
+    const StopReason vm_stop = vm.run(max_insts);
+
+    OooCore core(program, config);
+    const CoreResult tr = core.run(max_insts);
+
+    char buf[256];
+    if (vm_stop != tr.stop) {
+        std::snprintf(buf, sizeof(buf),
+                      "stop reason mismatch: vm=%d core=%d",
+                      static_cast<int>(vm_stop), static_cast<int>(tr.stop));
+        return buf;
+    }
+    if (vm.instCount() != tr.archInsts) {
+        std::snprintf(buf, sizeof(buf),
+                      "instruction count mismatch: vm=%llu core=%llu",
+                      static_cast<unsigned long long>(vm.instCount()),
+                      static_cast<unsigned long long>(tr.archInsts));
+        return buf;
+    }
+    if (vm.state().out != core.archState().out) {
+        return "program output mismatch: vm='" + vm.state().out +
+               "' core='" + core.archState().out + "'";
+    }
+    for (unsigned r = 0; r < numIntRegs; ++r) {
+        if (vm.state().readIntReg(r) != core.archState().readIntReg(r)) {
+            std::snprintf(buf, sizeof(buf),
+                          "x%u mismatch: vm=%llx core=%llx", r,
+                          static_cast<unsigned long long>(
+                              vm.state().readIntReg(r)),
+                          static_cast<unsigned long long>(
+                              core.archState().readIntReg(r)));
+            return buf;
+        }
+    }
+    for (unsigned r = 0; r < numFpRegs; ++r) {
+        if (vm.state().readFpReg(r) != core.archState().readFpReg(r)) {
+            std::snprintf(buf, sizeof(buf), "f%u mismatch", r);
+            return buf;
+        }
+    }
+    return "";
+}
+
+} // namespace harness
+
+} // namespace direb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulation harness: one-call "run this workload under this config" used
+ * by examples, tests and every bench binary, with golden-model
+ * cross-checking against the functional VM.
+ */
+
+#ifndef DIREB_HARNESS_RUNNER_HH
+#define DIREB_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "common/config.hh"
+#include "cpu/ooo_core.hh"
+#include "vm/vm.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+/** Everything a bench needs from one simulation. */
+struct SimResult
+{
+    CoreResult core;                     //!< cycles / IPC / stop reason
+    std::map<std::string, double> stats; //!< flattened statistics snapshot
+    std::string output;                  //!< program PUTC/PUTINT output
+    std::string statsText;               //!< rendered statistics dump
+
+    double ipc() const { return core.ipc; }
+
+    /** Convenience accessor; 0.0 for unknown names. */
+    double
+    stat(const std::string &name) const
+    {
+        const auto it = stats.find(name);
+        return it == stats.end() ? 0.0 : it->second;
+    }
+};
+
+/** Default machine configuration (the paper's base SIE/DIE machine). */
+Config baseConfig(const std::string &mode = "sie");
+
+/** Run @p program on an OooCore configured by @p config. */
+SimResult run(const Program &program, const Config &config,
+              std::uint64_t max_insts = 50'000'000);
+
+/** Run a named kernel workload (see workloads::list()). */
+SimResult runWorkload(const std::string &workload, const Config &config,
+                      unsigned scale = 1,
+                      std::uint64_t max_insts = 50'000'000);
+
+/**
+ * Golden check: run @p program both functionally (VM) and on the timing
+ * core, and compare committed instruction counts and program output.
+ * @return empty string on success, else a human-readable mismatch report.
+ */
+std::string goldenCheck(const Program &program, const Config &config,
+                        std::uint64_t max_insts = 50'000'000);
+
+} // namespace harness
+
+} // namespace direb
+
+#endif // DIREB_HARNESS_RUNNER_HH

@@ -1,0 +1,304 @@
+#include "isa/inst.hh"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace
+{
+
+/** Per-operand register file selection. */
+enum class RegClass : std::uint8_t { None, Int, Fp };
+
+struct OperandSpec
+{
+    RegClass dst;
+    RegClass src1;
+    RegClass src2;
+};
+
+/** Resolve the register classes of dst/src1/src2 for @p op. */
+OperandSpec
+operands(Opcode op)
+{
+    // Start from the format defaults, then refine for FP/special cases.
+    OperandSpec spec{RegClass::None, RegClass::None, RegClass::None};
+    switch (opFormat(op)) {
+      case Format::R:
+        spec = {RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case Format::I:
+        spec = {RegClass::Int, RegClass::Int, RegClass::None};
+        break;
+      case Format::U:
+      case Format::J:
+        spec = {RegClass::Int, RegClass::None, RegClass::None};
+        break;
+      case Format::B:
+        spec = {RegClass::None, RegClass::Int, RegClass::Int};
+        break;
+      case Format::S:
+        spec = {RegClass::None, RegClass::Int, RegClass::Int};
+        break;
+      case Format::N:
+        return spec;
+    }
+
+    switch (op) {
+      case Opcode::FLD:
+        spec.dst = RegClass::Fp;
+        break;
+      case Opcode::FSD:
+        spec.src2 = RegClass::Fp; // store data
+        break;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+        spec = {RegClass::Fp, RegClass::Fp, RegClass::Fp};
+        break;
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMOV:
+      case Opcode::FSQRT:
+        spec = {RegClass::Fp, RegClass::Fp, RegClass::None};
+        break;
+      case Opcode::FEQ:
+      case Opcode::FLT:
+      case Opcode::FLE:
+        spec = {RegClass::Int, RegClass::Fp, RegClass::Fp};
+        break;
+      case Opcode::FCVTDL: // int -> fp
+        spec = {RegClass::Fp, RegClass::Int, RegClass::None};
+        break;
+      case Opcode::FCVTLD: // fp -> int
+        spec = {RegClass::Int, RegClass::Fp, RegClass::None};
+        break;
+      case Opcode::PUTC:
+      case Opcode::PUTINT:
+        spec = {RegClass::None, RegClass::Int, RegClass::None};
+        break;
+      default:
+        break;
+    }
+    return spec;
+}
+
+RegId
+unify(RegClass cls, unsigned idx)
+{
+    switch (cls) {
+      case RegClass::None:
+        return noReg;
+      case RegClass::Int:
+        return intReg(idx);
+      case RegClass::Fp:
+        return fpReg(idx);
+    }
+    return noReg;
+}
+
+} // namespace
+
+RegId
+Inst::dstReg() const
+{
+    const RegId r = unify(operands(op).dst, rd);
+    // Writes to x0 are architectural no-ops and create no dependency.
+    return (r != noReg && isZeroReg(r)) ? noReg : r;
+}
+
+RegId
+Inst::srcReg1() const
+{
+    const RegId r = unify(operands(op).src1, rs1);
+    return (r != noReg && isZeroReg(r)) ? noReg : r;
+}
+
+RegId
+Inst::srcReg2() const
+{
+    const RegId r = unify(operands(op).src2, rs2);
+    return (r != noReg && isZeroReg(r)) ? noReg : r;
+}
+
+bool
+Inst::usesRs2() const
+{
+    return operands(op).src2 != RegClass::None;
+}
+
+std::uint32_t
+Inst::encode() const
+{
+    const auto opfield = static_cast<std::uint32_t>(op);
+    assert(opfield < numOpcodes);
+    assert(rd < 32 && rs1 < 32 && rs2 < 32);
+
+    std::uint64_t w = 0;
+    w = insertBits(w, 31, 24, opfield);
+    switch (opFormat(op)) {
+      case Format::R:
+        w = insertBits(w, 23, 19, rd);
+        w = insertBits(w, 18, 14, rs1);
+        w = insertBits(w, 13, 9, rs2);
+        break;
+      case Format::I:
+        assert(fitsSigned(imm, immBitsI));
+        w = insertBits(w, 23, 19, rd);
+        w = insertBits(w, 18, 14, rs1);
+        w = insertBits(w, 13, 0, static_cast<std::uint64_t>(imm));
+        break;
+      case Format::U:
+        assert(fitsSigned(imm, immBitsU));
+        w = insertBits(w, 23, 19, rd);
+        w = insertBits(w, 18, 0, static_cast<std::uint64_t>(imm));
+        break;
+      case Format::B:
+        assert(fitsSigned(imm, immBitsI));
+        w = insertBits(w, 23, 19, rs1);
+        w = insertBits(w, 18, 14, rs2);
+        w = insertBits(w, 13, 0, static_cast<std::uint64_t>(imm));
+        break;
+      case Format::J:
+        assert(fitsSigned(imm, immBitsU));
+        w = insertBits(w, 23, 19, rd);
+        w = insertBits(w, 18, 0, static_cast<std::uint64_t>(imm));
+        break;
+      case Format::S:
+        assert(fitsSigned(imm, immBitsI));
+        w = insertBits(w, 23, 19, rs2);
+        w = insertBits(w, 18, 14, rs1);
+        w = insertBits(w, 13, 0, static_cast<std::uint64_t>(imm));
+        break;
+      case Format::N:
+        break;
+    }
+    return static_cast<std::uint32_t>(w);
+}
+
+Inst
+decode(std::uint32_t word)
+{
+    const auto opfield = static_cast<unsigned>(bits(word, 31, 24));
+    fatal_if(opfield >= numOpcodes, "decode: undefined opcode byte 0x%02x",
+             opfield);
+    const auto op = static_cast<Opcode>(opfield);
+
+    Inst inst;
+    inst.op = op;
+    switch (opFormat(op)) {
+      case Format::R:
+        inst.rd = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, 18, 14));
+        inst.rs2 = static_cast<std::uint8_t>(bits(word, 13, 9));
+        break;
+      case Format::I:
+        inst.rd = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, 18, 14));
+        inst.imm = static_cast<std::int32_t>(sext(bits(word, 13, 0),
+                                                  immBitsI));
+        break;
+      case Format::U:
+        inst.rd = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.imm = static_cast<std::int32_t>(sext(bits(word, 18, 0),
+                                                  immBitsU));
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.rs2 = static_cast<std::uint8_t>(bits(word, 18, 14));
+        inst.imm = static_cast<std::int32_t>(sext(bits(word, 13, 0),
+                                                  immBitsI));
+        break;
+      case Format::J:
+        inst.rd = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.imm = static_cast<std::int32_t>(sext(bits(word, 18, 0),
+                                                  immBitsU));
+        break;
+      case Format::S:
+        inst.rs2 = static_cast<std::uint8_t>(bits(word, 23, 19));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, 18, 14));
+        inst.imm = static_cast<std::int32_t>(sext(bits(word, 13, 0),
+                                                  immBitsI));
+        break;
+      case Format::N:
+        break;
+    }
+    return inst;
+}
+
+std::string
+regName(RegId r)
+{
+    if (r == noReg)
+        return "-";
+    char buf[8];
+    if (r < numIntRegs)
+        std::snprintf(buf, sizeof(buf), "x%u", r);
+    else
+        std::snprintf(buf, sizeof(buf), "f%u", r - numIntRegs);
+    return buf;
+}
+
+std::string
+Inst::disasm() const
+{
+    const bool fp_srcs = readsFpRegs(op);
+    const bool fp_dst = writesFpReg(op);
+    const char sp = fp_srcs ? 'f' : 'x';
+    const char dp = fp_dst ? 'f' : 'x';
+
+    char buf[96];
+    switch (opFormat(op)) {
+      case Format::R:
+        if (usesRs2()) {
+            std::snprintf(buf, sizeof(buf), "%-6s %c%u, %c%u, %c%u",
+                          opName(op), dp, rd, sp, rs1, sp, rs2);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-6s %c%u, %c%u", opName(op),
+                          dp, rd, sp, rs1);
+        }
+        break;
+      case Format::I:
+        if (isLoad(op)) {
+            std::snprintf(buf, sizeof(buf), "%-6s %c%u, %d(x%u)",
+                          opName(op), dp, rd, imm, rs1);
+        } else if (isOutput(op)) {
+            std::snprintf(buf, sizeof(buf), "%-6s x%u", opName(op), rs1);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-6s x%u, x%u, %d", opName(op),
+                          rd, rs1, imm);
+        }
+        break;
+      case Format::U:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, %d", opName(op), rd, imm);
+        break;
+      case Format::B:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, x%u, %d", opName(op),
+                      rs1, rs2, imm);
+        break;
+      case Format::J:
+        std::snprintf(buf, sizeof(buf), "%-6s x%u, %d", opName(op), rd, imm);
+        break;
+      case Format::S:
+        std::snprintf(buf, sizeof(buf), "%-6s %c%u, %d(x%u)", opName(op),
+                      op == Opcode::FSD ? 'f' : 'x', rs2, imm, rs1);
+        break;
+      case Format::N:
+        std::snprintf(buf, sizeof(buf), "%s", opName(op));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s ?", opName(op));
+        break;
+    }
+    return buf;
+}
+
+} // namespace direb

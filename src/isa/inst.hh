@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Decoded instruction representation: fields, 32-bit encode/decode, operand
+ * register identification (unified int+fp numbering for rename/dataflow),
+ * and a disassembler.
+ */
+
+#ifndef DIREB_ISA_INST_HH
+#define DIREB_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+
+namespace direb
+{
+
+/** Unified register id: 0-31 integer x-registers, 32-63 FP f-registers. */
+using RegId = std::uint8_t;
+
+constexpr unsigned numIntRegs = 32;
+constexpr unsigned numFpRegs = 32;
+constexpr unsigned numArchRegs = numIntRegs + numFpRegs;
+
+/** Unified id of integer register @p n. */
+constexpr RegId intReg(unsigned n) { return static_cast<RegId>(n); }
+/** Unified id of FP register @p n. */
+constexpr RegId fpReg(unsigned n) { return static_cast<RegId>(numIntRegs + n); }
+/** Sentinel "no register". */
+constexpr RegId noReg = 0xff;
+/** Is @p r the hard-wired integer zero register? */
+constexpr bool isZeroReg(RegId r) { return r == 0; }
+
+/** Immediate field widths by format. */
+constexpr unsigned immBitsI = 14;  //!< I/B/S formats
+constexpr unsigned immBitsU = 19;  //!< U/J formats
+
+/**
+ * A decoded instruction. The raw register fields (rd/rs1/rs2) are 5-bit
+ * indices into whichever file the opcode addresses; the src1/src2/dst
+ * helpers translate them into unified RegIds (and apply per-opcode operand
+ * rules like FSQRT's unused rs2).
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+
+    Inst() = default;
+    Inst(Opcode o, unsigned d, unsigned s1, unsigned s2, std::int32_t i)
+        : op(o), rd(static_cast<std::uint8_t>(d)),
+          rs1(static_cast<std::uint8_t>(s1)),
+          rs2(static_cast<std::uint8_t>(s2)), imm(i)
+    {}
+
+    bool operator==(const Inst &other) const = default;
+
+    /** Unified destination register id, or noReg. */
+    RegId dstReg() const;
+    /** Unified first-source register id, or noReg. */
+    RegId srcReg1() const;
+    /** Unified second-source register id, or noReg. */
+    RegId srcReg2() const;
+
+    /** Does this instruction architecturally read rs2? */
+    bool usesRs2() const;
+
+    /** Pack to a 32-bit instruction word. Asserts on out-of-range fields. */
+    std::uint32_t encode() const;
+
+    /** Human-readable disassembly. */
+    std::string disasm() const;
+};
+
+/** Unpack a 32-bit instruction word; fatal() on an undefined opcode byte. */
+Inst decode(std::uint32_t word);
+
+/** Render a unified RegId (x5, f3, ...). */
+std::string regName(RegId r);
+
+/** Convenience builders used by workload kernels and tests. @{ */
+inline Inst
+makeR(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return Inst(op, rd, rs1, rs2, 0);
+}
+
+inline Inst
+makeI(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    return Inst(op, rd, rs1, 0, imm);
+}
+
+inline Inst
+makeB(Opcode op, unsigned rs1, unsigned rs2, std::int32_t off)
+{
+    return Inst(op, 0, rs1, rs2, off);
+}
+
+inline Inst
+makeS(Opcode op, unsigned rs1_base, unsigned rs2_data, std::int32_t imm)
+{
+    return Inst(op, 0, rs1_base, rs2_data, imm);
+}
+
+inline Inst
+makeJ(Opcode op, unsigned rd, std::int32_t off)
+{
+    return Inst(op, rd, 0, 0, off);
+}
+/** @} */
+
+} // namespace direb
+
+#endif // DIREB_ISA_INST_HH

@@ -1,0 +1,204 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace
+{
+
+constexpr std::array<OpInfo, numOpcodes> infoTable = {{
+#define DIREB_INFO(name, fmt, cls) {#name, Format::fmt, OpClass::cls},
+    DIREB_OPCODE_LIST(DIREB_INFO)
+#undef DIREB_INFO
+}};
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> m = [] {
+        std::map<std::string, Opcode> map;
+        for (unsigned i = 0; i < numOpcodes; ++i) {
+            const auto op = static_cast<Opcode>(i);
+            map[toLower(infoTable[i].mnemonic)] = op;
+        }
+        return map;
+    }();
+    return m;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    panic_if(idx >= numOpcodes, "bad opcode %u", idx);
+    return infoTable[idx];
+}
+
+const char *
+opName(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+bool
+opFromName(const std::string &mnemonic, Opcode &out)
+{
+    const auto &m = mnemonicMap();
+    const auto it = m.find(toLower(mnemonic));
+    if (it == m.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return opFormat(op) == Format::B;
+}
+
+bool
+isJump(Opcode op)
+{
+    return op == Opcode::JAL || op == Opcode::JALR;
+}
+
+bool
+isControl(Opcode op)
+{
+    return isBranch(op) || isJump(op);
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opClassOf(op) == OpClass::MemRead;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opClassOf(op) == OpClass::MemWrite;
+}
+
+bool
+isMem(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+bool
+isFpOp(Opcode op)
+{
+    const OpClass c = opClassOf(op);
+    return c == OpClass::FpAdd || c == OpClass::FpMul ||
+           c == OpClass::FpDiv || c == OpClass::FpSqrt;
+}
+
+bool
+isHalt(Opcode op)
+{
+    return op == Opcode::HALT;
+}
+
+bool
+isOutput(Opcode op)
+{
+    return op == Opcode::PUTC || op == Opcode::PUTINT;
+}
+
+bool
+writesFpReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::FLD:
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMOV:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FCVTDL:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesReg(Opcode op)
+{
+    switch (opFormat(op)) {
+      case Format::R:
+      case Format::I:
+      case Format::U:
+      case Format::J:
+        return !isStore(op) && !isOutput(op);
+      default:
+        return false;
+    }
+}
+
+bool
+readsFpRegs(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMIN:
+      case Opcode::FMAX:
+      case Opcode::FNEG:
+      case Opcode::FABS:
+      case Opcode::FMOV:
+      case Opcode::FEQ:
+      case Opcode::FLT:
+      case Opcode::FLE:
+      case Opcode::FMUL:
+      case Opcode::FDIV:
+      case Opcode::FSQRT:
+      case Opcode::FCVTLD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::FpSqrt: return "FpSqrt";
+      case OpClass::MemRead: return "MemRead";
+      case OpClass::MemWrite: return "MemWrite";
+      case OpClass::Nop: return "Nop";
+    }
+    return "?";
+}
+
+} // namespace direb

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Opcode definitions and static metadata for the mini-ISA.
+ *
+ * The ISA is a 64-bit RISC with 32 integer registers (x0 hard-wired to
+ * zero) and 32 floating-point registers, fixed 32-bit instruction words,
+ * and SimpleScalar-style operation classes so the out-of-order core can
+ * map every instruction to a functional-unit type and latency.
+ */
+
+#ifndef DIREB_ISA_OPCODES_HH
+#define DIREB_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace direb
+{
+
+/**
+ * Instruction encoding formats.
+ *
+ *  R: op[31:24] rd[23:19] rs1[18:14] rs2[13:9]     — register-register
+ *  I: op[31:24] rd[23:19] rs1[18:14] imm[13:0]     — register-immediate
+ *  U: op[31:24] rd[23:19] imm[18:0]                — upper immediate
+ *  B: op[31:24] rs1[23:19] rs2[18:14] off[13:0]    — conditional branch
+ *  J: op[31:24] rd[23:19] off[18:0]                — jump-and-link
+ *  S: op[31:24] rs2[23:19] rs1[18:14] imm[13:0]    — store (rs2 = data)
+ *  N: op[31:24]                                    — no operands
+ */
+enum class Format : std::uint8_t { R, I, U, B, J, S, N };
+
+/**
+ * Functional-unit operation classes (SimpleScalar resource classes).
+ * MemRead/MemWrite additionally require an IntAlu slot for address
+ * generation and a memory port for the access itself.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   //!< single-cycle integer ops, branches, address generation
+    IntMul,   //!< integer multiply
+    IntDiv,   //!< integer divide/remainder
+    FpAdd,    //!< FP add/sub/compare/convert/min/max/neg/abs/move
+    FpMul,    //!< FP multiply
+    FpDiv,    //!< FP divide
+    FpSqrt,   //!< FP square root
+    MemRead,  //!< loads
+    MemWrite, //!< stores
+    Nop,      //!< no execution resources (NOP, HALT)
+};
+
+/** X-macro: mnemonic, format, operation class. */
+#define DIREB_OPCODE_LIST(X)                                                  \
+    /* integer register-register */                                          \
+    X(ADD, R, IntAlu)                                                         \
+    X(SUB, R, IntAlu)                                                         \
+    X(AND, R, IntAlu)                                                         \
+    X(OR, R, IntAlu)                                                          \
+    X(XOR, R, IntAlu)                                                         \
+    X(SLL, R, IntAlu)                                                         \
+    X(SRL, R, IntAlu)                                                         \
+    X(SRA, R, IntAlu)                                                         \
+    X(SLT, R, IntAlu)                                                         \
+    X(SLTU, R, IntAlu)                                                        \
+    X(MUL, R, IntMul)                                                         \
+    X(MULH, R, IntMul)                                                        \
+    X(DIV, R, IntDiv)                                                         \
+    X(DIVU, R, IntDiv)                                                        \
+    X(REM, R, IntDiv)                                                         \
+    X(REMU, R, IntDiv)                                                        \
+    /* integer register-immediate */                                          \
+    X(ADDI, I, IntAlu)                                                        \
+    X(ANDI, I, IntAlu)                                                        \
+    X(ORI, I, IntAlu)                                                         \
+    X(XORI, I, IntAlu)                                                        \
+    X(SLTI, I, IntAlu)                                                        \
+    X(SLLI, I, IntAlu)                                                        \
+    X(SRLI, I, IntAlu)                                                        \
+    X(SRAI, I, IntAlu)                                                        \
+    X(LUI, U, IntAlu)                                                         \
+    /* control flow */                                                        \
+    X(BEQ, B, IntAlu)                                                         \
+    X(BNE, B, IntAlu)                                                         \
+    X(BLT, B, IntAlu)                                                         \
+    X(BGE, B, IntAlu)                                                         \
+    X(BLTU, B, IntAlu)                                                        \
+    X(BGEU, B, IntAlu)                                                        \
+    X(JAL, J, IntAlu)                                                         \
+    X(JALR, I, IntAlu)                                                        \
+    /* memory */                                                              \
+    X(LB, I, MemRead)                                                         \
+    X(LBU, I, MemRead)                                                        \
+    X(LH, I, MemRead)                                                         \
+    X(LHU, I, MemRead)                                                        \
+    X(LW, I, MemRead)                                                         \
+    X(LWU, I, MemRead)                                                        \
+    X(LD, I, MemRead)                                                         \
+    X(FLD, I, MemRead)                                                        \
+    X(SB, S, MemWrite)                                                        \
+    X(SH, S, MemWrite)                                                        \
+    X(SW, S, MemWrite)                                                        \
+    X(SD, S, MemWrite)                                                        \
+    X(FSD, S, MemWrite)                                                       \
+    /* floating point */                                                      \
+    X(FADD, R, FpAdd)                                                         \
+    X(FSUB, R, FpAdd)                                                         \
+    X(FMIN, R, FpAdd)                                                         \
+    X(FMAX, R, FpAdd)                                                         \
+    X(FNEG, R, FpAdd)                                                         \
+    X(FABS, R, FpAdd)                                                         \
+    X(FMOV, R, FpAdd)                                                         \
+    X(FEQ, R, FpAdd)                                                          \
+    X(FLT, R, FpAdd)                                                          \
+    X(FLE, R, FpAdd)                                                          \
+    X(FCVTDL, R, FpAdd)                                                       \
+    X(FCVTLD, R, FpAdd)                                                       \
+    X(FMUL, R, FpMul)                                                         \
+    X(FDIV, R, FpDiv)                                                         \
+    X(FSQRT, R, FpSqrt)                                                       \
+    /* system */                                                              \
+    X(NOP, N, Nop)                                                            \
+    X(HALT, N, Nop)                                                           \
+    X(PUTC, I, IntAlu)                                                        \
+    X(PUTINT, I, IntAlu)
+
+/** All opcodes of the mini-ISA. */
+enum class Opcode : std::uint8_t
+{
+#define DIREB_ENUM(name, fmt, cls) name,
+    DIREB_OPCODE_LIST(DIREB_ENUM)
+#undef DIREB_ENUM
+    NumOpcodes
+};
+
+constexpr unsigned numOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+    OpClass opClass;
+};
+
+/** Metadata for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic string. */
+const char *opName(Opcode op);
+
+/** Look up an opcode by (lower-case) mnemonic; returns false on failure. */
+bool opFromName(const std::string &mnemonic, Opcode &out);
+
+/** Format of @p op. */
+inline Format opFormat(Opcode op) { return opInfo(op).format; }
+
+/** Operation class of @p op. */
+inline OpClass opClassOf(Opcode op) { return opInfo(op).opClass; }
+
+/** Classification helpers. */
+bool isBranch(Opcode op);       //!< conditional branch
+bool isJump(Opcode op);         //!< JAL / JALR
+bool isControl(Opcode op);      //!< any control transfer
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMem(Opcode op);
+bool isFpOp(Opcode op);         //!< executes on an FP unit
+bool isHalt(Opcode op);
+bool isOutput(Opcode op);       //!< PUTC / PUTINT
+
+/** Does the destination register (if any) live in the FP file? */
+bool writesFpReg(Opcode op);
+/** Does the instruction write any destination register? */
+bool writesReg(Opcode op);
+/** Do the source registers live in the FP file? */
+bool readsFpRegs(Opcode op);
+
+/** Human-readable op class name (for stats/tables). */
+const char *opClassName(OpClass cls);
+
+} // namespace direb
+
+#endif // DIREB_ISA_OPCODES_HH

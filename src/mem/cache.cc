@@ -1,0 +1,165 @@
+#include "mem/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace direb
+{
+
+Cache::Cache(const CacheParams &params) : p(params), group(params.name)
+{
+    fatal_if(p.blockBytes == 0 || !isPowerOf2(p.blockBytes),
+             "%s: block size must be a power of two", p.name.c_str());
+    fatal_if(p.assoc == 0, "%s: associativity must be positive",
+             p.name.c_str());
+    fatal_if(p.sizeBytes % (p.blockBytes * p.assoc) != 0,
+             "%s: size not divisible by block*assoc", p.name.c_str());
+    numSets = p.sizeBytes / (p.blockBytes * p.assoc);
+    fatal_if(!isPowerOf2(numSets), "%s: set count must be a power of two",
+             p.name.c_str());
+    lines.resize(numSets * p.assoc);
+
+    group.addScalar(&numHits, "hits", "cache hits");
+    group.addScalar(&numMisses, "misses", "cache misses");
+    group.addScalar(&numWritebacks, "writebacks", "dirty evictions");
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / p.blockBytes) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / p.blockBytes / numSets;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * p.assoc;
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < p.assoc; ++w) {
+        const Line &l = lines[base + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    const std::size_t set = setIndex(addr);
+    const std::size_t base = set * p.assoc;
+    const Addr tag = tagOf(addr);
+    ++stamp;
+
+    AccessResult res;
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < p.assoc; ++w) {
+        Line &l = lines[base + w];
+        if (l.valid && l.tag == tag) {
+            l.lruStamp = stamp;
+            l.dirty = l.dirty || is_write;
+            ++numHits;
+            res.hit = true;
+            return res;
+        }
+        if (!victim || !l.valid ||
+            (victim->valid && l.lruStamp < victim->lruStamp)) {
+            if (!victim || victim->valid)
+                victim = &l;
+        }
+    }
+
+    ++numMisses;
+    panic_if(victim == nullptr, "no victim line");
+    if (victim->valid && victim->dirty) {
+        ++numWritebacks;
+        res.writeback = true;
+        // Reconstruct the victim block address from tag + set.
+        res.writebackAddr =
+            (victim->tag * numSets + set) * p.blockBytes;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    return res;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines)
+        l = Line{};
+}
+
+namespace
+{
+
+CacheParams
+paramsFor(const Config &config, const std::string &prefix,
+          std::size_t def_size, unsigned def_assoc, unsigned def_block,
+          Cycle def_lat)
+{
+    CacheParams p;
+    p.name = prefix;
+    p.sizeBytes = config.getUint(prefix + ".size", def_size);
+    p.assoc = static_cast<unsigned>(
+        config.getUint(prefix + ".assoc", def_assoc));
+    p.blockBytes = static_cast<unsigned>(
+        config.getUint(prefix + ".block", def_block));
+    p.hitLatency = config.getUint(prefix + ".lat", def_lat);
+    return p;
+}
+
+} // namespace
+
+MemHierarchy::MemHierarchy(const Config &config)
+    : il1(paramsFor(config, "l1i", 64 * 1024, 2, 32, 1)),
+      dl1(paramsFor(config, "l1d", 64 * 1024, 2, 32, 3)),
+      ul2(paramsFor(config, "l2", 1024 * 1024, 4, 64, 12)),
+      memLatency(config.getUint("mem.lat", 100))
+{
+    group.addChild(&il1.statGroup());
+    group.addChild(&dl1.statGroup());
+    group.addChild(&ul2.statGroup());
+}
+
+Cycle
+MemHierarchy::l2Fill(Addr addr, bool is_write)
+{
+    const auto r2 = ul2.access(addr, is_write);
+    if (r2.hit)
+        return ul2.params().hitLatency;
+    // L2 miss: go to memory; dirty L2 victims write back to memory at no
+    // extra modelled latency (write buffer assumption).
+    return ul2.params().hitLatency + memLatency;
+}
+
+Cycle
+MemHierarchy::instAccess(Addr addr)
+{
+    const auto r1 = il1.access(addr, false);
+    if (r1.hit)
+        return il1.params().hitLatency;
+    return il1.params().hitLatency + l2Fill(addr, false);
+}
+
+Cycle
+MemHierarchy::dataAccess(Addr addr, bool is_write)
+{
+    const auto r1 = dl1.access(addr, is_write);
+    Cycle lat = dl1.params().hitLatency;
+    if (!r1.hit)
+        lat += l2Fill(addr, false);
+    if (r1.writeback)
+        ul2.access(r1.writebackAddr, true);
+    return lat;
+}
+
+} // namespace direb

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Generic set-associative cache timing model with true-LRU replacement.
+ *
+ * This is a latency/occupancy model, not a data store: the functional data
+ * lives in vm::Memory. An access returns the latency it would take given
+ * current contents, updating tags/LRU as a side effect. Write policy is
+ * write-back/write-allocate (dirty-victim writebacks are charged to the
+ * next level).
+ */
+
+#ifndef DIREB_MEM_CACHE_HH
+#define DIREB_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace direb
+{
+
+/** Geometry + latency parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned blockBytes = 32;
+    Cycle hitLatency = 1;
+};
+
+/** Set-associative LRU cache (tags only). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access result: hit/miss plus whether a dirty block was evicted
+     * (charged as a writeback to the next level).
+     */
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false;
+        Addr writebackAddr = invalidAddr;
+    };
+
+    /** Probe + update state for an access to @p addr. */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Probe only — no state update (used by tests). */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheParams &params() const { return p; }
+    stats::Group &statGroup() { return group; }
+
+    std::uint64_t hits() const { return numHits.value(); }
+    std::uint64_t misses() const { return numMisses.value(); }
+
+    double
+    missRate() const
+    {
+        const auto total = hits() + misses();
+        return total ? static_cast<double>(misses()) / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams p;
+    std::size_t numSets;
+    std::vector<Line> lines; //!< numSets * assoc, set-major
+    std::uint64_t stamp = 0;
+
+    stats::Group group;
+    stats::Scalar numHits;
+    stats::Scalar numMisses;
+    stats::Scalar numWritebacks;
+};
+
+/**
+ * Two-level hierarchy: split L1 I/D over a unified L2 over DRAM.
+ *
+ * Config keys (defaults): l1i.size=65536, l1i.assoc=2, l1i.block=32,
+ * l1i.lat=1; l1d.* likewise (lat=3); l2.size=1048576, l2.assoc=4,
+ * l2.block=64, l2.lat=12; mem.lat=100.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const Config &config);
+
+    /** Latency of an instruction fetch of the block containing @p addr. */
+    Cycle instAccess(Addr addr);
+
+    /** Latency of a data access. */
+    Cycle dataAccess(Addr addr, bool is_write);
+
+    Cache &l1i() { return il1; }
+    Cache &l1d() { return dl1; }
+    Cache &l2() { return ul2; }
+    stats::Group &statGroup() { return group; }
+
+  private:
+    Cycle l2Fill(Addr addr, bool is_write);
+
+    Cache il1;
+    Cache dl1;
+    Cache ul2;
+    Cycle memLatency;
+    stats::Group group{"memhier"};
+};
+
+} // namespace direb
+
+#endif // DIREB_MEM_CACHE_HH

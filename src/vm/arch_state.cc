@@ -1,0 +1,18 @@
+#include "vm/arch_state.hh"
+
+#include "vm/program.hh"
+
+namespace direb
+{
+
+void
+ArchState::reset()
+{
+    intRegs.fill(0);
+    fpRegs.fill(0);
+    writeIntReg(regSp, stackTop);
+    pc = 0;
+    out.clear();
+}
+
+} // namespace direb

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Architectural state: the committed register files + memory + program
+ * output. Implements ExecContext for the functional executor.
+ */
+
+#ifndef DIREB_VM_ARCH_STATE_HH
+#define DIREB_VM_ARCH_STATE_HH
+
+#include <array>
+#include <string>
+
+#include "isa/inst.hh"
+#include "vm/exec_context.hh"
+#include "vm/memory.hh"
+
+namespace direb
+{
+
+/** Committed machine state, shared by the VM and the OOO core. */
+class ArchState : public ExecContext
+{
+  public:
+    explicit ArchState(Memory &memory) : mem(memory) { reset(); }
+
+    /** Zero the register files and set up the ABI stack pointer. */
+    void reset();
+
+    RegVal
+    readIntReg(unsigned idx) const override
+    {
+        return idx == 0 ? 0 : intRegs[idx & 31];
+    }
+
+    void
+    writeIntReg(unsigned idx, RegVal val) override
+    {
+        if (idx != 0)
+            intRegs[idx & 31] = val;
+    }
+
+    RegVal readFpReg(unsigned idx) const override { return fpRegs[idx & 31]; }
+    void writeFpReg(unsigned idx, RegVal val) override
+    {
+        fpRegs[idx & 31] = val;
+    }
+
+    std::uint64_t
+    memRead(Addr addr, unsigned size) override
+    {
+        return mem.read(addr, size);
+    }
+
+    void
+    memWrite(Addr addr, std::uint64_t val, unsigned size) override
+    {
+        mem.write(addr, val, size);
+    }
+
+    void output(const char *text) override { out += text; }
+
+    /** Read a register by unified id. */
+    RegVal
+    readReg(RegId r) const
+    {
+        return r < numIntRegs ? readIntReg(r) : readFpReg(r - numIntRegs);
+    }
+
+    /** Program counter. */
+    Addr pc = 0;
+
+    /** Accumulated PUTC/PUTINT output. */
+    std::string out;
+
+    /** Backing memory. */
+    Memory &mem;
+
+  private:
+    std::array<RegVal, numIntRegs> intRegs{};
+    std::array<RegVal, numFpRegs> fpRegs{};
+};
+
+} // namespace direb
+
+#endif // DIREB_VM_ARCH_STATE_HH

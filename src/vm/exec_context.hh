@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract execution context: the register/memory/output view an
+ * instruction executes against. The functional VM implements it with
+ * architectural state; the out-of-order core implements it with a
+ * speculation-aware overlay so wrong-path instructions execute harmlessly.
+ */
+
+#ifndef DIREB_VM_EXEC_CONTEXT_HH
+#define DIREB_VM_EXEC_CONTEXT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace direb
+{
+
+/** State interface consumed by the functional executor. */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    /** Read integer register @p idx (0..31); x0 must read as 0. */
+    virtual RegVal readIntReg(unsigned idx) const = 0;
+    /** Write integer register @p idx; writes to x0 must be dropped. */
+    virtual void writeIntReg(unsigned idx, RegVal val) = 0;
+
+    /** Read FP register @p idx (raw 64-bit pattern). */
+    virtual RegVal readFpReg(unsigned idx) const = 0;
+    /** Write FP register @p idx (raw 64-bit pattern). */
+    virtual void writeFpReg(unsigned idx, RegVal val) = 0;
+
+    /** Load @p size bytes from @p addr. */
+    virtual std::uint64_t memRead(Addr addr, unsigned size) = 0;
+    /** Store the low @p size bytes of @p val to @p addr. */
+    virtual void memWrite(Addr addr, std::uint64_t val, unsigned size) = 0;
+
+    /** Append program output (PUTC/PUTINT). */
+    virtual void output(const char *text) = 0;
+};
+
+} // namespace direb
+
+#endif // DIREB_VM_EXEC_CONTEXT_HH

@@ -1,0 +1,314 @@
+#include "vm/executor.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace
+{
+
+double
+asDouble(RegVal bits_)
+{
+    return std::bit_cast<double>(bits_);
+}
+
+RegVal
+asBits(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+
+std::int64_t
+s64(RegVal v)
+{
+    return static_cast<std::int64_t>(v);
+}
+
+} // namespace
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB:
+      case Opcode::LBU:
+      case Opcode::SB:
+        return 1;
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::SH:
+        return 2;
+      case Opcode::LW:
+      case Opcode::LWU:
+      case Opcode::SW:
+        return 4;
+      case Opcode::LD:
+      case Opcode::SD:
+      case Opcode::FLD:
+      case Opcode::FSD:
+        return 8;
+      default:
+        panic("memAccessSize on non-memory opcode %s", opName(op));
+    }
+}
+
+ExecOutcome
+execute(const Inst &inst, Addr pc, ExecContext &ctx)
+{
+    ExecOutcome out;
+    out.nextPc = pc + 4;
+
+    const auto rd_write = [&](RegVal v) {
+        out.destVal = v;
+        if (writesFpReg(inst.op))
+            ctx.writeFpReg(inst.rd, v);
+        else
+            ctx.writeIntReg(inst.rd, v);
+    };
+
+    // Source operand values (recorded for the IRB reuse test).
+    RegVal a = 0, b = 0;
+    if (readsFpRegs(inst.op)) {
+        a = ctx.readFpReg(inst.rs1);
+        if (inst.usesRs2())
+            b = ctx.readFpReg(inst.rs2);
+    } else {
+        switch (opFormat(inst.op)) {
+          case Format::R:
+          case Format::I:
+          case Format::B:
+          case Format::S:
+            a = ctx.readIntReg(inst.rs1);
+            if (inst.usesRs2()) {
+                b = inst.op == Opcode::FSD ? ctx.readFpReg(inst.rs2)
+                                           : ctx.readIntReg(inst.rs2);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    out.op1Val = a;
+    out.op2Val = b;
+
+    const std::int64_t immS = inst.imm;
+    const std::uint64_t immZ =
+        static_cast<std::uint64_t>(inst.imm) & ((1u << immBitsI) - 1);
+
+    switch (inst.op) {
+      // ---- integer register-register -------------------------------------
+      case Opcode::ADD: rd_write(a + b); break;
+      case Opcode::SUB: rd_write(a - b); break;
+      case Opcode::AND: rd_write(a & b); break;
+      case Opcode::OR: rd_write(a | b); break;
+      case Opcode::XOR: rd_write(a ^ b); break;
+      case Opcode::SLL: rd_write(a << (b & 63)); break;
+      case Opcode::SRL: rd_write(a >> (b & 63)); break;
+      case Opcode::SRA:
+        rd_write(static_cast<RegVal>(s64(a) >> (b & 63)));
+        break;
+      case Opcode::SLT: rd_write(s64(a) < s64(b) ? 1 : 0); break;
+      case Opcode::SLTU: rd_write(a < b ? 1 : 0); break;
+      case Opcode::MUL: rd_write(a * b); break;
+      case Opcode::MULH:
+        rd_write(static_cast<RegVal>(
+            (static_cast<__int128>(s64(a)) * static_cast<__int128>(s64(b)))
+            >> 64));
+        break;
+      case Opcode::DIV:
+        if (b == 0) {
+            rd_write(~RegVal(0));
+        } else if (s64(a) == std::numeric_limits<std::int64_t>::min() &&
+                   s64(b) == -1) {
+            rd_write(a); // overflow case, RISC-V semantics
+        } else {
+            rd_write(static_cast<RegVal>(s64(a) / s64(b)));
+        }
+        break;
+      case Opcode::DIVU:
+        rd_write(b == 0 ? ~RegVal(0) : a / b);
+        break;
+      case Opcode::REM:
+        if (b == 0) {
+            rd_write(a);
+        } else if (s64(a) == std::numeric_limits<std::int64_t>::min() &&
+                   s64(b) == -1) {
+            rd_write(0);
+        } else {
+            rd_write(static_cast<RegVal>(s64(a) % s64(b)));
+        }
+        break;
+      case Opcode::REMU:
+        rd_write(b == 0 ? a : a % b);
+        break;
+
+      // ---- integer register-immediate ------------------------------------
+      case Opcode::ADDI: rd_write(a + static_cast<RegVal>(immS)); break;
+      case Opcode::ANDI: rd_write(a & immZ); break;
+      case Opcode::ORI: rd_write(a | immZ); break;
+      case Opcode::XORI: rd_write(a ^ immZ); break;
+      case Opcode::SLTI:
+        rd_write(s64(a) < immS ? 1 : 0);
+        break;
+      case Opcode::SLLI: rd_write(a << (immZ & 63)); break;
+      case Opcode::SRLI: rd_write(a >> (immZ & 63)); break;
+      case Opcode::SRAI:
+        rd_write(static_cast<RegVal>(s64(a) >> (immZ & 63)));
+        break;
+      case Opcode::LUI:
+        rd_write(static_cast<RegVal>(immS) << immBitsI);
+        break;
+
+      // ---- control flow ---------------------------------------------------
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU: {
+        bool take = false;
+        switch (inst.op) {
+          case Opcode::BEQ: take = a == b; break;
+          case Opcode::BNE: take = a != b; break;
+          case Opcode::BLT: take = s64(a) < s64(b); break;
+          case Opcode::BGE: take = s64(a) >= s64(b); break;
+          case Opcode::BLTU: take = a < b; break;
+          case Opcode::BGEU: take = a >= b; break;
+          default: break;
+        }
+        out.taken = take;
+        out.target = pc + static_cast<Addr>(immS * 4);
+        if (take)
+            out.nextPc = out.target;
+        out.result = (static_cast<RegVal>(out.target) << 1) |
+                     (take ? 1 : 0);
+        break;
+      }
+      case Opcode::JAL:
+        rd_write(pc + 4);
+        out.taken = true;
+        out.target = pc + static_cast<Addr>(immS * 4);
+        out.nextPc = out.target;
+        out.result = out.target;
+        break;
+      case Opcode::JALR:
+        rd_write(pc + 4);
+        out.taken = true;
+        out.target = (a + static_cast<Addr>(immS)) & ~Addr(1);
+        out.nextPc = out.target;
+        out.result = out.target;
+        break;
+
+      // ---- memory ----------------------------------------------------------
+      case Opcode::LB:
+      case Opcode::LBU:
+      case Opcode::LH:
+      case Opcode::LHU:
+      case Opcode::LW:
+      case Opcode::LWU:
+      case Opcode::LD:
+      case Opcode::FLD: {
+        const unsigned size = memAccessSize(inst.op);
+        out.effAddr = a + static_cast<Addr>(immS);
+        std::uint64_t v = ctx.memRead(out.effAddr, size);
+        switch (inst.op) {
+          case Opcode::LB: v = static_cast<RegVal>(sext(v, 8)); break;
+          case Opcode::LH: v = static_cast<RegVal>(sext(v, 16)); break;
+          case Opcode::LW: v = static_cast<RegVal>(sext(v, 32)); break;
+          default: break; // zero-extended / full-width
+        }
+        rd_write(v);
+        out.result = out.effAddr; // IRB covers address generation only
+        break;
+      }
+      case Opcode::SB:
+      case Opcode::SH:
+      case Opcode::SW:
+      case Opcode::SD:
+      case Opcode::FSD: {
+        const unsigned size = memAccessSize(inst.op);
+        out.effAddr = a + static_cast<Addr>(immS);
+        out.storeData = b;
+        ctx.memWrite(out.effAddr, b, size);
+        out.result = out.effAddr;
+        break;
+      }
+
+      // ---- floating point ---------------------------------------------------
+      case Opcode::FADD: rd_write(asBits(asDouble(a) + asDouble(b))); break;
+      case Opcode::FSUB: rd_write(asBits(asDouble(a) - asDouble(b))); break;
+      case Opcode::FMUL: rd_write(asBits(asDouble(a) * asDouble(b))); break;
+      case Opcode::FDIV: rd_write(asBits(asDouble(a) / asDouble(b))); break;
+      case Opcode::FSQRT:
+        rd_write(asBits(std::sqrt(asDouble(a))));
+        break;
+      case Opcode::FMIN:
+        rd_write(asBits(std::fmin(asDouble(a), asDouble(b))));
+        break;
+      case Opcode::FMAX:
+        rd_write(asBits(std::fmax(asDouble(a), asDouble(b))));
+        break;
+      case Opcode::FNEG: rd_write(asBits(-asDouble(a))); break;
+      case Opcode::FABS: rd_write(asBits(std::fabs(asDouble(a)))); break;
+      case Opcode::FMOV: rd_write(a); break;
+      case Opcode::FEQ: rd_write(asDouble(a) == asDouble(b) ? 1 : 0); break;
+      case Opcode::FLT: rd_write(asDouble(a) < asDouble(b) ? 1 : 0); break;
+      case Opcode::FLE: rd_write(asDouble(a) <= asDouble(b) ? 1 : 0); break;
+      case Opcode::FCVTDL:
+        rd_write(asBits(static_cast<double>(s64(a))));
+        break;
+      case Opcode::FCVTLD: {
+        const double d = asDouble(a);
+        std::int64_t v;
+        if (std::isnan(d)) {
+            v = 0;
+        } else if (d >= 9.2233720368547758e18) {
+            v = std::numeric_limits<std::int64_t>::max();
+        } else if (d <= -9.2233720368547758e18) {
+            v = std::numeric_limits<std::int64_t>::min();
+        } else {
+            v = static_cast<std::int64_t>(d);
+        }
+        rd_write(static_cast<RegVal>(v));
+        break;
+      }
+
+      // ---- system -----------------------------------------------------------
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        out.halted = true;
+        break;
+      case Opcode::PUTC: {
+        const char buf[2] = {static_cast<char>(a & 0xff), '\0'};
+        ctx.output(buf);
+        break;
+      }
+      case Opcode::PUTINT: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld\n",
+                      static_cast<long long>(s64(a)));
+        ctx.output(buf);
+        break;
+      }
+
+      default:
+        panic("execute: unhandled opcode %s", opName(inst.op));
+    }
+
+    // For plain value-producing ops the IRB result is the destination value.
+    if (!isControl(inst.op) && !isMem(inst.op) && writesReg(inst.op))
+        out.result = out.destVal;
+
+    return out;
+}
+
+} // namespace direb

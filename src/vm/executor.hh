@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional executor: the single, shared definition of the ISA's
+ * semantics. Both the golden-model VM and the timing core call execute();
+ * the ExecOutcome additionally reports everything the timing model and the
+ * IRB need (operand values, effective address, branch outcome).
+ */
+
+#ifndef DIREB_VM_EXECUTOR_HH
+#define DIREB_VM_EXECUTOR_HH
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "vm/exec_context.hh"
+
+namespace direb
+{
+
+/**
+ * Result of functionally executing one instruction.
+ *
+ * For the IRB, `result` is the value the ALU would have produced:
+ *  - ALU/FP ops: the destination value;
+ *  - loads/stores: the effective address (address-generation only —
+ *    the memory access itself is outside the Sphere of Replication);
+ *  - branches: (target << 1) | taken;
+ *  - jumps: the target address.
+ */
+struct ExecOutcome
+{
+    Addr nextPc = 0;          //!< architecturally correct next PC
+    RegVal result = 0;        //!< ALU-equivalent result (see above)
+    RegVal destVal = 0;       //!< value written to dstReg (if any)
+    RegVal op1Val = 0;        //!< first source operand value read
+    RegVal op2Val = 0;        //!< second source operand value read
+    Addr effAddr = invalidAddr; //!< memory effective address (loads/stores)
+    std::uint64_t storeData = 0; //!< data for stores
+    bool taken = false;       //!< control transfer taken
+    Addr target = 0;          //!< control-transfer target (if control)
+    bool halted = false;      //!< HALT executed
+};
+
+/**
+ * Execute @p inst at @p pc against @p ctx.
+ *
+ * Semantics notes: logical immediates (ANDI/ORI/XORI) zero-extend their
+ * 14-bit immediate (so LUI+ORI composes a 33-bit constant); arithmetic
+ * immediates sign-extend. Division by zero yields -1 (DIV/DIVU) and the
+ * dividend (REM/REMU), RISC-V style, so no instruction can trap.
+ */
+ExecOutcome execute(const Inst &inst, Addr pc, ExecContext &ctx);
+
+/** Memory access size in bytes for a load/store opcode. */
+unsigned memAccessSize(Opcode op);
+
+} // namespace direb
+
+#endif // DIREB_VM_EXECUTOR_HH

@@ -1,0 +1,66 @@
+#include "vm/memory.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace direb
+{
+
+std::uint8_t
+Memory::peek(Addr addr) const
+{
+    const Addr pn = addr >> pageShift;
+    const auto it = pages.find(pn);
+    if (it == pages.end())
+        return 0;
+    return (*it->second)[addr & (pageSize - 1)];
+}
+
+void
+Memory::poke(Addr addr, std::uint8_t byte)
+{
+    const Addr pn = addr >> pageShift;
+    auto it = pages.find(pn);
+    if (it == pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages.emplace(pn, std::move(page)).first;
+    }
+    (*it->second)[addr & (pageSize - 1)] = byte;
+}
+
+std::uint64_t
+Memory::read(Addr addr, unsigned size) const
+{
+    assert(size >= 1 && size <= 8);
+    std::uint64_t val = 0;
+    for (unsigned i = 0; i < size; ++i)
+        val |= static_cast<std::uint64_t>(peek(addr + i)) << (8 * i);
+    return val;
+}
+
+void
+Memory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    assert(size >= 1 && size <= 8);
+    for (unsigned i = 0; i < size; ++i)
+        poke(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::writeBlob(Addr addr, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        poke(addr + i, bytes[i]);
+}
+
+void
+Memory::readBlob(Addr addr, void *data, std::size_t len) const
+{
+    auto *bytes = static_cast<std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        bytes[i] = peek(addr + i);
+}
+
+} // namespace direb

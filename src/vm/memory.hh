@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sparse byte-addressable simulated memory.
+ *
+ * Backed by 4 KiB pages allocated on first touch. Reads of untouched
+ * memory return zero — this is load-bearing: wrong-path (speculative)
+ * execution in the out-of-order core may compute wild addresses, and those
+ * accesses must be harmless.
+ */
+
+#ifndef DIREB_VM_MEMORY_HH
+#define DIREB_VM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace direb
+{
+
+/** Sparse simulated physical memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr(1) << pageShift;
+
+    Memory() = default;
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+
+    /** Read @p size (1..8) bytes, little-endian, zero for untouched. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size (1..8) bytes of @p value, little-endian. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Bulk copy-in (program loading). */
+    void writeBlob(Addr addr, const void *data, std::size_t len);
+
+    /** Bulk copy-out (test inspection). */
+    void readBlob(Addr addr, void *data, std::size_t len) const;
+
+    /** Number of pages that have been touched. */
+    std::size_t pagesAllocated() const { return pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    std::uint8_t peek(Addr addr) const;
+    void poke(Addr addr, std::uint8_t byte);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace direb
+
+#endif // DIREB_VM_MEMORY_HH

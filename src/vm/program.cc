@@ -1,0 +1,34 @@
+#include "vm/program.hh"
+
+#include <cstdio>
+
+namespace direb
+{
+
+Inst
+Program::fetch(Addr pc) const
+{
+    if (!inText(pc)) {
+        // Wrong-path fetches may wander outside the image; feed NOPs so
+        // the pipeline keeps flowing until the misprediction resolves.
+        return Inst();
+    }
+    return decode(text[(pc - textBase) / 4]);
+}
+
+std::string
+Program::listing() const
+{
+    std::string out;
+    char line[128];
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const Inst inst = decode(text[i]);
+        std::snprintf(line, sizeof(line), "%08llx:  %08x  %s\n",
+                      static_cast<unsigned long long>(instAddr(i)), text[i],
+                      inst.disasm().c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace direb

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Executable program image: encoded text segment, initial data segment,
+ * entry point, and the standard memory-layout constants.
+ */
+
+#ifndef DIREB_VM_PROGRAM_HH
+#define DIREB_VM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace direb
+{
+
+/** Standard memory layout. @{ */
+constexpr Addr textBase = 0x1000;
+constexpr Addr dataBase = 0x10000000;
+constexpr Addr stackTop = 0x7ffff000;
+/** @} */
+
+/** Register ABI conventions used by workloads. @{ */
+constexpr unsigned regRa = 1;  //!< return address
+constexpr unsigned regSp = 2;  //!< stack pointer
+/** @} */
+
+/**
+ * A loadable program: 32-bit instruction words at textBase, an initialised
+ * data blob at dataBase.
+ */
+struct Program
+{
+    std::vector<std::uint32_t> text;
+    std::vector<std::uint8_t> data;
+    Addr entry = textBase;
+    std::string name = "anonymous";
+
+    /** Number of static instructions. */
+    std::size_t size() const { return text.size(); }
+
+    /** Address of instruction index @p i. */
+    Addr instAddr(std::size_t i) const { return textBase + 4 * i; }
+
+    /** True if @p pc lies inside the text segment. */
+    bool
+    inText(Addr pc) const
+    {
+        return pc >= textBase && pc < textBase + 4 * text.size() &&
+               (pc & 3) == 0;
+    }
+
+    /** Decoded instruction at @p pc; NOP for out-of-text addresses. */
+    Inst fetch(Addr pc) const;
+
+    /** Append an already-decoded instruction (builder-style authoring). */
+    void push(const Inst &inst) { text.push_back(inst.encode()); }
+
+    /** Full disassembly listing (for debugging and doc examples). */
+    std::string listing() const;
+};
+
+} // namespace direb
+
+#endif // DIREB_VM_PROGRAM_HH

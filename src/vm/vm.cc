@@ -1,0 +1,54 @@
+#include "vm/vm.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+void
+loadProgram(const Program &program, Memory &mem, ArchState &state)
+{
+    if (!program.text.empty()) {
+        mem.writeBlob(textBase, program.text.data(),
+                      program.text.size() * 4);
+    }
+    if (!program.data.empty())
+        mem.writeBlob(dataBase, program.data.data(), program.data.size());
+    state.reset();
+    state.pc = program.entry;
+}
+
+Vm::Vm(const Program &program) : prog(program), archState(mem)
+{
+    loadProgram(program, mem, archState);
+}
+
+bool
+Vm::step()
+{
+    if (isHalted || !prog.inText(archState.pc))
+        return false;
+
+    const Inst inst = prog.fetch(archState.pc);
+    const ExecOutcome out = execute(inst, archState.pc, archState);
+    archState.pc = out.nextPc;
+    ++insts;
+    ++opClassCounts[static_cast<unsigned>(opClassOf(inst.op))];
+    if (out.halted)
+        isHalted = true;
+    return !isHalted;
+}
+
+StopReason
+Vm::run(std::uint64_t max_insts)
+{
+    while (insts < max_insts) {
+        if (!prog.inText(archState.pc))
+            return isHalted ? StopReason::Halted : StopReason::BadPc;
+        if (!step())
+            return StopReason::Halted;
+    }
+    return StopReason::InstLimit;
+}
+
+} // namespace direb

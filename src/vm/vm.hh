@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional virtual machine: the golden model. Executes a Program one
+ * instruction at a time with no timing. The OOO core's architectural
+ * results are validated against this in the integration tests.
+ */
+
+#ifndef DIREB_VM_VM_HH
+#define DIREB_VM_VM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "vm/arch_state.hh"
+#include "vm/executor.hh"
+#include "vm/memory.hh"
+#include "vm/program.hh"
+
+namespace direb
+{
+
+/** Why a VM (or timing) run stopped. */
+enum class StopReason : std::uint8_t
+{
+    Halted,      //!< program executed HALT
+    InstLimit,   //!< hit the max-instruction budget
+    BadPc,       //!< control left the text segment
+};
+
+/** Execution-driven functional simulator over the mini-ISA. */
+class Vm
+{
+  public:
+    explicit Vm(const Program &program);
+
+    /**
+     * Run up to @p max_insts instructions.
+     * @return why execution stopped.
+     */
+    StopReason run(std::uint64_t max_insts = 100'000'000);
+
+    /** Single-step one instruction; returns false once halted. */
+    bool step();
+
+    /** Committed instruction count. */
+    std::uint64_t instCount() const { return insts; }
+
+    /** Dynamic instruction count per operation class. */
+    const std::array<std::uint64_t, 16> &classCounts() const
+    {
+        return opClassCounts;
+    }
+
+    /** Committed architectural state (registers, memory, output). */
+    ArchState &state() { return archState; }
+    const ArchState &state() const { return archState; }
+
+    bool halted() const { return isHalted; }
+
+  private:
+    const Program &prog;
+    Memory mem;
+    ArchState archState;
+    std::uint64_t insts = 0;
+    bool isHalted = false;
+    std::array<std::uint64_t, 16> opClassCounts{};
+};
+
+/** Load @p program into @p mem and initialise @p state (pc, sp). */
+void loadProgram(const Program &program, Memory &mem, ArchState &state);
+
+} // namespace direb
+
+#endif // DIREB_VM_VM_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * "anneal" — twolf-like simulated annealing. Each move draws two random
+ * slots, computes a cost delta, and swaps if the delta clears a
+ * temperature threshold that decays every 1024 moves. The accept/reject
+ * branch is data-dependent and effectively random — the misprediction-
+ * heavy corner of the suite.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+annealKernel()
+{
+    static const char *text = R"(
+# anneal: random-swap annealing with decaying threshold (twolf stand-in)
+.data
+cost:   .space 8192             # 1024 dwords
+.text
+start:
+        la   s1, cost
+        li   s0, 0
+        li   t1, 1024
+        li   s4, 2024
+        li   s5, 1103515245
+ainit:
+        mul  s4, s4, s5
+        addi s4, s4, 4057 
+        srli t0, s4, 16
+        andi t0, t0, 8191
+        slli t2, s0, 3
+        add  t2, t2, s1
+        sd   t0, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, ainit
+
+        li   s6, 8192           # temperature threshold
+        li   s7, 0              # move counter
+        li   s8, %OUTER%
+        li   s9, 0              # accepted moves
+swloop:
+        mul  s4, s4, s5
+        addi s4, s4, 4057 
+        li   a3, 1023           # rematerialised mask (reusable)
+        srli t0, s4, 13
+        and  t0, t0, a3         # slot i
+        srli t1, s4, 33
+        and  t1, t1, a3         # slot j
+        la   a2, cost           # rematerialised base (reusable)
+        slli t2, t0, 3
+        add  t2, t2, a2
+        slli t3, t1, 3
+        add  t3, t3, a2
+        ld   t4, 0(t2)
+        ld   t5, 0(t3)
+        sub  t6, t4, t5         # cost delta
+        bge  t6, s6, reject
+        sd   t5, 0(t2)          # accept: swap
+        sd   t4, 0(t3)
+        addi s9, s9, 1
+reject:
+        addi s7, s7, 1
+        andi a0, s7, 1023
+        bnez a0, nodecay
+        srai s6, s6, 1          # cool down
+nodecay:
+        blt  s7, s8, swloop
+        putint s9
+        halt
+)";
+    return {text, 11000};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * "cc_expr" — gcc-like recursive expression-tree evaluation. A complete
+ * binary tree of 255 operators (add/sub/xor/and chosen by node index)
+ * over 256 leaves is evaluated recursively with real call/return (depth
+ * 9, exercising the RAS); one leaf is perturbed per evaluation, so most
+ * of the tree re-evaluates with identical operands — strong but not
+ * total IRB reuse, plus call-heavy control flow.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+ccExprKernel()
+{
+    static const char *text = R"(
+# cc_expr: recursive expression-tree evaluation (gcc stand-in)
+.data
+leaves: .space 2048             # 256 dwords
+.text
+start:
+        la   s1, leaves
+        li   s0, 0
+        li   s2, 256
+        li   s3, 777
+        li   t5, 1103515245
+linit:
+        mul  s3, s3, t5
+        addi s3, s3, 4057 
+        srli t0, s3, 16
+        andi t0, t0, 1023
+        slli t1, s0, 3
+        add  t1, t1, s1
+        sd   t0, 0(t1)
+        addi s0, s0, 1
+        blt  s0, s2, linit
+
+        li   s4, 0              # eval counter
+        li   s5, %OUTER%
+        li   s6, 0              # checksum
+eloop:
+        li   a0, 0              # root node
+        call eval
+        add  s6, s6, a1
+        andi t0, s4, 255        # perturb one leaf per eval
+        slli t0, t0, 3
+        add  t0, t0, s1
+        ld   t1, 0(t0)
+        addi t1, t1, 3
+        sd   t1, 0(t0)
+        addi s4, s4, 1
+        blt  s4, s5, eloop
+        putint s6
+        halt
+
+# a1 = eval(node a0); nodes 0..254 internal, 255..510 leaves
+eval:
+        slti t0, a0, 255
+        bnez t0, internal
+        addi t0, a0, -255
+        slli t0, t0, 3
+        add  t0, t0, s1
+        ld   a1, 0(t0)
+        ret
+internal:
+        addi sp, sp, -24
+        sd   ra, 0(sp)
+        sd   a0, 8(sp)
+        slli a0, a0, 1
+        addi a0, a0, 1          # left child
+        call eval
+        sd   a1, 16(sp)
+        ld   a0, 8(sp)
+        slli a0, a0, 1
+        addi a0, a0, 2          # right child
+        call eval
+        ld   t1, 16(sp)         # left value
+        ld   a0, 8(sp)
+        andi t0, a0, 3          # operator select
+        beqz t0, opadd
+        addi t2, t0, -1
+        beqz t2, opsub
+        addi t2, t0, -2
+        beqz t2, opxor
+        and  a1, t1, a1
+        j    opdone
+opadd:
+        add  a1, t1, a1
+        j    opdone
+opsub:
+        sub  a1, t1, a1
+        j    opdone
+opxor:
+        xor  a1, t1, a1
+opdone:
+        ld   ra, 0(sp)
+        addi sp, sp, 24
+        ret
+)";
+    return {text, 28};
+}
+
+} // namespace workloads
+
+} // namespace direb

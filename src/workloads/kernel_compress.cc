@@ -1,0 +1,88 @@
+/**
+ * @file
+ * "compress" — gzip-like LZ window matching. Fills a 4 KiB buffer with a
+ * 16-symbol pseudo-random alphabet, then for each position searches the
+ * previous 32 offsets for the longest match (capped at 8). Heavy on
+ * single-cycle integer ops and byte loads with high ILP — the classic
+ * ALU-bandwidth-bound profile. Operand reuse is moderate: the compared
+ * byte values come from a small alphabet and match lengths are tiny.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+compressKernel()
+{
+    static const char *text = R"(
+# compress: LZ77-style longest-match search (gzip stand-in)
+.data
+buf:    .space 4096
+.text
+start:
+        li   s0, 0              # fill index
+        la   s1, buf
+        li   s2, 4096
+        li   s3, 12345          # LCG seed
+        li   s4, 1103515245
+fill:
+        mul  s3, s3, s4
+        addi s3, s3, 4057 
+        srli t0, s3, 16
+        andi t0, t0, 15         # 16-symbol alphabet
+        add  t1, s1, s0
+        sb   t0, 0(t1)
+        addi s0, s0, 1
+        blt  s0, s2, fill
+
+        li   s5, 0              # checksum
+        li   s6, 64             # pos
+        li   s7, %OUTER%
+        addi s7, s7, 64         # pos limit
+        addi sp, sp, -16        # frame for the spilled best-length
+outer:
+        sd   zero, 8(sp)        # best match length lives on the stack
+        li   t1, 1              # candidate back-offset
+cand:
+        la   a2, buf            # rematerialised base (reusable)
+        sub  t2, s6, t1         # candidate start
+        li   t3, 0              # match length (reusable remat)
+inner:
+        add  t4, a2, t2
+        add  t5, a2, s6
+        add  t4, t4, t3
+        add  t5, t5, t3
+        lbu  t6, 0(t4)
+        lbu  a0, 0(t5)
+        bne  t6, a0, endin
+        addi t3, t3, 1
+        li   a1, 8              # rematerialised cap (reusable)
+        blt  t3, a1, inner
+endin:
+        ld   a3, 8(sp)          # reload spilled best (reusable addr-gen)
+        blt  t3, a3, nobest
+        sd   t3, 8(sp)          # spill new best (reusable addr-gen)
+nobest:
+        addi t1, t1, 1
+        li   a1, 33             # rematerialised bound (reusable)
+        blt  t1, a1, cand
+        ld   t0, 8(sp)
+        add  s5, s5, t0
+        addi s6, s6, 1
+        blt  s6, s7, outer
+        addi sp, sp, 16
+
+        putint s5
+        halt
+)";
+    return {text, 420};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * "moldyn" — ammp-like N-body interaction sweep. Each particle folds its
+ * 63 partners into a damped serial accumulation (fadd+fmul, a 6-cycle
+ * loop-carried chain) finished by an FSQRT/FDIV normalisation. The
+ * dependence chain is slower than any unit's occupancy, so the machine is
+ * latency-bound with idle ALUs — duplicating the stream costs almost
+ * nothing (the paper's ammp corner, ~1% DIE loss).
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+moldynKernel()
+{
+    static const char *text = R"(
+# moldyn: all-pairs forces with div/sqrt on the critical path (ammp stand-in)
+.data
+.align 8
+px:     .space 512              # 64 doubles
+py:     .space 512
+fx:     .space 512
+fy:     .space 512
+consts: .double 0.5, 1.0, 1000.0
+.text
+start:
+        la   s1, px
+        la   s2, py
+        la   s3, fx
+        la   s4, fy
+        la   t0, consts
+        fld  f12, 0(t0)         # softening
+        fld  f13, 8(t0)         # 1.0
+        fld  f14, 16(t0)        # checksum scale
+        li   s0, 0
+        li   t1, 64
+minit:
+        andi t0, s0, 15
+        addi t0, t0, 1
+        fcvtdl f3, t0
+        slli t2, s0, 3
+        add  t3, t2, s1
+        fsd  f3, 0(t3)
+        slli t0, s0, 1
+        addi t0, t0, 3
+        andi t0, t0, 31
+        addi t0, t0, 1
+        fcvtdl f4, t0
+        add  t3, t2, s2
+        fsd  f4, 0(t3)
+        addi s0, s0, 1
+        blt  s0, t1, minit
+
+        li   s5, 0              # iteration
+        li   s6, %OUTER%
+mdround:
+        li   s7, 0              # particle i
+mil:
+        slli t0, s7, 3
+        add  t1, t0, s1
+        fld  f1, 0(t1)          # xi
+        add  t1, t0, s2
+        fld  f2, 0(t1)          # yi
+        fcvtdl f8, zero         # damped interaction accumulator
+        addi s8, s7, 1          # j
+        slli t1, s8, 3
+        add  t1, t1, s1         # &px[j]
+mjl:
+        fld  f3, 0(t1)          # xj
+        fsub f5, f1, f3         # dx
+        fadd f8, f8, f5         # serial 6-cycle chain per pair:
+        fmul f8, f8, f12        #   f8 = (f8 + dx) * 0.5
+        addi t1, t1, 8
+        addi s8, s8, 1
+        li   t6, 64             # rematerialised bound (reusable)
+        blt  s8, t6, mjl
+        fabs f7, f8             # once per particle: div/sqrt on the chain
+        fadd f7, f7, f13
+        fsqrt f10, f7
+        fdiv f8, f8, f10
+        fadd f9, f2, f8         # fold in yi so both coordinates matter
+        slli t0, s7, 3
+        add  t1, t0, s3
+        fsd  f8, 0(t1)
+        add  t1, t0, s4
+        fsd  f9, 0(t1)
+        addi s7, s7, 1
+        li   t6, 63
+        blt  s7, t6, mil
+        addi s5, s5, 1
+        blt  s5, s6, mdround
+
+        li   t0, 80             # checksum: fx[10] scaled to int
+        add  t0, t0, s3
+        fld  f3, 0(t0)
+        fmul f3, f3, f14
+        fcvtld t1, f3
+        putint t1
+        halt
+)";
+    return {text, 14};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * "neural" — art-like neural pattern matching. Eight static input vectors
+ * are repeatedly matched against sixteen weight rows by fully-unrolled
+ * 32-element dot products (the serial FP-add accumulation chain keeps IPC
+ * low and window-bound — the paper's art corner). Rows come in groups of
+ * four identical "prototypes" (a trained ART network's converged
+ * clusters), so each unrolled multiply/add repeats its operands across
+ * consecutive rows — high IRB reuse on top of the largest DIE loss.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <string>
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+neuralKernel()
+{
+    static const std::string text = [] {
+        std::string s = R"(
+# neural: unrolled dot-product pattern matching (art stand-in)
+.data
+.align 8
+inputs:  .space 2048            # 8 vectors x 32 doubles
+weights: .space 4096            # 16 rows x 32 doubles
+.text
+start:
+        la   s1, inputs
+        la   s2, weights
+        li   s0, 0
+        li   t1, 256
+niinit:
+        andi t0, s0, 7
+        addi t0, t0, 1
+        fcvtdl f3, t0
+        slli t2, s0, 3
+        add  t2, t2, s1
+        fsd  f3, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, niinit
+# weights: rows in groups of 4 identical prototypes ((row>>2) drives value)
+        li   s0, 0
+        li   t1, 512
+nwinit:
+        srli t0, s0, 7          # row/4 (32 doubles per row)
+        andi t2, s0, 31         # element index
+        slli t3, t2, 1
+        add  t0, t0, t3
+        andi t0, t0, 15
+        addi t0, t0, 1
+        fcvtdl f3, t0
+        slli t2, s0, 3
+        add  t2, t2, s2
+        fsd  f3, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, nwinit
+
+        li   s3, 0              # round
+        li   s4, %OUTER%
+        li   s11, 0             # winner accumulator
+round:
+        li   s5, 0              # input index
+inl:
+        slli t0, s5, 8
+        add  s6, t0, s1         # input base
+        li   s7, 0              # row
+        li   s8, -1             # best row
+        fcvtdl f10, zero        # best score
+rowl:
+        slli t0, s7, 8
+        add  t1, t0, s2         # row base
+        fcvtdl f11, zero        # accumulator
+)";
+        // Fully unrolled 32-element dot product (compiled -O3 style):
+        // input loads reuse (fixed base per input), weight loads miss
+        // (row base changes), multiplies and the accumulation chain reuse
+        // across the four rows of a prototype group.
+        for (int i = 0; i < 32; ++i) {
+            const std::string off = std::to_string(i * 8);
+            s += "        fld  f3, " + off + "(s6)\n";
+            s += "        fld  f4, " + off + "(t1)\n";
+            s += "        fmul f5, f3, f4\n";
+            s += "        fadd f11, f11, f5\n";
+        }
+        s += R"(
+        flt  t6, f10, f11
+        beqz t6, norec
+        fmov f10, f11
+        mv   s8, s7
+norec:
+        addi s7, s7, 1
+        li   t6, 16             # rematerialised bound
+        blt  s7, t6, rowl
+        add  s11, s11, s8
+        addi s5, s5, 1
+        li   t6, 8
+        blt  s5, t6, inl
+        addi s3, s3, 1
+        blt  s3, s4, round
+        putint s11
+        halt
+)";
+        return s;
+    }();
+    return {text.c_str(), 12};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * "object" — vortex-like hash-table object store. Inserts/looks up
+ * LCG-generated keys in a 4096-slot open-addressing table using a
+ * Fibonacci hash (integer multiply on the critical path). Keys rarely
+ * repeat, so IRB reuse is low — the workload that separates the IRB from
+ * a plain ALU doubling.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+objectKernel()
+{
+    static const char *text = R"(
+# object: open-addressing hash store (vortex stand-in)
+.data
+htab:   .space 65536            # 4096 slots x 16 bytes (key, value)
+.text
+start:
+        la   s1, htab
+        li   s2, %OUTER%        # operations
+        li   s3, 0
+        li   s4, 99991
+        li   s5, 1103515245
+        li   s6, 2654435761
+        li   s7, 0              # checksum
+kloop:
+        mul  s4, s4, s5
+        addi s4, s4, 4057
+        srli t0, s4, 12
+        andi t0, t0, 4095
+        addi t0, t0, 1          # key in [1,4096]; 0 means empty
+        li   a2, 2654435761     # rematerialised hash constant (reusable)
+        mul  t1, t0, a2         # Fibonacci hash
+        srli t1, t1, 16
+        andi t1, t1, 4095
+probe:
+        la   a4, htab           # rematerialised base (reusable)
+        slli t2, t1, 4
+        add  t2, t2, a4
+        ld   t3, 0(t2)
+        beqz t3, insert
+        beq  t3, t0, found
+        addi t1, t1, 1
+        li   a3, 4095           # rematerialised mask (reusable)
+        and  t1, t1, a3
+        j    probe
+insert:
+        sd   t0, 0(t2)
+        sd   s3, 8(t2)
+        j    next
+found:
+        ld   t4, 8(t2)
+        add  s7, s7, t4
+next:
+        addi s3, s3, 1
+        blt  s3, s2, kloop
+        putint s7
+        halt
+)";
+    return {text, 5200};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * "parse" — parser-like table-driven tokenising. Repeated passes classify
+ * every byte of a 2 KiB text through a character-class table and count
+ * token boundaries. One character is perturbed per pass, so nearly every
+ * dynamic instruction repeats with identical operands — the high-reuse
+ * end of the suite, with dense dependent loads and branches.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+parseKernel()
+{
+    static const char *text = R"(
+# parse: table-driven tokenizer over a quasi-static buffer (parser stand-in)
+.data
+tbuf:   .space 2048
+ctab:   .space 256
+counts: .space 64
+.text
+start:
+        la   s1, tbuf
+        la   s2, ctab
+        la   s3, counts
+        li   s0, 0
+        li   t1, 256
+ctinit:
+        andi t0, s0, 3          # four character classes
+        add  t2, s2, s0
+        sb   t0, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, ctinit
+
+        li   s0, 0
+        li   t1, 2048
+        li   s4, 31415
+        li   s5, 1103515245
+tinit:
+        mul  s4, s4, s5
+        addi s4, s4, 4057 
+        srli t0, s4, 16
+        andi t0, t0, 15
+        addi t0, t0, 97         # 'a'..'p'
+        add  t2, s1, s0
+        sb   t0, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, tinit
+
+        li   s6, 0              # pass
+        li   s7, %OUTER%
+        li   s8, 0              # token count
+ploop:
+        li   s0, 0
+        li   s9, 99             # previous class (invalid)
+chloop:
+        add  t0, s1, s0
+        lbu  a0, 0(t0)
+        call classify           # a1 = character class
+        slli t4, a1, 3
+        add  t4, s3, t4
+        ld   t5, 0(t4)
+        addi t5, t5, 1
+        sd   t5, 0(t4)          # counts[class]++
+        beq  a1, s9, same
+        addi s8, s8, 1          # token boundary
+same:
+        mv   s9, a1
+        addi s0, s0, 1
+        li   t6, 2048           # rematerialised bound (reusable)
+        blt  s0, t6, chloop
+        andi t0, s6, 2047       # perturb one char per pass
+        add  t0, s1, t0
+        lbu  t1, 0(t0)
+        addi t1, t1, 1
+        sb   t1, 0(t0)
+        addi s6, s6, 1
+        blt  s6, s7, ploop
+
+        ld   t0, 0(s3)
+        add  s8, s8, t0
+        ld   t0, 8(s3)
+        add  s8, s8, t0
+        putint s8
+        halt
+
+# a1 = classify(a0): character-class table lookup with the usual compiled
+# prologue/epilogue (fixed sp at this call depth -> reusable stack traffic)
+classify:
+        addi sp, sp, -16
+        sd   ra, 0(sp)
+        la   t2, ctab
+        add  t2, t2, a0
+        lbu  a1, 0(t2)
+        ld   ra, 0(sp)
+        addi sp, sp, 16
+        ret
+)";
+    return {text, 8};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * "pointer" — mcf-like pointer chasing. Builds an 8192-node (128 KiB,
+ * exceeding L1) linked list laid out as a stride permutation, then walks
+ * it serially. The load-to-load dependence chain plus cache misses keep
+ * IPC far below the machine width, so ALU bandwidth is never the
+ * bottleneck — the DIE slowdown should be near zero (the paper's ammp/
+ * low-loss corner).
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+pointerKernel()
+{
+    static const char *text = R"(
+# pointer: serial linked-list walk over a 128 KiB footprint (mcf stand-in)
+.data
+nodes:  .space 131072           # 8192 nodes x 16 bytes (next, value)
+.text
+start:
+        la   s1, nodes
+        li   s2, 8192
+        li   s3, 0
+build:
+        slli t0, s3, 4
+        add  t0, t0, s1         # &node[i]
+        addi t1, s3, 2467       # odd stride => full permutation cycle
+        andi t1, t1, 8191
+        slli t2, t1, 4
+        add  t2, t2, s1
+        sd   t2, 0(t0)          # next pointer
+        sd   s3, 8(t0)          # value
+        addi s3, s3, 1
+        blt  s3, s2, build
+
+        li   s4, %OUTER%        # walk steps
+        li   s5, 0              # checksum
+        mv   t0, s1
+walk:
+        ld   t1, 8(t0)
+        add  s5, s5, t1
+        ld   t0, 0(t0)
+        addi s4, s4, -1
+        bnez s4, walk
+        putint s5
+        halt
+)";
+    return {text, 24000};
+}
+
+} // namespace workloads
+
+} // namespace direb

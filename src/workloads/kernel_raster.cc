@@ -1,0 +1,140 @@
+/**
+ * @file
+ * "raster" — mesa-like integer triangle rasterisation. Sixteen random
+ * triangles are rendered into a 32x32 framebuffer every frame using
+ * per-pixel edge-function sign tests (integer multiplies and subtracts).
+ * The same triangles render every frame, so per-pixel edge evaluations
+ * repeat exactly — high reuse riding on a multiply-heavy integer mix.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+rasterKernel()
+{
+    static const char *text = R"(
+# raster: bounding-box edge-function rasteriser (mesa stand-in)
+.data
+fb:     .space 1024             # 32x32 bytes
+tris:   .space 512              # 16 triangles x 6 word coords
+.text
+start:
+        la   s1, fb
+        la   s2, tris
+        li   s0, 0
+        li   t1, 96
+        li   s4, 4242
+        li   s5, 1103515245
+trinit:
+        mul  s4, s4, s5
+        addi s4, s4, 4057 
+        srli t0, s4, 16
+        andi t0, t0, 31
+        slli t2, s0, 2
+        add  t2, t2, s2
+        sw   t0, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, trinit
+
+        li   s6, 0              # frame
+        li   s7, %OUTER%
+        li   s11, 0             # covered-pixel count
+frame:
+        li   s8, 0              # triangle index
+tloop:
+        slli t1, s8, 1
+        add  t1, t1, s8         # s8*3
+        slli t1, t1, 3          # *24 bytes
+        add  t1, t1, s2
+        lw   a0, 0(t1)          # x0
+        lw   a1, 4(t1)          # y0
+        lw   a2, 8(t1)          # x1
+        lw   a3, 12(t1)         # y1
+        lw   a4, 16(t1)         # x2
+        lw   a5, 20(t1)         # y2
+        mv   a6, a0             # xmin
+        blt  a6, a2, r1
+        mv   a6, a2
+r1:
+        blt  a6, a4, r2
+        mv   a6, a4
+r2:
+        mv   a7, a0             # xmax
+        bge  a7, a2, r3
+        mv   a7, a2
+r3:
+        bge  a7, a4, r4
+        mv   a7, a4
+r4:
+        mv   s9, a1             # ymin
+        blt  s9, a3, r5
+        mv   s9, a3
+r5:
+        blt  s9, a5, r6
+        mv   s9, a5
+r6:
+        mv   s10, a1            # ymax
+        bge  s10, a3, r7
+        mv   s10, a3
+r7:
+        bge  s10, a5, r8
+        mv   s10, a5
+r8:
+        mv   t2, s9             # y
+pyl:
+        mv   t3, a6             # x
+pxl:
+        sub  t4, a2, a0         # edge 0-1
+        sub  t5, t2, a1
+        mul  t4, t4, t5
+        sub  t5, a3, a1
+        sub  t6, t3, a0
+        mul  t5, t5, t6
+        sub  t4, t4, t5
+        bltz t4, pnext
+        sub  t4, a4, a2         # edge 1-2
+        sub  t5, t2, a3
+        mul  t4, t4, t5
+        sub  t5, a5, a3
+        sub  t6, t3, a2
+        mul  t5, t5, t6
+        sub  t4, t4, t5
+        bltz t4, pnext
+        sub  t4, a0, a4         # edge 2-0
+        sub  t5, t2, a5
+        mul  t4, t4, t5
+        sub  t5, a1, a5
+        sub  t6, t3, a4
+        mul  t5, t5, t6
+        sub  t4, t4, t5
+        bltz t4, pnext
+        slli t4, t2, 5          # covered: fb[y*32+x] = tri
+        add  t4, t4, t3
+        add  t4, t4, s1
+        sb   s8, 0(t4)
+        addi s11, s11, 1
+pnext:
+        addi t3, t3, 1
+        bge  a7, t3, pxl
+        addi t2, t2, 1
+        bge  s10, t2, pyl
+        addi s8, s8, 1
+        slti t6, s8, 16
+        bnez t6, tloop
+        addi s6, s6, 1
+        blt  s6, s7, frame
+        putint s11
+        halt
+)";
+    return {text, 4};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * "route" — vpr-like grid cost relaxation. Repeated sweeps relax a 16x16
+ * cost grid toward a wavefront emanating from an interior source. Branchy
+ * (three data-dependent mins per cell) with dense word loads. The grid
+ * fully converges partway through the run, after which every sweep sees
+ * identical operand values — IRB reuse climbs from moderate to near-total
+ * across the run, a realistic converging-solver profile.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+routeKernel()
+{
+    static const char *text = R"(
+# route: maze-routing cost relaxation on a 16x16 grid (vpr stand-in)
+.data
+grid:   .space 1024
+.text
+start:
+        la   s1, grid
+        li   s0, 0
+        li   s2, 256
+        li   t0, 1000
+init:
+        slli t1, s0, 2
+        add  t1, t1, s1
+        sw   t0, 0(t1)
+        addi s0, s0, 1
+        blt  s0, s2, init
+        sw   zero, 68(s1)       # source at (1,1)
+
+        li   s3, 0              # pass counter
+        li   s4, %OUTER%
+pass:
+        li   s5, 1              # y
+yloop:
+        li   s6, 1              # x
+xloop:
+        la   a2, grid           # rematerialised base (reusable)
+        slli t0, s5, 4
+        add  t0, t0, s6
+        slli t0, t0, 2
+        add  t0, t0, a2         # &grid[y][x]
+        lw   t1, 0(t0)          # current
+        lw   t2, -4(t0)         # left
+        lw   t3, 4(t0)          # right
+        lw   t4, -64(t0)        # up
+        lw   t5, 64(t0)         # down
+        blt  t2, t3, m1
+        mv   t2, t3
+m1:
+        blt  t2, t4, m2
+        mv   t2, t4
+m2:
+        blt  t2, t5, m3
+        mv   t2, t5
+m3:
+        addi t2, t2, 1          # min(neighbours) + 1
+        bge  t2, t1, nostore
+        sw   t2, 0(t0)
+nostore:
+        addi s6, s6, 1
+        li   t6, 15             # rematerialised bound (reusable)
+        blt  s6, t6, xloop
+        addi s5, s5, 1
+        li   t6, 15
+        blt  s5, t6, yloop
+        addi s3, s3, 1
+        blt  s3, s4, pass
+
+        li   s0, 0              # checksum over the whole grid
+        li   s7, 0
+ck:
+        slli t0, s0, 2
+        add  t0, t0, s1
+        lw   t1, 0(t0)
+        add  s7, s7, t1
+        addi s0, s0, 1
+        blt  s0, s2, ck
+        putint s7
+        halt
+)";
+    return {text, 46};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * "sort" — bzip2-front-end-like shell sort. Each round refills a
+ * 256-element array from a continuing LCG stream (different data every
+ * round) and shell-sorts it with gaps 7/3/1. Compare/shift heavy with
+ * data-dependent branches and low operand repetition — a low-reuse,
+ * high-int-ALU workload.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+sortKernel()
+{
+    static const char *text = R"(
+# sort: shell sort over fresh data each round (bzip2 stand-in)
+.data
+arr:    .space 2048             # 256 dwords
+.text
+start:
+        la   s1, arr
+        li   s2, 0              # round
+        li   s3, %OUTER%
+        li   s4, 5555           # LCG state persists across rounds
+        li   s5, 1103515245
+        li   s11, 0             # checksum
+round:
+        li   s0, 0
+        li   t1, 256
+fill:
+        mul  s4, s4, s5
+        addi s4, s4, 4057 
+        srli t0, s4, 16
+        andi t0, t0, 16383
+        slli t2, s0, 3
+        add  t2, t2, s1
+        sd   t0, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, fill
+
+        li   s6, 7              # gap sequence 7, 3, 1
+gaploop:
+        mv   s7, s6
+        mv   s0, s6             # i = gap
+iloop:
+        la   a3, arr            # rematerialised base (reusable)
+        slli t0, s0, 3
+        add  t0, t0, a3
+        ld   s8, 0(t0)          # tmp = a[i]
+        mv   s9, s0             # j
+jloop:
+        blt  s9, s7, jdone
+        la   a3, arr            # rematerialised base (reusable)
+        sub  t1, s9, s7
+        slli t2, t1, 3
+        add  t2, t2, a3
+        ld   t3, 0(t2)          # a[j-gap]
+        bge  s8, t3, jdone
+        slli t4, s9, 3
+        add  t4, t4, a3
+        sd   t3, 0(t4)          # shift up
+        mv   s9, t1
+        j    jloop
+jdone:
+        la   a3, arr            # rematerialised base (reusable)
+        slli t4, s9, 3
+        add  t4, t4, a3
+        sd   s8, 0(t4)
+        addi s0, s0, 1
+        li   t5, 256            # rematerialised bound (reusable)
+        blt  s0, t5, iloop
+        srli s6, s6, 1          # 7 -> 3 -> 1 -> 0
+        bnez s6, gaploop
+
+        ld   t0, 1024(s1)       # sample the sorted middle
+        add  s11, s11, t0
+        addi s2, s2, 1
+        blt  s2, s3, round
+        putint s11
+        halt
+)";
+    return {text, 8};
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * "stencil" — swim/equake-like FP 5-point stencil. Jacobi sweeps between
+ * two 32x32 double grids with constant coefficients. FP-adder bound (two
+ * FpAdd units serve five adds per cell) with perfectly repeating address
+ * arithmetic across sweeps but continuously evolving FP data — high
+ * address-generation reuse, low data-op reuse.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+KernelSource
+stencilKernel()
+{
+    static const char *text = R"(
+# stencil: Jacobi 5-point relaxation on 32x32 doubles (swim stand-in)
+.data
+.align 8
+gridA:  .space 8192
+gridB:  .space 8192
+coef:   .double 0.25, 0.125
+.text
+start:
+        la   s1, gridA
+        la   s2, gridB
+        la   t0, coef
+        fld  f1, 0(t0)          # centre weight
+        fld  f2, 8(t0)          # neighbour weight
+        li   s0, 0
+        li   t1, 1024
+sinit:
+        fcvtdl f3, s0
+        slli t2, s0, 3
+        add  t2, t2, s1
+        fsd  f3, 0(t2)
+        addi s0, s0, 1
+        blt  s0, t1, sinit
+
+        li   s3, 0              # sweep
+        li   s4, %OUTER%
+        addi sp, sp, -32        # spill slots for the grid bases
+sweep:
+        sd   s1, 8(sp)          # compilers keep these in memory under
+        sd   s2, 16(sp)         # pressure; the reloads below reuse
+        li   s5, 1              # y
+syl:
+        li   s6, 1              # x
+sxl:
+        ld   a2, 8(sp)          # reload A base (reusable addr-gen)
+        ld   a3, 16(sp)         # reload B base (reusable addr-gen)
+        slli t0, s5, 5
+        add  t0, t0, s6
+        slli t0, t0, 3
+        add  t1, t0, a2         # &A[y][x]
+        add  t2, t0, a3         # &B[y][x]
+        fld  f3, 0(t1)
+        fld  f4, -8(t1)
+        fld  f5, 8(t1)
+        fld  f6, -256(t1)
+        fld  f7, 256(t1)
+        fadd f8, f4, f5
+        fadd f9, f6, f7
+        fadd f8, f8, f9
+        fmul f8, f8, f2
+        fmul f3, f3, f1
+        fadd f3, f3, f8
+        fsd  f3, 0(t2)
+        addi s6, s6, 1
+        li   t6, 31             # rematerialised bound (reusable)
+        blt  s6, t6, sxl
+        addi s5, s5, 1
+        li   t6, 31
+        blt  s5, t6, syl
+        mv   t0, s1             # ping-pong the grids
+        mv   s1, s2
+        mv   s2, t0
+        addi s3, s3, 1
+        blt  s3, s4, sweep
+        addi sp, sp, 32
+
+        li   t0, 4224           # checksum: cell (16,16) scaled to int
+        add  t0, t0, s1
+        fld  f3, 0(t0)
+        fcvtld t1, f3
+        putint t1
+        halt
+)";
+    return {text, 12};
+}
+
+} // namespace workloads
+
+} // namespace direb

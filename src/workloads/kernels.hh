@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Internal declarations of the twelve kernel sources. Each function
+ * returns the raw assembly text with a "%OUTER%" placeholder for the main
+ * iteration count, plus the default count that yields roughly 150-400K
+ * dynamic instructions at scale 1.
+ */
+
+#ifndef DIREB_WORKLOADS_KERNELS_HH
+#define DIREB_WORKLOADS_KERNELS_HH
+
+namespace direb
+{
+
+namespace workloads
+{
+
+/** One kernel's template: assembly text + default outer iteration count. */
+struct KernelSource
+{
+    const char *asmText;
+    unsigned defaultOuter;
+};
+
+KernelSource compressKernel(); //!< gzip/bzip2: LZ window matching
+KernelSource routeKernel();    //!< vpr: grid cost relaxation
+KernelSource ccExprKernel();   //!< gcc: recursive expression evaluation
+KernelSource pointerKernel();  //!< mcf: linked-list pointer chasing
+KernelSource parseKernel();    //!< parser: table-driven tokenising
+KernelSource objectKernel();   //!< vortex: hash-table store
+KernelSource sortKernel();     //!< bzip2 front-end: shell sort
+KernelSource annealKernel();   //!< twolf: simulated annealing moves
+KernelSource stencilKernel();  //!< swim/equake: FP 5-point stencil
+KernelSource neuralKernel();   //!< art: FP match (dot products + max)
+KernelSource moldynKernel();   //!< ammp: N-body forces (div/sqrt bound)
+KernelSource rasterKernel();   //!< mesa: integer triangle rasteriser
+
+} // namespace workloads
+
+} // namespace direb
+
+#endif // DIREB_WORKLOADS_KERNELS_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Parameterised synthetic workload generator.
+ *
+ * Emits a program of `blocks` basic blocks executed `outerIters` times.
+ * Each block is generated once (fixed PCs) and marked either "reusing"
+ * (its operand registers are re-seeded to block-specific constants every
+ * outer iteration, so each of its instructions repeats with identical
+ * operand values — an IRB hit after the first iteration) or
+ * "accumulating" (operands evolve every iteration — an IRB reuse miss).
+ * The reuseFraction parameter therefore dials the duplicate stream's
+ * reuse hit rate almost linearly, which is exactly what the IRB
+ * sensitivity benches need.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+namespace
+{
+
+/** Registers the generator may use freely as block operands. */
+constexpr unsigned firstDataReg = 10; // a0
+constexpr unsigned numDataRegs = 16;  // a0..s11-ish band (x10..x25)
+
+/** Fixed bookkeeping registers. */
+constexpr unsigned regIter = 29;  // t4: outer-loop counter
+constexpr unsigned regBase = 30;  // t5: data segment base
+constexpr unsigned regSum = 28;   // t3: running checksum
+
+} // namespace
+
+Program
+synthetic(const SyntheticParams &sp)
+{
+    fatal_if(sp.blocks == 0 || sp.instsPerBlock == 0 || sp.outerIters == 0,
+             "synthetic: all sizes must be positive");
+    Rng rng(sp.seed);
+    Program prog;
+    prog.name = "synthetic";
+
+    // 512-dword scratch array for loads.
+    prog.data.assign(4096, 0);
+    for (std::size_t i = 0; i < prog.data.size(); ++i)
+        prog.data[i] = static_cast<std::uint8_t>(rng.next());
+
+    // --- prologue ---------------------------------------------------------
+    // regBase = dataBase; regIter = outerIters; regSum = 0; data regs = id.
+    const auto emit_li32 = [&](unsigned rd, std::uint64_t val) {
+        prog.push(makeI(Opcode::LUI, rd, 0,
+                        static_cast<std::int32_t>(val >> immBitsI)));
+        prog.push(makeI(Opcode::ORI, rd, rd,
+                        static_cast<std::int32_t>(val &
+                                                  ((1 << immBitsI) - 1))));
+    };
+    emit_li32(regBase, dataBase);
+    emit_li32(regIter, sp.outerIters);
+    prog.push(makeI(Opcode::ADDI, regSum, 0, 0));
+    for (unsigned r = 0; r < numDataRegs; ++r) {
+        prog.push(makeI(Opcode::ADDI, firstDataReg + r, 0,
+                        static_cast<std::int32_t>(r * 17 + 3)));
+    }
+    bool any_fp = false;
+
+    // --- loop body ---------------------------------------------------------
+    const std::size_t loop_top = prog.text.size();
+    for (unsigned b = 0; b < sp.blocks; ++b) {
+        const bool reusing = rng.chance(sp.reuseFraction);
+        const bool fp_block = rng.chance(sp.fpFraction);
+        // Each block owns two operand registers.
+        const unsigned r1 = firstDataReg + (b * 2) % numDataRegs;
+        const unsigned r2 = firstDataReg + (b * 2 + 1) % numDataRegs;
+
+        if (reusing) {
+            // Re-seed to block constants: every op below repeats exactly.
+            prog.push(makeI(Opcode::ADDI, r1, 0,
+                            static_cast<std::int32_t>(b * 7 + 11)));
+            prog.push(makeI(Opcode::ADDI, r2, 0,
+                            static_cast<std::int32_t>(b * 13 + 5)));
+        } else {
+            // Fold in the iteration counter: operands differ every pass.
+            prog.push(makeR(Opcode::ADD, r1, r1, regIter));
+        }
+
+        if (fp_block) {
+            any_fp = true;
+            const unsigned f1 = 1 + (b % 8);
+            const unsigned f2 = 9 + (b % 8);
+            prog.push(makeR(Opcode::FCVTDL, f1, r1, 0));
+            for (unsigned i = 0; i < sp.instsPerBlock; ++i) {
+                prog.push(i % 2 == 0 ? makeR(Opcode::FADD, f2, f2, f1)
+                                     : makeR(Opcode::FMUL, f1, f1, f2));
+            }
+            prog.push(makeR(Opcode::FCVTLD, r2, f2, 0));
+            prog.push(makeR(Opcode::ADD, regSum, regSum, r2));
+            continue;
+        }
+
+        for (unsigned i = 0; i < sp.instsPerBlock; ++i) {
+            if (rng.chance(sp.memFraction)) {
+                // Load from a block-fixed or evolving offset.
+                const std::int32_t off = reusing
+                    ? static_cast<std::int32_t>((b * 56) % 4088)
+                    : static_cast<std::int32_t>((b * 56 + i * 8) % 4088);
+                prog.push(makeI(Opcode::LD, r2, regBase, off));
+                continue;
+            }
+            switch (rng.below(4)) {
+              case 0:
+                prog.push(makeR(Opcode::ADD, r2, r1, r2));
+                break;
+              case 1:
+                prog.push(makeR(Opcode::XOR, r1, r1, r2));
+                break;
+              case 2:
+                prog.push(makeR(Opcode::SUB, r2, r2, r1));
+                break;
+              default:
+                prog.push(makeI(Opcode::SLLI, r1, r1, 1));
+                break;
+            }
+        }
+
+        if (rng.chance(sp.branchFraction)) {
+            // Data-dependent forward branch over one instruction.
+            prog.push(makeI(Opcode::ANDI, r2, r2, 1));
+            prog.push(makeB(Opcode::BEQ, r2, 0, 2));
+            prog.push(makeI(Opcode::ADDI, regSum, regSum, 1));
+        }
+        prog.push(makeR(Opcode::ADD, regSum, regSum, r2));
+    }
+    (void)any_fp;
+
+    // --- loop close ----------------------------------------------------------
+    prog.push(makeI(Opcode::ADDI, regIter, regIter, -1));
+    const auto here = static_cast<std::int64_t>(prog.text.size());
+    prog.push(makeB(Opcode::BNE, regIter, 0,
+                    static_cast<std::int32_t>(
+                        static_cast<std::int64_t>(loop_top) - here)));
+
+    prog.push(makeI(Opcode::PUTINT, 0, regSum, 0));
+    prog.push(Inst(Opcode::HALT, 0, 0, 0, 0));
+    return prog;
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -1,0 +1,120 @@
+#include "workloads/workloads.hh"
+
+#include <map>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+namespace
+{
+
+struct Registered
+{
+    WorkloadInfo info;
+    KernelSource (*source)();
+};
+
+const std::vector<Registered> &
+registry()
+{
+    static const std::vector<Registered> regs = {
+        {{"compress", "gzip", "LZ window matching, int-ALU bound"},
+         compressKernel},
+        {{"route", "vpr", "grid cost relaxation, branchy mins"},
+         routeKernel},
+        {{"cc_expr", "gcc", "recursive expression evaluation, call-heavy"},
+         ccExprKernel},
+        {{"pointer", "mcf", "serial pointer chasing, cache-miss bound"},
+         pointerKernel},
+        {{"parse", "parser", "table-driven tokenising, very high reuse"},
+         parseKernel},
+        {{"object", "vortex", "hash-table store, multiply-hashed keys"},
+         objectKernel},
+        {{"sort", "bzip2", "shell sort over fresh data, low reuse"},
+         sortKernel},
+        {{"anneal", "twolf", "random-swap annealing, mispredict heavy"},
+         annealKernel},
+        {{"stencil", "swim", "FP 5-point Jacobi stencil, FpAdd bound"},
+         stencilKernel},
+        {{"neural", "art", "FP dot-product matching, window bound"},
+         neuralKernel},
+        {{"moldyn", "ammp", "N-body forces, div/sqrt latency bound"},
+         moldynKernel},
+        {{"raster", "mesa", "integer edge-function rasteriser"},
+         rasterKernel},
+    };
+    return regs;
+}
+
+const Registered &
+findKernel(const std::string &name)
+{
+    for (const auto &r : registry()) {
+        if (r.info.name == name)
+            return r;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::string
+expandOuter(const char *text, unsigned outer)
+{
+    std::string s = text;
+    const std::string key = "%OUTER%";
+    const auto at = s.find(key);
+    fatal_if(at == std::string::npos, "kernel lacks %%OUTER%% placeholder");
+    s.replace(at, key.size(), std::to_string(outer));
+    fatal_if(s.find(key) != std::string::npos,
+             "kernel has multiple %%OUTER%% placeholders");
+    return s;
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo> &
+list()
+{
+    static const std::vector<WorkloadInfo> infos = [] {
+        std::vector<WorkloadInfo> v;
+        for (const auto &r : registry())
+            v.push_back(r.info);
+        return v;
+    }();
+    return infos;
+}
+
+bool
+exists(const std::string &name)
+{
+    for (const auto &r : registry()) {
+        if (r.info.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+source(const std::string &name, unsigned scale)
+{
+    fatal_if(scale == 0, "workload scale must be positive");
+    const Registered &r = findKernel(name);
+    const KernelSource k = r.source();
+    return expandOuter(k.asmText, k.defaultOuter * scale);
+}
+
+Program
+build(const std::string &name, unsigned scale)
+{
+    return assemble(source(name, scale), name);
+}
+
+} // namespace workloads
+
+} // namespace direb

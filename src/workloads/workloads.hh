@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload suite: twelve kernels standing in for the paper's SPEC2000
+ * applications, plus a parameterised synthetic generator.
+ *
+ * Each kernel is a self-contained assembly program for the mini-ISA that
+ * mimics the dominant microarchitectural behaviour of one SPEC2000 app
+ * (see DESIGN.md §6): instruction mix, branchiness, memory footprint, and
+ * — critically for the IRB — the degree of operand-value repetition.
+ * Every kernel prints a deterministic checksum (PUTINT) and HALTs, so the
+ * timing core can be validated against the functional VM.
+ */
+
+#ifndef DIREB_WORKLOADS_WORKLOADS_HH
+#define DIREB_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "vm/program.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+/** Catalogue entry for one kernel. */
+struct WorkloadInfo
+{
+    std::string name;        //!< kernel name ("compress", "pointer", ...)
+    std::string mimics;      //!< SPEC2000 app it stands in for
+    std::string description; //!< one-line behaviour summary
+};
+
+/** All twelve kernels, in the canonical bench order. */
+const std::vector<WorkloadInfo> &list();
+
+/** True if @p name is a known kernel. */
+bool exists(const std::string &name);
+
+/**
+ * Assemble kernel @p name.
+ *
+ * @param scale multiplies the main iteration count (1 = default length,
+ *              roughly 150-400K dynamic instructions)
+ * @throws FatalError for unknown names
+ */
+Program build(const std::string &name, unsigned scale = 1);
+
+/** Raw assembly text of kernel @p name with "%OUTER%" already expanded. */
+std::string source(const std::string &name, unsigned scale = 1);
+
+/** Parameters of the synthetic workload generator. */
+struct SyntheticParams
+{
+    std::uint64_t seed = 1;
+    unsigned blocks = 64;          //!< distinct basic blocks in the loop
+    unsigned instsPerBlock = 8;    //!< ALU ops per block
+    unsigned outerIters = 2000;    //!< times the block sequence repeats
+    double fpFraction = 0.0;       //!< fraction of blocks using FP ops
+    double memFraction = 0.2;      //!< fraction of ops that are loads
+    double branchFraction = 0.15;  //!< extra data-dependent branches
+    /**
+     * Probability that a block's operand registers are reset to fixed
+     * values each outer iteration — the direct knob for IRB reuse.
+     */
+    double reuseFraction = 0.5;
+};
+
+/**
+ * Generate a synthetic program with a controllable reuse rate. Used by
+ * the property tests and the IRB sensitivity benches.
+ */
+Program synthetic(const SyntheticParams &params);
+
+} // namespace workloads
+
+} // namespace direb
+
+#endif // DIREB_WORKLOADS_WORKLOADS_HH

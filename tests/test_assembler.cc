@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the assembler: register parsing, directives, labels,
+ * pseudo-instruction expansion, branch offsets, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+
+using namespace direb;
+
+namespace
+{
+
+Inst
+first(const std::string &src)
+{
+    const Program p = assemble(".text\n" + src + "\n");
+    EXPECT_GE(p.size(), 1u);
+    return decode(p.text.at(0));
+}
+
+} // namespace
+
+TEST(AsmRegisters, NumericNames)
+{
+    EXPECT_EQ(parseRegister("x0"), intReg(0));
+    EXPECT_EQ(parseRegister("x31"), intReg(31));
+    EXPECT_EQ(parseRegister("f0"), fpReg(0));
+    EXPECT_EQ(parseRegister("f31"), fpReg(31));
+}
+
+TEST(AsmRegisters, AbiAliases)
+{
+    EXPECT_EQ(parseRegister("zero"), intReg(0));
+    EXPECT_EQ(parseRegister("ra"), intReg(1));
+    EXPECT_EQ(parseRegister("sp"), intReg(2));
+    EXPECT_EQ(parseRegister("t0"), intReg(5));
+    EXPECT_EQ(parseRegister("t2"), intReg(7));
+    EXPECT_EQ(parseRegister("t3"), intReg(28));
+    EXPECT_EQ(parseRegister("t6"), intReg(31));
+    EXPECT_EQ(parseRegister("s0"), intReg(8));
+    EXPECT_EQ(parseRegister("fp"), intReg(8));
+    EXPECT_EQ(parseRegister("s1"), intReg(9));
+    EXPECT_EQ(parseRegister("s2"), intReg(18));
+    EXPECT_EQ(parseRegister("s11"), intReg(27));
+    EXPECT_EQ(parseRegister("a0"), intReg(10));
+    EXPECT_EQ(parseRegister("a7"), intReg(17));
+}
+
+TEST(AsmRegisters, BadNamesAreFatal)
+{
+    EXPECT_THROW(parseRegister("x32"), FatalError);
+    EXPECT_THROW(parseRegister("q7"), FatalError);
+    EXPECT_THROW(parseRegister(""), FatalError);
+}
+
+TEST(Assembler, BasicRType)
+{
+    const Inst i = first("add x1, x2, x3");
+    EXPECT_EQ(i.op, Opcode::ADD);
+    EXPECT_EQ(i.rd, 1);
+    EXPECT_EQ(i.rs1, 2);
+    EXPECT_EQ(i.rs2, 3);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    EXPECT_EQ(first("addi x1, x2, -7").imm, -7);
+    EXPECT_EQ(first("addi x1, x2, 0x10").imm, 16);
+    EXPECT_EQ(first("addi x1, x2, 'a'").imm, 97);
+}
+
+TEST(Assembler, ImmediateRangeEnforced)
+{
+    EXPECT_THROW(assemble(".text\naddi x1, x2, 8192\n"), FatalError);
+    EXPECT_THROW(assemble(".text\naddi x1, x2, -8193\n"), FatalError);
+    EXPECT_NO_THROW(assemble(".text\naddi x1, x2, 8191\n"));
+}
+
+TEST(Assembler, LogicalImmediatesAreUnsigned)
+{
+    // The 14-bit field is stored sign-extended but zero-extended at
+    // execution: ori with 16383 really ORs 0x3fff in.
+    EXPECT_EQ(first("ori x1, x2, 16383").imm, -1);
+    EXPECT_THROW(assemble(".text\nori x1, x2, -1\n"), FatalError);
+    EXPECT_THROW(assemble(".text\nori x1, x2, 16384\n"), FatalError);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const Inst lw = first("lw x5, -4(x6)");
+    EXPECT_EQ(lw.op, Opcode::LW);
+    EXPECT_EQ(lw.rd, 5);
+    EXPECT_EQ(lw.rs1, 6);
+    EXPECT_EQ(lw.imm, -4);
+
+    const Inst sd = first("sd x7, 16(sp)");
+    EXPECT_EQ(sd.op, Opcode::SD);
+    EXPECT_EQ(sd.rs2, 7);
+    EXPECT_EQ(sd.rs1, 2);
+    EXPECT_EQ(sd.imm, 16);
+
+    const Inst zero_off = first("lw x5, (x6)");
+    EXPECT_EQ(zero_off.imm, 0);
+}
+
+TEST(Assembler, FpInstructions)
+{
+    const Inst fa = first("fadd f1, f2, f3");
+    EXPECT_EQ(fa.op, Opcode::FADD);
+    const Inst fl = first("fld f1, 8(x5)");
+    EXPECT_EQ(fl.op, Opcode::FLD);
+    EXPECT_EQ(fl.rd, 1);
+    const Inst fs = first("fsd f1, 8(x5)");
+    EXPECT_EQ(fs.op, Opcode::FSD);
+    EXPECT_EQ(fs.rs2, 1);
+}
+
+TEST(Assembler, WrongRegisterFileIsFatal)
+{
+    EXPECT_THROW(assemble(".text\nfadd x1, x2, x3\n"), FatalError);
+    EXPECT_THROW(assemble(".text\nadd f1, f2, f3\n"), FatalError);
+}
+
+TEST(Assembler, BranchToLabel)
+{
+    const Program p = assemble(R"(
+.text
+top:
+    addi x1, x1, 1
+    beq x1, x2, top
+    bne x1, x2, down
+    nop
+down:
+    halt
+)");
+    const Inst beq = decode(p.text.at(1));
+    EXPECT_EQ(beq.imm, -1); // one word back
+    const Inst bne = decode(p.text.at(2));
+    EXPECT_EQ(bne.imm, 2); // skips the nop
+}
+
+TEST(Assembler, UndefinedLabelIsFatal)
+{
+    EXPECT_THROW(assemble(".text\nbeq x1, x2, nowhere\n"), FatalError);
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    EXPECT_THROW(assemble(".text\na:\nnop\na:\nnop\n"), FatalError);
+}
+
+TEST(Assembler, LiSmallExpandsToAddi)
+{
+    const Program p = assemble(".text\nli x5, 42\n");
+    ASSERT_EQ(p.size(), 1u);
+    const Inst i = decode(p.text[0]);
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.imm, 42);
+}
+
+TEST(Assembler, LiLargeExpandsToLuiOri)
+{
+    const Program p = assemble(".text\nli x5, 1103515245\n");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(decode(p.text[0]).op, Opcode::LUI);
+    EXPECT_EQ(decode(p.text[1]).op, Opcode::ORI);
+}
+
+TEST(Assembler, LiOutOfRangeIsFatal)
+{
+    // 2^40 exceeds the 33-bit li window.
+    EXPECT_THROW(assemble(".text\nli x5, 1099511627776\n"), FatalError);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    const Inst mv = first("mv x3, x4");
+    EXPECT_EQ(mv.op, Opcode::ADDI);
+    EXPECT_EQ(mv.imm, 0);
+
+    const Inst neg = first("neg x3, x4");
+    EXPECT_EQ(neg.op, Opcode::SUB);
+    EXPECT_EQ(neg.rs1, 0);
+
+    const Inst ret = first("ret");
+    EXPECT_EQ(ret.op, Opcode::JALR);
+    EXPECT_EQ(ret.rs1, 1);
+    EXPECT_EQ(ret.rd, 0);
+}
+
+TEST(Assembler, BranchZeroPseudos)
+{
+    EXPECT_EQ(first("beqz x3, 4").op, Opcode::BEQ);
+    EXPECT_EQ(first("bnez x3, 4").op, Opcode::BNE);
+    EXPECT_EQ(first("bltz x3, 4").op, Opcode::BLT);
+    EXPECT_EQ(first("bgez x3, 4").op, Opcode::BGE);
+    const Inst bgtz = first("bgtz x3, 4");
+    EXPECT_EQ(bgtz.op, Opcode::BLT);
+    EXPECT_EQ(bgtz.rs1, 0); // swapped operands
+}
+
+TEST(Assembler, CallAndJ)
+{
+    const Program p = assemble(R"(
+.text
+    call fn
+    j end
+fn:
+    ret
+end:
+    halt
+)");
+    const Inst call = decode(p.text[0]);
+    EXPECT_EQ(call.op, Opcode::JAL);
+    EXPECT_EQ(call.rd, 1);
+    EXPECT_EQ(call.imm, 2);
+    const Inst j = decode(p.text[1]);
+    EXPECT_EQ(j.rd, 0);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = assemble(R"(
+.data
+bytes:  .byte 1, 2, 255
+half:   .half 0x1234
+        .align 4
+word:   .word -1
+dword:  .dword 0x123456789a
+.text
+        halt
+)");
+    EXPECT_EQ(p.data.at(0), 1);
+    EXPECT_EQ(p.data.at(2), 255);
+    EXPECT_EQ(p.data.at(3), 0x34);
+    // .align 4 pads to offset 8 before the word.
+    EXPECT_EQ(p.data.at(8), 0xff);
+    EXPECT_EQ(p.data.at(12), 0x9a);
+}
+
+TEST(Assembler, AsciizAndSpace)
+{
+    const Program p = assemble(R"(
+.data
+msg: .asciiz "hi\n"
+gap: .space 5
+.text
+     halt
+)");
+    EXPECT_EQ(p.data.at(0), 'h');
+    EXPECT_EQ(p.data.at(1), 'i');
+    EXPECT_EQ(p.data.at(2), '\n');
+    EXPECT_EQ(p.data.at(3), 0);
+    EXPECT_EQ(p.data.size(), 9u);
+}
+
+TEST(Assembler, DoubleDirective)
+{
+    const Program p = assemble(".data\nd: .double 1.5\n.text\nhalt\n");
+    double d;
+    ASSERT_EQ(p.data.size(), 8u);
+    std::memcpy(&d, p.data.data(), 8);
+    EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+TEST(Assembler, LaLoadsDataAddress)
+{
+    const Program p = assemble(R"(
+.data
+pad: .space 16
+var: .word 7
+.text
+    la x5, var
+    halt
+)");
+    ASSERT_EQ(p.size(), 3u); // lui + ori + halt
+    EXPECT_EQ(decode(p.text[0]).op, Opcode::LUI);
+    EXPECT_EQ(decode(p.text[1]).op, Opcode::ORI);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    const Program p = assemble(R"(
+.text
+helper:
+    nop
+main:
+    halt
+.entry main
+)");
+    EXPECT_EQ(p.entry, textBase + 4);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(R"(
+# full-line comment
+.text
+    nop      # trailing comment
+    ; semicolon comment
+    halt
+)");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble(".text\nnop\nbogus x1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("asm:3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Assembler, InstructionInDataSectionIsFatal)
+{
+    EXPECT_THROW(assemble(".data\nadd x1, x2, x3\n"), FatalError);
+}
+
+TEST(Assembler, WrongOperandCountIsFatal)
+{
+    EXPECT_THROW(assemble(".text\nadd x1, x2\n"), FatalError);
+    EXPECT_THROW(assemble(".text\nhalt x1\n"), FatalError);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the branch-prediction substrate: saturating counters,
+ * bimodal/gshare/tournament predictors, BTB tagging, RAS behaviour, and
+ * the BranchPredictor facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "common/logging.hh"
+#include "vm/program.hh"
+
+using namespace direb;
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter2 c(0);
+    EXPECT_FALSE(c.taken());
+    c.update(false);
+    EXPECT_EQ(c.raw(), 0u); // saturates low
+    c.update(true);
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+    c.update(true);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 3u); // saturates high
+}
+
+TEST(SatCounter, HysteresisNeedsTwoFlips)
+{
+    SatCounter2 c(3);
+    c.update(false);
+    EXPECT_TRUE(c.taken()); // one not-taken is not enough
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(Bimodal, LearnsAlwaysTaken)
+{
+    BimodalPredictor p(64);
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 4; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+}
+
+TEST(Bimodal, SeparatePcsIndependent)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x1000, true);
+        p.update(0x1004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(Bimodal, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BimodalPredictor p(100), FatalError);
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    // Bimodal cannot learn T,N,T,N...; gshare can via history. Drive it
+    // the way the facade does: shift the prediction speculatively, train
+    // at commit (here immediately, so spec == committed history).
+    GsharePredictor g(1024, 8);
+    bool dir = false;
+    for (int i = 0; i < 200; ++i) {
+        dir = !dir;
+        g.notifySpeculative(g.predict(0x1000));
+        g.update(0x1000, dir);
+        g.restoreHistoryTo(g.history()); // resync (all "commits" done)
+    }
+    int correct = 0;
+    for (int i = 0; i < 20; ++i) {
+        dir = !dir;
+        const bool pred = g.predict(0x1000);
+        correct += pred == dir;
+        g.notifySpeculative(pred);
+        g.update(0x1000, dir);
+        g.restoreHistoryTo(g.history());
+    }
+    EXPECT_GE(correct, 18);
+}
+
+TEST(Gshare, HistoryCheckpointRoundTrip)
+{
+    GsharePredictor g(256, 8);
+    g.notifySpeculative(true);
+    g.notifySpeculative(false);
+    const std::uint64_t snap = g.snapshotHistory();
+    g.notifySpeculative(true); // wrong-path pollution
+    g.notifySpeculative(true);
+    g.restoreHistoryTo(snap);
+    EXPECT_EQ(g.snapshotHistory(), snap);
+    EXPECT_EQ(snap & 3, 0b10u); // oldest..newest = taken, not-taken
+}
+
+TEST(Gshare, HistoryAdvances)
+{
+    GsharePredictor g(256, 4);
+    EXPECT_EQ(g.history(), 0u);
+    g.update(0x1000, true);
+    g.update(0x1000, false);
+    EXPECT_EQ(g.history() & 3, 2u); // ...10
+}
+
+TEST(Tournament, PicksTheBetterComponent)
+{
+    TournamentPredictor t(256, 256, 8, 256);
+    // Alternating pattern: gshare should win the chooser over time.
+    bool dir = false;
+    for (int i = 0; i < 400; ++i) {
+        dir = !dir;
+        t.notifySpeculative(t.predict(0x2000));
+        t.update(0x2000, dir);
+        t.restoreHistoryTo(t.committedHistorySnapshot());
+    }
+    int correct = 0;
+    for (int i = 0; i < 20; ++i) {
+        dir = !dir;
+        const bool pred = t.predict(0x2000);
+        correct += pred == dir;
+        t.notifySpeculative(pred);
+        t.update(0x2000, dir);
+        t.restoreHistoryTo(t.committedHistorySnapshot());
+    }
+    EXPECT_GE(correct, 18);
+}
+
+// ---------------------------------------------------------------------------
+// BTB
+// ---------------------------------------------------------------------------
+
+TEST(Btb, MissWithoutEntry)
+{
+    Btb btb(64);
+    Addr t;
+    EXPECT_FALSE(btb.lookup(0x1000, t));
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb btb(64);
+    btb.update(0x1000, 0x2000);
+    Addr t = 0;
+    ASSERT_TRUE(btb.lookup(0x1000, t));
+    EXPECT_EQ(t, 0x2000u);
+}
+
+TEST(Btb, TagRejectsAliases)
+{
+    Btb btb(16); // index bits [5:2]
+    btb.update(0x1000, 0x2000);
+    Addr t;
+    // Same index, different tag (offset by 16 entries * 4B).
+    EXPECT_FALSE(btb.lookup(0x1000 + 16 * 4, t));
+}
+
+TEST(Btb, ConflictReplaces)
+{
+    Btb btb(16);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000 + 64, 0x3000); // same set, new tag
+    Addr t;
+    EXPECT_FALSE(btb.lookup(0x1000, t));
+    ASSERT_TRUE(btb.lookup(0x1000 + 64, t));
+    EXPECT_EQ(t, 0x3000u);
+}
+
+// ---------------------------------------------------------------------------
+// RAS
+// ---------------------------------------------------------------------------
+
+TEST(Ras, LifoOrder)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, PopWhenEmptyReturnsZero)
+{
+    Ras ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowOverwritesOldest)
+{
+    Ras ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_TRUE(ras.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+TEST(BranchPredictorFacade, NonControlFallsThrough)
+{
+    Config cfg;
+    BranchPredictor bp(cfg);
+    const auto p = bp.predict(0x1000, makeR(Opcode::ADD, 1, 2, 3));
+    EXPECT_FALSE(p.taken);
+}
+
+TEST(BranchPredictorFacade, JalIsAlwaysTakenWithExactTarget)
+{
+    Config cfg;
+    BranchPredictor bp(cfg);
+    const auto p = bp.predict(0x1000, makeJ(Opcode::JAL, 0, 16));
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x1000u + 64u);
+}
+
+TEST(BranchPredictorFacade, TakenBranchNeedsBtb)
+{
+    Config cfg;
+    BranchPredictor bp(cfg);
+    const Inst br = makeB(Opcode::BEQ, 1, 2, 16);
+    // Train taken so the direction predictor says taken.
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x1000, br, true, 0x1040);
+    const auto p = bp.predict(0x1000, br);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x1040u);
+}
+
+TEST(BranchPredictorFacade, TakenPredictionWithoutBtbFallsThrough)
+{
+    Config cfg;
+    cfg.set("bp.kind", "bimodal");
+    BranchPredictor bp(cfg);
+    const Inst br = makeB(Opcode::BNE, 1, 2, 16);
+    // Bimodal initialises weakly not-taken (1); two taken updates flip
+    // the counter without ever inserting a BTB entry... update() inserts
+    // on taken, so force the no-BTB case by a fresh predictor whose
+    // counters we bias via a different PC mapping to the same counter:
+    // simplest: predict on a PC that aliases the trained counter but has
+    // a different BTB tag.
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x1000, br, true, 0x1040);
+    const Addr alias = 0x1000 + 2048 * 4; // same bimodal counter, new tag
+    const auto p = bp.predict(alias, br);
+    EXPECT_FALSE(p.taken); // direction said taken, BTB had no target
+    EXPECT_TRUE(p.btbMiss);
+}
+
+TEST(BranchPredictorFacade, ReturnUsesRas)
+{
+    Config cfg;
+    BranchPredictor bp(cfg);
+    // call: jal ra, ...
+    bp.predict(0x1000, makeJ(Opcode::JAL, regRa, 100));
+    // ret: jalr x0, ra, 0
+    const auto p = bp.predict(0x5000, makeI(Opcode::JALR, 0, regRa, 0));
+    EXPECT_TRUE(p.fromRas);
+    EXPECT_EQ(p.target, 0x1004u);
+}
+
+TEST(BranchPredictorFacade, UnknownKindIsFatal)
+{
+    Config cfg;
+    cfg.set("bp.kind", "oracle");
+    EXPECT_THROW(BranchPredictor bp(cfg), FatalError);
+}

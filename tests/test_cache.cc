@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the cache model and the two-level hierarchy: geometry
+ * validation, hit/miss behaviour, LRU replacement, writebacks, and
+ * hierarchy latency composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+
+using namespace direb;
+
+namespace
+{
+
+CacheParams
+smallCache(unsigned assoc)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = 4 * 64 * assoc; // 4 sets
+    p.assoc = assoc;
+    p.blockBytes = 64;
+    p.hitLatency = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, GeometryValidation)
+{
+    CacheParams p = smallCache(2);
+    p.blockBytes = 48; // not a power of two
+    EXPECT_THROW(Cache c(p), FatalError);
+
+    p = smallCache(2);
+    p.sizeBytes = 1000; // not divisible
+    EXPECT_THROW(Cache c(p), FatalError);
+
+    p = smallCache(2);
+    p.assoc = 0;
+    EXPECT_THROW(Cache c(p), FatalError);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache(2));
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1030, false).hit); // same 64B block
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SetConflictsEvictLru)
+{
+    Cache c(smallCache(2)); // 4 sets, 2 ways
+    // Three blocks mapping to set 0 (stride = 4 sets * 64B = 256).
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    c.access(0x0000, false);          // touch: 0x0100 becomes LRU
+    EXPECT_FALSE(c.access(0x0200, false).hit); // evicts 0x0100
+    EXPECT_TRUE(c.access(0x0000, false).hit);  // MRU survived
+    EXPECT_FALSE(c.access(0x0100, false).hit); // LRU was evicted
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c(smallCache(1)); // direct-mapped, 4 sets
+    c.access(0x0000, true); // dirty
+    const auto res = c.access(0x0100, false); // conflicts, evicts dirty
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, 0x0000u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallCache(1));
+    c.access(0x0000, false);
+    EXPECT_FALSE(c.access(0x0100, false).writeback);
+}
+
+TEST(Cache, WritebackAddressReconstruction)
+{
+    Cache c(smallCache(1));
+    c.access(0x1040, true); // set 1
+    const auto res = c.access(0x2040, false);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, 0x1040u & ~Addr(63));
+}
+
+TEST(Cache, ContainsIsSideEffectFree)
+{
+    Cache c(smallCache(2));
+    c.access(0x0000, false);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x4000));
+    EXPECT_EQ(c.hits() + c.misses(), 1u); // contains() not counted
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallCache(2));
+    c.access(0x0000, false);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x0000));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(smallCache(2));
+    c.access(0x0000, false);
+    c.access(0x0000, false);
+    c.access(0x0000, false);
+    c.access(0x1000, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(MemHierarchy, LatencyComposition)
+{
+    Config cfg;
+    cfg.setInt("l1d.lat", 3);
+    cfg.setInt("l2.lat", 12);
+    cfg.setInt("mem.lat", 100);
+    MemHierarchy h(cfg);
+
+    // Cold: L1 miss + L2 miss + memory.
+    EXPECT_EQ(h.dataAccess(0x8000, false), 3u + 12u + 100u);
+    // Warm: L1 hit.
+    EXPECT_EQ(h.dataAccess(0x8000, false), 3u);
+}
+
+TEST(MemHierarchy, L2HitAfterL1Eviction)
+{
+    Config cfg;
+    cfg.setInt("l1d.size", 1024); // tiny L1: 16 sets x 2 x 32B
+    cfg.setInt("l1d.assoc", 1);
+    cfg.setInt("l1d.block", 32);
+    MemHierarchy h(cfg);
+
+    h.dataAccess(0x0000, false);           // cold fill
+    h.dataAccess(0x0000 + 1024, false);    // evicts from L1, fills L2
+    const Cycle lat = h.dataAccess(0x0000, false); // L1 miss, L2 hit
+    EXPECT_EQ(lat, 3u + 12u);
+}
+
+TEST(MemHierarchy, InstAndDataAreSplit)
+{
+    Config cfg;
+    MemHierarchy h(cfg);
+    h.instAccess(0x1000);
+    EXPECT_EQ(h.l1i().misses(), 1u);
+    EXPECT_EQ(h.l1d().misses(), 0u);
+    // Same block via data side still misses L1D (split caches) but hits
+    // the shared L2.
+    EXPECT_EQ(h.dataAccess(0x1000, false),
+              3u + cfg.getUint("l2.lat", 12));
+}
+
+TEST(MemHierarchy, DefaultGeometryMatchesPaperBase)
+{
+    Config cfg;
+    MemHierarchy h(cfg);
+    EXPECT_EQ(h.l1i().params().sizeBytes, 64u * 1024u);
+    EXPECT_EQ(h.l1d().params().sizeBytes, 64u * 1024u);
+    EXPECT_EQ(h.l2().params().sizeBytes, 1024u * 1024u);
+    EXPECT_EQ(h.l2().params().assoc, 4u);
+}

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, RNG, config store,
+ * statistics package, and the logging error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+using namespace direb;
+
+// ---------------------------------------------------------------------------
+// bitutils
+// ---------------------------------------------------------------------------
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t(1) << 63));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(1023));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtils, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 24), 0xdeu);
+    EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(~std::uint64_t(0), 63, 0), ~std::uint64_t(0));
+}
+
+TEST(BitUtils, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 31, 24, 0xde), 0xde000000u);
+    EXPECT_EQ(insertBits(0xffffffff, 7, 0, 0), 0xffffff00u);
+    // Field wider than the value is masked.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(BitUtils, InsertExtractRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned lo = static_cast<unsigned>(rng.below(60));
+        const unsigned hi = lo + static_cast<unsigned>(rng.below(63 - lo));
+        const std::uint64_t field = rng.next();
+        const std::uint64_t v = insertBits(rng.next(), hi, lo, field);
+        const std::uint64_t width = hi - lo + 1;
+        const std::uint64_t mask = width >= 64
+            ? ~std::uint64_t(0)
+            : ((std::uint64_t(1) << width) - 1);
+        EXPECT_EQ(bits(v, hi, lo), field & mask);
+    }
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(sext(0x7f, 8), 0x7f);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x1fff, 14), 8191);
+    EXPECT_EQ(sext(0x2000, 14), -8192);
+    EXPECT_EQ(sext(~std::uint64_t(0), 64), -1);
+}
+
+TEST(BitUtils, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(8191, 14));
+    EXPECT_FALSE(fitsSigned(8192, 14));
+    EXPECT_TRUE(fitsSigned(-8192, 14));
+    EXPECT_FALSE(fitsSigned(-8193, 14));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_TRUE(fitsSigned(0x7fffffffffffffffLL, 64));
+}
+
+TEST(BitUtils, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t(0)), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+TEST(Config, DefaultsWhenUnset)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("a", 7), 7);
+    EXPECT_EQ(c.getString("b", "x"), "x");
+    EXPECT_DOUBLE_EQ(c.getDouble("c", 1.5), 1.5);
+    EXPECT_TRUE(c.getBool("d", true));
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    c.parse("ruu.size=256");
+    EXPECT_EQ(c.getInt("ruu.size", 128), 256);
+}
+
+TEST(Config, ParseRejectsBadSyntax)
+{
+    Config c;
+    EXPECT_THROW(c.parse("nonsense"), FatalError);
+    EXPECT_THROW(c.parse("=5"), FatalError);
+}
+
+TEST(Config, TypeMismatchIsFatal)
+{
+    Config c;
+    c.set("x", "notanumber");
+    EXPECT_THROW(c.getInt("x", 0), FatalError);
+    EXPECT_THROW(c.getDouble("x", 0.0), FatalError);
+    EXPECT_THROW(c.getBool("x", false), FatalError);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("k", t);
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("k", f);
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, HexIntegers)
+{
+    Config c;
+    c.set("addr", "0x1000");
+    EXPECT_EQ(c.getInt("addr", 0), 0x1000);
+}
+
+TEST(Config, NegativeUintIsFatal)
+{
+    Config c;
+    c.set("n", "-3");
+    EXPECT_THROW(c.getUint("n", 0), FatalError);
+}
+
+TEST(Config, UnusedKeysDetected)
+{
+    Config c;
+    c.parse("typo.key=3");
+    c.getInt("real.key", 1);
+    const auto unused = c.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo.key");
+    EXPECT_THROW(c.checkUnused(), FatalError);
+}
+
+TEST(Config, ConsumedKeysPass)
+{
+    Config c;
+    c.parse("k=3");
+    c.getInt("k", 0);
+    EXPECT_NO_THROW(c.checkUnused());
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, ScalarCounts)
+{
+    stats::Scalar s;
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d;
+    d.init(0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(0.5);
+    d.sample(9.9);
+    d.sample(25.0);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.bucketCounts()[0], 1u);
+    EXPECT_EQ(d.bucketCounts()[4], 1u);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Stats, FormulaRatio)
+{
+    stats::Scalar num, den;
+    stats::Formula f(&num, &den);
+    EXPECT_DOUBLE_EQ(f.value(), 0.0); // no division by zero
+    num += 6;
+    den += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Stats, GroupSnapshotAndDump)
+{
+    stats::Group g("top");
+    stats::Scalar s;
+    stats::Average a;
+    g.addScalar(&s, "count", "a counter");
+    g.addAverage(&a, "avg", "an average");
+    s += 3;
+    a.sample(1.0);
+    a.sample(2.0);
+
+    const auto snap = g.snapshot();
+    EXPECT_DOUBLE_EQ(snap.at("top.count"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.at("top.avg"), 1.5);
+
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("top.count"), std::string::npos);
+    EXPECT_NE(dump.find("a counter"), std::string::npos);
+}
+
+TEST(Stats, NestedGroups)
+{
+    stats::Group parent("core");
+    stats::Group child("irb");
+    stats::Scalar hits;
+    child.addScalar(&hits, "hits", "hits");
+    parent.addChild(&child);
+    hits += 9;
+    EXPECT_DOUBLE_EQ(parent.snapshot().at("core.irb.hits"), 9.0);
+}
+
+TEST(Stats, GroupReset)
+{
+    stats::Group g("g");
+    stats::Scalar s;
+    g.addScalar(&s, "s", "");
+    s += 4;
+    g.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------------
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad thing %d", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, FatalIfConditions)
+{
+    EXPECT_THROW(fatal_if(true, "x"), FatalError);
+    EXPECT_NO_THROW(fatal_if(false, "x"));
+}

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for DIE (Dual Instruction Execution) mode: duplication
+ * book-keeping, architectural equivalence with SIE/VM, commit-time
+ * checking, the single-memory-access rule, stream-independent dataflow,
+ * and the characteristic IPC loss the paper sets out to attack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+const char *sumLoop = R"(
+.text
+        li x5, 0
+        li x6, 0
+loop:   addi x5, x5, 1
+        add x6, x6, x5
+        li x7, 1000
+        blt x5, x7, loop
+        putint x6
+        halt
+)";
+
+harness::SimResult
+runMode(const char *src, const std::string &mode)
+{
+    const Program prog = assemble(src, "t");
+    return harness::run(prog, harness::baseConfig(mode));
+}
+
+} // namespace
+
+TEST(CoreDie, ArchitecturallyIdenticalToVm)
+{
+    const Program prog = assemble(sumLoop, "sum");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDie, CommitsTwoEntriesPerInstruction)
+{
+    const auto r = runMode(sumLoop, "die");
+    EXPECT_EQ(r.core.ruuEntriesCommitted, 2 * r.core.archInsts);
+}
+
+TEST(CoreDie, EveryPairIsChecked)
+{
+    const auto r = runMode(sumLoop, "die");
+    EXPECT_EQ(r.stat("core.checker.checks"),
+              static_cast<double>(r.core.archInsts));
+    EXPECT_EQ(r.stat("core.checker.mismatches"), 0.0);
+}
+
+TEST(CoreDie, SlowerThanSie)
+{
+    const auto sie = runMode(sumLoop, "sie");
+    const auto die = runMode(sumLoop, "die");
+    EXPECT_LT(die.ipc(), sie.ipc());
+    // Architectural results identical.
+    EXPECT_EQ(die.output, sie.output);
+    EXPECT_EQ(die.core.archInsts, sie.core.archInsts);
+}
+
+TEST(CoreDie, MemoryAccessedOncePerLoad)
+{
+    // The duplicate stream performs address calculation only: D-cache
+    // access counts must match the SIE run.
+    const char *loads = R"(
+.text
+        la x10, buf
+        li x5, 500
+loop:   ld x6, 0(x10)
+        ld x7, 8(x10)
+        add x8, x6, x7
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+.data
+buf: .dword 3, 4
+)";
+    const auto sie = runMode(loads, "sie");
+    const auto die = runMode(loads, "die");
+    const double sie_dl1 =
+        sie.stat("core.memhier.l1d.hits") + sie.stat("core.memhier.l1d.misses");
+    const double die_dl1 =
+        die.stat("core.memhier.l1d.hits") + die.stat("core.memhier.l1d.misses");
+    EXPECT_EQ(sie_dl1, die_dl1);
+}
+
+TEST(CoreDie, DuplicatesConsumeAluBandwidth)
+{
+    const auto sie = runMode(sumLoop, "sie");
+    const auto die = runMode(sumLoop, "die");
+    // Twice the entries issue to functional units.
+    EXPECT_NEAR(die.stat("core.fu.issued"), 2 * sie.stat("core.fu.issued"),
+                0.1 * sie.stat("core.fu.issued"));
+}
+
+TEST(CoreDie, EffectiveWidthIsHalved)
+{
+    // With a serial-free, wide program, SIE commits ~8/cycle and DIE ~4
+    // architectural instructions per cycle at best.
+    const char *wide = R"(
+.text
+        li x5, 2000
+loop:   addi x10, x10, 1
+        addi x11, x11, 1
+        addi x12, x12, 1
+        addi x13, x13, 1
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+)";
+    Config cfg = harness::baseConfig("die");
+    cfg.setInt("fu.intalu", 16); // remove the ALU bottleneck
+    const Program prog = assemble(wide, "w");
+    const auto r = harness::run(prog, cfg);
+    EXPECT_LE(r.ipc(), 4.1);
+}
+
+TEST(CoreDie, DoubledRuuFootprint)
+{
+    Config tiny = harness::baseConfig("die");
+    tiny.setInt("ruu.size", 16);
+    const Program prog = assemble(sumLoop, "t");
+    const auto small = harness::run(prog, tiny);
+    const auto base = runMode(sumLoop, "die");
+    EXPECT_GT(small.stat("core.dispatch_stall_ruu"),
+              base.stat("core.dispatch_stall_ruu"));
+}
+
+TEST(CoreDie, OddRuuSizeRejected)
+{
+    Config bad = harness::baseConfig("die");
+    bad.setInt("ruu.size", 127);
+    const Program prog = assemble(sumLoop, "t");
+    EXPECT_THROW(harness::run(prog, bad), FatalError);
+}
+
+TEST(CoreDie, MispredictRecoveryStillWorks)
+{
+    const char *branchy = R"(
+.text
+        li x5, 2000
+        li x6, 777
+        li x7, 1103515245
+        li x9, 0
+loop:   mul x6, x6, x7
+        addi x6, x6, 4057
+        srli x8, x6, 16
+        andi x8, x8, 1
+        beqz x8, skip
+        addi x9, x9, 1
+skip:   addi x5, x5, -1
+        bnez x5, loop
+        putint x9
+        halt
+)";
+    const Program prog = assemble(branchy, "b");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die"));
+    EXPECT_EQ(err, "") << err;
+    const auto r = runMode(branchy, "die");
+    EXPECT_GT(r.stat("core.recoveries"), 100.0);
+}
+
+TEST(CoreDie, StoresCheckedAndPerformedOnce)
+{
+    const char *stores = R"(
+.text
+        la x10, buf
+        li x5, 300
+loop:   sd x5, 0(x10)
+        sd x5, 8(x10)
+        addi x5, x5, -1
+        bnez x5, loop
+        ld x6, 0(x10)
+        putint x6
+        halt
+.data
+buf: .space 16
+)";
+    const Program prog = assemble(stores, "s");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDie, FpAndDivPairsAgree)
+{
+    const char *fp = R"(
+.text
+        li x5, 50
+        li x6, 7
+        fcvtdl f1, x5
+        fcvtdl f2, x6
+        fdiv f3, f1, f2
+        fsqrt f4, f3
+        fmul f5, f4, f4
+        fcvtld x7, f5
+        putint x7
+        div x8, x5, x6
+        putint x8
+        halt
+)";
+    const Program prog = assemble(fp, "fp");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDie, WholeKernelGoldenChecks)
+{
+    // A branchy + a memory-heavy kernel run bit-exact under DIE.
+    for (const char *w : {"anneal", "pointer"}) {
+        const Program prog = workloads::build(w, 1);
+        const std::string err =
+            harness::goldenCheck(prog, harness::baseConfig("die"));
+        EXPECT_EQ(err, "") << w << ": " << err;
+    }
+}
+
+TEST(CoreDie, LossMatchesPaperRange)
+{
+    // Across a couple of ALU-bound kernels the DIE loss must land in the
+    // paper's reported band (roughly 10-45%).
+    for (const char *w : {"compress", "sort"}) {
+        const auto sie =
+            harness::runWorkload(w, harness::baseConfig("sie"));
+        const auto die =
+            harness::runWorkload(w, harness::baseConfig("die"));
+        const double loss = 1.0 - die.ipc() / sie.ipc();
+        EXPECT_GT(loss, 0.10) << w;
+        EXPECT_LT(loss, 0.50) << w;
+    }
+}

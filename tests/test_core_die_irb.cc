@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for DIE-IRB mode: reuse-hit ALU bypass, correctness under reuse,
+ * the no-issue-bandwidth property, primary-only forwarding, port
+ * pressure, and the headline property that the IRB narrows the DIE-SIE
+ * gap on reuse-friendly code without ever breaking architectural state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+/**
+ * A loop whose body re-executes with identical operand values every
+ * iteration (the counter lives in x5 but the reusable block re-seeds its
+ * operands): near-total reuse for the duplicate stream.
+ */
+const char *reuseLoop = R"(
+.text
+        li x5, 2000
+loop:   li x10, 7
+        li x11, 9
+        add x12, x10, x11
+        xor x13, x10, x11
+        sub x14, x12, x13
+        and x15, x12, x14
+        or  x16, x15, x10
+        add x17, x16, x11
+        addi x5, x5, -1
+        bnez x5, loop
+        putint x17
+        halt
+)";
+
+/** A loop with zero operand repetition (everything tracks the counter). */
+const char *noReuseLoop = R"(
+.text
+        li x5, 2000
+        li x6, 0
+loop:   add x6, x6, x5
+        xor x7, x6, x5
+        add x8, x7, x6
+        sub x9, x8, x5
+        addi x5, x5, -1
+        bnez x5, loop
+        putint x8
+        halt
+)";
+
+harness::SimResult
+runMode(const char *src, const std::string &mode,
+        Config cfg = Config())
+{
+    cfg.set("core.mode", mode);
+    const Program prog = assemble(src, "t");
+    return harness::run(prog, cfg);
+}
+
+} // namespace
+
+TEST(CoreDieIrb, GoldenOnReuseHeavyCode)
+{
+    const Program prog = assemble(reuseLoop, "r");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die-irb"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDieIrb, ReuseHitsBypassTheAlus)
+{
+    const auto r = runMode(reuseLoop, "die-irb");
+    EXPECT_GT(r.stat("core.bypassed_alu"), 10000.0);
+    // Bypassed duplicates must not show up at functional units:
+    // issued + bypassed ~= dispatched (minus squashes).
+    EXPECT_LT(r.stat("core.fu.issued"),
+              r.stat("core.dispatched") - r.stat("core.bypassed_alu") +
+                  r.stat("core.wrong_path") + 1000);
+}
+
+TEST(CoreDieIrb, NoReuseNoBypass)
+{
+    const auto r = runMode(noReuseLoop, "die-irb");
+    // PC hits galore, but the reuse test keeps failing.
+    EXPECT_GT(r.stat("core.irb.pc_hits"), 5000.0);
+    EXPECT_LT(r.stat("core.bypassed_alu"),
+              0.15 * r.stat("core.irb.pc_hits"));
+}
+
+TEST(CoreDieIrb, FasterThanDieOnReuseHeavyCode)
+{
+    Config narrow;
+    narrow.setInt("fu.intalu", 2); // sharpen the ALU bottleneck
+    const auto die = runMode(reuseLoop, "die", narrow);
+    const auto irb = runMode(reuseLoop, "die-irb", narrow);
+    EXPECT_GT(irb.ipc(), die.ipc() * 1.1);
+}
+
+TEST(CoreDieIrb, NeverMeaningfullySlowerThanDie)
+{
+    for (const char *src : {reuseLoop, noReuseLoop}) {
+        const auto die = runMode(src, "die");
+        const auto irb = runMode(src, "die-irb");
+        EXPECT_GE(irb.ipc(), die.ipc() * 0.98);
+    }
+}
+
+TEST(CoreDieIrb, BoundedBySie)
+{
+    const auto sie = runMode(reuseLoop, "sie");
+    const auto irb = runMode(reuseLoop, "die-irb");
+    EXPECT_LE(irb.ipc(), sie.ipc() * 1.001);
+}
+
+TEST(CoreDieIrb, ChecksStillCoverEveryInstruction)
+{
+    const auto r = runMode(reuseLoop, "die-irb");
+    EXPECT_EQ(r.stat("core.checker.checks"),
+              static_cast<double>(r.core.archInsts));
+    EXPECT_EQ(r.stat("core.checker.mismatches"), 0.0);
+}
+
+TEST(CoreDieIrb, PortDropsUnderWideReuse)
+{
+    // Only 4R+2RW lookups per cycle: a wide front end generates drops.
+    Config cfg;
+    cfg.setInt("irb.read_ports", 1);
+    cfg.setInt("irb.rw_ports", 0);
+    const auto r = runMode(reuseLoop, "die-irb", cfg);
+    EXPECT_GT(r.stat("core.irb.lookup_port_drops"), 1000.0);
+    // Drops degrade but never break: still architecturally correct.
+    EXPECT_EQ(r.output, runMode(reuseLoop, "sie").output);
+}
+
+TEST(CoreDieIrb, FewerPortsMeansFewerBypasses)
+{
+    Config full;
+    Config starved;
+    starved.setInt("irb.read_ports", 1);
+    starved.setInt("irb.rw_ports", 0);
+    starved.setInt("irb.write_ports", 1);
+    const auto f = runMode(reuseLoop, "die-irb", full);
+    const auto s = runMode(reuseLoop, "die-irb", starved);
+    EXPECT_GT(f.stat("core.bypassed_alu"), s.stat("core.bypassed_alu"));
+}
+
+TEST(CoreDieIrb, TinyIrbStillCorrect)
+{
+    Config cfg;
+    cfg.setInt("irb.entries", 4);
+    const Program prog = assemble(reuseLoop, "r");
+    cfg.set("core.mode", "die-irb");
+    const std::string err = harness::goldenCheck(prog, cfg);
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDieIrb, BiggerIrbNeverHurtsHitRate)
+{
+    // Kernel with a larger static footprint than a tiny IRB.
+    const Program prog = workloads::build("parse", 1);
+    double prev_hits = -1.0;
+    for (const int entries : {16, 128, 1024}) {
+        Config cfg = harness::baseConfig("die-irb");
+        cfg.setInt("irb.entries", entries);
+        const auto r = harness::run(prog, cfg);
+        EXPECT_GE(r.stat("core.irb.reuse_hits"), prev_hits);
+        prev_hits = r.stat("core.irb.reuse_hits");
+    }
+}
+
+TEST(CoreDieIrb, LoadsReuseAddressGeneration)
+{
+    // Fixed-address loads in a loop: the duplicate's address calc reuses.
+    const char *loads = R"(
+.text
+        la x10, buf
+        li x5, 1500
+loop:   ld x6, 0(x10)
+        ld x7, 8(x10)
+        add x8, x6, x7
+        addi x5, x5, -1
+        bnez x5, loop
+        putint x8
+        halt
+.data
+buf: .dword 3, 4
+)";
+    const auto r = runMode(loads, "die-irb");
+    EXPECT_GT(r.stat("core.bypassed_alu"), 2000.0);
+    const Program prog = assemble(loads, "l");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die-irb"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDieIrb, JumpTargetsAlwaysReuse)
+{
+    // Unconditional jumps have constant operands: their duplicates should
+    // hit from the second execution on.
+    const char *jumps = R"(
+.text
+        li x5, 1000
+loop:   j mid
+mid:    j tail
+tail:   addi x5, x5, -1
+        bnez x5, loop
+        halt
+)";
+    const auto r = runMode(jumps, "die-irb");
+    EXPECT_GT(r.stat("core.irb.reuse_hits"), 1800.0);
+}
+
+TEST(CoreDieIrb, RecoveryViaDuplicateBranchWorks)
+{
+    // Mispredict-heavy code where branch duplicates may resolve via the
+    // IRB: everything must stay architecturally exact.
+    const char *branchy = R"(
+.text
+        li x5, 1500
+        li x6, 777
+        li x7, 1103515245
+        li x9, 0
+loop:   mul x6, x6, x7
+        addi x6, x6, 4057
+        srli x8, x6, 16
+        andi x8, x8, 1
+        beqz x8, skip
+        addi x9, x9, 1
+skip:   addi x5, x5, -1
+        bnez x5, loop
+        putint x9
+        halt
+)";
+    const Program prog = assemble(branchy, "b");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("die-irb"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreDieIrb, KernelsRunGoldenUnderIrb)
+{
+    for (const char *w : {"compress", "parse", "neural"}) {
+        const Program prog = workloads::build(w, 1);
+        const std::string err =
+            harness::goldenCheck(prog, harness::baseConfig("die-irb"));
+        EXPECT_EQ(err, "") << w << ": " << err;
+    }
+}
+
+TEST(CoreDieIrb, RecoversIpcOnTheSuite)
+{
+    // The headline property on two reuse-friendly kernels: DIE-IRB sits
+    // strictly between DIE and SIE.
+    for (const char *w : {"compress", "raster"}) {
+        const auto sie = harness::runWorkload(w, harness::baseConfig("sie"));
+        const auto die = harness::runWorkload(w, harness::baseConfig("die"));
+        const auto irb =
+            harness::runWorkload(w, harness::baseConfig("die-irb"));
+        EXPECT_GT(irb.ipc(), die.ipc() * 1.02) << w;
+        EXPECT_LT(irb.ipc(), sie.ipc()) << w;
+    }
+}

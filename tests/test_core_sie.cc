@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the out-of-order core in SIE (baseline) mode: architectural
+ * correctness against the functional VM, pipeline timing properties,
+ * branch misprediction recovery, wrong-path containment, and resource
+ * limit behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "harness/runner.hh"
+
+using namespace direb;
+
+namespace
+{
+
+harness::SimResult
+runSie(const std::string &src, Config cfg = harness::baseConfig("sie"))
+{
+    const Program prog = assemble(src, "t");
+    return harness::run(prog, cfg);
+}
+
+const char *sumLoop = R"(
+.text
+        li x5, 0
+        li x6, 0
+loop:   addi x5, x5, 1
+        add x6, x6, x5
+        li x7, 1000
+        blt x5, x7, loop
+        putint x6
+        halt
+)";
+
+} // namespace
+
+TEST(CoreSie, MatchesVmOnSimplePrograms)
+{
+    const Program prog = assemble(sumLoop, "sum");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("sie"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreSie, HaltStopsWithCorrectCount)
+{
+    const auto r = runSie(".text\nli x5, 1\nli x6, 2\nhalt\n");
+    EXPECT_EQ(r.core.stop, StopReason::Halted);
+    EXPECT_EQ(r.core.archInsts, 3u);
+}
+
+TEST(CoreSie, OutputMatchesProgram)
+{
+    const auto r = runSie(sumLoop);
+    EXPECT_EQ(r.output, "500500\n");
+}
+
+TEST(CoreSie, IpcAboveOneOnIlpCode)
+{
+    // Eight independent chains: should sustain well above 1 IPC.
+    const auto r = runSie(R"(
+.text
+        li x5, 2000
+loop:   addi x10, x10, 1
+        addi x11, x11, 2
+        addi x12, x12, 3
+        addi x13, x13, 4
+        addi x14, x14, 1
+        addi x15, x15, 2
+        addi x16, x16, 3
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+)");
+    EXPECT_GT(r.ipc(), 2.0);
+}
+
+TEST(CoreSie, SerialChainLimitsIpc)
+{
+    // One serial dependence chain: IPC must stay near 1 (plus overhead).
+    const auto r = runSie(R"(
+.text
+        li x5, 2000
+        li x6, 0
+loop:   addi x6, x6, 1
+        addi x6, x6, 1
+        addi x6, x6, 1
+        addi x6, x6, 1
+        addi x6, x6, 1
+        addi x6, x6, 1
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+)");
+    EXPECT_LT(r.ipc(), 1.6);
+    EXPECT_GT(r.ipc(), 0.8);
+}
+
+TEST(CoreSie, MulLatencyVisible)
+{
+    // Serial multiply chain: ~3 cycles per mul.
+    const auto r = runSie(R"(
+.text
+        li x5, 1000
+        li x6, 1
+loop:   mul x6, x6, x6
+        mul x6, x6, x6
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+)");
+    // 2 muls * 3 cycles dominate each 4-instruction iteration.
+    EXPECT_LT(r.ipc(), 1.0);
+}
+
+TEST(CoreSie, FuContentionLimitsThroughput)
+{
+    Config narrow = harness::baseConfig("sie");
+    narrow.setInt("fu.intalu", 1);
+    const auto wide = runSie(sumLoop);
+    const auto one_alu = runSie(sumLoop, narrow);
+    EXPECT_GT(wide.ipc(), one_alu.ipc());
+    EXPECT_GT(one_alu.stat("core.fu.fu_busy"), 0.0);
+}
+
+TEST(CoreSie, BranchPredictorLearnsLoop)
+{
+    const auto r = runSie(sumLoop);
+    // The loop branch is highly biased: well under 10% mispredicts.
+    const double recov = r.stat("core.recoveries");
+    EXPECT_LT(recov, 60.0);
+}
+
+TEST(CoreSie, MispredictsCauseRecoveries)
+{
+    // Data-dependent unpredictable branch pattern via LCG.
+    const auto r = runSie(R"(
+.text
+        li x5, 3000
+        li x6, 777
+        li x7, 1103515245
+        li x9, 0
+loop:   mul x6, x6, x7
+        addi x6, x6, 4057
+        srli x8, x6, 16
+        andi x8, x8, 1
+        beqz x8, skip
+        addi x9, x9, 1
+skip:   addi x5, x5, -1
+        bnez x5, loop
+        putint x9
+        halt
+)");
+    EXPECT_GT(r.stat("core.recoveries"), 500.0);
+    // And the result is still architecturally correct.
+    EXPECT_EQ(r.core.stop, StopReason::Halted);
+}
+
+TEST(CoreSie, WrongPathWorkIsObservable)
+{
+    const auto r = runSie(R"(
+.text
+        li x5, 2000
+        li x6, 777
+        li x7, 1103515245
+loop:   mul x6, x6, x7
+        addi x6, x6, 4057
+        srli x8, x6, 17
+        andi x8, x8, 1
+        beqz x8, skip
+        addi x9, x9, 1
+skip:   addi x5, x5, -1
+        bnez x5, loop
+        halt
+)");
+    EXPECT_GT(r.stat("core.wrong_path"), 1000.0);
+}
+
+TEST(CoreSie, WrongPathStoresDoNotCorruptMemory)
+{
+    // A store sits on the wrong path of a mispredicted branch; memory
+    // must end up exactly as the VM computes it.
+    const Program prog = assemble(R"(
+.text
+        la x10, buf
+        li x5, 500
+        li x6, 777
+        li x7, 1103515245
+loop:   mul x6, x6, x7
+        addi x6, x6, 4057
+        srli x8, x6, 16
+        andi x8, x8, 1
+        bnez x8, skip
+        sd x6, 0(x10)
+skip:   addi x5, x5, -1
+        bnez x5, loop
+        ld x11, 0(x10)
+        putint x11
+        halt
+.data
+buf: .space 8
+)", "wp");
+    const std::string err =
+        harness::goldenCheck(prog, harness::baseConfig("sie"));
+    EXPECT_EQ(err, "") << err;
+}
+
+TEST(CoreSie, InstLimitStops)
+{
+    const Program prog = assemble(".text\nspin: j spin\n", "spin");
+    Config cfg = harness::baseConfig("sie");
+    const auto r = harness::run(prog, cfg, 5000);
+    EXPECT_EQ(r.core.stop, StopReason::InstLimit);
+    EXPECT_GE(r.core.archInsts, 5000u);
+}
+
+TEST(CoreSie, RunningOffTextEndsRun)
+{
+    const Program prog = assemble(".text\nnop\nnop\nnop\n", "off");
+    const auto r = harness::run(prog, harness::baseConfig("sie"));
+    EXPECT_EQ(r.core.stop, StopReason::BadPc);
+}
+
+TEST(CoreSie, SmallRuuThrottles)
+{
+    Config tiny = harness::baseConfig("sie");
+    tiny.setInt("ruu.size", 8);
+    tiny.setInt("lsq.size", 4);
+    const auto small = runSie(sumLoop, tiny);
+    const auto big = runSie(sumLoop);
+    EXPECT_GE(big.ipc(), small.ipc());
+    EXPECT_GT(small.stat("core.dispatch_stall_ruu"), 0.0);
+}
+
+TEST(CoreSie, CacheMissesSlowLoads)
+{
+    // Stride through 512 KiB (beyond L1) vs hitting one line.
+    const char *body = R"(
+.text
+        li x5, 4000
+        li x6, 0
+        li x8, 0x20000000
+        li x10, 1048575
+loop:   add x7, x8, x6
+        ld x9, 0(x7)
+        addi x6, x6, %STRIDE%
+        and x6, x6, x10
+        addi x5, x5, -1
+        bnez x5, loop
+        halt
+)";
+    std::string near = body, far = body;
+    near.replace(near.find("%STRIDE%"), 8, "0");
+    far.replace(far.find("%STRIDE%"), 8, "128");
+    const auto rn = runSie(near);
+    const auto rf = runSie(far);
+    EXPECT_GT(rn.ipc(), rf.ipc());
+}
+
+TEST(CoreSie, StoreToLoadForwardingFast)
+{
+    // Immediate reload of a just-stored value should not pay cache misses
+    // beyond the first.
+    const auto r = runSie(R"(
+.text
+        la x10, buf
+        li x5, 2000
+loop:   sd x5, 0(x10)
+        ld x6, 0(x10)
+        add x7, x7, x6
+        addi x5, x5, -1
+        bnez x5, loop
+        putint x7
+        halt
+.data
+buf: .space 8
+)");
+    EXPECT_GT(r.stat("core.loads_forwarded"), 1500.0);
+    EXPECT_EQ(r.core.stop, StopReason::Halted);
+}
+
+TEST(CoreSie, ChecksNeverRunInSieMode)
+{
+    const auto r = runSie(sumLoop);
+    EXPECT_EQ(r.stat("core.checker.checks"), 0.0);
+}
+
+TEST(CoreSie, StatsDumpRendersKeyCounters)
+{
+    const auto r = runSie(sumLoop);
+    EXPECT_NE(r.statsText.find("core.cycles"), std::string::npos);
+    EXPECT_NE(r.statsText.find("core.ipc"), std::string::npos);
+    EXPECT_NE(r.statsText.find("core.bp.lookups"), std::string::npos);
+    EXPECT_NE(r.statsText.find("core.memhier.l1d.hits"), std::string::npos);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the functional-unit pool: unit counts, latency/issue-rate
+ * semantics (pipelined vs non-pipelined), class-to-unit mapping, and
+ * memory-port arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/fu_pool.hh"
+
+using namespace direb;
+
+TEST(FuPool, DefaultCountsMatchPaperBase)
+{
+    Config cfg;
+    FuPool fus(cfg);
+    EXPECT_EQ(fus.unitCount(OpClass::IntAlu), 4u);
+    EXPECT_EQ(fus.unitCount(OpClass::IntMul), 2u);
+    EXPECT_EQ(fus.unitCount(OpClass::IntDiv), 2u); // shared with IntMul
+    EXPECT_EQ(fus.unitCount(OpClass::FpAdd), 2u);
+    EXPECT_EQ(fus.unitCount(OpClass::FpMul), 1u);
+    EXPECT_EQ(fus.unitCount(OpClass::FpDiv), 1u);
+    EXPECT_EQ(fus.unitCount(OpClass::FpSqrt), 1u);
+}
+
+TEST(FuPool, SimpleScalarLatencies)
+{
+    Config cfg;
+    FuPool fus(cfg);
+    EXPECT_EQ(fus.timing(OpClass::IntAlu).opLatency, 1u);
+    EXPECT_EQ(fus.timing(OpClass::IntMul).opLatency, 3u);
+    EXPECT_EQ(fus.timing(OpClass::IntDiv).opLatency, 20u);
+    EXPECT_EQ(fus.timing(OpClass::IntDiv).issueLatency, 19u);
+    EXPECT_EQ(fus.timing(OpClass::FpAdd).opLatency, 2u);
+    EXPECT_EQ(fus.timing(OpClass::FpMul).opLatency, 4u);
+    EXPECT_EQ(fus.timing(OpClass::FpDiv).opLatency, 12u);
+    EXPECT_EQ(fus.timing(OpClass::FpDiv).issueLatency, 12u);
+    EXPECT_EQ(fus.timing(OpClass::FpSqrt).opLatency, 24u);
+}
+
+TEST(FuPool, IssueConsumesUnits)
+{
+    Config cfg;
+    cfg.setInt("fu.intalu", 2);
+    FuPool fus(cfg);
+    Cycle lat;
+    EXPECT_TRUE(fus.tryIssue(OpClass::IntAlu, 0, lat));
+    EXPECT_TRUE(fus.tryIssue(OpClass::IntAlu, 0, lat));
+    EXPECT_FALSE(fus.tryIssue(OpClass::IntAlu, 0, lat)); // both busy
+    EXPECT_TRUE(fus.tryIssue(OpClass::IntAlu, 1, lat));  // freed next cycle
+    EXPECT_EQ(fus.structuralStalls(), 1u);
+}
+
+TEST(FuPool, PipelinedUnitAcceptsEveryCycle)
+{
+    Config cfg;
+    cfg.setInt("fu.fpmul", 1);
+    FuPool fus(cfg);
+    Cycle lat;
+    ASSERT_TRUE(fus.tryIssue(OpClass::FpMul, 0, lat));
+    EXPECT_EQ(lat, 4u);
+    // FpMul issue latency 1: unit free again next cycle despite 4-cycle
+    // operation latency.
+    EXPECT_TRUE(fus.tryIssue(OpClass::FpMul, 1, lat));
+}
+
+TEST(FuPool, NonPipelinedUnitBlocks)
+{
+    Config cfg;
+    FuPool fus(cfg);
+    Cycle lat;
+    ASSERT_TRUE(fus.tryIssue(OpClass::FpDiv, 0, lat)); // issue lat 12
+    EXPECT_FALSE(fus.tryIssue(OpClass::FpDiv, 5, lat));
+    EXPECT_FALSE(fus.canIssue(OpClass::FpSqrt, 11)); // same physical unit
+    EXPECT_TRUE(fus.tryIssue(OpClass::FpSqrt, 12, lat));
+    EXPECT_EQ(lat, 24u);
+}
+
+TEST(FuPool, MulAndDivShareUnits)
+{
+    Config cfg;
+    cfg.setInt("fu.intmul", 1);
+    FuPool fus(cfg);
+    Cycle lat;
+    ASSERT_TRUE(fus.tryIssue(OpClass::IntDiv, 0, lat)); // blocks 19 cycles
+    EXPECT_FALSE(fus.canIssue(OpClass::IntMul, 10));
+    EXPECT_TRUE(fus.canIssue(OpClass::IntMul, 19));
+}
+
+TEST(FuPool, AddressGenerationUsesIntAlu)
+{
+    // The paper's platform computes memory addresses on the ALUs; the
+    // MemRead/MemWrite classes must therefore drain IntAlu units.
+    Config cfg;
+    cfg.setInt("fu.intalu", 1);
+    FuPool fus(cfg);
+    Cycle lat;
+    ASSERT_TRUE(fus.tryIssue(OpClass::MemRead, 0, lat));
+    EXPECT_FALSE(fus.canIssue(OpClass::IntAlu, 0));
+    EXPECT_TRUE(fus.canIssue(OpClass::IntAlu, 1));
+}
+
+TEST(FuPool, NopNeedsNoUnit)
+{
+    Config cfg;
+    cfg.setInt("fu.intalu", 1);
+    FuPool fus(cfg);
+    Cycle lat;
+    fus.tryIssue(OpClass::IntAlu, 0, lat);
+    EXPECT_TRUE(fus.tryIssue(OpClass::Nop, 0, lat)); // always succeeds
+}
+
+TEST(FuPool, MemPortsArbitrated)
+{
+    Config cfg; // 2 ports by default
+    FuPool fus(cfg);
+    EXPECT_TRUE(fus.tryMemPort(0));
+    EXPECT_TRUE(fus.tryMemPort(0));
+    EXPECT_FALSE(fus.tryMemPort(0));
+    EXPECT_TRUE(fus.tryMemPort(1));
+}
+
+TEST(FuPool, ConfigurableCountsAndLatencies)
+{
+    Config cfg;
+    cfg.setInt("fu.intalu", 8);
+    cfg.setInt("lat.intmul", 5);
+    FuPool fus(cfg);
+    EXPECT_EQ(fus.unitCount(OpClass::IntAlu), 8u);
+    EXPECT_EQ(fus.timing(OpClass::IntMul).opLatency, 5u);
+}
+
+TEST(FuPool, ZeroUnitsIsFatal)
+{
+    Config cfg;
+    cfg.setInt("fu.intalu", 0);
+    EXPECT_THROW(FuPool fus(cfg), FatalError);
+}

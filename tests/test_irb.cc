@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the Instruction Reuse Buffer: lookup/update semantics,
+ * the port model (4R/2W/2RW), CTR replacement hysteresis, associativity,
+ * the victim buffer, and fault injection into stored entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/irb.hh"
+
+using namespace direb;
+
+namespace
+{
+
+Config
+irbConfig(std::int64_t entries = 1024, std::int64_t assoc = 1)
+{
+    Config c;
+    c.setInt("irb.entries", entries);
+    c.setInt("irb.assoc", assoc);
+    return c;
+}
+
+} // namespace
+
+TEST(Irb, MissOnEmpty)
+{
+    Irb irb(irbConfig());
+    irb.beginCycle();
+    const auto r = irb.lookup(0x1000);
+    EXPECT_FALSE(r.pcHit);
+    EXPECT_FALSE(r.portDrop);
+    EXPECT_EQ(irb.pcMisses(), 1u);
+}
+
+TEST(Irb, UpdateThenHitReturnsStoredTuple)
+{
+    Irb irb(irbConfig());
+    irb.beginCycle();
+    ASSERT_TRUE(irb.update(0x1000, 11, 22, 33));
+    irb.beginCycle();
+    const auto r = irb.lookup(0x1000);
+    ASSERT_TRUE(r.pcHit);
+    EXPECT_EQ(r.op1, 11u);
+    EXPECT_EQ(r.op2, 22u);
+    EXPECT_EQ(r.result, 33u);
+}
+
+TEST(Irb, SamePcUpdateOverwrites)
+{
+    Irb irb(irbConfig());
+    irb.beginCycle();
+    irb.update(0x1000, 1, 2, 3);
+    irb.beginCycle();
+    irb.update(0x1000, 4, 5, 6);
+    irb.beginCycle();
+    const auto r = irb.lookup(0x1000);
+    ASSERT_TRUE(r.pcHit);
+    EXPECT_EQ(r.result, 6u);
+}
+
+TEST(Irb, DirectMappedConflictsMiss)
+{
+    Irb irb(irbConfig(16, 1));
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 1);
+    // Same set (16 entries * 4B apart), different PC; CTR defers once.
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 2); // deferred by hysteresis
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000).pcHit); // also recharges the CTR
+    EXPECT_EQ(irb.ctrDeferrals(), 1u);
+    // Conflicting updates must drain the recharged counter to replace.
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 2); // drains the lookup recharge
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 2); // counter at zero: replaces
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1000).pcHit);
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000 + 64).pcHit);
+}
+
+TEST(Irb, CtrRechargeProtectsHotEntries)
+{
+    // An entry that keeps getting looked up resists an alternating
+    // conflicting PC indefinitely (the hysteresis working as intended).
+    Irb irb(irbConfig(16, 1));
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 1);
+    for (int i = 0; i < 50; ++i) {
+        irb.beginCycle();
+        EXPECT_TRUE(irb.lookup(0x1000).pcHit) << i; // +1 charge
+        irb.update(0x1000 + 64, 2, 2, 2);           // -1 charge
+    }
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000).pcHit);
+}
+
+TEST(Irb, HysteresisDisabledReplacesImmediately)
+{
+    Config c = irbConfig(16, 1);
+    c.setInt("irb.ctr_bits", 0);
+    Irb irb(c);
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 1);
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 2);
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1000).pcHit);
+    EXPECT_TRUE(irb.lookup(0x1000 + 64).pcHit);
+    EXPECT_EQ(irb.ctrDeferrals(), 0u);
+}
+
+TEST(Irb, AssociativityKeepsConflictingPcs)
+{
+    Config c = irbConfig(32, 2); // 16 sets, 2 ways
+    c.setInt("irb.ctr_bits", 0);
+    Irb irb(c);
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 1);
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 2); // same set, second way
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000).pcHit);
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000 + 64).pcHit);
+}
+
+TEST(Irb, LruWithinSet)
+{
+    Config c = irbConfig(32, 2);
+    c.setInt("irb.ctr_bits", 0);
+    Irb irb(c);
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 1);
+    irb.beginCycle();
+    irb.update(0x1040, 2, 2, 2);
+    irb.beginCycle();
+    irb.lookup(0x1000); // make 0x1040 the LRU way
+    irb.beginCycle();
+    irb.update(0x1080, 3, 3, 3); // evicts 0x1040
+    irb.beginCycle();
+    EXPECT_TRUE(irb.lookup(0x1000).pcHit);
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1040).pcHit);
+}
+
+TEST(Irb, VictimBufferCatchesEvictions)
+{
+    Config c = irbConfig(16, 1);
+    c.setInt("irb.ctr_bits", 0);
+    c.setInt("irb.victim_entries", 4);
+    Irb irb(c);
+    irb.beginCycle();
+    irb.update(0x1000, 1, 1, 7);
+    irb.beginCycle();
+    irb.update(0x1000 + 64, 2, 2, 8); // evicts 0x1000 into the victim buf
+    irb.beginCycle();
+    const auto r = irb.lookup(0x1000);
+    ASSERT_TRUE(r.pcHit);
+    EXPECT_EQ(r.result, 7u);
+    EXPECT_EQ(irb.victimHits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Port model
+// ---------------------------------------------------------------------------
+
+TEST(IrbPorts, LookupBudgetIsReadPlusShared)
+{
+    Config c = irbConfig();
+    c.setInt("irb.read_ports", 2);
+    c.setInt("irb.rw_ports", 1);
+    c.setInt("irb.write_ports", 1);
+    Irb irb(c);
+    irb.beginCycle();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(irb.lookup(0x1000 + 4 * i).portDrop);
+    EXPECT_TRUE(irb.lookup(0x2000).portDrop); // 2R + 1RW exhausted
+    EXPECT_EQ(irb.lookupDrops(), 1u);
+}
+
+TEST(IrbPorts, UpdatesDroppedWithoutPorts)
+{
+    Config c = irbConfig();
+    c.setInt("irb.write_ports", 1);
+    c.setInt("irb.rw_ports", 0);
+    Irb irb(c);
+    irb.beginCycle();
+    EXPECT_TRUE(irb.update(0x1000, 1, 1, 1));
+    EXPECT_FALSE(irb.update(0x1004, 2, 2, 2));
+    EXPECT_EQ(irb.updateDrops(), 1u);
+    // Dropped update really is dropped.
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1004).pcHit);
+}
+
+TEST(IrbPorts, SharedPortsServeBothSides)
+{
+    Config c = irbConfig();
+    c.setInt("irb.read_ports", 0);
+    c.setInt("irb.write_ports", 0);
+    c.setInt("irb.rw_ports", 2);
+    Irb irb(c);
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1000).portDrop); // uses one RW
+    EXPECT_TRUE(irb.update(0x1000, 1, 1, 1));  // uses the other
+    EXPECT_TRUE(irb.lookup(0x2000).portDrop);  // none left
+    EXPECT_FALSE(irb.update(0x2000, 2, 2, 2));
+}
+
+TEST(IrbPorts, BudgetResetsEachCycle)
+{
+    Config c = irbConfig();
+    c.setInt("irb.read_ports", 1);
+    c.setInt("irb.rw_ports", 0);
+    Irb irb(c);
+    irb.beginCycle();
+    irb.lookup(0x1000);
+    EXPECT_TRUE(irb.lookup(0x1004).portDrop);
+    irb.beginCycle();
+    EXPECT_FALSE(irb.lookup(0x1004).portDrop);
+}
+
+TEST(IrbPorts, PaperDefaultsAllowFourLookupsAndTwoUpdates)
+{
+    Irb irb(irbConfig());
+    irb.beginCycle();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(irb.lookup(0x1000 + 4 * i).portDrop);
+    EXPECT_TRUE(irb.update(0x2000, 1, 1, 1));
+    EXPECT_TRUE(irb.update(0x2004, 1, 1, 1));
+    // Two RW ports remain for either side.
+    EXPECT_FALSE(irb.lookup(0x3000).portDrop);
+    EXPECT_TRUE(irb.update(0x2008, 1, 1, 1));
+    // Now everything is exhausted.
+    EXPECT_TRUE(irb.lookup(0x3004).portDrop);
+    EXPECT_FALSE(irb.update(0x200c, 1, 1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Misc
+// ---------------------------------------------------------------------------
+
+TEST(Irb, ReuseTestAccounting)
+{
+    Irb irb(irbConfig());
+    irb.recordReuseTest(true);
+    irb.recordReuseTest(true);
+    irb.recordReuseTest(false);
+    EXPECT_EQ(irb.reuseHits(), 2u);
+    EXPECT_EQ(irb.reuseMisses(), 1u);
+}
+
+TEST(Irb, CorruptEntryFlipsResultBit)
+{
+    Irb irb(irbConfig());
+    irb.beginCycle();
+    irb.update(0x1000, 1, 2, 0b100);
+    ASSERT_TRUE(irb.corruptEntry(0x1000, 1));
+    irb.beginCycle();
+    EXPECT_EQ(irb.lookup(0x1000).result, 0b110u);
+    EXPECT_FALSE(irb.corruptEntry(0x9999, 0));
+}
+
+TEST(Irb, GeometryValidation)
+{
+    Config c = irbConfig(100, 1); // not a power of two
+    EXPECT_THROW(Irb irb(c), FatalError);
+    Config c2 = irbConfig(1024, 3); // not divisible
+    EXPECT_THROW(Irb irb2(c2), FatalError);
+}
+
+TEST(Irb, PipelineDepthConfigurable)
+{
+    Config c = irbConfig();
+    c.setInt("irb.pipeline_depth", 5);
+    Irb irb(c);
+    EXPECT_EQ(irb.pipelineDepth(), 5u);
+    EXPECT_EQ(irb.size(), 1024u);
+}

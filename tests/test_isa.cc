@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode metadata, operand classification,
+ * encode/decode round-trips (exhaustive across formats), and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/inst.hh"
+#include "vm/executor.hh"
+
+using namespace direb;
+
+TEST(Opcodes, NameRoundTrip)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        Opcode back;
+        ASSERT_TRUE(opFromName(opName(op), back)) << opName(op);
+        EXPECT_EQ(back, op);
+    }
+}
+
+TEST(Opcodes, LookupIsCaseInsensitive)
+{
+    Opcode op;
+    ASSERT_TRUE(opFromName("add", op));
+    EXPECT_EQ(op, Opcode::ADD);
+    ASSERT_TRUE(opFromName("ADD", op));
+    EXPECT_EQ(op, Opcode::ADD);
+}
+
+TEST(Opcodes, UnknownNameFails)
+{
+    Opcode op;
+    EXPECT_FALSE(opFromName("frobnicate", op));
+}
+
+TEST(Opcodes, Classification)
+{
+    EXPECT_TRUE(isBranch(Opcode::BEQ));
+    EXPECT_FALSE(isBranch(Opcode::JAL));
+    EXPECT_TRUE(isJump(Opcode::JAL));
+    EXPECT_TRUE(isJump(Opcode::JALR));
+    EXPECT_TRUE(isControl(Opcode::BNE));
+    EXPECT_TRUE(isLoad(Opcode::LW));
+    EXPECT_TRUE(isLoad(Opcode::FLD));
+    EXPECT_TRUE(isStore(Opcode::SD));
+    EXPECT_TRUE(isStore(Opcode::FSD));
+    EXPECT_TRUE(isMem(Opcode::LB));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+    EXPECT_TRUE(isFpOp(Opcode::FMUL));
+    EXPECT_FALSE(isFpOp(Opcode::LD));
+    EXPECT_TRUE(isHalt(Opcode::HALT));
+    EXPECT_TRUE(isOutput(Opcode::PUTC));
+    EXPECT_TRUE(isOutput(Opcode::PUTINT));
+}
+
+TEST(Opcodes, OpClassMapping)
+{
+    EXPECT_EQ(opClassOf(Opcode::ADD), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::BEQ), OpClass::IntAlu);
+    EXPECT_EQ(opClassOf(Opcode::MUL), OpClass::IntMul);
+    EXPECT_EQ(opClassOf(Opcode::DIV), OpClass::IntDiv);
+    EXPECT_EQ(opClassOf(Opcode::FADD), OpClass::FpAdd);
+    EXPECT_EQ(opClassOf(Opcode::FCVTDL), OpClass::FpAdd);
+    EXPECT_EQ(opClassOf(Opcode::FMUL), OpClass::FpMul);
+    EXPECT_EQ(opClassOf(Opcode::FDIV), OpClass::FpDiv);
+    EXPECT_EQ(opClassOf(Opcode::FSQRT), OpClass::FpSqrt);
+    EXPECT_EQ(opClassOf(Opcode::LW), OpClass::MemRead);
+    EXPECT_EQ(opClassOf(Opcode::SW), OpClass::MemWrite);
+    EXPECT_EQ(opClassOf(Opcode::NOP), OpClass::Nop);
+}
+
+TEST(Opcodes, RegisterFileSelection)
+{
+    EXPECT_TRUE(writesFpReg(Opcode::FLD));
+    EXPECT_TRUE(writesFpReg(Opcode::FCVTDL));
+    EXPECT_FALSE(writesFpReg(Opcode::FCVTLD));
+    EXPECT_FALSE(writesFpReg(Opcode::FEQ));
+    EXPECT_TRUE(readsFpRegs(Opcode::FEQ));
+    EXPECT_FALSE(readsFpRegs(Opcode::FCVTDL));
+    EXPECT_FALSE(writesReg(Opcode::SD));
+    EXPECT_FALSE(writesReg(Opcode::PUTINT));
+    EXPECT_TRUE(writesReg(Opcode::JAL));
+}
+
+// ---------------------------------------------------------------------------
+// Operand identification
+// ---------------------------------------------------------------------------
+
+TEST(Inst, UnifiedRegisterIds)
+{
+    const Inst add = makeR(Opcode::ADD, 3, 4, 5);
+    EXPECT_EQ(add.dstReg(), intReg(3));
+    EXPECT_EQ(add.srcReg1(), intReg(4));
+    EXPECT_EQ(add.srcReg2(), intReg(5));
+
+    const Inst fadd = makeR(Opcode::FADD, 3, 4, 5);
+    EXPECT_EQ(fadd.dstReg(), fpReg(3));
+    EXPECT_EQ(fadd.srcReg1(), fpReg(4));
+    EXPECT_EQ(fadd.srcReg2(), fpReg(5));
+}
+
+TEST(Inst, ZeroRegisterCreatesNoDependency)
+{
+    const Inst i = makeR(Opcode::ADD, 0, 0, 5);
+    EXPECT_EQ(i.dstReg(), noReg);  // write to x0 dropped
+    EXPECT_EQ(i.srcReg1(), noReg); // x0 is constant
+    EXPECT_EQ(i.srcReg2(), intReg(5));
+}
+
+TEST(Inst, SingleSourceFpOps)
+{
+    const Inst sqrt = makeR(Opcode::FSQRT, 1, 2, 0);
+    EXPECT_FALSE(sqrt.usesRs2());
+    EXPECT_EQ(sqrt.srcReg2(), noReg);
+    EXPECT_EQ(sqrt.srcReg1(), fpReg(2));
+}
+
+TEST(Inst, CrossFileOperands)
+{
+    const Inst cvt = makeR(Opcode::FCVTDL, 1, 2, 0); // int -> fp
+    EXPECT_EQ(cvt.dstReg(), fpReg(1));
+    EXPECT_EQ(cvt.srcReg1(), intReg(2));
+
+    const Inst back = makeR(Opcode::FCVTLD, 1, 2, 0); // fp -> int
+    EXPECT_EQ(back.dstReg(), intReg(1));
+    EXPECT_EQ(back.srcReg1(), fpReg(2));
+
+    const Inst fsd = makeS(Opcode::FSD, 5, 7, 16); // base int, data fp
+    EXPECT_EQ(fsd.srcReg1(), intReg(5));
+    EXPECT_EQ(fsd.srcReg2(), fpReg(7));
+}
+
+TEST(Inst, StoreHasNoDestination)
+{
+    const Inst sw = makeS(Opcode::SW, 5, 6, -4);
+    EXPECT_EQ(sw.dstReg(), noReg);
+    EXPECT_EQ(sw.srcReg1(), intReg(5));
+    EXPECT_EQ(sw.srcReg2(), intReg(6));
+}
+
+TEST(Inst, BranchSources)
+{
+    const Inst beq = makeB(Opcode::BEQ, 3, 4, -8);
+    EXPECT_EQ(beq.dstReg(), noReg);
+    EXPECT_EQ(beq.srcReg1(), intReg(3));
+    EXPECT_EQ(beq.srcReg2(), intReg(4));
+}
+
+// ---------------------------------------------------------------------------
+// Encode / decode
+// ---------------------------------------------------------------------------
+
+TEST(Encoding, RoundTripEveryOpcode)
+{
+    Rng rng(123);
+    for (unsigned o = 0; o < numOpcodes; ++o) {
+        const auto op = static_cast<Opcode>(o);
+        for (int trial = 0; trial < 50; ++trial) {
+            Inst in;
+            in.op = op;
+            switch (opFormat(op)) {
+              case Format::R:
+                in.rd = static_cast<std::uint8_t>(rng.below(32));
+                in.rs1 = static_cast<std::uint8_t>(rng.below(32));
+                in.rs2 = static_cast<std::uint8_t>(rng.below(32));
+                break;
+              case Format::I:
+              case Format::S:
+                in.rd = static_cast<std::uint8_t>(rng.below(32));
+                in.rs1 = static_cast<std::uint8_t>(rng.below(32));
+                in.rs2 = static_cast<std::uint8_t>(rng.below(32));
+                in.imm = static_cast<std::int32_t>(rng.range(-8192, 8191));
+                if (opFormat(op) == Format::I)
+                    in.rs2 = 0;
+                else
+                    in.rd = 0;
+                break;
+              case Format::B:
+                in.rs1 = static_cast<std::uint8_t>(rng.below(32));
+                in.rs2 = static_cast<std::uint8_t>(rng.below(32));
+                in.imm = static_cast<std::int32_t>(rng.range(-8192, 8191));
+                break;
+              case Format::U:
+              case Format::J:
+                in.rd = static_cast<std::uint8_t>(rng.below(32));
+                in.imm = static_cast<std::int32_t>(
+                    rng.range(-(1 << 18), (1 << 18) - 1));
+                break;
+              case Format::N:
+                break;
+            }
+            const Inst out = decode(in.encode());
+            EXPECT_EQ(out, in) << opName(op);
+        }
+    }
+}
+
+TEST(Encoding, UndefinedOpcodeByteIsFatal)
+{
+    const std::uint32_t bogus = 0xff000000u;
+    EXPECT_THROW(decode(bogus), FatalError);
+}
+
+TEST(Encoding, NegativeImmediates)
+{
+    const Inst i = makeI(Opcode::ADDI, 1, 2, -8192);
+    EXPECT_EQ(decode(i.encode()).imm, -8192);
+    const Inst j = makeJ(Opcode::JAL, 1, -262144);
+    EXPECT_EQ(decode(j.encode()).imm, -262144);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembly
+// ---------------------------------------------------------------------------
+
+TEST(Disasm, RendersOperandsByFile)
+{
+    EXPECT_EQ(makeR(Opcode::ADD, 1, 2, 3).disasm(), "ADD    x1, x2, x3");
+    EXPECT_EQ(makeR(Opcode::FADD, 1, 2, 3).disasm(), "FADD   f1, f2, f3");
+    EXPECT_EQ(makeR(Opcode::FSQRT, 1, 2, 0).disasm(), "FSQRT  f1, f2");
+}
+
+TEST(Disasm, MemoryOperands)
+{
+    EXPECT_EQ(makeI(Opcode::LW, 5, 6, -4).disasm(), "LW     x5, -4(x6)");
+    EXPECT_EQ(makeS(Opcode::SD, 6, 5, 16).disasm(), "SD     x5, 16(x6)");
+    EXPECT_EQ(makeI(Opcode::FLD, 5, 6, 8).disasm(), "FLD    f5, 8(x6)");
+}
+
+TEST(Disasm, SystemOps)
+{
+    EXPECT_EQ(Inst(Opcode::HALT, 0, 0, 0, 0).disasm(), "HALT");
+    EXPECT_EQ(Inst(Opcode::NOP, 0, 0, 0, 0).disasm(), "NOP");
+}
+
+TEST(RegNames, Rendering)
+{
+    EXPECT_EQ(regName(intReg(5)), "x5");
+    EXPECT_EQ(regName(fpReg(5)), "f5");
+    EXPECT_EQ(regName(noReg), "-");
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive per-opcode properties (parameterised)
+// ---------------------------------------------------------------------------
+
+class EveryOpcode : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    Opcode op() const { return static_cast<Opcode>(GetParam()); }
+};
+
+TEST_P(EveryOpcode, DisasmMentionsMnemonicAndReencodes)
+{
+    Inst in;
+    in.op = op();
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    in.imm = 4;
+    if (opFormat(op()) == Format::N)
+        in = Inst(op(), 0, 0, 0, 0);
+
+    const std::string d = in.disasm();
+    EXPECT_NE(d.find(opName(op())), std::string::npos) << d;
+
+    const Inst back = decode(in.encode());
+    EXPECT_EQ(back.op, op());
+    EXPECT_EQ(back.encode(), in.encode());
+}
+
+TEST_P(EveryOpcode, OperandRulesAreSelfConsistent)
+{
+    const Inst in(op(), 1, 2, 3, 4);
+    // A destination exists iff writesReg says so.
+    EXPECT_EQ(in.dstReg() != noReg, writesReg(op()));
+    // FP destination register ids live in the FP file.
+    if (writesReg(op())) {
+        EXPECT_EQ(in.dstReg() >= numIntRegs, writesFpReg(op()))
+            << opName(op());
+    }
+    // rs2 usage is consistent between encoding and dataflow.
+    if (!in.usesRs2())
+        EXPECT_EQ(in.srcReg2(), noReg);
+    // Memory ops must report an access size.
+    if (isMem(op()))
+        EXPECT_GE(memAccessSize(op()), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EveryOpcode,
+                         ::testing::Range(0u, numOpcodes),
+                         [](const auto &info) {
+                             return std::string(opName(
+                                 static_cast<Opcode>(info.param)));
+                         });

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the sparse memory model and the speculative execution
+ * context overlay (shadow registers + byte-granular memory overlay).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/spec_state.hh"
+#include "vm/memory.hh"
+
+using namespace direb;
+
+TEST(Memory, ReadsZeroWhenUntouched)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u); // reads must not allocate
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    Memory m;
+    m.write(0x1000, 0xdeadbeefcafebabeull, 8);
+    EXPECT_EQ(m.read(0x1000, 8), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(m.read(0x1000, 4), 0xcafebabeull);
+    EXPECT_EQ(m.read(0x1004, 4), 0xdeadbeefull);
+    EXPECT_EQ(m.read(0x1000, 1), 0xbeull);
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory m;
+    m.write(0x2000, 0x0102030405060708ull, 8);
+    EXPECT_EQ(m.read(0x2000, 1), 0x08u);
+    EXPECT_EQ(m.read(0x2007, 1), 0x01u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    const Addr a = Memory::pageSize - 4;
+    m.write(a, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(a, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(Memory, PartialWritePreservesNeighbours)
+{
+    Memory m;
+    m.write(0x3000, ~std::uint64_t(0), 8);
+    m.write(0x3002, 0, 2);
+    EXPECT_EQ(m.read(0x3000, 8), 0xffffffff0000ffffull);
+}
+
+TEST(Memory, BlobRoundTrip)
+{
+    Memory m;
+    const char msg[] = "hello world";
+    m.writeBlob(0x4000, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    m.readBlob(0x4000, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(Memory, ClearDropsEverything)
+{
+    Memory m;
+    m.write(0x1000, 42, 8);
+    m.clear();
+    EXPECT_EQ(m.read(0x1000, 8), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SpecExecContext
+// ---------------------------------------------------------------------------
+
+TEST(SpecState, NonSpecWritesGoArchitectural)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    ctx.writeIntReg(5, 99);
+    EXPECT_EQ(arch.readIntReg(5), 99u);
+}
+
+TEST(SpecState, SpecWritesAreShadowed)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    arch.writeIntReg(5, 1);
+    ctx.enterSpec();
+    ctx.writeIntReg(5, 2);
+    EXPECT_EQ(ctx.readIntReg(5), 2u);   // spec view sees the shadow
+    EXPECT_EQ(arch.readIntReg(5), 1u);  // architecture unchanged
+    ctx.exitSpec();
+    EXPECT_EQ(ctx.readIntReg(5), 1u);   // shadow discarded
+}
+
+TEST(SpecState, SpecReadsFallThroughToArch)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    arch.writeIntReg(7, 123);
+    arch.writeFpReg(3, 456);
+    ctx.enterSpec();
+    EXPECT_EQ(ctx.readIntReg(7), 123u); // not shadowed yet
+    EXPECT_EQ(ctx.readFpReg(3), 456u);
+}
+
+TEST(SpecState, FpShadowIndependentOfIntShadow)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    ctx.enterSpec();
+    ctx.writeIntReg(4, 11);
+    ctx.writeFpReg(4, 22);
+    EXPECT_EQ(ctx.readIntReg(4), 11u);
+    EXPECT_EQ(ctx.readFpReg(4), 22u);
+}
+
+TEST(SpecState, X0StaysZeroInSpec)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    ctx.enterSpec();
+    ctx.writeIntReg(0, 5);
+    EXPECT_EQ(ctx.readIntReg(0), 0u);
+}
+
+TEST(SpecState, SpecMemoryOverlay)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    m.write(0x1000, 0xaabb, 8);
+    ctx.enterSpec();
+    ctx.memWrite(0x1000, 0xccdd, 2);
+    EXPECT_EQ(ctx.memRead(0x1000, 8), 0xccddull); // overlay merged
+    EXPECT_EQ(m.read(0x1000, 8), 0xaabbull);      // memory untouched
+    ctx.exitSpec();
+    EXPECT_EQ(ctx.memRead(0x1000, 8), 0xaabbull);
+}
+
+TEST(SpecState, OverlayMergesPartialBytes)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    m.write(0x2000, 0x1111111111111111ull, 8);
+    ctx.enterSpec();
+    ctx.memWrite(0x2002, 0xff, 1); // single shadowed byte
+    EXPECT_EQ(ctx.memRead(0x2000, 8), 0x1111111111ff1111ull);
+}
+
+TEST(SpecState, OutputDroppedOnWrongPath)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    ctx.output("real");
+    ctx.enterSpec();
+    ctx.output("ghost");
+    ctx.exitSpec();
+    ctx.output("!");
+    EXPECT_EQ(arch.out, "real!");
+}
+
+TEST(SpecState, ReenterSpecStartsClean)
+{
+    Memory m;
+    ArchState arch(m);
+    SpecExecContext ctx(arch);
+    ctx.enterSpec();
+    ctx.writeIntReg(5, 42);
+    ctx.exitSpec();
+    ctx.enterSpec();
+    EXPECT_EQ(ctx.readIntReg(5), 0u); // old shadow must not leak
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Property-based tests: randomized synthetic programs swept across seeds
+ * and machine configurations, checking the invariants that define the
+ * system — architectural equivalence of all modes, SIE >= DIE-IRB >= DIE
+ * ordering on ALU-bound code, checker coverage, monotonicity in resources,
+ * and reuse-rate monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using workloads::SyntheticParams;
+
+namespace
+{
+
+SyntheticParams
+paramsForSeed(std::uint64_t seed)
+{
+    Rng rng(seed * 7919 + 1);
+    SyntheticParams sp;
+    sp.seed = seed;
+    sp.blocks = 16 + static_cast<unsigned>(rng.below(48));
+    sp.instsPerBlock = 4 + static_cast<unsigned>(rng.below(8));
+    sp.outerIters = 300;
+    sp.fpFraction = rng.uniform() * 0.3;
+    sp.memFraction = rng.uniform() * 0.4;
+    sp.branchFraction = rng.uniform() * 0.3;
+    sp.reuseFraction = rng.uniform();
+    return sp;
+}
+
+class SyntheticSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+} // namespace
+
+TEST_P(SyntheticSeeds, AllModesArchitecturallyEquivalent)
+{
+    const Program p = workloads::synthetic(paramsForSeed(GetParam()));
+    Vm vm(p);
+    ASSERT_EQ(vm.run(50'000'000), StopReason::Halted);
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        const auto r = harness::run(p, harness::baseConfig(mode));
+        EXPECT_EQ(r.core.stop, StopReason::Halted) << mode;
+        EXPECT_EQ(r.output, vm.state().out) << mode;
+        EXPECT_EQ(r.core.archInsts, vm.instCount()) << mode;
+    }
+}
+
+TEST_P(SyntheticSeeds, ModeOrderingHolds)
+{
+    const Program p = workloads::synthetic(paramsForSeed(GetParam()));
+    const auto sie = harness::run(p, harness::baseConfig("sie"));
+    const auto die = harness::run(p, harness::baseConfig("die"));
+    const auto irb = harness::run(p, harness::baseConfig("die-irb"));
+    // SIE is an upper bound; DIE-IRB must never be meaningfully worse
+    // than DIE (small slack for second-order timing interactions).
+    EXPECT_LE(die.ipc(), sie.ipc() * 1.001);
+    EXPECT_LE(irb.ipc(), sie.ipc() * 1.001);
+    EXPECT_GE(irb.ipc(), die.ipc() * 0.97);
+}
+
+TEST_P(SyntheticSeeds, CheckerCoversEveryCommit)
+{
+    const Program p = workloads::synthetic(paramsForSeed(GetParam()));
+    for (const char *mode : {"die", "die-irb"}) {
+        const auto r = harness::run(p, harness::baseConfig(mode));
+        EXPECT_EQ(r.stat("core.checker.checks"),
+                  static_cast<double>(r.core.archInsts))
+            << mode;
+        EXPECT_EQ(r.stat("core.checker.mismatches"), 0.0) << mode;
+    }
+}
+
+TEST_P(SyntheticSeeds, MoreAlusNeverHurtDie)
+{
+    const Program p = workloads::synthetic(paramsForSeed(GetParam()));
+    Config base = harness::baseConfig("die");
+    Config boosted = harness::baseConfig("die");
+    boosted.setInt("fu.intalu", 8);
+    boosted.setInt("fu.intmul", 4);
+    boosted.setInt("fu.fpadd", 4);
+    boosted.setInt("fu.fpmul", 2);
+    const auto rb = harness::run(p, base);
+    const auto rx = harness::run(p, boosted);
+    EXPECT_GE(rx.ipc(), rb.ipc() * 0.995);
+}
+
+TEST_P(SyntheticSeeds, FaultInjectionNeverCorruptsOutput)
+{
+    const Program p = workloads::synthetic(paramsForSeed(GetParam()));
+    Config cfg = harness::baseConfig("die-irb");
+    cfg.set("fault.site", "fu");
+    cfg.setDouble("fault.rate", 0.001);
+    cfg.setInt("fault.seed", GetParam() + 1);
+    const auto faulty = harness::run(p, cfg);
+    const auto clean = harness::run(p, harness::baseConfig("die-irb"));
+    EXPECT_EQ(faulty.output, clean.output);
+    EXPECT_EQ(faulty.stat("core.fault.escaped"), 0.0);
+    EXPECT_GE(faulty.core.cycles, clean.core.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Sweep properties (single tests over a dimension)
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, ReuseRateTracksKnobMonotonically)
+{
+    setQuiet(true);
+    double prev = -1.0;
+    for (int step = 0; step <= 4; ++step) {
+        SyntheticParams sp;
+        sp.seed = 42;
+        sp.reuseFraction = step / 4.0;
+        sp.outerIters = 400;
+        const Program p = workloads::synthetic(sp);
+        const auto r = harness::run(p, harness::baseConfig("die-irb"));
+        const double tests = r.stat("core.irb.reuse_hits") +
+                             r.stat("core.irb.reuse_misses");
+        const double rate =
+            tests > 0 ? r.stat("core.irb.reuse_hits") / tests : 0.0;
+        EXPECT_GE(rate, prev - 0.02) << "step " << step;
+        prev = rate;
+    }
+}
+
+TEST(PropertySweep, DieIrbGainGrowsWithReuse)
+{
+    setQuiet(true);
+    double prev_gain = -1.0;
+    for (const double reuse : {0.0, 0.5, 1.0}) {
+        SyntheticParams sp;
+        sp.seed = 7;
+        sp.reuseFraction = reuse;
+        sp.outerIters = 500;
+        const Program p = workloads::synthetic(sp);
+        const auto die = harness::run(p, harness::baseConfig("die"));
+        const auto irb = harness::run(p, harness::baseConfig("die-irb"));
+        const double gain = irb.ipc() / die.ipc();
+        EXPECT_GE(gain, prev_gain - 0.03);
+        prev_gain = gain;
+    }
+    EXPECT_GT(prev_gain, 1.2); // full reuse must yield a solid speedup
+}
+
+TEST(PropertySweep, IrbSizeMonotoneOnLargeFootprint)
+{
+    setQuiet(true);
+    // A program with many static blocks: bigger IRBs keep more of them.
+    SyntheticParams sp;
+    sp.seed = 3;
+    sp.blocks = 120;
+    sp.instsPerBlock = 10;
+    sp.reuseFraction = 0.8;
+    sp.outerIters = 200;
+    const Program p = workloads::synthetic(sp);
+    double prev = -1.0;
+    for (const int entries : {64, 256, 1024, 4096}) {
+        Config cfg = harness::baseConfig("die-irb");
+        cfg.setInt("irb.entries", entries);
+        const auto r = harness::run(p, cfg);
+        const double hits = r.stat("core.irb.reuse_hits");
+        EXPECT_GE(hits, prev * 0.98);
+        prev = hits;
+    }
+}
+
+TEST(PropertySweep, WidthScalingMonotoneForSie)
+{
+    setQuiet(true);
+    SyntheticParams sp;
+    sp.seed = 11;
+    sp.outerIters = 400;
+    const Program p = workloads::synthetic(sp);
+    double prev = 0.0;
+    for (const int width : {2, 4, 8}) {
+        Config cfg = harness::baseConfig("sie");
+        cfg.setInt("width.fetch", width);
+        cfg.setInt("width.decode", width);
+        cfg.setInt("width.issue", width);
+        cfg.setInt("width.commit", width);
+        const auto r = harness::run(p, cfg);
+        EXPECT_GE(r.ipc(), prev * 0.98);
+        prev = r.ipc();
+    }
+}
+
+TEST(PropertySweep, RedirectPenaltyCostsCycles)
+{
+    setQuiet(true);
+    SyntheticParams sp;
+    sp.seed = 13;
+    sp.branchFraction = 0.5;
+    sp.outerIters = 500;
+    const Program p = workloads::synthetic(sp);
+    Config fast = harness::baseConfig("sie");
+    Config slow = harness::baseConfig("sie");
+    slow.setInt("redirect.penalty", 12);
+    const auto rf = harness::run(p, fast);
+    const auto rs = harness::run(p, slow);
+    EXPECT_GE(rs.core.cycles, rf.core.cycles);
+}

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the functional VM and executor: per-opcode semantics,
+ * memory, program output, stop conditions, and the ExecOutcome fields the
+ * timing model and the IRB rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "asm/assembler.hh"
+#include "vm/vm.hh"
+
+using namespace direb;
+
+namespace
+{
+
+/** Run a .text body and return the VM for inspection (kept alive). */
+Vm &
+runAsm(const std::string &body, std::uint64_t max_insts = 1'000'000)
+{
+    static std::vector<std::unique_ptr<Program>> progs;
+    static std::vector<std::unique_ptr<Vm>> vms;
+    progs.push_back(std::make_unique<Program>(assemble(body, "test")));
+    vms.push_back(std::make_unique<Vm>(*progs.back()));
+    vms.back()->run(max_insts);
+    return *vms.back();
+}
+
+RegVal
+regAfter(const std::string &body, unsigned reg)
+{
+    const Vm &vm = runAsm(".text\n" + body + "\nhalt\n");
+    return vm.state().readIntReg(reg);
+}
+
+double
+fregAfter(const std::string &body, unsigned reg)
+{
+    const Vm &vm = runAsm(".text\n" + body + "\nhalt\n");
+    return std::bit_cast<double>(vm.state().readFpReg(reg));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Integer ALU semantics
+// ---------------------------------------------------------------------------
+
+TEST(VmInt, AddSub)
+{
+    EXPECT_EQ(regAfter("li x5, 7\nli x6, 3\nadd x7, x5, x6", 7), 10u);
+    EXPECT_EQ(regAfter("li x5, 7\nli x6, 3\nsub x7, x5, x6", 7), 4u);
+    EXPECT_EQ(regAfter("li x5, 3\nli x6, 7\nsub x7, x5, x6", 7),
+              static_cast<RegVal>(-4));
+}
+
+TEST(VmInt, Logicals)
+{
+    EXPECT_EQ(regAfter("li x5, 12\nli x6, 10\nand x7, x5, x6", 7), 8u);
+    EXPECT_EQ(regAfter("li x5, 12\nli x6, 10\nor  x7, x5, x6", 7), 14u);
+    EXPECT_EQ(regAfter("li x5, 12\nli x6, 10\nxor x7, x5, x6", 7), 6u);
+}
+
+TEST(VmInt, Shifts)
+{
+    EXPECT_EQ(regAfter("li x5, 1\nslli x6, x5, 40", 6),
+              std::uint64_t(1) << 40);
+    EXPECT_EQ(regAfter("li x5, -16\nsrai x6, x5, 2", 6),
+              static_cast<RegVal>(-4));
+    EXPECT_EQ(regAfter("li x5, -16\nli x7, 2\nsra x6, x5, x7", 6),
+              static_cast<RegVal>(-4));
+    EXPECT_EQ(regAfter("li x5, 16\nsrli x6, x5, 2", 6), 4u);
+}
+
+TEST(VmInt, SetLessThan)
+{
+    EXPECT_EQ(regAfter("li x5, -1\nli x6, 1\nslt x7, x5, x6", 7), 1u);
+    EXPECT_EQ(regAfter("li x5, -1\nli x6, 1\nsltu x7, x5, x6", 7), 0u);
+    EXPECT_EQ(regAfter("li x5, -1\nslti x7, x5, 0", 7), 1u);
+}
+
+TEST(VmInt, MulDiv)
+{
+    EXPECT_EQ(regAfter("li x5, 6\nli x6, 7\nmul x7, x5, x6", 7), 42u);
+    EXPECT_EQ(regAfter("li x5, -6\nli x6, 7\nmul x7, x5, x6", 7),
+              static_cast<RegVal>(-42));
+    EXPECT_EQ(regAfter("li x5, 42\nli x6, 5\ndiv x7, x5, x6", 7), 8u);
+    EXPECT_EQ(regAfter("li x5, -42\nli x6, 5\ndiv x7, x5, x6", 7),
+              static_cast<RegVal>(-8));
+    EXPECT_EQ(regAfter("li x5, 42\nli x6, 5\nrem x7, x5, x6", 7), 2u);
+}
+
+TEST(VmInt, MulHigh)
+{
+    // (2^32)^2 = 2^64: high word is 1.
+    EXPECT_EQ(regAfter("li x5, 1\nslli x5, x5, 32\nmulh x7, x5, x5", 7),
+              1u);
+}
+
+TEST(VmInt, DivisionByZeroDoesNotTrap)
+{
+    EXPECT_EQ(regAfter("li x5, 42\ndiv x7, x5, x0", 7), ~RegVal(0));
+    EXPECT_EQ(regAfter("li x5, 42\ndivu x7, x5, x0", 7), ~RegVal(0));
+    EXPECT_EQ(regAfter("li x5, 42\nrem x7, x5, x0", 7), 42u);
+    EXPECT_EQ(regAfter("li x5, 42\nremu x7, x5, x0", 7), 42u);
+}
+
+TEST(VmInt, X0AlwaysZero)
+{
+    EXPECT_EQ(regAfter("li x5, 9\nadd x0, x5, x5\nmv x6, x0", 6), 0u);
+}
+
+TEST(VmInt, LuiOriComposition)
+{
+    // li of a large constant goes through LUI+ORI.
+    EXPECT_EQ(regAfter("li x5, 1103515245", 5), 1103515245u);
+    EXPECT_EQ(regAfter("li x5, -1103515245", 5),
+              static_cast<RegVal>(-1103515245));
+    EXPECT_EQ(regAfter("li x5, 0x10000000", 5), 0x10000000u);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+TEST(VmControl, LoopAndBranches)
+{
+    // 1+2+...+10
+    EXPECT_EQ(regAfter(R"(
+        li x5, 0
+        li x6, 0
+loop:   addi x5, x5, 1
+        add x6, x6, x5
+        li x7, 10
+        blt x5, x7, loop
+)", 6), 55u);
+}
+
+TEST(VmControl, UnsignedBranches)
+{
+    EXPECT_EQ(regAfter(R"(
+        li x5, -1
+        li x6, 1
+        li x7, 0
+        bltu x6, x5, set    # 1 <u 0xffff... -> taken
+        j done
+set:    li x7, 99
+done:   nop
+)", 7), 99u);
+}
+
+TEST(VmControl, CallReturn)
+{
+    EXPECT_EQ(regAfter(R"(
+        li a0, 5
+        call twice
+        mv x5, a0
+        j done
+twice:  add a0, a0, a0
+        ret
+done:   nop
+)", 5), 10u);
+}
+
+TEST(VmControl, JalrComputedTarget)
+{
+    EXPECT_EQ(regAfter(R"(
+        la x6, target
+        jalr x1, x6, 0
+        nop
+target: li x5, 77
+)", 5), 77u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+TEST(VmMem, StoreLoadWidths)
+{
+    EXPECT_EQ(regAfter(R"(
+        la x6, buf
+        li x5, -2
+        sb x5, 0(x6)
+        lbu x7, 0(x6)
+)"
+        "\nhalt\n.data\nbuf: .space 16\n.text", 7), 254u);
+
+    EXPECT_EQ(regAfter(R"(
+        la x6, buf
+        li x5, -2
+        sw x5, 0(x6)
+        lw x7, 0(x6)
+        halt
+.data
+buf: .space 16
+.text
+)", 7), static_cast<RegVal>(-2));
+}
+
+TEST(VmMem, SignVsZeroExtension)
+{
+    const std::string prelude = R"(
+        la x6, buf
+        li x5, 0x80
+        sb x5, 0(x6)
+)";
+    const std::string suffix = "\nhalt\n.data\nbuf: .space 8\n.text";
+    EXPECT_EQ(regAfter(prelude + "lb x7, 0(x6)" + suffix, 7),
+              static_cast<RegVal>(-128));
+    EXPECT_EQ(regAfter(prelude + "lbu x7, 0(x6)" + suffix, 7), 128u);
+}
+
+TEST(VmMem, DoubleWordRoundTrip)
+{
+    EXPECT_EQ(regAfter(R"(
+        la x6, buf
+        li x5, 0x12345678
+        slli x5, x5, 12
+        addi x5, x5, 0x9ab
+        sd x5, 8(x6)
+        ld x7, 8(x6)
+        halt
+.data
+buf: .space 16
+.text
+)", 7), 0x123456789abu);
+}
+
+TEST(VmMem, UntouchedMemoryReadsZero)
+{
+    EXPECT_EQ(regAfter("li x6, 0x20000000\nld x7, 0(x6)", 7), 0u);
+}
+
+TEST(VmMem, DataSegmentInitialised)
+{
+    EXPECT_EQ(regAfter(R"(
+        la x6, vals
+        lw x7, 4(x6)
+        halt
+.data
+vals: .word 11, 22, 33
+.text
+)", 7), 22u);
+}
+
+// ---------------------------------------------------------------------------
+// Floating point
+// ---------------------------------------------------------------------------
+
+TEST(VmFp, Arithmetic)
+{
+    const std::string data =
+        "\nhalt\n.data\n.align 8\nd: .double 3.0, 4.0\n.text";
+    EXPECT_DOUBLE_EQ(fregAfter(
+        "la x5, d\nfld f1, 0(x5)\nfld f2, 8(x5)\nfadd f3, f1, f2" + data,
+        3), 7.0);
+    EXPECT_DOUBLE_EQ(fregAfter(
+        "la x5, d\nfld f1, 0(x5)\nfld f2, 8(x5)\nfmul f3, f1, f2" + data,
+        3), 12.0);
+    EXPECT_DOUBLE_EQ(fregAfter(
+        "la x5, d\nfld f1, 0(x5)\nfld f2, 8(x5)\nfdiv f3, f1, f2" + data,
+        3), 0.75);
+}
+
+TEST(VmFp, SqrtNegAbs)
+{
+    const std::string data =
+        "\nhalt\n.data\n.align 8\nd: .double 9.0\n.text";
+    EXPECT_DOUBLE_EQ(fregAfter("la x5, d\nfld f1, 0(x5)\nfsqrt f2, f1" +
+                               data, 2), 3.0);
+    EXPECT_DOUBLE_EQ(fregAfter("la x5, d\nfld f1, 0(x5)\nfneg f2, f1" +
+                               data, 2), -9.0);
+    EXPECT_DOUBLE_EQ(fregAfter(
+        "la x5, d\nfld f1, 0(x5)\nfneg f2, f1\nfabs f3, f2" + data, 3),
+        9.0);
+}
+
+TEST(VmFp, Conversions)
+{
+    EXPECT_DOUBLE_EQ(fregAfter("li x5, -7\nfcvtdl f1, x5", 1), -7.0);
+    EXPECT_EQ(regAfter(R"(
+        li x5, 9
+        fcvtdl f1, x5
+        fsqrt f2, f1
+        fcvtld x7, f2
+)", 7), 3u);
+}
+
+TEST(VmFp, Compares)
+{
+    const std::string body = R"(
+        li x5, 1
+        li x6, 2
+        fcvtdl f1, x5
+        fcvtdl f2, x6
+)";
+    EXPECT_EQ(regAfter(body + "flt x7, f1, f2", 7), 1u);
+    EXPECT_EQ(regAfter(body + "flt x7, f2, f1", 7), 0u);
+    EXPECT_EQ(regAfter(body + "fle x7, f1, f1", 7), 1u);
+    EXPECT_EQ(regAfter(body + "feq x7, f1, f2", 7), 0u);
+}
+
+TEST(VmFp, MinMax)
+{
+    const std::string body = R"(
+        li x5, 3
+        li x6, 8
+        fcvtdl f1, x5
+        fcvtdl f2, x6
+)";
+    EXPECT_DOUBLE_EQ(fregAfter(body + "fmin f3, f1, f2", 3), 3.0);
+    EXPECT_DOUBLE_EQ(fregAfter(body + "fmax f3, f1, f2", 3), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// Output, stop conditions, ExecOutcome details
+// ---------------------------------------------------------------------------
+
+TEST(VmSys, ProgramOutput)
+{
+    const Vm &vm = runAsm(R"(
+.text
+    li x5, 72
+    putc x5
+    li x5, 105
+    putc x5
+    li x6, 42
+    putint x6
+    halt
+)");
+    EXPECT_EQ(vm.state().out, "Hi42\n");
+}
+
+TEST(VmSys, HaltStops)
+{
+    const Vm &vm = runAsm(".text\nli x5, 1\nhalt\nli x5, 2\n");
+    EXPECT_TRUE(vm.halted());
+    EXPECT_EQ(vm.state().readIntReg(5), 1u);
+    EXPECT_EQ(vm.instCount(), 2u);
+}
+
+TEST(VmSys, InstLimit)
+{
+    Program p = assemble(".text\nspin: j spin\n");
+    Vm vm(p);
+    EXPECT_EQ(vm.run(100), StopReason::InstLimit);
+    EXPECT_EQ(vm.instCount(), 100u);
+}
+
+TEST(VmSys, FallingOffTextIsBadPc)
+{
+    Program p = assemble(".text\nnop\nnop\n");
+    Vm vm(p);
+    EXPECT_EQ(vm.run(), StopReason::BadPc);
+    EXPECT_EQ(vm.instCount(), 2u);
+}
+
+TEST(VmSys, ClassCountsTracked)
+{
+    const Vm &vm = runAsm(
+        ".text\nli x5, 2\nli x6, 3\nmul x7, x5, x6\nhalt\n");
+    const auto &counts = vm.classCounts();
+    EXPECT_EQ(counts[static_cast<unsigned>(OpClass::IntMul)], 1u);
+    EXPECT_GE(counts[static_cast<unsigned>(OpClass::IntAlu)], 2u);
+}
+
+TEST(ExecOutcome, ResultFieldsForIrb)
+{
+    Program p = assemble(".text\nnop\n");
+    Memory mem;
+    ArchState st(mem);
+    st.writeIntReg(5, 10);
+    st.writeIntReg(6, 32);
+
+    // ALU op: result is the destination value.
+    auto out = execute(makeR(Opcode::ADD, 7, 5, 6), 0x1000, st);
+    EXPECT_EQ(out.result, 42u);
+    EXPECT_EQ(out.op1Val, 10u);
+    EXPECT_EQ(out.op2Val, 32u);
+
+    // Load: result is the effective address.
+    out = execute(makeI(Opcode::LD, 7, 5, 16), 0x1000, st);
+    EXPECT_EQ(out.result, 26u);
+    EXPECT_EQ(out.effAddr, 26u);
+
+    // Branch: result packs (target << 1) | taken.
+    st.writeIntReg(5, 1);
+    st.writeIntReg(6, 1);
+    out = execute(makeB(Opcode::BEQ, 5, 6, -4), 0x1000, st);
+    EXPECT_TRUE(out.taken);
+    EXPECT_EQ(out.target, 0x1000u - 16u);
+    EXPECT_EQ(out.result, ((0x1000u - 16u) << 1) | 1u);
+    EXPECT_EQ(out.nextPc, 0x1000u - 16u);
+}
+
+TEST(ExecOutcome, StoreRecordsData)
+{
+    Memory mem;
+    ArchState st(mem);
+    st.writeIntReg(5, 0x2000);
+    st.writeIntReg(6, 77);
+    const auto out = execute(makeS(Opcode::SD, 5, 6, 8), 0x1000, st);
+    EXPECT_EQ(out.effAddr, 0x2008u);
+    EXPECT_EQ(out.storeData, 77u);
+    EXPECT_EQ(mem.read(0x2008, 8), 77u);
+}

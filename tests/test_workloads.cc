@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the workload suite: catalogue integrity, assembly, functional
+ * determinism, expected dynamic lengths, per-kernel character (mix,
+ * reuse, branchiness), and the synthetic generator's knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "vm/vm.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using namespace direb::workloads;
+
+TEST(Workloads, CatalogueHasTwelveKernels)
+{
+    EXPECT_EQ(list().size(), 12u);
+    for (const auto &w : list()) {
+        EXPECT_TRUE(exists(w.name));
+        EXPECT_FALSE(w.mimics.empty());
+        EXPECT_FALSE(w.description.empty());
+    }
+    EXPECT_FALSE(exists("spice"));
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(build("spice"), FatalError);
+    EXPECT_THROW(build("compress", 0), FatalError);
+}
+
+TEST(Workloads, AllKernelsAssemble)
+{
+    for (const auto &w : list()) {
+        const Program p = build(w.name);
+        EXPECT_GT(p.size(), 20u) << w.name;
+        EXPECT_EQ(p.name, w.name);
+    }
+}
+
+TEST(Workloads, AllKernelsHaltDeterministically)
+{
+    for (const auto &w : list()) {
+        Program p = build(w.name);
+        Vm vm(p);
+        const StopReason stop = vm.run(20'000'000);
+        EXPECT_EQ(stop, StopReason::Halted) << w.name;
+        EXPECT_FALSE(vm.state().out.empty()) << w.name;
+
+        // Re-run: bit-identical output.
+        Vm vm2(p);
+        vm2.run(20'000'000);
+        EXPECT_EQ(vm.state().out, vm2.state().out) << w.name;
+        EXPECT_EQ(vm.instCount(), vm2.instCount()) << w.name;
+    }
+}
+
+TEST(Workloads, DynamicLengthsInBudget)
+{
+    // Roughly 100K..600K dynamic instructions at scale 1 keeps full
+    // bench sweeps tractable.
+    for (const auto &w : list()) {
+        Program p = build(w.name);
+        Vm vm(p);
+        vm.run(20'000'000);
+        EXPECT_GE(vm.instCount(), 100'000u) << w.name;
+        EXPECT_LE(vm.instCount(), 600'000u) << w.name;
+    }
+}
+
+TEST(Workloads, ScaleExtendsRuns)
+{
+    Program p1 = build("anneal", 1);
+    Program p2 = build("anneal", 2);
+    Vm v1(p1), v2(p2);
+    v1.run(50'000'000);
+    v2.run(50'000'000);
+    EXPECT_GT(v2.instCount(), 1.5 * v1.instCount());
+}
+
+TEST(Workloads, SourceExposesExpandedText)
+{
+    const std::string s = source("compress", 1);
+    EXPECT_EQ(s.find("%OUTER%"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}
+
+TEST(Workloads, FpKernelsUseFpUnits)
+{
+    for (const char *w : {"stencil", "neural", "moldyn"}) {
+        Program p = build(w);
+        Vm vm(p);
+        vm.run(20'000'000);
+        const auto &c = vm.classCounts();
+        const auto fp = c[unsigned(OpClass::FpAdd)] +
+                        c[unsigned(OpClass::FpMul)] +
+                        c[unsigned(OpClass::FpDiv)] +
+                        c[unsigned(OpClass::FpSqrt)];
+        EXPECT_GT(fp, vm.instCount() / 10) << w;
+    }
+}
+
+TEST(Workloads, IntKernelsAvoidFpUnits)
+{
+    for (const char *w : {"compress", "parse", "object", "sort"}) {
+        Program p = build(w);
+        Vm vm(p);
+        vm.run(20'000'000);
+        const auto &c = vm.classCounts();
+        EXPECT_EQ(c[unsigned(OpClass::FpAdd)], 0u) << w;
+    }
+}
+
+TEST(Workloads, PointerIsMemoryBound)
+{
+    Program p = build("pointer");
+    Vm vm(p);
+    vm.run(20'000'000);
+    const auto &c = vm.classCounts();
+    EXPECT_GT(c[unsigned(OpClass::MemRead)], vm.instCount() / 5);
+}
+
+TEST(Workloads, ReuseRatesSpanTheSuite)
+{
+    // The duplicate-stream reuse rate must span a wide range: that spread
+    // is what makes the paper's per-app variation reproducible.
+    setQuiet(true);
+    double lo = 1.0, hi = 0.0;
+    for (const char *w : {"parse", "pointer", "neural", "anneal"}) {
+        const auto r =
+            harness::runWorkload(w, harness::baseConfig("die-irb"));
+        const double tests = r.stat("core.irb.reuse_hits") +
+                             r.stat("core.irb.reuse_misses");
+        ASSERT_GT(tests, 0.0) << w;
+        const double rate = r.stat("core.irb.reuse_hits") / tests;
+        lo = std::min(lo, rate);
+        hi = std::max(hi, rate);
+    }
+    EXPECT_LT(lo, 0.25);
+    EXPECT_GT(hi, 0.40);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+TEST(Synthetic, DeterministicFromSeed)
+{
+    SyntheticParams sp;
+    sp.seed = 99;
+    const Program a = synthetic(sp);
+    const Program b = synthetic(sp);
+    EXPECT_EQ(a.text, b.text);
+    sp.seed = 100;
+    const Program c = synthetic(sp);
+    EXPECT_NE(a.text, c.text);
+}
+
+TEST(Synthetic, RunsAndHalts)
+{
+    SyntheticParams sp;
+    sp.outerIters = 100;
+    const Program p = synthetic(sp);
+    Vm vm(p);
+    EXPECT_EQ(vm.run(10'000'000), StopReason::Halted);
+    EXPECT_FALSE(vm.state().out.empty());
+}
+
+TEST(Synthetic, GoldenUnderAllModes)
+{
+    SyntheticParams sp;
+    sp.outerIters = 200;
+    sp.branchFraction = 0.3;
+    sp.memFraction = 0.3;
+    const Program p = synthetic(sp);
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        const std::string err =
+            harness::goldenCheck(p, harness::baseConfig(mode));
+        EXPECT_EQ(err, "") << mode << ": " << err;
+    }
+}
+
+TEST(Synthetic, ReuseKnobControlsHitRate)
+{
+    setQuiet(true);
+    double prev = -1.0;
+    for (const double reuse : {0.1, 0.5, 0.9}) {
+        SyntheticParams sp;
+        sp.reuseFraction = reuse;
+        sp.outerIters = 500;
+        const Program p = synthetic(sp);
+        const auto r = harness::run(p, harness::baseConfig("die-irb"));
+        const double tests = r.stat("core.irb.reuse_hits") +
+                             r.stat("core.irb.reuse_misses");
+        const double rate = r.stat("core.irb.reuse_hits") / tests;
+        EXPECT_GT(rate, prev);
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.5); // high knob -> majority reuse
+}
+
+TEST(Synthetic, FpFractionEmitsFpOps)
+{
+    SyntheticParams sp;
+    sp.fpFraction = 0.5;
+    sp.outerIters = 50;
+    const Program p = synthetic(sp);
+    Vm vm(p);
+    vm.run(10'000'000);
+    const auto &c = vm.classCounts();
+    EXPECT_GT(c[unsigned(OpClass::FpAdd)] + c[unsigned(OpClass::FpMul)],
+              0u);
+}
+
+TEST(Synthetic, ParameterValidation)
+{
+    SyntheticParams sp;
+    sp.blocks = 0;
+    EXPECT_THROW(synthetic(sp), FatalError);
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * dieirb-asm — assembler / disassembler / functional-runner CLI for the
+ * mini-ISA.
+ *
+ * Usage:
+ *   dieirb-asm <program.s>            assemble and print the listing
+ *   dieirb-asm -r <program.s>         assemble and run on the VM
+ *   dieirb-asm -w <workload>          print a built-in workload's source
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "vm/vm.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+int
+main(int argc, char **argv)
+{
+    bool run = false;
+    std::string workload;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-r") {
+            run = true;
+        } else if (a == "-w" && i + 1 < argc) {
+            workload = argv[++i];
+        } else {
+            file = a;
+        }
+    }
+
+    try {
+        if (!workload.empty()) {
+            std::printf("%s", workloads::source(workload, 1).c_str());
+            return 0;
+        }
+        if (file.empty()) {
+            std::fprintf(stderr,
+                         "usage: %s [-r] <program.s> | -w <workload>\n",
+                         argv[0]);
+            return 1;
+        }
+
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const Program prog = assemble(ss.str(), file);
+
+        if (!run) {
+            std::printf("%s", prog.listing().c_str());
+            std::printf("# %zu instructions, %zu data bytes, entry %#llx\n",
+                        prog.size(), prog.data.size(),
+                        static_cast<unsigned long long>(prog.entry));
+            return 0;
+        }
+
+        Vm vm(prog);
+        const StopReason stop = vm.run();
+        std::printf("%s", vm.state().out.c_str());
+        std::fprintf(stderr, "# %llu instructions, %s\n",
+                     static_cast<unsigned long long>(vm.instCount()),
+                     stop == StopReason::Halted ? "halted"
+                     : stop == StopReason::BadPc ? "bad pc"
+                                                 : "inst limit");
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

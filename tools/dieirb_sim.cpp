@@ -1,0 +1,171 @@
+/**
+ * @file
+ * dieirb-sim — the command-line simulator driver (the repo's equivalent
+ * of SimpleScalar's sim-outorder).
+ *
+ * Usage:
+ *   dieirb-sim [options] (-w <workload> | <program.s>) [key=value ...]
+ *
+ * Options:
+ *   -w <name>       run a built-in workload (see -l) instead of a file
+ *   -l              list built-in workloads and exit
+ *   -m <mode>       sie | die | die-irb            (default sie)
+ *   -n <insts>      max architectural instructions (default 50M)
+ *   -s <scale>      workload scale factor          (default 1)
+ *   -d              dump the full statistics block
+ *   -g              golden-check against the functional VM
+ *   -q              quiet (suppress warn/inform)
+ *
+ * Any trailing key=value pairs override machine configuration, e.g.
+ *   dieirb-sim -w compress -m die-irb -d irb.entries=2048 fu.intalu=2
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] (-w <workload> | <program.s>) "
+                 "[key=value ...]\n"
+                 "  -w <name>   built-in workload (-l to list)\n"
+                 "  -l          list workloads\n"
+                 "  -m <mode>   sie | die | die-irb (default sie)\n"
+                 "  -n <insts>  max architectural instructions\n"
+                 "  -s <scale>  workload scale factor\n"
+                 "  -d          dump full statistics\n"
+                 "  -g          golden-check against the functional VM\n"
+                 "  -q          quiet\n",
+                 argv0);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string file;
+    std::string mode = "sie";
+    std::uint64_t max_insts = 50'000'000;
+    unsigned scale = 1;
+    bool dump_stats = false;
+    bool golden = false;
+    std::vector<std::string> overrides;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "-w") {
+            workload = next();
+        } else if (a == "-l") {
+            for (const auto &w : workloads::list()) {
+                std::printf("%-10s (%s)  %s\n", w.name.c_str(),
+                            w.mimics.c_str(), w.description.c_str());
+            }
+            return 0;
+        } else if (a == "-m") {
+            mode = next();
+        } else if (a == "-n") {
+            max_insts = std::strtoull(next(), nullptr, 0);
+        } else if (a == "-s") {
+            scale = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+        } else if (a == "-d") {
+            dump_stats = true;
+        } else if (a == "-g") {
+            golden = true;
+        } else if (a == "-q") {
+            setQuiet(true);
+        } else if (a == "-h" || a == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else if (a.find('=') != std::string::npos) {
+            overrides.push_back(a);
+        } else if (file.empty() && workload.empty()) {
+            file = a;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    if (workload.empty() && file.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    try {
+        Config cfg = harness::baseConfig(mode);
+        cfg.parseAll(overrides);
+
+        const Program prog = !workload.empty()
+            ? workloads::build(workload, scale)
+            : assemble(readFile(file), file);
+
+        if (golden) {
+            const std::string err = harness::goldenCheck(prog, cfg,
+                                                         max_insts);
+            if (!err.empty()) {
+                std::fprintf(stderr, "GOLDEN CHECK FAILED: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            std::printf("golden check: ok\n");
+        }
+
+        const harness::SimResult r = harness::run(prog, cfg, max_insts);
+
+        std::printf("program    : %s\n", prog.name.c_str());
+        std::printf("mode       : %s\n", mode.c_str());
+        std::printf("stopped    : %s\n",
+                    r.core.stop == StopReason::Halted ? "halt"
+                    : r.core.stop == StopReason::BadPc ? "bad pc"
+                                                       : "inst limit");
+        std::printf("instructions: %llu\n",
+                    static_cast<unsigned long long>(r.core.archInsts));
+        std::printf("cycles     : %llu\n",
+                    static_cast<unsigned long long>(r.core.cycles));
+        std::printf("IPC        : %.4f\n", r.core.ipc);
+        if (!r.output.empty())
+            std::printf("output     : %s", r.output.c_str());
+        if (dump_stats)
+            std::printf("\n%s", r.statsText.c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
