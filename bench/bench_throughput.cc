@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Simulator throughput: host-side cycles/sec and retired-instr/sec for the
+ * reference scan scheduler vs the incremental ready_list scheduler, per
+ * kernel, on the full DIE-IRB machine. The two schedulers are
+ * cycle-for-cycle identical (test_scheduler_diff proves it), so the only
+ * thing this bench measures is how fast the simulator itself runs.
+ * Emits BENCH_throughput.json (path overridable as argv[1]).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using harness::Table;
+
+namespace
+{
+
+struct Measured
+{
+    double seconds = 0;      //!< host seconds per simulation
+    double cycles = 0;       //!< simulated cycles per run
+    double archInsts = 0;    //!< retired architectural instructions per run
+    double cyclesPerSec = 0; //!< simulated cycles per host second
+    double instsPerSec = 0;  //!< retired instructions per host second
+};
+
+Measured
+timeScheduler(const std::string &kernel, const std::string &scheduler)
+{
+    Config cfg = harness::baseConfig("die-irb");
+    cfg.set("core.scheduler", scheduler);
+
+    // One untimed warm-up run to fault in code and host caches.
+    const harness::SimResult warm = harness::runWorkload(kernel, cfg);
+
+    Measured m;
+    m.cycles = static_cast<double>(warm.core.cycles);
+    m.archInsts = static_cast<double>(warm.core.archInsts);
+
+    // Repeat until enough host time has accumulated for a stable rate.
+    using clock = std::chrono::steady_clock;
+    double total = 0;
+    int reps = 0;
+    while (total < 0.25 || reps < 3) {
+        const auto t0 = clock::now();
+        const harness::SimResult r = harness::runWorkload(kernel, cfg);
+        const auto t1 = clock::now();
+        total += std::chrono::duration<double>(t1 - t0).count();
+        ++reps;
+        fatal_if(r.core.cycles != warm.core.cycles,
+                 "non-deterministic run for %s/%s", kernel.c_str(),
+                 scheduler.c_str());
+    }
+    m.seconds = total / reps;
+    m.cyclesPerSec = m.cycles / m.seconds;
+    m.instsPerSec = m.archInsts / m.seconds;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_throughput.json";
+
+    harness::banner(
+        "Simulator throughput — scan vs ready_list scheduler",
+        "both schedulers are bit-identical in simulated behaviour; the "
+        "ready_list hot loop visits only actionable RUU entries and must "
+        "be >= 2x faster in simulated cycles per host second");
+
+    Table t({"workload", "sim cycles", "scan Mcyc/s", "list Mcyc/s",
+             "scan Minst/s", "list Minst/s", "speedup"});
+
+    std::vector<double> speedups;
+    std::string rows_json;
+    for (const auto &w : workloads::list()) {
+        const Measured scan = timeScheduler(w.name, "scan");
+        const Measured list = timeScheduler(w.name, "ready_list");
+        fatal_if(scan.cycles != list.cycles,
+                 "scheduler divergence on %s: %f vs %f cycles",
+                 w.name.c_str(), scan.cycles, list.cycles);
+
+        const double speedup = list.cyclesPerSec / scan.cyclesPerSec;
+        speedups.push_back(speedup);
+
+        t.row()
+            .cell(w.name)
+            .num(scan.cycles, 0)
+            .num(scan.cyclesPerSec / 1e6, 2)
+            .num(list.cyclesPerSec / 1e6, 2)
+            .num(scan.instsPerSec / 1e6, 2)
+            .num(list.instsPerSec / 1e6, 2)
+            .num(speedup, 2);
+        std::fflush(stdout);
+
+        char row[512];
+        std::snprintf(
+            row, sizeof(row),
+            "    {\"workload\": \"%s\", \"sim_cycles\": %.0f, "
+            "\"arch_insts\": %.0f,\n"
+            "     \"scan\": {\"cycles_per_sec\": %.0f, "
+            "\"insts_per_sec\": %.0f},\n"
+            "     \"ready_list\": {\"cycles_per_sec\": %.0f, "
+            "\"insts_per_sec\": %.0f},\n"
+            "     \"speedup\": %.3f}",
+            w.name.c_str(), scan.cycles, scan.archInsts, scan.cyclesPerSec,
+            scan.instsPerSec, list.cyclesPerSec, list.instsPerSec, speedup);
+        if (!rows_json.empty())
+            rows_json += ",\n";
+        rows_json += row;
+    }
+
+    const double geo = harness::geomean(speedups);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("geomean ready_list speedup: %.2fx (acceptance: >= 2x)\n",
+                geo);
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    fatal_if(!f, "cannot write %s", json_path.c_str());
+    std::fprintf(f,
+                 "{\n  \"bench\": \"simulator_throughput\",\n"
+                 "  \"mode\": \"die-irb\",\n"
+                 "  \"units\": \"per host second\",\n"
+                 "  \"workloads\": [\n%s\n  ],\n"
+                 "  \"geomean_speedup\": %.3f\n}\n",
+                 rows_json.c_str(), geo);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    return geo >= 2.0 ? 0 : 1;
+}

@@ -48,6 +48,9 @@ Irb::Irb(const Config &config)
                     "replacements deferred by CTR hysteresis");
     group.addScalar(&numVictimHits, "victim_hits",
                     "PC hits served from the victim buffer");
+    group.addScalar(&numVictimSwapDeferrals, "victim_swap_deferrals",
+                    "victim-hit swap-backs deferred for lack of a write "
+                    "port");
     group.addScalar(&numEvictions, "evictions", "live entries replaced");
 }
 
@@ -87,6 +90,21 @@ Irb::findVictimBuf(Addr pc)
     return nullptr;
 }
 
+void
+Irb::checkLookupInvariant() const
+{
+    // Every lookup has exactly one outcome; a drift here means some path
+    // forgot (or double-counted) its tally.
+    panic_if(numLookups.value() != numPcHits.value() + numPcMisses.value() +
+                                       numLookupDrops.value(),
+             "IRB lookup accounting drift: %llu lookups vs %llu hits + "
+             "%llu misses + %llu drops",
+             static_cast<unsigned long long>(numLookups.value()),
+             static_cast<unsigned long long>(numPcHits.value()),
+             static_cast<unsigned long long>(numPcMisses.value()),
+             static_cast<unsigned long long>(numLookupDrops.value()));
+}
+
 IrbLookup
 Irb::lookup(Addr pc)
 {
@@ -98,8 +116,11 @@ Irb::lookup(Addr pc)
     } else if (sharedLeft > 0) {
         --sharedLeft;
     } else {
+        // A drop is its own outcome class: not a pc_miss (the tag was
+        // never probed), but the owner treats it as one.
         ++numLookupDrops;
         res.portDrop = true;
+        checkLookupInvariant();
         return res;
     }
 
@@ -115,6 +136,7 @@ Irb::lookup(Addr pc)
         res.op2 = e->op2;
         res.result = e->result;
         ++numPcHits;
+        checkLookupInvariant();
         return res;
     }
 
@@ -129,6 +151,20 @@ Irb::lookup(Addr pc)
         ++numPcHits;
         ++numVictimHits;
 
+        // The swap rewrites one entry in each array, which the read port
+        // serving the probe cannot do: it has to buy a write/shared port
+        // like any other update. With the budget exhausted the hit is
+        // still served, but the swap is deferred to a later lookup.
+        if (updatesLeft > 0) {
+            --updatesLeft;
+        } else if (sharedLeft > 0) {
+            --sharedLeft;
+        } else {
+            ++numVictimSwapDeferrals;
+            checkLookupInvariant();
+            return res;
+        }
+
         const std::size_t base = setOf(pc) * assoc;
         Entry *slot = &entries[base];
         for (unsigned w = 1; w < assoc; ++w) {
@@ -142,10 +178,16 @@ Irb::lookup(Addr pc)
         }
         std::swap(*slot, *v);
         slot->lruStamp = stamp;
+        // The entry spilled by the swap enters the victim buffer *now*:
+        // keeping its old main-array stamp would misrepresent it as the
+        // LRU victim and get it dropped on the very next spill.
+        v->lruStamp = stamp;
+        checkLookupInvariant();
         return res;
     }
 
     ++numPcMisses;
+    checkLookupInvariant();
     return res;
 }
 
@@ -180,6 +222,20 @@ Irb::update(Addr pc, RegVal op1, RegVal op2, RegVal result)
         e->lruStamp = stamp;
         if (ctrEnabled && e->ctr < ctrMax)
             ++e->ctr;
+        return true;
+    }
+
+    if (Entry *v = findVictimBuf(pc)) {
+        // The PC lives in the victim buffer: refresh that copy in place.
+        // Allocating a main-array entry as well would create a duplicate
+        // and leave this copy stale — once the main entry is evicted
+        // again, a later lookup would serve the stale tuple from here.
+        v->op1 = op1;
+        v->op2 = op2;
+        v->result = result;
+        v->lruStamp = stamp;
+        if (ctrEnabled && v->ctr < ctrMax)
+            ++v->ctr;
         return true;
     }
 

@@ -62,7 +62,12 @@ class Irb
 
     /**
      * Look up @p pc (consumes a lookup port). If no port is available the
-     * result has portDrop set and must be treated as a PC miss.
+     * result has portDrop set and the owner must treat it as a PC miss
+     * (no reuse candidate). In the statistics the three outcomes are
+     * disjoint — every lookup is exactly one of pc_hit, pc_miss or
+     * lookup_port_drop, so
+     *   lookups == pc_hits + pc_misses + lookup_port_drops
+     * always holds (enforced by an internal assertion).
      */
     IrbLookup lookup(Addr pc);
 
@@ -102,6 +107,8 @@ class Irb
     stats::Group &statGroup() { return group; }
 
     /** Statistics accessors for benches. @{ */
+    std::uint64_t lookups() const { return numLookups.value(); }
+    std::uint64_t updates() const { return numUpdates.value(); }
     std::uint64_t pcHits() const { return numPcHits.value(); }
     std::uint64_t pcMisses() const { return numPcMisses.value(); }
     std::uint64_t reuseHits() const { return numReuseHits.value(); }
@@ -110,6 +117,10 @@ class Irb
     std::uint64_t updateDrops() const { return numUpdateDrops.value(); }
     std::uint64_t ctrDeferrals() const { return numCtrDeferrals.value(); }
     std::uint64_t victimHits() const { return numVictimHits.value(); }
+    std::uint64_t victimSwapDeferrals() const
+    {
+        return numVictimSwapDeferrals.value();
+    }
     /** @} */
 
   private:
@@ -127,6 +138,7 @@ class Irb
     std::size_t setOf(Addr pc) const;
     Entry *find(Addr pc);
     Entry *findVictimBuf(Addr pc);
+    void checkLookupInvariant() const;
 
     std::size_t sets = 0;
     unsigned assoc = 1;
@@ -155,6 +167,7 @@ class Irb
     stats::Scalar numUpdateDrops;
     stats::Scalar numCtrDeferrals;
     stats::Scalar numVictimHits;
+    stats::Scalar numVictimSwapDeferrals;
     stats::Scalar numEvictions;
 };
 

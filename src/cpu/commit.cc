@@ -25,6 +25,10 @@ OooCore::retireEntry(RuuEntry &e)
         // The store performs its single (primary) cache access at commit.
         fus->tryMemPort(now); // consume a port if one is free
         memHier->dataAccess(e.outcome.effAddr, true);
+        // A retired store leaves the RUU and must stop forwarding to
+        // younger loads (the scan only ever sees in-flight entries).
+        if (p.readyListScheduler && !e.isDup)
+            dropStoreIndex(e);
     }
 
     if (e.holdsLsqSlot) {
@@ -78,6 +82,7 @@ OooCore::faultRewind(std::size_t pair_offset)
     ruuCount = 0;
     lsqUsed = 0;
     rebuildCreateVectors();
+    resetScheduler(); // every in-flight reference died with the RUU
     specCtx.exitSpec();
     ifq.clear();
 

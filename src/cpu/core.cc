@@ -39,6 +39,15 @@ CoreParams::fromConfig(const Config &config)
 {
     CoreParams p;
     p.mode = execModeFromName(config.getString("core.mode", "sie"));
+    const std::string sched =
+        config.getString("core.scheduler", "ready_list");
+    if (sched == "ready_list")
+        p.readyListScheduler = true;
+    else if (sched == "scan")
+        p.readyListScheduler = false;
+    else
+        fatal("unknown core.scheduler '%s' (expected scan or ready_list)",
+              sched.c_str());
     p.fetchWidth =
         static_cast<unsigned>(config.getUint("width.fetch", 8));
     p.decodeWidth =
@@ -184,6 +193,11 @@ OooCore::squashYoungerThan(std::size_t keep_count)
         }
         if (e.faulted)
             injector->recordSquashed();
+        // The store-address index is queried through its ordered ends, so
+        // squashed stores must leave eagerly (the other scheduler sets
+        // drop stale references lazily, by seq mismatch).
+        if (p.readyListScheduler && !e.isDup && isStore(e.inst.op))
+            dropStoreIndex(e);
         e.seq = invalidSeq; // invalidate dangling dependence edges
     }
     ruuCount = keep_count;

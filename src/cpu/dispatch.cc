@@ -132,6 +132,15 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
 
     linkSources(e, idx, 0);
 
+    if (p.readyListScheduler) {
+        if (e.srcPending == 0)
+            readyList.push(e.seq, idx);
+        // Dispatch allocates seqs in increasing order, so appending here
+        // keeps the unresolved-store list sorted.
+        if (isStore(e.inst.op))
+            unresolvedStores.push_back(e.seq);
+    }
+
     if (e.isMemOp) {
         e.holdsLsqSlot = true;
         ++lsqUsed;
@@ -194,6 +203,13 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
 
     if (p.mode == ExecMode::DieIrb)
         setupIrbFields(d, fi);
+
+    if (p.readyListScheduler) {
+        if (d.srcPending == 0)
+            readyList.push(d.seq, didx);
+        if (d.irbCandidate && !p.irbConsumesIssueSlot)
+            pendingReuse.push(d.seq, didx);
+    }
 
     maybeInjectForwardFault(prim, d);
 

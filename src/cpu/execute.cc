@@ -4,6 +4,17 @@
  * the paper folds into wakeup via the Rdy2L/Rdy2R flags), load/store
  * queue memory issue with store-to-load forwarding, out-of-order
  * select/issue against the FU pool, and branch-misprediction recovery.
+ *
+ * Each stage exists twice: the original "scan" implementation re-walks
+ * the whole RUU every cycle and re-derives what is actionable, and the
+ * "ready_list" implementation (core.scheduler, the default) maintains
+ * the same information incrementally — a completion-event heap for
+ * writeback, an operand-ready list for select/issue, a pending-load list
+ * plus an ordered store-address index for the memory stage, and a
+ * pending-reuse-test list for the IRB pre-pass. Both are cycle-accurate
+ * and bit-identical in timing and statistics (proven per-workload by
+ * test_scheduler_diff); the scan version is kept as the differential
+ * reference.
  */
 
 #include "common/logging.hh"
@@ -23,6 +34,8 @@ OooCore::wakeDependents(int idx)
         panic_if(c.srcPending == 0, "wakeup underflow (seq %llu)",
                  static_cast<unsigned long long>(c.seq));
         --c.srcPending;
+        if (p.readyListScheduler && c.srcPending == 0)
+            readyList.push(c.seq, dep.idx);
     }
     e.dependents.clear();
 }
@@ -46,11 +59,26 @@ OooCore::completeEntry(int idx)
 
     if (e.mispredicted && !e.wrongPath && !e.recoveryDone)
         handleMispredictRecovery(idx);
+
+    // Ready-list bookkeeping: a duplicate load's register copy arrives
+    // with the primary's single memory access, so the primary's
+    // completion is what makes an address-done duplicate actionable. The
+    // scan finds the duplicate on its own (it sits right behind the
+    // primary, so it is visited next within the same cycle); here the
+    // primary completes it directly.
+    if (p.readyListScheduler && !e.isDup && e.pairIdx >= 0) {
+        RuuEntry &d = ruu[e.pairIdx];
+        if (d.isDup && d.pairIdx == idx && !d.completed && d.addrDone &&
+            isLoad(d.inst.op)) {
+            completeEntry(e.pairIdx);
+        }
+    }
 }
 
 void
-OooCore::tryReuseTest(RuuEntry &e)
+OooCore::tryReuseTest(int idx)
 {
+    RuuEntry &e = ruu[idx];
     if (!e.isDup || !e.irbCandidate || e.reuseTested || e.issued ||
         e.completed || e.srcPending > 0 || now < e.irbReadyAt) {
         return;
@@ -72,11 +100,57 @@ OooCore::tryReuseTest(RuuEntry &e)
     e.issued = true;
     e.completeAt = now + 1;
     e.checkValue = e.irb.result;
+    scheduleWriteback(idx, e.completeAt);
     ++numBypassedAlu;
 }
 
 void
+OooCore::scheduleWriteback(int idx, Cycle at)
+{
+    if (p.readyListScheduler)
+        wbEvents.push({at, ruu[idx].seq, idx});
+}
+
+void
+OooCore::resetScheduler()
+{
+    wbEvents = {};
+    readyList.clear();
+    pendingMem.clear();
+    pendingReuse.clear();
+    unresolvedStores.clear();
+    storeBlocks.clear();
+}
+
+void
+OooCore::dropStoreIndex(const RuuEntry &e)
+{
+    const auto us = std::lower_bound(unresolvedStores.begin(),
+                                     unresolvedStores.end(), e.seq);
+    if (us != unresolvedStores.end() && *us == e.seq)
+        unresolvedStores.erase(us);
+    const auto it = storeBlocks.find(e.outcome.effAddr >> 3);
+    if (it != storeBlocks.end()) {
+        std::vector<InstSeq> &seqs = it->second;
+        const auto sb = std::lower_bound(seqs.begin(), seqs.end(), e.seq);
+        if (sb != seqs.end() && *sb == e.seq)
+            seqs.erase(sb);
+        if (seqs.empty())
+            storeBlocks.erase(it);
+    }
+}
+
+void
 OooCore::writebackStage()
+{
+    if (p.readyListScheduler)
+        writebackStageList();
+    else
+        writebackStageScan();
+}
+
+void
+OooCore::writebackStageScan()
 {
     // Oldest-first scan; a recovery squash inside completeEntry() shrinks
     // ruuCount, which the loop condition re-checks every iteration.
@@ -117,6 +191,64 @@ OooCore::writebackStage()
     }
 }
 
+void
+OooCore::processWriteback(int idx)
+{
+    // One entry's worth of the scan body above, reached via the event
+    // heap instead of a full-RUU walk.
+    RuuEntry &e = ruu[idx];
+    if (e.completed)
+        return;
+    if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
+        if (ruu[e.pairIdx].completed)
+            completeEntry(idx);
+        return;
+    }
+    if (!e.issued || e.completeAt > now)
+        return;
+    if (e.needsMemAccess && e.addrDone && !e.memStarted)
+        return;
+    if (e.addrGenPending) {
+        e.addrGenPending = false;
+        e.addrDone = true;
+        if (!e.isDup && isStore(e.inst.op)) {
+            // The store's address is now known: move it from the
+            // conservative "blocks every younger load" set into the
+            // 8-byte-granular forwarding index.
+            const auto us = std::lower_bound(unresolvedStores.begin(),
+                                             unresolvedStores.end(), e.seq);
+            if (us != unresolvedStores.end() && *us == e.seq)
+                unresolvedStores.erase(us);
+            std::vector<InstSeq> &seqs =
+                storeBlocks[e.outcome.effAddr >> 3];
+            seqs.insert(std::upper_bound(seqs.begin(), seqs.end(), e.seq),
+                        e.seq);
+        }
+        if (e.needsMemAccess) {
+            pendingMem.push(e.seq, idx);
+            return; // primary load: wait for the memory stage
+        }
+        if (e.isDup && isLoad(e.inst.op)) {
+            if (ruu[e.pairIdx].completed)
+                completeEntry(idx);
+            return; // else: completed by the primary's completion hook
+        }
+    }
+    completeEntry(idx);
+}
+
+void
+OooCore::writebackStageList()
+{
+    while (!wbEvents.empty() && wbEvents.top().at <= now) {
+        const WbEvent ev = wbEvents.top();
+        wbEvents.pop();
+        if (ruu[ev.idx].seq != ev.seq)
+            continue; // squashed; slot may be reused
+        processWriteback(ev.idx);
+    }
+}
+
 bool
 OooCore::olderStoreBlocks(std::size_t load_offset, bool &forwarded) const
 {
@@ -135,8 +267,31 @@ OooCore::olderStoreBlocks(std::size_t load_offset, bool &forwarded) const
     return false;
 }
 
+bool
+OooCore::loadBlockedByStore(const RuuEntry &load, bool &forwarded) const
+{
+    forwarded = false;
+    // Any older primary store without a generated address blocks the
+    // load; since the sets are seq-ordered, "any older" is just a
+    // comparison against the oldest unresolved store.
+    if (!unresolvedStores.empty() && unresolvedStores.front() < load.seq)
+        return true; // conservative disambiguation
+    const auto it = storeBlocks.find(load.outcome.effAddr >> 3);
+    forwarded = it != storeBlocks.end() && it->second.front() < load.seq;
+    return false;
+}
+
 void
 OooCore::memoryStage()
+{
+    if (p.readyListScheduler)
+        memoryStageList();
+    else
+        memoryStageScan();
+}
+
+void
+OooCore::memoryStageScan()
 {
     for (std::size_t off = 0; off < ruuCount; ++off) {
         RuuEntry &e = entryAt(off);
@@ -161,7 +316,51 @@ OooCore::memoryStage()
 }
 
 void
+OooCore::memoryStageList()
+{
+    pendingMem.normalize();
+    auto &pm = pendingMem.items;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pm.size(); ++i) {
+        const auto [seq, idx] = pm[i];
+        RuuEntry &e = ruu[idx];
+        if (e.seq != seq || e.memStarted || e.completed)
+            continue; // stale: drop
+        bool forwarded = false;
+        if (loadBlockedByStore(e, forwarded)) {
+            ++numLoadsBlocked;
+            pm[kept++] = pm[i]; // retry next cycle
+            continue;
+        }
+        if (forwarded) {
+            e.memStarted = true;
+            e.completeAt = now + 1;
+            scheduleWriteback(idx, e.completeAt);
+            ++numLoadsForwarded;
+            continue;
+        }
+        if (!fus->tryMemPort(now)) {
+            pm[kept++] = pm[i]; // retry next cycle
+            continue;
+        }
+        e.memStarted = true;
+        e.completeAt = now + memHier->dataAccess(e.outcome.effAddr, false);
+        scheduleWriteback(idx, e.completeAt);
+    }
+    pendingMem.compact(kept);
+}
+
+void
 OooCore::issueStage()
+{
+    if (p.readyListScheduler)
+        issueStageList();
+    else
+        issueStageScan();
+}
+
+void
+OooCore::issueStageScan()
 {
     fus->beginCycle(now);
 
@@ -172,7 +371,7 @@ OooCore::issueStage()
     // loop and burn an issue slot.
     if (reuseBuffer && !p.irbConsumesIssueSlot) {
         for (std::size_t off = 0; off < ruuCount; ++off)
-            tryReuseTest(entryAt(off));
+            tryReuseTest(static_cast<int>((ruuHead + off) % p.ruuSize));
     }
 
     unsigned slots = p.issueWidth;
@@ -185,7 +384,7 @@ OooCore::issueStage()
         if (e.irbCandidate && !e.reuseTested) {
             if (!p.irbConsumesIssueSlot)
                 continue;
-            tryReuseTest(e);
+            tryReuseTest(static_cast<int>((ruuHead + off) % p.ruuSize));
             if (!e.reuseTested)
                 continue; // IRB data still in flight
             if (e.reuseHit) {
@@ -205,6 +404,76 @@ OooCore::issueStage()
         --slots;
         ++numIssuedTotal;
     }
+}
+
+void
+OooCore::issueStageList()
+{
+    fus->beginCycle(now);
+
+    // Reuse-test pre-pass over the pending tests only (same oldest-first
+    // order as the scan; non-candidates were never added).
+    if (reuseBuffer && !p.irbConsumesIssueSlot) {
+        pendingReuse.normalize();
+        auto &pr = pendingReuse.items;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < pr.size(); ++i) {
+            const auto [seq, idx] = pr[i];
+            RuuEntry &e = ruu[idx];
+            if (e.seq != seq || e.reuseTested || e.issued || e.completed)
+                continue; // stale or already resolved: drop
+            tryReuseTest(idx);
+            if (!e.reuseTested)
+                pr[kept++] = pr[i]; // IRB data still in flight
+        }
+        pendingReuse.compact(kept);
+    }
+
+    readyList.normalize();
+    auto &rl = readyList.items;
+    std::size_t kept = 0;
+    std::size_t i = 0;
+    unsigned slots = p.issueWidth;
+    for (; i < rl.size() && slots > 0; ++i) {
+        const auto [seq, idx] = rl[i];
+        RuuEntry &e = ruu[idx];
+        if (e.seq != seq || e.issued || e.completed)
+            continue; // stale: drop
+        panic_if(e.srcPending > 0, "unready entry on the ready list "
+                 "(seq %llu)",
+                 static_cast<unsigned long long>(e.seq));
+        if (e.irbCandidate && !e.reuseTested) {
+            if (!p.irbConsumesIssueSlot) {
+                rl[kept++] = rl[i];
+                continue;
+            }
+            tryReuseTest(idx);
+            if (!e.reuseTested) {
+                rl[kept++] = rl[i];
+                continue; // IRB data still in flight
+            }
+            if (e.reuseHit) {
+                --slots; // ablation: the hit occupies issue bandwidth
+                continue;
+            }
+        }
+        Cycle lat = 1;
+        if (!fus->tryIssue(e.cls, now, lat)) {
+            ++numIssueStallFu;
+            rl[kept++] = rl[i];
+            continue; // other ready instructions may still find a unit
+        }
+        e.issued = true;
+        e.completeAt = now + lat;
+        if (e.isMemOp)
+            e.addrGenPending = true; // first completion = address ready
+        scheduleWriteback(idx, e.completeAt);
+        --slots;
+        ++numIssuedTotal;
+    }
+    for (; i < rl.size(); ++i)
+        rl[kept++] = rl[i]; // issue bandwidth exhausted: keep the rest
+    readyList.compact(kept);
 }
 
 void

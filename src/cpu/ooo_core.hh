@@ -25,9 +25,12 @@
 #ifndef DIREB_CPU_OOO_CORE_HH
 #define DIREB_CPU_OOO_CORE_HH
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "branch/predictor.hh"
@@ -54,6 +57,16 @@ const char *execModeName(ExecMode mode);
 struct CoreParams
 {
     ExecMode mode = ExecMode::Sie;
+    /**
+     * Back-end scheduler implementation (core.scheduler=scan|ready_list).
+     * Both are cycle-accurate and produce bit-identical timing and
+     * statistics; "scan" re-walks the whole RUU every cycle (the original
+     * implementation, kept as the differential-testing reference), while
+     * "ready_list" maintains incremental ready/pending sets and an
+     * indexed store-address map so each stage visits only actionable
+     * entries.
+     */
+    bool readyListScheduler = true;
     unsigned fetchWidth = 8;
     unsigned decodeWidth = 8;   //!< RUU entries dispatched per cycle
     unsigned issueWidth = 8;    //!< instructions selected per cycle
@@ -217,6 +230,15 @@ class OooCore
     void dispatchStage();
     void fetchStage();
 
+    // Per-stage implementations: "Scan" walks the RUU (reference), "List"
+    // visits only the incremental ready/pending sets.
+    void writebackStageScan();
+    void writebackStageList();
+    void memoryStageScan();
+    void memoryStageList();
+    void issueStageScan();
+    void issueStageList();
+
     // ---- helpers -------------------------------------------------------------
     RuuEntry &entryAt(std::size_t offset);
     const RuuEntry &entryAt(std::size_t offset) const;
@@ -225,13 +247,18 @@ class OooCore
 
     void completeEntry(int idx);
     void wakeDependents(int idx);
-    void tryReuseTest(RuuEntry &e);
+    void tryReuseTest(int idx);
     void handleMispredictRecovery(int idx);
     void squashYoungerThan(std::size_t keep_count);
     void rebuildCreateVectors();
     void faultRewind(std::size_t pair_offset);
     void retireEntry(RuuEntry &e);
     bool olderStoreBlocks(std::size_t load_offset, bool &forwarded) const;
+    bool loadBlockedByStore(const RuuEntry &load, bool &forwarded) const;
+    void processWriteback(int idx);
+    void scheduleWriteback(int idx, Cycle at);
+    void dropStoreIndex(const RuuEntry &e);
+    void resetScheduler();
     void dispatchOne(const FetchedInst &fi, unsigned &width_left);
     void linkSources(RuuEntry &e, int idx, unsigned stream);
     void setupIrbFields(RuuEntry &dup, const FetchedInst &fi);
@@ -274,6 +301,86 @@ class OooCore
 
     /** createVec[stream][reg] = newest in-flight producer. */
     std::vector<Producer> createVec[2];
+
+    // ---- scan-free scheduler state (core.scheduler=ready_list) --------------
+    //
+    // All sets are keyed by seq, so iteration order equals the scan's
+    // oldest-first RUU order and references left dangling by a squash (the
+    // slot may already hold a younger instruction) are detected by a seq
+    // mismatch and dropped lazily.
+
+    /** A scheduled completion: entry (idx, seq) finishes at cycle at. */
+    struct WbEvent
+    {
+        Cycle at;
+        InstSeq seq;
+        int idx;
+    };
+
+    /** Min-heap order: earliest cycle first, oldest instruction first. */
+    struct WbEventAfter
+    {
+        bool
+        operator()(const WbEvent &a, const WbEvent &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<WbEvent, std::vector<WbEvent>, WbEventAfter>
+        wbEvents;
+
+    /**
+     * Flat (seq, RUU index) set ordered by seq — the hot-loop
+     * alternative to a node-based ordered map. Producers append (no
+     * per-node allocation); the single consuming stage calls normalize()
+     * once per cycle, which sorts the appended tail and merges it into
+     * the sorted prefix, then walks the items oldest-first and compacts
+     * the survivors in place. The stages never insert into the list they
+     * are currently walking, so an iteration only ever sees the
+     * normalized snapshot.
+     */
+    struct SeqList
+    {
+        std::vector<std::pair<InstSeq, int>> items;
+        std::size_t sorted = 0; //!< items[0..sorted) are sorted by seq
+
+        void push(InstSeq seq, int idx) { items.emplace_back(seq, idx); }
+
+        void
+        clear()
+        {
+            items.clear();
+            sorted = 0;
+        }
+
+        void
+        normalize()
+        {
+            if (sorted == items.size())
+                return;
+            std::sort(items.begin() + sorted, items.end());
+            std::inplace_merge(items.begin(), items.begin() + sorted,
+                               items.end());
+            sorted = items.size();
+        }
+
+        /** End a compacting walk that kept the first @p kept items. */
+        void
+        compact(std::size_t kept)
+        {
+            items.resize(kept);
+            sorted = kept;
+        }
+    };
+
+    SeqList readyList;    //!< operand-ready, not yet issued
+    SeqList pendingMem;   //!< loads awaiting a D-cache port
+    SeqList pendingReuse; //!< dups with pending reuse test
+    /** Primary stores pre addr-gen; appended in dispatch (= seq) order. */
+    std::vector<InstSeq> unresolvedStores;
+    /** Resolved primary stores by 8-byte block (effAddr>>3), oldest first. */
+    std::unordered_map<Addr, std::vector<InstSeq>> storeBlocks;
 
     std::deque<FetchedInst> ifq;
     std::deque<ReplayRecord> replayQueue;
