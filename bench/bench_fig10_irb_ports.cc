@@ -5,17 +5,23 @@
  * because only the duplicate stream looks up and the effective per-stream
  * width is half the machine width; this sweep verifies that claim and
  * shows where starvation bites.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig10_irb_ports.json.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 namespace
@@ -36,7 +42,7 @@ const std::vector<PortCfg> cfgs = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -45,6 +51,18 @@ main()
         "and the effective dispatch/commit rate is half the machine "
         "width, so more ports buy almost nothing");
 
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : workloads::list()) {
+        for (const auto &c : cfgs) {
+            Config cfg = harness::baseConfig("die-irb");
+            cfg.setInt("irb.read_ports", c.r);
+            cfg.setInt("irb.write_ports", c.w);
+            cfg.setInt("irb.rw_ports", c.rw);
+            sweep.add(w.name + "/" + c.name, w.name, std::move(cfg));
+        }
+    }
+    const auto results = sweep.run();
+
     std::vector<std::string> cols = {"workload"};
     for (const auto &c : cfgs)
         cols.push_back(c.name);
@@ -52,32 +70,47 @@ main()
     Table t(cols);
 
     std::vector<std::vector<double>> ipcs(cfgs.size());
+    Json rows = Json::array();
 
+    std::size_t idx = 0;
     for (const auto &w : workloads::list()) {
         t.row().cell(w.name);
         double paper_drop = 0.0;
+        Json byPorts = Json::object();
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            Config cfg = harness::baseConfig("die-irb");
-            cfg.setInt("irb.read_ports", cfgs[i].r);
-            cfg.setInt("irb.write_ports", cfgs[i].w);
-            cfg.setInt("irb.rw_ports", cfgs[i].rw);
-            const auto r = harness::runWorkload(w.name, cfg);
+            const harness::SimResult &r =
+                harness::requireOk(results[idx++]);
             ipcs[i].push_back(r.ipc());
             t.num(r.ipc(), 3);
+            byPorts.set(cfgs[i].name, r.ipc());
             if (i == 3) {
                 paper_drop = r.stat("core.irb.lookup_port_drops") /
                              std::max(1.0, r.stat("core.irb.lookups"));
             }
         }
         t.pct(paper_drop, 1);
-        std::fflush(stdout);
+        rows.push(Json::object()
+                      .set("workload", w.name)
+                      .set("ipc_by_ports", std::move(byPorts))
+                      .set("paper_drop_rate", paper_drop));
     }
 
     t.row().cell("== avg IPC ==");
-    for (std::size_t i = 0; i < cfgs.size(); ++i)
+    Json avg = Json::object();
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
         t.num(harness::mean(ipcs[i]), 3);
+        avg.set(cfgs[i].name, harness::mean(ipcs[i]));
+    }
     t.cell("");
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "fig10_irb_ports");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    root.set("avg_ipc", std::move(avg));
+    harness::writeJsonReport("BENCH_fig10_irb_ports.json", root);
+    std::printf("wrote BENCH_fig10_irb_ports.json\n");
     return 0;
 }

@@ -5,6 +5,9 @@
  * footprint — plain direct-mapped, direct-mapped + CTR hysteresis (the
  * paper's entry format), 2-way / 4-way set-associative, and direct-mapped
  * with a 16-entry victim buffer.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig11_conflict_miss.json.
  */
 
 #include <cstdio>
@@ -13,9 +16,11 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 namespace
@@ -40,7 +45,7 @@ const std::vector<Org> orgs = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -105,32 +110,60 @@ main()
     for (const char *w : {"compress", "parse"})
         inputs.emplace_back(w, workloads::build(w, 1));
 
-    std::vector<std::vector<double>> ipcs(orgs.size());
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
     for (const auto &[name, prog] : inputs) {
-        t.row().cell(name);
-        for (std::size_t i = 0; i < orgs.size(); ++i) {
+        for (const auto &o : orgs) {
             Config cfg = harness::baseConfig("die-irb");
             cfg.setInt("irb.entries", 256);
-            cfg.setInt("irb.assoc", orgs[i].assoc);
-            cfg.setInt("irb.ctr_bits", orgs[i].ctr_bits);
-            cfg.setInt("irb.victim_entries", orgs[i].victims);
-            const auto r = harness::run(prog, cfg);
+            cfg.setInt("irb.assoc", o.assoc);
+            cfg.setInt("irb.ctr_bits", o.ctr_bits);
+            cfg.setInt("irb.victim_entries", o.victims);
+            sweep.add(name + "/" + o.name, prog, std::move(cfg));
+        }
+    }
+    const auto results = sweep.run();
+
+    std::vector<std::vector<double>> ipcs(orgs.size());
+    Json rows = Json::array();
+
+    std::size_t idx = 0;
+    for (const auto &[name, prog] : inputs) {
+        t.row().cell(name);
+        Json byOrg = Json::object();
+        for (std::size_t i = 0; i < orgs.size(); ++i) {
+            const harness::SimResult &r =
+                harness::requireOk(results[idx++]);
             const double tests = r.stat("core.irb.reuse_hits") +
                                  r.stat("core.irb.reuse_misses");
+            const double reuse =
+                tests > 0 ? r.stat("core.irb.reuse_hits") / tests : 0.0;
             ipcs[i].push_back(r.ipc());
-            t.num(r.ipc(), 3).pct(
-                tests > 0 ? r.stat("core.irb.reuse_hits") / tests : 0.0,
-                1);
+            t.num(r.ipc(), 3).pct(reuse, 1);
+            byOrg.set(orgs[i].name, Json::object()
+                                        .set("ipc", r.ipc())
+                                        .set("reuse_rate", reuse));
         }
-        std::fflush(stdout);
+        rows.push(Json::object()
+                      .set("workload", name)
+                      .set("by_org", std::move(byOrg)));
     }
 
     t.row().cell("== avg IPC ==");
+    Json avg = Json::object();
     for (std::size_t i = 0; i < orgs.size(); ++i) {
         t.num(harness::mean(ipcs[i]), 3);
         t.cell("");
+        avg.set(orgs[i].name, harness::mean(ipcs[i]));
     }
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "fig11_conflict_miss");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    root.set("avg_ipc", std::move(avg));
+    harness::writeJsonReport("BENCH_fig11_conflict_miss.json", root);
+    std::printf("wrote BENCH_fig11_conflict_miss.json\n");
     return 0;
 }

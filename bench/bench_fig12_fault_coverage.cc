@@ -11,20 +11,29 @@
  * DIE-IRB forwards primary results to both streams, so an identical
  * corruption of both operand copies escapes, while plain DIE's
  * per-stream forwarding keeps it detectable.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); the clean
+ * reference run per (mode, app) is simulated once and shared across
+ * fault sites. Emits BENCH_fig12_fault_coverage.json.
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -33,27 +42,50 @@ main()
         "only the shared-forwarding case of Figure 6(c) escapes, and only "
         "under DIE-IRB (by design, deemed acceptable in §3.4)");
 
-    Table t({"site", "mode", "injected", "detected", "squashed", "escaped",
-             "rewinds", "coverage", "output ok"});
-
     const std::vector<std::string> apps = {"route", "parse", "raster",
                                            "anneal"};
+    const std::vector<std::string> sites = {"fu", "fwd_one", "fwd_both",
+                                            "irb"};
+    const std::vector<std::string> modes = {"die", "die-irb"};
 
-    for (const char *site : {"fu", "fwd_one", "fwd_both", "irb"}) {
-        for (const char *mode : {"die", "die-irb"}) {
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    // Clean references first: one per (mode, app), shared by every site.
+    std::map<std::string, std::size_t> cleanIdx;
+    for (const auto &mode : modes) {
+        for (const auto &w : apps) {
+            cleanIdx[mode + "/" + w] = sweep.add(
+                "clean/" + mode + "/" + w, w, harness::baseConfig(mode));
+        }
+    }
+    std::map<std::string, std::size_t> faultIdx;
+    for (const auto &site : sites) {
+        for (const auto &mode : modes) {
+            for (const auto &w : apps) {
+                Config cfg = harness::baseConfig(mode);
+                cfg.set("fault.site", site);
+                cfg.setDouble("fault.rate", site == "irb" ? 0.01 : 0.0005);
+                cfg.setInt("fault.seed", 17);
+                faultIdx[site + "/" + mode + "/" + w] = sweep.add(
+                    site + "/" + mode + "/" + w, w, std::move(cfg));
+            }
+        }
+    }
+    const auto results = sweep.run();
+
+    Table t({"site", "mode", "injected", "detected", "squashed", "escaped",
+             "rewinds", "coverage", "output ok"});
+    Json rows = Json::array();
+
+    for (const auto &site : sites) {
+        for (const auto &mode : modes) {
             double injected = 0, detected = 0, squashed = 0, escaped = 0,
                    rewinds = 0;
             bool outputs_ok = true;
             for (const auto &w : apps) {
-                const Program prog = workloads::build(w, 1);
-                Config cfg = harness::baseConfig(mode);
-                cfg.set("fault.site", site);
-                cfg.setDouble("fault.rate",
-                              std::string(site) == "irb" ? 0.01 : 0.0005);
-                cfg.setInt("fault.seed", 17);
-                const auto faulty = harness::run(prog, cfg);
-                const auto clean =
-                    harness::run(prog, harness::baseConfig(mode));
+                const harness::SimResult &faulty = harness::requireOk(
+                    results[faultIdx.at(site + "/" + mode + "/" + w)]);
+                const harness::SimResult &clean = harness::requireOk(
+                    results[cleanIdx.at(mode + "/" + w)]);
                 injected += faulty.stat("core.fault.injected");
                 detected += faulty.stat("core.fault.detected");
                 squashed += faulty.stat("core.fault.squashed");
@@ -73,7 +105,17 @@ main()
                 .num(rewinds, 0)
                 .pct(detected / reaching, 1)
                 .cell(outputs_ok ? "yes" : "NO");
-            std::fflush(stdout);
+
+            rows.push(Json::object()
+                          .set("site", site)
+                          .set("mode", mode)
+                          .set("injected", injected)
+                          .set("detected", detected)
+                          .set("squashed", squashed)
+                          .set("escaped", escaped)
+                          .set("rewinds", rewinds)
+                          .set("coverage", detected / reaching)
+                          .set("outputs_ok", outputs_ok));
         }
     }
 
@@ -81,5 +123,12 @@ main()
     std::printf("note: 'irb' faults strike random live entries; those "
                 "never consumed by a reuse hit stay dormant (neither "
                 "detected nor escaped).\n");
+
+    Json root = Json::object();
+    root.set("bench", "fig12_fault_coverage");
+    root.set("jobs", sweep.jobs());
+    root.set("sites", std::move(rows));
+    harness::writeJsonReport("BENCH_fig12_fault_coverage.json", root);
+    std::printf("wrote BENCH_fig12_fault_coverage.json\n");
     return 0;
 }

@@ -11,6 +11,9 @@
  *      the Rdy2 flags, so a hit consumes NO issue slot; ablation: treat
  *      the IRB like a functional unit whose hits occupy issue bandwidth
  *      (the pre-Citron [12] design the paper argues against).
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig13_ablations.json.
  */
 
 #include <cstdio>
@@ -19,9 +22,11 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 namespace
@@ -46,7 +51,7 @@ const std::vector<Variant> variants = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -55,34 +60,60 @@ main()
         "both needed for the full benefit; the IRB-as-functional-unit "
         "alternative wastes issue bandwidth");
 
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : workloads::list()) {
+        sweep.add(w.name + "/die", w.name, harness::baseConfig("die"));
+        for (const auto &v : variants) {
+            Config cfg = harness::baseConfig("die-irb");
+            cfg.setBool("dieirb.dup_own_dataflow", v.own_dataflow);
+            cfg.setBool("irb.consumes_issue_slot", v.hits_burn_slots);
+            cfg.setInt("width.issue", v.issueWidth);
+            sweep.add(w.name + "/" + v.name, w.name, std::move(cfg));
+        }
+    }
+    const auto results = sweep.run();
+
     std::vector<std::string> cols = {"workload", "DIE"};
     for (const auto &v : variants)
         cols.push_back(v.name);
     Table t(cols);
 
     std::vector<std::vector<double>> ipcs(variants.size());
+    Json rows = Json::array();
+
+    std::size_t idx = 0;
     for (const auto &w : workloads::list()) {
-        const auto die =
-            harness::runWorkload(w.name, harness::baseConfig("die"));
+        const harness::SimResult &die = harness::requireOk(results[idx++]);
         t.row().cell(w.name).num(die.ipc(), 3);
+        Json byVariant = Json::object();
         for (std::size_t i = 0; i < variants.size(); ++i) {
-            Config cfg = harness::baseConfig("die-irb");
-            cfg.setBool("dieirb.dup_own_dataflow",
-                        variants[i].own_dataflow);
-            cfg.setBool("irb.consumes_issue_slot",
-                        variants[i].hits_burn_slots);
-            cfg.setInt("width.issue", variants[i].issueWidth);
-            const auto r = harness::runWorkload(w.name, cfg);
+            const harness::SimResult &r =
+                harness::requireOk(results[idx++]);
             ipcs[i].push_back(r.ipc());
             t.num(r.ipc(), 3);
+            byVariant.set(variants[i].name, r.ipc());
         }
-        std::fflush(stdout);
+        rows.push(Json::object()
+                      .set("workload", w.name)
+                      .set("die_ipc", die.ipc())
+                      .set("ipc_by_variant", std::move(byVariant)));
     }
 
     t.row().cell("== avg IPC ==").cell("");
-    for (std::size_t i = 0; i < variants.size(); ++i)
+    Json avg = Json::object();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
         t.num(harness::mean(ipcs[i]), 3);
+        avg.set(variants[i].name, harness::mean(ipcs[i]));
+    }
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "fig13_ablations");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    root.set("avg_ipc", std::move(avg));
+    harness::writeJsonReport("BENCH_fig13_ablations.json", root);
+    std::printf("wrote BENCH_fig13_ablations.json\n");
     return 0;
 }

@@ -8,6 +8,9 @@
  * Paper shape: base DIE loses ~22% on average (spread ~1%..43%); doubling
  * the ALUs is the most effective single lever; doubling all three gets
  * within a whisker of SIE.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig2_resource_sweep.json.
  */
 
 #include <cstdio>
@@ -17,9 +20,11 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 namespace
@@ -70,7 +75,7 @@ makeConfig(const Variant &v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -78,31 +83,55 @@ main()
         "base DIE ~22% avg loss (1%..43% spread); 2xALU is the best single "
         "lever (~13%); 2xALU+2xRUU+2xWidths ~= SIE");
 
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : workloads::list()) {
+        sweep.add(w.name + "/sie", w.name, harness::baseConfig("sie"));
+        for (const auto &v : variants)
+            sweep.add(w.name + "/" + v.name, w.name, makeConfig(v));
+    }
+    const auto results = sweep.run();
+
     std::vector<std::string> cols = {"workload", "SIE IPC"};
     for (const auto &v : variants)
         cols.push_back(v.name);
     Table table(cols);
 
     std::vector<std::vector<double>> losses(variants.size());
+    Json rows = Json::array();
 
+    std::size_t idx = 0;
     for (const auto &w : workloads::list()) {
-        const harness::SimResult sie =
-            harness::runWorkload(w.name, harness::baseConfig("sie"));
+        const harness::SimResult &sie = harness::requireOk(results[idx++]);
         table.row().cell(w.name).num(sie.ipc(), 3);
+        Json row = Json::object();
+        row.set("workload", w.name).set("sie_ipc", sie.ipc());
         for (std::size_t i = 0; i < variants.size(); ++i) {
-            const harness::SimResult r =
-                harness::runWorkload(w.name, makeConfig(variants[i]));
+            const harness::SimResult &r =
+                harness::requireOk(results[idx++]);
             const double loss = 1.0 - r.ipc() / sie.ipc();
             losses[i].push_back(loss);
             table.pct(loss, 1);
+            row.set(variants[i].name,
+                    Json::object().set("ipc", r.ipc()).set("loss", loss));
         }
-        std::fflush(stdout);
+        rows.push(std::move(row));
     }
 
     table.row().cell("== average ==").cell("");
-    for (std::size_t i = 0; i < variants.size(); ++i)
+    Json avg = Json::object();
+    for (std::size_t i = 0; i < variants.size(); ++i) {
         table.pct(harness::mean(losses[i]), 1);
+        avg.set(variants[i].name, harness::mean(losses[i]));
+    }
 
     std::printf("%s\n", table.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "fig2_resource_sweep");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    root.set("avg_loss", std::move(avg));
+    harness::writeJsonReport("BENCH_fig2_resource_sweep.json", root);
+    std::printf("wrote BENCH_fig2_resource_sweep.json\n");
     return 0;
 }

@@ -4,20 +4,26 @@
  * stream — PC hit rate, reuse-test pass rate, lookups dropped for lack of
  * ports, and the resulting fraction of duplicate entries that bypassed
  * the ALUs. This is the mechanism behind Figure 7.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig8_irb_hitrate.json.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -26,13 +32,20 @@ main()
         "[29,35]; reuse varies widely per application and drives the "
         "per-app recovery of Figure 7");
 
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : workloads::list())
+        sweep.add(w.name, w.name, harness::baseConfig("die-irb"));
+    const auto results = sweep.run();
+
     Table t({"workload", "lookups", "port drops", "PC hit", "reuse hit",
              "bypassed/dup", "upd drops"});
 
     std::vector<double> reuse_rates;
+    Json rows = Json::array();
+
+    std::size_t idx = 0;
     for (const auto &w : workloads::list()) {
-        const auto r =
-            harness::runWorkload(w.name, harness::baseConfig("die-irb"));
+        const harness::SimResult &r = harness::requireOk(results[idx++]);
         const double lookups = r.stat("core.irb.lookups");
         const double drops = r.stat("core.irb.lookup_port_drops");
         const double pc_hits = r.stat("core.irb.pc_hits");
@@ -41,6 +54,8 @@ main()
         const double reuse =
             tests > 0 ? r.stat("core.irb.reuse_hits") / tests : 0.0;
         const double dups = r.stat("core.dispatched") / 2.0;
+        const double bypassed =
+            r.stat("core.bypassed_alu") / std::max(1.0, dups);
         reuse_rates.push_back(reuse);
 
         t.row()
@@ -49,13 +64,30 @@ main()
             .pct(drops / std::max(1.0, lookups), 1)
             .pct(pc_hits / std::max(1.0, lookups - drops), 1)
             .pct(reuse, 1)
-            .pct(r.stat("core.bypassed_alu") / std::max(1.0, dups), 1)
+            .pct(bypassed, 1)
             .num(r.stat("core.irb.update_port_drops"), 0);
-        std::fflush(stdout);
+
+        rows.push(Json::object()
+                      .set("workload", w.name)
+                      .set("lookups", lookups)
+                      .set("lookup_port_drops", drops)
+                      .set("pc_hits", pc_hits)
+                      .set("reuse_rate", reuse)
+                      .set("bypassed_per_dup", bypassed)
+                      .set("update_port_drops",
+                           r.stat("core.irb.update_port_drops")));
     }
 
     std::printf("%s\n", t.render().c_str());
     std::printf("average reuse-test pass rate: %.1f%%\n",
                 100.0 * harness::mean(reuse_rates));
+
+    Json root = Json::object();
+    root.set("bench", "fig8_irb_hitrate");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    root.set("avg_reuse_rate", harness::mean(reuse_rates));
+    harness::writeJsonReport("BENCH_fig8_irb_hitrate.json", root);
+    std::printf("wrote BENCH_fig8_irb_hitrate.json\n");
     return 0;
 }

@@ -4,6 +4,9 @@
  * sweeping 128..8192 entries (direct-mapped). The paper settles on 1024
  * entries; the curve should show diminishing returns near that point for
  * kernels whose hot static footprint fits.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_fig9_irb_size.json.
  */
 
 #include <cstdio>
@@ -12,13 +15,15 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -28,30 +33,10 @@ main()
 
     const std::vector<int> sizes = {128, 256, 512, 1024, 2048, 4096, 8192};
 
-    std::vector<std::string> cols = {"workload", "DIE"};
-    for (const int s : sizes)
-        cols.push_back("IRB-" + std::to_string(s));
-    Table t(cols);
-
-    std::vector<std::vector<double>> ipcs(sizes.size());
-
     // Representative kernels across the reuse spectrum plus a synthetic
     // with a large static footprint (where capacity genuinely binds).
     const std::vector<std::string> apps = {"compress", "parse", "raster",
                                            "neural", "object", "sort"};
-    for (const auto &w : apps) {
-        const auto die =
-            harness::runWorkload(w, harness::baseConfig("die"));
-        t.row().cell(w).num(die.ipc(), 3);
-        for (std::size_t i = 0; i < sizes.size(); ++i) {
-            Config cfg = harness::baseConfig("die-irb");
-            cfg.setInt("irb.entries", sizes[i]);
-            const auto r = harness::runWorkload(w, cfg);
-            ipcs[i].push_back(r.ipc());
-            t.num(r.ipc(), 3);
-        }
-        std::fflush(stdout);
-    }
 
     // Synthetic big-footprint program: 200 blocks * ~12 insts ~= 2.4K
     // static instructions, so small IRBs thrash.
@@ -62,15 +47,59 @@ main()
     sp.reuseFraction = 0.7;
     sp.outerIters = 150;
     const Program big = workloads::synthetic(sp);
-    const auto die = harness::run(big, harness::baseConfig("die"));
-    t.row().cell("synthetic-big").num(die.ipc(), 3);
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
+
+    const auto irbConfig = [&](int entries) {
         Config cfg = harness::baseConfig("die-irb");
-        cfg.setInt("irb.entries", sizes[i]);
-        const auto r = harness::run(big, cfg);
-        t.num(r.ipc(), 3);
+        cfg.setInt("irb.entries", entries);
+        return cfg;
+    };
+
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : apps) {
+        sweep.add(w + "/die", w, harness::baseConfig("die"));
+        for (const int s : sizes)
+            sweep.add(w + "/irb-" + std::to_string(s), w, irbConfig(s));
     }
+    sweep.add("synthetic-big/die", big, harness::baseConfig("die"));
+    for (const int s : sizes)
+        sweep.add("synthetic-big/irb-" + std::to_string(s), big,
+                  irbConfig(s));
+    const auto results = sweep.run();
+
+    std::vector<std::string> cols = {"workload", "DIE"};
+    for (const int s : sizes)
+        cols.push_back("IRB-" + std::to_string(s));
+    Table t(cols);
+
+    Json rows = Json::array();
+    std::size_t idx = 0;
+    const auto emitRow = [&](const std::string &name) {
+        const harness::SimResult &die = harness::requireOk(results[idx++]);
+        t.row().cell(name).num(die.ipc(), 3);
+        Json sized = Json::object();
+        for (const int s : sizes) {
+            const harness::SimResult &r =
+                harness::requireOk(results[idx++]);
+            t.num(r.ipc(), 3);
+            sized.set(std::to_string(s), r.ipc());
+        }
+        rows.push(Json::object()
+                      .set("workload", name)
+                      .set("die_ipc", die.ipc())
+                      .set("irb_ipc_by_size", std::move(sized)));
+    };
+
+    for (const auto &w : apps)
+        emitRow(w);
+    emitRow("synthetic-big");
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "fig9_irb_size");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    harness::writeJsonReport("BENCH_fig9_irb_size.json", root);
+    std::printf("wrote BENCH_fig9_irb_size.json\n");
     return 0;
 }

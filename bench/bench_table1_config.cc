@@ -15,6 +15,7 @@
 #include "harness/runner.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 int
@@ -34,8 +35,10 @@ main()
     Irb irb(cfg);
 
     Table t({"parameter", "value"});
+    Json params = Json::object();
     const auto row = [&](const std::string &k, const std::string &v) {
         t.row().cell(k).cell(v);
+        params.set(k, v);
     };
     const auto num = [](std::uint64_t v) { return std::to_string(v); };
 
@@ -88,5 +91,11 @@ main()
     row("IRB CTR hysteresis", "2-bit saturating counter");
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "table1_config");
+    root.set("parameters", std::move(params));
+    harness::writeJsonReport("BENCH_table1_config.json", root);
+    std::printf("wrote BENCH_table1_config.json\n");
     return 0;
 }

@@ -4,21 +4,28 @@
  * instruction mix, branch misprediction behaviour, cache miss rates, base
  * SIE and DIE IPC, and the duplicate-stream reuse rate of each kernel.
  * This is the per-application context for every other figure.
+ *
+ * The timing runs (SIE/DIE/DIE-IRB per kernel) go through the parallel
+ * sweep engine (--jobs N / DIREB_JOBS); the two functional VM passes per
+ * kernel are cheap and stay inline. Emits BENCH_table2_workloads.json.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "vm/vm.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
     harness::banner(
@@ -27,9 +34,20 @@ main()
         "branchy vs regular, memory-bound vs ALU-bound, low vs high "
         "operand reuse");
 
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const auto &w : workloads::list()) {
+        sweep.add(w.name + "/sie", w.name, harness::baseConfig("sie"));
+        sweep.add(w.name + "/die", w.name, harness::baseConfig("die"));
+        sweep.add(w.name + "/die-irb", w.name,
+                  harness::baseConfig("die-irb"));
+    }
+    const auto results = sweep.run();
+
     Table t({"workload", "mimics", "dyn insts", "%mem", "%branch", "%fp",
              "L1D miss", "SIE IPC", "DIE IPC", "reuse rate"});
+    Json rows = Json::array();
 
+    std::size_t idx = 0;
     for (const auto &w : workloads::list()) {
         const Program prog = workloads::build(w.name, 1);
         Vm vm(prog);
@@ -58,12 +76,9 @@ main()
         const double branches = br / n;
         const double fpfrac = fp / n;
 
-        const auto sie =
-            harness::runWorkload(w.name, harness::baseConfig("sie"));
-        const auto die =
-            harness::runWorkload(w.name, harness::baseConfig("die"));
-        const auto irb =
-            harness::runWorkload(w.name, harness::baseConfig("die-irb"));
+        const harness::SimResult &sie = harness::requireOk(results[idx++]);
+        const harness::SimResult &die = harness::requireOk(results[idx++]);
+        const harness::SimResult &irb = harness::requireOk(results[idx++]);
         const double dl1 =
             sie.stat("core.memhier.l1d.misses") /
             std::max(1.0, sie.stat("core.memhier.l1d.hits") +
@@ -84,9 +99,27 @@ main()
             .num(sie.ipc(), 3)
             .num(die.ipc(), 3)
             .pct(reuse, 1);
-        std::fflush(stdout);
+
+        rows.push(Json::object()
+                      .set("workload", w.name)
+                      .set("mimics", w.mimics)
+                      .set("dyn_insts", n)
+                      .set("mem_frac", mem)
+                      .set("branch_frac", branches)
+                      .set("fp_frac", fpfrac)
+                      .set("l1d_miss_rate", dl1)
+                      .set("sie_ipc", sie.ipc())
+                      .set("die_ipc", die.ipc())
+                      .set("reuse_rate", reuse));
     }
 
     std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "table2_workloads");
+    root.set("jobs", sweep.jobs());
+    root.set("workloads", std::move(rows));
+    harness::writeJsonReport("BENCH_table2_workloads.json", root);
+    std::printf("wrote BENCH_table2_workloads.json\n");
     return 0;
 }

@@ -1,24 +1,37 @@
 /**
  * @file
- * Simulator throughput: host-side cycles/sec and retired-instr/sec for the
- * reference scan scheduler vs the incremental ready_list scheduler, per
- * kernel, on the full DIE-IRB machine. The two schedulers are
- * cycle-for-cycle identical (test_scheduler_diff proves it), so the only
- * thing this bench measures is how fast the simulator itself runs.
+ * Simulator throughput, two angles:
+ *
+ *  1. Host-side cycles/sec and retired-instr/sec for the reference scan
+ *     scheduler vs the incremental ready_list scheduler, per kernel, on
+ *     the full DIE-IRB machine. The two schedulers are cycle-for-cycle
+ *     identical (test_scheduler_diff proves it), so this measures only
+ *     how fast the simulator itself runs. Acceptance: >= 2x geomean.
+ *
+ *  2. End-to-end wall clock for the Figure-7 matrix (12 kernels x
+ *     {sie, die, die-irb}) through harness::Sweep at jobs=1 vs parallel
+ *     jobs (--jobs / DIREB_JOBS, default min(4, hw)). The sweep results
+ *     must be bit-identical; the speedup should scale with cores and is
+ *     gated at >= 2x when at least 4 hardware threads are available.
+ *
  * Emits BENCH_throughput.json (path overridable as argv[1]).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
+using harness::Json;
 using harness::Table;
 
 namespace
@@ -66,14 +79,40 @@ timeScheduler(const std::string &kernel, const std::string &scheduler)
     return m;
 }
 
+/** The Figure-7 matrix as a sweep with the given worker count. */
+harness::Sweep
+figure7Sweep(unsigned jobs)
+{
+    harness::Sweep sweep(jobs);
+    for (const auto &w : workloads::list()) {
+        for (const char *mode : {"sie", "die", "die-irb"}) {
+            sweep.add(w.name + "/" + mode, w.name,
+                      harness::baseConfig(mode));
+        }
+    }
+    return sweep;
+}
+
+double
+timedRun(const harness::Sweep &sweep,
+         std::vector<harness::SweepResult> &out)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    out = sweep.run();
+    const auto t1 = clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    const std::string json_path =
-        argc > 1 ? argv[1] : "BENCH_throughput.json";
+    std::string json_path = "BENCH_throughput.json";
+    if (argc > 1 && argv[1][0] != '-')
+        json_path = argv[1];
 
     harness::banner(
         "Simulator throughput — scan vs ready_list scheduler",
@@ -85,7 +124,7 @@ main(int argc, char **argv)
              "scan Minst/s", "list Minst/s", "speedup"});
 
     std::vector<double> speedups;
-    std::string rows_json;
+    Json sched_rows = Json::array();
     for (const auto &w : workloads::list()) {
         const Measured scan = timeScheduler(w.name, "scan");
         const Measured list = timeScheduler(w.name, "ready_list");
@@ -106,21 +145,20 @@ main(int argc, char **argv)
             .num(speedup, 2);
         std::fflush(stdout);
 
-        char row[512];
-        std::snprintf(
-            row, sizeof(row),
-            "    {\"workload\": \"%s\", \"sim_cycles\": %.0f, "
-            "\"arch_insts\": %.0f,\n"
-            "     \"scan\": {\"cycles_per_sec\": %.0f, "
-            "\"insts_per_sec\": %.0f},\n"
-            "     \"ready_list\": {\"cycles_per_sec\": %.0f, "
-            "\"insts_per_sec\": %.0f},\n"
-            "     \"speedup\": %.3f}",
-            w.name.c_str(), scan.cycles, scan.archInsts, scan.cyclesPerSec,
-            scan.instsPerSec, list.cyclesPerSec, list.instsPerSec, speedup);
-        if (!rows_json.empty())
-            rows_json += ",\n";
-        rows_json += row;
+        sched_rows.push(
+            Json::object()
+                .set("workload", w.name)
+                .set("sim_cycles", scan.cycles)
+                .set("arch_insts", scan.archInsts)
+                .set("scan",
+                     Json::object()
+                         .set("cycles_per_sec", scan.cyclesPerSec)
+                         .set("insts_per_sec", scan.instsPerSec))
+                .set("ready_list",
+                     Json::object()
+                         .set("cycles_per_sec", list.cyclesPerSec)
+                         .set("insts_per_sec", list.instsPerSec))
+                .set("speedup", speedup));
     }
 
     const double geo = harness::geomean(speedups);
@@ -128,17 +166,71 @@ main(int argc, char **argv)
     std::printf("geomean ready_list speedup: %.2fx (acceptance: >= 2x)\n",
                 geo);
 
-    std::FILE *f = std::fopen(json_path.c_str(), "w");
-    fatal_if(!f, "cannot write %s", json_path.c_str());
-    std::fprintf(f,
-                 "{\n  \"bench\": \"simulator_throughput\",\n"
-                 "  \"mode\": \"die-irb\",\n"
-                 "  \"units\": \"per host second\",\n"
-                 "  \"workloads\": [\n%s\n  ],\n"
-                 "  \"geomean_speedup\": %.3f\n}\n",
-                 rows_json.c_str(), geo);
-    std::fclose(f);
+    // ---- parallel sweep engine: end-to-end Figure-7 matrix wall clock ----
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned par_jobs = harness::jobsFromArgs(argc, argv);
+    bool jobs_explicit = false;
+    for (int i = 1; i < argc; ++i)
+        jobs_explicit |= std::strncmp(argv[i], "--jobs", 6) == 0 ||
+                         std::strcmp(argv[i], "-j") == 0;
+    if (!jobs_explicit && std::getenv("DIREB_JOBS") == nullptr)
+        par_jobs = std::min(4u, hw > 0 ? hw : 1u);
+
+    harness::banner(
+        "Sweep engine — serial vs parallel Figure-7 matrix",
+        "the 36-point sweep is embarrassingly parallel; results are "
+        "bit-identical in any order, so wall clock should drop roughly "
+        "linearly in cores (>= 2x at jobs=4 on a 4-way host)");
+
+    std::vector<harness::SweepResult> serial, parallel;
+    const double serial_s = timedRun(figure7Sweep(1), serial);
+    const double par_s = timedRun(figure7Sweep(par_jobs), parallel);
+
+    fatal_if(serial.size() != parallel.size(), "sweep size mismatch");
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const harness::SimResult &a = harness::requireOk(serial[i]);
+        const harness::SimResult &b = harness::requireOk(parallel[i]);
+        fatal_if(serial[i].name != parallel[i].name,
+                 "sweep order diverged at %zu", i);
+        fatal_if(a.core.cycles != b.core.cycles ||
+                     a.core.archInsts != b.core.archInsts ||
+                     a.stats != b.stats,
+                 "parallel sweep diverged on %s", serial[i].name.c_str());
+    }
+
+    const double sweep_speedup = serial_s / par_s;
+    std::printf("points            : %zu (12 kernels x 3 modes)\n",
+                serial.size());
+    std::printf("serial  (jobs=1)  : %.2fs\n", serial_s);
+    std::printf("parallel (jobs=%u): %.2fs\n", par_jobs, par_s);
+    std::printf("sweep speedup     : %.2fx (hardware threads: %u)\n",
+                sweep_speedup, hw);
+    std::printf("results bit-identical: yes (cycles, insts, all stats)\n");
+
+    Json root = Json::object();
+    root.set("bench", "simulator_throughput");
+    root.set("mode", "die-irb");
+    root.set("units", "per host second");
+    root.set("workloads", std::move(sched_rows));
+    root.set("geomean_speedup", geo);
+    root.set("sweep",
+             Json::object()
+                 .set("points", serial.size())
+                 .set("serial_seconds", serial_s)
+                 .set("parallel_seconds", par_s)
+                 .set("jobs", par_jobs)
+                 .set("hardware_threads", hw)
+                 .set("speedup", sweep_speedup)
+                 .set("bit_identical", true));
+    harness::writeJsonReport(json_path, root);
     std::printf("wrote %s\n", json_path.c_str());
 
+    // Gate the parallel speedup only where the host can deliver it.
+    const bool gate_sweep = par_jobs >= 4 && hw >= 4;
+    if (gate_sweep && sweep_speedup < 2.0) {
+        std::printf("FAIL: sweep speedup %.2fx < 2x at jobs=%u\n",
+                    sweep_speedup, par_jobs);
+        return 1;
+    }
     return geo >= 2.0 ? 0 : 1;
 }

@@ -149,8 +149,8 @@ class Assembler
     unsigned regNum(const std::string &tok, bool want_fp, int line_no) const;
     void parseMemOperand(const std::string &tok, int line_no,
                          unsigned &base, std::int32_t &off) const;
-    std::int32_t branchOffset(const std::string &tok, Addr pc,
-                              int line_no) const;
+    std::int32_t branchOffset(const std::string &tok, Addr pc, int line_no,
+                              unsigned imm_bits) const;
 
     void push(const Inst &inst) { out.push(inst); }
     void emitLi(unsigned rd, std::int64_t value, int line_no);
@@ -275,7 +275,8 @@ Assembler::parseMemOperand(const std::string &tok, int line_no,
 }
 
 std::int32_t
-Assembler::branchOffset(const std::string &tok, Addr pc, int line_no) const
+Assembler::branchOffset(const std::string &tok, Addr pc, int line_no,
+                        unsigned imm_bits) const
 {
     std::int64_t target;
     if (const auto v = tryParseImm(tok))
@@ -285,6 +286,9 @@ Assembler::branchOffset(const std::string &tok, Addr pc, int line_no) const
     const std::int64_t delta = target - static_cast<std::int64_t>(pc);
     if (delta % 4 != 0)
         err(line_no, "misaligned branch target");
+    if (!fitsSigned(delta / 4, imm_bits))
+        err(line_no, "branch target %lld instructions away exceeds the "
+            "%u-bit offset field", (long long)(delta / 4), imm_bits);
     return static_cast<std::int32_t>(delta / 4);
 }
 
@@ -447,8 +451,12 @@ Assembler::emitLi(unsigned rd, std::int64_t value, int line_no)
     const std::int64_t lo = value & ((1 << immBitsI) - 1);
     if (!fitsSigned(hi, immBitsU))
         err(line_no, "constant %lld out of li range", (long long)value);
+    // Store the ORI field sign-extended (like every I-format immediate)
+    // so it stays encodable; execution zero-extends it back.
     push(makeI(Opcode::LUI, rd, 0, static_cast<std::int32_t>(hi)));
-    push(makeI(Opcode::ORI, rd, rd, static_cast<std::int32_t>(lo)));
+    push(makeI(Opcode::ORI, rd, rd,
+               static_cast<std::int32_t>(
+                   sext(static_cast<std::uint64_t>(lo), immBitsI))));
 }
 
 void
@@ -532,13 +540,13 @@ Assembler::emitNative(Opcode op, const PendingInst &pi)
       case Format::B: {
         need(3);
         push(makeB(op, regNum(ops[0], false, ln), regNum(ops[1], false, ln),
-                   branchOffset(ops[2], pi.pc, ln)));
+                   branchOffset(ops[2], pi.pc, ln, immBitsI)));
         break;
       }
       case Format::J: {
         need(2);
         push(makeJ(op, regNum(ops[0], false, ln),
-                   branchOffset(ops[1], pi.pc, ln)));
+                   branchOffset(ops[1], pi.pc, ln, immBitsU)));
         break;
       }
       case Format::S: {
@@ -583,7 +591,9 @@ Assembler::emit(const PendingInst &pi)
         const std::int64_t hi = static_cast<std::int64_t>(a) >> immBitsI;
         const std::int64_t lo = a & ((1 << immBitsI) - 1);
         push(makeI(Opcode::LUI, rd, 0, static_cast<std::int32_t>(hi)));
-        push(makeI(Opcode::ORI, rd, rd, static_cast<std::int32_t>(lo)));
+        push(makeI(Opcode::ORI, rd, rd,
+                   static_cast<std::int32_t>(
+                       sext(static_cast<std::uint64_t>(lo), immBitsI))));
         return;
     }
     if (m == "mv") {
@@ -600,7 +610,8 @@ Assembler::emit(const PendingInst &pi)
     }
     if (m == "j") {
         need(1);
-        push(makeJ(Opcode::JAL, 0, branchOffset(ops[0], pi.pc, ln)));
+        push(makeJ(Opcode::JAL, 0,
+                   branchOffset(ops[0], pi.pc, ln, immBitsU)));
         return;
     }
     if (m == "jr") {
@@ -610,7 +621,8 @@ Assembler::emit(const PendingInst &pi)
     }
     if (m == "call") {
         need(1);
-        push(makeJ(Opcode::JAL, regRa, branchOffset(ops[0], pi.pc, ln)));
+        push(makeJ(Opcode::JAL, regRa,
+                   branchOffset(ops[0], pi.pc, ln, immBitsU)));
         return;
     }
     if (m == "ret") {
@@ -622,7 +634,7 @@ Assembler::emit(const PendingInst &pi)
         m == "bgtz" || m == "blez") {
         need(2);
         const unsigned rs = regNum(ops[0], false, ln);
-        const std::int32_t off = branchOffset(ops[1], pi.pc, ln);
+        const std::int32_t off = branchOffset(ops[1], pi.pc, ln, immBitsI);
         if (m == "beqz")
             push(makeB(Opcode::BEQ, rs, 0, off));
         else if (m == "bnez")

@@ -7,6 +7,31 @@
 namespace direb
 {
 
+Config::Config(const Config &other)
+{
+    std::lock_guard<std::mutex> lock(other.consumedMutex);
+    values = other.values;
+    consumed = other.consumed;
+}
+
+Config &
+Config::operator=(const Config &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(consumedMutex, other.consumedMutex);
+    values = other.values;
+    consumed = other.consumed;
+    return *this;
+}
+
+void
+Config::noteConsumed(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(consumedMutex);
+    consumed.insert(key);
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {
@@ -51,7 +76,7 @@ Config::parseAll(const std::vector<std::string> &assignments)
 std::int64_t
 Config::getInt(const std::string &key, std::int64_t def) const
 {
-    consumed.insert(key);
+    noteConsumed(key);
     const auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -75,7 +100,7 @@ Config::getUint(const std::string &key, std::uint64_t def) const
 double
 Config::getDouble(const std::string &key, double def) const
 {
-    consumed.insert(key);
+    noteConsumed(key);
     const auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -90,7 +115,7 @@ Config::getDouble(const std::string &key, double def) const
 bool
 Config::getBool(const std::string &key, bool def) const
 {
-    consumed.insert(key);
+    noteConsumed(key);
     const auto it = values.find(key);
     if (it == values.end())
         return def;
@@ -106,7 +131,7 @@ Config::getBool(const std::string &key, bool def) const
 std::string
 Config::getString(const std::string &key, const std::string &def) const
 {
-    consumed.insert(key);
+    noteConsumed(key);
     const auto it = values.find(key);
     return it == values.end() ? def : it->second;
 }
@@ -120,6 +145,7 @@ Config::has(const std::string &key) const
 std::vector<std::string>
 Config::unusedKeys() const
 {
+    std::lock_guard<std::mutex> lock(consumedMutex);
     std::vector<std::string> unused;
     for (const auto &[k, v] : values) {
         if (!consumed.count(k))

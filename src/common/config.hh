@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,11 +24,18 @@ namespace direb
 /**
  * String-backed typed configuration. Values are stored as strings and
  * converted on access; the first get() with a default registers the key.
+ *
+ * Thread safety: the typed getters, unusedKeys() and checkUnused() may be
+ * called concurrently on one shared Config (the consumed-key audit is
+ * mutex-guarded). The setters and parse() are setup-phase only and must
+ * not race with any other access.
  */
 class Config
 {
   public:
     Config() = default;
+    Config(const Config &other);
+    Config &operator=(const Config &other);
 
     /** Set a raw override, e.g. set("ruu.size", "256"). */
     void set(const std::string &key, const std::string &value);
@@ -64,8 +72,12 @@ class Config
     std::vector<std::pair<std::string, std::string>> entries() const;
 
   private:
+    void noteConsumed(const std::string &key) const;
+
     std::map<std::string, std::string> values;
+    /** Keys read so far; guarded by consumedMutex (getters are const). */
     mutable std::set<std::string> consumed;
+    mutable std::mutex consumedMutex;
 };
 
 } // namespace direb

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,7 +11,9 @@ namespace direb
 namespace
 {
 
-bool quietFlag = false;
+// Atomic so sweep worker threads can consult it while another thread
+// toggles it (benches call setQuiet() once before spawning workers).
+std::atomic<bool> quietFlag{false};
 
 std::string
 vformat(const char *fmt, va_list ap)

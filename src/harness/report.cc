@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -71,6 +72,11 @@ Table::render() const
             if (c + 1 < widths.size())
                 line += "  ";
         }
+        // The left-aligned first column pads to full width; drop the
+        // trailing spaces that leaves on short rows (and on one-column
+        // tables, where every line would otherwise end padded).
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
         return line + "\n";
     };
 
@@ -109,14 +115,198 @@ mean(const std::vector<double> &values)
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double s = 0.0;
+    std::size_t used = 0;
     for (const double v : values) {
-        panic_if(v <= 0.0, "geomean needs positive values");
+        if (v <= 0.0 || std::isnan(v))
+            continue;
         s += std::log(v);
+        ++used;
     }
-    return std::exp(s / static_cast<double>(values.size()));
+    if (used < values.size()) {
+        warn("geomean: skipped %zu non-positive value(s) of %zu",
+             values.size() - used, values.size());
+    }
+    return used == 0 ? 0.0 : std::exp(s / static_cast<double>(used));
+}
+
+Json::Json(std::uint64_t v)
+    : kind(Kind::Number), number(static_cast<double>(v)), integral(true)
+{
+    // Clamp to the signed print path; stats never approach the limit.
+    panic_if(v > static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max()),
+             "json: integer too large");
+    integer = static_cast<std::int64_t>(v);
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind = Kind::Array;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    panic_if(kind != Kind::Object, "json: set() on a non-object");
+    for (auto &[k, v] : members) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    panic_if(kind != Kind::Array, "json: push() on a non-array");
+    elements.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    switch (kind) {
+      case Kind::Object: return members.size();
+      case Kind::Array: return elements.size();
+      default: return 0;
+    }
+}
+
+namespace
+{
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1),
+                          ' ');
+    const std::string closePad(static_cast<std::size_t>(indent) * depth,
+                               ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    switch (kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::Number:
+        if (!std::isfinite(number)) {
+            out += "null"; // JSON has no NaN/Inf
+        } else if (integral) {
+            out += std::to_string(integer);
+        } else {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.12g", number);
+            out += buf;
+        }
+        break;
+      case Kind::String:
+        writeEscaped(out, text);
+        break;
+      case Kind::Object:
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            out += nl;
+            out += pad;
+            writeEscaped(out, members[i].first);
+            out += ": ";
+            members[i].second.write(out, indent, depth + 1);
+            if (i + 1 < members.size())
+                out += ',';
+        }
+        out += nl;
+        out += closePad;
+        out += '}';
+        break;
+      case Kind::Array:
+        if (elements.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            out += nl;
+            out += pad;
+            elements[i].write(out, indent, depth + 1);
+            if (i + 1 < elements.size())
+                out += ',';
+        }
+        out += nl;
+        out += closePad;
+        out += ']';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+void
+writeJsonReport(const std::string &path, const Json &root)
+{
+    const std::string body = root.dump(2) + "\n";
+    if (path == "-") {
+        std::fwrite(body.data(), 1, body.size(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    fatal_if(!f, "cannot write %s", path.c_str());
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
 }
 
 } // namespace harness

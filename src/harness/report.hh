@@ -1,14 +1,18 @@
 /**
  * @file
- * Plain-text table rendering for the bench binaries: fixed-width columns,
- * a title block naming the figure/table being reproduced, and geometric-
- * mean helpers (the paper reports cross-benchmark averages).
+ * Reporting for the bench binaries: fixed-width plain-text tables, a title
+ * block naming the figure/table being reproduced, geometric-mean helpers
+ * (the paper reports cross-benchmark averages), and a small JSON value
+ * builder so every bench can emit a machine-readable BENCH_<name>.json
+ * alongside its table.
  */
 
 #ifndef DIREB_HARNESS_REPORT_HH
 #define DIREB_HARNESS_REPORT_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace direb
@@ -47,8 +51,68 @@ void banner(const std::string &experiment, const std::string &claim);
 /** Arithmetic mean of @p values (0 for empty). */
 double mean(const std::vector<double> &values);
 
-/** Geometric mean of @p values (0 for empty; values must be positive). */
+/**
+ * Geometric mean of the positive entries of @p values. Non-positive
+ * entries (e.g. zero IPC from a timed-out sweep point) are skipped with a
+ * warn() rather than aborting mid-report; 0 if nothing remains.
+ */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Minimal JSON value: null, bool, number, string, object or array.
+ * Objects preserve insertion order; numbers print without a fractional
+ * part when they were set from an integer; NaN/Inf render as null.
+ */
+class Json
+{
+  public:
+    Json() = default; //!< null
+    Json(bool v) : kind(Kind::Bool), boolean(v) {}
+    Json(double v) : kind(Kind::Number), number(v) {}
+    Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+    Json(unsigned v) : Json(static_cast<std::int64_t>(v)) {}
+    Json(std::int64_t v)
+        : kind(Kind::Number), number(static_cast<double>(v)), integer(v),
+          integral(true)
+    {}
+    Json(std::uint64_t v);
+    Json(const char *v) : kind(Kind::String), text(v) {}
+    Json(std::string v) : kind(Kind::String), text(std::move(v)) {}
+
+    static Json object();
+    static Json array();
+
+    /** Add/replace an object member (panics unless this is an object). */
+    Json &set(const std::string &key, Json value);
+    /** Append an array element (panics unless this is an array). */
+    Json &push(Json value);
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    std::size_t size() const;
+
+    /** Serialise; @p indent spaces per level (0 = single line). */
+    std::string dump(int indent = 2) const;
+
+  private:
+    enum class Kind : std::uint8_t {
+        Null, Bool, Number, String, Object, Array
+    };
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    bool integral = false;
+    std::string text;
+    std::vector<std::pair<std::string, Json>> members; //!< object
+    std::vector<Json> elements;                        //!< array
+};
+
+/** Write @p root to @p path ("-" = stdout); fatal() if unwritable. */
+void writeJsonReport(const std::string &path, const Json &root);
 
 } // namespace harness
 

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include <bit>
 #include <cstdio>
 
 #include "workloads/workloads.hh"
@@ -18,16 +19,28 @@ baseConfig(const std::string &mode)
     return c;
 }
 
-SimResult
-run(const Program &program, const Config &config, std::uint64_t max_insts)
+namespace
 {
-    OooCore core(program, config);
+
+SimResult
+snapshot(OooCore &core, const CoreResult &cr)
+{
     SimResult r;
-    r.core = core.run(max_insts);
+    r.core = cr;
     r.stats = core.statGroup().snapshot();
     r.output = core.archState().out;
     r.statsText = core.statGroup().dump();
     return r;
+}
+
+} // namespace
+
+SimResult
+run(const Program &program, const Config &config, std::uint64_t max_insts)
+{
+    OooCore core(program, config);
+    config.checkUnused(); // every valid key was consumed by construction
+    return snapshot(core, core.run(max_insts));
 }
 
 SimResult
@@ -38,33 +51,40 @@ runWorkload(const std::string &workload, const Config &config,
     return run(prog, config, max_insts);
 }
 
-std::string
-goldenCheck(const Program &program, const Config &config,
-            std::uint64_t max_insts)
+GoldenResult
+goldenRun(const Program &program, const Config &config,
+          std::uint64_t max_insts)
 {
     Vm vm(program);
     const StopReason vm_stop = vm.run(max_insts);
 
     OooCore core(program, config);
+    config.checkUnused();
     const CoreResult tr = core.run(max_insts);
+
+    GoldenResult res;
+    res.sim = snapshot(core, tr);
 
     char buf[256];
     if (vm_stop != tr.stop) {
         std::snprintf(buf, sizeof(buf),
                       "stop reason mismatch: vm=%d core=%d",
                       static_cast<int>(vm_stop), static_cast<int>(tr.stop));
-        return buf;
+        res.mismatch = buf;
+        return res;
     }
     if (vm.instCount() != tr.archInsts) {
         std::snprintf(buf, sizeof(buf),
                       "instruction count mismatch: vm=%llu core=%llu",
                       static_cast<unsigned long long>(vm.instCount()),
                       static_cast<unsigned long long>(tr.archInsts));
-        return buf;
+        res.mismatch = buf;
+        return res;
     }
     if (vm.state().out != core.archState().out) {
-        return "program output mismatch: vm='" + vm.state().out +
-               "' core='" + core.archState().out + "'";
+        res.mismatch = "program output mismatch: vm='" + vm.state().out +
+                       "' core='" + core.archState().out + "'";
+        return res;
     }
     for (unsigned r = 0; r < numIntRegs; ++r) {
         if (vm.state().readIntReg(r) != core.archState().readIntReg(r)) {
@@ -74,16 +94,35 @@ goldenCheck(const Program &program, const Config &config,
                               vm.state().readIntReg(r)),
                           static_cast<unsigned long long>(
                               core.archState().readIntReg(r)));
-            return buf;
+            res.mismatch = buf;
+            return res;
         }
     }
     for (unsigned r = 0; r < numFpRegs; ++r) {
-        if (vm.state().readFpReg(r) != core.archState().readFpReg(r)) {
-            std::snprintf(buf, sizeof(buf), "f%u mismatch", r);
-            return buf;
+        // RegVal holds the raw IEEE-754 bits, so an integer compare is a
+        // bit-pattern compare: any-NaN==any-NaN only for identical
+        // payloads, and +0.0 vs -0.0 is reported as a divergence.
+        const RegVal v = vm.state().readFpReg(r);
+        const RegVal c = core.archState().readFpReg(r);
+        if (v != c) {
+            std::snprintf(buf, sizeof(buf),
+                          "f%u mismatch: vm=%016llx (%g) core=%016llx (%g)",
+                          r, static_cast<unsigned long long>(v),
+                          std::bit_cast<double>(v),
+                          static_cast<unsigned long long>(c),
+                          std::bit_cast<double>(c));
+            res.mismatch = buf;
+            return res;
         }
     }
-    return "";
+    return res;
+}
+
+std::string
+goldenCheck(const Program &program, const Config &config,
+            std::uint64_t max_insts)
+{
+    return goldenRun(program, config, max_insts).mismatch;
 }
 
 } // namespace harness

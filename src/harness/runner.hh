@@ -43,7 +43,12 @@ struct SimResult
 /** Default machine configuration (the paper's base SIE/DIE machine). */
 Config baseConfig(const std::string &mode = "sie");
 
-/** Run @p program on an OooCore configured by @p config. */
+/**
+ * Run @p program on an OooCore configured by @p config.
+ *
+ * After core construction every valid key has been consumed, so this
+ * also audits @p config for typos (fatal on unknown keys).
+ */
 SimResult run(const Program &program, const Config &config,
               std::uint64_t max_insts = 50'000'000);
 
@@ -52,11 +57,28 @@ SimResult runWorkload(const std::string &workload, const Config &config,
                       unsigned scale = 1,
                       std::uint64_t max_insts = 50'000'000);
 
+/** Outcome of a golden (VM vs timing core) cross-check. */
+struct GoldenResult
+{
+    std::string mismatch; //!< empty when VM and core agree
+    SimResult sim;        //!< the timing-core run (stats/output included)
+
+    bool ok() const { return mismatch.empty(); }
+};
+
 /**
  * Golden check: run @p program both functionally (VM) and on the timing
- * core, and compare committed instruction counts and program output.
- * @return empty string on success, else a human-readable mismatch report.
+ * core, and compare stop reason, committed instruction count, program
+ * output and the full architectural register files (FP registers by bit
+ * pattern, so NaN payloads and signed zeroes must match exactly).
+ *
+ * The timing run's SimResult is returned so callers that also want the
+ * statistics don't pay for a second full simulation.
  */
+GoldenResult goldenRun(const Program &program, const Config &config,
+                       std::uint64_t max_insts = 50'000'000);
+
+/** Convenience wrapper: just the mismatch string of goldenRun(). */
 std::string goldenCheck(const Program &program, const Config &config,
                         std::uint64_t max_insts = 50'000'000);
 

@@ -1,0 +1,199 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok: return "ok";
+      case PointStatus::Timeout: return "timeout";
+      case PointStatus::Error: return "error";
+    }
+    return "?";
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("DIREB_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        fatal_if(v < 1, "DIREB_JOBS must be a positive integer, got '%s'",
+                 env);
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        const char *value = nullptr;
+        if (std::strncmp(a, "--jobs=", 7) == 0) {
+            value = a + 7;
+        } else if ((std::strcmp(a, "--jobs") == 0 ||
+                    std::strcmp(a, "-j") == 0) &&
+                   i + 1 < argc) {
+            value = argv[i + 1];
+        }
+        if (value) {
+            const long v = std::strtol(value, nullptr, 10);
+            fatal_if(v < 1, "--jobs wants a positive integer, got '%s'",
+                     value);
+            return static_cast<unsigned>(v);
+        }
+    }
+    return defaultJobs();
+}
+
+Sweep::Sweep(unsigned jobs) : jobCount(jobs > 0 ? jobs : defaultJobs()) {}
+
+std::size_t
+Sweep::add(std::string name, std::string workload, Config config,
+           unsigned scale, std::uint64_t max_insts)
+{
+    fatal_if(workload.empty(), "sweep point '%s' has no workload",
+             name.c_str());
+    Point pt;
+    pt.name = std::move(name);
+    pt.workload = std::move(workload);
+    pt.config = std::move(config);
+    pt.scale = scale;
+    pt.maxInsts = max_insts;
+    points.push_back(std::move(pt));
+    return points.size() - 1;
+}
+
+std::size_t
+Sweep::add(std::string name, Program program, Config config,
+           std::uint64_t max_insts)
+{
+    Point pt;
+    pt.name = std::move(name);
+    pt.program = std::move(program);
+    pt.config = std::move(config);
+    pt.maxInsts = max_insts;
+    points.push_back(std::move(pt));
+    return points.size() - 1;
+}
+
+SweepResult
+Sweep::runPoint(const Point &point) const
+{
+    SweepResult res;
+    res.name = point.name;
+    // One retry: a transient failure (e.g. resource exhaustion) gets a
+    // second chance; a deterministic one just fails identically twice.
+    for (unsigned attempt = 1; attempt <= 2; ++attempt) {
+        res.attempts = attempt;
+        try {
+            // Build inside the try so unknown workloads / assembler
+            // errors are captured per point, and give each attempt a
+            // fresh Config copy so the consumed-key audit is per run.
+            const Program prog = point.workload.empty()
+                ? point.program
+                : workloads::build(point.workload, point.scale);
+            const Config cfg = point.config;
+            res.sim = harness::run(prog, cfg, point.maxInsts);
+            switch (res.sim.core.stop) {
+              case StopReason::Halted:
+                res.status = PointStatus::Ok;
+                res.error.clear();
+                break;
+              case StopReason::InstLimit:
+                res.status = PointStatus::Timeout;
+                res.error = "instruction/cycle budget exhausted";
+                break;
+              case StopReason::BadPc:
+                res.status = PointStatus::Error;
+                res.error = "control left the text segment";
+                break;
+            }
+            return res;
+        } catch (const std::exception &e) {
+            res.status = PointStatus::Error;
+            res.error = e.what();
+        }
+    }
+    return res;
+}
+
+std::vector<SweepResult>
+Sweep::run() const
+{
+    std::vector<SweepResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    // Work-stealing by atomic index; slot i of results belongs to point
+    // i alone, so workers never contend on the output vector.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            results[i] = runPoint(points[i]);
+        }
+    };
+
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(jobCount, points.size()));
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return results;
+}
+
+const SimResult &
+requireOk(const SweepResult &result)
+{
+    fatal_if(!result.ok(), "sweep point '%s' %s: %s", result.name.c_str(),
+             pointStatusName(result.status), result.error.c_str());
+    return result.sim;
+}
+
+Json
+resultJson(const SweepResult &result)
+{
+    Json j = Json::object();
+    j.set("name", result.name);
+    j.set("status", pointStatusName(result.status));
+    if (!result.error.empty())
+        j.set("error", result.error);
+    if (result.attempts > 1)
+        j.set("attempts", result.attempts);
+    j.set("cycles", result.sim.core.cycles);
+    j.set("arch_insts", result.sim.core.archInsts);
+    j.set("ipc", result.sim.core.ipc);
+    return j;
+}
+
+} // namespace harness
+
+} // namespace direb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel sweep engine for the experiment harness.
+ *
+ * Every figure/table bench replays the same shape of work: a matrix of
+ * independent (workload, Config) simulation points. A Sweep collects the
+ * named points up front, runs them on a fixed thread pool, and hands the
+ * results back in deterministic enqueue order regardless of completion
+ * order, so a parallel sweep is bit-identical to a serial one
+ * (test_sweep proves it on the Figure-7 matrix).
+ *
+ * Robustness per point: a run that exhausts its instruction budget is
+ * classified as Timeout (partial statistics intact) instead of being
+ * mistaken for a result; a FatalError (bad config, unknown workload) is
+ * captured as an Error string after one retry, rather than killing the
+ * whole sweep.
+ *
+ * Worker count: explicit constructor argument > --jobs/-j on the command
+ * line (jobsFromArgs) > the DIREB_JOBS environment variable > hardware
+ * concurrency.
+ */
+
+#ifndef DIREB_HARNESS_SWEEP_HH
+#define DIREB_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "vm/program.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+/** How one sweep point ended. */
+enum class PointStatus : std::uint8_t
+{
+    Ok,      //!< ran to HALT
+    Timeout, //!< exhausted the instruction/cycle budget (stats are partial)
+    Error,   //!< failed twice; see SweepResult::error
+};
+
+const char *pointStatusName(PointStatus status);
+
+/** Outcome of one sweep point, in enqueue order. */
+struct SweepResult
+{
+    std::string name;                        //!< point name as enqueued
+    PointStatus status = PointStatus::Error;
+    std::string error;    //!< captured failure/timeout description
+    unsigned attempts = 0; //!< 1 normally, 2 after a retry
+    SimResult sim;         //!< valid for Ok and (partially) Timeout
+
+    bool ok() const { return status == PointStatus::Ok; }
+};
+
+/**
+ * A batch of independent simulation points executed by a thread pool.
+ *
+ * Determinism contract: every point gets a private Config copy (the
+ * consumed-key audit is per copy), its own OooCore and its own
+ * config-seeded Rng, and results are returned in enqueue order — so
+ * run() output does not depend on the worker count or on scheduling.
+ */
+class Sweep
+{
+  public:
+    /** @param jobs worker threads; 0 = DIREB_JOBS or hw concurrency. */
+    explicit Sweep(unsigned jobs = 0);
+
+    /** Enqueue a named kernel workload point; returns its index. */
+    std::size_t add(std::string name, std::string workload, Config config,
+                    unsigned scale = 1,
+                    std::uint64_t max_insts = 50'000'000);
+
+    /** Enqueue a prebuilt-program point; returns its index. */
+    std::size_t add(std::string name, Program program, Config config,
+                    std::uint64_t max_insts = 50'000'000);
+
+    std::size_t size() const { return points.size(); }
+    unsigned jobs() const { return jobCount; }
+
+    /**
+     * Run all points (blocking) and return results in enqueue order.
+     * The queue is left intact, so run() may be called again.
+     */
+    std::vector<SweepResult> run() const;
+
+  private:
+    struct Point
+    {
+        std::string name;
+        std::string workload; //!< empty => use program
+        Program program;
+        Config config;
+        unsigned scale = 1;
+        std::uint64_t maxInsts = 50'000'000;
+    };
+
+    SweepResult runPoint(const Point &point) const;
+
+    std::vector<Point> points;
+    unsigned jobCount;
+};
+
+/** Worker count from DIREB_JOBS, else hardware concurrency (>= 1). */
+unsigned defaultJobs();
+
+/** Worker count from a --jobs/-j N or --jobs=N argument, else defaultJobs. */
+unsigned jobsFromArgs(int argc, char **argv);
+
+/** The SimResult of an Ok point; fatal() with the point's error if not. */
+const SimResult &requireOk(const SweepResult &result);
+
+/** Generic JSON for one point: name/status/attempts/cycles/insts/ipc. */
+Json resultJson(const SweepResult &result);
+
+} // namespace harness
+
+} // namespace direb
+
+#endif // DIREB_HARNESS_SWEEP_HH

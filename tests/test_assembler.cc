@@ -172,10 +172,41 @@ TEST(Assembler, LiLargeExpandsToLuiOri)
     EXPECT_EQ(decode(p.text[1]).op, Opcode::ORI);
 }
 
+TEST(Assembler, LiHighLowHalfStoresSignExtendedOri)
+{
+    // Low half 0x3fff does not fit signed 14 bits; the ORI field must be
+    // stored sign-extended (-1) to stay encodable. Execution zero-extends
+    // it back, so the composed constant is unchanged.
+    const Program p = assemble(".text\nli x5, 32767\n"); // 0x7fff
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(decode(p.text[0]).imm, 1);  // hi = 0x7fff >> 14
+    EXPECT_EQ(decode(p.text[1]).imm, -1); // lo = 0x3fff, sign-extended
+}
+
 TEST(Assembler, LiOutOfRangeIsFatal)
 {
     // 2^40 exceeds the 33-bit li window.
     EXPECT_THROW(assemble(".text\nli x5, 1099511627776\n"), FatalError);
+}
+
+TEST(Assembler, BranchOffsetOutOfRangeIsFatal)
+{
+    // A conditional branch reaches +-2^13 instructions; jumping over
+    // 9000 nops cannot encode and must be a clean assembly error.
+    std::string src = ".text\nbeqz x3, far\n";
+    for (int i = 0; i < 9000; ++i)
+        src += "addi x1, x1, 0\n";
+    src += "far:\nhalt\n";
+    try {
+        assemble(src);
+        FAIL() << "out-of-range branch did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("offset field"),
+                  std::string::npos);
+    }
+    // The same distance is fine for the wider J-format jump.
+    EXPECT_NO_THROW(assemble(
+        ".text\nj far\n" + src.substr(src.find("addi"))));
 }
 
 TEST(Assembler, PseudoInstructions)

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/bitutils.hh"
 #include "common/config.hh"
@@ -246,6 +248,54 @@ TEST(Config, ConsumedKeysPass)
     c.parse("k=3");
     c.getInt("k", 0);
     EXPECT_NO_THROW(c.checkUnused());
+}
+
+// The const getters record consumed keys in a mutable set; concurrent
+// reads of one shared Config must not race (run under TSan in CI).
+TEST(Config, ConcurrentGetters)
+{
+    Config c;
+    for (int k = 0; k < 32; ++k)
+        c.set("key" + std::to_string(k), std::to_string(k));
+
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 8; ++t) {
+        readers.emplace_back([&c, t] {
+            for (int i = 0; i < 2000; ++i) {
+                const int k = (t * 7 + i) % 32;
+                EXPECT_EQ(c.getInt("key" + std::to_string(k), -1), k);
+                c.getString("missing", "d");
+            }
+        });
+    }
+    for (auto &r : readers)
+        r.join();
+
+    // Every touched key was recorded exactly once.
+    EXPECT_TRUE(c.unusedKeys().empty());
+    EXPECT_NO_THROW(c.checkUnused());
+}
+
+TEST(Config, CopyPreservesConsumedAudit)
+{
+    Config a;
+    a.parse("x=1");
+    a.parse("y=2");
+    a.getInt("x", 0);
+
+    Config b = a;                 // copy carries values + consumed set
+    EXPECT_EQ(b.getInt("y", 0), 2);
+    EXPECT_NO_THROW(b.checkUnused());
+
+    // The copies audit independently: 'y' is still unused in 'a'.
+    const auto unused = a.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "y");
+
+    b = a;                        // assignment resets b's audit to a's
+    const auto unused2 = b.unusedKeys();
+    ASSERT_EQ(unused2.size(), 1u);
+    EXPECT_EQ(unused2[0], "y");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the bench reporting layer: Table rendering (including the
+ * single-column edge case), the mean/geomean helpers (geomean must skip
+ * non-positive entries instead of aborting mid-report), the Json value
+ * builder, and writeJsonReport.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+
+using namespace direb;
+using harness::Json;
+using harness::Table;
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "ipc"});
+    t.row().cell("compress").num(1.5, 2);
+    t.row().cell("rt").num(10.25, 2);
+
+    const std::string out = t.render();
+    std::istringstream lines(out);
+    std::string header, rule, r1, r2;
+    std::getline(lines, header);
+    std::getline(lines, rule);
+    std::getline(lines, r1);
+    std::getline(lines, r2);
+
+    EXPECT_EQ(header, "name        ipc");
+    EXPECT_EQ(rule, std::string(header.size(), '-'));
+    EXPECT_EQ(r1, "compress   1.50");
+    EXPECT_EQ(r2, "rt        10.25");
+}
+
+TEST(Table, SingleColumnRenders)
+{
+    Table t({"only"});
+    t.row().cell("a");
+    t.row().cell("value");
+
+    const std::string out = t.render();
+    EXPECT_EQ(out, "only\n-----\na\nvalue\n");
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells)
+{
+    Table t({"a", "b", "c"});
+    t.row().cell("x"); // deliberately short
+    const std::string out = t.render();
+    EXPECT_NE(out.find("x"), std::string::npos);
+    // Three lines: header, rule, row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, PercentCells)
+{
+    Table t({"w", "frac"});
+    t.row().cell("k").pct(0.1234, 1);
+    EXPECT_NE(t.render().find("12.3%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// mean / geomean
+// ---------------------------------------------------------------------------
+
+TEST(Mean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(harness::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harness::mean({2.0, 4.0}), 3.0);
+}
+
+TEST(Geomean, PositiveValues)
+{
+    EXPECT_NEAR(harness::geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(harness::geomean({3.0}), 3.0, 1e-12);
+}
+
+TEST(Geomean, SkipsNonPositiveEntries)
+{
+    // A timed-out sweep point yields 0 IPC; geomean must skip it and
+    // average the rest rather than returning 0 or aborting.
+    EXPECT_NEAR(harness::geomean({2.0, 0.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(harness::geomean({-1.0, 5.0}), 5.0, 1e-12);
+    const double nan = std::nan("");
+    EXPECT_NEAR(harness::geomean({nan, 7.0}), 7.0, 1e-12);
+}
+
+TEST(Geomean, AllSkippedIsZeroNotCrash)
+{
+    EXPECT_DOUBLE_EQ(harness::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harness::geomean({0.0, -3.0}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::uint64_t(1) << 40).dump(), "1099511627776");
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutFraction)
+{
+    // An int-sourced number must not pick up a ".0" or lose precision.
+    EXPECT_EQ(Json(std::int64_t(123456789012345)).dump(),
+              "123456789012345");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+}
+
+TEST(Json, NanAndInfBecomeNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd\te").dump(),
+              "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("z", 1).set("a", 2).set("m", 3);
+    EXPECT_EQ(o.dump(0), "{\"z\": 1,\"a\": 2,\"m\": 3}");
+    EXPECT_EQ(o.size(), 3u);
+
+    o.set("a", 9); // replace in place, not append
+    EXPECT_EQ(o.dump(0), "{\"z\": 1,\"a\": 9,\"m\": 3}");
+    EXPECT_EQ(o.size(), 3u);
+}
+
+TEST(Json, NestedStructures)
+{
+    Json root = Json::object();
+    root.set("rows", Json::array()
+                         .push(Json::object().set("ipc", 1.25))
+                         .push(Json::object().set("ipc", 2)));
+    root.set("empty_obj", Json::object());
+    root.set("empty_arr", Json::array());
+    EXPECT_EQ(root.dump(0),
+              "{\"rows\": [{\"ipc\": 1.25},{\"ipc\": 2}],"
+              "\"empty_obj\": {},\"empty_arr\": []}");
+}
+
+TEST(Json, IndentedDumpIsStable)
+{
+    Json o = Json::object();
+    o.set("k", Json::array().push(1).push(2));
+    EXPECT_EQ(o.dump(2), "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(Json, WriteReportRoundTrip)
+{
+    Json root = Json::object();
+    root.set("bench", "unit-test");
+    root.set("values", Json::array().push(1).push(2.5).push("three"));
+
+    const std::string path = "test_report_roundtrip.json";
+    harness::writeJsonReport(path, root);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), root.dump(2) + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(Json, WriteReportUnwritablePathIsFatal)
+{
+    EXPECT_THROW(
+        harness::writeJsonReport("/no/such/dir/x.json", Json::object()),
+        FatalError);
+}

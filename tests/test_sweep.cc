@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the determinism contract (a
+ * parallel sweep is bit-identical to a serial one, results in enqueue
+ * order), the Timeout/Error robustness classification, the retry
+ * accounting, and the --jobs/DIREB_JOBS plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+/** The Figure-7 matrix: every kernel under sie/die/die-irb. */
+harness::Sweep
+figure7Sweep(unsigned jobs)
+{
+    harness::Sweep sweep(jobs);
+    for (const auto &w : workloads::list()) {
+        for (const char *mode : {"sie", "die", "die-irb"}) {
+            sweep.add(w.name + "/" + mode, w.name,
+                      harness::baseConfig(mode));
+        }
+    }
+    return sweep;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelBitIdenticalToSerial)
+{
+    setQuiet(true);
+    const auto serial = figure7Sweep(1).run();
+    const auto parallel = figure7Sweep(4).run();
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), workloads::list().size() * 3);
+
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].name);
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        const harness::SimResult &a = harness::requireOk(serial[i]);
+        const harness::SimResult &b = harness::requireOk(parallel[i]);
+        EXPECT_EQ(a.core.cycles, b.core.cycles);
+        EXPECT_EQ(a.core.archInsts, b.core.archInsts);
+        EXPECT_DOUBLE_EQ(a.core.ipc, b.core.ipc);
+        EXPECT_EQ(a.output, b.output);
+        EXPECT_EQ(a.stats, b.stats); // full statistics map, bit for bit
+    }
+}
+
+TEST(Sweep, ResultsInEnqueueOrder)
+{
+    setQuiet(true);
+    harness::Sweep sweep(4);
+    std::vector<std::string> names;
+    // Mix cheap and expensive points so completion order differs from
+    // enqueue order under any scheduler.
+    for (const char *w : {"compress", "stencil", "route", "sort"}) {
+        for (unsigned scale : {2u, 1u}) {
+            std::string name =
+                std::string(w) + "@" + std::to_string(scale);
+            const std::size_t idx = sweep.add(
+                name, w, harness::baseConfig("die"), scale);
+            EXPECT_EQ(idx, names.size());
+            names.push_back(std::move(name));
+        }
+    }
+
+    const auto results = sweep.run();
+    ASSERT_EQ(results.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(results[i].name, names[i]);
+}
+
+TEST(Sweep, BudgetExhaustionIsTimeoutNotError)
+{
+    setQuiet(true);
+    harness::Sweep sweep(2);
+    sweep.add("tiny-budget", "compress", harness::baseConfig("die"),
+              /*scale=*/1, /*max_insts=*/500);
+    sweep.add("normal", "stencil", harness::baseConfig("die"));
+
+    const auto results = sweep.run();
+    ASSERT_EQ(results.size(), 2u);
+
+    EXPECT_EQ(results[0].status, harness::PointStatus::Timeout);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_FALSE(results[0].error.empty());
+    // Partial statistics survive a timeout.
+    EXPECT_GT(results[0].sim.core.cycles, 0u);
+    EXPECT_THROW(harness::requireOk(results[0]), FatalError);
+
+    EXPECT_EQ(results[1].status, harness::PointStatus::Ok);
+}
+
+TEST(Sweep, UnknownWorkloadIsCapturedError)
+{
+    setQuiet(true);
+    harness::Sweep sweep(2);
+    sweep.add("bogus", "no-such-kernel", harness::baseConfig("sie"));
+    sweep.add("good", "compress", harness::baseConfig("sie"));
+
+    const auto results = sweep.run();
+    EXPECT_EQ(results[0].status, harness::PointStatus::Error);
+    EXPECT_NE(results[0].error.find("no-such-kernel"), std::string::npos)
+        << results[0].error;
+    EXPECT_EQ(results[0].attempts, 2u); // one retry before giving up
+    EXPECT_EQ(results[1].status, harness::PointStatus::Ok);
+}
+
+TEST(Sweep, TypoedConfigKeyIsCapturedError)
+{
+    setQuiet(true);
+    Config cfg = harness::baseConfig("die");
+    cfg.set("core.schedler", "ready_list"); // note the typo
+
+    harness::Sweep sweep(1);
+    sweep.add("typo", "compress", cfg);
+    const auto results = sweep.run();
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, harness::PointStatus::Error);
+    EXPECT_NE(results[0].error.find("core.schedler"), std::string::npos)
+        << results[0].error;
+    EXPECT_EQ(results[0].attempts, 2u);
+}
+
+TEST(Sweep, PrebuiltProgramPointsMatchWorkloadPoints)
+{
+    setQuiet(true);
+    const Config cfg = harness::baseConfig("die-irb");
+    harness::Sweep sweep(2);
+    sweep.add("by-name", "pointer", cfg);
+    sweep.add("by-program", workloads::build("pointer", 1), cfg);
+
+    const auto results = sweep.run();
+    const harness::SimResult &a = harness::requireOk(results[0]);
+    const harness::SimResult &b = harness::requireOk(results[1]);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Sweep, RunIsRepeatable)
+{
+    setQuiet(true);
+    harness::Sweep sweep(2);
+    sweep.add("a", "compress", harness::baseConfig("die"));
+
+    const auto first = sweep.run();
+    const auto second = sweep.run(); // queue is not consumed
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(harness::requireOk(first[0]).core.cycles,
+              harness::requireOk(second[0]).core.cycles);
+}
+
+TEST(Sweep, ResultJsonCarriesPointMetadata)
+{
+    setQuiet(true);
+    harness::Sweep sweep(1);
+    sweep.add("point-name", "stencil", harness::baseConfig("sie"));
+    const auto results = sweep.run();
+
+    const std::string dumped =
+        harness::resultJson(results[0]).dump();
+    EXPECT_NE(dumped.find("\"point-name\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"ok\""), std::string::npos);
+    EXPECT_NE(dumped.find("\"cycles\""), std::string::npos);
+}
+
+TEST(Sweep, JobsFromArgsParsesAllSpellings)
+{
+    char prog[] = "prog", eq[] = "--jobs=7";
+    char flag[] = "--jobs", five[] = "5";
+    char dashj[] = "-j", three[] = "3";
+
+    char *argv_eq[] = {prog, eq};
+    EXPECT_EQ(harness::jobsFromArgs(2, argv_eq), 7u);
+
+    char *argv_flag[] = {prog, flag, five};
+    EXPECT_EQ(harness::jobsFromArgs(3, argv_flag), 5u);
+
+    char *argv_j[] = {prog, dashj, three};
+    EXPECT_EQ(harness::jobsFromArgs(3, argv_j), 3u);
+
+    char *argv_none[] = {prog};
+    EXPECT_GE(harness::jobsFromArgs(1, argv_none), 1u);
+}
+
+TEST(Sweep, DefaultJobsHonoursEnvironment)
+{
+    ASSERT_EQ(setenv("DIREB_JOBS", "6", 1), 0);
+    EXPECT_EQ(harness::defaultJobs(), 6u);
+    unsetenv("DIREB_JOBS");
+    EXPECT_GE(harness::defaultJobs(), 1u);
+}
+
+TEST(Sweep, ZeroJobsFallsBackToDefault)
+{
+    unsetenv("DIREB_JOBS");
+    harness::Sweep sweep(0);
+    EXPECT_GE(sweep.jobs(), 1u);
+    EXPECT_EQ(sweep.size(), 0u);
+    EXPECT_TRUE(sweep.run().empty());
+}

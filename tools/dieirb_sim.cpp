@@ -135,18 +135,23 @@ main(int argc, char **argv)
             ? workloads::build(workload, scale)
             : assemble(readFile(file), file);
 
+        harness::SimResult r;
         if (golden) {
-            const std::string err = harness::goldenCheck(prog, cfg,
+            // goldenRun returns the timing run's results, so the golden
+            // path costs one timing simulation, not two.
+            harness::GoldenResult g = harness::goldenRun(prog, cfg,
                                                          max_insts);
-            if (!err.empty()) {
+            if (!g.ok()) {
                 std::fprintf(stderr, "GOLDEN CHECK FAILED: %s\n",
-                             err.c_str());
+                             g.mismatch.c_str());
                 return 2;
             }
             std::printf("golden check: ok\n");
+            r = std::move(g.sim);
+        } else {
+            r = harness::run(prog, cfg, max_insts);
         }
-
-        const harness::SimResult r = harness::run(prog, cfg, max_insts);
+        cfg.checkUnused(); // typoed key=value overrides fail loudly
 
         std::printf("program    : %s\n", prog.name.c_str());
         std::printf("mode       : %s\n", mode.c_str());
