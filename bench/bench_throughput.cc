@@ -20,6 +20,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,6 +107,50 @@ timedRun(const harness::Sweep &sweep,
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/**
+ * Trace-overhead gate: compare this build's ready_list cycles/sec against
+ * the rates recorded in a reference BENCH_throughput.json from the same
+ * machine (typically a pre-trace-subsystem build). With tracing disabled
+ * (the default — every hook is one null-pointer test) the geomean ratio
+ * must stay above 0.98, i.e. the hooks may cost < 2%. Comparing against
+ * a file from a different host is meaningless, which is why this only
+ * runs when --baseline is passed explicitly.
+ *
+ * @return geomean(current/baseline), or 0 when nothing matched.
+ */
+double
+baselineRatio(const std::string &path,
+              const std::map<std::string, double> &current_rates)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open baseline '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const Json base = Json::parse(ss.str());
+
+    const Json *rows = base.find("workloads");
+    fatal_if(rows == nullptr || !rows->isArray(),
+             "baseline '%s' has no workloads array", path.c_str());
+
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+        const Json &row = rows->at(i);
+        const Json *name = row.find("workload");
+        const Json *list = row.find("ready_list");
+        const Json *rate = list ? list->find("cycles_per_sec") : nullptr;
+        fatal_if(!name || !name->isString() || !rate || !rate->isNumber(),
+                 "baseline '%s' row %zu is malformed", path.c_str(), i);
+        const auto cur = current_rates.find(name->asString());
+        if (cur == current_rates.end()) {
+            warn("baseline workload '%s' not measured in this run",
+                 name->asString().c_str());
+            continue;
+        }
+        ratios.push_back(cur->second / rate->asNumber());
+    }
+    return harness::geomean(ratios);
+}
+
 } // namespace
 
 int
@@ -113,6 +160,10 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_throughput.json";
     if (argc > 1 && argv[1][0] != '-')
         json_path = argv[1];
+    std::string baseline_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--baseline") == 0)
+            baseline_path = argv[i + 1];
 
     harness::banner(
         "Simulator throughput — scan vs ready_list scheduler",
@@ -124,6 +175,7 @@ main(int argc, char **argv)
              "scan Minst/s", "list Minst/s", "speedup"});
 
     std::vector<double> speedups;
+    std::map<std::string, double> list_rates;
     Json sched_rows = Json::array();
     for (const auto &w : workloads::list()) {
         const Measured scan = timeScheduler(w.name, "scan");
@@ -134,6 +186,7 @@ main(int argc, char **argv)
 
         const double speedup = list.cyclesPerSec / scan.cyclesPerSec;
         speedups.push_back(speedup);
+        list_rates[w.name] = list.cyclesPerSec;
 
         t.row()
             .cell(w.name)
@@ -165,6 +218,15 @@ main(int argc, char **argv)
     std::printf("%s\n", t.render().c_str());
     std::printf("geomean ready_list speedup: %.2fx (acceptance: >= 2x)\n",
                 geo);
+
+    // ---- trace-hook overhead vs a recorded same-host baseline ----
+    double base_ratio = 0;
+    if (!baseline_path.empty()) {
+        base_ratio = baselineRatio(baseline_path, list_rates);
+        std::printf("geomean cycles/sec vs %s: %.4fx "
+                    "(acceptance: >= 0.98, i.e. trace hooks cost < 2%%)\n",
+                    baseline_path.c_str(), base_ratio);
+    }
 
     // ---- parallel sweep engine: end-to-end Figure-7 matrix wall clock ----
     const unsigned hw = std::thread::hardware_concurrency();
@@ -213,6 +275,11 @@ main(int argc, char **argv)
     root.set("units", "per host second");
     root.set("workloads", std::move(sched_rows));
     root.set("geomean_speedup", geo);
+    if (!baseline_path.empty())
+        root.set("baseline",
+                 Json::object()
+                     .set("path", baseline_path)
+                     .set("geomean_ratio", base_ratio));
     root.set("sweep",
              Json::object()
                  .set("points", serial.size())
@@ -230,6 +297,12 @@ main(int argc, char **argv)
     if (gate_sweep && sweep_speedup < 2.0) {
         std::printf("FAIL: sweep speedup %.2fx < 2x at jobs=%u\n",
                     sweep_speedup, par_jobs);
+        return 1;
+    }
+    if (!baseline_path.empty() && base_ratio < 0.98) {
+        std::printf("FAIL: geomean cycles/sec fell to %.4fx of baseline "
+                    "(trace hooks must cost < 2%%)\n",
+                    base_ratio);
         return 1;
     }
     return geo >= 2.0 ? 0 : 1;

@@ -108,8 +108,27 @@ Group::collect(const std::string &prefix,
         out[full(s.name)] = static_cast<double>(s.stat->value());
     for (const auto &a : averages)
         out[full(a.name)] = a.stat->mean();
-    for (const auto &d : distributions)
-        out[full(d.name)] = d.stat->mean();
+    for (const auto &d : distributions) {
+        // The bare name stays the mean (the historical snapshot value);
+        // the sub-keys carry the full shape so distributions survive into
+        // BENCH_*.json instead of being text-dump-only.
+        const std::string base_name = full(d.name);
+        out[base_name] = d.stat->mean();
+        out[base_name + ".mean"] = d.stat->mean();
+        out[base_name + ".count"] = static_cast<double>(d.stat->count());
+        out[base_name + ".underflows"] =
+            static_cast<double>(d.stat->underflows());
+        out[base_name + ".overflows"] =
+            static_cast<double>(d.stat->overflows());
+        const auto &c = d.stat->bucketCounts();
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            if (c[i] == 0)
+                continue;
+            char lo[32];
+            std::snprintf(lo, sizeof(lo), "%g", d.stat->bucketLow(i));
+            out[base_name + ".bucket" + lo] = static_cast<double>(c[i]);
+        }
+    }
     for (const auto &f : formulas)
         out[full(f.name)] = f.stat->value();
     for (const auto *c : children)

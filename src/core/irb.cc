@@ -178,6 +178,8 @@ Irb::lookup(Addr pc)
         }
         std::swap(*slot, *v);
         slot->lruStamp = stamp;
+        DIREB_TRACE(tracerPtr, trace::Kind::IrbVictimSwap, invalidSeq, pc,
+                    false, Inst{});
         // The entry spilled by the swap enters the victim buffer *now*:
         // keeping its old main-array stamp would misrepresent it as the
         // LRU victim and get it dropped on the very next spill.

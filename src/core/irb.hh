@@ -30,6 +30,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace direb
 {
@@ -106,6 +107,9 @@ class Irb
 
     stats::Group &statGroup() { return group; }
 
+    /** Attach the owning core's event tracer (may be null). */
+    void setTracer(trace::Tracer *t) { tracerPtr = t; }
+
     /** Statistics accessors for benches. @{ */
     std::uint64_t lookups() const { return numLookups.value(); }
     std::uint64_t updates() const { return numUpdates.value(); }
@@ -155,6 +159,7 @@ class Irb
     Cycle pipeDepth = 3;
     std::uint8_t ctrMax = 3;
     bool ctrEnabled = true;
+    trace::Tracer *tracerPtr = nullptr;
 
     stats::Group group{"irb"};
     stats::Scalar numLookups;

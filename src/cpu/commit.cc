@@ -68,6 +68,9 @@ OooCore::faultRewind(std::size_t pair_offset)
     records.insert(records.end(), replayQueue.begin(), replayQueue.end());
     replayQueue = std::move(records);
     panic_if(replayQueue.empty(), "rewind with nothing to replay");
+    DIREB_TRACE(tracer_, trace::Kind::Rewind, invalidSeq,
+                replayQueue.front().pc, false, Inst{},
+                replayQueue.size());
 
     // Faults pending in younger entries never reach the checker; also
     // invalidate every squashed entry's seq so dangling dependence edges
@@ -97,16 +100,24 @@ OooCore::faultRewind(std::size_t pair_offset)
 void
 OooCore::commitStage()
 {
+    using trace::StallReason;
+    using trace::StallStage;
+
     unsigned budget = p.commitWidth;
     const bool dual = p.mode != ExecMode::Sie;
 
     while (budget > 0 && ruuCount > 0 && running) {
         RuuEntry &head = ruu[ruuHead];
-        if (!head.completed)
+        if (!head.completed) {
+            stalls.blame(StallStage::Commit, StallReason::ExecWait);
             break;
+        }
 
         if (!dual) {
             retireEntry(head);
+            DIREB_TRACE(tracer_, trace::Kind::Commit, head.seq, head.pc,
+                        false, head.inst);
+            stalls.busy(StallStage::Commit);
             ruuHead = (ruuHead + 1) % p.ruuSize;
             --ruuCount;
             --budget;
@@ -128,14 +139,18 @@ OooCore::commitStage()
 
         // DIE modes: the pair occupies two adjacent entries and retires
         // (and counts against commit width) as two entries.
-        if (budget < 2)
+        if (budget < 2) {
+            stalls.blame(StallStage::Commit, StallReason::PairAlign);
             break;
+        }
         panic_if(ruuCount < 2, "primary without duplicate at commit");
         RuuEntry &dup = ruu[(ruuHead + 1) % p.ruuSize];
         panic_if(!dup.isDup || dup.pairIdx != static_cast<int>(ruuHead),
                  "RUU head is not a well-formed pair");
-        if (!dup.completed)
+        if (!dup.completed) {
+            stalls.blame(StallStage::Commit, StallReason::ExecWait);
             break;
+        }
 
         const bool ok = pairChecker.check(head.checkValue, dup.checkValue);
         if (!ok) {
@@ -146,6 +161,9 @@ OooCore::commitStage()
                      "(simulator bug)",
                      static_cast<unsigned long long>(head.pc));
             injector->recordDetected();
+            DIREB_TRACE(tracer_, trace::Kind::FaultDetect, head.seq,
+                        head.pc, false, head.inst);
+            stalls.blame(StallStage::Commit, StallReason::Rewind);
             // A failing check invalidates the IRB entry for this PC, so
             // the replayed duplicate cannot pick the bad value up again.
             if (reuseBuffer)
@@ -166,8 +184,12 @@ OooCore::commitStage()
         // the stored tuple is bit-identical already.
         if (reuseBuffer && dup.cls != OpClass::Nop &&
             !isOutput(dup.inst.op) && !dup.reuseHit) {
-            reuseBuffer->update(head.pc, head.outcome.op1Val,
-                                head.outcome.op2Val, head.outcome.result);
+            const bool wrote =
+                reuseBuffer->update(head.pc, head.outcome.op1Val,
+                                    head.outcome.op2Val,
+                                    head.outcome.result);
+            DIREB_TRACE(tracer_, trace::Kind::IrbUpdate, head.seq, head.pc,
+                        false, head.inst, wrote ? 1 : 0);
         }
         // Fault site "irb": a transient strikes a random live entry; it
         // is caught when (and only when) a duplicate later reuses it.
@@ -176,6 +198,12 @@ OooCore::commitStage()
             reuseBuffer->corruptRandomEntry(injector->randomValue(),
                                             injector->bitToFlip());
         }
+
+        DIREB_TRACE(tracer_, trace::Kind::Commit, head.seq, head.pc, false,
+                    head.inst);
+        DIREB_TRACE(tracer_, trace::Kind::Commit, dup.seq, dup.pc, true,
+                    dup.inst);
+        stalls.busy(StallStage::Commit, 2);
 
         const bool was_halt = head.isHalt;
         ruuHead = (ruuHead + 2) % p.ruuSize;
@@ -194,6 +222,9 @@ OooCore::commitStage()
             return;
         }
     }
+
+    if (budget > 0 && ruuCount == 0)
+        stalls.blame(StallStage::Commit, StallReason::Empty);
 }
 
 } // namespace direb

@@ -83,6 +83,17 @@ OooCore::OooCore(const Program &program, const Config &config)
     if (p.mode == ExecMode::DieIrb)
         reuseBuffer = std::make_unique<Irb>(config);
 
+    // Both trace keys are read unconditionally so Config::checkUnused()
+    // accepts a run that sets trace.limit with tracing off.
+    const bool trace_enabled = config.getBool("trace.enabled", false);
+    const std::uint64_t trace_limit =
+        config.getUint("trace.limit", std::uint64_t(1) << 20);
+    if (trace_enabled) {
+        tracer_ = std::make_unique<trace::Tracer>(trace_limit);
+        if (reuseBuffer)
+            reuseBuffer->setTracer(tracer_.get());
+    }
+
     ruu.resize(p.ruuSize);
     createVec[0].assign(numArchRegs, Producer{});
     createVec[1].assign(numArchRegs, Producer{});
@@ -118,6 +129,16 @@ OooCore::OooCore(const Program &program, const Config &config)
     ipcFormula = stats::Formula(&numArchInsts, &numCycles);
     group.addFormula(&ipcFormula, "ipc", "architectural IPC");
 
+    ruuOccupancy.init(0, static_cast<double>(p.ruuSize) + 1, 16);
+    group.addDistribution(&ruuOccupancy, "ruu_occupancy",
+                          "RUU entries live, sampled each cycle");
+    issueDelay.init(0, 64, 16);
+    group.addDistribution(&issueDelay, "issue_delay",
+                          "cycles an entry waits from dispatch to issue");
+
+    stalls.init(p.fetchWidth, p.decodeWidth, p.issueWidth, p.commitWidth);
+    stalls.registerStats(group);
+
     group.addChild(&bp->statGroup());
     group.addChild(&memHier->statGroup());
     group.addChild(&fus->statGroup());
@@ -125,6 +146,8 @@ OooCore::OooCore(const Program &program, const Config &config)
     pairChecker.registerStats(group);
     if (reuseBuffer)
         group.addChild(&reuseBuffer->statGroup());
+    if (tracer_)
+        group.addChild(&tracer_->statGroup());
 }
 
 OooCore::~OooCore() = default;
@@ -187,6 +210,8 @@ OooCore::squashYoungerThan(std::size_t keep_count)
     panic_if(keep_count > ruuCount, "bad squash point");
     for (std::size_t off = keep_count; off < ruuCount; ++off) {
         RuuEntry &e = entryAt(off);
+        DIREB_TRACE(tracer_, trace::Kind::Squash, e.seq, e.pc, e.isDup,
+                    e.inst);
         if (e.holdsLsqSlot) {
             panic_if(lsqUsed == 0, "LSQ accounting underflow");
             --lsqUsed;
@@ -216,6 +241,11 @@ OooCore::tick()
 {
     if (reuseBuffer)
         reuseBuffer->beginCycle();
+#if DIREB_TRACING_ENABLED
+    if (tracer_)
+        tracer_->beginCycle(now);
+#endif
+    stalls.beginCycle();
 
     commitStage();
     if (!running)
@@ -226,6 +256,8 @@ OooCore::tick()
     dispatchStage();
     fetchStage();
 
+    ruuOccupancy.sample(static_cast<double>(ruuCount));
+    stalls.endCycle();
     ++now;
     ++numCycles;
 

@@ -48,6 +48,9 @@ OooCore::setupIrbFields(RuuEntry &dup, const FetchedInst &fi)
     dup.irb = reuseBuffer->lookup(dup.pc);
     dup.irbReadyAt = now + 1;
     dup.irbCandidate = dup.irb.pcHit;
+    DIREB_TRACE(tracer_, trace::Kind::IrbLookup, dup.seq, dup.pc, true,
+                dup.inst,
+                (dup.irb.pcHit ? 1u : 0u) | (dup.irb.portDrop ? 2u : 0u));
 }
 
 void
@@ -148,10 +151,17 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
 
     const RegId dst = e.inst.dstReg();
 
+    // The fetch event is back-dated: an instruction only gains a seq here,
+    // so the fetch stage cannot record it itself.
+    DIREB_TRACE_AT(tracer_, fi.fetchCycle, trace::Kind::Fetch, e.seq, e.pc,
+                   false, e.inst);
+    DIREB_TRACE(tracer_, trace::Kind::Dispatch, e.seq, e.pc, false, e.inst);
+
     ++numDispatched;
     if (e.wrongPath)
         ++numWrongPathDispatched;
     width_left -= 1;
+    stalls.busy(trace::StallStage::Dispatch);
 
     if (!dual) {
         if (dst != noReg)
@@ -213,36 +223,56 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
 
     maybeInjectForwardFault(prim, d);
 
+    DIREB_TRACE_AT(tracer_, fi.fetchCycle, trace::Kind::Fetch, d.seq, d.pc,
+                   true, d.inst);
+    DIREB_TRACE(tracer_, trace::Kind::Dispatch, d.seq, d.pc, true, d.inst);
+
     ++numDispatched;
     if (d.wrongPath)
         ++numWrongPathDispatched;
     width_left -= 1;
+    stalls.busy(trace::StallStage::Dispatch);
 }
 
 void
 OooCore::dispatchStage()
 {
+    using trace::StallReason;
+    using trace::StallStage;
+
     const unsigned units_per_inst = p.mode == ExecMode::Sie ? 1 : 2;
     unsigned budget = p.decodeWidth;
 
     while (budget >= units_per_inst && !ifq.empty()) {
-        if (haltSeen)
-            break;
+        if (haltSeen) {
+            stalls.blame(StallStage::Dispatch, StallReason::Drained);
+            return;
+        }
         const FetchedInst &fi = ifq.front();
 
         if (ruuFull(units_per_inst)) {
             ++numDispatchStallRuu;
-            break;
+            stalls.blame(StallStage::Dispatch, StallReason::WindowFull);
+            return;
         }
         if (isMem(fi.inst.op) && lsqUsed >= p.lsqSize) {
             ++numDispatchStallLsq;
-            break;
+            stalls.blame(StallStage::Dispatch, StallReason::LsqFull);
+            return;
         }
 
         const FetchedInst taken = fi;
         ifq.pop_front();
         dispatchOne(taken, budget);
     }
+    if (budget == 0)
+        return; // full width used: nothing left to blame
+    if (ifq.empty())
+        stalls.blame(StallStage::Dispatch, haltSeen
+                                               ? StallReason::Drained
+                                               : StallReason::FetchStarved);
+    else
+        stalls.blame(StallStage::Dispatch, StallReason::PairAlign);
 }
 
 } // namespace direb

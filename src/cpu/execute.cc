@@ -34,8 +34,12 @@ OooCore::wakeDependents(int idx)
         panic_if(c.srcPending == 0, "wakeup underflow (seq %llu)",
                  static_cast<unsigned long long>(c.seq));
         --c.srcPending;
-        if (p.readyListScheduler && c.srcPending == 0)
-            readyList.push(c.seq, dep.idx);
+        if (c.srcPending == 0) {
+            DIREB_TRACE(tracer_, trace::Kind::Wakeup, c.seq, c.pc, c.isDup,
+                        c.inst);
+            if (p.readyListScheduler)
+                readyList.push(c.seq, dep.idx);
+        }
     }
     e.dependents.clear();
 }
@@ -45,6 +49,8 @@ OooCore::completeEntry(int idx)
 {
     RuuEntry &e = ruu[idx];
     e.completed = true;
+    DIREB_TRACE(tracer_, trace::Kind::Complete, e.seq, e.pc, e.isDup,
+                e.inst);
 
     // Fault site "fu": a transient strikes the unit producing this value.
     if (injector->site() == FaultSite::Fu && e.cls != OpClass::Nop &&
@@ -90,6 +96,9 @@ OooCore::tryReuseTest(int idx)
     const bool pass = !e.faulted && e.irb.op1 == e.outcome.op1Val &&
                       e.irb.op2 == e.outcome.op2Val;
     reuseBuffer->recordReuseTest(pass);
+    DIREB_TRACE(tracer_,
+                pass ? trace::Kind::IrbReuseHit : trace::Kind::IrbReuseMiss,
+                e.seq, e.pc, true, e.inst);
     if (!pass)
         return;
 
@@ -353,10 +362,27 @@ OooCore::memoryStageList()
 void
 OooCore::issueStage()
 {
+    cycFuDenied = 0;
+    cycIrbDeferred = 0;
     if (p.readyListScheduler)
         issueStageList();
     else
         issueStageScan();
+
+    // Cycle blame from aggregates both scheduler implementations compute
+    // identically: an FU denial means ready work existed and lost ALU
+    // bandwidth; failing that, a pending reuse test held duplicates back;
+    // otherwise occupied-but-unready entries were waiting on operands.
+    using trace::StallReason;
+    using trace::StallStage;
+    if (ruuCount == 0)
+        stalls.blame(StallStage::Issue, StallReason::Empty);
+    else if (cycFuDenied > 0)
+        stalls.blame(StallStage::Issue, StallReason::FuContention);
+    else if (cycIrbDeferred > 0)
+        stalls.blame(StallStage::Issue, StallReason::IrbDeferral);
+    else
+        stalls.blame(StallStage::Issue, StallReason::OperandWait);
 }
 
 void
@@ -382,19 +408,25 @@ OooCore::issueStageScan()
         // Rdy2L/Rdy2R semantics (paper Figure 5): a duplicate with a
         // pending reuse test is not schedulable until the test resolves.
         if (e.irbCandidate && !e.reuseTested) {
-            if (!p.irbConsumesIssueSlot)
+            if (!p.irbConsumesIssueSlot) {
+                ++cycIrbDeferred;
                 continue;
+            }
             tryReuseTest(static_cast<int>((ruuHead + off) % p.ruuSize));
-            if (!e.reuseTested)
+            if (!e.reuseTested) {
+                ++cycIrbDeferred;
                 continue; // IRB data still in flight
+            }
             if (e.reuseHit) {
                 --slots; // ablation: the hit occupies issue bandwidth
+                stalls.busy(trace::StallStage::Issue);
                 continue;
             }
         }
         Cycle lat = 1;
         if (!fus->tryIssue(e.cls, now, lat)) {
             ++numIssueStallFu;
+            ++cycFuDenied;
             continue; // other ready instructions may still find a unit
         }
         e.issued = true;
@@ -403,6 +435,10 @@ OooCore::issueStageScan()
             e.addrGenPending = true; // first completion = address ready
         --slots;
         ++numIssuedTotal;
+        stalls.busy(trace::StallStage::Issue);
+        issueDelay.sample(static_cast<double>(now - e.dispatchedAt));
+        DIREB_TRACE(tracer_, trace::Kind::Issue, e.seq, e.pc, e.isDup,
+                    e.inst);
     }
 }
 
@@ -444,22 +480,26 @@ OooCore::issueStageList()
                  static_cast<unsigned long long>(e.seq));
         if (e.irbCandidate && !e.reuseTested) {
             if (!p.irbConsumesIssueSlot) {
+                ++cycIrbDeferred;
                 rl[kept++] = rl[i];
                 continue;
             }
             tryReuseTest(idx);
             if (!e.reuseTested) {
+                ++cycIrbDeferred;
                 rl[kept++] = rl[i];
                 continue; // IRB data still in flight
             }
             if (e.reuseHit) {
                 --slots; // ablation: the hit occupies issue bandwidth
+                stalls.busy(trace::StallStage::Issue);
                 continue;
             }
         }
         Cycle lat = 1;
         if (!fus->tryIssue(e.cls, now, lat)) {
             ++numIssueStallFu;
+            ++cycFuDenied;
             rl[kept++] = rl[i];
             continue; // other ready instructions may still find a unit
         }
@@ -470,6 +510,10 @@ OooCore::issueStageList()
         scheduleWriteback(idx, e.completeAt);
         --slots;
         ++numIssuedTotal;
+        stalls.busy(trace::StallStage::Issue);
+        issueDelay.sample(static_cast<double>(now - e.dispatchedAt));
+        DIREB_TRACE(tracer_, trace::Kind::Issue, e.seq, e.pc, e.isDup,
+                    e.inst);
     }
     for (; i < rl.size(); ++i)
         rl[kept++] = rl[i]; // issue bandwidth exhausted: keep the rest
@@ -481,6 +525,8 @@ OooCore::handleMispredictRecovery(int idx)
 {
     RuuEntry &e = ruu[idx];
     panic_if(!replayQueue.empty(), "recovery during fault replay");
+    DIREB_TRACE(tracer_, trace::Kind::Recovery, e.seq, e.pc, e.isDup,
+                e.inst);
 
     // Keep everything up to and including the branch's pair.
     const std::size_t own_off =

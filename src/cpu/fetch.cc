@@ -14,8 +14,20 @@ namespace direb
 void
 OooCore::fetchStage()
 {
-    if (now < fetchStallUntil || haltSeen || !running)
+    using trace::StallReason;
+    using trace::StallStage;
+
+    if (now < fetchStallUntil || haltSeen || !running) {
+        // A redirect/rewind bubble and an in-flight I-cache miss both
+        // park the front end via fetchStallUntil; separating them would
+        // need extra state, so the miss wins the blame while it lasts.
+        stalls.blame(StallStage::Fetch, now < fetchStallUntil
+                                            ? (lastFetchBlock == invalidAddr
+                                                   ? StallReason::Redirect
+                                                   : StallReason::IcacheMiss)
+                                            : StallReason::Drained);
         return;
+    }
 
     unsigned budget = p.fetchWidth;
 
@@ -30,6 +42,9 @@ OooCore::fetchStage()
         lastFetchBlock = block;
         if (lat > memHier->l1i().params().hitLatency) {
             fetchStallUntil = now + lat;
+            stalls.blame(StallStage::Fetch, StallReason::IcacheMiss);
+            DIREB_TRACE(tracer_, trace::Kind::FetchStall, invalidSeq, pc,
+                        false, Inst{}, lat);
             return false;
         }
         return true;
@@ -52,9 +67,13 @@ OooCore::fetchStage()
         ifq.push_back(fi);
         replayQueue.pop_front();
         --budget;
+        stalls.busy(StallStage::Fetch);
     }
-    if (!replayQueue.empty())
+    if (!replayQueue.empty()) {
+        if (budget > 0)
+            stalls.blame(StallStage::Fetch, StallReason::IfqFull);
         return;
+    }
 
     while (budget > 0 && ifq.size() < p.ifqSize) {
         if (!charge_icache(fetchPc))
@@ -72,12 +91,17 @@ OooCore::fetchStage()
         fi.hasPrediction = true;
         ifq.push_back(fi);
         --budget;
+        stalls.busy(StallStage::Fetch);
 
         const bool redirect = fi.predNextPc != fetchPc + 4;
         fetchPc = fi.predNextPc;
-        if (redirect)
+        if (redirect) {
+            stalls.blame(StallStage::Fetch, StallReason::Redirect);
             break; // taken control transfer ends the fetch group
+        }
     }
+    if (budget > 0 && ifq.size() >= p.ifqSize)
+        stalls.blame(StallStage::Fetch, StallReason::IfqFull);
 }
 
 } // namespace direb

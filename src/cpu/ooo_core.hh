@@ -41,6 +41,8 @@
 #include "cpu/fu_pool.hh"
 #include "cpu/spec_state.hh"
 #include "mem/cache.hh"
+#include "trace/stall.hh"
+#include "trace/trace.hh"
 #include "vm/vm.hh"
 
 namespace direb
@@ -131,6 +133,10 @@ class OooCore
     FaultInjector &faultInjector() { return *injector; }
     Checker &checker() { return pairChecker; }
     const CoreParams &params() const { return p; }
+    /** Event tracer, or nullptr when trace.enabled is unset. */
+    trace::Tracer *tracer() { return tracer_.get(); }
+    /** Per-stage stall attribution (the core.stall.* counters). */
+    const trace::StallAccount &stallAccount() const { return stalls; }
     /** @} */
 
     Cycle cycle() const { return now; }
@@ -279,6 +285,7 @@ class OooCore
     std::unique_ptr<Irb> reuseBuffer;      //!< only in DIE-IRB mode
     std::unique_ptr<FaultInjector> injector;
     Checker pairChecker;
+    std::unique_ptr<trace::Tracer> tracer_; //!< only when trace.enabled
 
     // ---- machine state --------------------------------------------------------
     Cycle now = 0;
@@ -409,6 +416,22 @@ class OooCore
     stats::Scalar numLoadsForwarded;
     stats::Scalar numLoadsBlocked;
     stats::Formula ipcFormula;
+    stats::Distribution ruuOccupancy; //!< RUU entries live, sampled per cycle
+    stats::Distribution issueDelay;   //!< cycles from dispatch to issue
+
+    /**
+     * Stall attribution: every counted cycle each stage charges its full
+     * width to busy work plus one blamed reason (trace/stall.hh). Charges
+     * are folded only when a cycle completes (endCycle() runs just before
+     * numCycles increments), so sum(core.stall.<stage>.*) ==
+     * core.cycles * width holds exactly; a final tick aborted by
+     * finishRun drops its partial ledger with the cycle itself.
+     */
+    trace::StallAccount stalls;
+    /** Cycle-local issue-blame inputs, reset by issueStage(). @{ */
+    unsigned cycFuDenied = 0;
+    unsigned cycIrbDeferred = 0;
+    /** @} */
 };
 
 } // namespace direb

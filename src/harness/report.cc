@@ -1,7 +1,10 @@
 #include "harness/report.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "common/logging.hh"
@@ -186,6 +189,262 @@ Json::size() const
       case Kind::Array: return elements.size();
       default: return 0;
     }
+}
+
+double
+Json::asNumber() const
+{
+    panic_if(kind != Kind::Number, "json: asNumber() on a non-number");
+    return number;
+}
+
+const std::string &
+Json::asString() const
+{
+    panic_if(kind != Kind::String, "json: asString() on a non-string");
+    return text;
+}
+
+bool
+Json::asBool() const
+{
+    panic_if(kind != Kind::Bool, "json: asBool() on a non-bool");
+    return boolean;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    panic_if(kind != Kind::Array, "json: at() on a non-array");
+    panic_if(i >= elements.size(), "json: index %zu out of range (%zu)", i,
+             elements.size());
+    return elements[i];
+}
+
+namespace
+{
+
+/** Recursive-descent JSON reader over [pos, text.size()). */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipSpace();
+        fatal_if(pos != src.size(), "json: trailing garbage at offset %zu",
+                 pos);
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\n' ||
+                src[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        fatal_if(pos >= src.size(), "json: unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatal_if(peek() != c, "json: expected '%c' at offset %zu", c, pos);
+        ++pos;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (src.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't':
+            fatal_if(!consume("true"), "json: bad literal at offset %zu",
+                     pos);
+            return Json(true);
+          case 'f':
+            fatal_if(!consume("false"), "json: bad literal at offset %zu",
+                     pos);
+            return Json(false);
+          case 'n':
+            fatal_if(!consume("null"), "json: bad literal at offset %zu",
+                     pos);
+            return Json();
+          default:
+            return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        while (true) {
+            fatal_if(peek() != '"', "json: expected key at offset %zu",
+                     pos);
+            std::string key = string();
+            expect(':');
+            obj.set(key, value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        while (true) {
+            arr.push(value());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            fatal_if(pos >= src.size(), "json: unterminated string");
+            const char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            fatal_if(pos >= src.size(), "json: unterminated escape");
+            const char esc = src[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                fatal_if(pos + 4 > src.size(), "json: bad \\u escape");
+                const unsigned long code =
+                    std::strtoul(src.substr(pos, 4).c_str(), nullptr, 16);
+                pos += 4;
+                // Exporters only escape control characters; anything in
+                // the BMP round-trips as UTF-8 well enough for reports.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fatal("json: bad escape '\\%c'", esc);
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        skipSpace();
+        const std::size_t start = pos;
+        if (pos < src.size() && (src[pos] == '-' || src[pos] == '+'))
+            ++pos;
+        bool fractional = false;
+        while (pos < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[pos])) ||
+                src[pos] == '.' || src[pos] == 'e' || src[pos] == 'E' ||
+                src[pos] == '+' || src[pos] == '-')) {
+            if (src[pos] == '.' || src[pos] == 'e' || src[pos] == 'E')
+                fractional = true;
+            ++pos;
+        }
+        fatal_if(pos == start, "json: expected a value at offset %zu",
+                 start);
+        const std::string tok = src.substr(start, pos - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        fatal_if(end != tok.c_str() + tok.size(), "json: bad number '%s'",
+                 tok.c_str());
+        if (!fractional && v >= -9.0e18 && v <= 9.0e18)
+            return Json(static_cast<std::int64_t>(v));
+        return Json(v);
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).parse();
 }
 
 namespace

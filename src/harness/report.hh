@@ -82,6 +82,13 @@ class Json
     static Json object();
     static Json array();
 
+    /**
+     * Parse JSON text (the subset dump() emits plus what the standard
+     * allows); fatal() on malformed input. Numbers that read back exactly
+     * as integers keep the integral print path.
+     */
+    static Json parse(const std::string &text);
+
     /** Add/replace an object member (panics unless this is an object). */
     Json &set(const std::string &key, Json value);
     /** Append an array element (panics unless this is an array). */
@@ -89,7 +96,20 @@ class Json
 
     bool isObject() const { return kind == Kind::Object; }
     bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
     std::size_t size() const;
+
+    /** Value accessors (panic on a kind mismatch). @{ */
+    double asNumber() const;
+    const std::string &asString() const;
+    bool asBool() const;
+    /** @} */
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const Json *find(const std::string &key) const;
+    /** Array element access (panics out of range / on a non-array). */
+    const Json &at(std::size_t i) const;
 
     /** Serialise; @p indent spaces per level (0 = single line). */
     std::string dump(int indent = 2) const;

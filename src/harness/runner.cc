@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "common/logging.hh"
+#include "trace/export.hh"
 #include "workloads/workloads.hh"
 
 namespace direb
@@ -33,14 +35,41 @@ snapshot(OooCore &core, const CoreResult &cr)
     return r;
 }
 
+/**
+ * Render the finished run's event buffer per trace.path/trace.format.
+ * Both keys are read unconditionally (the Config unused-key audit must
+ * accept them with tracing off); with no path the buffer stays in-memory
+ * only — tests inspect it through OooCore::tracer().
+ */
+void
+exportTraces(OooCore &core, const Config &config)
+{
+    const std::string path = config.getString("trace.path", "");
+    const std::string format = config.getString("trace.format", "both");
+    fatal_if(format != "konata" && format != "chrome" && format != "both",
+             "unknown trace.format '%s' (expected konata, chrome or both)",
+             format.c_str());
+    if (core.tracer() == nullptr || path.empty())
+        return;
+    if (format == "konata" || format == "both")
+        trace::exportKonata(*core.tracer(), path);
+    if (format == "chrome" || format == "both") {
+        const std::string chrome_path =
+            format == "chrome" ? path : path + ".json";
+        trace::exportChromeTrace(*core.tracer(), chrome_path);
+    }
+}
+
 } // namespace
 
 SimResult
 run(const Program &program, const Config &config, std::uint64_t max_insts)
 {
     OooCore core(program, config);
+    const CoreResult cr = core.run(max_insts);
+    exportTraces(core, config);
     config.checkUnused(); // every valid key was consumed by construction
-    return snapshot(core, core.run(max_insts));
+    return snapshot(core, cr);
 }
 
 SimResult
@@ -59,8 +88,9 @@ goldenRun(const Program &program, const Config &config,
     const StopReason vm_stop = vm.run(max_insts);
 
     OooCore core(program, config);
-    config.checkUnused();
     const CoreResult tr = core.run(max_insts);
+    exportTraces(core, config);
+    config.checkUnused();
 
     GoldenResult res;
     res.sim = snapshot(core, tr);

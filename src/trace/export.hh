@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace exporters: render a Tracer's event buffer as
+ *
+ *  - a gem5 O3PipeView text trace (loadable in Konata and other pipeline
+ *    viewers): one fetch/decode/rename/dispatch/issue/complete/retire
+ *    record per committed instruction, duplicates tagged "(dup)";
+ *  - Chrome trace_event JSON (open in chrome://tracing or Perfetto):
+ *    per-stage duration spans on two tracks (tid 0 = primary stream,
+ *    tid 1 = duplicate stream) plus instant markers for machine-level
+ *    events (I-cache stalls, recoveries, fault detections, rewinds,
+ *    IRB victim swaps, reuse hits).
+ *
+ * Both exporters work from whatever survives in the bounded ring — when
+ * events were dropped the rendered window is the tail of the run.
+ */
+
+#ifndef DIREB_TRACE_EXPORT_HH
+#define DIREB_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+/** Write an O3PipeView/Konata text trace of @p tracer to @p path. */
+void exportKonata(const Tracer &tracer, const std::string &path);
+
+/** Write a Chrome trace_event JSON rendering of @p tracer to @p path. */
+void exportChromeTrace(const Tracer &tracer, const std::string &path);
+
+} // namespace trace
+
+} // namespace direb
+
+#endif // DIREB_TRACE_EXPORT_HH

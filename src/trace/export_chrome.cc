@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter (chrome://tracing, Perfetto, speedscope
+ * all read this format). Each committed instruction becomes a chain of
+ * "X" duration spans — fetch->dispatch wait, dispatch->issue wait,
+ * issue->complete execute, complete->commit retire wait — on the track of
+ * its stream (tid 0 = primary, tid 1 = duplicate), with 1 simulated cycle
+ * rendered as 1 us. Machine-level events (I-cache stalls, recoveries,
+ * fault detections, rewinds, IRB victim swaps) and IRB reuse hits become
+ * "i" instant markers, so the timeline shows WHY a gap exists, not just
+ * that it does.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "trace/export.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+namespace
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct Lifecycle
+{
+    Addr pc = 0;
+    Inst inst;
+    bool dup = false;
+    bool sawFetch = false, sawDispatch = false, sawIssue = false;
+    bool sawComplete = false, sawCommit = false;
+    Cycle fetch = 0, dispatch = 0, issue = 0, complete = 0, commit = 0;
+};
+
+class Writer
+{
+  public:
+    explicit Writer(const std::string &path)
+        : out(std::fopen(path.c_str(), "w")), name(path)
+    {
+        fatal_if(out == nullptr, "cannot open trace file '%s'",
+                 name.c_str());
+        std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", out);
+    }
+
+    ~Writer()
+    {
+        std::fputs("\n]}\n", out);
+        fatal_if(std::fclose(out) != 0, "error writing trace file '%s'",
+                 name.c_str());
+    }
+
+    void
+    meta(int tid, const std::string &thread_name)
+    {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                     "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     tid, jsonEscape(thread_name).c_str());
+    }
+
+    void
+    span(const char *span_name, int tid, Cycle ts, Cycle dur,
+         InstSeq seq, Addr pc, const std::string &disasm)
+    {
+        sep();
+        std::fprintf(
+            out,
+            "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+            "\"ts\":%llu,\"dur\":%llu,\"args\":{\"seq\":%llu,"
+            "\"pc\":\"0x%llx\",\"inst\":\"%s\"}}",
+            span_name, tid, static_cast<unsigned long long>(ts),
+            static_cast<unsigned long long>(dur),
+            static_cast<unsigned long long>(seq),
+            static_cast<unsigned long long>(pc),
+            jsonEscape(disasm).c_str());
+    }
+
+    void
+    instant(const char *inst_name, int tid, Cycle ts, std::uint64_t arg)
+    {
+        sep();
+        std::fprintf(out,
+                     "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\","
+                     "\"pid\":0,\"tid\":%d,\"ts\":%llu,"
+                     "\"args\":{\"arg\":%llu}}",
+                     inst_name, tid, static_cast<unsigned long long>(ts),
+                     static_cast<unsigned long long>(arg));
+    }
+
+  private:
+    void
+    sep()
+    {
+        std::fputs(first ? "\n" : ",\n", out);
+        first = false;
+    }
+
+    FILE *out;
+    std::string name;
+    bool first = true;
+};
+
+} // namespace
+
+void
+exportChromeTrace(const Tracer &tracer, const std::string &path)
+{
+    const std::vector<Event> events = tracer.events();
+
+    std::map<InstSeq, Lifecycle> insts;
+    for (const Event &ev : events) {
+        if (ev.seq == invalidSeq)
+            continue;
+        Lifecycle &lc = insts[ev.seq];
+        switch (ev.kind) {
+          case Kind::Fetch:
+            lc.sawFetch = true;
+            lc.fetch = ev.cycle;
+            break;
+          case Kind::Dispatch:
+            lc.sawDispatch = true;
+            lc.dispatch = ev.cycle;
+            break;
+          case Kind::Issue:
+          case Kind::IrbReuseHit:
+            lc.sawIssue = true;
+            lc.issue = ev.cycle;
+            break;
+          case Kind::Complete:
+            lc.sawComplete = true;
+            lc.complete = ev.cycle;
+            break;
+          case Kind::Commit:
+            lc.sawCommit = true;
+            lc.commit = ev.cycle;
+            break;
+          default:
+            continue;
+        }
+        // Identity travels on every lifecycle event, so ring-truncated
+        // lifecycles still render with their real pc/disasm/stream.
+        lc.pc = ev.pc;
+        lc.inst = ev.inst;
+        lc.dup = ev.dup;
+    }
+
+    Writer w(path);
+    w.meta(0, "primary stream");
+    w.meta(1, "duplicate stream");
+
+    for (const auto &[seq, lc] : insts) {
+        if (!lc.sawCommit)
+            continue;
+        const int tid = lc.dup ? 1 : 0;
+        const Cycle dispatch = lc.sawDispatch ? lc.dispatch : lc.commit;
+        const Cycle fetch = lc.sawFetch ? lc.fetch : dispatch;
+        const Cycle complete = lc.sawComplete ? lc.complete : lc.commit;
+        const Cycle issue = lc.sawIssue ? lc.issue : complete;
+        const std::string disasm = lc.inst.disasm();
+
+        w.span("fetch", tid, fetch, dispatch - fetch, seq, lc.pc, disasm);
+        w.span("window", tid, dispatch, issue - dispatch, seq, lc.pc,
+               disasm);
+        w.span("execute", tid, issue, complete - issue, seq, lc.pc,
+               disasm);
+        w.span("retire-wait", tid, complete, lc.commit - complete, seq,
+               lc.pc, disasm);
+    }
+
+    for (const Event &ev : events) {
+        switch (ev.kind) {
+          case Kind::FetchStall:
+          case Kind::Recovery:
+          case Kind::FaultDetect:
+          case Kind::Rewind:
+          case Kind::IrbVictimSwap:
+            w.instant(kindName(ev.kind), ev.dup ? 1 : 0, ev.cycle, ev.arg);
+            break;
+          case Kind::IrbReuseHit:
+            w.instant(kindName(ev.kind), 1, ev.cycle, ev.arg);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace trace
+
+} // namespace direb

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * gem5 O3PipeView text exporter. Konata (and gem5's own pipeline viewer
+ * scripts) consume records of the form
+ *
+ *   O3PipeView:fetch:<tick>:0x<pc>:0:<seq>:<disasm>
+ *   O3PipeView:decode:<tick>
+ *   O3PipeView:rename:<tick>
+ *   O3PipeView:dispatch:<tick>
+ *   O3PipeView:issue:<tick>
+ *   O3PipeView:complete:<tick>
+ *   O3PipeView:retire:<tick>:store:<tick>
+ *
+ * one block per dynamic instruction in sequence order. This core has no
+ * separate decode/rename stages, so those are reported at the dispatch
+ * cycle; an IRB reuse hit never issues to a functional unit, so its issue
+ * tick collapses onto its completion tick (a zero-width execute interval —
+ * the visual signature of an ALU bypass). Only committed instructions are
+ * emitted; wrong-path and squashed work never retires and O3PipeView has
+ * no representation for it.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "trace/export.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+namespace
+{
+
+/** gem5 reports ticks, not cycles; Konata only needs a uniform scale. */
+constexpr Cycle ticksPerCycle = 500;
+
+/** Per-instruction lifecycle assembled from the event stream. */
+struct Lifecycle
+{
+    Addr pc = 0;
+    Inst inst;
+    bool dup = false;
+    bool sawFetch = false, sawDispatch = false, sawIssue = false;
+    bool sawComplete = false, sawCommit = false;
+    Cycle fetch = 0, dispatch = 0, issue = 0, complete = 0, commit = 0;
+};
+
+} // namespace
+
+void
+exportKonata(const Tracer &tracer, const std::string &path)
+{
+    std::map<InstSeq, Lifecycle> insts;
+    for (const Event &ev : tracer.events()) {
+        if (ev.seq == invalidSeq)
+            continue;
+        Lifecycle &lc = insts[ev.seq];
+        switch (ev.kind) {
+          case Kind::Fetch:
+            lc.sawFetch = true;
+            lc.fetch = ev.cycle;
+            break;
+          case Kind::Dispatch:
+            lc.sawDispatch = true;
+            lc.dispatch = ev.cycle;
+            break;
+          case Kind::Issue:
+            lc.sawIssue = true;
+            lc.issue = ev.cycle;
+            break;
+          case Kind::IrbReuseHit:
+            // The reuse hit IS the duplicate's issue moment: it leaves the
+            // window without touching an ALU.
+            lc.sawIssue = true;
+            lc.issue = ev.cycle;
+            break;
+          case Kind::Complete:
+            lc.sawComplete = true;
+            lc.complete = ev.cycle;
+            break;
+          case Kind::Commit:
+            lc.sawCommit = true;
+            lc.commit = ev.cycle;
+            break;
+          default:
+            continue;
+        }
+        // Every lifecycle event carries the instruction's identity, so a
+        // lifecycle whose early events were overwritten by the ring still
+        // renders with its real pc/disasm.
+        lc.pc = ev.pc;
+        lc.inst = ev.inst;
+        lc.dup = ev.dup;
+    }
+
+    FILE *out = std::fopen(path.c_str(), "w");
+    fatal_if(out == nullptr, "cannot open trace file '%s'", path.c_str());
+
+    for (const auto &[seq, lc] : insts) {
+        if (!lc.sawCommit)
+            continue;
+        // Events before the ring window may have been overwritten; anchor
+        // missing earlier stages on the first stage still present.
+        const Cycle dispatch = lc.sawDispatch ? lc.dispatch : lc.commit;
+        const Cycle fetch = lc.sawFetch ? lc.fetch : dispatch;
+        const Cycle complete = lc.sawComplete ? lc.complete : lc.commit;
+        const Cycle issue = lc.sawIssue ? lc.issue : complete;
+
+        std::string disasm = lc.inst.disasm();
+        if (lc.dup)
+            disasm += " (dup)";
+        std::fprintf(out, "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n",
+                     static_cast<unsigned long long>(fetch * ticksPerCycle),
+                     static_cast<unsigned long long>(lc.pc),
+                     static_cast<unsigned long long>(seq), disasm.c_str());
+        std::fprintf(out, "O3PipeView:decode:%llu\n",
+                     static_cast<unsigned long long>(dispatch *
+                                                     ticksPerCycle));
+        std::fprintf(out, "O3PipeView:rename:%llu\n",
+                     static_cast<unsigned long long>(dispatch *
+                                                     ticksPerCycle));
+        std::fprintf(out, "O3PipeView:dispatch:%llu\n",
+                     static_cast<unsigned long long>(dispatch *
+                                                     ticksPerCycle));
+        std::fprintf(out, "O3PipeView:issue:%llu\n",
+                     static_cast<unsigned long long>(issue * ticksPerCycle));
+        std::fprintf(out, "O3PipeView:complete:%llu\n",
+                     static_cast<unsigned long long>(complete *
+                                                     ticksPerCycle));
+        std::fprintf(out, "O3PipeView:retire:%llu:store:0\n",
+                     static_cast<unsigned long long>(lc.commit *
+                                                     ticksPerCycle));
+    }
+
+    fatal_if(std::fclose(out) != 0, "error writing trace file '%s'",
+             path.c_str());
+}
+
+} // namespace trace
+
+} // namespace direb

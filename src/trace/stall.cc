@@ -1,0 +1,140 @@
+#include "trace/stall.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+const char *
+stallStageName(StallStage s)
+{
+    switch (s) {
+      case StallStage::Fetch: return "fetch";
+      case StallStage::Dispatch: return "dispatch";
+      case StallStage::Issue: return "issue";
+      case StallStage::Commit: return "commit";
+    }
+    return "?";
+}
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Busy: return "busy";
+      case StallReason::IcacheMiss: return "icache_miss";
+      case StallReason::Redirect: return "redirect";
+      case StallReason::IfqFull: return "ifq_full";
+      case StallReason::Drained: return "drained";
+      case StallReason::FetchStarved: return "fetch_starved";
+      case StallReason::WindowFull: return "window_full";
+      case StallReason::LsqFull: return "lsq_full";
+      case StallReason::PairAlign: return "pair_align";
+      case StallReason::Empty: return "empty";
+      case StallReason::OperandWait: return "operand_wait";
+      case StallReason::FuContention: return "fu_contention";
+      case StallReason::IrbDeferral: return "irb_deferral";
+      case StallReason::ExecWait: return "exec_wait";
+      case StallReason::Rewind: return "rewind";
+      case StallReason::Unattributed: return "unattributed";
+      case StallReason::NumReasons: break;
+    }
+    return "?";
+}
+
+bool
+StallAccount::allowed(StallStage s, StallReason r)
+{
+    if (r == StallReason::Busy || r == StallReason::Unattributed)
+        return true;
+    switch (s) {
+      case StallStage::Fetch:
+        return r == StallReason::IcacheMiss || r == StallReason::Redirect ||
+               r == StallReason::IfqFull || r == StallReason::Drained;
+      case StallStage::Dispatch:
+        return r == StallReason::FetchStarved ||
+               r == StallReason::WindowFull || r == StallReason::LsqFull ||
+               r == StallReason::PairAlign || r == StallReason::Drained;
+      case StallStage::Issue:
+        return r == StallReason::Empty || r == StallReason::OperandWait ||
+               r == StallReason::FuContention ||
+               r == StallReason::IrbDeferral;
+      case StallStage::Commit:
+        return r == StallReason::Empty || r == StallReason::ExecWait ||
+               r == StallReason::PairAlign || r == StallReason::Rewind;
+    }
+    return false;
+}
+
+void
+StallAccount::init(unsigned fetch_w, unsigned decode_w, unsigned issue_w,
+                   unsigned commit_w)
+{
+    widths[idx(StallStage::Fetch)] = fetch_w;
+    widths[idx(StallStage::Dispatch)] = decode_w;
+    widths[idx(StallStage::Issue)] = issue_w;
+    widths[idx(StallStage::Commit)] = commit_w;
+    beginCycle();
+}
+
+void
+StallAccount::beginCycle()
+{
+    for (unsigned s = 0; s < numStallStages; ++s) {
+        busyNow[s] = 0;
+        blamedNow[s] = StallReason::Unattributed;
+    }
+}
+
+void
+StallAccount::busy(StallStage stage, unsigned n)
+{
+    busyNow[idx(stage)] += n;
+}
+
+void
+StallAccount::blame(StallStage stage, StallReason reason)
+{
+    panic_if(!allowed(stage, reason), "reason %s not in %s's closed set",
+             stallReasonName(reason), stallStageName(stage));
+    blamedNow[idx(stage)] = reason;
+}
+
+void
+StallAccount::endCycle()
+{
+    for (unsigned s = 0; s < numStallStages; ++s) {
+        const unsigned width = widths[s];
+        const unsigned used = busyNow[s];
+        panic_if(used > width, "%s stage used %u slots of width %u",
+                 stallStageName(static_cast<StallStage>(s)), used, width);
+        counters[s][idx(StallReason::Busy)] += used;
+        counters[s][idx(blamedNow[s])] += width - used;
+    }
+}
+
+void
+StallAccount::registerStats(stats::Group &parent)
+{
+    for (unsigned s = 0; s < numStallStages; ++s) {
+        const auto stage = static_cast<StallStage>(s);
+        for (unsigned r = 0; r < numStallReasons; ++r) {
+            const auto reason = static_cast<StallReason>(r);
+            if (!allowed(stage, reason))
+                continue;
+            std::string desc = std::string(stallStageName(stage)) +
+                               " slot-cycles: " + stallReasonName(reason);
+            stageGroups[s].addScalar(&counters[s][r],
+                                     stallReasonName(reason), desc);
+        }
+        group.addChild(&stageGroups[s]);
+    }
+    parent.addChild(&group);
+}
+
+} // namespace trace
+
+} // namespace direb

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-stage stall attribution for the out-of-order core.
+ *
+ * Every counted cycle, each bandwidth-limited stage (fetch, dispatch,
+ * issue, commit) accounts for ALL of its width: slots that did work are
+ * charged to "busy", and the cycle's leftover slots are charged to exactly
+ * one reason from a closed per-stage set — so for every stage
+ *
+ *     sum(stall.<stage>.*) == core.cycles * <stage width>
+ *
+ * holds by construction (the core folds the per-cycle ledger into the
+ * counters only when a cycle completes, i.e. in lock-step with
+ * core.cycles). This turns the paper's "where did the ALU-attributable
+ * IPC go" question into directly measured counters that reach every
+ * SimResult.stats snapshot and BENCH_*.json report.
+ *
+ * The accounting is pure bookkeeping on values both scheduler
+ * implementations (scan / ready_list) compute identically, so the
+ * bit-identical-statistics contract of test_scheduler_diff extends to the
+ * stall.* group.
+ */
+
+#ifndef DIREB_TRACE_STALL_HH
+#define DIREB_TRACE_STALL_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+/** The bandwidth-limited stages that account for their width. */
+enum class StallStage : std::uint8_t { Fetch, Dispatch, Issue, Commit };
+
+constexpr unsigned numStallStages = 4;
+
+/**
+ * The closed reason set. Each stage registers (and may charge) only its
+ * own subset; Busy is valid everywhere, Unattributed backstops leftover
+ * slots no exit path blamed (asserted zero by test_trace).
+ */
+enum class StallReason : std::uint8_t
+{
+    Busy,         //!< slot did useful work
+    IcacheMiss,   //!< fetch: I-cache miss in flight (fetch-starved)
+    Redirect,     //!< fetch: post-squash bubble / taken-branch group end
+    IfqFull,      //!< fetch: fetch/decode queue full (back pressure)
+    Drained,      //!< fetch+dispatch: HALT seen, front end drained
+    FetchStarved, //!< dispatch: fetch queue empty
+    WindowFull,   //!< dispatch: no free RUU entries
+    LsqFull,      //!< dispatch: no free load/store-queue entries
+    PairAlign,    //!< DIE: odd leftover width cannot hold a full pair
+    Empty,        //!< issue+commit: no in-flight instructions at all
+    OperandWait,  //!< issue: window occupied but nothing operand-ready
+    FuContention, //!< issue: ready instructions denied a functional unit
+    IrbDeferral,  //!< issue: duplicates waiting on the IRB reuse test
+    ExecWait,     //!< commit: head pair not yet executed/completed
+    Rewind,       //!< commit: cycle lost to a checker-triggered rewind
+    Unattributed, //!< leftover no exit path blamed (accounting bug guard)
+    NumReasons,
+};
+
+constexpr unsigned numStallReasons =
+    static_cast<unsigned>(StallReason::NumReasons);
+
+const char *stallStageName(StallStage s);
+const char *stallReasonName(StallReason r);
+
+/**
+ * The per-cycle ledger + cumulative counters. The core calls beginCycle()
+ * at the top of tick(), the stages charge busy()/blame() as they run, and
+ * endCycle() folds the ledger into the stats — called only for cycles
+ * that complete, so the sum invariant tracks core.cycles exactly.
+ */
+class StallAccount
+{
+  public:
+    /** Fix the per-stage widths (fetch, decode, issue, commit). */
+    void init(unsigned fetch_w, unsigned decode_w, unsigned issue_w,
+              unsigned commit_w);
+
+    /** Reset the cycle ledger. */
+    void beginCycle();
+
+    /** Charge @p n slots of this cycle's @p stage width as useful work. */
+    void busy(StallStage stage, unsigned n = 1);
+
+    /**
+     * Attribute this cycle's leftover @p stage slots to @p reason (last
+     * call wins; irrelevant when the stage used its full width).
+     */
+    void blame(StallStage stage, StallReason reason);
+
+    /** Fold the cycle ledger into the counters. */
+    void endCycle();
+
+    /** Register the stall.* groups under @p parent. */
+    void registerStats(stats::Group &parent);
+
+    /** Cumulative count for (@p stage, @p reason). */
+    std::uint64_t
+    value(StallStage stage, StallReason reason) const
+    {
+        return counters[idx(stage)][idx(reason)].value();
+    }
+
+  private:
+    static unsigned idx(StallStage s) { return static_cast<unsigned>(s); }
+    static unsigned idx(StallReason r) { return static_cast<unsigned>(r); }
+    static bool allowed(StallStage s, StallReason r);
+
+    unsigned widths[numStallStages] = {};
+    unsigned busyNow[numStallStages] = {};
+    StallReason blamedNow[numStallStages] = {};
+
+    stats::Scalar counters[numStallStages][numStallReasons];
+    stats::Group group{"stall"};
+    stats::Group stageGroups[numStallStages] = {
+        stats::Group("fetch"),
+        stats::Group("dispatch"),
+        stats::Group("issue"),
+        stats::Group("commit"),
+    };
+};
+
+} // namespace trace
+
+} // namespace direb
+
+#endif // DIREB_TRACE_STALL_HH

@@ -1,0 +1,79 @@
+#include "trace/trace.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Fetch: return "fetch";
+      case Kind::Dispatch: return "dispatch";
+      case Kind::Issue: return "issue";
+      case Kind::Complete: return "complete";
+      case Kind::Commit: return "commit";
+      case Kind::Squash: return "squash";
+      case Kind::Wakeup: return "wakeup";
+      case Kind::FetchStall: return "fetch_stall";
+      case Kind::IrbLookup: return "irb_lookup";
+      case Kind::IrbReuseHit: return "irb_reuse_hit";
+      case Kind::IrbReuseMiss: return "irb_reuse_miss";
+      case Kind::IrbUpdate: return "irb_update";
+      case Kind::IrbVictimSwap: return "irb_victim_swap";
+      case Kind::Recovery: return "recovery";
+      case Kind::FaultDetect: return "fault_detect";
+      case Kind::Rewind: return "rewind";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t limit)
+{
+    fatal_if(limit == 0, "trace.limit must be positive");
+    buf.resize(limit);
+    group.addScalar(&numRecorded, "recorded", "trace events recorded");
+    group.addScalar(&numDropped, "dropped",
+                    "oldest events overwritten by a full ring buffer");
+}
+
+void
+Tracer::recordAt(Cycle at, Kind kind, InstSeq seq, Addr pc, bool dup,
+                 const Inst &inst, std::uint64_t arg)
+{
+    Event &slot = buf[(head + count) % buf.size()];
+    if (count < buf.size()) {
+        ++count;
+    } else {
+        // Ring full: overwrite the oldest event so the trace always
+        // covers the tail of the run, and account for the loss.
+        head = (head + 1) % buf.size();
+        ++numDropped;
+    }
+    slot.cycle = at;
+    slot.seq = seq;
+    slot.pc = pc;
+    slot.arg = arg;
+    slot.inst = inst;
+    slot.kind = kind;
+    slot.dup = dup;
+    ++numRecorded;
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::vector<Event> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(buf[(head + i) % buf.size()]);
+    return out;
+}
+
+} // namespace trace
+
+} // namespace direb

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Pipeline event tracing: a low-overhead per-instruction lifecycle
+ * recorder for the out-of-order core.
+ *
+ * Every pipeline stage, the IRB, the redundancy checker and the scheduler
+ * record typed events into a bounded ring buffer owned by the core. The
+ * recorder is built for a near-zero disabled cost:
+ *
+ *  - off by default (trace.enabled=false): every hook is a single
+ *    null-pointer test behind the DIREB_TRACE macro;
+ *  - compile-to-nothing: building with -DDIREB_TRACING_ENABLED=0 (CMake
+ *    option DIREB_TRACING=OFF) removes the hooks entirely;
+ *  - bounded: the buffer holds trace.limit events (default 2^20). When
+ *    full, the OLDEST event is overwritten (ring semantics) and the drop
+ *    is counted — a trace therefore always covers the run's tail, and
+ *    events_recorded == events_dropped + size() holds at all times.
+ *
+ * Exporters (src/trace/export.hh) render the buffer as a Konata /
+ * gem5-O3PipeView text trace and as Chrome trace_event JSON.
+ */
+
+#ifndef DIREB_TRACE_TRACE_HH
+#define DIREB_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace direb
+{
+
+namespace trace
+{
+
+/** What happened. Per-instruction kinds carry the instruction's seq. */
+enum class Kind : std::uint8_t
+{
+    Fetch,         //!< instruction entered the machine (cycle = fetch)
+    Dispatch,      //!< RUU entry allocated, dataflow linked
+    Issue,         //!< selected and sent to a functional unit
+    Complete,      //!< result available / wakeup broadcast
+    Commit,        //!< retired architecturally
+    Squash,        //!< removed by a recovery or rewind
+    Wakeup,        //!< last outstanding operand arrived
+    FetchStall,    //!< front end blocked on an I-cache miss (arg = latency)
+    IrbLookup,     //!< IRB probed at dispatch (arg bit0 = pcHit, bit1 = drop)
+    IrbReuseHit,   //!< reuse test passed: duplicate bypasses the ALUs
+    IrbReuseMiss,  //!< reuse test failed: duplicate executes normally
+    IrbUpdate,     //!< commit-time IRB insertion/refresh
+    IrbVictimSwap, //!< victim-buffer hit swapped back into the main array
+    Recovery,      //!< branch misprediction recovery (squash + redirect)
+    FaultDetect,   //!< commit checker caught a corrupted pair
+    Rewind,        //!< checker-triggered rewind (arg = replay length)
+};
+
+/** Stable lower-case name for @p k (used by the exporters). */
+const char *kindName(Kind k);
+
+/** One recorded event. seq is invalidSeq for machine-level events. */
+struct Event
+{
+    Cycle cycle = 0;
+    InstSeq seq = invalidSeq;
+    Addr pc = 0;
+    std::uint64_t arg = 0;
+    Inst inst;
+    Kind kind = Kind::Fetch;
+    bool dup = false; //!< duplicate-stream instruction (DIE modes)
+};
+
+/**
+ * Bounded ring-buffer event recorder. One per OooCore, created only when
+ * trace.enabled is set; the core stamps the current cycle via beginCycle()
+ * so recording sites never pass it explicitly.
+ */
+class Tracer
+{
+  public:
+    /** @param limit ring capacity in events (trace.limit, must be > 0). */
+    explicit Tracer(std::size_t limit);
+
+    /** Stamp the cycle all subsequent record() calls are tagged with. */
+    void beginCycle(Cycle now) { now_ = now; }
+
+    /** Record an event at the current cycle. */
+    void
+    record(Kind kind, InstSeq seq, Addr pc, bool dup, const Inst &inst,
+           std::uint64_t arg = 0)
+    {
+        recordAt(now_, kind, seq, pc, dup, inst, arg);
+    }
+
+    /**
+     * Record an event back-dated to cycle @p at (e.g. the fetch cycle of
+     * an instruction only identified — given a seq — at dispatch).
+     */
+    void recordAt(Cycle at, Kind kind, InstSeq seq, Addr pc, bool dup,
+                  const Inst &inst, std::uint64_t arg = 0);
+
+    /** Ring capacity in events. */
+    std::size_t capacity() const { return buf.size(); }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return count; }
+    /** Total events ever recorded. */
+    std::uint64_t recorded() const { return numRecorded.value(); }
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return numDropped.value(); }
+
+    /** The buffered events, oldest first (copies out of the ring). */
+    std::vector<Event> events() const;
+
+    stats::Group &statGroup() { return group; }
+
+  private:
+    std::vector<Event> buf; //!< fixed-size ring storage
+    std::size_t head = 0;   //!< index of the oldest event
+    std::size_t count = 0;  //!< live events
+    Cycle now_ = 0;
+
+    stats::Group group{"trace"};
+    stats::Scalar numRecorded;
+    stats::Scalar numDropped;
+};
+
+} // namespace trace
+
+} // namespace direb
+
+/**
+ * Hook macros: DIREB_TRACE stamps the tracer's current cycle,
+ * DIREB_TRACE_AT back-dates. @p t is a (possibly null) Tracer pointer or
+ * smart pointer; with tracing compiled out both expand to nothing.
+ */
+#ifndef DIREB_TRACING_ENABLED
+#define DIREB_TRACING_ENABLED 1
+#endif
+
+#if DIREB_TRACING_ENABLED
+#define DIREB_TRACE(t, ...)                                                   \
+    do {                                                                      \
+        if (t)                                                                \
+            (t)->record(__VA_ARGS__);                                         \
+    } while (0)
+#define DIREB_TRACE_AT(t, ...)                                                \
+    do {                                                                      \
+        if (t)                                                                \
+            (t)->recordAt(__VA_ARGS__);                                       \
+    } while (0)
+#else
+#define DIREB_TRACE(t, ...)                                                   \
+    do {                                                                      \
+    } while (0)
+#define DIREB_TRACE_AT(t, ...)                                                \
+    do {                                                                      \
+    } while (0)
+#endif
+
+#endif // DIREB_TRACE_TRACE_HH

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the pipeline event-trace subsystem: ring-buffer semantics,
+ * per-instruction lifecycle ordering, stall-attribution accounting
+ * (per stage, sum == cycles x width with nothing unattributed), and the
+ * Konata / Chrome-trace exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "trace/export.hh"
+#include "trace/stall.hh"
+#include "trace/trace.hh"
+
+using namespace direb;
+
+namespace
+{
+
+const char *worker = R"(
+.text
+        li x5, 0
+        li x6, 0
+loop:   addi x5, x5, 1
+        mul x7, x5, x5
+        add x6, x6, x7
+        li x8, 500
+        blt x5, x8, loop
+        putint x6
+        halt
+)";
+
+Config
+tracedConfig(const std::string &mode)
+{
+    Config cfg = harness::baseConfig(mode);
+    cfg.set("trace.enabled", "true");
+    return cfg;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Per-seq cycle of each lifecycle kind, commit-reaching seqs only. */
+struct Lifecycle
+{
+    std::map<trace::Kind, Cycle> at;
+    bool committed = false;
+};
+
+std::map<InstSeq, Lifecycle>
+lifecycles(const trace::Tracer &t)
+{
+    std::map<InstSeq, Lifecycle> out;
+    for (const trace::Event &e : t.events()) {
+        if (e.seq == invalidSeq)
+            continue;
+        Lifecycle &lc = out[e.seq];
+        lc.at[e.kind] = e.cycle;
+        lc.committed |= e.kind == trace::Kind::Commit;
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(TracerRing, OverwritesOldestAndCountsDrops)
+{
+    trace::Tracer t(4);
+    EXPECT_EQ(t.capacity(), 4u);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        t.beginCycle(i);
+        t.record(trace::Kind::Fetch, i + 1, 0x1000 + 4 * i, false, Inst{});
+    }
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    EXPECT_EQ(t.recorded(), t.dropped() + t.size());
+
+    // Oldest-first readout covers the *tail* of the run: seqs 3..6.
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        EXPECT_EQ(evs[i].seq, i + 3);
+        EXPECT_EQ(evs[i].cycle, i + 2);
+    }
+}
+
+TEST(TracerRing, ZeroLimitRejected)
+{
+    EXPECT_THROW(trace::Tracer t(0), FatalError);
+}
+
+TEST(TracerRing, LimitBoundsLiveEventsEndToEnd)
+{
+    Config cfg = tracedConfig("die-irb");
+    cfg.set("trace.limit", "64");
+    const Program prog = assemble(worker, "t"); // core keeps a reference
+    OooCore core(prog, cfg);
+    core.run();
+
+    ASSERT_NE(core.tracer(), nullptr);
+    const trace::Tracer &t = *core.tracer();
+    EXPECT_EQ(t.capacity(), 64u);
+    EXPECT_EQ(t.size(), 64u); // a real run records far more than 64
+    EXPECT_GT(t.dropped(), 0u);
+    EXPECT_EQ(t.recorded(), t.dropped() + t.size());
+}
+
+TEST(TracerRing, DisabledByDefault)
+{
+    const Program prog = assemble(worker, "t");
+    const Config cfg = harness::baseConfig("die-irb");
+    OooCore core(prog, cfg);
+    core.run();
+    EXPECT_EQ(core.tracer(), nullptr);
+    // No trace stats group either.
+    const auto snap = core.statGroup().snapshot();
+    EXPECT_EQ(snap.count("core.trace.recorded"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle event ordering
+// ---------------------------------------------------------------------------
+
+TEST(TraceEvents, LifecycleStagesAreOrdered)
+{
+    const Program prog = assemble(worker, "t");
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        const Config cfg = tracedConfig(mode);
+        OooCore core(prog, cfg);
+        core.run();
+        ASSERT_NE(core.tracer(), nullptr) << mode;
+
+        const auto lcs = lifecycles(*core.tracer());
+        ASSERT_GT(lcs.size(), 100u) << mode;
+
+        unsigned committed = 0;
+        for (const auto &[seq, lc] : lcs) {
+            if (!lc.committed)
+                continue;
+            ++committed;
+            // fetch <= dispatch <= issue <= complete <= commit wherever
+            // the stage was recorded (reuse-hit duplicates skip the FU,
+            // so Issue may be absent for them).
+            Cycle prev = 0;
+            for (const auto kind :
+                 {trace::Kind::Fetch, trace::Kind::Dispatch,
+                  trace::Kind::Issue, trace::Kind::Complete,
+                  trace::Kind::Commit}) {
+                const auto it = lc.at.find(kind);
+                if (it == lc.at.end())
+                    continue;
+                EXPECT_GE(it->second, prev)
+                    << mode << " seq " << seq << " kind "
+                    << trace::kindName(kind);
+                prev = it->second;
+            }
+        }
+        EXPECT_GT(committed, 100u) << mode;
+    }
+}
+
+TEST(TraceEvents, DualStreamsShareNoSeqs)
+{
+    const Program prog = assemble(worker, "t");
+    const Config cfg = tracedConfig("die");
+    OooCore core(prog, cfg);
+    core.run();
+    ASSERT_NE(core.tracer(), nullptr);
+
+    // A seq is either always primary or always duplicate across its
+    // events — the streams get their own RUU entries and seqs.
+    std::map<InstSeq, bool> stream;
+    bool saw_dup = false;
+    for (const trace::Event &e : core.tracer()->events()) {
+        if (e.seq == invalidSeq)
+            continue;
+        const auto it = stream.find(e.seq);
+        if (it == stream.end())
+            stream[e.seq] = e.dup;
+        else
+            EXPECT_EQ(it->second, e.dup) << "seq " << e.seq;
+        saw_dup |= e.dup;
+    }
+    EXPECT_TRUE(saw_dup);
+}
+
+TEST(TraceEvents, IrbEventsAppearInDieIrb)
+{
+    const Program prog = assemble(worker, "t");
+    const Config cfg = tracedConfig("die-irb");
+    OooCore core(prog, cfg);
+    core.run();
+    ASSERT_NE(core.tracer(), nullptr);
+
+    unsigned lookups = 0, hits = 0, misses = 0, updates = 0;
+    for (const trace::Event &e : core.tracer()->events()) {
+        lookups += e.kind == trace::Kind::IrbLookup;
+        hits += e.kind == trace::Kind::IrbReuseHit;
+        misses += e.kind == trace::Kind::IrbReuseMiss;
+        updates += e.kind == trace::Kind::IrbUpdate;
+    }
+    EXPECT_GT(lookups, 0u);
+    EXPECT_GT(hits, 0u);
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(updates, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stall attribution
+// ---------------------------------------------------------------------------
+
+TEST(StallAccountDeathTest, ReasonTablesAreClosed)
+{
+    trace::StallAccount acc;
+    acc.init(8, 8, 8, 8);
+    acc.beginCycle();
+    // A fetch-only reason on the commit stage is an accounting bug.
+    EXPECT_DEATH(acc.blame(trace::StallStage::Commit,
+                           trace::StallReason::IcacheMiss),
+                 "closed set");
+}
+
+TEST(StallAccount, ChargesSumToWidthPerCycle)
+{
+    trace::StallAccount acc;
+    acc.init(4, 4, 4, 4);
+    acc.beginCycle();
+    acc.busy(trace::StallStage::Issue, 3);
+    acc.blame(trace::StallStage::Issue, trace::StallReason::OperandWait);
+    acc.endCycle();
+    EXPECT_EQ(acc.value(trace::StallStage::Issue,
+                        trace::StallReason::Busy), 3u);
+    EXPECT_EQ(acc.value(trace::StallStage::Issue,
+                        trace::StallReason::OperandWait), 1u);
+    // Untouched stages charge their full width to Unattributed.
+    EXPECT_EQ(acc.value(trace::StallStage::Fetch,
+                        trace::StallReason::Unattributed), 4u);
+}
+
+TEST(StallAccount, PerModeTotalsCoverEverySlot)
+{
+    // The headline invariant: for every pipeline stage, the stall ledger
+    // accounts for exactly cycles x width slots, with no cycle left
+    // unattributed — every bubble has a named reason.
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        const auto r =
+            harness::run(assemble(worker, "t"), harness::baseConfig(mode));
+        const double slots = static_cast<double>(r.core.cycles) * 8;
+        for (const char *stage :
+             {"fetch", "dispatch", "issue", "commit"}) {
+            const std::string prefix =
+                std::string("core.stall.") + stage + ".";
+            double sum = 0;
+            for (const auto &[name, value] : r.stats)
+                if (name.compare(0, prefix.size(), prefix) == 0)
+                    sum += value;
+            EXPECT_EQ(sum, slots) << mode << " " << stage;
+            const auto un = r.stats.find(prefix + "unattributed");
+            ASSERT_NE(un, r.stats.end()) << mode << " " << stage;
+            EXPECT_EQ(un->second, 0.0) << mode << " " << stage;
+        }
+    }
+}
+
+TEST(StallAccount, RewindChargedUnderInjection)
+{
+    Config cfg = harness::baseConfig("die");
+    cfg.set("fault.site", "fu");
+    cfg.setDouble("fault.rate", 0.002);
+    cfg.setInt("fault.seed", 7);
+    const auto r = harness::run(assemble(worker, "t"), cfg);
+    EXPECT_GT(r.stat("core.rewinds"), 0.0);
+    EXPECT_GT(r.stat("core.stall.commit.rewind"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, KonataAndChromeFilesAreWellFormed)
+{
+    Config cfg = tracedConfig("die-irb");
+    cfg.set("trace.path", "test_trace_out.trace");
+    const auto r = harness::run(assemble(worker, "t"), cfg);
+    EXPECT_GT(r.core.archInsts, 0u);
+
+    const std::string konata = slurp("test_trace_out.trace");
+    EXPECT_EQ(konata.rfind("O3PipeView:fetch:", 0), 0u);
+    EXPECT_NE(konata.find(":retire:"), std::string::npos);
+    EXPECT_NE(konata.find("(dup)"), std::string::npos);
+
+    const harness::Json chrome =
+        harness::Json::parse(slurp("test_trace_out.trace.json"));
+    const harness::Json *events = chrome.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_GT(events->size(), 0u);
+    // Spot-check shape: every event has a phase and a name.
+    for (std::size_t i = 0; i < std::min<std::size_t>(events->size(), 50);
+         ++i) {
+        const harness::Json &e = events->at(i);
+        EXPECT_NE(e.find("ph"), nullptr);
+        EXPECT_NE(e.find("name"), nullptr);
+    }
+
+    std::remove("test_trace_out.trace");
+    std::remove("test_trace_out.trace.json");
+}
+
+TEST(TraceExport, FormatSelectsExporters)
+{
+    Config cfg = tracedConfig("die-irb");
+    cfg.set("trace.path", "test_trace_only.json");
+    cfg.set("trace.format", "chrome");
+    harness::run(assemble(worker, "t"), cfg);
+    const harness::Json chrome =
+        harness::Json::parse(slurp("test_trace_only.json"));
+    EXPECT_NE(chrome.find("traceEvents"), nullptr);
+    std::remove("test_trace_only.json");
+}

@@ -15,6 +15,9 @@
  *   -d              dump the full statistics block
  *   -g              golden-check against the functional VM
  *   -q              quiet (suppress warn/inform)
+ *   --trace[=file]  record a pipeline trace; writes <file> (Konata /
+ *                   O3PipeView text) and <file>.json (Chrome trace_event)
+ *   --stats-json <file>  dump the flattened statistics snapshot as JSON
  *
  * Any trailing key=value pairs override machine configuration, e.g.
  *   dieirb-sim -w compress -m die-irb -d irb.entries=2048 fu.intalu=2
@@ -30,6 +33,7 @@
 
 #include "asm/assembler.hh"
 #include "common/logging.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "workloads/workloads.hh"
 
@@ -51,7 +55,11 @@ usage(const char *argv0)
                  "  -s <scale>  workload scale factor\n"
                  "  -d          dump full statistics\n"
                  "  -g          golden-check against the functional VM\n"
-                 "  -q          quiet\n",
+                 "  -q          quiet\n"
+                 "  --trace[=file]       record a pipeline trace "
+                 "(Konata text + Chrome JSON)\n"
+                 "  --stats-json <file>  dump the statistics snapshot as "
+                 "JSON\n",
                  argv0);
 }
 
@@ -78,6 +86,9 @@ main(int argc, char **argv)
     unsigned scale = 1;
     bool dump_stats = false;
     bool golden = false;
+    bool trace = false;
+    std::string trace_path;
+    std::string stats_json;
     std::vector<std::string> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -112,6 +123,13 @@ main(int argc, char **argv)
         } else if (a == "-h" || a == "--help") {
             usage(argv[0]);
             return 0;
+        } else if (a == "--trace") {
+            trace = true;
+        } else if (a.rfind("--trace=", 0) == 0) {
+            trace = true;
+            trace_path = a.substr(std::strlen("--trace="));
+        } else if (a == "--stats-json") {
+            stats_json = next();
         } else if (a.find('=') != std::string::npos) {
             overrides.push_back(a);
         } else if (file.empty() && workload.empty()) {
@@ -129,7 +147,14 @@ main(int argc, char **argv)
 
     try {
         Config cfg = harness::baseConfig(mode);
-        cfg.parseAll(overrides);
+        if (trace) {
+            if (trace_path.empty())
+                trace_path =
+                    (!workload.empty() ? workload : file) + ".trace";
+            cfg.set("trace.enabled", "true");
+            cfg.set("trace.path", trace_path);
+        }
+        cfg.parseAll(overrides); // key=value may still override trace.*
 
         const Program prog = !workload.empty()
             ? workloads::build(workload, scale)
@@ -166,8 +191,29 @@ main(int argc, char **argv)
         std::printf("IPC        : %.4f\n", r.core.ipc);
         if (!r.output.empty())
             std::printf("output     : %s", r.output.c_str());
+        if (trace)
+            std::printf("trace      : %s (+ %s.json)\n",
+                        trace_path.c_str(), trace_path.c_str());
         if (dump_stats)
             std::printf("\n%s", r.statsText.c_str());
+
+        if (!stats_json.empty()) {
+            harness::Json root = harness::Json::object();
+            root.set("program", prog.name);
+            root.set("mode", mode);
+            root.set("stop",
+                     r.core.stop == StopReason::Halted    ? "halt"
+                     : r.core.stop == StopReason::BadPc   ? "bad pc"
+                                                          : "inst limit");
+            root.set("arch_insts", r.core.archInsts);
+            root.set("cycles", static_cast<std::uint64_t>(r.core.cycles));
+            root.set("ipc", r.core.ipc);
+            harness::Json stats = harness::Json::object();
+            for (const auto &[name, value] : r.stats)
+                stats.set(name, value);
+            root.set("stats", std::move(stats));
+            harness::writeJsonReport(stats_json, root);
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());
