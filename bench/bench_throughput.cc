@@ -14,10 +14,16 @@
  *     must be bit-identical; the speedup should scale with cores and is
  *     gated at >= 2x when at least 4 hardware threads are available.
  *
+ *  3. Construction overhead: the same serial matrix with core pooling
+ *     off (one OooCore built per point) vs on (cores rebound via
+ *     reset()). Results must be bit-identical; pooling must at least
+ *     roughly match fresh construction (>= 0.9x, simulation dominates).
+ *
  * Emits BENCH_throughput.json (path overridable as argv[1]).
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -269,6 +275,44 @@ main(int argc, char **argv)
                 sweep_speedup, hw);
     std::printf("results bit-identical: yes (cycles, insts, all stats)\n");
 
+    // ---- core pooling: per-point construction vs reset() reuse ----
+    harness::banner(
+        "Core pool — fresh construction vs reset() reuse (jobs=1)",
+        "OooCore::reset() rebinds an existing core bit-identically, so a "
+        "pooled sweep pays construction once instead of per point; it "
+        "must at least match fresh construction (simulation dominates)");
+
+    harness::Sweep fresh_sweep = figure7Sweep(1);
+    fresh_sweep.setPooling(false);
+    harness::Sweep pooled_sweep = figure7Sweep(1);
+
+    std::vector<harness::SweepResult> fresh, pooled;
+    const double fresh_s = timedRun(fresh_sweep, fresh);
+    const double pooled_s = timedRun(pooled_sweep, pooled);
+
+    fatal_if(fresh.size() != pooled.size(), "pool sweep size mismatch");
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        const harness::SimResult &a = harness::requireOk(fresh[i]);
+        const harness::SimResult &b = harness::requireOk(pooled[i]);
+        fatal_if(a.core.cycles != b.core.cycles ||
+                     a.core.archInsts != b.core.archInsts ||
+                     a.stats != b.stats || a.statsText != b.statsText,
+                 "pooled sweep diverged on %s", fresh[i].name.c_str());
+    }
+
+    const double pool_speedup = fresh_s / pooled_s;
+    const std::uint64_t pool_ctor = pooled_sweep.pool().constructions();
+    const std::uint64_t pool_reuse = pooled_sweep.pool().reuses();
+    std::printf("fresh  (ctor/point): %.2fs\n", fresh_s);
+    std::printf("pooled (reset)     : %.2fs (%llu constructions, "
+                "%llu reuses)\n",
+                pooled_s, static_cast<unsigned long long>(pool_ctor),
+                static_cast<unsigned long long>(pool_reuse));
+    std::printf("pooling speedup    : %.3fx (acceptance: >= 0.9x)\n",
+                pool_speedup);
+    std::printf("results bit-identical: yes (cycles, insts, all stats, "
+                "stats text)\n");
+
     Json root = Json::object();
     root.set("bench", "simulator_throughput");
     root.set("mode", "die-irb");
@@ -289,6 +333,15 @@ main(int argc, char **argv)
                  .set("hardware_threads", hw)
                  .set("speedup", sweep_speedup)
                  .set("bit_identical", true));
+    root.set("core_pool",
+             Json::object()
+                 .set("points", fresh.size())
+                 .set("fresh_seconds", fresh_s)
+                 .set("pooled_seconds", pooled_s)
+                 .set("speedup", pool_speedup)
+                 .set("constructions", pool_ctor)
+                 .set("reuses", pool_reuse)
+                 .set("bit_identical", true));
     harness::writeJsonReport(json_path, root);
     std::printf("wrote %s\n", json_path.c_str());
 
@@ -303,6 +356,14 @@ main(int argc, char **argv)
         std::printf("FAIL: geomean cycles/sec fell to %.4fx of baseline "
                     "(trace hooks must cost < 2%%)\n",
                     base_ratio);
+        return 1;
+    }
+    // Lenient: pooling must not *cost* anything material; on a loaded
+    // host the two timings can jitter a few percent either way.
+    if (pool_speedup < 0.9) {
+        std::printf("FAIL: pooled sweep %.3fx slower than fresh "
+                    "construction\n",
+                    pool_speedup);
         return 1;
     }
     return geo >= 2.0 ? 0 : 1;

@@ -199,15 +199,22 @@ Ras::top() const
 // ---------------------------------------------------------------------------
 
 BranchPredictor::BranchPredictor(const Config &config)
-    : btb(config.getUint("bp.btb_entries", 2048)),
-      ras(config.getUint("bp.ras_entries", 16))
+    : btb(config.getUint("bp.btb_entries", 2048,
+                         "branch target buffer entries")),
+      ras(config.getUint("bp.ras_entries", 16,
+                         "return address stack depth"))
 {
-    const std::string kind = config.getString("bp.kind", "tournament");
-    const std::size_t bim = config.getUint("bp.bimodal_entries", 2048);
-    const std::size_t gsh = config.getUint("bp.gshare_entries", 4096);
-    const unsigned hist =
-        static_cast<unsigned>(config.getUint("bp.history_bits", 12));
-    const std::size_t cho = config.getUint("bp.chooser_entries", 4096);
+    const std::string kind = config.getString(
+        "bp.kind", "tournament",
+        "direction predictor: bimodal, gshare or tournament");
+    const std::size_t bim = config.getUint(
+        "bp.bimodal_entries", 2048, "bimodal predictor table entries");
+    const std::size_t gsh = config.getUint(
+        "bp.gshare_entries", 4096, "gshare predictor table entries");
+    const unsigned hist = static_cast<unsigned>(config.getUint(
+        "bp.history_bits", 12, "global branch history length in bits"));
+    const std::size_t cho = config.getUint(
+        "bp.chooser_entries", 4096, "tournament chooser table entries");
 
     if (kind == "bimodal")
         dir = std::make_unique<BimodalPredictor>(bim);

@@ -1,11 +1,65 @@
 #include "common/config.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace direb
 {
+
+namespace
+{
+
+/**
+ * Process-wide registry of every key any getter has seen. Function-local
+ * static so registration from component constructors running before main
+ * is safe; mutex-guarded because sweeps construct cores concurrently.
+ */
+struct KeyRegistry
+{
+    std::mutex mutex;
+    std::map<std::string, ConfigKeyInfo> keys;
+};
+
+KeyRegistry &
+keyRegistry()
+{
+    static KeyRegistry r;
+    return r;
+}
+
+} // namespace
+
+void
+Config::registerKey(const std::string &key, const char *type,
+                    std::string def, const char *desc)
+{
+    KeyRegistry &r = keyRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto [it, inserted] = r.keys.try_emplace(key);
+    ConfigKeyInfo &info = it->second;
+    if (inserted) {
+        info.key = key;
+        info.type = type;
+        info.def = std::move(def);
+    }
+    // First documented call site wins; undescribed reads never erase it.
+    if (info.desc.empty() && desc != nullptr)
+        info.desc = desc;
+}
+
+std::vector<ConfigKeyInfo>
+Config::registeredKeys()
+{
+    KeyRegistry &r = keyRegistry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<ConfigKeyInfo> out;
+    out.reserve(r.keys.size());
+    for (const auto &[k, info] : r.keys)
+        out.push_back(info);
+    return out;
+}
 
 Config::Config(const Config &other)
 {
@@ -74,7 +128,7 @@ Config::parseAll(const std::vector<std::string> &assignments)
 }
 
 std::int64_t
-Config::getInt(const std::string &key, std::int64_t def) const
+Config::intValue(const std::string &key, std::int64_t def) const
 {
     noteConsumed(key);
     const auto it = values.find(key);
@@ -88,18 +142,31 @@ Config::getInt(const std::string &key, std::int64_t def) const
     return v;
 }
 
-std::uint64_t
-Config::getUint(const std::string &key, std::uint64_t def) const
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def,
+               const char *desc) const
 {
-    const std::int64_t v =
-        getInt(key, static_cast<std::int64_t>(def));
+    registerKey(key, "int", std::to_string(def), desc);
+    return intValue(key, def);
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def,
+                const char *desc) const
+{
+    registerKey(key, "uint", std::to_string(def), desc);
+    const std::int64_t v = intValue(key, static_cast<std::int64_t>(def));
     fatal_if(v < 0, "config: key '%s' must be non-negative", key.c_str());
     return static_cast<std::uint64_t>(v);
 }
 
 double
-Config::getDouble(const std::string &key, double def) const
+Config::getDouble(const std::string &key, double def,
+                  const char *desc) const
 {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", def);
+    registerKey(key, "double", buf, desc);
     noteConsumed(key);
     const auto it = values.find(key);
     if (it == values.end())
@@ -113,8 +180,9 @@ Config::getDouble(const std::string &key, double def) const
 }
 
 bool
-Config::getBool(const std::string &key, bool def) const
+Config::getBool(const std::string &key, bool def, const char *desc) const
 {
+    registerKey(key, "bool", def ? "true" : "false", desc);
     noteConsumed(key);
     const auto it = values.find(key);
     if (it == values.end())
@@ -129,8 +197,10 @@ Config::getBool(const std::string &key, bool def) const
 }
 
 std::string
-Config::getString(const std::string &key, const std::string &def) const
+Config::getString(const std::string &key, const std::string &def,
+                  const char *desc) const
 {
+    registerKey(key, "string", def, desc);
     noteConsumed(key);
     const auto it = values.find(key);
     return it == values.end() ? def : it->second;

@@ -22,6 +22,21 @@ namespace direb
 {
 
 /**
+ * One recognized configuration key: its name, value type, default (as the
+ * string a user would write) and a one-line description. Collected in a
+ * process-wide registry the first time any Config getter reads the key, so
+ * tooling (dieirb-sim --list-config) can enumerate every key the code
+ * actually recognizes without a hand-maintained list.
+ */
+struct ConfigKeyInfo
+{
+    std::string key;
+    std::string type; //!< "int", "uint", "double", "bool" or "string"
+    std::string def;  //!< default value, rendered as an override string
+    std::string desc; //!< one-line description (may be empty)
+};
+
+/**
  * String-backed typed configuration. Values are stored as strings and
  * converted on access; the first get() with a default registers the key.
  *
@@ -51,13 +66,31 @@ class Config
     /** Parse many "key=value" strings (e.g. argv tail). */
     void parseAll(const std::vector<std::string> &assignments);
 
-    /** Typed getters: return the override if present, else @p def. */
-    std::int64_t getInt(const std::string &key, std::int64_t def) const;
-    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
-    double getDouble(const std::string &key, double def) const;
-    bool getBool(const std::string &key, bool def) const;
-    std::string getString(const std::string &key,
-                          const std::string &def) const;
+    /**
+     * Typed getters: return the override if present, else @p def. The
+     * optional @p desc is recorded in the process-wide key registry (first
+     * non-null wins) and is purely documentation — it never affects the
+     * returned value.
+     * @{
+     */
+    std::int64_t getInt(const std::string &key, std::int64_t def,
+                        const char *desc = nullptr) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def,
+                          const char *desc = nullptr) const;
+    double getDouble(const std::string &key, double def,
+                     const char *desc = nullptr) const;
+    bool getBool(const std::string &key, bool def,
+                 const char *desc = nullptr) const;
+    std::string getString(const std::string &key, const std::string &def,
+                          const char *desc = nullptr) const;
+    /** @} */
+
+    /**
+     * Every key any getter has seen so far in this process, sorted by
+     * name. Construct the components of interest first (e.g. run a tiny
+     * simulation) so their getters populate the registry.
+     */
+    static std::vector<ConfigKeyInfo> registeredKeys();
 
     /** True if the key has an explicit override. */
     bool has(const std::string &key) const;
@@ -73,6 +106,9 @@ class Config
 
   private:
     void noteConsumed(const std::string &key) const;
+    static void registerKey(const std::string &key, const char *type,
+                            std::string def, const char *desc);
+    std::int64_t intValue(const std::string &key, std::int64_t def) const;
 
     std::map<std::string, std::string> values;
     /** Keys read so far; guarded by consumedMutex (getters are const). */

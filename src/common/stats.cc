@@ -83,6 +83,20 @@ Group::addChild(Group *child)
 }
 
 void
+Group::removeChild(Group *child)
+{
+    panic_if(child == nullptr, "null child stat group");
+    for (auto it = children.begin(); it != children.end(); ++it) {
+        if (*it == child) {
+            children.erase(it);
+            return;
+        }
+    }
+    panic("removeChild: group '%s' is not a child of '%s'",
+          child->groupName().c_str(), name.c_str());
+}
+
+void
 Group::reset()
 {
     for (auto &s : scalars)

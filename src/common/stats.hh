@@ -138,6 +138,14 @@ class Group
     /** Attach a child group whose stats appear prefixed under this one. */
     void addChild(Group *child);
 
+    /**
+     * Detach a previously attached child group (panics if absent).
+     * Needed by resettable owners that destroy and re-create components:
+     * the stale child pointer must leave before the replacement re-attaches
+     * in the original position-preserving order.
+     */
+    void removeChild(Group *child);
+
     /** Reset every registered statistic (recursively). */
     void reset();
 

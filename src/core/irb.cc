@@ -8,26 +8,36 @@ namespace direb
 
 Irb::Irb(const Config &config)
 {
-    const std::size_t total = config.getUint("irb.entries", 1024);
-    assoc = static_cast<unsigned>(config.getUint("irb.assoc", 1));
+    const std::size_t total = config.getUint(
+        "irb.entries", 1024, "instruction reuse buffer entries");
+    assoc = static_cast<unsigned>(
+        config.getUint("irb.assoc", 1, "IRB set associativity"));
     fatal_if(assoc == 0, "irb.assoc must be positive");
     fatal_if(total % assoc != 0, "irb.entries must be divisible by assoc");
     sets = total / assoc;
     fatal_if(!isPowerOf2(sets), "irb set count must be a power of two");
     entries.resize(total);
 
-    readPorts = static_cast<unsigned>(config.getUint("irb.read_ports", 4));
-    writePorts = static_cast<unsigned>(config.getUint("irb.write_ports", 2));
-    rwPorts = static_cast<unsigned>(config.getUint("irb.rw_ports", 2));
-    pipeDepth = config.getUint("irb.pipeline_depth", 3);
+    readPorts = static_cast<unsigned>(config.getUint(
+        "irb.read_ports", 4, "IRB dedicated read (lookup) ports"));
+    writePorts = static_cast<unsigned>(config.getUint(
+        "irb.write_ports", 2, "IRB dedicated write (update) ports"));
+    rwPorts = static_cast<unsigned>(config.getUint(
+        "irb.rw_ports", 2, "IRB shared read/write ports"));
+    pipeDepth = config.getUint(
+        "irb.pipeline_depth", 3,
+        "IRB access pipeline depth (port hold time in cycles)");
 
-    const unsigned ctr_bits =
-        static_cast<unsigned>(config.getUint("irb.ctr_bits", 2));
+    const unsigned ctr_bits = static_cast<unsigned>(config.getUint(
+        "irb.ctr_bits", 2,
+        "reuse-confidence counter bits (0 disables filtering)"));
     fatal_if(ctr_bits > 8, "irb.ctr_bits out of range");
     ctrEnabled = ctr_bits > 0;
     ctrMax = ctrEnabled ? static_cast<std::uint8_t>((1u << ctr_bits) - 1) : 0;
 
-    const std::size_t victims = config.getUint("irb.victim_entries", 0);
+    const std::size_t victims = config.getUint(
+        "irb.victim_entries", 0,
+        "victim buffer entries behind the IRB (0 = none)");
     victimBuf.resize(victims);
 
     beginCycle();

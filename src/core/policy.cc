@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Redundancy-policy implementations: mode names, the DIE-IRB reuse-buffer
+ * hooks, and the policy factory.
+ */
+
+#include "core/policy.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+ExecMode
+execModeFromName(const std::string &name)
+{
+    if (name == "sie")
+        return ExecMode::Sie;
+    if (name == "die")
+        return ExecMode::Die;
+    if (name == "die-irb" || name == "dieirb")
+        return ExecMode::DieIrb;
+    fatal("unknown execution mode '%s'", name.c_str());
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Sie: return "sie";
+      case ExecMode::Die: return "die";
+      case ExecMode::DieIrb: return "die-irb";
+    }
+    return "?";
+}
+
+DieIrbPolicy::DieIrbPolicy(const Config &config, bool dup_own_dataflow)
+    : RedundancyPolicy(ExecMode::DieIrb),
+      irb_(std::make_unique<Irb>(config)),
+      dupOwnDataflow_(dup_own_dataflow)
+{
+}
+
+void
+DieIrbPolicy::registerStats(stats::Group &parent)
+{
+    parent.addChild(&irb_->statGroup());
+}
+
+void
+DieIrbPolicy::unregisterStats(stats::Group &parent)
+{
+    parent.removeChild(&irb_->statGroup());
+}
+
+void
+DieIrbPolicy::prepareDuplicate(RuuEntry &dup, Cycle now,
+                               trace::Tracer *tracer)
+{
+    // The 3-stage pipelined lookup (Figure 3) starts at fetch and is
+    // complete by the time the instruction reaches the issue window; it
+    // is port-arbitrated here, at window entry, which paces lookups at
+    // the DIE dispatch rate (<= width/2 per cycle) — the basis of the
+    // paper's 4R/2W/2RW sufficiency argument. The result becomes usable
+    // one cycle later, i.e. at the duplicate's first issue opportunity.
+    // Loads/stores participate for address generation only; outputs and
+    // NOP/HALT produce nothing worth reusing.
+    const bool eligible =
+        dup.cls != OpClass::Nop && !isOutput(dup.inst.op);
+    if (!eligible)
+        return;
+    dup.irb = irb_->lookup(dup.pc);
+    dup.irbReadyAt = now + 1;
+    dup.irbCandidate = dup.irb.pcHit;
+    DIREB_TRACE(tracer, trace::Kind::IrbLookup, dup.seq, dup.pc, true,
+                dup.inst,
+                (dup.irb.pcHit ? 1u : 0u) | (dup.irb.portDrop ? 2u : 0u));
+}
+
+void
+DieIrbPolicy::onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+                              FaultInjector &injector,
+                              trace::Tracer *tracer)
+{
+    // Commit-time IRB update (paper §3.2: off the critical path, through
+    // the write/rw ports). A reuse hit needs no rewrite — the stored
+    // tuple is bit-identical already.
+    if (dup.cls != OpClass::Nop && !isOutput(dup.inst.op) &&
+        !dup.reuseHit) {
+        const bool wrote =
+            irb_->update(head.pc, head.outcome.op1Val, head.outcome.op2Val,
+                         head.outcome.result);
+        DIREB_TRACE(tracer, trace::Kind::IrbUpdate, head.seq, head.pc,
+                    false, head.inst, wrote ? 1 : 0);
+    }
+    // Fault site "irb": a transient strikes a random live entry; it is
+    // caught when (and only when) a duplicate later reuses it.
+    if (injector.site() == FaultSite::Irb && injector.strike()) {
+        irb_->corruptRandomEntry(injector.randomValue(),
+                                 injector.bitToFlip());
+    }
+}
+
+std::unique_ptr<RedundancyPolicy>
+makeRedundancyPolicy(ExecMode mode, bool dup_own_dataflow,
+                     const Config &config)
+{
+    switch (mode) {
+      case ExecMode::Sie:
+        return std::make_unique<SiePolicy>();
+      case ExecMode::Die:
+        return std::make_unique<DiePolicy>();
+      case ExecMode::DieIrb:
+        return std::make_unique<DieIrbPolicy>(config, dup_own_dataflow);
+    }
+    fatal("unreachable execution mode");
+}
+
+} // namespace direb

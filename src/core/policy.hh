@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Redundancy policies — the strategy objects that concentrate everything
+ * mode-specific about the paper's three execution modes (SIE / DIE /
+ * DIE-IRB) so the pipeline-stage code contains no mode branches at all:
+ *
+ *  - whether dispatch duplicates each instruction into two adjacent RUU
+ *    entries, and whether the duplicate stream has its own dataflow
+ *    (createVec[1]) or is fed by primary-stream producers;
+ *  - the dispatch-time IRB lookup for duplicate-stream instructions
+ *    (prepareDuplicate), the commit-time IRB update + the IRB fault-site
+ *    strike (onPairCommitted), and the IRB invalidation after a failed
+ *    pair check (onCheckFailed);
+ *  - whether the forwarding bus is shared by both streams, which decides
+ *    if a FwdBoth fault corrupts both copies identically (§3.4).
+ *
+ * Adding a new redundancy scheme (e.g. clustered-ineffectuality DIE or
+ * TMR-style triple execution) means adding a policy subclass, not another
+ * copy of the pipeline.
+ */
+
+#ifndef DIREB_CORE_POLICY_HH
+#define DIREB_CORE_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/irb.hh"
+#include "core/redundancy.hh"
+#include "cpu/pipeline_state.hh"
+#include "trace/trace.hh"
+
+namespace direb
+{
+
+/** Redundancy mode of the core. */
+enum class ExecMode : std::uint8_t { Sie, Die, DieIrb };
+
+/** Parse "sie" / "die" / "die-irb". */
+ExecMode execModeFromName(const std::string &name);
+const char *execModeName(ExecMode mode);
+
+/**
+ * Mode-specific behaviour of the core, owned by the OooCore and consulted
+ * by the stage components through the CoreContext. Policies own the
+ * mode-private hardware (the IRB, for DIE-IRB) and attach its statistics
+ * under the core's group via registerStats()/unregisterStats().
+ */
+class RedundancyPolicy
+{
+  public:
+    virtual ~RedundancyPolicy() = default;
+
+    ExecMode mode() const { return mode_; }
+
+    /** RUU entries one architectural instruction occupies (1 or 2). */
+    unsigned unitsPerInst() const { return duplicates() ? 2 : 1; }
+
+    /** Dispatch allocates a duplicate entry per instruction. */
+    virtual bool duplicates() const = 0;
+
+    /**
+     * The duplicate stream has independent dataflow: duplicates link
+     * their sources through createVec[1] and register as stream-1
+     * producers. When false, duplicates are fed by primary producers.
+     */
+    virtual bool dupOwnDataflow() const = 0;
+
+    /**
+     * Both streams receive forwarded results over one shared bus, so a
+     * FwdBoth fault corrupts both copies identically (undetectable).
+     */
+    virtual bool sharedForwardingBus() const = 0;
+
+    /** The reuse buffer, or nullptr for modes without one. */
+    virtual Irb *irb() { return nullptr; }
+
+    /** Per-cycle housekeeping (IRB port budgets). */
+    virtual void beginCycle() {}
+
+    /** Attach the owning core's event tracer (may be null). */
+    virtual void setTracer(trace::Tracer *) {}
+
+    /** Attach / detach mode-private stat groups under @p parent. @{ */
+    virtual void registerStats(stats::Group &parent) { (void)parent; }
+    virtual void unregisterStats(stats::Group &parent) { (void)parent; }
+    /** @} */
+
+    /**
+     * Dispatch-time hook on the freshly allocated duplicate entry (the
+     * DIE-IRB lookup that arms the wakeup-time reuse test).
+     */
+    virtual void
+    prepareDuplicate(RuuEntry &dup, Cycle now, trace::Tracer *tracer)
+    {
+        (void)dup;
+        (void)now;
+        (void)tracer;
+    }
+
+    /**
+     * A pair passed the commit check and is retiring: perform the
+     * commit-time reuse-buffer update and the IRB fault-site strike.
+     */
+    virtual void
+    onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+                    FaultInjector &injector, trace::Tracer *tracer)
+    {
+        (void)head;
+        (void)dup;
+        (void)injector;
+        (void)tracer;
+    }
+
+    /** The commit check failed for the pair at @p pc (pre-rewind). */
+    virtual void onCheckFailed(Addr pc) { (void)pc; }
+
+  protected:
+    explicit RedundancyPolicy(ExecMode m) : mode_(m) {}
+
+  private:
+    ExecMode mode_;
+};
+
+/** SIE: the plain superscalar baseline — one entry, no checking. */
+class SiePolicy final : public RedundancyPolicy
+{
+  public:
+    SiePolicy() : RedundancyPolicy(ExecMode::Sie) {}
+    bool duplicates() const override { return false; }
+    bool dupOwnDataflow() const override { return false; }
+    bool sharedForwardingBus() const override { return false; }
+};
+
+/** DIE: duplicate at dispatch, independent per-stream dataflow. */
+class DiePolicy final : public RedundancyPolicy
+{
+  public:
+    DiePolicy() : RedundancyPolicy(ExecMode::Die) {}
+    bool duplicates() const override { return true; }
+    bool dupOwnDataflow() const override { return true; }
+    bool sharedForwardingBus() const override { return false; }
+};
+
+/**
+ * DIE-IRB: primary-fed duplicates (unless the dup_own_dataflow ablation
+ * keeps the streams independent), a reuse buffer probed at dispatch with
+ * the reuse test folded into wakeup, commit-time IRB updates, and a
+ * forwarding bus shared by both streams.
+ */
+class DieIrbPolicy final : public RedundancyPolicy
+{
+  public:
+    DieIrbPolicy(const Config &config, bool dup_own_dataflow);
+
+    bool duplicates() const override { return true; }
+    bool dupOwnDataflow() const override { return dupOwnDataflow_; }
+    bool sharedForwardingBus() const override { return true; }
+    Irb *irb() override { return irb_.get(); }
+
+    void beginCycle() override { irb_->beginCycle(); }
+    void setTracer(trace::Tracer *t) override { irb_->setTracer(t); }
+    void registerStats(stats::Group &parent) override;
+    void unregisterStats(stats::Group &parent) override;
+
+    void prepareDuplicate(RuuEntry &dup, Cycle now,
+                          trace::Tracer *tracer) override;
+    void onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+                         FaultInjector &injector,
+                         trace::Tracer *tracer) override;
+    void onCheckFailed(Addr pc) override { irb_->invalidate(pc); }
+
+  private:
+    std::unique_ptr<Irb> irb_;
+    bool dupOwnDataflow_;
+};
+
+/** Build the policy for @p mode (DIE-IRB constructs its Irb from config). */
+std::unique_ptr<RedundancyPolicy>
+makeRedundancyPolicy(ExecMode mode, bool dup_own_dataflow,
+                     const Config &config);
+
+} // namespace direb
+
+#endif // DIREB_CORE_POLICY_HH

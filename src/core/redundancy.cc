@@ -35,9 +35,13 @@ faultSiteName(FaultSite site)
 }
 
 FaultInjector::FaultInjector(const Config &config)
-    : site_(faultSiteFromName(config.getString("fault.site", "none"))),
-      rate(config.getDouble("fault.rate", 0.0)),
-      rng(config.getUint("fault.seed", 1))
+    : site_(faultSiteFromName(config.getString(
+          "fault.site", "none",
+          "fault-injection site: none, fu, fwd_one, fwd_both or irb"))),
+      rate(config.getDouble("fault.rate", 0.0,
+                            "per-opportunity fault probability [0,1]")),
+      rng(config.getUint("fault.seed", 1,
+                         "fault-injection random seed"))
 {
     fatal_if(rate < 0.0 || rate > 1.0, "fault.rate must be in [0,1]");
 

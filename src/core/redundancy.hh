@@ -115,6 +115,13 @@ class Checker
     std::uint64_t checks() const { return numChecks.value(); }
     std::uint64_t mismatches() const { return numMismatches.value(); }
 
+    /**
+     * The checker's stat group. registerStats() both fills it and parents
+     * it; a resettable owner re-attaches this group on later configures
+     * instead of re-registering the scalars.
+     */
+    stats::Group &statGroup() { return group; }
+
     void
     registerStats(stats::Group &parent)
     {

@@ -2,45 +2,45 @@
  * @file
  * Commit stage: in-order retirement, the DIE "Check & Retire" pair
  * comparison, branch-predictor training, store performance at commit,
- * commit-time IRB updates (through the IRB's write ports), and the
- * checker-triggered instruction rewind.
+ * the policy's commit-time hooks (IRB updates through the IRB's write
+ * ports), and the checker-triggered instruction rewind.
  */
 
 #include "common/logging.hh"
-#include "cpu/ooo_core.hh"
+#include "cpu/scheduler.hh"
+#include "cpu/stages.hh"
 
 namespace direb
 {
 
 void
-OooCore::retireEntry(RuuEntry &e)
+CommitStage::retireEntry(CoreContext &cx, RuuEntry &e)
 {
     panic_if(e.wrongPath, "retiring a wrong-path entry (pc %#llx)",
              static_cast<unsigned long long>(e.pc));
 
     if (isControl(e.inst.op))
-        bp->update(e.pc, e.inst, e.outcome.taken, e.outcome.target);
+        cx.bp->update(e.pc, e.inst, e.outcome.taken, e.outcome.target);
 
     if (isStore(e.inst.op)) {
         // The store performs its single (primary) cache access at commit.
-        fus->tryMemPort(now); // consume a port if one is free
-        memHier->dataAccess(e.outcome.effAddr, true);
-        // A retired store leaves the RUU and must stop forwarding to
-        // younger loads (the scan only ever sees in-flight entries).
-        if (p.readyListScheduler && !e.isDup)
-            dropStoreIndex(e);
+        cx.fus->tryMemPort(cx.st->now); // consume a port if one is free
+        cx.memHier->dataAccess(e.outcome.effAddr, true);
+        cx.sched->onRetiredStore(e);
     }
 
     if (e.holdsLsqSlot) {
-        panic_if(lsqUsed == 0, "LSQ accounting underflow at commit");
-        --lsqUsed;
+        panic_if(cx.st->lsqUsed == 0, "LSQ accounting underflow at commit");
+        --cx.st->lsqUsed;
     }
 }
 
 void
-OooCore::faultRewind(std::size_t pair_offset)
+CommitStage::faultRewind(CoreContext &cx, std::size_t pair_offset)
 {
     panic_if(pair_offset != 0, "rewind only defined at the RUU head");
+
+    PipelineState &st = *cx.st;
 
     // Rebuild the replay stream in strict program order: first the
     // correct-path RUU contents (the faulting pair included), then any
@@ -49,9 +49,9 @@ OooCore::faultRewind(std::size_t pair_offset)
     // youngest history checkpoint so the speculative global history can
     // be repaired past everything being replayed.
     std::deque<ReplayRecord> records;
-    std::uint64_t rewind_hist = bp->committedHistory();
-    for (std::size_t off = 0; off < ruuCount; ++off) {
-        RuuEntry &e = entryAt(off);
+    std::uint64_t rewind_hist = cx.bp->committedHistory();
+    for (std::size_t off = 0; off < st.ruuCount; ++off) {
+        RuuEntry &e = st.entryAt(off);
         if (e.wrongPath || e.isDup)
             continue;
         if (e.hasPrediction) {
@@ -61,77 +61,79 @@ OooCore::faultRewind(std::size_t pair_offset)
         }
         records.push_back({e.inst, e.pc, e.outcome});
     }
-    for (const FetchedInst &fi : ifq) {
+    for (const FetchedInst &fi : st.ifq) {
         if (fi.hasOutcome)
             records.push_back({fi.inst, fi.pc, fi.savedOutcome});
     }
-    records.insert(records.end(), replayQueue.begin(), replayQueue.end());
-    replayQueue = std::move(records);
-    panic_if(replayQueue.empty(), "rewind with nothing to replay");
-    DIREB_TRACE(tracer_, trace::Kind::Rewind, invalidSeq,
-                replayQueue.front().pc, false, Inst{},
-                replayQueue.size());
+    records.insert(records.end(), st.replayQueue.begin(),
+                   st.replayQueue.end());
+    st.replayQueue = std::move(records);
+    panic_if(st.replayQueue.empty(), "rewind with nothing to replay");
+    DIREB_TRACE(cx.tracer, trace::Kind::Rewind, invalidSeq,
+                st.replayQueue.front().pc, false, Inst{},
+                st.replayQueue.size());
 
     // Faults pending in younger entries never reach the checker; also
     // invalidate every squashed entry's seq so dangling dependence edges
     // and create-vector slots cannot match reused slots.
-    for (std::size_t off = 0; off < ruuCount; ++off) {
-        RuuEntry &e = entryAt(off);
+    for (std::size_t off = 0; off < st.ruuCount; ++off) {
+        RuuEntry &e = st.entryAt(off);
         if (off >= 2 && e.faulted)
-            injector->recordSquashed();
+            cx.injector->recordSquashed();
         e.seq = invalidSeq;
     }
 
-    ruuCount = 0;
-    lsqUsed = 0;
-    rebuildCreateVectors();
-    resetScheduler(); // every in-flight reference died with the RUU
-    specCtx.exitSpec();
-    ifq.clear();
+    st.ruuCount = 0;
+    st.lsqUsed = 0;
+    st.rebuildCreateVectors(cx.policy->dupOwnDataflow());
+    cx.sched->reset(); // every in-flight reference died with the RUU
+    cx.spec->exitSpec();
+    st.ifq.clear();
 
-    haltSeen = false; // a pending HALT re-arrives through the replay
-    fetchPc = replayQueue.back().outcome.nextPc;
-    fetchStallUntil = now + p.redirectPenalty;
-    lastFetchBlock = invalidAddr;
-    bp->recoverHistory(rewind_hist);
-    ++numRewinds;
+    st.haltSeen = false; // a pending HALT re-arrives through the replay
+    st.fetchPc = st.replayQueue.back().outcome.nextPc;
+    st.fetchStallUntil = st.now + cx.p.redirectPenalty;
+    st.lastFetchBlock = invalidAddr;
+    cx.bp->recoverHistory(rewind_hist);
+    ++cx.stats->numRewinds;
 }
 
 void
-OooCore::commitStage()
+CommitStage::run(CoreContext &cx)
 {
     using trace::StallReason;
     using trace::StallStage;
 
-    unsigned budget = p.commitWidth;
-    const bool dual = p.mode != ExecMode::Sie;
+    PipelineState &st = *cx.st;
+    unsigned budget = cx.p.commitWidth;
+    const bool dual = cx.policy->duplicates();
 
-    while (budget > 0 && ruuCount > 0 && running) {
-        RuuEntry &head = ruu[ruuHead];
+    while (budget > 0 && st.ruuCount > 0 && st.running) {
+        RuuEntry &head = st.ruu[st.ruuHead];
         if (!head.completed) {
-            stalls.blame(StallStage::Commit, StallReason::ExecWait);
+            cx.stalls->blame(StallStage::Commit, StallReason::ExecWait);
             break;
         }
 
         if (!dual) {
-            retireEntry(head);
-            DIREB_TRACE(tracer_, trace::Kind::Commit, head.seq, head.pc,
+            retireEntry(cx, head);
+            DIREB_TRACE(cx.tracer, trace::Kind::Commit, head.seq, head.pc,
                         false, head.inst);
-            stalls.busy(StallStage::Commit);
-            ruuHead = (ruuHead + 1) % p.ruuSize;
-            --ruuCount;
+            cx.stalls->busy(StallStage::Commit);
+            st.ruuHead = (st.ruuHead + 1) % st.ruu.size();
+            --st.ruuCount;
             --budget;
-            ++numEntriesCommitted;
-            ++numArchInsts;
-            lastCommitCycle = now;
+            ++cx.stats->numEntriesCommitted;
+            ++cx.stats->numArchInsts;
+            st.lastCommitCycle = st.now;
 
             if (head.isHalt) {
-                finishRun(badPcSeen ? StopReason::BadPc
-                                    : StopReason::Halted);
+                st.finish(st.badPcSeen ? StopReason::BadPc
+                                       : StopReason::Halted);
                 return;
             }
-            if (numArchInsts.value() >= maxArchInsts) {
-                finishRun(StopReason::InstLimit);
+            if (cx.stats->numArchInsts.value() >= st.maxArchInsts) {
+                st.finish(StopReason::InstLimit);
                 return;
             }
             continue;
@@ -140,91 +142,73 @@ OooCore::commitStage()
         // DIE modes: the pair occupies two adjacent entries and retires
         // (and counts against commit width) as two entries.
         if (budget < 2) {
-            stalls.blame(StallStage::Commit, StallReason::PairAlign);
+            cx.stalls->blame(StallStage::Commit, StallReason::PairAlign);
             break;
         }
-        panic_if(ruuCount < 2, "primary without duplicate at commit");
-        RuuEntry &dup = ruu[(ruuHead + 1) % p.ruuSize];
-        panic_if(!dup.isDup || dup.pairIdx != static_cast<int>(ruuHead),
+        panic_if(st.ruuCount < 2, "primary without duplicate at commit");
+        RuuEntry &dup = st.ruu[(st.ruuHead + 1) % st.ruu.size()];
+        panic_if(!dup.isDup || dup.pairIdx != static_cast<int>(st.ruuHead),
                  "RUU head is not a well-formed pair");
         if (!dup.completed) {
-            stalls.blame(StallStage::Commit, StallReason::ExecWait);
+            cx.stalls->blame(StallStage::Commit, StallReason::ExecWait);
             break;
         }
 
-        const bool ok = pairChecker.check(head.checkValue, dup.checkValue);
+        const bool ok =
+            cx.checker->check(head.checkValue, dup.checkValue);
         if (!ok) {
             // Without injection enabled a mismatch can only be a
             // simulator bug: fail loudly.
-            panic_if(!injector->enabled(),
+            panic_if(!cx.injector->enabled(),
                      "checker mismatch without injected fault at pc %#llx "
                      "(simulator bug)",
                      static_cast<unsigned long long>(head.pc));
-            injector->recordDetected();
-            DIREB_TRACE(tracer_, trace::Kind::FaultDetect, head.seq,
+            cx.injector->recordDetected();
+            DIREB_TRACE(cx.tracer, trace::Kind::FaultDetect, head.seq,
                         head.pc, false, head.inst);
-            stalls.blame(StallStage::Commit, StallReason::Rewind);
+            cx.stalls->blame(StallStage::Commit, StallReason::Rewind);
             // A failing check invalidates the IRB entry for this PC, so
             // the replayed duplicate cannot pick the bad value up again.
-            if (reuseBuffer)
-                reuseBuffer->invalidate(head.pc);
-            faultRewind(0);
+            cx.policy->onCheckFailed(head.pc);
+            faultRewind(cx, 0);
             return;
         }
         if (head.faulted || dup.faulted) {
             // A corrupted pair slipped through (identical corruption on
             // both copies — the FwdBoth scenario of Figure 6(c)).
-            injector->recordEscaped();
+            cx.injector->recordEscaped();
         }
 
-        retireEntry(head);
+        retireEntry(cx, head);
 
-        // Commit-time IRB update (paper §3.2: off the critical path,
-        // through the write/rw ports). A reuse hit needs no rewrite —
-        // the stored tuple is bit-identical already.
-        if (reuseBuffer && dup.cls != OpClass::Nop &&
-            !isOutput(dup.inst.op) && !dup.reuseHit) {
-            const bool wrote =
-                reuseBuffer->update(head.pc, head.outcome.op1Val,
-                                    head.outcome.op2Val,
-                                    head.outcome.result);
-            DIREB_TRACE(tracer_, trace::Kind::IrbUpdate, head.seq, head.pc,
-                        false, head.inst, wrote ? 1 : 0);
-        }
-        // Fault site "irb": a transient strikes a random live entry; it
-        // is caught when (and only when) a duplicate later reuses it.
-        if (reuseBuffer && injector->site() == FaultSite::Irb &&
-            injector->strike()) {
-            reuseBuffer->corruptRandomEntry(injector->randomValue(),
-                                            injector->bitToFlip());
-        }
+        cx.policy->onPairCommitted(head, dup, *cx.injector, cx.tracer);
 
-        DIREB_TRACE(tracer_, trace::Kind::Commit, head.seq, head.pc, false,
-                    head.inst);
-        DIREB_TRACE(tracer_, trace::Kind::Commit, dup.seq, dup.pc, true,
+        DIREB_TRACE(cx.tracer, trace::Kind::Commit, head.seq, head.pc,
+                    false, head.inst);
+        DIREB_TRACE(cx.tracer, trace::Kind::Commit, dup.seq, dup.pc, true,
                     dup.inst);
-        stalls.busy(StallStage::Commit, 2);
+        cx.stalls->busy(StallStage::Commit, 2);
 
         const bool was_halt = head.isHalt;
-        ruuHead = (ruuHead + 2) % p.ruuSize;
-        ruuCount -= 2;
+        st.ruuHead = (st.ruuHead + 2) % st.ruu.size();
+        st.ruuCount -= 2;
         budget -= 2;
-        numEntriesCommitted += 2;
-        ++numArchInsts;
-        lastCommitCycle = now;
+        cx.stats->numEntriesCommitted += 2;
+        ++cx.stats->numArchInsts;
+        st.lastCommitCycle = st.now;
 
         if (was_halt) {
-            finishRun(badPcSeen ? StopReason::BadPc : StopReason::Halted);
+            st.finish(st.badPcSeen ? StopReason::BadPc : StopReason::Halted);
             return;
         }
-        if (numArchInsts.value() >= maxArchInsts) {
-            finishRun(StopReason::InstLimit);
+        if (cx.stats->numArchInsts.value() >= st.maxArchInsts) {
+            st.finish(StopReason::InstLimit);
             return;
         }
     }
 
-    if (budget > 0 && ruuCount == 0)
-        stalls.blame(StallStage::Commit, StallReason::Empty);
+    if (budget > 0 && st.ruuCount == 0)
+        cx.stalls->blame(StallStage::Commit, StallReason::Empty);
 }
 
 } // namespace direb

@@ -1,7 +1,11 @@
 /**
  * @file
- * OooCore construction, the main run loop, RUU bookkeeping, and the squash
- * machinery shared by branch-misprediction recovery and fault rewinds.
+ * OooCore construction, reset/rebind, and the main run loop. The heavy
+ * lifting lives in the stage components (stages.hh), the scheduler
+ * backends (scheduler.hh) and the redundancy policies (core/policy.hh);
+ * this file only builds the components, wires the CoreContext, and keeps
+ * the stat-group child order stable across resets so text reports from a
+ * reused core are byte-identical to a fresh one.
  */
 
 #include "cpu/ooo_core.hh"
@@ -11,36 +15,15 @@
 namespace direb
 {
 
-ExecMode
-execModeFromName(const std::string &name)
-{
-    if (name == "sie")
-        return ExecMode::Sie;
-    if (name == "die")
-        return ExecMode::Die;
-    if (name == "die-irb" || name == "dieirb")
-        return ExecMode::DieIrb;
-    fatal("unknown execution mode '%s'", name.c_str());
-}
-
-const char *
-execModeName(ExecMode mode)
-{
-    switch (mode) {
-      case ExecMode::Sie: return "sie";
-      case ExecMode::Die: return "die";
-      case ExecMode::DieIrb: return "die-irb";
-    }
-    return "?";
-}
-
 CoreParams
 CoreParams::fromConfig(const Config &config)
 {
     CoreParams p;
-    p.mode = execModeFromName(config.getString("core.mode", "sie"));
-    const std::string sched =
-        config.getString("core.scheduler", "ready_list");
+    p.mode = execModeFromName(config.getString(
+        "core.mode", "sie", "execution mode: sie, die or die-irb"));
+    const std::string sched = config.getString(
+        "core.scheduler", "ready_list",
+        "back-end scheduler implementation: ready_list or scan");
     if (sched == "ready_list")
         p.readyListScheduler = true;
     else if (sched == "scan")
@@ -48,20 +31,28 @@ CoreParams::fromConfig(const Config &config)
     else
         fatal("unknown core.scheduler '%s' (expected scan or ready_list)",
               sched.c_str());
-    p.fetchWidth =
-        static_cast<unsigned>(config.getUint("width.fetch", 8));
-    p.decodeWidth =
-        static_cast<unsigned>(config.getUint("width.decode", 8));
-    p.issueWidth = static_cast<unsigned>(config.getUint("width.issue", 8));
-    p.commitWidth =
-        static_cast<unsigned>(config.getUint("width.commit", 8));
-    p.ruuSize = config.getUint("ruu.size", 128);
-    p.lsqSize = config.getUint("lsq.size", 64);
-    p.ifqSize = config.getUint("ifq.size", 2 * p.fetchWidth);
-    p.redirectPenalty = config.getUint("redirect.penalty", 2);
-    p.dupOwnDataflow = config.getBool("dieirb.dup_own_dataflow", false);
-    p.irbConsumesIssueSlot =
-        config.getBool("irb.consumes_issue_slot", false);
+    p.fetchWidth = static_cast<unsigned>(config.getUint(
+        "width.fetch", 8, "instructions fetched per cycle"));
+    p.decodeWidth = static_cast<unsigned>(config.getUint(
+        "width.decode", 8, "RUU entries dispatched per cycle"));
+    p.issueWidth = static_cast<unsigned>(config.getUint(
+        "width.issue", 8, "instructions selected for issue per cycle"));
+    p.commitWidth = static_cast<unsigned>(config.getUint(
+        "width.commit", 8, "RUU entries retired per cycle"));
+    p.ruuSize = config.getUint("ruu.size", 128,
+                               "unified ROB+issue-window entries");
+    p.lsqSize = config.getUint("lsq.size", 64,
+                               "load/store queue entries");
+    p.ifqSize = config.getUint("ifq.size", 2 * p.fetchWidth,
+                               "fetch/decode queue entries");
+    p.redirectPenalty = config.getUint(
+        "redirect.penalty", 2, "front-end bubble cycles after a squash");
+    p.dupOwnDataflow = config.getBool(
+        "dieirb.dup_own_dataflow", false,
+        "ablation: DIE-IRB duplicates wait on duplicate-stream producers");
+    p.irbConsumesIssueSlot = config.getBool(
+        "irb.consumes_issue_slot", false,
+        "ablation: IRB reuse hits burn an issue slot");
 
     fatal_if(p.fetchWidth == 0 || p.decodeWidth == 0 || p.issueWidth == 0 ||
                  p.commitWidth == 0,
@@ -73,215 +64,158 @@ CoreParams::fromConfig(const Config &config)
 }
 
 OooCore::OooCore(const Program &program, const Config &config)
-    : p(CoreParams::fromConfig(config)), prog(program), arch(mem),
-      specCtx(arch)
+    : arch(mem), specCtx(arch)
 {
+    // The core's own counters are registered once; configure() zeroes
+    // them on every later rebind.
+    cstats.registerIn(group);
+    configure(program, config, true);
+}
+
+OooCore::~OooCore() = default;
+
+void
+OooCore::reset(const Program &program, const Config &config)
+{
+    configure(program, config, false);
+}
+
+void
+OooCore::configure(const Program &program, const Config &config,
+                   bool first)
+{
+    p = CoreParams::fromConfig(config);
+    prog = &program;
+
+    if (!first) {
+        // Zero every statistic — including the components about to be
+        // destroyed, whose groups are still attached — then detach the
+        // re-creatable children so the replacements can re-attach in the
+        // original order (the text report is child-order dependent).
+        group.reset();
+        group.removeChild(&bp->statGroup());
+        group.removeChild(&memHier->statGroup());
+        group.removeChild(&fus->statGroup());
+        group.removeChild(&injector->statGroup());
+        group.removeChild(&pairChecker.statGroup());
+        policy->unregisterStats(group);
+        if (tracer_)
+            group.removeChild(&tracer_->statGroup());
+    }
+
     bp = std::make_unique<BranchPredictor>(config);
     memHier = std::make_unique<MemHierarchy>(config);
     fus = std::make_unique<FuPool>(config);
     injector = std::make_unique<FaultInjector>(config);
-    if (p.mode == ExecMode::DieIrb)
-        reuseBuffer = std::make_unique<Irb>(config);
+    policy = makeRedundancyPolicy(p.mode, p.dupOwnDataflow, config);
 
     // Both trace keys are read unconditionally so Config::checkUnused()
     // accepts a run that sets trace.limit with tracing off.
-    const bool trace_enabled = config.getBool("trace.enabled", false);
-    const std::uint64_t trace_limit =
-        config.getUint("trace.limit", std::uint64_t(1) << 20);
+    const bool trace_enabled = config.getBool(
+        "trace.enabled", false, "record pipeline events for export");
+    const std::uint64_t trace_limit = config.getUint(
+        "trace.limit", std::uint64_t(1) << 20,
+        "event-ring capacity; oldest events are overwritten when full");
+    tracer_.reset();
     if (trace_enabled) {
+        if (!trace::compiledIn()) {
+            warn("trace.enabled is set but the tracing hooks are compiled "
+                 "out (DIREB_TRACING=OFF): no events will be recorded");
+        }
         tracer_ = std::make_unique<trace::Tracer>(trace_limit);
-        if (reuseBuffer)
-            reuseBuffer->setTracer(tracer_.get());
+        policy->setTracer(tracer_.get());
     }
 
-    ruu.resize(p.ruuSize);
-    createVec[0].assign(numArchRegs, Producer{});
-    createVec[1].assign(numArchRegs, Producer{});
+    mem.clear();
+    arch.reset();
+    specCtx.exitSpec();
+    st.reset(p.ruuSize);
 
-    loadProgram(prog, mem, arch);
-    fetchPc = prog.entry;
+    loadProgram(*prog, mem, arch);
+    st.fetchPc = prog->entry;
 
-    group.addScalar(&numCycles, "cycles", "simulated cycles");
-    group.addScalar(&numArchInsts, "arch_insts",
-                    "architectural instructions committed");
-    group.addScalar(&numEntriesCommitted, "entries_committed",
-                    "RUU entries retired (2x arch insts under DIE)");
-    group.addScalar(&numDispatched, "dispatched", "RUU entries dispatched");
-    group.addScalar(&numWrongPathDispatched, "wrong_path",
-                    "wrong-path RUU entries dispatched");
-    group.addScalar(&numIssuedTotal, "issued",
-                    "RUU entries issued to functional units");
-    group.addScalar(&numBypassedAlu, "bypassed_alu",
-                    "duplicates that skipped the ALUs via IRB reuse");
-    group.addScalar(&numRecoveries, "recoveries",
-                    "branch misprediction recoveries");
-    group.addScalar(&numRewinds, "rewinds", "checker-triggered rewinds");
-    group.addScalar(&numDispatchStallRuu, "dispatch_stall_ruu",
-                    "dispatch cycles stalled: RUU full");
-    group.addScalar(&numDispatchStallLsq, "dispatch_stall_lsq",
-                    "dispatch cycles stalled: LSQ full");
-    group.addScalar(&numIssueStallFu, "issue_stall_fu",
-                    "ready instructions denied a functional unit");
-    group.addScalar(&numLoadsForwarded, "loads_forwarded",
-                    "loads served by store-to-load forwarding");
-    group.addScalar(&numLoadsBlocked, "loads_blocked",
-                    "load-issue attempts blocked by unresolved stores");
-    ipcFormula = stats::Formula(&numArchInsts, &numCycles);
-    group.addFormula(&ipcFormula, "ipc", "architectural IPC");
-
-    ruuOccupancy.init(0, static_cast<double>(p.ruuSize) + 1, 16);
-    group.addDistribution(&ruuOccupancy, "ruu_occupancy",
-                          "RUU entries live, sampled each cycle");
-    issueDelay.init(0, 64, 16);
-    group.addDistribution(&issueDelay, "issue_delay",
-                          "cycles an entry waits from dispatch to issue");
+    cstats.ruuOccupancy.init(0, static_cast<double>(p.ruuSize) + 1, 16);
+    cstats.issueDelay.init(0, 64, 16);
 
     stalls.init(p.fetchWidth, p.decodeWidth, p.issueWidth, p.commitWidth);
-    stalls.registerStats(group);
+    if (first)
+        stalls.registerStats(group); // stage groups stay attached forever
 
     group.addChild(&bp->statGroup());
     group.addChild(&memHier->statGroup());
     group.addChild(&fus->statGroup());
     group.addChild(&injector->statGroup());
-    pairChecker.registerStats(group);
-    if (reuseBuffer)
-        group.addChild(&reuseBuffer->statGroup());
+    if (first)
+        pairChecker.registerStats(group);
+    else
+        group.addChild(&pairChecker.statGroup());
+    policy->registerStats(group);
     if (tracer_)
         group.addChild(&tracer_->statGroup());
-}
 
-OooCore::~OooCore() = default;
-
-OooCore::RuuEntry &
-OooCore::entryAt(std::size_t offset)
-{
-    panic_if(offset >= ruuCount, "RUU offset %zu out of range (count %zu)",
-             offset, ruuCount);
-    return ruu[(ruuHead + offset) % p.ruuSize];
-}
-
-const OooCore::RuuEntry &
-OooCore::entryAt(std::size_t offset) const
-{
-    return const_cast<OooCore *>(this)->entryAt(offset);
-}
-
-int
-OooCore::allocEntry()
-{
-    panic_if(ruuCount >= p.ruuSize, "RUU overflow");
-    const int idx = static_cast<int>((ruuHead + ruuCount) % p.ruuSize);
-    ++ruuCount;
-    ruu[idx] = RuuEntry{};
-    ruu[idx].seq = nextSeq++;
-    return idx;
-}
-
-bool
-OooCore::ruuFull(unsigned needed) const
-{
-    return ruuCount + needed > p.ruuSize;
-}
-
-void
-OooCore::rebuildCreateVectors()
-{
-    createVec[0].assign(numArchRegs, Producer{});
-    createVec[1].assign(numArchRegs, Producer{});
-    for (std::size_t off = 0; off < ruuCount; ++off) {
-        const int idx = static_cast<int>((ruuHead + off) % p.ruuSize);
-        const RuuEntry &e = ruu[idx];
-        const RegId dst = e.inst.dstReg();
-        if (dst == noReg)
-            continue;
-        const bool own_dataflow =
-            p.mode == ExecMode::Die ||
-            (p.mode == ExecMode::DieIrb && p.dupOwnDataflow);
-        if (!e.isDup)
-            createVec[0][dst] = {idx, e.seq};
-        else if (own_dataflow)
-            createVec[1][dst] = {idx, e.seq};
-    }
-}
-
-void
-OooCore::squashYoungerThan(std::size_t keep_count)
-{
-    panic_if(keep_count > ruuCount, "bad squash point");
-    for (std::size_t off = keep_count; off < ruuCount; ++off) {
-        RuuEntry &e = entryAt(off);
-        DIREB_TRACE(tracer_, trace::Kind::Squash, e.seq, e.pc, e.isDup,
-                    e.inst);
-        if (e.holdsLsqSlot) {
-            panic_if(lsqUsed == 0, "LSQ accounting underflow");
-            --lsqUsed;
-        }
-        if (e.faulted)
-            injector->recordSquashed();
-        // The store-address index is queried through its ordered ends, so
-        // squashed stores must leave eagerly (the other scheduler sets
-        // drop stale references lazily, by seq mismatch).
-        if (p.readyListScheduler && !e.isDup && isStore(e.inst.op))
-            dropStoreIndex(e);
-        e.seq = invalidSeq; // invalidate dangling dependence edges
-    }
-    ruuCount = keep_count;
-    rebuildCreateVectors();
-}
-
-void
-OooCore::finishRun(StopReason reason)
-{
-    running = false;
-    stopReason = reason;
+    cx.p = p;
+    cx.prog = prog;
+    cx.st = &st;
+    cx.stats = &cstats;
+    cx.policy = policy.get();
+    cx.bp = bp.get();
+    cx.memHier = memHier.get();
+    cx.fus = fus.get();
+    cx.injector = injector.get();
+    cx.checker = &pairChecker;
+    cx.spec = &specCtx;
+    cx.tracer = tracer_.get();
+    cx.stalls = &stalls;
+    sched = makeScheduler(p.readyListScheduler, cx);
+    cx.sched = sched.get();
 }
 
 void
 OooCore::tick()
 {
-    if (reuseBuffer)
-        reuseBuffer->beginCycle();
+    cx.policy->beginCycle();
 #if DIREB_TRACING_ENABLED
     if (tracer_)
-        tracer_->beginCycle(now);
+        tracer_->beginCycle(st.now);
 #endif
     stalls.beginCycle();
 
-    commitStage();
-    if (!running)
+    commitStage_.run(cx);
+    if (!st.running)
         return;
-    writebackStage();
-    memoryStage();
-    issueStage();
-    dispatchStage();
-    fetchStage();
+    sched->writeback();
+    sched->memory();
+    sched->issue();
+    dispatchStage_.run(cx);
+    fetchStage_.run(cx);
 
-    ruuOccupancy.sample(static_cast<double>(ruuCount));
+    cstats.ruuOccupancy.sample(static_cast<double>(st.ruuCount));
     stalls.endCycle();
-    ++now;
-    ++numCycles;
+    ++st.now;
+    ++cstats.numCycles;
 
     // Deadlock detector: the pipeline must retire something eventually.
-    panic_if(ruuCount > 0 && now - lastCommitCycle > 200'000,
+    panic_if(st.ruuCount > 0 && st.now - st.lastCommitCycle > 200'000,
              "pipeline deadlock at cycle %llu (pc %#llx, %zu in RUU)",
-             static_cast<unsigned long long>(now),
-             static_cast<unsigned long long>(entryAt(0).pc), ruuCount);
+             static_cast<unsigned long long>(st.now),
+             static_cast<unsigned long long>(st.entryAt(0).pc),
+             st.ruuCount);
 }
 
 CoreResult
 OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
 {
-    maxArchInsts = max_insts;
-    while (running && now < max_cycles)
+    st.maxArchInsts = max_insts;
+    while (st.running && st.now < max_cycles)
         tick();
-    if (running)
-        finishRun(StopReason::InstLimit);
+    if (st.running)
+        st.finish(StopReason::InstLimit);
 
     CoreResult r;
-    r.stop = stopReason;
-    r.cycles = now;
-    r.archInsts = numArchInsts.value();
-    r.ruuEntriesCommitted = numEntriesCommitted.value();
+    r.stop = st.stopReason;
+    r.cycles = st.now;
+    r.archInsts = cstats.numArchInsts.value();
+    r.ruuEntriesCommitted = cstats.numEntriesCommitted.value();
     r.ipc = r.cycles ? static_cast<double>(r.archInsts) / r.cycles : 0.0;
     return r;
 }

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Core parameters, results, statistics bundle, and the CoreContext — the
+ * explicit wiring record handed to every stage component and scheduler
+ * backend in place of OooCore member access. The context holds non-owning
+ * pointers; OooCore owns every referenced object and rewires the context
+ * on construction and on reset().
+ */
+
+#ifndef DIREB_CPU_CORE_CONTEXT_HH
+#define DIREB_CPU_CORE_CONTEXT_HH
+
+#include "branch/predictor.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/policy.hh"
+#include "core/redundancy.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/pipeline_state.hh"
+#include "cpu/spec_state.hh"
+#include "mem/cache.hh"
+#include "trace/stall.hh"
+#include "trace/trace.hh"
+#include "vm/vm.hh"
+
+namespace direb
+{
+
+class SchedulerBackend;
+
+/** Machine-width / capacity parameters (paper §2.2 base configuration). */
+struct CoreParams
+{
+    ExecMode mode = ExecMode::Sie;
+    /**
+     * Back-end scheduler implementation (core.scheduler=scan|ready_list).
+     * Both are cycle-accurate and produce bit-identical timing and
+     * statistics; "scan" re-walks the whole RUU every cycle (the original
+     * implementation, kept as the differential-testing reference), while
+     * "ready_list" maintains incremental ready/pending sets and an
+     * indexed store-address map so each stage visits only actionable
+     * entries.
+     */
+    bool readyListScheduler = true;
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 8;   //!< RUU entries dispatched per cycle
+    unsigned issueWidth = 8;    //!< instructions selected per cycle
+    unsigned commitWidth = 8;   //!< RUU entries retired per cycle
+    std::size_t ruuSize = 128;  //!< unified ROB+window entries
+    std::size_t lsqSize = 64;   //!< load/store queue entries
+    std::size_t ifqSize = 16;   //!< fetch/decode queue entries
+    Cycle redirectPenalty = 2;  //!< front-end bubble after squash
+
+    /**
+     * DIE-IRB design ablations (paper §3.3 defaults: primary-fed
+     * duplicates, reuse test folded into wakeup).
+     * @{
+     */
+    bool dupOwnDataflow = false;    //!< duplicates wait on dup producers
+    bool irbConsumesIssueSlot = false; //!< reuse hits burn issue bandwidth
+    /** @} */
+
+    /** Read core.* / width.* / ruu.* / lsq.* keys from @p config. */
+    static CoreParams fromConfig(const Config &config);
+};
+
+/** Final results of a timing run. */
+struct CoreResult
+{
+    StopReason stop = StopReason::InstLimit;
+    Cycle cycles = 0;
+    std::uint64_t archInsts = 0;   //!< architectural instructions committed
+    std::uint64_t ruuEntriesCommitted = 0;
+    double ipc = 0.0;              //!< architectural IPC
+};
+
+/**
+ * The core's own counters, grouped so stage components can charge them
+ * through the context. registerIn() attaches everything to the core's
+ * stat group in the fixed text-report order; the distributions are
+ * (re)initialized separately because their range depends on CoreParams.
+ */
+struct CoreStats
+{
+    stats::Scalar numCycles;
+    stats::Scalar numArchInsts;
+    stats::Scalar numEntriesCommitted;
+    stats::Scalar numDispatched;
+    stats::Scalar numWrongPathDispatched;
+    stats::Scalar numIssuedTotal;
+    stats::Scalar numBypassedAlu;
+    stats::Scalar numRecoveries;
+    stats::Scalar numRewinds;
+    stats::Scalar numDispatchStallRuu;
+    stats::Scalar numDispatchStallLsq;
+    stats::Scalar numIssueStallFu;
+    stats::Scalar numLoadsForwarded;
+    stats::Scalar numLoadsBlocked;
+    stats::Formula ipcFormula;
+    stats::Distribution ruuOccupancy; //!< RUU entries live, sampled per cycle
+    stats::Distribution issueDelay;   //!< cycles from dispatch to issue
+
+    /** Register every member under @p group (once per core lifetime). */
+    void
+    registerIn(stats::Group &group)
+    {
+        group.addScalar(&numCycles, "cycles", "simulated cycles");
+        group.addScalar(&numArchInsts, "arch_insts",
+                        "architectural instructions committed");
+        group.addScalar(&numEntriesCommitted, "entries_committed",
+                        "RUU entries retired (2x arch insts under DIE)");
+        group.addScalar(&numDispatched, "dispatched",
+                        "RUU entries dispatched");
+        group.addScalar(&numWrongPathDispatched, "wrong_path",
+                        "wrong-path RUU entries dispatched");
+        group.addScalar(&numIssuedTotal, "issued",
+                        "RUU entries issued to functional units");
+        group.addScalar(&numBypassedAlu, "bypassed_alu",
+                        "duplicates that skipped the ALUs via IRB reuse");
+        group.addScalar(&numRecoveries, "recoveries",
+                        "branch misprediction recoveries");
+        group.addScalar(&numRewinds, "rewinds",
+                        "checker-triggered rewinds");
+        group.addScalar(&numDispatchStallRuu, "dispatch_stall_ruu",
+                        "dispatch cycles stalled: RUU full");
+        group.addScalar(&numDispatchStallLsq, "dispatch_stall_lsq",
+                        "dispatch cycles stalled: LSQ full");
+        group.addScalar(&numIssueStallFu, "issue_stall_fu",
+                        "ready instructions denied a functional unit");
+        group.addScalar(&numLoadsForwarded, "loads_forwarded",
+                        "loads served by store-to-load forwarding");
+        group.addScalar(&numLoadsBlocked, "loads_blocked",
+                        "load-issue attempts blocked by unresolved stores");
+        ipcFormula = stats::Formula(&numArchInsts, &numCycles);
+        group.addFormula(&ipcFormula, "ipc", "architectural IPC");
+        group.addDistribution(&ruuOccupancy, "ruu_occupancy",
+                              "RUU entries live, sampled each cycle");
+        group.addDistribution(&issueDelay, "issue_delay",
+                              "cycles an entry waits from dispatch to issue");
+    }
+};
+
+/**
+ * Non-owning wiring for one core: everything a pipeline stage or a
+ * scheduler backend touches, in one place. The tracer pointer may be
+ * null (trace.enabled unset); every other pointer is valid whenever a
+ * stage runs.
+ */
+struct CoreContext
+{
+    CoreParams p;
+    const Program *prog = nullptr;
+    PipelineState *st = nullptr;
+    CoreStats *stats = nullptr;
+    RedundancyPolicy *policy = nullptr;
+    SchedulerBackend *sched = nullptr;
+    BranchPredictor *bp = nullptr;
+    MemHierarchy *memHier = nullptr;
+    FuPool *fus = nullptr;
+    FaultInjector *injector = nullptr;
+    Checker *checker = nullptr;
+    SpecExecContext *spec = nullptr;
+    trace::Tracer *tracer = nullptr;
+    trace::StallAccount *stalls = nullptr;
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_CORE_CONTEXT_HH

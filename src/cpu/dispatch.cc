@@ -3,26 +3,31 @@
  * Dispatch stage: in-order functional execution (SimpleScalar style),
  * misprediction detection, RUU/LSQ allocation, DIE duplication into two
  * adjacent entries, dependence linking through the per-stream create
- * vectors, and the forwarding-fault injection points of §3.4.
+ * vectors, and the forwarding-fault injection points of §3.4. All
+ * mode-specific decisions (whether to duplicate, which stream feeds the
+ * duplicate, the IRB lookup) come from the RedundancyPolicy.
  */
 
 #include "common/logging.hh"
-#include "cpu/ooo_core.hh"
+#include "cpu/scheduler.hh"
+#include "cpu/stages.hh"
 
 namespace direb
 {
 
 void
-OooCore::linkSources(RuuEntry &e, int idx, unsigned stream)
+DispatchStage::linkSources(CoreContext &cx, RuuEntry &e, int idx,
+                           unsigned stream)
 {
+    PipelineState &st = *cx.st;
     const RegId srcs[2] = {e.inst.srcReg1(), e.inst.srcReg2()};
     for (const RegId src : srcs) {
         if (src == noReg)
             continue;
-        const Producer &prod = createVec[stream][src];
+        const Producer &prod = st.createVec[stream][src];
         if (prod.idx < 0)
             continue;
-        RuuEntry &pe = ruu[prod.idx];
+        RuuEntry &pe = st.ruu[prod.idx];
         if (pe.seq != prod.seq || pe.completed)
             continue; // producer retired/squashed/done: operand is ready
         pe.dependents.push_back({idx, e.seq});
@@ -31,41 +36,19 @@ OooCore::linkSources(RuuEntry &e, int idx, unsigned stream)
 }
 
 void
-OooCore::setupIrbFields(RuuEntry &dup, const FetchedInst &fi)
+DispatchStage::maybeInjectForwardFault(CoreContext &cx, RuuEntry &prim,
+                                       RuuEntry &dup)
 {
-    // The 3-stage pipelined lookup (Figure 3) starts at fetch and is
-    // complete by the time the instruction reaches the issue window; it
-    // is port-arbitrated here, at window entry, which paces lookups at
-    // the DIE dispatch rate (<= width/2 per cycle) — the basis of the
-    // paper's 4R/2W/2RW sufficiency argument. The result becomes usable
-    // one cycle later, i.e. at the duplicate's first issue opportunity.
-    // Loads/stores participate for address generation only; outputs and
-    // NOP/HALT produce nothing worth reusing.
-    const bool eligible =
-        dup.cls != OpClass::Nop && !isOutput(dup.inst.op);
-    if (!eligible)
-        return;
-    dup.irb = reuseBuffer->lookup(dup.pc);
-    dup.irbReadyAt = now + 1;
-    dup.irbCandidate = dup.irb.pcHit;
-    DIREB_TRACE(tracer_, trace::Kind::IrbLookup, dup.seq, dup.pc, true,
-                dup.inst,
-                (dup.irb.pcHit ? 1u : 0u) | (dup.irb.portDrop ? 2u : 0u));
-}
-
-void
-OooCore::maybeInjectForwardFault(RuuEntry &prim, RuuEntry &dup)
-{
-    const FaultSite site = injector->site();
+    const FaultSite site = cx.injector->site();
     if (site != FaultSite::FwdOne && site != FaultSite::FwdBoth)
         return;
     // A forwarding fault needs a forwarded operand to ride on.
     if (dup.srcPending == 0 && prim.srcPending == 0)
         return;
-    if (!injector->strike())
+    if (!cx.injector->strike())
         return;
-    const RegVal flip = RegVal(1) << injector->bitToFlip();
-    if (site == FaultSite::FwdBoth && p.mode == ExecMode::DieIrb) {
+    const RegVal flip = RegVal(1) << cx.injector->bitToFlip();
+    if (site == FaultSite::FwdBoth && cx.policy->sharedForwardingBus()) {
         // DIE-IRB forwards primary results to BOTH streams on one bus: a
         // strike there corrupts both copies identically -> undetectable.
         prim.checkValue ^= flip;
@@ -80,23 +63,25 @@ OooCore::maybeInjectForwardFault(RuuEntry &prim, RuuEntry &dup)
 }
 
 void
-OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
+DispatchStage::dispatchOne(CoreContext &cx, const FetchedInst &fi,
+                           unsigned &width_left)
 {
-    const bool dual = p.mode != ExecMode::Sie;
-    const bool was_spec = specCtx.inSpec();
+    PipelineState &st = *cx.st;
+    const bool dual = cx.policy->duplicates();
+    const bool was_spec = cx.spec->inSpec();
 
     ExecOutcome outcome;
     bool synthesized_halt = false;
     if (fi.hasOutcome) {
         outcome = fi.savedOutcome;
-    } else if (!was_spec && !prog.inText(fi.pc)) {
+    } else if (!was_spec && !cx.prog->inText(fi.pc)) {
         // The committed path left the text segment: end the program.
         outcome.nextPc = fi.pc + 4;
         outcome.halted = true;
         synthesized_halt = true;
-        badPcSeen = true;
+        st.badPcSeen = true;
     } else {
-        outcome = execute(fi.inst, fi.pc, specCtx);
+        outcome = execute(fi.inst, fi.pc, *cx.spec);
     }
 
     // Misprediction detection: the branch itself is correct-path; younger
@@ -104,20 +89,20 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
     bool mispredicted = false;
     if (!was_spec && !fi.hasOutcome && outcome.nextPc != fi.predNextPc) {
         mispredicted = true;
-        specCtx.enterSpec();
+        cx.spec->enterSpec();
     }
 
     if (!was_spec && outcome.halted)
-        haltSeen = true;
+        st.haltSeen = true;
 
-    const int idx = allocEntry();
-    RuuEntry &e = ruu[idx];
+    const int idx = st.allocEntry();
+    RuuEntry &e = st.ruu[idx];
     e.inst = fi.inst;
     e.pc = fi.pc;
     e.outcome = outcome;
     e.cls = opClassOf(fi.inst.op);
     e.wrongPath = was_spec;
-    e.dispatchedAt = now;
+    e.dispatchedAt = st.now;
     e.predTaken = fi.predTaken;
     e.predNextPc = fi.predNextPc;
     e.histAtFetch = fi.histAtFetch;
@@ -133,54 +118,48 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
         e.needsMemAccess = false;
     }
 
-    linkSources(e, idx, 0);
+    linkSources(cx, e, idx, 0);
 
-    if (p.readyListScheduler) {
-        if (e.srcPending == 0)
-            readyList.push(e.seq, idx);
-        // Dispatch allocates seqs in increasing order, so appending here
-        // keeps the unresolved-store list sorted.
-        if (isStore(e.inst.op))
-            unresolvedStores.push_back(e.seq);
-    }
+    cx.sched->onDispatched(idx);
 
     if (e.isMemOp) {
         e.holdsLsqSlot = true;
-        ++lsqUsed;
+        ++st.lsqUsed;
     }
 
     const RegId dst = e.inst.dstReg();
 
     // The fetch event is back-dated: an instruction only gains a seq here,
     // so the fetch stage cannot record it itself.
-    DIREB_TRACE_AT(tracer_, fi.fetchCycle, trace::Kind::Fetch, e.seq, e.pc,
-                   false, e.inst);
-    DIREB_TRACE(tracer_, trace::Kind::Dispatch, e.seq, e.pc, false, e.inst);
+    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch, e.seq,
+                   e.pc, false, e.inst);
+    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, e.seq, e.pc, false,
+                e.inst);
 
-    ++numDispatched;
+    ++cx.stats->numDispatched;
     if (e.wrongPath)
-        ++numWrongPathDispatched;
+        ++cx.stats->numWrongPathDispatched;
     width_left -= 1;
-    stalls.busy(trace::StallStage::Dispatch);
+    cx.stalls->busy(trace::StallStage::Dispatch);
 
     if (!dual) {
         if (dst != noReg)
-            createVec[0][dst] = {idx, e.seq};
+            st.createVec[0][dst] = {idx, e.seq};
         return;
     }
 
     // Duplicate-stream entry, adjacent in the RUU (paper Figure 1).
-    const int didx = allocEntry();
-    RuuEntry &d = ruu[didx];
-    RuuEntry &prim = ruu[idx]; // re-reference: allocEntry may not move,
-                               // but be explicit about aliasing
+    const int didx = st.allocEntry();
+    RuuEntry &d = st.ruu[didx];
+    RuuEntry &prim = st.ruu[idx]; // re-reference: allocEntry may not move,
+                                  // but be explicit about aliasing
     d.inst = prim.inst;
     d.pc = prim.pc;
     d.outcome = prim.outcome;
     d.cls = prim.cls;
     d.isDup = true;
     d.wrongPath = prim.wrongPath;
-    d.dispatchedAt = now;
+    d.dispatchedAt = st.now;
     d.predTaken = prim.predTaken;
     d.predNextPc = prim.predNextPc;
     d.mispredicted = prim.mispredicted;
@@ -201,78 +180,72 @@ OooCore::dispatchOne(const FetchedInst &fi, unsigned &width_left)
     // primary registers as a producer, so an instruction like
     // "addi s0, s0, 1" reads the previous producer of s0 in both streams,
     // not its own primary.
-    const bool own_dataflow =
-        p.mode == ExecMode::Die ||
-        (p.mode == ExecMode::DieIrb && p.dupOwnDataflow);
-    linkSources(d, didx, own_dataflow ? 1 : 0);
+    const bool own_dataflow = cx.policy->dupOwnDataflow();
+    linkSources(cx, d, didx, own_dataflow ? 1 : 0);
     if (dst != noReg) {
-        createVec[0][dst] = {idx, prim.seq};
+        st.createVec[0][dst] = {idx, prim.seq};
         if (own_dataflow)
-            createVec[1][dst] = {didx, d.seq};
+            st.createVec[1][dst] = {didx, d.seq};
     }
 
-    if (p.mode == ExecMode::DieIrb)
-        setupIrbFields(d, fi);
+    cx.policy->prepareDuplicate(d, st.now, cx.tracer);
 
-    if (p.readyListScheduler) {
-        if (d.srcPending == 0)
-            readyList.push(d.seq, didx);
-        if (d.irbCandidate && !p.irbConsumesIssueSlot)
-            pendingReuse.push(d.seq, didx);
-    }
+    cx.sched->onDispatchedDup(didx);
 
-    maybeInjectForwardFault(prim, d);
+    maybeInjectForwardFault(cx, prim, d);
 
-    DIREB_TRACE_AT(tracer_, fi.fetchCycle, trace::Kind::Fetch, d.seq, d.pc,
-                   true, d.inst);
-    DIREB_TRACE(tracer_, trace::Kind::Dispatch, d.seq, d.pc, true, d.inst);
+    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch, d.seq,
+                   d.pc, true, d.inst);
+    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, d.seq, d.pc, true,
+                d.inst);
 
-    ++numDispatched;
+    ++cx.stats->numDispatched;
     if (d.wrongPath)
-        ++numWrongPathDispatched;
+        ++cx.stats->numWrongPathDispatched;
     width_left -= 1;
-    stalls.busy(trace::StallStage::Dispatch);
+    cx.stalls->busy(trace::StallStage::Dispatch);
 }
 
 void
-OooCore::dispatchStage()
+DispatchStage::run(CoreContext &cx)
 {
     using trace::StallReason;
     using trace::StallStage;
 
-    const unsigned units_per_inst = p.mode == ExecMode::Sie ? 1 : 2;
-    unsigned budget = p.decodeWidth;
+    PipelineState &st = *cx.st;
+    const unsigned units_per_inst = cx.policy->unitsPerInst();
+    unsigned budget = cx.p.decodeWidth;
 
-    while (budget >= units_per_inst && !ifq.empty()) {
-        if (haltSeen) {
-            stalls.blame(StallStage::Dispatch, StallReason::Drained);
+    while (budget >= units_per_inst && !st.ifq.empty()) {
+        if (st.haltSeen) {
+            cx.stalls->blame(StallStage::Dispatch, StallReason::Drained);
             return;
         }
-        const FetchedInst &fi = ifq.front();
+        const FetchedInst &fi = st.ifq.front();
 
-        if (ruuFull(units_per_inst)) {
-            ++numDispatchStallRuu;
-            stalls.blame(StallStage::Dispatch, StallReason::WindowFull);
+        if (st.ruuFull(units_per_inst)) {
+            ++cx.stats->numDispatchStallRuu;
+            cx.stalls->blame(StallStage::Dispatch, StallReason::WindowFull);
             return;
         }
-        if (isMem(fi.inst.op) && lsqUsed >= p.lsqSize) {
-            ++numDispatchStallLsq;
-            stalls.blame(StallStage::Dispatch, StallReason::LsqFull);
+        if (isMem(fi.inst.op) && st.lsqUsed >= cx.p.lsqSize) {
+            ++cx.stats->numDispatchStallLsq;
+            cx.stalls->blame(StallStage::Dispatch, StallReason::LsqFull);
             return;
         }
 
         const FetchedInst taken = fi;
-        ifq.pop_front();
-        dispatchOne(taken, budget);
+        st.ifq.pop_front();
+        dispatchOne(cx, taken, budget);
     }
     if (budget == 0)
         return; // full width used: nothing left to blame
-    if (ifq.empty())
-        stalls.blame(StallStage::Dispatch, haltSeen
-                                               ? StallReason::Drained
-                                               : StallReason::FetchStarved);
+    if (st.ifq.empty())
+        cx.stalls->blame(StallStage::Dispatch,
+                         st.haltSeen ? StallReason::Drained
+                                     : StallReason::FetchStarved);
     else
-        stalls.blame(StallStage::Dispatch, StallReason::PairAlign);
+        cx.stalls->blame(StallStage::Dispatch, StallReason::PairAlign);
 }
 
 } // namespace direb

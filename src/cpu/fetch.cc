@@ -6,44 +6,48 @@
  */
 
 #include "common/logging.hh"
-#include "cpu/ooo_core.hh"
+#include "cpu/stages.hh"
 
 namespace direb
 {
 
 void
-OooCore::fetchStage()
+FetchStage::run(CoreContext &cx)
 {
     using trace::StallReason;
     using trace::StallStage;
 
-    if (now < fetchStallUntil || haltSeen || !running) {
+    PipelineState &st = *cx.st;
+    trace::StallAccount &stalls = *cx.stalls;
+
+    if (st.now < st.fetchStallUntil || st.haltSeen || !st.running) {
         // A redirect/rewind bubble and an in-flight I-cache miss both
         // park the front end via fetchStallUntil; separating them would
         // need extra state, so the miss wins the blame while it lasts.
-        stalls.blame(StallStage::Fetch, now < fetchStallUntil
-                                            ? (lastFetchBlock == invalidAddr
-                                                   ? StallReason::Redirect
-                                                   : StallReason::IcacheMiss)
-                                            : StallReason::Drained);
+        stalls.blame(StallStage::Fetch,
+                     st.now < st.fetchStallUntil
+                         ? (st.lastFetchBlock == invalidAddr
+                                ? StallReason::Redirect
+                                : StallReason::IcacheMiss)
+                         : StallReason::Drained);
         return;
     }
 
-    unsigned budget = p.fetchWidth;
+    unsigned budget = cx.p.fetchWidth;
 
     // Charge I-cache timing once per block transition. Returns false and
     // stalls the front end on a miss.
     const auto charge_icache = [&](Addr pc) {
-        const Addr block_bytes = memHier->l1i().params().blockBytes;
+        const Addr block_bytes = cx.memHier->l1i().params().blockBytes;
         const Addr block = pc & ~(block_bytes - 1);
-        if (block == lastFetchBlock)
+        if (block == st.lastFetchBlock)
             return true;
-        const Cycle lat = memHier->instAccess(pc);
-        lastFetchBlock = block;
-        if (lat > memHier->l1i().params().hitLatency) {
-            fetchStallUntil = now + lat;
+        const Cycle lat = cx.memHier->instAccess(pc);
+        st.lastFetchBlock = block;
+        if (lat > cx.memHier->l1i().params().hitLatency) {
+            st.fetchStallUntil = st.now + lat;
             stalls.blame(StallStage::Fetch, StallReason::IcacheMiss);
-            DIREB_TRACE(tracer_, trace::Kind::FetchStall, invalidSeq, pc,
+            DIREB_TRACE(cx.tracer, trace::Kind::FetchStall, invalidSeq, pc,
                         false, Inst{}, lat);
             return false;
         }
@@ -52,55 +56,56 @@ OooCore::fetchStage()
 
     // Fault-rewind replay: re-inject the already-executed correct-path
     // instructions with their saved outcomes (perfectly predicted).
-    while (!replayQueue.empty() && budget > 0 && ifq.size() < p.ifqSize) {
-        const ReplayRecord &r = replayQueue.front();
+    while (!st.replayQueue.empty() && budget > 0 &&
+           st.ifq.size() < cx.p.ifqSize) {
+        const ReplayRecord &r = st.replayQueue.front();
         if (!charge_icache(r.pc))
             return;
         FetchedInst fi;
         fi.inst = r.inst;
         fi.pc = r.pc;
-        fi.fetchCycle = now;
+        fi.fetchCycle = st.now;
         fi.predNextPc = r.outcome.nextPc;
         fi.predTaken = r.outcome.taken;
         fi.hasOutcome = true;
         fi.savedOutcome = r.outcome;
-        ifq.push_back(fi);
-        replayQueue.pop_front();
+        st.ifq.push_back(fi);
+        st.replayQueue.pop_front();
         --budget;
         stalls.busy(StallStage::Fetch);
     }
-    if (!replayQueue.empty()) {
+    if (!st.replayQueue.empty()) {
         if (budget > 0)
             stalls.blame(StallStage::Fetch, StallReason::IfqFull);
         return;
     }
 
-    while (budget > 0 && ifq.size() < p.ifqSize) {
-        if (!charge_icache(fetchPc))
+    while (budget > 0 && st.ifq.size() < cx.p.ifqSize) {
+        if (!charge_icache(st.fetchPc))
             return;
 
         FetchedInst fi;
-        fi.inst = prog.fetch(fetchPc); // NOP outside the text segment
-        fi.pc = fetchPc;
-        fi.fetchCycle = now;
+        fi.inst = cx.prog->fetch(st.fetchPc); // NOP outside the text seg
+        fi.pc = st.fetchPc;
+        fi.fetchCycle = st.now;
 
-        const BranchPrediction pred = bp->predict(fetchPc, fi.inst);
+        const BranchPrediction pred = cx.bp->predict(st.fetchPc, fi.inst);
         fi.predTaken = pred.taken;
-        fi.predNextPc = pred.taken ? pred.target : fetchPc + 4;
+        fi.predNextPc = pred.taken ? pred.target : st.fetchPc + 4;
         fi.histAtFetch = pred.histAtFetch;
         fi.hasPrediction = true;
-        ifq.push_back(fi);
+        st.ifq.push_back(fi);
         --budget;
         stalls.busy(StallStage::Fetch);
 
-        const bool redirect = fi.predNextPc != fetchPc + 4;
-        fetchPc = fi.predNextPc;
+        const bool redirect = fi.predNextPc != st.fetchPc + 4;
+        st.fetchPc = fi.predNextPc;
         if (redirect) {
             stalls.blame(StallStage::Fetch, StallReason::Redirect);
             break; // taken control transfer ends the fetch group
         }
     }
-    if (budget > 0 && ifq.size() >= p.ifqSize)
+    if (budget > 0 && st.ifq.size() >= cx.p.ifqSize)
         stalls.blame(StallStage::Fetch, StallReason::IfqFull);
 }
 

@@ -7,23 +7,30 @@ namespace direb
 
 FuPool::FuPool(const Config &config)
 {
-    const auto count = [&](const char *key, unsigned def) {
-        const auto n = config.getUint(key, def);
+    const auto count = [&](const char *key, unsigned def,
+                           const char *desc) {
+        const auto n = config.getUint(key, def, desc);
         fatal_if(n == 0, "%s must be positive", key);
         return static_cast<std::size_t>(n);
     };
-    intAlu.units.resize(count("fu.intalu", 4));
-    intMulDiv.units.resize(count("fu.intmul", 2));
-    fpAdd.units.resize(count("fu.fpadd", 2));
-    fpMulDiv.units.resize(count("fu.fpmul", 1));
-    memPorts.resize(count("fu.memport", 2));
+    intAlu.units.resize(count("fu.intalu", 4, "integer ALU count"));
+    intMulDiv.units.resize(
+        count("fu.intmul", 2, "integer multiply/divide unit count"));
+    fpAdd.units.resize(count("fu.fpadd", 2, "FP adder count"));
+    fpMulDiv.units.resize(
+        count("fu.fpmul", 1, "FP multiply/divide unit count"));
+    memPorts.resize(count("fu.memport", 2, "data-cache port count"));
 
     const auto tim = [&](OpClass cls, const char *key, Cycle op_def,
                          Cycle iss_def) {
         auto &t = timings[static_cast<unsigned>(cls)];
-        t.opLatency = config.getUint(std::string("lat.") + key, op_def);
-        t.issueLatency =
-            config.getUint(std::string("lat.") + key + "_issue", iss_def);
+        t.opLatency = config.getUint(
+            std::string("lat.") + key, op_def,
+            (std::string(key) + " operation latency in cycles").c_str());
+        t.issueLatency = config.getUint(
+            std::string("lat.") + key + "_issue", iss_def,
+            (std::string(key) +
+             " issue (initiation) interval in cycles").c_str());
     };
     tim(OpClass::IntAlu, "intalu", 1, 1);
     tim(OpClass::IntMul, "intmul", 3, 1);

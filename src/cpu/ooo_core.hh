@@ -20,26 +20,33 @@
  * cycle): commit -> writeback/wakeup -> LSQ memory issue -> select/issue
  * -> dispatch (functional execution + duplication) -> fetch (+branch
  * prediction + IRB lookup).
+ *
+ * The core itself is a thin coordinator: mutable machine state lives in
+ * PipelineState, mode-specific behaviour in a RedundancyPolicy
+ * (core/policy.hh), the back-end stages in a SchedulerBackend
+ * (scheduler.hh), and the front-end/commit stages in stage components
+ * (stages.hh), all wired together through a CoreContext. A core is
+ * reusable: reset() rebinds it to a new (program, config) pair with
+ * state and statistics identical to a freshly constructed core.
  */
 
 #ifndef DIREB_CPU_OOO_CORE_HH
 #define DIREB_CPU_OOO_CORE_HH
 
-#include <algorithm>
-#include <deque>
 #include <memory>
-#include <optional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
 
 #include "branch/predictor.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/irb.hh"
+#include "core/policy.hh"
 #include "core/redundancy.hh"
+#include "cpu/core_context.hh"
 #include "cpu/fu_pool.hh"
+#include "cpu/pipeline_state.hh"
+#include "cpu/scheduler.hh"
 #include "cpu/spec_state.hh"
+#include "cpu/stages.hh"
 #include "mem/cache.hh"
 #include "trace/stall.hh"
 #include "trace/trace.hh"
@@ -48,62 +55,9 @@
 namespace direb
 {
 
-/** Redundancy mode of the core. */
-enum class ExecMode : std::uint8_t { Sie, Die, DieIrb };
-
-/** Parse "sie" / "die" / "die-irb". */
-ExecMode execModeFromName(const std::string &name);
-const char *execModeName(ExecMode mode);
-
-/** Machine-width / capacity parameters (paper §2.2 base configuration). */
-struct CoreParams
-{
-    ExecMode mode = ExecMode::Sie;
-    /**
-     * Back-end scheduler implementation (core.scheduler=scan|ready_list).
-     * Both are cycle-accurate and produce bit-identical timing and
-     * statistics; "scan" re-walks the whole RUU every cycle (the original
-     * implementation, kept as the differential-testing reference), while
-     * "ready_list" maintains incremental ready/pending sets and an
-     * indexed store-address map so each stage visits only actionable
-     * entries.
-     */
-    bool readyListScheduler = true;
-    unsigned fetchWidth = 8;
-    unsigned decodeWidth = 8;   //!< RUU entries dispatched per cycle
-    unsigned issueWidth = 8;    //!< instructions selected per cycle
-    unsigned commitWidth = 8;   //!< RUU entries retired per cycle
-    std::size_t ruuSize = 128;  //!< unified ROB+window entries
-    std::size_t lsqSize = 64;   //!< load/store queue entries
-    std::size_t ifqSize = 16;   //!< fetch/decode queue entries
-    Cycle redirectPenalty = 2;  //!< front-end bubble after squash
-
-    /**
-     * DIE-IRB design ablations (paper §3.3 defaults: primary-fed
-     * duplicates, reuse test folded into wakeup).
-     * @{
-     */
-    bool dupOwnDataflow = false;    //!< duplicates wait on dup producers
-    bool irbConsumesIssueSlot = false; //!< reuse hits burn issue bandwidth
-    /** @} */
-
-    /** Read core.* / width.* / ruu.* / lsq.* keys from @p config. */
-    static CoreParams fromConfig(const Config &config);
-};
-
-/** Final results of a timing run. */
-struct CoreResult
-{
-    StopReason stop = StopReason::InstLimit;
-    Cycle cycles = 0;
-    std::uint64_t archInsts = 0;   //!< architectural instructions committed
-    std::uint64_t ruuEntriesCommitted = 0;
-    double ipc = 0.0;              //!< architectural IPC
-};
-
 /**
  * The out-of-order core. Owns all substrate components; construct one per
- * (program, config) run.
+ * run, or reuse across runs via reset().
  */
 class OooCore
 {
@@ -113,6 +67,15 @@ class OooCore
 
     OooCore(const OooCore &) = delete;
     OooCore &operator=(const OooCore &) = delete;
+
+    /**
+     * Rebind the core to a new (program, config) pair. Every component
+     * is rebuilt from the config, all statistics are zeroed, and memory /
+     * architectural state are reloaded — a subsequent run() is
+     * bit-identical (cycles, stats, text report) to one on a freshly
+     * constructed core. @p program must outlive the core's use of it.
+     */
+    void reset(const Program &program, const Config &config);
 
     /** Run to completion (HALT / limits). */
     CoreResult run(std::uint64_t max_insts = 50'000'000,
@@ -129,7 +92,7 @@ class OooCore
     BranchPredictor &predictor() { return *bp; }
     MemHierarchy &memHierarchy() { return *memHier; }
     FuPool &fuPool() { return *fus; }
-    Irb *irb() { return reuseBuffer.get(); }
+    Irb *irb() { return policy->irb(); }
     FaultInjector &faultInjector() { return *injector; }
     Checker &checker() { return pairChecker; }
     const CoreParams &params() const { return p; }
@@ -139,141 +102,21 @@ class OooCore
     const trace::StallAccount &stallAccount() const { return stalls; }
     /** @} */
 
-    Cycle cycle() const { return now; }
-    std::uint64_t committedArchInsts() const { return numArchInsts.value(); }
-    bool done() const { return !running; }
+    Cycle cycle() const { return st.now; }
+    std::uint64_t committedArchInsts() const
+    {
+        return cstats.numArchInsts.value();
+    }
+    bool done() const { return !st.running; }
 
   private:
-    // ---- pipeline structures ------------------------------------------------
-
-    /** An instruction waiting in the fetch/decode queue. */
-    struct FetchedInst
-    {
-        Inst inst;
-        Addr pc = 0;
-        Cycle fetchCycle = 0;
-        Addr predNextPc = 0;
-        bool predTaken = false;
-        std::uint64_t histAtFetch = 0; //!< bp history checkpoint
-        bool hasPrediction = false;    //!< false for replay records
-        // Fault-rewind replay: outcome already known, skip functional exec.
-        bool hasOutcome = false;
-        ExecOutcome savedOutcome;
-        bool synthesizedHalt = false;
-    };
-
-    /** A (consumer, seq) edge used for wakeup; seq guards reallocation. */
-    struct DepEdge
-    {
-        int idx;
-        InstSeq seq;
-    };
-
-    /** One RUU entry. */
-    struct RuuEntry
-    {
-        Inst inst;
-        Addr pc = 0;
-        InstSeq seq = invalidSeq;
-        ExecOutcome outcome;
-        OpClass cls = OpClass::Nop;
-
-        bool isDup = false;
-        int pairIdx = -1;        //!< partner entry (DIE modes)
-        bool wrongPath = false;  //!< dispatched in spec mode
-
-        unsigned srcPending = 0;
-        std::vector<DepEdge> dependents;
-        bool issued = false;
-        bool completed = false;
-        Cycle completeAt = 0;
-        Cycle dispatchedAt = 0;
-
-        // memory state machine (primary loads)
-        bool isMemOp = false;
-        bool needsMemAccess = false; //!< primary load: must access dcache
-        bool addrGenPending = false; //!< scheduled completion is addr-gen
-        bool addrDone = false;
-        bool memStarted = false;
-        bool holdsLsqSlot = false;
-
-        // control
-        bool predTaken = false;
-        Addr predNextPc = 0;
-        std::uint64_t histAtFetch = 0;
-        bool hasPrediction = false;
-        bool mispredicted = false;
-        bool recoveryDone = false;
-
-        // IRB (duplicate stream)
-        bool irbCandidate = false; //!< PC hit; reuse test pending
-        IrbLookup irb;
-        Cycle irbReadyAt = 0;
-        bool reuseTested = false;
-        bool reuseHit = false;
-        bool bypassedAlu = false;
-
-        // checker / fault injection
-        RegVal checkValue = 0;
-        bool faulted = false;
-
-        bool isHalt = false;
-    };
-
-    /** Record used to replay committed-path work after a fault rewind. */
-    struct ReplayRecord
-    {
-        Inst inst;
-        Addr pc;
-        ExecOutcome outcome;
-    };
-
-    // ---- pipeline stages (one call each per tick) ---------------------------
-    void commitStage();
-    void writebackStage();
-    void memoryStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
-
-    // Per-stage implementations: "Scan" walks the RUU (reference), "List"
-    // visits only the incremental ready/pending sets.
-    void writebackStageScan();
-    void writebackStageList();
-    void memoryStageScan();
-    void memoryStageList();
-    void issueStageScan();
-    void issueStageList();
-
-    // ---- helpers -------------------------------------------------------------
-    RuuEntry &entryAt(std::size_t offset);
-    const RuuEntry &entryAt(std::size_t offset) const;
-    int allocEntry();
-    bool ruuFull(unsigned needed) const;
-
-    void completeEntry(int idx);
-    void wakeDependents(int idx);
-    void tryReuseTest(int idx);
-    void handleMispredictRecovery(int idx);
-    void squashYoungerThan(std::size_t keep_count);
-    void rebuildCreateVectors();
-    void faultRewind(std::size_t pair_offset);
-    void retireEntry(RuuEntry &e);
-    bool olderStoreBlocks(std::size_t load_offset, bool &forwarded) const;
-    bool loadBlockedByStore(const RuuEntry &load, bool &forwarded) const;
-    void processWriteback(int idx);
-    void scheduleWriteback(int idx, Cycle at);
-    void dropStoreIndex(const RuuEntry &e);
-    void resetScheduler();
-    void dispatchOne(const FetchedInst &fi, unsigned &width_left);
-    void linkSources(RuuEntry &e, int idx, unsigned stream);
-    void setupIrbFields(RuuEntry &dup, const FetchedInst &fi);
-    void maybeInjectForwardFault(RuuEntry &prim, RuuEntry &dup);
-    void finishRun(StopReason reason);
+    /** Shared body of the constructor and reset(). */
+    void configure(const Program &program, const Config &config,
+                   bool first);
 
     // ---- configuration & components -----------------------------------------
     CoreParams p;
-    const Program &prog;
+    const Program *prog = nullptr;
 
     Memory mem;
     ArchState arch;
@@ -282,142 +125,22 @@ class OooCore
     std::unique_ptr<BranchPredictor> bp;
     std::unique_ptr<MemHierarchy> memHier;
     std::unique_ptr<FuPool> fus;
-    std::unique_ptr<Irb> reuseBuffer;      //!< only in DIE-IRB mode
     std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<RedundancyPolicy> policy;
     Checker pairChecker;
     std::unique_ptr<trace::Tracer> tracer_; //!< only when trace.enabled
 
-    // ---- machine state --------------------------------------------------------
-    Cycle now = 0;
-    bool running = true;
-    StopReason stopReason = StopReason::InstLimit;
-    std::uint64_t maxArchInsts = 0;
+    // ---- machine state / stages ---------------------------------------------
+    PipelineState st;
+    std::unique_ptr<SchedulerBackend> sched;
+    FetchStage fetchStage_;
+    DispatchStage dispatchStage_;
+    CommitStage commitStage_;
+    CoreContext cx;
 
-    std::vector<RuuEntry> ruu;
-    std::size_t ruuHead = 0;
-    std::size_t ruuCount = 0;
-    std::size_t lsqUsed = 0;
-    InstSeq nextSeq = 1;
-
-    /** Newest in-flight producer of a register (seq guards slot reuse). */
-    struct Producer
-    {
-        int idx = -1;
-        InstSeq seq = invalidSeq;
-    };
-
-    /** createVec[stream][reg] = newest in-flight producer. */
-    std::vector<Producer> createVec[2];
-
-    // ---- scan-free scheduler state (core.scheduler=ready_list) --------------
-    //
-    // All sets are keyed by seq, so iteration order equals the scan's
-    // oldest-first RUU order and references left dangling by a squash (the
-    // slot may already hold a younger instruction) are detected by a seq
-    // mismatch and dropped lazily.
-
-    /** A scheduled completion: entry (idx, seq) finishes at cycle at. */
-    struct WbEvent
-    {
-        Cycle at;
-        InstSeq seq;
-        int idx;
-    };
-
-    /** Min-heap order: earliest cycle first, oldest instruction first. */
-    struct WbEventAfter
-    {
-        bool
-        operator()(const WbEvent &a, const WbEvent &b) const
-        {
-            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<WbEvent, std::vector<WbEvent>, WbEventAfter>
-        wbEvents;
-
-    /**
-     * Flat (seq, RUU index) set ordered by seq — the hot-loop
-     * alternative to a node-based ordered map. Producers append (no
-     * per-node allocation); the single consuming stage calls normalize()
-     * once per cycle, which sorts the appended tail and merges it into
-     * the sorted prefix, then walks the items oldest-first and compacts
-     * the survivors in place. The stages never insert into the list they
-     * are currently walking, so an iteration only ever sees the
-     * normalized snapshot.
-     */
-    struct SeqList
-    {
-        std::vector<std::pair<InstSeq, int>> items;
-        std::size_t sorted = 0; //!< items[0..sorted) are sorted by seq
-
-        void push(InstSeq seq, int idx) { items.emplace_back(seq, idx); }
-
-        void
-        clear()
-        {
-            items.clear();
-            sorted = 0;
-        }
-
-        void
-        normalize()
-        {
-            if (sorted == items.size())
-                return;
-            std::sort(items.begin() + sorted, items.end());
-            std::inplace_merge(items.begin(), items.begin() + sorted,
-                               items.end());
-            sorted = items.size();
-        }
-
-        /** End a compacting walk that kept the first @p kept items. */
-        void
-        compact(std::size_t kept)
-        {
-            items.resize(kept);
-            sorted = kept;
-        }
-    };
-
-    SeqList readyList;    //!< operand-ready, not yet issued
-    SeqList pendingMem;   //!< loads awaiting a D-cache port
-    SeqList pendingReuse; //!< dups with pending reuse test
-    /** Primary stores pre addr-gen; appended in dispatch (= seq) order. */
-    std::vector<InstSeq> unresolvedStores;
-    /** Resolved primary stores by 8-byte block (effAddr>>3), oldest first. */
-    std::unordered_map<Addr, std::vector<InstSeq>> storeBlocks;
-
-    std::deque<FetchedInst> ifq;
-    std::deque<ReplayRecord> replayQueue;
-    Addr fetchPc = 0;
-    Cycle fetchStallUntil = 0;
-    Addr lastFetchBlock = invalidAddr;
-    bool haltSeen = false;   //!< stop fetching/dispatching new work
-    bool badPcSeen = false;
-
-    Cycle lastCommitCycle = 0;
-
-    // ---- statistics ------------------------------------------------------------
+    // ---- statistics ---------------------------------------------------------
     stats::Group group{"core"};
-    stats::Scalar numCycles;
-    stats::Scalar numArchInsts;
-    stats::Scalar numEntriesCommitted;
-    stats::Scalar numDispatched;
-    stats::Scalar numWrongPathDispatched;
-    stats::Scalar numIssuedTotal;
-    stats::Scalar numBypassedAlu;
-    stats::Scalar numRecoveries;
-    stats::Scalar numRewinds;
-    stats::Scalar numDispatchStallRuu;
-    stats::Scalar numDispatchStallLsq;
-    stats::Scalar numIssueStallFu;
-    stats::Scalar numLoadsForwarded;
-    stats::Scalar numLoadsBlocked;
-    stats::Formula ipcFormula;
-    stats::Distribution ruuOccupancy; //!< RUU entries live, sampled per cycle
-    stats::Distribution issueDelay;   //!< cycles from dispatch to issue
+    CoreStats cstats;
 
     /**
      * Stall attribution: every counted cycle each stage charges its full
@@ -425,13 +148,9 @@ class OooCore
      * are folded only when a cycle completes (endCycle() runs just before
      * numCycles increments), so sum(core.stall.<stage>.*) ==
      * core.cycles * width holds exactly; a final tick aborted by
-     * finishRun drops its partial ledger with the cycle itself.
+     * finish() drops its partial ledger with the cycle itself.
      */
     trace::StallAccount stalls;
-    /** Cycle-local issue-blame inputs, reset by issueStage(). @{ */
-    unsigned cycFuDenied = 0;
-    unsigned cycIrbDeferred = 0;
-    /** @} */
 };
 
 } // namespace direb

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The explicit pipeline state shared by every stage component of the
+ * out-of-order core: the unified RUU ring, per-stream create vectors,
+ * fetch/decode queue, replay queue, LSQ occupancy, and the run/stop
+ * bookkeeping. Extracting this from OooCore lets the stage classes
+ * (stages.hh), the scheduler backends (scheduler.hh) and the redundancy
+ * policies (core/policy.hh) operate on one plain struct instead of
+ * reaching into a god-object.
+ */
+
+#ifndef DIREB_CPU_PIPELINE_STATE_HH
+#define DIREB_CPU_PIPELINE_STATE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/irb.hh"
+#include "isa/inst.hh"
+#include "isa/opcodes.hh"
+#include "vm/executor.hh"
+#include "vm/vm.hh"
+
+namespace direb
+{
+
+/** An instruction waiting in the fetch/decode queue. */
+struct FetchedInst
+{
+    Inst inst;
+    Addr pc = 0;
+    Cycle fetchCycle = 0;
+    Addr predNextPc = 0;
+    bool predTaken = false;
+    std::uint64_t histAtFetch = 0; //!< bp history checkpoint
+    bool hasPrediction = false;    //!< false for replay records
+    // Fault-rewind replay: outcome already known, skip functional exec.
+    bool hasOutcome = false;
+    ExecOutcome savedOutcome;
+};
+
+/** A (consumer, seq) edge used for wakeup; seq guards reallocation. */
+struct DepEdge
+{
+    int idx;
+    InstSeq seq;
+};
+
+/** One RUU entry. */
+struct RuuEntry
+{
+    Inst inst;
+    Addr pc = 0;
+    InstSeq seq = invalidSeq;
+    ExecOutcome outcome;
+    OpClass cls = OpClass::Nop;
+
+    bool isDup = false;
+    int pairIdx = -1;        //!< partner entry (DIE modes)
+    bool wrongPath = false;  //!< dispatched in spec mode
+
+    unsigned srcPending = 0;
+    std::vector<DepEdge> dependents;
+    bool issued = false;
+    bool completed = false;
+    Cycle completeAt = 0;
+    Cycle dispatchedAt = 0;
+
+    // memory state machine (primary loads)
+    bool isMemOp = false;
+    bool needsMemAccess = false; //!< primary load: must access dcache
+    bool addrGenPending = false; //!< scheduled completion is addr-gen
+    bool addrDone = false;
+    bool memStarted = false;
+    bool holdsLsqSlot = false;
+
+    // control
+    bool predTaken = false;
+    Addr predNextPc = 0;
+    std::uint64_t histAtFetch = 0;
+    bool hasPrediction = false;
+    bool mispredicted = false;
+    bool recoveryDone = false;
+
+    // IRB (duplicate stream)
+    bool irbCandidate = false; //!< PC hit; reuse test pending
+    IrbLookup irb;
+    Cycle irbReadyAt = 0;
+    bool reuseTested = false;
+    bool reuseHit = false;
+    bool bypassedAlu = false;
+
+    // checker / fault injection
+    RegVal checkValue = 0;
+    bool faulted = false;
+
+    bool isHalt = false;
+};
+
+/** Record used to replay committed-path work after a fault rewind. */
+struct ReplayRecord
+{
+    Inst inst;
+    Addr pc;
+    ExecOutcome outcome;
+};
+
+/** Newest in-flight producer of a register (seq guards slot reuse). */
+struct Producer
+{
+    int idx = -1;
+    InstSeq seq = invalidSeq;
+};
+
+/**
+ * All mutable pipeline state, shared by the stage components through a
+ * CoreContext. A PipelineState is fully reusable: reset() restores the
+ * freshly-constructed machine for the next program.
+ */
+struct PipelineState
+{
+    std::vector<RuuEntry> ruu;
+    std::size_t ruuHead = 0;
+    std::size_t ruuCount = 0;
+    std::size_t lsqUsed = 0;
+    InstSeq nextSeq = 1;
+
+    /** createVec[stream][reg] = newest in-flight producer. */
+    std::vector<Producer> createVec[2];
+
+    std::deque<FetchedInst> ifq;
+    std::deque<ReplayRecord> replayQueue;
+    Addr fetchPc = 0;
+    Cycle fetchStallUntil = 0;
+    Addr lastFetchBlock = invalidAddr;
+    bool haltSeen = false;   //!< stop fetching/dispatching new work
+    bool badPcSeen = false;
+
+    Cycle now = 0;
+    bool running = true;
+    StopReason stopReason = StopReason::InstLimit;
+    std::uint64_t maxArchInsts = 0;
+    Cycle lastCommitCycle = 0;
+
+    RuuEntry &
+    entryAt(std::size_t offset)
+    {
+        panic_if(offset >= ruuCount,
+                 "RUU offset %zu out of range (count %zu)", offset,
+                 ruuCount);
+        return ruu[(ruuHead + offset) % ruu.size()];
+    }
+
+    const RuuEntry &
+    entryAt(std::size_t offset) const
+    {
+        return const_cast<PipelineState *>(this)->entryAt(offset);
+    }
+
+    int
+    allocEntry()
+    {
+        panic_if(ruuCount >= ruu.size(), "RUU overflow");
+        const int idx = static_cast<int>((ruuHead + ruuCount) % ruu.size());
+        ++ruuCount;
+        ruu[idx] = RuuEntry{};
+        ruu[idx].seq = nextSeq++;
+        return idx;
+    }
+
+    bool ruuFull(unsigned needed) const
+    {
+        return ruuCount + needed > ruu.size();
+    }
+
+    /** RUU offset (age) of the entry at ring index @p idx. */
+    std::size_t
+    offsetOf(int idx) const
+    {
+        return (static_cast<std::size_t>(idx) + ruu.size() - ruuHead) %
+               ruu.size();
+    }
+
+    void
+    finish(StopReason reason)
+    {
+        running = false;
+        stopReason = reason;
+    }
+
+    /**
+     * Rebuild both create vectors from the live RUU contents (after a
+     * squash). @p dup_own_dataflow mirrors the dispatch-time linking rule:
+     * duplicates register as stream-1 producers only when the duplicate
+     * stream has its own dataflow.
+     */
+    void
+    rebuildCreateVectors(bool dup_own_dataflow)
+    {
+        createVec[0].assign(numArchRegs, Producer{});
+        createVec[1].assign(numArchRegs, Producer{});
+        for (std::size_t off = 0; off < ruuCount; ++off) {
+            const int idx =
+                static_cast<int>((ruuHead + off) % ruu.size());
+            const RuuEntry &e = ruu[idx];
+            const RegId dst = e.inst.dstReg();
+            if (dst == noReg)
+                continue;
+            if (!e.isDup)
+                createVec[0][dst] = {idx, e.seq};
+            else if (dup_own_dataflow)
+                createVec[1][dst] = {idx, e.seq};
+        }
+    }
+
+    /** Restore the freshly-constructed state for an RUU of @p ruu_size. */
+    void
+    reset(std::size_t ruu_size)
+    {
+        ruu.assign(ruu_size, RuuEntry{});
+        ruuHead = 0;
+        ruuCount = 0;
+        lsqUsed = 0;
+        nextSeq = 1;
+        createVec[0].assign(numArchRegs, Producer{});
+        createVec[1].assign(numArchRegs, Producer{});
+        ifq.clear();
+        replayQueue.clear();
+        fetchPc = 0;
+        fetchStallUntil = 0;
+        lastFetchBlock = invalidAddr;
+        haltSeen = false;
+        badPcSeen = false;
+        now = 0;
+        running = true;
+        stopReason = StopReason::InstLimit;
+        maxArchInsts = 0;
+        lastCommitCycle = 0;
+    }
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_PIPELINE_STATE_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Scheduler machinery shared by both backends: completion/wakeup, the
+ * IRB reuse test (folded into wakeup, paper Figure 5), branch
+ * misprediction recovery, the squash walk, and the per-cycle issue-blame
+ * attribution.
+ */
+
+#include "cpu/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+void
+SchedulerBackend::issue()
+{
+    cycFuDenied = 0;
+    cycIrbDeferred = 0;
+    issueImpl();
+
+    // Cycle blame from aggregates both scheduler implementations compute
+    // identically: an FU denial means ready work existed and lost ALU
+    // bandwidth; failing that, a pending reuse test held duplicates back;
+    // otherwise occupied-but-unready entries were waiting on operands.
+    using trace::StallReason;
+    using trace::StallStage;
+    if (cx.st->ruuCount == 0)
+        cx.stalls->blame(StallStage::Issue, StallReason::Empty);
+    else if (cycFuDenied > 0)
+        cx.stalls->blame(StallStage::Issue, StallReason::FuContention);
+    else if (cycIrbDeferred > 0)
+        cx.stalls->blame(StallStage::Issue, StallReason::IrbDeferral);
+    else
+        cx.stalls->blame(StallStage::Issue, StallReason::OperandWait);
+}
+
+void
+SchedulerBackend::wakeDependents(int idx)
+{
+    PipelineState &st = *cx.st;
+    RuuEntry &e = st.ruu[idx];
+    for (const DepEdge &dep : e.dependents) {
+        RuuEntry &c = st.ruu[dep.idx];
+        if (c.seq != dep.seq)
+            continue; // consumer was squashed; slot may be reused
+        panic_if(c.srcPending == 0, "wakeup underflow (seq %llu)",
+                 static_cast<unsigned long long>(c.seq));
+        --c.srcPending;
+        if (c.srcPending == 0) {
+            DIREB_TRACE(cx.tracer, trace::Kind::Wakeup, c.seq, c.pc,
+                        c.isDup, c.inst);
+            onWokenReady(dep.idx);
+        }
+    }
+    e.dependents.clear();
+}
+
+void
+SchedulerBackend::completeEntry(int idx)
+{
+    RuuEntry &e = cx.st->ruu[idx];
+    e.completed = true;
+    DIREB_TRACE(cx.tracer, trace::Kind::Complete, e.seq, e.pc, e.isDup,
+                e.inst);
+
+    // Fault site "fu": a transient strikes the unit producing this value.
+    if (cx.injector->site() == FaultSite::Fu && e.cls != OpClass::Nop &&
+        !e.bypassedAlu && cx.injector->strike()) {
+        e.checkValue ^= RegVal(1) << cx.injector->bitToFlip();
+        e.faulted = true;
+    }
+
+    // In DIE-IRB only primary results are forwarded; duplicate completions
+    // wake nobody (their dependents list is empty by construction).
+    wakeDependents(idx);
+
+    if (e.mispredicted && !e.wrongPath && !e.recoveryDone)
+        handleMispredictRecovery(idx);
+
+    onCompleted(idx);
+}
+
+void
+SchedulerBackend::tryReuseTest(int idx)
+{
+    PipelineState &st = *cx.st;
+    RuuEntry &e = st.ruu[idx];
+    if (!e.isDup || !e.irbCandidate || e.reuseTested || e.issued ||
+        e.completed || e.srcPending > 0 || st.now < e.irbReadyAt) {
+        return;
+    }
+    e.reuseTested = true;
+    // A corrupted forwarded operand (fault injection) cannot match the
+    // stored operand values: the reuse test fails and the duplicate
+    // executes with the corrupted input — exactly the §3.4 behaviour.
+    const bool pass = !e.faulted && e.irb.op1 == e.outcome.op1Val &&
+                      e.irb.op2 == e.outcome.op2Val;
+    cx.policy->irb()->recordReuseTest(pass);
+    DIREB_TRACE(cx.tracer,
+                pass ? trace::Kind::IrbReuseHit : trace::Kind::IrbReuseMiss,
+                e.seq, e.pc, true, e.inst);
+    if (!pass)
+        return;
+
+    // Reuse hit: pick up the stored result and skip the ALUs entirely —
+    // no issue slot, no functional unit, no result forwarding.
+    e.reuseHit = true;
+    e.bypassedAlu = true;
+    e.issued = true;
+    e.completeAt = st.now + 1;
+    e.checkValue = e.irb.result;
+    scheduleCompletion(idx, e.completeAt);
+    ++cx.stats->numBypassedAlu;
+}
+
+void
+SchedulerBackend::squashYoungerThan(std::size_t keep_count)
+{
+    PipelineState &st = *cx.st;
+    panic_if(keep_count > st.ruuCount, "bad squash point");
+    for (std::size_t off = keep_count; off < st.ruuCount; ++off) {
+        RuuEntry &e = st.entryAt(off);
+        DIREB_TRACE(cx.tracer, trace::Kind::Squash, e.seq, e.pc, e.isDup,
+                    e.inst);
+        if (e.holdsLsqSlot) {
+            panic_if(st.lsqUsed == 0, "LSQ accounting underflow");
+            --st.lsqUsed;
+        }
+        if (e.faulted)
+            cx.injector->recordSquashed();
+        onSquashEntry(e);
+        e.seq = invalidSeq; // invalidate dangling dependence edges
+    }
+    st.ruuCount = keep_count;
+    st.rebuildCreateVectors(cx.policy->dupOwnDataflow());
+}
+
+void
+SchedulerBackend::handleMispredictRecovery(int idx)
+{
+    PipelineState &st = *cx.st;
+    RuuEntry &e = st.ruu[idx];
+    panic_if(!st.replayQueue.empty(), "recovery during fault replay");
+    DIREB_TRACE(cx.tracer, trace::Kind::Recovery, e.seq, e.pc, e.isDup,
+                e.inst);
+
+    // Keep everything up to and including the branch's pair.
+    const std::size_t own_off = st.offsetOf(idx);
+    std::size_t keep = own_off + 1;
+    if (e.pairIdx >= 0) {
+        const std::size_t pair_off = st.offsetOf(e.pairIdx);
+        keep = std::max(keep, pair_off + 1);
+        st.ruu[e.pairIdx].recoveryDone = true;
+    }
+    e.recoveryDone = true;
+
+    squashYoungerThan(keep);
+    cx.spec->exitSpec();
+    st.ifq.clear();
+
+    st.fetchPc = e.outcome.nextPc;
+    st.fetchStallUntil = st.now + cx.p.redirectPenalty;
+    st.lastFetchBlock = invalidAddr;
+    // Repair the speculative global history to this branch's fetch-time
+    // checkpoint, shifted by its now-known actual direction.
+    if (e.hasPrediction) {
+        cx.bp->recoverHistory(isBranch(e.inst.op)
+                                  ? (e.histAtFetch << 1) |
+                                        (e.outcome.taken ? 1 : 0)
+                                  : e.histAtFetch);
+    }
+    ++cx.stats->numRecoveries;
+}
+
+std::unique_ptr<SchedulerBackend>
+makeScheduler(bool ready_list, CoreContext &context)
+{
+    if (ready_list)
+        return std::make_unique<ReadyListScheduler>(context);
+    return std::make_unique<ScanScheduler>(context);
+}
+
+} // namespace direb

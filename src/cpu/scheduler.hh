@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Scheduler backends: the back-end pipeline stages (writeback/wakeup,
+ * LSQ memory issue, select/issue) plus the wakeup/recovery machinery they
+ * share, behind one interface with two bit-identical implementations.
+ *
+ * "scan" (ScanScheduler) re-walks the whole RUU every cycle and
+ * re-derives what is actionable — the original implementation, kept as
+ * the differential-testing reference. "ready_list" (ReadyListScheduler,
+ * core.scheduler default) maintains the same information incrementally:
+ * a completion-event heap for writeback, an operand-ready list for
+ * select/issue, a pending-load list plus an ordered store-address index
+ * for the memory stage, and a pending-reuse-test list for the IRB
+ * pre-pass. Both are cycle-accurate and bit-identical in timing and
+ * statistics (proven per-workload by test_scheduler_diff).
+ *
+ * The front-end stages report scheduling events through the hook methods
+ * (onDispatched, onRetiredStore, ...) which are no-ops for the scan
+ * backend — the scan re-discovers everything by walking.
+ */
+
+#ifndef DIREB_CPU_SCHEDULER_HH
+#define DIREB_CPU_SCHEDULER_HH
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cpu/core_context.hh"
+
+namespace direb
+{
+
+/**
+ * Flat (seq, RUU index) set ordered by seq — the hot-loop alternative to
+ * a node-based ordered map. Producers append (no per-node allocation);
+ * the single consuming stage calls normalize() once per cycle, which
+ * sorts the appended tail and merges it into the sorted prefix, then
+ * walks the items oldest-first and compacts the survivors in place. The
+ * stages never insert into the list they are currently walking, so an
+ * iteration only ever sees the normalized snapshot.
+ */
+struct SeqList
+{
+    std::vector<std::pair<InstSeq, int>> items;
+    std::size_t sorted = 0; //!< items[0..sorted) are sorted by seq
+
+    void push(InstSeq seq, int idx) { items.emplace_back(seq, idx); }
+
+    void
+    clear()
+    {
+        items.clear();
+        sorted = 0;
+    }
+
+    void
+    normalize()
+    {
+        if (sorted == items.size())
+            return;
+        std::sort(items.begin() + sorted, items.end());
+        std::inplace_merge(items.begin(), items.begin() + sorted,
+                           items.end());
+        sorted = items.size();
+    }
+
+    /** End a compacting walk that kept the first @p kept items. */
+    void
+    compact(std::size_t kept)
+    {
+        items.resize(kept);
+        sorted = kept;
+    }
+};
+
+/**
+ * One back-end scheduler. Owns whatever incremental state its
+ * implementation needs; everything else (RUU, stats, components) is
+ * reached through the shared CoreContext.
+ */
+class SchedulerBackend
+{
+  public:
+    explicit SchedulerBackend(CoreContext &context) : cx(context) {}
+    virtual ~SchedulerBackend() = default;
+
+    SchedulerBackend(const SchedulerBackend &) = delete;
+    SchedulerBackend &operator=(const SchedulerBackend &) = delete;
+
+    /** The three back-end stages, called once per tick. @{ */
+    virtual void writeback() = 0;
+    virtual void memory() = 0;
+    void issue(); //!< issueImpl() plus the shared cycle-blame attribution
+    /** @} */
+
+    /**
+     * Dispatch allocated entry @p idx (primary) / duplicate @p idx and
+     * finished linking its sources. @{
+     */
+    virtual void onDispatched(int idx) { (void)idx; }
+    virtual void onDispatchedDup(int idx) { (void)idx; }
+    /** @} */
+
+    /** Commit retired primary store @p e (its forwarding window closed). */
+    virtual void onRetiredStore(const RuuEntry &e) { (void)e; }
+
+    /** A fault rewind emptied the RUU: drop every in-flight reference. */
+    virtual void reset() {}
+
+  protected:
+    /** Issue/select pass; sets cycFuDenied / cycIrbDeferred. */
+    virtual void issueImpl() = 0;
+
+    /** Entry @p idx saw its last pending operand arrive. */
+    virtual void onWokenReady(int idx) { (void)idx; }
+
+    /** Entry @p idx will complete at cycle @p at. */
+    virtual void scheduleCompletion(int idx, Cycle at)
+    {
+        (void)idx;
+        (void)at;
+    }
+
+    /** Entry @p idx just completed (runs after wakeup/recovery). */
+    virtual void onCompleted(int idx) { (void)idx; }
+
+    /** Entry @p e is being squashed (still valid; seq cleared after). */
+    virtual void onSquashEntry(const RuuEntry &e) { (void)e; }
+
+    /** Shared machinery (bodies in scheduler.cc). @{ */
+    void completeEntry(int idx);
+    void wakeDependents(int idx);
+    void tryReuseTest(int idx);
+    void handleMispredictRecovery(int idx);
+    void squashYoungerThan(std::size_t keep_count);
+    /** @} */
+
+    CoreContext &cx;
+    /** Cycle-local issue-blame inputs, reset by issue(). @{ */
+    unsigned cycFuDenied = 0;
+    unsigned cycIrbDeferred = 0;
+    /** @} */
+};
+
+/** Reference backend: full-RUU walks every cycle. */
+class ScanScheduler final : public SchedulerBackend
+{
+  public:
+    explicit ScanScheduler(CoreContext &context)
+        : SchedulerBackend(context)
+    {
+    }
+
+    void writeback() override;
+    void memory() override;
+
+  protected:
+    void issueImpl() override;
+
+  private:
+    bool olderStoreBlocks(std::size_t load_offset, bool &forwarded) const;
+};
+
+/** Incremental backend: event heap + ready/pending sets + store index. */
+class ReadyListScheduler final : public SchedulerBackend
+{
+  public:
+    explicit ReadyListScheduler(CoreContext &context)
+        : SchedulerBackend(context)
+    {
+    }
+
+    void writeback() override;
+    void memory() override;
+    void onDispatched(int idx) override;
+    void onDispatchedDup(int idx) override;
+    void onRetiredStore(const RuuEntry &e) override;
+    void reset() override;
+
+  protected:
+    void issueImpl() override;
+    void onWokenReady(int idx) override;
+    void scheduleCompletion(int idx, Cycle at) override;
+    void onCompleted(int idx) override;
+    void onSquashEntry(const RuuEntry &e) override;
+
+  private:
+    /** A scheduled completion: entry (idx, seq) finishes at cycle at. */
+    struct WbEvent
+    {
+        Cycle at;
+        InstSeq seq;
+        int idx;
+    };
+
+    /** Min-heap order: earliest cycle first, oldest instruction first. */
+    struct WbEventAfter
+    {
+        bool
+        operator()(const WbEvent &a, const WbEvent &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+        }
+    };
+
+    void processWriteback(int idx);
+    void dropStoreIndex(const RuuEntry &e);
+    bool loadBlockedByStore(const RuuEntry &load, bool &forwarded) const;
+
+    // All sets are keyed by seq, so iteration order equals the scan's
+    // oldest-first RUU order and references left dangling by a squash
+    // (the slot may already hold a younger instruction) are detected by
+    // a seq mismatch and dropped lazily.
+    std::priority_queue<WbEvent, std::vector<WbEvent>, WbEventAfter>
+        wbEvents;
+    SeqList readyList;    //!< operand-ready, not yet issued
+    SeqList pendingMem;   //!< loads awaiting a D-cache port
+    SeqList pendingReuse; //!< dups with pending reuse test
+    /** Primary stores pre addr-gen; appended in dispatch (= seq) order. */
+    std::vector<InstSeq> unresolvedStores;
+    /** Resolved primary stores by 8-byte block (effAddr>>3), oldest first. */
+    std::unordered_map<Addr, std::vector<InstSeq>> storeBlocks;
+};
+
+/** Build the backend selected by core.scheduler. */
+std::unique_ptr<SchedulerBackend> makeScheduler(bool ready_list,
+                                                CoreContext &context);
+
+} // namespace direb
+
+#endif // DIREB_CPU_SCHEDULER_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The "ready_list" scheduler backend (core.scheduler default): the scan's
+ * per-cycle RUU walks replaced by incremental structures fed from the
+ * dispatch/commit hooks — a completion-event min-heap for writeback, an
+ * operand-ready SeqList for select/issue, a pending-load SeqList plus an
+ * ordered store-address index for the memory stage, and a pending-reuse
+ * SeqList for the IRB pre-pass. Bit-identical to the scan backend in
+ * timing and statistics.
+ */
+
+#include "common/logging.hh"
+#include "cpu/scheduler.hh"
+
+namespace direb
+{
+
+void
+ReadyListScheduler::onWokenReady(int idx)
+{
+    readyList.push(cx.st->ruu[idx].seq, idx);
+}
+
+void
+ReadyListScheduler::scheduleCompletion(int idx, Cycle at)
+{
+    wbEvents.push({at, cx.st->ruu[idx].seq, idx});
+}
+
+void
+ReadyListScheduler::onCompleted(int idx)
+{
+    // A duplicate load's register copy arrives with the primary's single
+    // memory access, so the primary's completion is what makes an
+    // address-done duplicate actionable. The scan finds the duplicate on
+    // its own (it sits right behind the primary, so it is visited next
+    // within the same cycle); here the primary completes it directly.
+    PipelineState &st = *cx.st;
+    RuuEntry &e = st.ruu[idx];
+    if (!e.isDup && e.pairIdx >= 0) {
+        RuuEntry &d = st.ruu[e.pairIdx];
+        if (d.isDup && d.pairIdx == idx && !d.completed && d.addrDone &&
+            isLoad(d.inst.op)) {
+            completeEntry(e.pairIdx);
+        }
+    }
+}
+
+void
+ReadyListScheduler::onDispatched(int idx)
+{
+    const RuuEntry &e = cx.st->ruu[idx];
+    if (e.srcPending == 0)
+        readyList.push(e.seq, idx);
+    // Dispatch allocates seqs in increasing order, so appending here
+    // keeps the unresolved-store list sorted.
+    if (isStore(e.inst.op))
+        unresolvedStores.push_back(e.seq);
+}
+
+void
+ReadyListScheduler::onDispatchedDup(int idx)
+{
+    const RuuEntry &d = cx.st->ruu[idx];
+    if (d.srcPending == 0)
+        readyList.push(d.seq, idx);
+    if (d.irbCandidate && !cx.p.irbConsumesIssueSlot)
+        pendingReuse.push(d.seq, idx);
+}
+
+void
+ReadyListScheduler::onRetiredStore(const RuuEntry &e)
+{
+    // A retired store leaves the RUU and must stop forwarding to younger
+    // loads (the scan only ever sees in-flight entries).
+    if (!e.isDup)
+        dropStoreIndex(e);
+}
+
+void
+ReadyListScheduler::onSquashEntry(const RuuEntry &e)
+{
+    // The store-address index is queried through its ordered ends, so
+    // squashed stores must leave eagerly (the other scheduler sets drop
+    // stale references lazily, by seq mismatch).
+    if (!e.isDup && isStore(e.inst.op))
+        dropStoreIndex(e);
+}
+
+void
+ReadyListScheduler::reset()
+{
+    wbEvents = {};
+    readyList.clear();
+    pendingMem.clear();
+    pendingReuse.clear();
+    unresolvedStores.clear();
+    storeBlocks.clear();
+}
+
+void
+ReadyListScheduler::dropStoreIndex(const RuuEntry &e)
+{
+    const auto us = std::lower_bound(unresolvedStores.begin(),
+                                     unresolvedStores.end(), e.seq);
+    if (us != unresolvedStores.end() && *us == e.seq)
+        unresolvedStores.erase(us);
+    const auto it = storeBlocks.find(e.outcome.effAddr >> 3);
+    if (it != storeBlocks.end()) {
+        std::vector<InstSeq> &seqs = it->second;
+        const auto sb = std::lower_bound(seqs.begin(), seqs.end(), e.seq);
+        if (sb != seqs.end() && *sb == e.seq)
+            seqs.erase(sb);
+        if (seqs.empty())
+            storeBlocks.erase(it);
+    }
+}
+
+void
+ReadyListScheduler::processWriteback(int idx)
+{
+    // One entry's worth of the scan's writeback body, reached via the
+    // event heap instead of a full-RUU walk.
+    PipelineState &st = *cx.st;
+    RuuEntry &e = st.ruu[idx];
+    if (e.completed)
+        return;
+    if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
+        if (st.ruu[e.pairIdx].completed)
+            completeEntry(idx);
+        return;
+    }
+    if (!e.issued || e.completeAt > st.now)
+        return;
+    if (e.needsMemAccess && e.addrDone && !e.memStarted)
+        return;
+    if (e.addrGenPending) {
+        e.addrGenPending = false;
+        e.addrDone = true;
+        if (!e.isDup && isStore(e.inst.op)) {
+            // The store's address is now known: move it from the
+            // conservative "blocks every younger load" set into the
+            // 8-byte-granular forwarding index.
+            const auto us = std::lower_bound(unresolvedStores.begin(),
+                                             unresolvedStores.end(), e.seq);
+            if (us != unresolvedStores.end() && *us == e.seq)
+                unresolvedStores.erase(us);
+            std::vector<InstSeq> &seqs =
+                storeBlocks[e.outcome.effAddr >> 3];
+            seqs.insert(std::upper_bound(seqs.begin(), seqs.end(), e.seq),
+                        e.seq);
+        }
+        if (e.needsMemAccess) {
+            pendingMem.push(e.seq, idx);
+            return; // primary load: wait for the memory stage
+        }
+        if (e.isDup && isLoad(e.inst.op)) {
+            if (st.ruu[e.pairIdx].completed)
+                completeEntry(idx);
+            return; // else: completed by the primary's completion hook
+        }
+    }
+    completeEntry(idx);
+}
+
+void
+ReadyListScheduler::writeback()
+{
+    PipelineState &st = *cx.st;
+    while (!wbEvents.empty() && wbEvents.top().at <= st.now) {
+        const WbEvent ev = wbEvents.top();
+        wbEvents.pop();
+        if (st.ruu[ev.idx].seq != ev.seq)
+            continue; // squashed; slot may be reused
+        processWriteback(ev.idx);
+    }
+}
+
+bool
+ReadyListScheduler::loadBlockedByStore(const RuuEntry &load,
+                                       bool &forwarded) const
+{
+    forwarded = false;
+    // Any older primary store without a generated address blocks the
+    // load; since the sets are seq-ordered, "any older" is just a
+    // comparison against the oldest unresolved store.
+    if (!unresolvedStores.empty() && unresolvedStores.front() < load.seq)
+        return true; // conservative disambiguation
+    const auto it = storeBlocks.find(load.outcome.effAddr >> 3);
+    forwarded = it != storeBlocks.end() && it->second.front() < load.seq;
+    return false;
+}
+
+void
+ReadyListScheduler::memory()
+{
+    PipelineState &st = *cx.st;
+    pendingMem.normalize();
+    auto &pm = pendingMem.items;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pm.size(); ++i) {
+        const auto [seq, idx] = pm[i];
+        RuuEntry &e = st.ruu[idx];
+        if (e.seq != seq || e.memStarted || e.completed)
+            continue; // stale: drop
+        bool forwarded = false;
+        if (loadBlockedByStore(e, forwarded)) {
+            ++cx.stats->numLoadsBlocked;
+            pm[kept++] = pm[i]; // retry next cycle
+            continue;
+        }
+        if (forwarded) {
+            e.memStarted = true;
+            e.completeAt = st.now + 1;
+            scheduleCompletion(idx, e.completeAt);
+            ++cx.stats->numLoadsForwarded;
+            continue;
+        }
+        if (!cx.fus->tryMemPort(st.now)) {
+            pm[kept++] = pm[i]; // retry next cycle
+            continue;
+        }
+        e.memStarted = true;
+        e.completeAt =
+            st.now + cx.memHier->dataAccess(e.outcome.effAddr, false);
+        scheduleCompletion(idx, e.completeAt);
+    }
+    pendingMem.compact(kept);
+}
+
+void
+ReadyListScheduler::issueImpl()
+{
+    PipelineState &st = *cx.st;
+    cx.fus->beginCycle(st.now);
+
+    // Reuse-test pre-pass over the pending tests only (same oldest-first
+    // order as the scan; non-candidates were never added).
+    if (cx.policy->irb() && !cx.p.irbConsumesIssueSlot) {
+        pendingReuse.normalize();
+        auto &pr = pendingReuse.items;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < pr.size(); ++i) {
+            const auto [seq, idx] = pr[i];
+            RuuEntry &e = st.ruu[idx];
+            if (e.seq != seq || e.reuseTested || e.issued || e.completed)
+                continue; // stale or already resolved: drop
+            tryReuseTest(idx);
+            if (!e.reuseTested)
+                pr[kept++] = pr[i]; // IRB data still in flight
+        }
+        pendingReuse.compact(kept);
+    }
+
+    readyList.normalize();
+    auto &rl = readyList.items;
+    std::size_t kept = 0;
+    std::size_t i = 0;
+    unsigned slots = cx.p.issueWidth;
+    for (; i < rl.size() && slots > 0; ++i) {
+        const auto [seq, idx] = rl[i];
+        RuuEntry &e = st.ruu[idx];
+        if (e.seq != seq || e.issued || e.completed)
+            continue; // stale: drop
+        panic_if(e.srcPending > 0, "unready entry on the ready list "
+                 "(seq %llu)",
+                 static_cast<unsigned long long>(e.seq));
+        if (e.irbCandidate && !e.reuseTested) {
+            if (!cx.p.irbConsumesIssueSlot) {
+                ++cycIrbDeferred;
+                rl[kept++] = rl[i];
+                continue;
+            }
+            tryReuseTest(idx);
+            if (!e.reuseTested) {
+                ++cycIrbDeferred;
+                rl[kept++] = rl[i];
+                continue; // IRB data still in flight
+            }
+            if (e.reuseHit) {
+                --slots; // ablation: the hit occupies issue bandwidth
+                cx.stalls->busy(trace::StallStage::Issue);
+                continue;
+            }
+        }
+        Cycle lat = 1;
+        if (!cx.fus->tryIssue(e.cls, st.now, lat)) {
+            ++cx.stats->numIssueStallFu;
+            ++cycFuDenied;
+            rl[kept++] = rl[i];
+            continue; // other ready instructions may still find a unit
+        }
+        e.issued = true;
+        e.completeAt = st.now + lat;
+        if (e.isMemOp)
+            e.addrGenPending = true; // first completion = address ready
+        scheduleCompletion(idx, e.completeAt);
+        --slots;
+        ++cx.stats->numIssuedTotal;
+        cx.stalls->busy(trace::StallStage::Issue);
+        cx.stats->issueDelay.sample(
+            static_cast<double>(st.now - e.dispatchedAt));
+        DIREB_TRACE(cx.tracer, trace::Kind::Issue, e.seq, e.pc, e.isDup,
+                    e.inst);
+    }
+    for (; i < rl.size(); ++i)
+        rl[kept++] = rl[i]; // issue bandwidth exhausted: keep the rest
+    readyList.compact(kept);
+}
+
+} // namespace direb

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The "scan" scheduler backend: every back-end stage re-walks the whole
+ * RUU each cycle and re-derives what is actionable. Kept verbatim as the
+ * differential-testing reference for the ready_list backend.
+ */
+
+#include "common/logging.hh"
+#include "cpu/scheduler.hh"
+
+namespace direb
+{
+
+void
+ScanScheduler::writeback()
+{
+    PipelineState &st = *cx.st;
+    // Oldest-first scan; a recovery squash inside completeEntry() shrinks
+    // ruuCount, which the loop condition re-checks every iteration.
+    for (std::size_t off = 0; off < st.ruuCount; ++off) {
+        const int idx =
+            static_cast<int>((st.ruuHead + off) % st.ruu.size());
+        RuuEntry &e = st.ruu[idx];
+        if (e.completed)
+            continue;
+        // Duplicate loads: address generation may be done, but the
+        // register copy only arrives when the single (primary) memory
+        // access returns — the duplicate stream must not see a faster
+        // memory than the primary one.
+        if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
+            if (st.ruu[e.pairIdx].completed)
+                completeEntry(idx);
+            continue;
+        }
+        if (!e.issued || e.completeAt > st.now)
+            continue;
+        if (e.needsMemAccess && e.addrDone && !e.memStarted)
+            continue; // load waiting for a memory port / disambiguation
+        if (e.addrGenPending) {
+            e.addrGenPending = false;
+            e.addrDone = true;
+            if (e.needsMemAccess)
+                continue; // primary load: wait for the memory stage
+            if (e.isDup && isLoad(e.inst.op)) {
+                // Re-checked above next cycle (or now if the primary is
+                // already done).
+                if (st.ruu[e.pairIdx].completed)
+                    completeEntry(idx);
+                continue;
+            }
+            // Stores and address-only ops are done after address
+            // generation (the access happens once, at primary commit).
+        }
+        completeEntry(idx);
+    }
+}
+
+bool
+ScanScheduler::olderStoreBlocks(std::size_t load_offset,
+                                bool &forwarded) const
+{
+    const PipelineState &st = *cx.st;
+    const RuuEntry &load = st.entryAt(load_offset);
+    forwarded = false;
+    for (std::size_t off = 0; off < load_offset; ++off) {
+        const RuuEntry &e = st.entryAt(off);
+        if (!isStore(e.inst.op) || e.isDup)
+            continue;
+        if (!e.addrDone)
+            return true; // conservative disambiguation
+        // 8-byte-granular overlap check; latest matching store wins.
+        if ((e.outcome.effAddr >> 3) == (load.outcome.effAddr >> 3))
+            forwarded = true;
+    }
+    return false;
+}
+
+void
+ScanScheduler::memory()
+{
+    PipelineState &st = *cx.st;
+    for (std::size_t off = 0; off < st.ruuCount; ++off) {
+        RuuEntry &e = st.entryAt(off);
+        if (!e.needsMemAccess || !e.addrDone || e.memStarted || e.completed)
+            continue;
+        bool forwarded = false;
+        if (olderStoreBlocks(off, forwarded)) {
+            ++cx.stats->numLoadsBlocked;
+            continue;
+        }
+        if (forwarded) {
+            e.memStarted = true;
+            e.completeAt = st.now + 1;
+            ++cx.stats->numLoadsForwarded;
+            continue;
+        }
+        if (!cx.fus->tryMemPort(st.now))
+            continue;
+        e.memStarted = true;
+        e.completeAt =
+            st.now + cx.memHier->dataAccess(e.outcome.effAddr, false);
+    }
+}
+
+void
+ScanScheduler::issueImpl()
+{
+    PipelineState &st = *cx.st;
+    cx.fus->beginCycle(st.now);
+
+    // Reuse-test pre-pass: the paper performs the operand comparison as
+    // part of wakeup, so reuse hits never compete for issue bandwidth.
+    // The irb.consumes_issue_slot ablation instead treats the IRB like a
+    // functional unit (pre-[12] designs): hits are tested in the issue
+    // loop and burn an issue slot.
+    if (cx.policy->irb() && !cx.p.irbConsumesIssueSlot) {
+        for (std::size_t off = 0; off < st.ruuCount; ++off)
+            tryReuseTest(
+                static_cast<int>((st.ruuHead + off) % st.ruu.size()));
+    }
+
+    unsigned slots = cx.p.issueWidth;
+    for (std::size_t off = 0; off < st.ruuCount && slots > 0; ++off) {
+        RuuEntry &e = st.entryAt(off);
+        if (e.issued || e.completed || e.srcPending > 0)
+            continue;
+        // Rdy2L/Rdy2R semantics (paper Figure 5): a duplicate with a
+        // pending reuse test is not schedulable until the test resolves.
+        if (e.irbCandidate && !e.reuseTested) {
+            if (!cx.p.irbConsumesIssueSlot) {
+                ++cycIrbDeferred;
+                continue;
+            }
+            tryReuseTest(
+                static_cast<int>((st.ruuHead + off) % st.ruu.size()));
+            if (!e.reuseTested) {
+                ++cycIrbDeferred;
+                continue; // IRB data still in flight
+            }
+            if (e.reuseHit) {
+                --slots; // ablation: the hit occupies issue bandwidth
+                cx.stalls->busy(trace::StallStage::Issue);
+                continue;
+            }
+        }
+        Cycle lat = 1;
+        if (!cx.fus->tryIssue(e.cls, st.now, lat)) {
+            ++cx.stats->numIssueStallFu;
+            ++cycFuDenied;
+            continue; // other ready instructions may still find a unit
+        }
+        e.issued = true;
+        e.completeAt = st.now + lat;
+        if (e.isMemOp)
+            e.addrGenPending = true; // first completion = address ready
+        --slots;
+        ++cx.stats->numIssuedTotal;
+        cx.stalls->busy(trace::StallStage::Issue);
+        cx.stats->issueDelay.sample(
+            static_cast<double>(st.now - e.dispatchedAt));
+        DIREB_TRACE(cx.tracer, trace::Kind::Issue, e.seq, e.pc, e.isDup,
+                    e.inst);
+    }
+}
+
+} // namespace direb

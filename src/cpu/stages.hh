@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pipeline stage components. Each stage is a stateless object operating
+ * on the shared CoreContext: all mutable machine state lives in
+ * PipelineState, all mode-specific behaviour is delegated to the
+ * RedundancyPolicy, and all scheduling bookkeeping flows through the
+ * SchedulerBackend hooks — the stage code itself contains no execution-
+ * mode branches.
+ */
+
+#ifndef DIREB_CPU_STAGES_HH
+#define DIREB_CPU_STAGES_HH
+
+#include "cpu/core_context.hh"
+
+namespace direb
+{
+
+/**
+ * Fetch: instruction-cache timing, branch prediction, and the
+ * fault-rewind replay path.
+ */
+struct FetchStage
+{
+    void run(CoreContext &cx);
+};
+
+/**
+ * Dispatch: in-order functional execution (SimpleScalar style),
+ * misprediction detection, RUU/LSQ allocation, duplication into two
+ * adjacent entries (via the policy), dependence linking through the
+ * per-stream create vectors, and the forwarding-fault injection points
+ * of §3.4.
+ */
+struct DispatchStage
+{
+    void run(CoreContext &cx);
+
+  private:
+    void dispatchOne(CoreContext &cx, const FetchedInst &fi,
+                     unsigned &width_left);
+    void linkSources(CoreContext &cx, RuuEntry &e, int idx,
+                     unsigned stream);
+    void maybeInjectForwardFault(CoreContext &cx, RuuEntry &prim,
+                                 RuuEntry &dup);
+};
+
+/**
+ * Commit: in-order retirement, the "Check & Retire" pair comparison,
+ * branch-predictor training, store performance at commit, the policy's
+ * commit-time hooks (IRB update), and the checker-triggered instruction
+ * rewind.
+ */
+struct CommitStage
+{
+    void run(CoreContext &cx);
+
+  private:
+    void retireEntry(CoreContext &cx, RuuEntry &e);
+    void faultRewind(CoreContext &cx, std::size_t pair_offset);
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_STAGES_HH

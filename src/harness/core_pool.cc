@@ -1,0 +1,69 @@
+#include "harness/core_pool.hh"
+
+#include <utility>
+
+namespace direb
+{
+
+namespace harness
+{
+
+std::unique_ptr<OooCore>
+CorePool::acquire(const Program &program, const Config &config)
+{
+    std::unique_ptr<OooCore> core;
+    {
+        const std::lock_guard<std::mutex> lock(mtx);
+        if (!idle.empty()) {
+            core = std::move(idle.back());
+            idle.pop_back();
+        }
+    }
+    // Configure outside the lock: reset()/construction is the expensive
+    // part and may throw (bad config), in which case the core is simply
+    // destroyed here and never returned to the pool.
+    if (core) {
+        core->reset(program, config);
+        const std::lock_guard<std::mutex> lock(mtx);
+        ++numReuses;
+    } else {
+        core = std::make_unique<OooCore>(program, config);
+        const std::lock_guard<std::mutex> lock(mtx);
+        ++numConstructions;
+    }
+    return core;
+}
+
+void
+CorePool::release(std::unique_ptr<OooCore> core)
+{
+    if (!core)
+        return;
+    const std::lock_guard<std::mutex> lock(mtx);
+    idle.push_back(std::move(core));
+}
+
+std::uint64_t
+CorePool::constructions() const
+{
+    const std::lock_guard<std::mutex> lock(mtx);
+    return numConstructions;
+}
+
+std::uint64_t
+CorePool::reuses() const
+{
+    const std::lock_guard<std::mutex> lock(mtx);
+    return numReuses;
+}
+
+std::size_t
+CorePool::idleCount() const
+{
+    const std::lock_guard<std::mutex> lock(mtx);
+    return idle.size();
+}
+
+} // namespace harness
+
+} // namespace direb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reusable-core pool for the sweep engine.
+ *
+ * Constructing an OooCore allocates the RUU ring, caches, predictor
+ * tables and the full statistics tree; a sweep of hundreds of points
+ * pays that once per point. A CorePool hands out idle cores rebound via
+ * OooCore::reset() instead — reset() guarantees a run bit-identical to a
+ * freshly constructed core (test_core_reset proves it), so pooling is
+ * purely a construction-overhead optimisation with no observable effect
+ * on results.
+ */
+
+#ifndef DIREB_HARNESS_CORE_POOL_HH
+#define DIREB_HARNESS_CORE_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/config.hh"
+#include "cpu/ooo_core.hh"
+
+namespace direb
+{
+
+namespace harness
+{
+
+/**
+ * Thread-safe pool of reusable cores. acquire() pops an idle core and
+ * reset()s it to the requested (program, config), constructing a new one
+ * only when the pool is empty; release() returns a core for reuse. A
+ * core whose acquire() threw (bad config) is destroyed, never pooled.
+ */
+class CorePool
+{
+  public:
+    /**
+     * Get a core bound to (@p program, @p config): a reset idle core
+     * when one is available, a newly constructed one otherwise.
+     * @p program must outlive the returned core's use of it.
+     */
+    std::unique_ptr<OooCore> acquire(const Program &program,
+                                     const Config &config);
+
+    /** Return a core to the idle list for later reuse. */
+    void release(std::unique_ptr<OooCore> core);
+
+    /** Cores constructed because no idle core was available. */
+    std::uint64_t constructions() const;
+    /** Acquisitions served by resetting an idle core. */
+    std::uint64_t reuses() const;
+    /** Idle cores currently held. */
+    std::size_t idleCount() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::vector<std::unique_ptr<OooCore>> idle;
+    std::uint64_t numConstructions = 0;
+    std::uint64_t numReuses = 0;
+};
+
+} // namespace harness
+
+} // namespace direb
+
+#endif // DIREB_HARNESS_CORE_POOL_HH

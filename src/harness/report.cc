@@ -233,6 +233,24 @@ Json::at(std::size_t i) const
     return elements[i];
 }
 
+const std::string &
+Json::memberName(std::size_t i) const
+{
+    panic_if(kind != Kind::Object, "json: memberName() on a non-object");
+    panic_if(i >= members.size(), "json: member %zu out of range (%zu)", i,
+             members.size());
+    return members[i].first;
+}
+
+const Json &
+Json::memberValue(std::size_t i) const
+{
+    panic_if(kind != Kind::Object, "json: memberValue() on a non-object");
+    panic_if(i >= members.size(), "json: member %zu out of range (%zu)", i,
+             members.size());
+    return members[i].second;
+}
+
 namespace
 {
 
@@ -479,7 +497,8 @@ writeEscaped(std::string &out, const std::string &s)
 } // namespace
 
 void
-Json::write(std::string &out, int indent, int depth) const
+Json::write(std::string &out, int indent, int depth,
+            bool full_precision) const
 {
     const std::string pad(static_cast<std::size_t>(indent) * (depth + 1),
                           ' ');
@@ -498,6 +517,15 @@ Json::write(std::string &out, int indent, int depth) const
             out += "null"; // JSON has no NaN/Inf
         } else if (integral) {
             out += std::to_string(integer);
+        } else if (full_precision) {
+            // Shortest representation that round-trips exactly: cached
+            // sweep results are restored through parse() and must
+            // compare bit-equal to the original doubles.
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.15g", number);
+            if (std::strtod(buf, nullptr) != number)
+                std::snprintf(buf, sizeof(buf), "%.17g", number);
+            out += buf;
         } else {
             char buf[48];
             std::snprintf(buf, sizeof(buf), "%.12g", number);
@@ -518,7 +546,7 @@ Json::write(std::string &out, int indent, int depth) const
             out += pad;
             writeEscaped(out, members[i].first);
             out += ": ";
-            members[i].second.write(out, indent, depth + 1);
+            members[i].second.write(out, indent, depth + 1, full_precision);
             if (i + 1 < members.size())
                 out += ',';
         }
@@ -535,7 +563,7 @@ Json::write(std::string &out, int indent, int depth) const
         for (std::size_t i = 0; i < elements.size(); ++i) {
             out += nl;
             out += pad;
-            elements[i].write(out, indent, depth + 1);
+            elements[i].write(out, indent, depth + 1, full_precision);
             if (i + 1 < elements.size())
                 out += ',';
         }
@@ -547,10 +575,10 @@ Json::write(std::string &out, int indent, int depth) const
 }
 
 std::string
-Json::dump(int indent) const
+Json::dump(int indent, bool full_precision) const
 {
     std::string out;
-    write(out, indent, 0);
+    write(out, indent, 0, full_precision);
     return out;
 }
 

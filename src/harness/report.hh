@@ -110,16 +110,27 @@ class Json
     const Json *find(const std::string &key) const;
     /** Array element access (panics out of range / on a non-array). */
     const Json &at(std::size_t i) const;
+    /** Object member access by insertion index (panics like at()). @{ */
+    const std::string &memberName(std::size_t i) const;
+    const Json &memberValue(std::size_t i) const;
+    /** @} */
 
-    /** Serialise; @p indent spaces per level (0 = single line). */
-    std::string dump(int indent = 2) const;
+    /**
+     * Serialise; @p indent spaces per level (0 = single line).
+     * @p full_precision prints doubles with the shortest representation
+     * that parses back bit-equal (for the sweep result cache, which
+     * restores numbers through parse()); the default 12-significant-digit
+     * rendering keeps report output stable and human-readable.
+     */
+    std::string dump(int indent = 2, bool full_precision = false) const;
 
   private:
     enum class Kind : std::uint8_t {
         Null, Bool, Number, String, Object, Array
     };
 
-    void write(std::string &out, int indent, int depth) const;
+    void write(std::string &out, int indent, int depth,
+               bool full_precision) const;
 
     Kind kind = Kind::Null;
     bool boolean = false;

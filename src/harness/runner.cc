@@ -44,8 +44,13 @@ snapshot(OooCore &core, const CoreResult &cr)
 void
 exportTraces(OooCore &core, const Config &config)
 {
-    const std::string path = config.getString("trace.path", "");
-    const std::string format = config.getString("trace.format", "both");
+    const std::string path = config.getString(
+        "trace.path", "",
+        "write the event trace here after the run (empty = keep "
+        "in-memory)");
+    const std::string format = config.getString(
+        "trace.format", "both",
+        "trace export format: konata, chrome or both");
     fatal_if(format != "konata" && format != "chrome" && format != "both",
              "unknown trace.format '%s' (expected konata, chrome or both)",
              format.c_str());
@@ -66,9 +71,15 @@ SimResult
 run(const Program &program, const Config &config, std::uint64_t max_insts)
 {
     OooCore core(program, config);
+    return runWithCore(core, config, max_insts);
+}
+
+SimResult
+runWithCore(OooCore &core, const Config &config, std::uint64_t max_insts)
+{
     const CoreResult cr = core.run(max_insts);
     exportTraces(core, config);
-    config.checkUnused(); // every valid key was consumed by construction
+    config.checkUnused(); // every valid key was consumed by binding
     return snapshot(core, cr);
 }
 

@@ -52,6 +52,15 @@ Config baseConfig(const std::string &mode = "sie");
 SimResult run(const Program &program, const Config &config,
               std::uint64_t max_insts = 50'000'000);
 
+/**
+ * Run an already-bound core (constructed or reset() against @p config)
+ * to completion: run + trace export + consumed-key audit + snapshot.
+ * This is run() minus the construction, for callers that reuse cores
+ * through a harness::CorePool.
+ */
+SimResult runWithCore(OooCore &core, const Config &config,
+                      std::uint64_t max_insts = 50'000'000);
+
 /** Run a named kernel workload (see workloads::list()). */
 SimResult runWorkload(const std::string &workload, const Config &config,
                       unsigned scale = 1,

@@ -1,9 +1,13 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -63,6 +67,187 @@ jobsFromArgs(int argc, char **argv)
     return defaultJobs();
 }
 
+namespace
+{
+
+/**
+ * Content address of one sweep point: FNV-1a 64 over the program image
+ * (text words, data bytes, entry point), the instruction budget and
+ * every explicit config override, rendered as 16 hex digits. The cache
+ * directory itself (sweep.cache) is excluded so relocating the cache
+ * does not invalidate it. The point's display name is deliberately not
+ * hashed: two points running the same simulation share one entry.
+ */
+std::string
+cacheKeyHex(const Program &prog, const Config &cfg,
+            std::uint64_t max_insts)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    const auto feed = [&h](const void *data, std::size_t n) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ULL; // FNV prime
+        }
+    };
+    const auto feedU64 = [&feed](std::uint64_t v) {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        feed(b, sizeof(b));
+    };
+
+    for (const std::uint32_t w : prog.text)
+        feedU64(w);
+    if (!prog.data.empty())
+        feed(prog.data.data(), prog.data.size());
+    feedU64(prog.entry);
+    feedU64(max_insts);
+    for (const auto &[key, value] : cfg.entries()) {
+        if (key == "sweep.cache")
+            continue;
+        feed(key.data(), key.size());
+        feed("=", 1);
+        feed(value.data(), value.size());
+        feed("\n", 1);
+    }
+
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/**
+ * Restore a cached point result; false when the file is absent,
+ * unparsable or from an incompatible cache version (the caller then
+ * simply re-simulates).
+ */
+bool
+loadCachedResult(const std::string &path, SweepResult &res)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream body;
+    body << in.rdbuf();
+    try {
+        const Json j = Json::parse(body.str());
+        const Json *version = j.find("version");
+        if (!version || !version->isNumber() ||
+            version->asNumber() != 1.0) {
+            return false;
+        }
+        const Json *status = j.find("status");
+        const Json *attempts = j.find("attempts");
+        const Json *core = j.find("core");
+        const Json *stats = j.find("stats");
+        const Json *output = j.find("output");
+        const Json *stats_text = j.find("stats_text");
+        if (!status || !status->isString() || !attempts ||
+            !attempts->isNumber() || !core || !core->isObject() ||
+            !stats || !stats->isObject() || !output ||
+            !output->isString() || !stats_text ||
+            !stats_text->isString()) {
+            return false;
+        }
+        if (status->asString() == "ok")
+            res.status = PointStatus::Ok;
+        else if (status->asString() == "timeout")
+            res.status = PointStatus::Timeout;
+        else
+            return false;
+        const Json *error = j.find("error");
+        res.error = error && error->isString() ? error->asString()
+                                               : std::string();
+        res.attempts = static_cast<unsigned>(attempts->asNumber());
+
+        // fatal() (not panic()) on malformed leaves: it throws, landing
+        // in the catch below, and the point is simply re-simulated.
+        const auto coreNum = [core](const char *key) {
+            const Json *v = core->find(key);
+            fatal_if(!v || !v->isNumber(), "cache: bad core.%s", key);
+            return v->asNumber();
+        };
+        res.sim.core.stop =
+            static_cast<StopReason>(static_cast<int>(coreNum("stop")));
+        res.sim.core.cycles = static_cast<Cycle>(coreNum("cycles"));
+        res.sim.core.archInsts =
+            static_cast<std::uint64_t>(coreNum("arch_insts"));
+        res.sim.core.ruuEntriesCommitted =
+            static_cast<std::uint64_t>(coreNum("ruu_entries"));
+        res.sim.core.ipc = coreNum("ipc");
+
+        res.sim.stats.clear();
+        for (std::size_t i = 0; i < stats->size(); ++i) {
+            const Json &v = stats->memberValue(i);
+            fatal_if(!v.isNumber(), "cache: non-numeric stat '%s'",
+                     stats->memberName(i).c_str());
+            res.sim.stats[stats->memberName(i)] = v.asNumber();
+        }
+        res.sim.output = output->asString();
+        res.sim.statsText = stats_text->asString();
+        return true;
+    } catch (const std::exception &) {
+        return false; // corrupt/foreign file: fall through to a real run
+    }
+}
+
+/**
+ * Persist one Ok/Timeout result. Failures only warn: the cache is an
+ * accelerator, never a correctness dependency.
+ */
+void
+storeCachedResult(const std::string &path, const SweepResult &res)
+{
+    try {
+        Json j = Json::object();
+        j.set("version", 1);
+        j.set("name", res.name);
+        j.set("status", pointStatusName(res.status));
+        if (!res.error.empty())
+            j.set("error", res.error);
+        j.set("attempts", res.attempts);
+        Json core = Json::object();
+        core.set("stop", static_cast<int>(res.sim.core.stop));
+        core.set("cycles", res.sim.core.cycles);
+        core.set("arch_insts", res.sim.core.archInsts);
+        core.set("ruu_entries", res.sim.core.ruuEntriesCommitted);
+        core.set("ipc", res.sim.core.ipc);
+        j.set("core", std::move(core));
+        Json stats = Json::object();
+        for (const auto &[name, value] : res.sim.stats)
+            stats.set(name, value);
+        j.set("stats", std::move(stats));
+        j.set("output", res.sim.output);
+        j.set("stats_text", res.sim.statsText);
+
+        const std::filesystem::path target(path);
+        std::filesystem::create_directories(target.parent_path());
+        std::ostringstream tmp_name;
+        tmp_name << path << ".tmp." << std::this_thread::get_id();
+        const std::string tmp = tmp_name.str();
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                warn("sweep cache: cannot write %s", tmp.c_str());
+                return;
+            }
+            // Full precision: the restored stats/ipc doubles must compare
+            // bit-equal to a live simulation of the same point.
+            out << j.dump(2, /*full_precision=*/true) << "\n";
+        }
+        // rename() is atomic within a filesystem, so concurrent workers
+        // caching the same key can only ever publish a complete file.
+        std::filesystem::rename(tmp, target);
+    } catch (const std::exception &e) {
+        warn("sweep cache: failed to store %s: %s", path.c_str(),
+             e.what());
+    }
+}
+
+} // namespace
+
 Sweep::Sweep(unsigned jobs) : jobCount(jobs > 0 ? jobs : defaultJobs()) {}
 
 std::size_t
@@ -111,7 +296,32 @@ Sweep::runPoint(const Point &point) const
                 ? point.program
                 : workloads::build(point.workload, point.scale);
             const Config cfg = point.config;
-            res.sim = harness::run(prog, cfg, point.maxInsts);
+
+            // Content-addressed result cache, opt-in per point. On a
+            // hit the whole simulation is skipped; note the consumed-key
+            // audit then only ran on the original (cold) execution.
+            const std::string cache_dir = cfg.getString(
+                "sweep.cache", "",
+                "directory for the content-addressed sweep result cache "
+                "(empty = caching off)");
+            std::string cache_path;
+            if (!cache_dir.empty()) {
+                cache_path = cache_dir + "/" +
+                             cacheKeyHex(prog, cfg, point.maxInsts) +
+                             ".json";
+                if (attempt == 1 && loadCachedResult(cache_path, res)) {
+                    res.fromCache = true;
+                    return res;
+                }
+            }
+
+            if (pooling) {
+                auto core = corePool->acquire(prog, cfg);
+                res.sim = runWithCore(*core, cfg, point.maxInsts);
+                corePool->release(std::move(core));
+            } else {
+                res.sim = harness::run(prog, cfg, point.maxInsts);
+            }
             switch (res.sim.core.stop) {
               case StopReason::Halted:
                 res.status = PointStatus::Ok;
@@ -126,6 +336,11 @@ Sweep::runPoint(const Point &point) const
                 res.error = "control left the text segment";
                 break;
             }
+            // Ok and Timeout are deterministic outcomes worth reusing;
+            // Error points always re-run so a fixed config or workload
+            // isn't masked by a stale failure.
+            if (!cache_path.empty() && res.status != PointStatus::Error)
+                storeCachedResult(cache_path, res);
             return res;
         } catch (const std::exception &e) {
             res.status = PointStatus::Error;
@@ -188,6 +403,8 @@ resultJson(const SweepResult &result)
         j.set("error", result.error);
     if (result.attempts > 1)
         j.set("attempts", result.attempts);
+    if (result.fromCache)
+        j.set("cached", true);
     j.set("cycles", result.sim.core.cycles);
     j.set("arch_insts", result.sim.core.archInsts);
     j.set("ipc", result.sim.core.ipc);

@@ -18,16 +18,33 @@
  * Worker count: explicit constructor argument > --jobs/-j on the command
  * line (jobsFromArgs) > the DIREB_JOBS environment variable > hardware
  * concurrency.
+ *
+ * Core pooling: by default every worker draws cores from a shared
+ * CorePool, rebinding idle cores via OooCore::reset() instead of
+ * constructing one per point. reset() is bit-identical to fresh
+ * construction (test_core_reset), so pooling only changes construction
+ * overhead; setPooling(false) restores one-core-per-point.
+ *
+ * Result cache: setting sweep.cache=<dir> in a point's Config makes the
+ * sweep content-address that point — key = hash of the program image,
+ * the instruction budget and every explicit config override — and skip
+ * the simulation entirely when <dir> holds a result for the key,
+ * restoring status, statistics, program output and the rendered stats
+ * text byte-for-byte. Only Ok and Timeout outcomes are cached (both are
+ * deterministic); errors always re-run. Trace-file export is a side
+ * effect of simulation and is NOT replayed on a cache hit.
  */
 
 #ifndef DIREB_HARNESS_SWEEP_HH
 #define DIREB_HARNESS_SWEEP_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "harness/core_pool.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "vm/program.hh"
@@ -55,6 +72,7 @@ struct SweepResult
     PointStatus status = PointStatus::Error;
     std::string error;    //!< captured failure/timeout description
     unsigned attempts = 0; //!< 1 normally, 2 after a retry
+    bool fromCache = false; //!< restored from sweep.cache, not simulated
     SimResult sim;         //!< valid for Ok and (partially) Timeout
 
     bool ok() const { return status == PointStatus::Ok; }
@@ -64,9 +82,11 @@ struct SweepResult
  * A batch of independent simulation points executed by a thread pool.
  *
  * Determinism contract: every point gets a private Config copy (the
- * consumed-key audit is per copy), its own OooCore and its own
- * config-seeded Rng, and results are returned in enqueue order — so
- * run() output does not depend on the worker count or on scheduling.
+ * consumed-key audit is per copy), a core all its own for the duration
+ * of the run (pooled cores are rebound by reset(), which is
+ * bit-identical to fresh construction) and its own config-seeded Rng,
+ * and results are returned in enqueue order — so run() output does not
+ * depend on the worker count, on scheduling or on pooling.
  */
 class Sweep
 {
@@ -85,6 +105,13 @@ class Sweep
 
     std::size_t size() const { return points.size(); }
     unsigned jobs() const { return jobCount; }
+
+    /** Enable/disable core reuse through the shared pool (default on). */
+    void setPooling(bool on) { pooling = on; }
+    bool poolingEnabled() const { return pooling; }
+
+    /** The shared core pool (constructions()/reuses() for benches). */
+    const CorePool &pool() const { return *corePool; }
 
     /**
      * Run all points (blocking) and return results in enqueue order.
@@ -107,6 +134,11 @@ class Sweep
 
     std::vector<Point> points;
     unsigned jobCount;
+    bool pooling = true;
+    /** Shared by all workers (thread-safe); behind a unique_ptr so the
+     *  pool's mutex does not make Sweep unmovable. */
+    mutable std::unique_ptr<CorePool> corePool =
+        std::make_unique<CorePool>();
 };
 
 /** Worker count from DIREB_JOBS, else hardware concurrency (>= 1). */

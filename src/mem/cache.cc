@@ -108,12 +108,18 @@ paramsFor(const Config &config, const std::string &prefix,
 {
     CacheParams p;
     p.name = prefix;
-    p.sizeBytes = config.getUint(prefix + ".size", def_size);
-    p.assoc = static_cast<unsigned>(
-        config.getUint(prefix + ".assoc", def_assoc));
-    p.blockBytes = static_cast<unsigned>(
-        config.getUint(prefix + ".block", def_block));
-    p.hitLatency = config.getUint(prefix + ".lat", def_lat);
+    const std::string what = prefix == "l1i"   ? "L1 instruction cache"
+                             : prefix == "l1d" ? "L1 data cache"
+                                               : "unified L2 cache";
+    p.sizeBytes = config.getUint(prefix + ".size", def_size,
+                                 (what + " capacity in bytes").c_str());
+    p.assoc = static_cast<unsigned>(config.getUint(
+        prefix + ".assoc", def_assoc, (what + " associativity").c_str()));
+    p.blockBytes = static_cast<unsigned>(config.getUint(
+        prefix + ".block", def_block,
+        (what + " block size in bytes").c_str()));
+    p.hitLatency = config.getUint(prefix + ".lat", def_lat,
+                                  (what + " hit latency in cycles").c_str());
     return p;
 }
 
@@ -123,7 +129,8 @@ MemHierarchy::MemHierarchy(const Config &config)
     : il1(paramsFor(config, "l1i", 64 * 1024, 2, 32, 1)),
       dl1(paramsFor(config, "l1d", 64 * 1024, 2, 32, 3)),
       ul2(paramsFor(config, "l2", 1024 * 1024, 4, 64, 12)),
-      memLatency(config.getUint("mem.lat", 100))
+      memLatency(config.getUint("mem.lat", 100,
+                                "main-memory access latency in cycles"))
 {
     group.addChild(&il1.statGroup());
     group.addChild(&dl1.statGroup());

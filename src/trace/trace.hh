@@ -30,11 +30,32 @@
 #include "common/types.hh"
 #include "isa/inst.hh"
 
+/**
+ * Compile-time switch: building with -DDIREB_TRACING_ENABLED=0 (CMake
+ * option DIREB_TRACING=OFF) turns every hook macro into nothing. Defined
+ * before the namespace so trace::compiledIn() can report it.
+ */
+#ifndef DIREB_TRACING_ENABLED
+#define DIREB_TRACING_ENABLED 1
+#endif
+
 namespace direb
 {
 
 namespace trace
 {
+
+/**
+ * Whether the tracing hooks exist in this build. A Tracer can still be
+ * constructed with them compiled out — it just never receives events —
+ * so owners should warn the user instead of silently producing an empty
+ * trace.
+ */
+constexpr bool
+compiledIn()
+{
+    return DIREB_TRACING_ENABLED != 0;
+}
 
 /** What happened. Per-instruction kinds carry the instruction's seq. */
 enum class Kind : std::uint8_t
@@ -135,10 +156,6 @@ class Tracer
  * DIREB_TRACE_AT back-dates. @p t is a (possibly null) Tracer pointer or
  * smart pointer; with tracing compiled out both expand to nothing.
  */
-#ifndef DIREB_TRACING_ENABLED
-#define DIREB_TRACING_ENABLED 1
-#endif
-
 #if DIREB_TRACING_ENABLED
 #define DIREB_TRACE(t, ...)                                                   \
     do {                                                                      \

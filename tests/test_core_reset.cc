@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for core reuse: OooCore::reset() must make a reused core
+ * bit-identical to a freshly constructed one (cycles, statistics
+ * snapshot, rendered stats text, program output) across every mode and
+ * scheduler backend, including cross-mode resets that add/remove the
+ * IRB statistics child. On top of that, the harness-level consumers:
+ * CorePool bookkeeping, pooled sweeps matching fresh-construction
+ * sweeps, and the content-addressed sweep result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "cpu/ooo_core.hh"
+#include "harness/core_pool.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+
+namespace
+{
+
+constexpr std::uint64_t budget = 20'000; //!< keep each run cheap
+
+/** Everything observable from one run. */
+struct RunCapture
+{
+    CoreResult core;
+    std::map<std::string, double> stats;
+    std::string statsText;
+    std::string output;
+};
+
+RunCapture
+capture(OooCore &core, std::uint64_t max_insts = budget)
+{
+    RunCapture c;
+    c.core = core.run(max_insts);
+    c.stats = core.statGroup().snapshot();
+    c.statsText = core.statGroup().dump();
+    c.output = core.archState().out;
+    return c;
+}
+
+void
+expectIdentical(const RunCapture &a, const RunCapture &b)
+{
+    EXPECT_EQ(a.core.stop, b.core.stop);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.archInsts, b.core.archInsts);
+    EXPECT_EQ(a.core.ruuEntriesCommitted, b.core.ruuEntriesCommitted);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.statsText, b.statsText); // text IS child-order sensitive
+    EXPECT_EQ(a.output, b.output);
+}
+
+Config
+makeConfig(const std::string &mode, const std::string &scheduler)
+{
+    Config cfg = harness::baseConfig(mode);
+    cfg.set("core.scheduler", scheduler);
+    return cfg;
+}
+
+} // namespace
+
+TEST(CoreReset, RerunBitIdenticalToFreshAllModesAndBackends)
+{
+    setQuiet(true);
+    const Program prog = workloads::build("compress", 1);
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        for (const char *sched : {"scan", "ready_list"}) {
+            SCOPED_TRACE(std::string(mode) + "/" + sched);
+            const Config cfg = makeConfig(mode, sched);
+
+            OooCore fresh(prog, cfg);
+            const RunCapture want = capture(fresh);
+
+            OooCore reused(prog, cfg);
+            capture(reused);           // first run, discarded
+            reused.reset(prog, cfg);   // rebind to the same point
+            expectIdentical(want, capture(reused));
+        }
+    }
+}
+
+TEST(CoreReset, ResetToDifferentProgramAndConfig)
+{
+    setQuiet(true);
+    const Program prog1 = workloads::build("compress", 1);
+    const Program prog2 = workloads::build("route", 1);
+    const Config cfg1 = makeConfig("die-irb", "ready_list");
+    Config cfg2 = makeConfig("die", "scan");
+    cfg2.set("ruu.size", "64");
+
+    OooCore fresh(prog2, cfg2);
+    const RunCapture want = capture(fresh);
+
+    OooCore reused(prog1, cfg1);
+    capture(reused);
+    reused.reset(prog2, cfg2); // new program, mode, scheduler and size
+    expectIdentical(want, capture(reused));
+    EXPECT_EQ(reused.params().ruuSize, 64u);
+    EXPECT_EQ(reused.irb(), nullptr); // DIE has no reuse buffer
+}
+
+TEST(CoreReset, CrossModeResetRestoresStatChildOrder)
+{
+    setQuiet(true);
+    const Program prog = workloads::build("parse", 1);
+    const Config sie = makeConfig("sie", "ready_list");
+    const Config dieirb = makeConfig("die-irb", "ready_list");
+
+    OooCore fresh_sie(prog, sie);
+    const RunCapture want_sie = capture(fresh_sie);
+    OooCore fresh_irb(prog, dieirb);
+    const RunCapture want_irb = capture(fresh_irb);
+
+    // sie -> die-irb attaches the IRB stats child; back to sie removes
+    // it again. Both rendered reports must match fresh cores exactly.
+    OooCore core(prog, sie);
+    capture(core);
+    core.reset(prog, dieirb);
+    ASSERT_NE(core.irb(), nullptr);
+    expectIdentical(want_irb, capture(core));
+    core.reset(prog, sie);
+    EXPECT_EQ(core.irb(), nullptr);
+    expectIdentical(want_sie, capture(core));
+}
+
+TEST(CorePool, ReusesIdleCoresAndCounts)
+{
+    setQuiet(true);
+    const Program prog = workloads::build("compress", 1);
+    const Config cfg = makeConfig("die", "ready_list");
+
+    harness::CorePool pool;
+    auto a = pool.acquire(prog, cfg);
+    EXPECT_EQ(pool.constructions(), 1u);
+    EXPECT_EQ(pool.reuses(), 0u);
+
+    // The pool is empty while `a` is out: a second acquire constructs.
+    auto b = pool.acquire(prog, cfg);
+    EXPECT_EQ(pool.constructions(), 2u);
+
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+    EXPECT_EQ(pool.idleCount(), 2u);
+
+    auto c = pool.acquire(prog, cfg);
+    EXPECT_EQ(pool.constructions(), 2u);
+    EXPECT_EQ(pool.reuses(), 1u);
+    EXPECT_EQ(pool.idleCount(), 1u);
+    pool.release(std::move(c));
+}
+
+TEST(CorePool, AcquireFailureDoesNotPoolTheCore)
+{
+    setQuiet(true);
+    const Program prog = workloads::build("compress", 1);
+    Config bad = makeConfig("die", "ready_list");
+    bad.set("ruu.size", "63"); // DIE modes need an even ruu.size
+
+    harness::CorePool pool;
+    EXPECT_THROW(pool.acquire(prog, bad), FatalError);
+    EXPECT_EQ(pool.idleCount(), 0u);
+
+    // A pooled core that fails to reset() is destroyed, not re-pooled.
+    pool.release(pool.acquire(prog, makeConfig("die", "ready_list")));
+    ASSERT_EQ(pool.idleCount(), 1u);
+    EXPECT_THROW(pool.acquire(prog, bad), FatalError);
+    EXPECT_EQ(pool.idleCount(), 0u);
+}
+
+TEST(SweepPooling, PooledSweepMatchesFreshConstruction)
+{
+    setQuiet(true);
+    const auto build = [] {
+        harness::Sweep sweep(2);
+        for (const char *w : {"compress", "route", "parse"}) {
+            for (const char *mode : {"sie", "die-irb"}) {
+                sweep.add(std::string(w) + "/" + mode, w,
+                          harness::baseConfig(mode), 1, budget);
+            }
+        }
+        return sweep;
+    };
+
+    harness::Sweep fresh = build();
+    fresh.setPooling(false);
+    harness::Sweep pooled = build();
+    EXPECT_TRUE(pooled.poolingEnabled());
+
+    const auto fa = fresh.run();
+    const auto pa = pooled.run();
+    ASSERT_EQ(fa.size(), pa.size());
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        SCOPED_TRACE(fa[i].name);
+        EXPECT_EQ(fa[i].status, pa[i].status);
+        EXPECT_EQ(fa[i].sim.core.cycles, pa[i].sim.core.cycles);
+        EXPECT_EQ(fa[i].sim.stats, pa[i].sim.stats);
+        EXPECT_EQ(fa[i].sim.statsText, pa[i].sim.statsText);
+        EXPECT_EQ(fa[i].sim.output, pa[i].sim.output);
+    }
+    EXPECT_EQ(fresh.pool().reuses(), 0u); // pooling was off
+    EXPECT_GT(pooled.pool().reuses(), 0u);
+    EXPECT_LT(pooled.pool().constructions(), pa.size());
+}
+
+TEST(SweepCache, WarmRerunRestoresResultsWithoutSimulating)
+{
+    setQuiet(true);
+    const std::string dir = ::testing::TempDir() + "direb_sweep_cache";
+    std::filesystem::remove_all(dir); // stale cache would defeat "cold"
+
+    const auto build = [&dir] {
+        harness::Sweep sweep(1);
+        for (const char *mode : {"sie", "die", "die-irb"}) {
+            Config cfg = harness::baseConfig(mode);
+            cfg.set("sweep.cache", dir);
+            sweep.add(std::string("compress/") + mode, "compress", cfg, 1,
+                      budget);
+        }
+        // A point that times out is cached too (deterministic outcome).
+        Config tiny = harness::baseConfig("die");
+        tiny.set("sweep.cache", dir);
+        sweep.add("tiny", "route", tiny, 1, 500);
+        return sweep;
+    };
+
+    const auto cold = build().run();
+    for (const auto &r : cold)
+        EXPECT_FALSE(r.fromCache) << r.name;
+    EXPECT_EQ(cold[3].status, harness::PointStatus::Timeout);
+
+    const auto warm = build().run();
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        SCOPED_TRACE(cold[i].name);
+        EXPECT_TRUE(warm[i].fromCache);
+        EXPECT_EQ(cold[i].status, warm[i].status);
+        EXPECT_EQ(cold[i].error, warm[i].error);
+        EXPECT_EQ(cold[i].attempts, warm[i].attempts);
+        EXPECT_EQ(cold[i].sim.core.stop, warm[i].sim.core.stop);
+        EXPECT_EQ(cold[i].sim.core.cycles, warm[i].sim.core.cycles);
+        EXPECT_EQ(cold[i].sim.core.archInsts, warm[i].sim.core.archInsts);
+        EXPECT_EQ(cold[i].sim.core.ruuEntriesCommitted,
+                  warm[i].sim.core.ruuEntriesCommitted);
+        EXPECT_DOUBLE_EQ(cold[i].sim.core.ipc, warm[i].sim.core.ipc);
+        EXPECT_EQ(cold[i].sim.stats, warm[i].sim.stats); // exact doubles
+        EXPECT_EQ(cold[i].sim.statsText, warm[i].sim.statsText);
+        EXPECT_EQ(cold[i].sim.output, warm[i].sim.output);
+    }
+}
+
+TEST(SweepCache, KeyTracksProgramAndConfig)
+{
+    setQuiet(true);
+    const std::string dir = ::testing::TempDir() + "direb_sweep_cache_key";
+    std::filesystem::remove_all(dir);
+
+    const auto run_one = [&dir](const char *workload, const char *ruu) {
+        harness::Sweep sweep(1);
+        Config cfg = harness::baseConfig("die");
+        cfg.set("sweep.cache", dir);
+        if (ruu != nullptr)
+            cfg.set("ruu.size", ruu);
+        sweep.add("pt", workload, cfg, 1, budget);
+        return sweep.run().at(0);
+    };
+
+    EXPECT_FALSE(run_one("compress", nullptr).fromCache); // cold
+    EXPECT_TRUE(run_one("compress", nullptr).fromCache);  // warm
+    // A different config or program hashes to a different entry.
+    const auto other_cfg = run_one("compress", "64");
+    EXPECT_FALSE(other_cfg.fromCache);
+    const auto other_prog = run_one("route", nullptr);
+    EXPECT_FALSE(other_prog.fromCache);
+}
+
+TEST(SweepCache, CorruptEntryFallsBackToSimulation)
+{
+    setQuiet(true);
+    const std::string dir =
+        ::testing::TempDir() + "direb_sweep_cache_corrupt";
+    std::filesystem::remove_all(dir);
+
+    const auto run_one = [&dir] {
+        harness::Sweep sweep(1);
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("sweep.cache", dir);
+        sweep.add("pt", "compress", cfg, 1, budget);
+        return sweep.run().at(0);
+    };
+
+    const auto cold = run_one();
+    ASSERT_FALSE(cold.fromCache);
+
+    // Truncate every cache file in the directory to garbage.
+    std::vector<std::string> files;
+    for (const auto &ent : std::filesystem::directory_iterator(dir))
+        files.push_back(ent.path().string());
+    ASSERT_FALSE(files.empty());
+    for (const auto &f : files) {
+        std::ofstream out(f, std::ios::trunc);
+        out << "{ not json";
+    }
+
+    const auto rerun = run_one();
+    EXPECT_FALSE(rerun.fromCache); // corrupt entry was ignored
+    EXPECT_EQ(cold.sim.core.cycles, rerun.sim.core.cycles);
+
+    const auto warm = run_one(); // the rerun repaired the cache
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(cold.sim.statsText, warm.sim.statsText);
+}

@@ -18,11 +18,14 @@
  *   --trace[=file]  record a pipeline trace; writes <file> (Konata /
  *                   O3PipeView text) and <file>.json (Chrome trace_event)
  *   --stats-json <file>  dump the flattened statistics snapshot as JSON
+ *   --list-config   print every recognized key=value configuration knob
+ *                   (name, type, default, description) and exit
  *
  * Any trailing key=value pairs override machine configuration, e.g.
  *   dieirb-sim -w compress -m die-irb -d irb.entries=2048 fu.intalu=2
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,9 +35,12 @@
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
@@ -59,8 +65,49 @@ usage(const char *argv0)
                  "  --trace[=file]       record a pipeline trace "
                  "(Konata text + Chrome JSON)\n"
                  "  --stats-json <file>  dump the statistics snapshot as "
-                 "JSON\n",
+                 "JSON\n"
+                 "  --list-config        print every recognized config "
+                 "key and exit\n",
                  argv0);
+}
+
+/**
+ * Print the full configuration-key registry. The registry fills lazily
+ * (a key is recorded the first time a component reads it), so run one
+ * tiny throwaway sweep point in the most featureful mode first: die-irb
+ * registers the IRB knobs on top of everything a SIE run reads, and the
+ * sweep/trace-export paths register their keys too.
+ */
+int
+listConfig()
+{
+    setQuiet(true);
+    harness::Sweep sweep(1);
+    sweep.add("probe", "route", harness::baseConfig("die-irb"), 1, 1'000);
+    sweep.run();
+
+    const std::vector<ConfigKeyInfo> keys = Config::registeredKeys();
+    std::size_t kw = std::strlen("key");
+    std::size_t tw = std::strlen("type");
+    std::size_t dw = std::strlen("default");
+    for (const ConfigKeyInfo &k : keys) {
+        kw = std::max(kw, k.key.size());
+        tw = std::max(tw, k.type.size());
+        dw = std::max(dw, k.def.size());
+    }
+    std::printf("%-*s  %-*s  %-*s  %s\n", static_cast<int>(kw), "key",
+                static_cast<int>(tw), "type", static_cast<int>(dw),
+                "default", "description");
+    std::printf("%s\n",
+                std::string(kw + tw + dw + 6 + std::strlen("description"),
+                            '-')
+                    .c_str());
+    for (const ConfigKeyInfo &k : keys) {
+        std::printf("%-*s  %-*s  %-*s  %s\n", static_cast<int>(kw),
+                    k.key.c_str(), static_cast<int>(tw), k.type.c_str(),
+                    static_cast<int>(dw), k.def.c_str(), k.desc.c_str());
+    }
+    return 0;
 }
 
 std::string
@@ -130,6 +177,13 @@ main(int argc, char **argv)
             trace_path = a.substr(std::strlen("--trace="));
         } else if (a == "--stats-json") {
             stats_json = next();
+        } else if (a == "--list-config") {
+            try {
+                return listConfig();
+            } catch (const FatalError &e) {
+                std::fprintf(stderr, "fatal: %s\n", e.what());
+                return 1;
+            }
         } else if (a.find('=') != std::string::npos) {
             overrides.push_back(a);
         } else if (file.empty() && workload.empty()) {
@@ -191,9 +245,14 @@ main(int argc, char **argv)
         std::printf("IPC        : %.4f\n", r.core.ipc);
         if (!r.output.empty())
             std::printf("output     : %s", r.output.c_str());
-        if (trace)
-            std::printf("trace      : %s (+ %s.json)\n",
-                        trace_path.c_str(), trace_path.c_str());
+        if (trace) {
+            if (trace::compiledIn())
+                std::printf("trace      : %s (+ %s.json)\n",
+                            trace_path.c_str(), trace_path.c_str());
+            else
+                std::printf("trace      : EMPTY — tracing hooks compiled "
+                            "out (DIREB_TRACING=OFF)\n");
+        }
         if (dump_stats)
             std::printf("\n%s", r.statsText.c_str());
 
@@ -208,6 +267,10 @@ main(int argc, char **argv)
             root.set("arch_insts", r.core.archInsts);
             root.set("cycles", static_cast<std::uint64_t>(r.core.cycles));
             root.set("ipc", r.core.ipc);
+            // Only present when a trace was requested, so runs without
+            // --trace keep their established JSON shape byte-for-byte.
+            if (trace)
+                root.set("trace_compiled_out", !trace::compiledIn());
             harness::Json stats = harness::Json::object();
             for (const auto &[name, value] : r.stats)
                 stats.set(name, value);
