@@ -254,16 +254,25 @@ Json::memberValue(std::size_t i) const
 namespace
 {
 
-/** Recursive-descent JSON reader over [pos, text.size()). */
+/**
+ * Recursive-descent JSON reader over [pos, text.size()). The server
+ * feeds this raw network bytes, so it is hardened for untrusted input:
+ * nesting is capped (deep recursion would otherwise exhaust the stack),
+ * duplicate object keys are rejected (silent last-wins masks request
+ * smuggling), and trailing garbage after the document is an error.
+ */
 class JsonParser
 {
   public:
+    /** Deepest object/array nesting accepted; beyond this, fatal(). */
+    static constexpr int maxDepth = 64;
+
     explicit JsonParser(const std::string &text) : src(text) {}
 
     Json
     parse()
     {
-        Json v = value();
+        Json v = value(0);
         skipSpace();
         fatal_if(pos != src.size(), "json: trailing garbage at offset %zu",
                  pos);
@@ -307,12 +316,15 @@ class JsonParser
     }
 
     Json
-    value()
+    value(int depth)
     {
+        fatal_if(depth >= maxDepth,
+                 "json: nesting deeper than %d at offset %zu", maxDepth,
+                 pos);
         const char c = peek();
         switch (c) {
-          case '{': return object();
-          case '[': return array();
+          case '{': return object(depth);
+          case '[': return array(depth);
           case '"': return Json(string());
           case 't':
             fatal_if(!consume("true"), "json: bad literal at offset %zu",
@@ -332,7 +344,7 @@ class JsonParser
     }
 
     Json
-    object()
+    object(int depth)
     {
         expect('{');
         Json obj = Json::object();
@@ -344,8 +356,11 @@ class JsonParser
             fatal_if(peek() != '"', "json: expected key at offset %zu",
                      pos);
             std::string key = string();
+            fatal_if(obj.find(key) != nullptr,
+                     "json: duplicate object key '%s' at offset %zu",
+                     key.c_str(), pos);
             expect(':');
-            obj.set(key, value());
+            obj.set(key, value(depth + 1));
             if (peek() == ',') {
                 ++pos;
                 continue;
@@ -356,7 +371,7 @@ class JsonParser
     }
 
     Json
-    array()
+    array(int depth)
     {
         expect('[');
         Json arr = Json::array();
@@ -365,7 +380,7 @@ class JsonParser
             return arr;
         }
         while (true) {
-            arr.push(value());
+            arr.push(value(depth + 1));
             if (peek() == ',') {
                 ++pos;
                 continue;

@@ -85,7 +85,10 @@ class Json
     /**
      * Parse JSON text (the subset dump() emits plus what the standard
      * allows); fatal() on malformed input. Numbers that read back exactly
-     * as integers keep the integral print path.
+     * as integers keep the integral print path. Hardened for untrusted
+     * input (the HTTP service feeds it raw network bytes): nesting
+     * deeper than 64 levels, duplicate object keys and trailing garbage
+     * are all rejected with a clear FatalError.
      */
     static Json parse(const std::string &text);
 
@@ -98,6 +101,8 @@ class Json
     bool isArray() const { return kind == Kind::Array; }
     bool isNumber() const { return kind == Kind::Number; }
     bool isString() const { return kind == Kind::String; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNull() const { return kind == Kind::Null; }
     std::size_t size() const;
 
     /** Value accessors (panic on a kind mismatch). @{ */

@@ -54,6 +54,9 @@ exportTraces(OooCore &core, const Config &config)
     fatal_if(format != "konata" && format != "chrome" && format != "both",
              "unknown trace.format '%s' (expected konata, chrome or both)",
              format.c_str());
+    // "-" streams to stdout, where only one exporter can write.
+    fatal_if(path == "-" && format == "both",
+             "trace.path=- needs trace.format=konata or chrome");
     if (core.tracer() == nullptr || path.empty())
         return;
     if (format == "konata" || format == "both")

@@ -27,6 +27,7 @@ pointStatusName(PointStatus status)
       case PointStatus::Ok: return "ok";
       case PointStatus::Timeout: return "timeout";
       case PointStatus::Error: return "error";
+      case PointStatus::Cancelled: return "cancelled";
     }
     return "?";
 }
@@ -316,9 +317,10 @@ Sweep::runPoint(const Point &point) const
             }
 
             if (pooling) {
-                auto core = corePool->acquire(prog, cfg);
+                CorePool &pool = sharedPool ? *sharedPool : *corePool;
+                auto core = pool.acquire(prog, cfg);
                 res.sim = runWithCore(*core, cfg, point.maxInsts);
-                corePool->release(std::move(core));
+                pool.release(std::move(core));
             } else {
                 res.sim = harness::run(prog, cfg, point.maxInsts);
             }
@@ -351,7 +353,7 @@ Sweep::runPoint(const Point &point) const
 }
 
 std::vector<SweepResult>
-Sweep::run() const
+Sweep::run(const std::atomic<bool> *cancel) const
 {
     std::vector<SweepResult> results(points.size());
     if (points.empty())
@@ -366,6 +368,16 @@ Sweep::run() const
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= points.size())
                 return;
+            // Cancellation is point-granular: a point already running
+            // completes (its result stays deterministic), everything
+            // still queued is marked Cancelled without simulating, so
+            // a server drain never runs the rest of the matrix.
+            if (cancel && cancel->load(std::memory_order_relaxed)) {
+                results[i].name = points[i].name;
+                results[i].status = PointStatus::Cancelled;
+                results[i].error = "sweep cancelled before this point ran";
+                continue;
+            }
             results[i] = runPoint(points[i]);
         }
     };

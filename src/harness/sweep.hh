@@ -38,6 +38,7 @@
 #ifndef DIREB_HARNESS_SWEEP_HH
 #define DIREB_HARNESS_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,9 +59,10 @@ namespace harness
 /** How one sweep point ended. */
 enum class PointStatus : std::uint8_t
 {
-    Ok,      //!< ran to HALT
-    Timeout, //!< exhausted the instruction/cycle budget (stats are partial)
-    Error,   //!< failed twice; see SweepResult::error
+    Ok,        //!< ran to HALT
+    Timeout,   //!< exhausted the instruction/cycle budget (stats partial)
+    Error,     //!< failed twice; see SweepResult::error
+    Cancelled, //!< never started: the sweep was cancelled first
 };
 
 const char *pointStatusName(PointStatus status);
@@ -111,13 +113,33 @@ class Sweep
     bool poolingEnabled() const { return pooling; }
 
     /** The shared core pool (constructions()/reuses() for benches). */
-    const CorePool &pool() const { return *corePool; }
+    const CorePool &pool() const
+    {
+        return sharedPool ? *sharedPool : *corePool;
+    }
+
+    /**
+     * Draw cores from @p shared instead of this sweep's own pool, so
+     * many short-lived sweeps (e.g. one per server request) keep
+     * reusing the same warm cores. @p shared must outlive every run();
+     * nullptr restores the owned pool. Only honoured while pooling is
+     * enabled.
+     */
+    void setSharedPool(CorePool *shared) { sharedPool = shared; }
 
     /**
      * Run all points (blocking) and return results in enqueue order.
      * The queue is left intact, so run() may be called again.
+     *
+     * @p cancel, when non-null, is polled between points: once it
+     * reads true, workers stop dequeuing and every point that has not
+     * started yet comes back as PointStatus::Cancelled (cheaply — no
+     * simulation). Points that already ran keep their deterministic
+     * results, so a drained sweep's completed prefix is bit-identical
+     * to the same points of an uncancelled run.
      */
-    std::vector<SweepResult> run() const;
+    std::vector<SweepResult>
+    run(const std::atomic<bool> *cancel = nullptr) const;
 
   private:
     struct Point
@@ -135,6 +157,8 @@ class Sweep
     std::vector<Point> points;
     unsigned jobCount;
     bool pooling = true;
+    /** Externally owned pool (setSharedPool); overrides corePool. */
+    CorePool *sharedPool = nullptr;
     /** Shared by all workers (thread-safe); behind a unique_ptr so the
      *  pool's mutex does not make Sweep unmovable. */
     mutable std::unique_ptr<CorePool> corePool =

@@ -1,0 +1,270 @@
+#include "service/http.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace direb
+{
+
+namespace service
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+isUpperToken(const std::string &s)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    return std::all_of(s.begin(), s.end(),
+                       [](char c) { return c >= 'A' && c <= 'Z'; });
+}
+
+bool
+isKnownMethod(const std::string &m)
+{
+    static const char *known[] = {"GET",    "HEAD",    "POST", "PUT",
+                                  "DELETE", "OPTIONS", "PATCH"};
+    return std::any_of(std::begin(known), std::end(known),
+                       [&m](const char *k) { return m == k; });
+}
+
+/** Methods that must carry Content-Length (we never read chunked). */
+bool
+expectsBody(const std::string &m)
+{
+    return m == "POST" || m == "PUT" || m == "PATCH";
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &lower_name) const
+{
+    for (const auto &[name, value] : headers) {
+        if (name == lower_name)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::string
+HttpRequest::path() const
+{
+    const std::size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+}
+
+HttpParser::Status
+HttpParser::status() const
+{
+    switch (state) {
+      case State::Done: return Status::Done;
+      case State::Error: return Status::Error;
+      default: return Status::NeedMore;
+    }
+}
+
+void
+HttpParser::fail(int status, std::string reason)
+{
+    state = State::Error;
+    errStatus = status;
+    errReason = std::move(reason);
+    buf.clear();
+    buf.shrink_to_fit();
+}
+
+HttpParser::Status
+HttpParser::feed(const char *data, std::size_t n)
+{
+    if (n > 0)
+        sawBytes = true;
+    if (state == State::Done || state == State::Error)
+        return status(); // sticky: callers may keep reading to EOF
+
+    buf.append(data, n);
+
+    if (state == State::Headers) {
+        const std::size_t block = buf.find("\r\n\r\n", scanFrom);
+        if (block == std::string::npos) {
+            // Restart the next search just before the tail so a
+            // terminator split across reads is still found.
+            scanFrom = buf.size() > 3 ? buf.size() - 3 : 0;
+            if (buf.size() > limits.maxHeaderBytes)
+                fail(431, "header block exceeds " +
+                              std::to_string(limits.maxHeaderBytes) +
+                              " bytes");
+            return status();
+        }
+        // An oversized block is rejected even when its terminator
+        // arrived in the same read as the rest of it.
+        if (block > limits.maxHeaderBytes) {
+            fail(431, "header block exceeds " +
+                          std::to_string(limits.maxHeaderBytes) +
+                          " bytes");
+            return status();
+        }
+        parseHeaderBlock(block);
+        if (state == State::Error)
+            return status();
+        buf.erase(0, block + 4); // leave any body prefix in place
+        state = State::Body;
+    }
+
+    if (state == State::Body && buf.size() >= contentLength) {
+        req.body = buf.substr(0, contentLength);
+        buf.clear();
+        buf.shrink_to_fit();
+        state = State::Done;
+    }
+    return status();
+}
+
+void
+HttpParser::parseHeaderBlock(std::size_t block_end)
+{
+    // Request line: METHOD SP request-target SP HTTP-version.
+    std::size_t line_end = buf.find("\r\n");
+    const std::string line = buf.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos) {
+        return fail(400, "malformed request line");
+    }
+    req.method = line.substr(0, sp1);
+    req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = line.substr(sp2 + 1);
+    if (!isUpperToken(req.method))
+        return fail(400, "malformed method token");
+    if (!isKnownMethod(req.method))
+        return fail(405, "unrecognized method '" + req.method + "'");
+    if (req.target.empty() || req.target[0] != '/')
+        return fail(400, "request target must be absolute path");
+    if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0")
+        return fail(505, "unsupported version '" + req.version + "'");
+
+    // Header fields, one per CRLF-terminated line.
+    std::size_t at = line_end + 2;
+    bool haveLength = false;
+    while (at < block_end) {
+        const std::size_t eol = buf.find("\r\n", at);
+        const std::string field = buf.substr(at, eol - at);
+        at = eol + 2;
+        const std::size_t colon = field.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return fail(400, "malformed header field");
+        const std::string name = lower(field.substr(0, colon));
+        const std::string value = trim(field.substr(colon + 1));
+        if (name.find(' ') != std::string::npos ||
+            name.find('\t') != std::string::npos) {
+            return fail(400, "whitespace in header name");
+        }
+        if (name == "transfer-encoding")
+            return fail(501, "transfer-encoding not supported");
+        if (name == "content-length") {
+            if (value.empty() ||
+                !std::all_of(value.begin(), value.end(), [](char c) {
+                    return c >= '0' && c <= '9';
+                })) {
+                return fail(400, "malformed content-length");
+            }
+            std::size_t parsed = 0;
+            for (const char c : value) {
+                parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+                if (parsed > limits.maxBodyBytes) {
+                    return fail(413,
+                                "body exceeds " +
+                                    std::to_string(limits.maxBodyBytes) +
+                                    " bytes");
+                }
+            }
+            if (haveLength && parsed != contentLength)
+                return fail(400, "conflicting content-length headers");
+            haveLength = true;
+            contentLength = parsed;
+        }
+        req.headers.emplace_back(name, value);
+    }
+
+    if (!haveLength && expectsBody(req.method))
+        return fail(411, "length required");
+}
+
+HttpResponse &
+HttpResponse::set(std::string name, std::string value)
+{
+    headers.emplace_back(std::move(name), std::move(value));
+    return *this;
+}
+
+std::string
+HttpResponse::serialize() const
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      statusText(status) + "\r\n";
+    bool haveType = false;
+    for (const auto &[name, value] : headers) {
+        out += name + ": " + value + "\r\n";
+        if (lower(name) == "content-type")
+            haveType = true;
+    }
+    if (!haveType)
+        out += "Content-Type: application/json\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 411: return "Length Required";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
+      case 505: return "HTTP Version Not Supported";
+      default: return "Status";
+    }
+}
+
+} // namespace service
+
+} // namespace direb

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 machinery for the simulation service: an incremental
+ * request parser that is fed raw bytes exactly as they arrive from a
+ * blocking socket (split reads are the normal case, not an edge case),
+ * and a response builder. No third-party dependencies and no ambition
+ * beyond what dieirb-serve needs — Content-Length framing only, one
+ * request per connection, Connection: close on every response.
+ *
+ * The parser is written for untrusted input: every limit violation or
+ * syntax error turns into a sticky Error state carrying the HTTP status
+ * the server should answer with (400 malformed request line or header,
+ * 405 unrecognized method, 411 missing Content-Length on a body method,
+ * 413 oversized body, 431 oversized header block, 501 Transfer-Encoding,
+ * 505 unknown HTTP version), never into a crash or an unbounded buffer.
+ */
+
+#ifndef DIREB_SERVICE_HTTP_HH
+#define DIREB_SERVICE_HTTP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace direb
+{
+
+namespace service
+{
+
+/** One parsed request. Header names are lower-cased at parse time. */
+struct HttpRequest
+{
+    std::string method;  //!< e.g. "GET", "POST" (always upper-case)
+    std::string target;  //!< raw request-target, e.g. "/v1/jobs/7?x=1"
+    std::string version; //!< "HTTP/1.0" or "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Lookup by lower-cased name; nullptr when absent. */
+    const std::string *header(const std::string &lower_name) const;
+
+    /** The target up to (not including) any '?' query. */
+    std::string path() const;
+};
+
+/**
+ * Incremental HTTP/1.1 request parser.
+ *
+ * feed() consumes bytes in arbitrarily small or large chunks and
+ * returns NeedMore until the request line, every header and the full
+ * Content-Length body have been buffered (Done), or until the input is
+ * rejected (Error; errorStatus()/errorReason() say why). Both Done and
+ * Error are sticky: further feed() calls are no-ops, so a connection
+ * loop can simply stop reading.
+ */
+class HttpParser
+{
+  public:
+    struct Limits
+    {
+        std::size_t maxHeaderBytes = 64 * 1024;
+        std::size_t maxBodyBytes = 8 * 1024 * 1024;
+    };
+
+    enum class Status : std::uint8_t { NeedMore, Done, Error };
+
+    HttpParser() = default;
+    explicit HttpParser(Limits limits) : limits(limits) {}
+
+    /** Consume @p n bytes; returns the parser status afterwards. */
+    Status feed(const char *data, std::size_t n);
+
+    Status status() const;
+
+    /** The parsed request; valid once status() == Done. */
+    const HttpRequest &request() const { return req; }
+
+    /** True once any request bytes have been consumed. */
+    bool started() const { return sawBytes; }
+
+    /** HTTP status to answer with; valid once status() == Error. @{ */
+    int errorStatus() const { return errStatus; }
+    const std::string &errorReason() const { return errReason; }
+    /** @} */
+
+  private:
+    enum class State : std::uint8_t { Headers, Body, Done, Error };
+
+    void parseHeaderBlock(std::size_t block_end);
+    void fail(int status, std::string reason);
+
+    Limits limits;
+    State state = State::Headers;
+    bool sawBytes = false;
+    std::string buf;
+    std::size_t scanFrom = 0; //!< restart "\r\n\r\n" search here
+    std::size_t contentLength = 0;
+    HttpRequest req;
+    int errStatus = 0;
+    std::string errReason;
+};
+
+/** A response under construction; serialize() frames it for the wire. */
+struct HttpResponse
+{
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    HttpResponse() = default;
+    HttpResponse(int status, std::string body)
+        : status(status), body(std::move(body))
+    {}
+
+    /** Append a header (no dedup; serialize() writes them in order). */
+    HttpResponse &set(std::string name, std::string value);
+
+    /**
+     * Render status line + headers + body. Content-Length and
+     * Connection: close are always appended; Content-Type defaults to
+     * application/json unless already set.
+     */
+    std::string serialize() const;
+};
+
+/** Canonical reason phrase ("OK", "Too Many Requests", ...). */
+const char *statusText(int status);
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_HTTP_HH

@@ -1,0 +1,245 @@
+#include "service/job_queue.hh"
+
+#include <exception>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+JobQueue::JobQueue(std::size_t capacity, unsigned workers)
+    : cap(capacity > 0 ? capacity : 1)
+{
+    unsigned n = workers;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw > 0 ? hw : 1;
+    }
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+JobQueue::~JobQueue() { drain(); }
+
+JobQueue::Ticket
+JobQueue::submit(std::string kind, std::string request_id, Work work)
+{
+    Ticket ticket;
+    std::lock_guard<std::mutex> lock(mtx);
+    if (closed) {
+        ticket.closed = true;
+        ++numRejected;
+        return ticket;
+    }
+    if (outstandingJobs >= cap) {
+        ++numRejected;
+        return ticket;
+    }
+    ticket.id = nextId++;
+    ticket.accepted = true;
+    Slot &slot = slots[ticket.id];
+    slot.record.id = ticket.id;
+    slot.record.kind = std::move(kind);
+    slot.record.requestId = std::move(request_id);
+    slot.record.state = JobState::Queued;
+    slot.work = std::move(work);
+    pending.push_back(ticket.id);
+    ++outstandingJobs;
+    ++numAccepted;
+    workAvailable.notify_one();
+    return ticket;
+}
+
+void
+JobQueue::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        workAvailable.wait(lock,
+                           [this] { return !pending.empty() || closed; });
+        if (pending.empty()) {
+            if (closed)
+                return; // drained: nothing queued, never will be
+            continue;
+        }
+        const std::uint64_t id = pending.front();
+        pending.pop_front();
+        // std::map nodes are stable, so the Slot reference survives the
+        // unlocked region while other threads submit/lookup.
+        Slot &slot = slots[id];
+        slot.record.state = JobState::Running;
+        Work work = std::move(slot.work);
+        ++busy;
+        lock.unlock();
+
+        harness::Json result;
+        std::string error;
+        bool ok = true;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+            result = work();
+        } catch (const std::exception &e) {
+            ok = false;
+            error = e.what();
+        } catch (...) {
+            ok = false;
+            error = "unknown exception";
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        lock.lock();
+        --busy;
+        --outstandingJobs;
+        slot.record.state = ok ? JobState::Done : JobState::Failed;
+        slot.record.result = std::move(result);
+        slot.record.error = std::move(error);
+        slot.record.runSeconds = elapsed.count();
+        ++(ok ? numCompleted : numFailed);
+        finishedOrder.push_back(id);
+        trimHistoryLocked();
+        jobFinished.notify_all();
+    }
+}
+
+void
+JobQueue::trimHistoryLocked()
+{
+    while (finishedOrder.size() > historyLimit) {
+        slots.erase(finishedOrder.front());
+        finishedOrder.pop_front();
+    }
+}
+
+bool
+JobQueue::lookup(std::uint64_t id, JobRecord &out) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = slots.find(id);
+    if (it == slots.end())
+        return false;
+    out = it->second.record;
+    return true;
+}
+
+bool
+JobQueue::wait(std::uint64_t id, std::chrono::milliseconds deadline,
+               JobRecord &out) const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    const auto finished = [this, id, &out] {
+        const auto it = slots.find(id);
+        if (it == slots.end())
+            return true; // unknown or already trimmed: stop waiting
+        out = it->second.record;
+        return out.finished();
+    };
+    jobFinished.wait_for(lock, deadline, finished);
+    const auto it = slots.find(id);
+    if (it == slots.end())
+        return false;
+    out = it->second.record;
+    return out.finished();
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    closed = true;
+    workAvailable.notify_all();
+}
+
+void
+JobQueue::drain()
+{
+    close();
+    {
+        // Workers exit once the queue is closed AND empty, after
+        // finishing whatever they are running — join() is the drain.
+        std::lock_guard<std::mutex> lock(mtx);
+        if (joined)
+            return;
+        joined = true;
+    }
+    for (std::thread &t : pool) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+std::size_t
+JobQueue::queued() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return pending.size();
+}
+
+std::size_t
+JobQueue::outstanding() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return outstandingJobs;
+}
+
+unsigned
+JobQueue::workers() const
+{
+    return static_cast<unsigned>(pool.size());
+}
+
+unsigned
+JobQueue::busyWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return busy;
+}
+
+std::uint64_t
+JobQueue::acceptedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return numAccepted;
+}
+
+std::uint64_t
+JobQueue::rejectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return numRejected;
+}
+
+std::uint64_t
+JobQueue::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return numCompleted;
+}
+
+std::uint64_t
+JobQueue::failedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return numFailed;
+}
+
+} // namespace service
+
+} // namespace direb

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bounded job queue + worker pool for the simulation service.
+ *
+ * Jobs are opaque closures returning a harness::Json result; the queue
+ * assigns each an id, bounds the number of outstanding (queued +
+ * running) jobs so an overloaded server answers 429 instead of growing
+ * without limit, runs them on a fixed pool of worker threads, and keeps
+ * a bounded history of finished records so GET /v1/jobs/<id> can report
+ * status and results after the fact.
+ *
+ * Shutdown contract (the server's drain): close() makes every further
+ * submit() come back rejected-with-closed, but jobs already accepted
+ * keep running; drain() closes, lets the workers finish everything
+ * outstanding and joins them. Long-running sweep jobs are expected to
+ * watch the server's cancellation token themselves (Sweep::run(cancel))
+ * so a drain finishes the point in flight instead of the whole matrix.
+ */
+
+#ifndef DIREB_SERVICE_JOB_QUEUE_HH
+#define DIREB_SERVICE_JOB_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+enum class JobState : std::uint8_t { Queued, Running, Done, Failed };
+
+const char *jobStateName(JobState state);
+
+/** Snapshot of one job, as returned by lookup()/wait(). */
+struct JobRecord
+{
+    std::uint64_t id = 0;
+    std::string kind;      //!< "simulate", "sweep", ...
+    std::string requestId; //!< propagated from the HTTP request
+    JobState state = JobState::Queued;
+    harness::Json result; //!< valid when Done
+    std::string error;    //!< valid when Failed
+    double runSeconds = 0.0;
+
+    bool finished() const
+    {
+        return state == JobState::Done || state == JobState::Failed;
+    }
+};
+
+class JobQueue
+{
+  public:
+    using Work = std::function<harness::Json()>;
+
+    /**
+     * @param capacity max outstanding (queued + running) jobs; further
+     *                 submissions are rejected (the 429 path).
+     * @param workers  worker threads; 0 = hardware concurrency.
+     */
+    JobQueue(std::size_t capacity, unsigned workers);
+
+    /** drain()s if the owner did not. */
+    ~JobQueue();
+
+    struct Ticket
+    {
+        std::uint64_t id = 0;
+        bool accepted = false;
+        bool closed = false; //!< rejected because the queue was closed
+    };
+
+    /**
+     * Enqueue @p work. Rejected (accepted=false) when the queue is full
+     * (closed=false — retry later) or closed (closed=true — the server
+     * is shutting down). @p work runs on a worker thread; a thrown
+     * exception marks the job Failed with the exception text.
+     */
+    Ticket submit(std::string kind, std::string request_id, Work work);
+
+    /** Snapshot a job; false when the id is unknown (or trimmed). */
+    bool lookup(std::uint64_t id, JobRecord &out) const;
+
+    /**
+     * Block until the job finishes or @p deadline elapses; true when
+     * the job finished (out is its final record), false on deadline
+     * (out is the current snapshot) or when the id is unknown.
+     */
+    bool wait(std::uint64_t id, std::chrono::milliseconds deadline,
+              JobRecord &out) const;
+
+    /** Reject all future submissions; running/queued jobs continue. */
+    void close();
+
+    /** close(), finish every outstanding job, join the workers. */
+    void drain();
+
+    /** Instantaneous sizes (for /metrics and /healthz). @{ */
+    std::size_t queued() const;
+    std::size_t outstanding() const;
+    std::size_t capacity() const { return cap; }
+    unsigned workers() const;
+    unsigned busyWorkers() const;
+    /** @} */
+
+    /** Monotonic accounting since construction. @{ */
+    std::uint64_t acceptedCount() const;
+    std::uint64_t rejectedCount() const;
+    std::uint64_t completedCount() const;
+    std::uint64_t failedCount() const;
+    /** @} */
+
+  private:
+    /** A record plus the closure it still has to run. */
+    struct Slot
+    {
+        JobRecord record;
+        Work work;
+    };
+
+    void workerLoop();
+    void trimHistoryLocked();
+
+    /** Finished records kept for lookup() before trimming. */
+    static constexpr std::size_t historyLimit = 4096;
+
+    const std::size_t cap;
+
+    mutable std::mutex mtx;
+    std::condition_variable workAvailable;
+    mutable std::condition_variable jobFinished;
+    bool closed = false;
+    std::deque<std::uint64_t> pending; //!< queued job ids, FIFO
+    std::map<std::uint64_t, Slot> slots;
+    std::deque<std::uint64_t> finishedOrder; //!< trim oldest first
+    std::uint64_t nextId = 1;
+    std::size_t outstandingJobs = 0;
+    unsigned busy = 0;
+    std::uint64_t numAccepted = 0;
+    std::uint64_t numRejected = 0;
+    std::uint64_t numCompleted = 0;
+    std::uint64_t numFailed = 0;
+
+    std::vector<std::thread> pool;
+    bool joined = false;
+};
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_JOB_QUEUE_HH

@@ -1,0 +1,141 @@
+#include "service/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace direb
+{
+
+namespace service
+{
+
+namespace
+{
+
+/**
+ * Render a sample value the way Prometheus expects: integers without a
+ * fractional part, everything else with enough digits to round-trip.
+ */
+std::string
+sample(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+withLabels(const std::string &name, const std::string &labels)
+{
+    if (labels.empty())
+        return name;
+    return name + "{" + labels + "}";
+}
+
+/** Merge a series' labels with a histogram le="..." label. */
+std::string
+withLe(const std::string &labels, const std::string &le)
+{
+    if (labels.empty())
+        return "le=\"" + le + "\"";
+    return labels + ",le=\"" + le + "\"";
+}
+
+} // namespace
+
+const std::vector<double> &
+Metrics::buckets()
+{
+    static const std::vector<double> bounds = {
+        0.001, 0.005, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0, 60.0,
+    };
+    return bounds;
+}
+
+Metrics::Family &
+Metrics::family(const std::string &name)
+{
+    return families[name]; // default family: untyped until describe()
+}
+
+void
+Metrics::describe(const std::string &name, const std::string &type,
+                  const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Family &fam = family(name);
+    fam.type = type;
+    fam.help = help;
+}
+
+void
+Metrics::count(const std::string &name, const std::string &labels,
+               double delta)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    family(name).series[labels] += delta;
+}
+
+void
+Metrics::gauge(const std::string &name, double value,
+               const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    family(name).series[labels] = value;
+}
+
+void
+Metrics::observe(const std::string &name, double value,
+                 const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Histogram &h = family(name).histograms[labels];
+    if (h.bucketCounts.empty())
+        h.bucketCounts.assign(buckets().size(), 0);
+    for (std::size_t i = 0; i < buckets().size(); ++i) {
+        if (value <= buckets()[i])
+            ++h.bucketCounts[i];
+    }
+    h.sum += value;
+    ++h.observations;
+}
+
+std::string
+Metrics::render() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::string out;
+    for (const auto &[name, fam] : families) {
+        if (!fam.help.empty())
+            out += "# HELP " + name + " " + fam.help + "\n";
+        if (!fam.type.empty())
+            out += "# TYPE " + name + " " + fam.type + "\n";
+        for (const auto &[labels, value] : fam.series)
+            out += withLabels(name, labels) + " " + sample(value) + "\n";
+        for (const auto &[labels, hist] : fam.histograms) {
+            for (std::size_t i = 0; i < buckets().size(); ++i) {
+                char le[32];
+                std::snprintf(le, sizeof(le), "%g", buckets()[i]);
+                out += name + "_bucket{" + withLe(labels, le) + "} " +
+                       sample(static_cast<double>(hist.bucketCounts[i])) +
+                       "\n";
+            }
+            out += name + "_bucket{" + withLe(labels, "+Inf") + "} " +
+                   sample(static_cast<double>(hist.observations)) + "\n";
+            out += withLabels(name + "_sum", labels) + " " +
+                   sample(hist.sum) + "\n";
+            out += withLabels(name + "_count", labels) + " " +
+                   sample(static_cast<double>(hist.observations)) + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace service
+
+} // namespace direb

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small Prometheus metrics registry for the service layer. Three
+ * instrument kinds cover everything dieirb-serve exposes: monotonic
+ * counters (requests, rejected jobs, cache hits, simulated cycles),
+ * gauges sampled at scrape time (queue depth, busy workers) and
+ * fixed-bucket latency histograms. render() emits the text exposition
+ * format (version 0.0.4) that Prometheus, `promtool check metrics` and
+ * plain curl all understand.
+ *
+ * Series are addressed by family name plus a pre-rendered label string
+ * (e.g. `path="/v1/simulate",code="200"`); a family's HELP/TYPE header
+ * is registered once via describe(). Everything is guarded by one
+ * mutex — metrics are updated per request, not per simulated cycle, so
+ * contention is irrelevant next to the simulations themselves.
+ */
+
+#ifndef DIREB_SERVICE_METRICS_HH
+#define DIREB_SERVICE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+namespace service
+{
+
+class Metrics
+{
+  public:
+    /** Register a family's TYPE/HELP ("counter", "gauge", "histogram"). */
+    void describe(const std::string &name, const std::string &type,
+                  const std::string &help);
+
+    /** Add @p delta (default 1) to a counter series. */
+    void count(const std::string &name, const std::string &labels = "",
+               double delta = 1.0);
+
+    /** Set a gauge series to an instantaneous value. */
+    void gauge(const std::string &name, double value,
+               const std::string &labels = "");
+
+    /** Record one observation into a histogram series. */
+    void observe(const std::string &name, double value,
+                 const std::string &labels = "");
+
+    /** Prometheus text exposition format (0.0.4). */
+    std::string render() const;
+
+  private:
+    struct Histogram
+    {
+        std::vector<std::uint64_t> bucketCounts; //!< per upper bound
+        double sum = 0.0;
+        std::uint64_t observations = 0;
+    };
+
+    struct Family
+    {
+        std::string type;
+        std::string help;
+        std::map<std::string, double> series;      //!< counters/gauges
+        std::map<std::string, Histogram> histograms;
+    };
+
+    /** Histogram upper bounds, seconds (+Inf is implicit). */
+    static const std::vector<double> &buckets();
+
+    Family &family(const std::string &name);
+
+    mutable std::mutex mtx;
+    std::map<std::string, Family> families;
+};
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_METRICS_HH

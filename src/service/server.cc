@@ -1,0 +1,718 @@
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sys/time.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "workloads/workloads.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+namespace
+{
+
+using harness::Json;
+
+/** JSON error body + status; the uniform failure shape of the API. */
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    Json j = Json::object();
+    j.set("error", message);
+    return HttpResponse(status, j.dump(0) + "\n");
+}
+
+HttpResponse
+methodNotAllowed(const std::string &allow)
+{
+    HttpResponse r = errorResponse(405, "method not allowed");
+    r.set("Allow", allow);
+    return r;
+}
+
+/** Typed member accessors over a request body; fatal() => HTTP 400. @{ */
+std::string
+stringOr(const Json &obj, const char *key, const std::string &def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    fatal_if(!v->isString(), "request: '%s' must be a string", key);
+    return v->asString();
+}
+
+std::uint64_t
+uintOr(const Json &obj, const char *key, std::uint64_t def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    fatal_if(!v->isNumber() || v->asNumber() < 0,
+             "request: '%s' must be a non-negative number", key);
+    return static_cast<std::uint64_t>(v->asNumber());
+}
+
+bool
+boolOr(const Json &obj, const char *key, bool def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    // asBool panics on non-bool kinds; pre-check for a clean 400.
+    fatal_if(!v->isBool(), "request: '%s' must be a boolean", key);
+    return v->asBool();
+}
+/** @} */
+
+/** Render a config-override value the way Config::set expects it. */
+std::string
+overrideValue(const Json &v, const std::string &key)
+{
+    if (v.isString())
+        return v.asString();
+    if (v.isNumber()) {
+        const double d = v.asNumber();
+        if (d == static_cast<double>(static_cast<std::int64_t>(d)))
+            return std::to_string(static_cast<std::int64_t>(d));
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        return buf;
+    }
+    // Panics (abort) must never be reachable from network input, so
+    // every other kind — including null — is rejected before asBool().
+    fatal_if(!v.isBool(), "request: config.%s must be a scalar",
+             key.c_str());
+    return v.asBool() ? "true" : "false";
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::list()) {
+        if (w.name == name)
+            return true;
+    }
+    return false;
+}
+
+/** Everything needed to enqueue one sweep point, parsed up front so
+ *  malformed requests fail with 400 before a job is ever created. */
+struct PointSpec
+{
+    std::string name;
+    std::string workload;
+    std::string mode = "sie";
+    unsigned scale = 1;
+    std::uint64_t maxInsts = 50'000'000;
+    std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+PointSpec
+parsePoint(const Json &obj, const PointSpec &defaults)
+{
+    PointSpec spec = defaults;
+    spec.workload = stringOr(obj, "workload", defaults.workload);
+    fatal_if(spec.workload.empty(), "request: 'workload' is required");
+    fatal_if(!knownWorkload(spec.workload),
+             "request: unknown workload '%s' (see dieirb-sim -l)",
+             spec.workload.c_str());
+    spec.mode = stringOr(obj, "mode", defaults.mode);
+    fatal_if(spec.mode != "sie" && spec.mode != "die" &&
+                 spec.mode != "die-irb",
+             "request: mode must be sie, die or die-irb, got '%s'",
+             spec.mode.c_str());
+    spec.scale =
+        static_cast<unsigned>(uintOr(obj, "scale", defaults.scale));
+    fatal_if(spec.scale < 1 || spec.scale > 1024,
+             "request: scale must be in [1, 1024]");
+    spec.maxInsts = uintOr(obj, "max_insts", defaults.maxInsts);
+    fatal_if(spec.maxInsts < 1, "request: max_insts must be positive");
+    if (const Json *cfg = obj.find("config")) {
+        fatal_if(!cfg->isObject(), "request: 'config' must be an object");
+        for (std::size_t i = 0; i < cfg->size(); ++i) {
+            const std::string &key = cfg->memberName(i);
+            fatal_if(key == "sweep.cache",
+                     "request: sweep.cache is server-controlled");
+            spec.overrides.emplace_back(
+                key, overrideValue(cfg->memberValue(i), key));
+        }
+    }
+    if (spec.name.empty())
+        spec.name = spec.workload + "/" + spec.mode;
+    return spec;
+}
+
+/** Point result JSON: the sweep shape plus program output. */
+Json
+pointJson(const harness::SweepResult &r, bool with_stats)
+{
+    Json j = harness::resultJson(r);
+    j.set("output", r.sim.output);
+    if (with_stats) {
+        Json stats = Json::object();
+        for (const auto &[name, value] : r.sim.stats)
+            stats.set(name, value);
+        j.set("stats", std::move(stats));
+    }
+    return j;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options) : opts(std::move(options))
+{
+    jobQueue =
+        std::make_unique<JobQueue>(opts.queueDepth, opts.workers);
+
+    Metrics &m = metricsRegistry;
+    m.describe("dieirb_http_requests_total", "counter",
+               "HTTP requests by path and status code");
+    m.describe("dieirb_http_request_seconds", "histogram",
+               "wall-clock request handling latency");
+    m.describe("dieirb_jobs_rejected_total", "counter",
+               "jobs rejected by backpressure or drain");
+    m.describe("dieirb_queue_depth", "gauge", "jobs waiting in the queue");
+    m.describe("dieirb_queue_capacity", "gauge",
+               "max outstanding jobs before 429");
+    m.describe("dieirb_workers", "gauge", "simulation worker threads");
+    m.describe("dieirb_workers_busy", "gauge",
+               "workers currently running a job");
+    m.describe("dieirb_sweep_cache_hits_total", "counter",
+               "sweep points restored from the result cache");
+    m.describe("dieirb_sweep_cache_misses_total", "counter",
+               "sweep points actually simulated");
+    m.describe("dieirb_sim_points_total", "counter",
+               "finished sweep points by status");
+    m.describe("dieirb_sim_cycles_total", "counter",
+               "simulated core cycles, all finished points");
+    m.describe("dieirb_sim_insts_total", "counter",
+               "committed architectural instructions, all points");
+    m.describe("dieirb_core_pool_constructions_total", "counter",
+               "cores constructed because the pool was empty");
+    m.describe("dieirb_core_pool_reuses_total", "counter",
+               "core acquisitions served by reset() reuse");
+}
+
+Server::~Server() { shutdown(); }
+
+void
+Server::start()
+{
+    fatal_if(started, "server already started");
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatal_if(listenFd < 0, "socket(): %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts.port);
+    fatal_if(::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1,
+             "bad listen address '%s'", opts.host.c_str());
+    fatal_if(::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) < 0,
+             "cannot bind %s:%u: %s", opts.host.c_str(),
+             static_cast<unsigned>(opts.port), std::strerror(errno));
+    fatal_if(::listen(listenFd, 256) < 0, "listen(): %s",
+             std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &len);
+    boundPort = ntohs(addr.sin_port);
+    started = true;
+
+    acceptor = std::thread([this] { acceptLoop(); });
+    const unsigned n = opts.httpThreads > 0 ? opts.httpThreads : 1;
+    handlers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        handlers.emplace_back([this] { handlerLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping.load(std::memory_order_relaxed))
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            warn("accept(): %s; acceptor exiting", std::strerror(errno));
+            return;
+        }
+        bool enqueued = false;
+        {
+            std::lock_guard<std::mutex> lock(connMtx);
+            if (!connClosed) {
+                connQueue.push_back(fd);
+                enqueued = true;
+            }
+        }
+        if (enqueued)
+            connAvailable.notify_one();
+        else
+            ::close(fd);
+    }
+}
+
+void
+Server::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(connMtx);
+            connAvailable.wait(lock, [this] {
+                return !connQueue.empty() || connClosed;
+            });
+            if (connQueue.empty()) {
+                if (connClosed)
+                    return; // queued connections all drained
+                continue;
+            }
+            fd = connQueue.front();
+            connQueue.pop_front();
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = opts.socketTimeoutMs / 1000;
+    tv.tv_usec = (opts.socketTimeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    HttpParser parser({/*maxHeaderBytes=*/64 * 1024, opts.maxBodyBytes});
+    char buf[16384];
+    auto st = HttpParser::Status::NeedMore;
+    while (st == HttpParser::Status::NeedMore) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break; // peer closed, read timeout or error
+        st = parser.feed(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string requestId;
+    std::string pathLabel = "other";
+    HttpResponse resp;
+    const auto start = std::chrono::steady_clock::now();
+    if (st == HttpParser::Status::Done) {
+        const HttpRequest &req = parser.request();
+        const std::string path = req.path();
+        if (path == "/healthz" || path == "/metrics" ||
+            path == "/v1/simulate" || path == "/v1/sweep") {
+            pathLabel = path;
+        } else if (path.rfind("/v1/jobs/", 0) == 0) {
+            pathLabel = "/v1/jobs";
+        }
+        resp = route(req, requestId);
+        inform("[%s] %s %s -> %d", requestId.c_str(), req.method.c_str(),
+               req.target.c_str(), resp.status);
+    } else if (st == HttpParser::Status::Error) {
+        resp = errorResponse(parser.errorStatus(), parser.errorReason());
+        inform("[-] rejected request: %d %s", parser.errorStatus(),
+               parser.errorReason().c_str());
+    } else if (parser.started()) {
+        resp = errorResponse(408, "incomplete request");
+    } else {
+        ::close(fd); // probe connection: opened and closed silently
+        return;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    // Count before sending: once the client has the response, a
+    // follow-up scrape of /metrics must already see this request.
+    const std::string labels = "path=\"" + pathLabel + "\",code=\"" +
+                               std::to_string(resp.status) + "\"";
+    metricsRegistry.count("dieirb_http_requests_total", labels);
+    metricsRegistry.observe("dieirb_http_request_seconds",
+                            elapsed.count(),
+                            "path=\"" + pathLabel + "\"");
+
+    if (!requestId.empty())
+        resp.set("X-Request-Id", requestId);
+    const std::string wire = resp.serialize();
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break; // peer went away; nothing useful left to do
+        sent += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+}
+
+HttpResponse
+Server::route(const HttpRequest &req, std::string &request_id)
+{
+    const std::string *hdr = req.header("x-request-id");
+    request_id = hdr && !hdr->empty()
+        ? *hdr
+        : "req-" + std::to_string(requestSeq.fetch_add(
+              1, std::memory_order_relaxed));
+
+    const std::string path = req.path();
+    try {
+        if (path == "/healthz") {
+            if (req.method != "GET" && req.method != "HEAD")
+                return methodNotAllowed("GET");
+            return handleHealth();
+        }
+        if (path == "/metrics") {
+            if (req.method != "GET" && req.method != "HEAD")
+                return methodNotAllowed("GET");
+            return handleMetrics();
+        }
+        if (path == "/v1/simulate") {
+            if (req.method != "POST")
+                return methodNotAllowed("POST");
+            return handleSimulate(req, request_id);
+        }
+        if (path == "/v1/sweep") {
+            if (req.method != "POST")
+                return methodNotAllowed("POST");
+            return handleSweep(req, request_id);
+        }
+        if (path.rfind("/v1/jobs/", 0) == 0) {
+            if (req.method != "GET")
+                return methodNotAllowed("GET");
+            return handleJobGet(path);
+        }
+        return errorResponse(404, "no such endpoint: " + path);
+    } catch (const FatalError &e) {
+        // fatal() is the user-error channel everywhere in this repo;
+        // over HTTP the user error is a bad request.
+        return errorResponse(400, e.what());
+    } catch (const std::exception &e) {
+        return errorResponse(500, e.what());
+    }
+}
+
+void
+Server::rollupPoint(const harness::SweepResult &point)
+{
+    Metrics &m = metricsRegistry;
+    m.count("dieirb_sim_points_total",
+            std::string("status=\"") +
+                harness::pointStatusName(point.status) + "\"");
+    if (point.status == harness::PointStatus::Cancelled)
+        return;
+    if (point.fromCache) {
+        m.count("dieirb_sweep_cache_hits_total");
+    } else {
+        m.count("dieirb_sweep_cache_misses_total");
+    }
+    m.count("dieirb_sim_cycles_total", "",
+            static_cast<double>(point.sim.core.cycles));
+    m.count("dieirb_sim_insts_total", "",
+            static_cast<double>(point.sim.core.archInsts));
+}
+
+HttpResponse
+Server::handleSimulate(const HttpRequest &req,
+                       const std::string &request_id)
+{
+    const Json body = Json::parse(req.body);
+    fatal_if(!body.isObject(), "request: body must be a JSON object");
+    const PointSpec spec = parsePoint(body, PointSpec{});
+    const bool async = boolOr(body, "async", false);
+    const bool withStats = boolOr(body, "stats", false);
+    const bool useCache = boolOr(body, "cache", true);
+    const unsigned deadlineMs = static_cast<unsigned>(
+        uintOr(body, "deadline_ms", opts.defaultDeadlineMs));
+
+    JobQueue::Work work = [this, spec, withStats, useCache]() -> Json {
+        harness::Sweep sweep(1);
+        sweep.setSharedPool(&corePool);
+        Config cfg = harness::baseConfig(spec.mode);
+        for (const auto &[key, value] : spec.overrides)
+            cfg.set(key, value);
+        if (useCache && !opts.cacheDir.empty())
+            cfg.set("sweep.cache", opts.cacheDir);
+        sweep.add(spec.name, spec.workload, std::move(cfg), spec.scale,
+                  spec.maxInsts);
+        const auto results = sweep.run(&stopping);
+        rollupPoint(results[0]);
+        return pointJson(results[0], withStats);
+    };
+    return dispatchJob("simulate", request_id, async, deadlineMs,
+                       std::move(work));
+}
+
+HttpResponse
+Server::handleSweep(const HttpRequest &req, const std::string &request_id)
+{
+    const Json body = Json::parse(req.body);
+    fatal_if(!body.isObject(), "request: body must be a JSON object");
+
+    // Point list: either an explicit "points" array, or the cross
+    // product of "workloads" x "modes" (the classic figure matrix).
+    std::vector<PointSpec> specs;
+    if (const Json *points = body.find("points")) {
+        fatal_if(!points->isArray(),
+                 "request: 'points' must be an array");
+        PointSpec base;
+        base.workload.clear(); // each point must name its workload
+        for (std::size_t i = 0; i < points->size(); ++i) {
+            fatal_if(!points->at(i).isObject(),
+                     "request: points[%zu] must be an object", i);
+            PointSpec spec = parsePoint(points->at(i), base);
+            spec.name = stringOr(points->at(i), "name", spec.name);
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        const Json *wl = body.find("workloads");
+        fatal_if(!wl || !wl->isArray(),
+                 "request: need 'points' or a 'workloads' array");
+        std::vector<std::string> modes;
+        if (const Json *ms = body.find("modes")) {
+            fatal_if(!ms->isArray(),
+                     "request: 'modes' must be an array");
+            for (std::size_t i = 0; i < ms->size(); ++i) {
+                fatal_if(!ms->at(i).isString(),
+                         "request: modes[%zu] must be a string", i);
+                modes.push_back(ms->at(i).asString());
+            }
+        } else {
+            modes.push_back(stringOr(body, "mode", "sie"));
+        }
+        for (std::size_t i = 0; i < wl->size(); ++i) {
+            fatal_if(!wl->at(i).isString(),
+                     "request: workloads[%zu] must be a string", i);
+            for (const std::string &mode : modes) {
+                // Route shared scale/max_insts/config through the same
+                // per-point parser so they get the same validation.
+                Json point = Json::object();
+                point.set("workload", wl->at(i).asString());
+                point.set("mode", mode);
+                if (const Json *s = body.find("scale"))
+                    point.set("scale", *s);
+                if (const Json *mi = body.find("max_insts"))
+                    point.set("max_insts", *mi);
+                if (const Json *cfg = body.find("config"))
+                    point.set("config", *cfg);
+                specs.push_back(parsePoint(point, PointSpec{}));
+            }
+        }
+    }
+    fatal_if(specs.empty(), "request: no sweep points");
+    fatal_if(specs.size() > 4096,
+             "request: too many sweep points (%zu > 4096)", specs.size());
+
+    const bool async = boolOr(body, "async", false);
+    const bool useCache = boolOr(body, "cache", true);
+    const unsigned deadlineMs = static_cast<unsigned>(
+        uintOr(body, "deadline_ms", opts.defaultDeadlineMs));
+
+    JobQueue::Work work = [this, specs, useCache]() -> Json {
+        harness::Sweep sweep(opts.sweepJobs);
+        sweep.setSharedPool(&corePool);
+        for (const PointSpec &spec : specs) {
+            Config cfg = harness::baseConfig(spec.mode);
+            for (const auto &[key, value] : spec.overrides)
+                cfg.set(key, value);
+            if (useCache && !opts.cacheDir.empty())
+                cfg.set("sweep.cache", opts.cacheDir);
+            sweep.add(spec.name, spec.workload, std::move(cfg),
+                      spec.scale, spec.maxInsts);
+        }
+        const auto results = sweep.run(&stopping);
+
+        Json out = Json::object();
+        Json points = Json::array();
+        std::uint64_t cached = 0;
+        std::uint64_t cancelled = 0;
+        for (const harness::SweepResult &r : results) {
+            rollupPoint(r);
+            cached += r.fromCache ? 1 : 0;
+            cancelled +=
+                r.status == harness::PointStatus::Cancelled ? 1 : 0;
+            points.push(harness::resultJson(r));
+        }
+        out.set("total", static_cast<std::uint64_t>(results.size()));
+        out.set("cached", cached);
+        out.set("cancelled", cancelled);
+        out.set("points", std::move(points));
+        return out;
+    };
+    return dispatchJob("sweep", request_id, async, deadlineMs,
+                       std::move(work));
+}
+
+HttpResponse
+Server::dispatchJob(const char *kind, const std::string &request_id,
+                    bool async, unsigned deadline_ms,
+                    JobQueue::Work work)
+{
+    const JobQueue::Ticket ticket =
+        jobQueue->submit(kind, request_id, std::move(work));
+    if (!ticket.accepted) {
+        metricsRegistry.count("dieirb_jobs_rejected_total",
+                              ticket.closed ? "reason=\"draining\""
+                                            : "reason=\"queue_full\"");
+        if (ticket.closed)
+            return errorResponse(503, "server is draining");
+        HttpResponse r = errorResponse(
+            429, "job queue full (" +
+                     std::to_string(jobQueue->capacity()) +
+                     " outstanding); retry later");
+        r.set("Retry-After", "1");
+        return r;
+    }
+
+    if (async) {
+        Json j = Json::object();
+        j.set("job", ticket.id);
+        j.set("state", "queued");
+        return HttpResponse(202, j.dump(2) + "\n");
+    }
+
+    JobRecord rec;
+    const bool finished = jobQueue->wait(
+        ticket.id, std::chrono::milliseconds(deadline_ms), rec);
+    Json j = Json::object();
+    j.set("job", ticket.id);
+    j.set("state", jobStateName(rec.state));
+    if (!finished) {
+        // The job keeps running; the client polls /v1/jobs/<id>.
+        j.set("deadline_exceeded", true);
+        return HttpResponse(202, j.dump(2) + "\n");
+    }
+    if (rec.state == JobState::Failed) {
+        j.set("error", rec.error);
+        return HttpResponse(500, j.dump(2) + "\n");
+    }
+    j.set("result", rec.result);
+    j.set("run_seconds", rec.runSeconds);
+    return HttpResponse(200, j.dump(2) + "\n");
+}
+
+HttpResponse
+Server::handleJobGet(const std::string &path)
+{
+    const std::string tail = path.substr(std::strlen("/v1/jobs/"));
+    fatal_if(tail.empty() ||
+                 tail.find_first_not_of("0123456789") !=
+                     std::string::npos,
+             "request: job id must be a decimal integer");
+    const std::uint64_t id = std::strtoull(tail.c_str(), nullptr, 10);
+
+    JobRecord rec;
+    if (!jobQueue->lookup(id, rec))
+        return errorResponse(404, "no such job " + tail);
+    Json j = Json::object();
+    j.set("job", rec.id);
+    j.set("kind", rec.kind);
+    j.set("request_id", rec.requestId);
+    j.set("state", jobStateName(rec.state));
+    if (rec.state == JobState::Failed)
+        j.set("error", rec.error);
+    if (rec.state == JobState::Done) {
+        j.set("result", rec.result);
+        j.set("run_seconds", rec.runSeconds);
+    }
+    return HttpResponse(200, j.dump(2) + "\n");
+}
+
+HttpResponse
+Server::handleHealth()
+{
+    Json j = Json::object();
+    j.set("status", draining() ? "draining" : "ok");
+    j.set("queued", static_cast<std::uint64_t>(jobQueue->queued()));
+    j.set("outstanding",
+          static_cast<std::uint64_t>(jobQueue->outstanding()));
+    j.set("workers", jobQueue->workers());
+    j.set("busy", jobQueue->busyWorkers());
+    return HttpResponse(200, j.dump(2) + "\n");
+}
+
+HttpResponse
+Server::handleMetrics()
+{
+    Metrics &m = metricsRegistry;
+    m.gauge("dieirb_queue_depth",
+            static_cast<double>(jobQueue->queued()));
+    m.gauge("dieirb_queue_capacity",
+            static_cast<double>(jobQueue->capacity()));
+    m.gauge("dieirb_workers", jobQueue->workers());
+    m.gauge("dieirb_workers_busy", jobQueue->busyWorkers());
+    m.gauge("dieirb_core_pool_constructions_total",
+            static_cast<double>(corePool.constructions()));
+    m.gauge("dieirb_core_pool_reuses_total",
+            static_cast<double>(corePool.reuses()));
+
+    HttpResponse r(200, m.render());
+    r.set("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
+    return r;
+}
+
+void
+Server::shutdown()
+{
+    bool expected = false;
+    if (!stopping.compare_exchange_strong(expected, true)) {
+        // Someone else is (or was) draining; nothing further to do
+        // beyond not racing them.
+        return;
+    }
+
+    // 1. New jobs are rejected (503) — but status/metrics/job-polling
+    //    requests already queued still get answered below.
+    jobQueue->close();
+
+    // 2. Stop accepting connections. shutdown() on the listening
+    //    socket pops the blocked accept() on Linux.
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+    if (acceptor.joinable())
+        acceptor.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+
+    // 3. Serve every connection already accepted, then stop handlers.
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        connClosed = true;
+    }
+    connAvailable.notify_all();
+    for (std::thread &t : handlers) {
+        if (t.joinable())
+            t.join();
+    }
+
+    // 4. Drain the job queue: accepted jobs finish (in-flight sweeps
+    //    cancel their pending remainder via `stopping`), workers join.
+    jobQueue->drain();
+    stopped = true;
+}
+
+} // namespace service
+
+} // namespace direb

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * dieirb-serve's HTTP server: a long-running batching front-end over
+ * the existing simulation engine (harness::run / harness::Sweep /
+ * harness::CorePool), built on blocking POSIX sockets with no
+ * third-party dependencies.
+ *
+ * Endpoints:
+ *   POST /v1/simulate   one (workload, Config) point
+ *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep
+ *   GET  /v1/jobs/<id>  async job status / result
+ *   GET  /healthz       liveness + queue occupancy
+ *   GET  /metrics       Prometheus text format
+ *
+ * Threading model: one acceptor thread hands sockets to a fixed pool of
+ * HTTP handler threads (one request per connection, Connection: close);
+ * simulation work never runs on a handler — handlers submit jobs to a
+ * bounded JobQueue whose workers draw warm cores from one shared
+ * harness::CorePool. Synchronous requests are just handlers waiting on
+ * their job with a deadline; "async": true returns 202 + a job id
+ * immediately. A full queue answers 429 with Retry-After.
+ *
+ * Shutdown contract: shutdown() (idempotent, thread-safe) stops
+ * accepting connections, rejects new jobs with 503, cancels the pending
+ * remainder of in-flight sweeps via the cancellation token passed to
+ * Sweep::run(), finishes every job already accepted, then joins all
+ * threads. dieirb-serve wires SIGTERM/SIGINT to exactly this, so a
+ * drained server exits 0.
+ */
+
+#ifndef DIREB_SERVICE_SERVER_HH
+#define DIREB_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/core_pool.hh"
+#include "harness/sweep.hh"
+#include "service/http.hh"
+#include "service/job_queue.hh"
+#include "service/metrics.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    unsigned short port = 8100;  //!< 0 = kernel-assigned (tests)
+    unsigned workers = 0;        //!< sim workers; 0 = hw concurrency
+    unsigned httpThreads = 16;   //!< connection handler threads
+    std::size_t queueDepth = 64; //!< max outstanding jobs (429 beyond)
+    std::size_t maxBodyBytes = 8 * 1024 * 1024;
+    unsigned socketTimeoutMs = 10'000;   //!< per-request socket deadline
+    unsigned defaultDeadlineMs = 60'000; //!< sync wait before 202
+    unsigned sweepJobs = 1;     //!< threads inside one sweep job
+    std::string cacheDir;       //!< sweep.cache directory ("" = off)
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen + spawn threads; fatal() if the bind fails. */
+    void start();
+
+    /** The bound port (after start(); useful with options.port = 0). */
+    unsigned short port() const { return boundPort; }
+
+    /**
+     * Graceful drain: stop accepting, reject new jobs (503), cancel
+     * pending sweep points, finish accepted jobs, join every thread.
+     * Safe to call from any thread, any number of times.
+     */
+    void shutdown();
+
+    bool running() const { return started && !stopped; }
+
+    /** True once shutdown() has been requested (healthz: "draining"). */
+    bool draining() const
+    {
+        return stopping.load(std::memory_order_relaxed);
+    }
+
+    /** Direct access for tests and for dieirb-serve's status line. @{ */
+    JobQueue &jobs() { return *jobQueue; }
+    Metrics &metrics() { return metricsRegistry; }
+    const ServerOptions &options() const { return opts; }
+    /** @} */
+
+    /**
+     * Route one parsed request to its handler (also used by tests to
+     * exercise handlers without a socket). @p request_id receives the
+     * propagated/generated id that handleConnection() echoes back.
+     */
+    HttpResponse route(const HttpRequest &req, std::string &request_id);
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+
+    HttpResponse handleSimulate(const HttpRequest &req,
+                                const std::string &request_id);
+    HttpResponse handleSweep(const HttpRequest &req,
+                             const std::string &request_id);
+    HttpResponse handleJobGet(const std::string &path);
+    HttpResponse handleHealth();
+    HttpResponse handleMetrics();
+
+    /** Submit + optional sync wait shared by simulate and sweep. */
+    HttpResponse dispatchJob(const char *kind,
+                             const std::string &request_id, bool async,
+                             unsigned deadline_ms, JobQueue::Work work);
+
+    /** Fold one finished sweep point into the roll-up counters. */
+    void rollupPoint(const harness::SweepResult &point);
+
+    ServerOptions opts;
+    Metrics metricsRegistry;
+    harness::CorePool corePool; //!< shared across all jobs and sweeps
+    /** Declared after corePool: the queue's drain-on-destroy must run
+     *  while the pool the workers draw from is still alive. */
+    std::unique_ptr<JobQueue> jobQueue;
+
+    int listenFd = -1;
+    unsigned short boundPort = 0;
+    bool started = false;
+    bool stopped = false;
+    std::atomic<bool> stopping{false}; //!< sweep cancellation token
+    std::atomic<std::uint64_t> requestSeq{1};
+
+    std::thread acceptor;
+    std::vector<std::thread> handlers;
+
+    std::mutex connMtx;
+    std::condition_variable connAvailable;
+    std::deque<int> connQueue;
+    bool connClosed = false;
+};
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_SERVER_HH

@@ -64,8 +64,10 @@ struct Lifecycle
 class Writer
 {
   public:
+    // "-" streams to stdout for shell pipelines (trace.format=chrome).
     explicit Writer(const std::string &path)
-        : out(std::fopen(path.c_str(), "w")), name(path)
+        : out(path == "-" ? stdout : std::fopen(path.c_str(), "w")),
+          toStdout(path == "-"), name(path)
     {
         fatal_if(out == nullptr, "cannot open trace file '%s'",
                  name.c_str());
@@ -75,8 +77,12 @@ class Writer
     ~Writer()
     {
         std::fputs("\n]}\n", out);
-        fatal_if(std::fclose(out) != 0, "error writing trace file '%s'",
-                 name.c_str());
+        if (toStdout)
+            fatal_if(std::fflush(out) != 0,
+                     "error writing trace to stdout");
+        else
+            fatal_if(std::fclose(out) != 0,
+                     "error writing trace file '%s'", name.c_str());
     }
 
     void
@@ -127,6 +133,7 @@ class Writer
     }
 
     FILE *out;
+    bool toStdout;
     std::string name;
     bool first = true;
 };

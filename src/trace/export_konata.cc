@@ -97,7 +97,9 @@ exportKonata(const Tracer &tracer, const std::string &path)
         lc.dup = ev.dup;
     }
 
-    FILE *out = std::fopen(path.c_str(), "w");
+    // "-" streams to stdout for shell pipelines (dieirb-sim --trace=-).
+    const bool toStdout = path == "-";
+    FILE *out = toStdout ? stdout : std::fopen(path.c_str(), "w");
     fatal_if(out == nullptr, "cannot open trace file '%s'", path.c_str());
 
     for (const auto &[seq, lc] : insts) {
@@ -136,8 +138,11 @@ exportKonata(const Tracer &tracer, const std::string &path)
                                                      ticksPerCycle));
     }
 
-    fatal_if(std::fclose(out) != 0, "error writing trace file '%s'",
-             path.c_str());
+    if (toStdout)
+        fatal_if(std::fflush(out) != 0, "error writing trace to stdout");
+    else
+        fatal_if(std::fclose(out) != 0, "error writing trace file '%s'",
+                 path.c_str());
 }
 
 } // namespace trace

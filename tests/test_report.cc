@@ -3,7 +3,8 @@
  * Tests for the bench reporting layer: Table rendering (including the
  * single-column edge case), the mean/geomean helpers (geomean must skip
  * non-positive entries instead of aborting mid-report), the Json value
- * builder, and writeJsonReport.
+ * builder, writeJsonReport, and the hardened Json::parse (depth limit,
+ * duplicate keys, trailing garbage, random-mutation robustness).
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 
@@ -194,4 +196,87 @@ TEST(Json, WriteReportUnwritablePathIsFatal)
     EXPECT_THROW(
         harness::writeJsonReport("/no/such/dir/x.json", Json::object()),
         FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// Json::parse hardening (untrusted input: the HTTP service feeds it
+// request bodies straight off the wire)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, RoundTripsDumpedValues)
+{
+    Json root = Json::object();
+    root.set("name", "route/die-irb");
+    root.set("ipc", 1.25);
+    root.set("ok", true);
+    root.set("rows", Json::array().push(1).push("two"));
+    const Json back = Json::parse(root.dump(2));
+    EXPECT_EQ(back.dump(2), root.dump(2));
+}
+
+TEST(JsonParse, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(Json::parse("{\"a\": 1} {\"b\": 2}"), FatalError);
+    EXPECT_THROW(Json::parse("[1, 2]x"), FatalError);
+    EXPECT_NO_THROW(Json::parse("{\"a\": 1}  \n")); // whitespace is fine
+}
+
+TEST(JsonParse, RejectsDuplicateObjectKeys)
+{
+    EXPECT_THROW(Json::parse("{\"a\": 1, \"a\": 2}"), FatalError);
+    EXPECT_THROW(Json::parse("{\"x\": {\"a\": 1, \"a\": 1}}"),
+                 FatalError);
+    // Same key at different nesting levels is legal.
+    EXPECT_NO_THROW(Json::parse("{\"a\": {\"a\": 1}}"));
+}
+
+TEST(JsonParse, BoundsNestingDepth)
+{
+    const auto nested = [](int n) {
+        return std::string(n, '[') + std::string(n, ']');
+    };
+    EXPECT_NO_THROW(Json::parse(nested(64)));
+    EXPECT_THROW(Json::parse(nested(65)), FatalError);
+    // A hostile deep nest must die on the limit, not the stack.
+    EXPECT_THROW(Json::parse(std::string(100'000, '[')), FatalError);
+}
+
+TEST(JsonParse, MutatedInputNeverCrashes)
+{
+    // Property test: any single-site corruption of a valid document
+    // either still parses or raises FatalError — never a crash, hang
+    // or abort. Seeded so a failure reproduces.
+    const std::string valid =
+        "{\"workload\": \"route\", \"mode\": \"die-irb\", "
+        "\"scale\": 2, \"ipc\": 1.25e0, \"flags\": [true, false, "
+        "null], \"config\": {\"irb.entries\": 1024}}";
+    std::mt19937 rng(20260805);
+    std::uniform_int_distribution<std::size_t> posDist(
+        0, valid.size() - 1);
+    std::uniform_int_distribution<int> byteDist(0, 255);
+    for (int i = 0; i < 2000; ++i) {
+        std::string mutated = valid;
+        switch (i % 4) {
+          case 0: // overwrite one byte
+            mutated[posDist(rng)] =
+                static_cast<char>(byteDist(rng));
+            break;
+          case 1: // truncate
+            mutated.resize(posDist(rng));
+            break;
+          case 2: // delete one byte
+            mutated.erase(posDist(rng), 1);
+            break;
+          default: // insert one byte
+            mutated.insert(posDist(rng), 1,
+                           static_cast<char>(byteDist(rng)));
+            break;
+        }
+        try {
+            const Json parsed = Json::parse(mutated);
+            (void)parsed.dump(0); // a parsed value must also dump
+        } catch (const FatalError &) {
+            // rejected cleanly: exactly what hardening promises
+        }
+    }
 }

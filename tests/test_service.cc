@@ -1,0 +1,823 @@
+/**
+ * @file
+ * Tests for the simulation service: the incremental HTTP parser against
+ * hostile and fragmented input, the bounded JobQueue (backpressure,
+ * failure capture, drain), the Prometheus metrics registry, the
+ * Server's request routing exercised without sockets, and end-to-end
+ * socket tests (concurrent load, sweep-cache hits over HTTP, graceful
+ * drain cancelling the pending remainder of an in-flight sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "service/http.hh"
+#include "service/job_queue.hh"
+#include "service/metrics.hh"
+#include "service/server.hh"
+
+using namespace direb;
+using service::HttpParser;
+using service::HttpRequest;
+using service::HttpResponse;
+
+namespace
+{
+
+/** Feed a request in one gulp. */
+HttpParser::Status
+feedAll(HttpParser &p, const std::string &wire)
+{
+    return p.feed(wire.data(), wire.size());
+}
+
+/** Feed a request one byte at a time (the split-read torture case). */
+HttpParser::Status
+feedBytewise(HttpParser &p, const std::string &wire)
+{
+    auto st = HttpParser::Status::NeedMore;
+    for (char c : wire)
+        st = p.feed(&c, 1);
+    return st;
+}
+
+/** Build an HttpRequest directly (for socket-free route() tests). */
+HttpRequest
+makeRequest(const std::string &method, const std::string &target,
+            const std::string &body = "")
+{
+    HttpRequest req;
+    req.method = method;
+    req.target = target;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+/** Split an HTTP wire response into (status code, body). */
+std::pair<int, std::string>
+splitResponse(const std::string &wire)
+{
+    const std::size_t sp = wire.find(' ');
+    const std::size_t blank = wire.find("\r\n\r\n");
+    if (sp == std::string::npos || blank == std::string::npos)
+        return {0, ""};
+    return {std::atoi(wire.c_str() + sp + 1), wire.substr(blank + 4)};
+}
+
+/** One-shot HTTP client: send @p wire, read to EOF, return response. */
+std::string
+httpExchange(unsigned short port, const std::string &wire)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string resp;
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return resp;
+}
+
+std::string
+postWire(const std::string &target, const std::string &body)
+{
+    return "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+std::string
+getWire(const std::string &target)
+{
+    return "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+
+/** Server options sized for tests on a small machine. */
+service::ServerOptions
+testOptions()
+{
+    service::ServerOptions opts;
+    opts.port = 0; // kernel-assigned
+    opts.workers = 1;
+    opts.httpThreads = 4;
+    opts.queueDepth = 4;
+    return opts;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// HttpParser
+// ---------------------------------------------------------------------
+
+TEST(HttpParser, PostAssembledFromSingleByteReads)
+{
+    const std::string wire =
+        "POST /v1/simulate?pretty=1 HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "X-Request-ID: abc-123\r\n"
+        "Content-Length: 9\r\n"
+        "\r\n"
+        "{\"a\": 1}\n";
+    HttpParser p;
+    ASSERT_EQ(feedBytewise(p, wire), HttpParser::Status::Done);
+
+    const HttpRequest &req = p.request();
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.target, "/v1/simulate?pretty=1");
+    EXPECT_EQ(req.path(), "/v1/simulate");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+    EXPECT_EQ(req.body, "{\"a\": 1}\n");
+    // Header names are lower-cased at parse time.
+    ASSERT_NE(req.header("x-request-id"), nullptr);
+    EXPECT_EQ(*req.header("x-request-id"), "abc-123");
+    EXPECT_EQ(req.header("no-such-header"), nullptr);
+}
+
+TEST(HttpParser, GetWithoutBody)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, getWire("/healthz")), HttpParser::Status::Done);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().body, "");
+}
+
+TEST(HttpParser, DoneIsStickyAgainstTrailingBytes)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, getWire("/healthz")), HttpParser::Status::Done);
+    const std::string extra = "GET /other HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(feedAll(p, extra), HttpParser::Status::Done);
+    EXPECT_EQ(p.request().target, "/healthz");
+}
+
+TEST(HttpParser, UnknownUpperCaseMethodIs405)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "FROB / HTTP/1.1\r\n\r\n"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 405);
+}
+
+TEST(HttpParser, MalformedMethodIs400)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "get / HTTP/1.1\r\n\r\n"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, UnknownVersionIs505)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "GET / HTTP/2.0\r\n\r\n"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 505);
+}
+
+TEST(HttpParser, PostWithoutContentLengthIs411)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "POST /v1/simulate HTTP/1.1\r\nHost: t\r\n\r\n"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 411);
+}
+
+TEST(HttpParser, OversizedBodyIs413)
+{
+    HttpParser p(HttpParser::Limits{1024, 16});
+    const std::string wire =
+        "POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n";
+    ASSERT_EQ(feedAll(p, wire), HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 413);
+}
+
+TEST(HttpParser, AbsurdContentLengthIs413NotOverflow)
+{
+    HttpParser p(HttpParser::Limits{1024, 16});
+    const std::string wire =
+        "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n";
+    ASSERT_EQ(feedAll(p, wire), HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 413);
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431)
+{
+    HttpParser p(HttpParser::Limits{128, 1024});
+    const std::string wire = "GET / HTTP/1.1\r\nX-Big: " +
+                             std::string(256, 'a') + "\r\n\r\n";
+    ASSERT_EQ(feedAll(p, wire), HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 431);
+}
+
+TEST(HttpParser, TransferEncodingIs501)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "POST / HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n\r\n"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 501);
+}
+
+TEST(HttpParser, ConflictingContentLengthsAre400)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                         "Content-Length: 4\r\n\r\nabc"),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), 400);
+}
+
+TEST(HttpParser, ErrorIsSticky)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "bogus\r\n\r\n"), HttpParser::Status::Error);
+    const int status = p.errorStatus();
+    EXPECT_EQ(feedAll(p, getWire("/healthz")),
+              HttpParser::Status::Error);
+    EXPECT_EQ(p.errorStatus(), status);
+}
+
+TEST(HttpResponse, SerializeFramesBodyAndDefaults)
+{
+    HttpResponse r(429, "{}\n");
+    r.set("Retry-After", "1");
+    const std::string wire = r.serialize();
+    EXPECT_NE(wire.find("HTTP/1.1 429 Too Many Requests\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 3\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - 7), "\r\n\r\n{}\n");
+}
+
+// ---------------------------------------------------------------------
+// JobQueue
+// ---------------------------------------------------------------------
+
+TEST(JobQueue, RunsJobsAndRecordsResults)
+{
+    service::JobQueue q(4, 1);
+    const auto t = q.submit("test", "rid", [] {
+        harness::Json j = harness::Json::object();
+        j.set("answer", 42.0);
+        return j;
+    });
+    ASSERT_TRUE(t.accepted);
+
+    service::JobRecord rec;
+    ASSERT_TRUE(q.wait(t.id, std::chrono::milliseconds(10'000), rec));
+    EXPECT_EQ(rec.state, service::JobState::Done);
+    EXPECT_EQ(rec.requestId, "rid");
+    ASSERT_NE(rec.result.find("answer"), nullptr);
+    EXPECT_EQ(rec.result.find("answer")->asNumber(), 42.0);
+    EXPECT_EQ(q.completedCount(), 1u);
+}
+
+TEST(JobQueue, ThrownExceptionBecomesFailedRecord)
+{
+    service::JobQueue q(4, 1);
+    const auto t = q.submit("test", "rid", []() -> harness::Json {
+        fatal("deliberate failure");
+    });
+    ASSERT_TRUE(t.accepted);
+
+    service::JobRecord rec;
+    ASSERT_TRUE(q.wait(t.id, std::chrono::milliseconds(10'000), rec));
+    EXPECT_EQ(rec.state, service::JobState::Failed);
+    EXPECT_NE(rec.error.find("deliberate failure"), std::string::npos);
+    EXPECT_EQ(q.failedCount(), 1u);
+}
+
+TEST(JobQueue, FullQueueRejectsAndClosedQueueRejects)
+{
+    service::JobQueue q(1, 1);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    const auto blocker = q.submit("test", "rid", [gate] {
+        gate.wait();
+        return harness::Json::object();
+    });
+    ASSERT_TRUE(blocker.accepted);
+
+    // The single capacity slot is held by the (running) blocker.
+    const auto overflow =
+        q.submit("test", "rid", [] { return harness::Json::object(); });
+    EXPECT_FALSE(overflow.accepted);
+    EXPECT_FALSE(overflow.closed); // full, not draining
+    EXPECT_EQ(q.rejectedCount(), 1u);
+
+    q.close();
+    const auto late =
+        q.submit("test", "rid", [] { return harness::Json::object(); });
+    EXPECT_FALSE(late.accepted);
+    EXPECT_TRUE(late.closed);
+
+    release.set_value();
+    q.drain(); // the blocker still finishes: it was accepted
+    service::JobRecord rec;
+    ASSERT_TRUE(q.lookup(blocker.id, rec));
+    EXPECT_EQ(rec.state, service::JobState::Done);
+}
+
+TEST(JobQueue, WaitDeadlineReturnsSnapshot)
+{
+    service::JobQueue q(2, 1);
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    const auto t = q.submit("test", "rid", [gate] {
+        gate.wait();
+        return harness::Json::object();
+    });
+    ASSERT_TRUE(t.accepted);
+
+    service::JobRecord rec;
+    EXPECT_FALSE(q.wait(t.id, std::chrono::milliseconds(50), rec));
+    EXPECT_FALSE(rec.finished());
+    release.set_value();
+    EXPECT_TRUE(q.wait(t.id, std::chrono::milliseconds(10'000), rec));
+    EXPECT_EQ(rec.state, service::JobState::Done);
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+TEST(Metrics, RendersCountersGaugesAndHistograms)
+{
+    service::Metrics m;
+    m.describe("t_requests_total", "counter", "requests");
+    m.describe("t_depth", "gauge", "depth");
+    m.describe("t_latency_seconds", "histogram", "latency");
+
+    m.count("t_requests_total", "code=\"200\"");
+    m.count("t_requests_total", "code=\"200\"");
+    m.count("t_requests_total", "code=\"400\"");
+    m.gauge("t_depth", 3);
+    m.observe("t_latency_seconds", 0.003);
+    m.observe("t_latency_seconds", 4.0);
+
+    const std::string text = m.render();
+    EXPECT_NE(text.find("# HELP t_requests_total requests"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE t_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_requests_total{code=\"200\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_requests_total{code=\"400\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_depth 3"), std::string::npos);
+    // 0.003 lands in the 0.005 bucket and every wider one; 4.0 only in
+    // the 10/60/+Inf tail — the buckets are cumulative.
+    EXPECT_NE(text.find("t_latency_seconds_bucket{le=\"0.005\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_latency_seconds_bucket{le=\"10\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_latency_seconds_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("t_latency_seconds_count 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Server routing (socket-free)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** route() plus response-body JSON parse. */
+std::pair<int, harness::Json>
+call(service::Server &server, const HttpRequest &req)
+{
+    std::string rid;
+    HttpResponse resp = server.route(req, rid);
+    return {resp.status, harness::Json::parse(resp.body)};
+}
+
+} // namespace
+
+TEST(ServerRoute, HealthzReportsOk)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    auto [status, j] = call(server, makeRequest("GET", "/healthz"));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(j.find("status")->asString(), "ok");
+    EXPECT_EQ(j.find("workers")->asNumber(), 1.0);
+}
+
+TEST(ServerRoute, SimulateRunsAPoint)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    auto [status, j] = call(
+        server,
+        makeRequest("POST", "/v1/simulate",
+                    "{\"workload\": \"route\", \"mode\": \"die-irb\", "
+                    "\"max_insts\": 1000000, \"stats\": true}"));
+    ASSERT_EQ(status, 200);
+    EXPECT_EQ(std::string(j.find("state")->asString()), "done");
+    const harness::Json *result = j.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->find("status")->asString(), "ok");
+    EXPECT_EQ(result->find("name")->asString(), "route/die-irb");
+    EXPECT_GT(result->find("cycles")->asNumber(), 0.0);
+    ASSERT_NE(result->find("stats"), nullptr);
+    EXPECT_GT(result->find("stats")->size(), 0u);
+}
+
+TEST(ServerRoute, ConfigOverridesReachTheCore)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    const char *req =
+        "{\"workload\": \"parse\", \"mode\": \"die-irb\", "
+        "\"max_insts\": 1000000, \"stats\": true, "
+        "\"config\": {\"irb.entries\": 8}}";
+    const char *req_big =
+        "{\"workload\": \"parse\", \"mode\": \"die-irb\", "
+        "\"max_insts\": 1000000, \"stats\": true, "
+        "\"config\": {\"irb.entries\": 2048}}";
+    auto [s1, j1] =
+        call(server, makeRequest("POST", "/v1/simulate", req));
+    auto [s2, j2] =
+        call(server, makeRequest("POST", "/v1/simulate", req_big));
+    ASSERT_EQ(s1, 200);
+    ASSERT_EQ(s2, 200);
+    // A 256x larger IRB must not be cycle-identical to a tiny one.
+    EXPECT_NE(j1.find("result")->find("cycles")->asNumber(),
+              j2.find("result")->find("cycles")->asNumber());
+}
+
+TEST(ServerRoute, MalformedRequestsAre400NeverACrash)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    const char *bad[] = {
+        "{not json",
+        "[1, 2, 3]",
+        "{\"workload\": \"no-such-workload\"}",
+        "{\"workload\": \"route\", \"mode\": \"warp-drive\"}",
+        "{\"workload\": \"route\", \"scale\": 4096}",
+        "{\"workload\": \"route\", \"max_insts\": 0}",
+        "{\"workload\": \"route\", \"config\": {\"fu.intalu\": null}}",
+        "{\"workload\": \"route\", \"config\": {\"sweep.cache\": \"x\"}}",
+        "{\"workload\": 7}",
+        "{\"workload\": \"route\", \"async\": \"yes\"}",
+    };
+    for (const char *body : bad) {
+        SCOPED_TRACE(body);
+        auto [status, j] =
+            call(server, makeRequest("POST", "/v1/simulate", body));
+        EXPECT_EQ(status, 400);
+        EXPECT_NE(j.find("error"), nullptr);
+    }
+}
+
+TEST(ServerRoute, MethodAndPathDiscipline)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    std::string rid;
+
+    HttpResponse r =
+        server.route(makeRequest("GET", "/v1/simulate"), rid);
+    EXPECT_EQ(r.status, 405);
+
+    r = server.route(makeRequest("POST", "/healthz"), rid);
+    EXPECT_EQ(r.status, 405);
+
+    r = server.route(makeRequest("GET", "/nope"), rid);
+    EXPECT_EQ(r.status, 404);
+
+    r = server.route(makeRequest("GET", "/v1/jobs/abc"), rid);
+    EXPECT_EQ(r.status, 400);
+
+    r = server.route(makeRequest("GET", "/v1/jobs/999999"), rid);
+    EXPECT_EQ(r.status, 404);
+}
+
+TEST(ServerRoute, RequestIdPropagatesFromHeader)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    HttpRequest req = makeRequest("GET", "/healthz");
+    req.headers.emplace_back("x-request-id", "trace-me-7");
+    std::string rid;
+    server.route(req, rid);
+    EXPECT_EQ(rid, "trace-me-7");
+
+    // Absent header: the server mints one.
+    std::string minted;
+    server.route(makeRequest("GET", "/healthz"), minted);
+    EXPECT_EQ(minted.rfind("req-", 0), 0u);
+}
+
+TEST(ServerRoute, AsyncJobLifecycle)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    auto [status, j] = call(
+        server,
+        makeRequest("POST", "/v1/simulate",
+                    "{\"workload\": \"route\", \"max_insts\": 50000, "
+                    "\"async\": true}"));
+    ASSERT_EQ(status, 202);
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(j.find("job")->asNumber());
+
+    service::JobRecord rec;
+    ASSERT_TRUE(
+        server.jobs().wait(id, std::chrono::milliseconds(60'000), rec));
+    EXPECT_EQ(rec.state, service::JobState::Done);
+
+    auto [poll_status, poll] = call(
+        server,
+        makeRequest("GET", "/v1/jobs/" + std::to_string(id)));
+    EXPECT_EQ(poll_status, 200);
+    EXPECT_EQ(std::string(poll.find("state")->asString()), "done");
+    EXPECT_EQ(std::string(poll.find("kind")->asString()), "simulate");
+    ASSERT_NE(poll.find("result"), nullptr);
+}
+
+TEST(ServerRoute, BackpressureIs429WithRetryAfter)
+{
+    setQuiet(true);
+    service::ServerOptions opts = testOptions();
+    opts.queueDepth = 1;
+    service::Server server(opts);
+
+    // Deterministically fill the single capacity slot.
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    const auto blocker = server.jobs().submit("test", "rid", [gate] {
+        gate.wait();
+        return harness::Json::object();
+    });
+    ASSERT_TRUE(blocker.accepted);
+
+    std::string rid;
+    HttpResponse r = server.route(
+        makeRequest("POST", "/v1/simulate",
+                    "{\"workload\": \"route\", \"async\": true}"),
+        rid);
+    EXPECT_EQ(r.status, 429);
+    bool sawRetryAfter = false;
+    for (const auto &[name, value] : r.headers)
+        sawRetryAfter |= name == "Retry-After";
+    EXPECT_TRUE(sawRetryAfter);
+
+    release.set_value();
+    service::JobRecord rec;
+    ASSERT_TRUE(server.jobs().wait(
+        blocker.id, std::chrono::milliseconds(10'000), rec));
+
+    // With the slot free again the same request is accepted.
+    r = server.route(
+        makeRequest("POST", "/v1/simulate",
+                    "{\"workload\": \"route\", \"max_insts\": 50000, "
+                    "\"async\": true}"),
+        rid);
+    EXPECT_EQ(r.status, 202);
+}
+
+TEST(ServerRoute, ShutdownDrainsAcceptedCancelsPendingSweepPoints)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+
+    // Hold the single worker so the sweep job stays queued until the
+    // drain has already raised the cancellation token.
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+    const auto blocker = server.jobs().submit("test", "rid", [gate] {
+        gate.wait();
+        return harness::Json::object();
+    });
+    ASSERT_TRUE(blocker.accepted);
+
+    auto [status, j] = call(
+        server,
+        makeRequest("POST", "/v1/sweep",
+                    "{\"workloads\": [\"route\", \"parse\", "
+                    "\"compress\"], \"modes\": [\"sie\", \"die-irb\"], "
+                    "\"async\": true}"));
+    ASSERT_EQ(status, 202);
+    const std::uint64_t sweepId =
+        static_cast<std::uint64_t>(j.find("job")->asNumber());
+
+    std::thread drainer([&server] { server.shutdown(); });
+    while (!server.draining())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    release.set_value(); // now the sweep job runs — under a raised token
+    drainer.join();
+
+    // The accepted sweep finished (drain semantics), but every one of
+    // its points was cancelled before simulating.
+    service::JobRecord rec;
+    ASSERT_TRUE(server.jobs().lookup(sweepId, rec));
+    ASSERT_EQ(rec.state, service::JobState::Done);
+    EXPECT_EQ(rec.result.find("total")->asNumber(), 6.0);
+    EXPECT_EQ(rec.result.find("cancelled")->asNumber(), 6.0);
+
+    // Post-drain: new jobs are refused as draining, health says so.
+    std::string rid;
+    HttpResponse r = server.route(
+        makeRequest("POST", "/v1/simulate",
+                    "{\"workload\": \"route\", \"async\": true}"),
+        rid);
+    EXPECT_EQ(r.status, 503);
+    auto [hs, health] = call(server, makeRequest("GET", "/healthz"));
+    EXPECT_EQ(hs, 200);
+    EXPECT_EQ(std::string(health.find("status")->asString()),
+              "draining");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over real sockets
+// ---------------------------------------------------------------------
+
+TEST(ServerSocket, ServesSimulateHealthzAndMetrics)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    server.start();
+    const unsigned short port = server.port();
+
+    auto [health_status, health_body] =
+        splitResponse(httpExchange(port, getWire("/healthz")));
+    EXPECT_EQ(health_status, 200);
+    EXPECT_EQ(harness::Json::parse(health_body)
+                  .find("status")
+                  ->asString(),
+              "ok");
+
+    auto [sim_status, sim_body] = splitResponse(httpExchange(
+        port, postWire("/v1/simulate",
+                       "{\"workload\": \"route\", "
+                       "\"max_insts\": 50000}")));
+    ASSERT_EQ(sim_status, 200);
+    const harness::Json sim = harness::Json::parse(sim_body);
+    EXPECT_EQ(std::string(sim.find("state")->asString()), "done");
+
+    // Parser-level rejections also travel the socket path.
+    auto [bad_status, bad_body] = splitResponse(httpExchange(
+        port, "POST /v1/simulate HTTP/1.1\r\nHost: t\r\n\r\n"));
+    EXPECT_EQ(bad_status, 411);
+
+    auto [met_status, met_body] =
+        splitResponse(httpExchange(port, getWire("/metrics")));
+    EXPECT_EQ(met_status, 200);
+    EXPECT_NE(met_body.find("# TYPE dieirb_http_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(met_body.find("dieirb_http_requests_total{"
+                            "path=\"/v1/simulate\",code=\"200\"} 1"),
+              std::string::npos);
+    EXPECT_NE(met_body.find("dieirb_http_request_seconds_bucket"),
+              std::string::npos);
+    // Prometheus text format: every line is a comment or
+    // "name{labels} value" with a parseable float value.
+    std::size_t start = 0;
+    while (start < met_body.size()) {
+        std::size_t end = met_body.find('\n', start);
+        if (end == std::string::npos)
+            end = met_body.size();
+        const std::string line = met_body.substr(start, end - start);
+        start = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        char *parse_end = nullptr;
+        std::strtod(line.c_str() + sp + 1, &parse_end);
+        EXPECT_EQ(*parse_end, '\0') << line;
+    }
+
+    server.shutdown();
+}
+
+TEST(ServerSocket, RepeatedSweepIsServedFromCache)
+{
+    setQuiet(true);
+    char tmpl[] = "/tmp/dieirb-service-cache-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+
+    service::ServerOptions opts = testOptions();
+    opts.cacheDir = tmpl;
+    service::Server server(opts);
+    server.start();
+
+    const std::string body =
+        "{\"workloads\": [\"route\", \"parse\"], "
+        "\"modes\": [\"sie\", \"die-irb\"], \"max_insts\": 50000}";
+
+    auto [s1, b1] = splitResponse(
+        httpExchange(server.port(), postWire("/v1/sweep", body)));
+    ASSERT_EQ(s1, 200);
+    const harness::Json first = harness::Json::parse(b1);
+    EXPECT_EQ(first.find("result")->find("total")->asNumber(), 4.0);
+    EXPECT_EQ(first.find("result")->find("cached")->asNumber(), 0.0);
+
+    auto [s2, b2] = splitResponse(
+        httpExchange(server.port(), postWire("/v1/sweep", body)));
+    ASSERT_EQ(s2, 200);
+    const harness::Json second = harness::Json::parse(b2);
+    EXPECT_EQ(second.find("result")->find("cached")->asNumber(), 4.0);
+
+    // Cached points carry the same simulation numbers.
+    const harness::Json *p1 = &first.find("result")->find("points")->at(0);
+    const harness::Json *p2 =
+        &second.find("result")->find("points")->at(0);
+    EXPECT_EQ(p1->find("cycles")->asNumber(),
+              p2->find("cycles")->asNumber());
+
+    auto [ms, mb] =
+        splitResponse(httpExchange(server.port(), getWire("/metrics")));
+    EXPECT_EQ(ms, 200);
+    EXPECT_NE(mb.find("dieirb_sweep_cache_hits_total 4"),
+              std::string::npos);
+
+    server.shutdown();
+}
+
+TEST(ServerSocket, SixtyFourConcurrentSimulatesAllSucceed)
+{
+    setQuiet(true);
+    service::ServerOptions opts = testOptions();
+    opts.httpThreads = 16;
+    opts.queueDepth = 128; // > in-flight handlers: nothing gets a 429
+    opts.socketTimeoutMs = 60'000;
+    service::Server server(opts);
+    server.start();
+    const unsigned short port = server.port();
+
+    constexpr int clients = 64;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0};
+    std::atomic<int> failed{0};
+    threads.reserve(clients);
+    for (int i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i] {
+            const std::string body =
+                "{\"workload\": \"route\", \"max_insts\": 20000, "
+                "\"deadline_ms\": 120000, "
+                "\"config\": {\"irb.entries\": " +
+                std::to_string(16 + (i % 8)) + "}}";
+            auto [status, resp] = splitResponse(
+                httpExchange(port, postWire("/v1/simulate", body)));
+            if (status == 200)
+                ok.fetch_add(1);
+            else
+                failed.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(ok.load(), clients);
+    EXPECT_EQ(failed.load(), 0);
+    EXPECT_EQ(server.jobs().completedCount(),
+              static_cast<std::uint64_t>(clients));
+    EXPECT_EQ(server.jobs().rejectedCount(), 0u);
+
+    server.shutdown();
+}

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -213,4 +214,43 @@ TEST(Sweep, ZeroJobsFallsBackToDefault)
     EXPECT_GE(sweep.jobs(), 1u);
     EXPECT_EQ(sweep.size(), 0u);
     EXPECT_TRUE(sweep.run().empty());
+}
+
+TEST(Sweep, NullCancelTokenRunsEverything)
+{
+    setQuiet(true);
+    harness::Sweep sweep(2);
+    sweep.add("a", "route", harness::baseConfig("sie"), 1, 1'000'000);
+    sweep.add("b", "parse", harness::baseConfig("sie"), 1, 1'000'000);
+    std::atomic<bool> cancel{false};
+    const auto results = sweep.run(&cancel);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results)
+        EXPECT_EQ(r.status, harness::PointStatus::Ok) << r.name;
+}
+
+TEST(Sweep, RaisedCancelTokenSkipsEveryPoint)
+{
+    setQuiet(true);
+    harness::Sweep sweep(2);
+    for (int i = 0; i < 8; ++i) {
+        sweep.add("p" + std::to_string(i), "route",
+                  harness::baseConfig("sie"), 1, 1'000'000);
+    }
+    std::atomic<bool> cancel{true}; // raised before the first dequeue
+    const auto results = sweep.run(&cancel);
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto &r : results) {
+        EXPECT_EQ(r.status, harness::PointStatus::Cancelled) << r.name;
+        EXPECT_EQ(r.sim.core.cycles, 0u) << r.name;
+        EXPECT_FALSE(r.error.empty());
+    }
+    EXPECT_STREQ(harness::pointStatusName(results[0].status),
+                 "cancelled");
+
+    // The queue survives a cancelled run: a second run completes.
+    const auto rerun = sweep.run();
+    ASSERT_EQ(rerun.size(), 8u);
+    for (const auto &r : rerun)
+        EXPECT_EQ(r.status, harness::PointStatus::Ok) << r.name;
 }

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * dieirb-serve — the batching simulation server.
+ *
+ * Serves the DIE/IRB simulation engine over HTTP/1.1 (blocking sockets,
+ * no third-party deps):
+ *
+ *   POST /v1/simulate   one (workload, Config) point
+ *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep
+ *   GET  /v1/jobs/<id>  async job status / result
+ *   GET  /healthz       liveness + queue occupancy
+ *   GET  /metrics       Prometheus text format
+ *
+ * Usage:
+ *   dieirb-serve [options]
+ *     --port N          listen port (default 8100; 0 = kernel pick)
+ *     --host A          listen address (default 127.0.0.1)
+ *     --workers N       simulation worker threads (default: hw)
+ *     --http-threads N  connection handler threads (default 16)
+ *     --queue-depth N   max outstanding jobs before 429 (default 64)
+ *     --cache-dir D     sweep result cache directory (default: off)
+ *     --sweep-jobs N    threads inside one sweep job (default 1)
+ *     --deadline-ms N   sync-request wait before 202 (default 60000)
+ *     --max-body N      request body limit in bytes (default 8 MiB)
+ *     -q                quiet (suppress per-request log lines)
+ *
+ * SIGTERM/SIGINT trigger a graceful drain: stop accepting, reject new
+ * jobs with 503, cancel the pending remainder of in-flight sweeps,
+ * finish accepted jobs, exit 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "service/server.hh"
+
+using namespace direb;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --port N          listen port (default 8100; 0 = kernel)\n"
+        "  --host A          listen address (default 127.0.0.1)\n"
+        "  --workers N       simulation worker threads (default: hw)\n"
+        "  --http-threads N  connection handler threads (default 16)\n"
+        "  --queue-depth N   max outstanding jobs before 429 (64)\n"
+        "  --cache-dir D     sweep result cache directory (off)\n"
+        "  --sweep-jobs N    threads inside one sweep job (1)\n"
+        "  --deadline-ms N   sync wait before 202 handoff (60000)\n"
+        "  --max-body N      request body limit, bytes (8388608)\n"
+        "  -q                quiet\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--port") {
+            opts.port = static_cast<unsigned short>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--host") {
+            opts.host = next();
+        } else if (a == "--workers") {
+            opts.workers = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--http-threads") {
+            opts.httpThreads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--queue-depth") {
+            opts.queueDepth = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--cache-dir") {
+            opts.cacheDir = next();
+        } else if (a == "--sweep-jobs") {
+            opts.sweepJobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--deadline-ms") {
+            opts.defaultDeadlineMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--max-body") {
+            opts.maxBodyBytes = std::strtoull(next(), nullptr, 10);
+        } else if (a == "-q") {
+            setQuiet(true);
+        } else if (a == "-h" || a == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    // Broken client connections surface as EPIPE from send(), never as
+    // a process-killing signal; drain signals are consumed by sigwait
+    // below, so block them before any thread is spawned (threads
+    // inherit the mask).
+    std::signal(SIGPIPE, SIG_IGN);
+    sigset_t drainSignals;
+    sigemptyset(&drainSignals);
+    sigaddset(&drainSignals, SIGINT);
+    sigaddset(&drainSignals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &drainSignals, nullptr);
+
+    try {
+        service::Server server(opts);
+        server.start();
+        const std::string cache_note =
+            opts.cacheDir.empty() ? "" : ", cache=" + opts.cacheDir;
+        std::printf("dieirb-serve listening on %s:%u "
+                    "(workers=%u http-threads=%u queue-depth=%zu%s)\n",
+                    opts.host.c_str(),
+                    static_cast<unsigned>(server.port()),
+                    server.jobs().workers(), opts.httpThreads,
+                    server.jobs().capacity(), cache_note.c_str());
+        std::fflush(stdout);
+
+        int sig = 0;
+        sigwait(&drainSignals, &sig);
+        std::fprintf(stderr,
+                     "dieirb-serve: signal %d (%s), draining...\n", sig,
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        server.shutdown();
+        std::fprintf(stderr, "dieirb-serve: drained, exiting 0\n");
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

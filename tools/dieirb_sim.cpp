@@ -18,6 +18,13 @@
  *   --trace[=file]  record a pipeline trace; writes <file> (Konata /
  *                   O3PipeView text) and <file>.json (Chrome trace_event)
  *   --stats-json <file>  dump the flattened statistics snapshot as JSON
+ *
+ * Both report sinks accept "-" for stdout, so the server and shell
+ * pipelines can consume reports without temp files (e.g.
+ * `dieirb-sim -w route --stats-json - | python3 -m json.tool`). With a
+ * stdout sink the human-readable summary moves to stderr, and
+ * `--trace=-` defaults trace.format to konata (only one format can own
+ * the stream; override with trace.format=chrome).
  *   --list-config   print every recognized key=value configuration knob
  *                   (name, type, default, description) and exit
  *
@@ -207,8 +214,19 @@ main(int argc, char **argv)
                     (!workload.empty() ? workload : file) + ".trace";
             cfg.set("trace.enabled", "true");
             cfg.set("trace.path", trace_path);
+            // Only one exporter can own stdout; konata is the default
+            // there (trace.format=chrome below still overrides it).
+            if (trace_path == "-")
+                cfg.set("trace.format", "konata");
         }
         cfg.parseAll(overrides); // key=value may still override trace.*
+
+        // Machine-readable output on stdout demotes the human summary
+        // to stderr — and the two sinks cannot share one stream.
+        fatal_if(trace_path == "-" && stats_json == "-",
+                 "--trace=- and --stats-json - both want stdout");
+        std::FILE *human =
+            (trace_path == "-" || stats_json == "-") ? stderr : stdout;
 
         const Program prog = !workload.empty()
             ? workloads::build(workload, scale)
@@ -225,36 +243,39 @@ main(int argc, char **argv)
                              g.mismatch.c_str());
                 return 2;
             }
-            std::printf("golden check: ok\n");
+            std::fprintf(human, "golden check: ok\n");
             r = std::move(g.sim);
         } else {
             r = harness::run(prog, cfg, max_insts);
         }
         cfg.checkUnused(); // typoed key=value overrides fail loudly
 
-        std::printf("program    : %s\n", prog.name.c_str());
-        std::printf("mode       : %s\n", mode.c_str());
-        std::printf("stopped    : %s\n",
-                    r.core.stop == StopReason::Halted ? "halt"
-                    : r.core.stop == StopReason::BadPc ? "bad pc"
-                                                       : "inst limit");
-        std::printf("instructions: %llu\n",
-                    static_cast<unsigned long long>(r.core.archInsts));
-        std::printf("cycles     : %llu\n",
-                    static_cast<unsigned long long>(r.core.cycles));
-        std::printf("IPC        : %.4f\n", r.core.ipc);
+        std::fprintf(human, "program    : %s\n", prog.name.c_str());
+        std::fprintf(human, "mode       : %s\n", mode.c_str());
+        std::fprintf(human, "stopped    : %s\n",
+                     r.core.stop == StopReason::Halted ? "halt"
+                     : r.core.stop == StopReason::BadPc ? "bad pc"
+                                                        : "inst limit");
+        std::fprintf(human, "instructions: %llu\n",
+                     static_cast<unsigned long long>(r.core.archInsts));
+        std::fprintf(human, "cycles     : %llu\n",
+                     static_cast<unsigned long long>(r.core.cycles));
+        std::fprintf(human, "IPC        : %.4f\n", r.core.ipc);
         if (!r.output.empty())
-            std::printf("output     : %s", r.output.c_str());
+            std::fprintf(human, "output     : %s", r.output.c_str());
         if (trace) {
-            if (trace::compiledIn())
-                std::printf("trace      : %s (+ %s.json)\n",
-                            trace_path.c_str(), trace_path.c_str());
+            if (!trace::compiledIn())
+                std::fprintf(human,
+                             "trace      : EMPTY — tracing hooks "
+                             "compiled out (DIREB_TRACING=OFF)\n");
+            else if (trace_path == "-")
+                std::fprintf(human, "trace      : stdout\n");
             else
-                std::printf("trace      : EMPTY — tracing hooks compiled "
-                            "out (DIREB_TRACING=OFF)\n");
+                std::fprintf(human, "trace      : %s (+ %s.json)\n",
+                             trace_path.c_str(), trace_path.c_str());
         }
         if (dump_stats)
-            std::printf("\n%s", r.statsText.c_str());
+            std::fprintf(human, "\n%s", r.statsText.c_str());
 
         if (!stats_json.empty()) {
             harness::Json root = harness::Json::object();
