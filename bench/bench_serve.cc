@@ -1,0 +1,312 @@
+/**
+ * @file
+ * dieirb-serve load generator: drives an in-process Server over real
+ * sockets with many concurrent keep-alive connections, each issuing a
+ * stream of sequential POST /v1/simulate requests, and reports
+ * throughput and client-observed latency percentiles.
+ *
+ * Every response is checked end to end — HTTP status 200, intact
+ * Content-Length framing, parseable JSON body with state "done", and
+ * the connection still alive afterwards — so a single dropped or short
+ * response (the PR-5 EINTR bug's signature) fails the bench, not just
+ * skews a percentile.
+ *
+ * Acceptance: >= 1000 keep-alive requests total with zero failures.
+ *
+ * Usage: bench_serve [BENCH_serve.json] [--connections N] [--requests N]
+ *   --connections N   concurrent client connections (default 32)
+ *   --requests N      requests per connection (default 40)
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "service/io.hh"
+#include "service/server.hh"
+
+using namespace direb;
+using harness::Json;
+
+namespace
+{
+
+int
+connectTo(unsigned short port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/**
+ * Read one Content-Length-framed response off a keep-alive socket.
+ * Returns the HTTP status (0 on a framing/transport failure); the
+ * body lands in @p body and pipelined surplus stays in @p carry.
+ */
+int
+readResponse(int fd, std::string &carry, std::string &body,
+             bool &server_close)
+{
+    const auto fill = [fd](std::string &buf) {
+        char tmp[16384];
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(n));
+        return true;
+    };
+
+    std::size_t hdrEnd;
+    while ((hdrEnd = carry.find("\r\n\r\n")) == std::string::npos) {
+        if (!fill(carry))
+            return 0;
+    }
+    std::string headers = carry.substr(0, hdrEnd + 4);
+    carry.erase(0, hdrEnd + 4);
+    for (char &c : headers)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    const std::size_t sp = headers.find(' ');
+    if (sp == std::string::npos)
+        return 0;
+    const int status = std::atoi(headers.c_str() + sp + 1);
+    server_close =
+        headers.find("connection: close") != std::string::npos;
+
+    const std::size_t cl = headers.find("content-length:");
+    if (cl == std::string::npos)
+        return 0;
+    const std::size_t want =
+        std::strtoul(headers.c_str() + cl + 15, nullptr, 10);
+    while (carry.size() < want) {
+        if (!fill(carry))
+            return 0; // short response: the wire was cut mid-body
+    }
+    body = carry.substr(0, want);
+    carry.erase(0, want);
+    return status;
+}
+
+struct ClientResult
+{
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::vector<double> latencies; //!< seconds, one per ok request
+};
+
+ClientResult
+runClient(unsigned short port, unsigned requests,
+          const std::string &wire)
+{
+    ClientResult res;
+    const int fd = connectTo(port);
+    if (fd < 0) {
+        res.failed = requests;
+        return res;
+    }
+    std::string carry;
+    for (unsigned i = 0; i < requests; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!service::io::writeFull(fd, wire.data(), wire.size())) {
+            res.failed += requests - i;
+            break;
+        }
+        std::string body;
+        bool serverClose = false;
+        const int status = readResponse(fd, carry, body, serverClose);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        bool good = status == 200;
+        if (good) {
+            try {
+                const Json j = Json::parse(body);
+                good = j.find("state") &&
+                       j.find("state")->asString() == "done";
+            } catch (const std::exception &) {
+                good = false;
+            }
+        }
+        // A keep-alive connection the server closed early is a dropped
+        // connection even if this response itself was well-formed.
+        if (serverClose && i + 1 < requests)
+            good = false;
+        if (good) {
+            ++res.ok;
+            res.latencies.push_back(dt.count());
+        } else {
+            ++res.failed;
+        }
+        if (serverClose)
+            break;
+    }
+    ::close(fd);
+    return res;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(idx + 0.5)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_serve.json";
+    unsigned connections = 32;
+    unsigned requests = 40;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--connections" && i + 1 < argc) {
+            connections = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--requests" && i + 1 < argc) {
+            requests = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            jsonPath = a;
+        }
+    }
+    fatal_if(connections == 0 || requests == 0,
+             "need at least one connection and one request");
+
+    harness::banner("serve-load",
+                    "keep-alive HTTP load against the epoll event loop: "
+                    "zero dropped or short responses under concurrency");
+    setQuiet(true); // no per-request log lines at bench rates
+
+    service::ServerOptions opts;
+    opts.port = 0;
+    opts.workers = 0; // hardware concurrency
+    opts.httpThreads = 16;
+    opts.queueDepth = 2 * connections + 16;
+    opts.socketTimeoutMs = 120'000;
+    opts.idleTimeoutMs = 120'000;
+    opts.defaultDeadlineMs = 300'000;
+    service::Server server(opts);
+    server.start();
+
+    // Small points: the bench measures the connection path, not the
+    // simulator, so each request should be milliseconds of work.
+    const std::string body =
+        "{\"workload\": \"route\", \"max_insts\": 10000, "
+        "\"deadline_ms\": 300000, \"cache\": false}";
+    const std::string wire =
+        "POST /v1/simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+
+    std::printf("  %u connections x %u keep-alive requests each "
+                "(%u total)\n",
+                connections, requests, connections * requests);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    std::vector<ClientResult> results(connections);
+    threads.reserve(connections);
+    for (unsigned c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            results[c] = runClient(server.port(), requests, wire);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::vector<double> latencies;
+    for (const ClientResult &r : results) {
+        ok += r.ok;
+        failed += r.failed;
+        latencies.insert(latencies.end(), r.latencies.begin(),
+                         r.latencies.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    const double rps =
+        wall.count() > 0 ? static_cast<double>(ok) / wall.count() : 0;
+    const double p50 = percentile(latencies, 0.50);
+    const double p90 = percentile(latencies, 0.90);
+    const double p99 = percentile(latencies, 0.99);
+    const double pmax = latencies.empty() ? 0.0 : latencies.back();
+
+    std::printf("  ok=%llu failed=%llu in %.2fs -> %.0f req/s\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(failed), wall.count(),
+                rps);
+    std::printf("  latency p50=%.1fms p90=%.1fms p99=%.1fms "
+                "max=%.1fms\n",
+                p50 * 1e3, p90 * 1e3, p99 * 1e3, pmax * 1e3);
+
+    server.shutdown();
+
+    Json root = Json::object();
+    root.set("experiment", "serve-load");
+    root.set("connections", connections);
+    root.set("requests_per_connection", requests);
+    root.set("total_requests",
+             static_cast<std::uint64_t>(connections) * requests);
+    root.set("ok", ok);
+    root.set("failed", failed);
+    root.set("wall_seconds", wall.count());
+    root.set("requests_per_sec", rps);
+    Json lat = Json::object();
+    lat.set("p50_seconds", p50);
+    lat.set("p90_seconds", p90);
+    lat.set("p99_seconds", p99);
+    lat.set("max_seconds", pmax);
+    root.set("latency", std::move(lat));
+    const bool scale_ok = ok >= 1000;
+    root.set("accept_zero_failures", failed == 0);
+    root.set("accept_scale_1000", scale_ok);
+    harness::writeJsonReport(jsonPath, root);
+
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu dropped/short/failed responses\n",
+                     static_cast<unsigned long long>(failed));
+        return 1;
+    }
+    if (!scale_ok) {
+        std::fprintf(stderr,
+                     "FAIL: only %llu ok requests (< 1000); raise "
+                     "--connections/--requests\n",
+                     static_cast<unsigned long long>(ok));
+        return 1;
+    }
+    std::printf("  PASS: %llu keep-alive requests, zero dropped\n",
+                static_cast<unsigned long long>(ok));
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -353,11 +354,40 @@ Sweep::runPoint(const Point &point) const
 }
 
 std::vector<SweepResult>
-Sweep::run(const std::atomic<bool> *cancel) const
+Sweep::run(const std::atomic<bool> *cancel,
+           const PointCallback &on_point) const
 {
     std::vector<SweepResult> results(points.size());
     if (points.empty())
         return results;
+
+    // Ordered streaming: point i is reported once points 0..i are all
+    // finished, by whichever worker closed that prefix. Everything here
+    // is guarded by emitMtx, so callbacks are serialized and arrive in
+    // enqueue order no matter how completion interleaves.
+    std::mutex emitMtx;
+    std::vector<bool> finished(points.size(), false);
+    std::size_t nextEmit = 0;
+    std::exception_ptr emitError;
+    const auto emit = [&](std::size_t i) {
+        if (!on_point)
+            return;
+        std::lock_guard<std::mutex> lock(emitMtx);
+        finished[i] = true;
+        if (emitError)
+            return; // an earlier callback threw; stop reporting
+        try {
+            while (nextEmit < points.size() && finished[nextEmit]) {
+                on_point(results[nextEmit], nextEmit);
+                ++nextEmit;
+            }
+        } catch (...) {
+            // Never let a consumer exception escape into a worker
+            // thread (that would terminate the process) — park it and
+            // rethrow from run() once the workers are joined.
+            emitError = std::current_exception();
+        }
+    };
 
     // Work-stealing by atomic index; slot i of results belongs to point
     // i alone, so workers never contend on the output vector.
@@ -376,9 +406,10 @@ Sweep::run(const std::atomic<bool> *cancel) const
                 results[i].name = points[i].name;
                 results[i].status = PointStatus::Cancelled;
                 results[i].error = "sweep cancelled before this point ran";
-                continue;
+            } else {
+                results[i] = runPoint(points[i]);
             }
-            results[i] = runPoint(points[i]);
+            emit(i);
         }
     };
 
@@ -394,6 +425,8 @@ Sweep::run(const std::atomic<bool> *cancel) const
         for (auto &th : pool)
             th.join();
     }
+    if (emitError)
+        std::rethrow_exception(emitError);
     return results;
 }
 

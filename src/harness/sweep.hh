@@ -40,6 +40,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -128,6 +129,17 @@ class Sweep
     void setSharedPool(CorePool *shared) { sharedPool = shared; }
 
     /**
+     * Called once per finished point, in strict enqueue order (point i
+     * is reported only after points 0..i-1 were), from whichever worker
+     * completed the prefix; invocations are serialized under a mutex.
+     * Cancelled points are reported too. This is what lets a server
+     * stream per-point results while the sweep is still running without
+     * giving up the determinism contract.
+     */
+    using PointCallback =
+        std::function<void(const SweepResult &, std::size_t)>;
+
+    /**
      * Run all points (blocking) and return results in enqueue order.
      * The queue is left intact, so run() may be called again.
      *
@@ -137,9 +149,14 @@ class Sweep
      * simulation). Points that already ran keep their deterministic
      * results, so a drained sweep's completed prefix is bit-identical
      * to the same points of an uncancelled run.
+     *
+     * @p on_point, when set, streams finished results in enqueue order
+     * while later points are still running; an exception it throws is
+     * rethrown to run()'s caller after the workers finish.
      */
     std::vector<SweepResult>
-    run(const std::atomic<bool> *cancel = nullptr) const;
+    run(const std::atomic<bool> *cancel = nullptr,
+        const PointCallback &on_point = {}) const;
 
   private:
     struct Point

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 namespace direb
 {
@@ -77,6 +78,15 @@ HttpRequest::path() const
     return q == std::string::npos ? target : target.substr(0, q);
 }
 
+bool
+HttpRequest::wantsKeepAlive() const
+{
+    if (version != "HTTP/1.1")
+        return false;
+    const std::string *conn = header("connection");
+    return !conn || lower(*conn) != "close";
+}
+
 HttpParser::Status
 HttpParser::status() const
 {
@@ -97,13 +107,31 @@ HttpParser::fail(int status, std::string reason)
     buf.shrink_to_fit();
 }
 
-HttpParser::Status
+void
+HttpParser::reset()
+{
+    state = State::Headers;
+    sawBytes = false;
+    buf.clear();
+    scanFrom = 0;
+    contentLength = 0;
+    req = HttpRequest{};
+    errStatus = 0;
+    errReason.clear();
+}
+
+std::size_t
 HttpParser::feed(const char *data, std::size_t n)
 {
+    // Done consumes nothing further: the tail belongs to the next
+    // request on the connection. Error swallows everything — the
+    // connection is doomed, callers may keep draining to EOF.
+    if (state == State::Done)
+        return 0;
+    if (state == State::Error)
+        return n;
     if (n > 0)
         sawBytes = true;
-    if (state == State::Done || state == State::Error)
-        return status(); // sticky: callers may keep reading to EOF
 
     buf.append(data, n);
 
@@ -117,7 +145,7 @@ HttpParser::feed(const char *data, std::size_t n)
                 fail(431, "header block exceeds " +
                               std::to_string(limits.maxHeaderBytes) +
                               " bytes");
-            return status();
+            return n;
         }
         // An oversized block is rejected even when its terminator
         // arrived in the same read as the rest of it.
@@ -125,22 +153,29 @@ HttpParser::feed(const char *data, std::size_t n)
             fail(431, "header block exceeds " +
                           std::to_string(limits.maxHeaderBytes) +
                           " bytes");
-            return status();
+            return n;
         }
         parseHeaderBlock(block);
         if (state == State::Error)
-            return status();
+            return n;
         buf.erase(0, block + 4); // leave any body prefix in place
         state = State::Body;
     }
 
     if (state == State::Body && buf.size() >= contentLength) {
+        // Any excess past the body arrived in this very feed — every
+        // earlier call returned with the message still incomplete and
+        // all of its bytes consumed — so it is this call's unconsumed
+        // remainder, handed back for the caller to re-feed after
+        // reset().
+        const std::size_t excess = buf.size() - contentLength;
         req.body = buf.substr(0, contentLength);
         buf.clear();
         buf.shrink_to_fit();
         state = State::Done;
+        return n - excess;
     }
-    return status();
+    return n;
 }
 
 void
@@ -224,7 +259,7 @@ HttpResponse::set(std::string name, std::string value)
 }
 
 std::string
-HttpResponse::serialize() const
+HttpResponse::serialize(bool keep_alive) const
 {
     std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                       statusText(status) + "\r\n";
@@ -237,8 +272,44 @@ HttpResponse::serialize() const
     if (!haveType)
         out += "Content-Type: application/json\r\n";
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    out += "Connection: close\r\n\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
     out += body;
+    return out;
+}
+
+std::string
+encodeChunk(const std::string &payload)
+{
+    if (payload.empty())
+        return "";
+    char size[24];
+    std::snprintf(size, sizeof(size), "%zx\r\n", payload.size());
+    std::string out = size;
+    out += payload;
+    out += "\r\n";
+    return out;
+}
+
+std::string
+lastChunk()
+{
+    return "0\r\n\r\n";
+}
+
+std::string
+streamHead(int status, const std::string &content_type, bool keep_alive,
+           const std::vector<std::pair<std::string, std::string>>
+               &extra_headers)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      statusText(status) + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Transfer-Encoding: chunked\r\n";
+    for (const auto &[name, value] : extra_headers)
+        out += name + ": " + value + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
     return out;
 }
 

@@ -2,10 +2,12 @@
  * @file
  * Minimal HTTP/1.1 machinery for the simulation service: an incremental
  * request parser that is fed raw bytes exactly as they arrive from a
- * blocking socket (split reads are the normal case, not an edge case),
- * and a response builder. No third-party dependencies and no ambition
- * beyond what dieirb-serve needs — Content-Length framing only, one
- * request per connection, Connection: close on every response.
+ * socket (split reads are the normal case, not an edge case), and a
+ * response builder. No third-party dependencies and no ambition beyond
+ * what dieirb-serve needs — Content-Length request framing only, but
+ * with full keep-alive support: feed() reports how many bytes belong to
+ * the current request, so pipelined or keep-alive leftovers seed the
+ * next one, and reset() rewinds the parser for that next request.
  *
  * The parser is written for untrusted input: every limit violation or
  * syntax error turns into a sticky Error state carrying the HTTP status
@@ -44,17 +46,29 @@ struct HttpRequest
 
     /** The target up to (not including) any '?' query. */
     std::string path() const;
+
+    /**
+     * HTTP/1.1 semantics: keep the connection unless the client said
+     * `Connection: close`. HTTP/1.0 clients always get close — they
+     * cannot be assumed to understand persistent connections or
+     * chunked framing.
+     */
+    bool wantsKeepAlive() const;
 };
 
 /**
  * Incremental HTTP/1.1 request parser.
  *
  * feed() consumes bytes in arbitrarily small or large chunks and
- * returns NeedMore until the request line, every header and the full
- * Content-Length body have been buffered (Done), or until the input is
- * rejected (Error; errorStatus()/errorReason() say why). Both Done and
- * Error are sticky: further feed() calls are no-ops, so a connection
- * loop can simply stop reading.
+ * returns how many of them belong to the request being parsed: all of
+ * them while the request is still incomplete (status() == NeedMore),
+ * only up to the end of the Content-Length body once it completes
+ * (status() == Done — the unconsumed tail is the start of the next
+ * pipelined request and stays with the caller), and zero on any feed
+ * after Done. Error is sticky and swallows everything — the connection
+ * is going to be closed anyway; errorStatus()/errorReason() say why.
+ * reset() returns a Done (or errored) parser to its initial state so
+ * one parser instance serves a whole keep-alive connection.
  */
 class HttpParser
 {
@@ -70,16 +84,22 @@ class HttpParser
     HttpParser() = default;
     explicit HttpParser(Limits limits) : limits(limits) {}
 
-    /** Consume @p n bytes; returns the parser status afterwards. */
-    Status feed(const char *data, std::size_t n);
+    /** Consume up to @p n bytes; returns how many were consumed. */
+    std::size_t feed(const char *data, std::size_t n);
 
     Status status() const;
 
     /** The parsed request; valid once status() == Done. */
     const HttpRequest &request() const { return req; }
 
-    /** True once any request bytes have been consumed. */
+    /** Move the parsed request out (valid once, after Done). */
+    HttpRequest takeRequest() { return std::move(req); }
+
+    /** True once any bytes of the current request have been consumed. */
     bool started() const { return sawBytes; }
+
+    /** Rewind to the initial state for the next request (keeps limits). */
+    void reset();
 
     /** HTTP status to answer with; valid once status() == Error. @{ */
     int errorStatus() const { return errStatus; }
@@ -119,12 +139,32 @@ struct HttpResponse
     HttpResponse &set(std::string name, std::string value);
 
     /**
-     * Render status line + headers + body. Content-Length and
-     * Connection: close are always appended; Content-Type defaults to
-     * application/json unless already set.
+     * Render status line + headers + body. Content-Length and a
+     * Connection header (`keep-alive` or `close`) are always appended;
+     * Content-Type defaults to application/json unless already set.
      */
-    std::string serialize() const;
+    std::string serialize(bool keep_alive = false) const;
 };
+
+/**
+ * Chunked transfer-coding for streamed responses: one data chunk
+ * (hex size + CRLF + payload + CRLF), and the zero-length terminal
+ * chunk that ends the stream. encodeChunk("") is NOT a valid data
+ * chunk — a zero size means end-of-stream — so empty payloads are
+ * rendered as nothing at all.
+ */
+std::string encodeChunk(const std::string &payload);
+std::string lastChunk();
+
+/**
+ * Response head for a chunked stream (no Content-Length; the chunk
+ * framing delimits the body). @p extra_headers are "Name: value" pairs
+ * appended verbatim.
+ */
+std::string
+streamHead(int status, const std::string &content_type, bool keep_alive,
+           const std::vector<std::pair<std::string, std::string>>
+               &extra_headers = {});
 
 /** Canonical reason phrase ("OK", "Too Many Requests", ...). */
 const char *statusText(int status);

@@ -1,0 +1,82 @@
+#include "service/io.hh"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace direb
+{
+
+namespace service
+{
+
+namespace io
+{
+
+ssize_t
+readSome(int fd, void *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = ::recv(fd, buf, n, 0);
+        if (r < 0 && errno == EINTR)
+            continue; // a signal is not a peer hangup
+        return r;
+    }
+}
+
+ssize_t
+writeSome(int fd, const void *buf, std::size_t n)
+{
+    for (;;) {
+        const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+        if (r < 0 && errno == EINTR)
+            continue;
+        return r;
+    }
+}
+
+std::size_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    auto *p = static_cast<char *>(buf);
+    while (got < n) {
+        const ssize_t r = readSome(fd, p + got, n - got);
+        if (r <= 0)
+            break; // EOF or real error; got says how far we came
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    std::size_t sent = 0;
+    const auto *p = static_cast<const char *>(buf);
+    while (sent < n) {
+        const ssize_t r = writeSome(fd, p + sent, n - sent);
+        if (r < 0)
+            return false;
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+bool
+setNonBlocking(int fd, bool on)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return want == flags || ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+} // namespace io
+
+} // namespace service
+
+} // namespace direb

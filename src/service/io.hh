@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Signal-safe socket I/O helpers shared by the event loop, the test
+ * clients and the load generator.
+ *
+ * The PR-5 connection path treated EINTR from recv()/send() as "the
+ * peer went away" and silently dropped the rest of the response — a
+ * profiling signal or SIGCHLD landing mid-transfer truncated the wire.
+ * These helpers make the retry policy explicit and shared:
+ *
+ *  - readSome / writeSome: one syscall's worth of progress, retrying
+ *    EINTR internally. They never spin on EAGAIN — a non-blocking fd
+ *    that would block returns -1 with errno preserved so an event loop
+ *    can go back to epoll.
+ *  - readFull / writeFull: blocking-fd convenience that also retries
+ *    short transfers until the requested byte count is moved, EOF or a
+ *    real error. Used by tests and bench_serve's client side.
+ */
+
+#ifndef DIREB_SERVICE_IO_HH
+#define DIREB_SERVICE_IO_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace direb
+{
+
+namespace service
+{
+
+namespace io
+{
+
+/**
+ * recv() once, retrying EINTR. Returns > 0 on data, 0 on EOF, -1 on
+ * error with errno set (EAGAIN/EWOULDBLOCK = try again after poll).
+ */
+ssize_t readSome(int fd, void *buf, std::size_t n);
+
+/**
+ * send() once with MSG_NOSIGNAL, retrying EINTR. Returns > 0 bytes
+ * written or -1 with errno set (never 0 for n > 0).
+ */
+ssize_t writeSome(int fd, const void *buf, std::size_t n);
+
+/**
+ * Read exactly @p n bytes from a blocking fd, retrying EINTR and short
+ * reads. Returns the byte count actually read: n on success, less only
+ * on EOF or error.
+ */
+std::size_t readFull(int fd, void *buf, std::size_t n);
+
+/**
+ * Write all @p n bytes to a blocking fd, retrying EINTR and short
+ * writes. True on success; false on a real error (errno says why).
+ */
+bool writeFull(int fd, const void *buf, std::size_t n);
+
+/** O_NONBLOCK on/off; false (errno set) on fcntl failure. */
+bool setNonBlocking(int fd, bool on);
+
+} // namespace io
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_IO_HH

@@ -2,10 +2,10 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
-
-#include <sys/time.h>
 
 #include <cerrno>
 #include <chrono>
@@ -16,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "harness/runner.hh"
+#include "service/io.hh"
 #include "workloads/workloads.hh"
 
 namespace direb
@@ -28,6 +29,17 @@ namespace
 {
 
 using harness::Json;
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
 
 /** JSON error body + status; the uniform failure shape of the API. */
 HttpResponse
@@ -44,6 +56,19 @@ methodNotAllowed(const std::string &allow)
     HttpResponse r = errorResponse(405, "method not allowed");
     r.set("Allow", allow);
     return r;
+}
+
+/** The bounded path label used on request metrics. */
+std::string
+labelForPath(const std::string &path)
+{
+    if (path == "/healthz" || path == "/metrics" ||
+        path == "/v1/simulate" || path == "/v1/sweep") {
+        return path;
+    }
+    if (path.rfind("/v1/jobs/", 0) == 0)
+        return "/v1/jobs";
+    return "other";
 }
 
 /** Typed member accessors over a request body; fatal() => HTTP 400. @{ */
@@ -158,6 +183,69 @@ parsePoint(const Json &obj, const PointSpec &defaults)
     return spec;
 }
 
+/**
+ * Point list of a sweep request body: either an explicit "points"
+ * array, or the cross product of "workloads" x "modes" (the classic
+ * figure matrix). Shared by the buffered and the streaming sweep
+ * handlers so both validate identically.
+ */
+std::vector<PointSpec>
+parseSweepSpecs(const Json &body)
+{
+    std::vector<PointSpec> specs;
+    if (const Json *points = body.find("points")) {
+        fatal_if(!points->isArray(),
+                 "request: 'points' must be an array");
+        PointSpec base;
+        base.workload.clear(); // each point must name its workload
+        for (std::size_t i = 0; i < points->size(); ++i) {
+            fatal_if(!points->at(i).isObject(),
+                     "request: points[%zu] must be an object", i);
+            PointSpec spec = parsePoint(points->at(i), base);
+            spec.name = stringOr(points->at(i), "name", spec.name);
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        const Json *wl = body.find("workloads");
+        fatal_if(!wl || !wl->isArray(),
+                 "request: need 'points' or a 'workloads' array");
+        std::vector<std::string> modes;
+        if (const Json *ms = body.find("modes")) {
+            fatal_if(!ms->isArray(),
+                     "request: 'modes' must be an array");
+            for (std::size_t i = 0; i < ms->size(); ++i) {
+                fatal_if(!ms->at(i).isString(),
+                         "request: modes[%zu] must be a string", i);
+                modes.push_back(ms->at(i).asString());
+            }
+        } else {
+            modes.push_back(stringOr(body, "mode", "sie"));
+        }
+        for (std::size_t i = 0; i < wl->size(); ++i) {
+            fatal_if(!wl->at(i).isString(),
+                     "request: workloads[%zu] must be a string", i);
+            for (const std::string &mode : modes) {
+                // Route shared scale/max_insts/config through the same
+                // per-point parser so they get the same validation.
+                Json point = Json::object();
+                point.set("workload", wl->at(i).asString());
+                point.set("mode", mode);
+                if (const Json *s = body.find("scale"))
+                    point.set("scale", *s);
+                if (const Json *mi = body.find("max_insts"))
+                    point.set("max_insts", *mi);
+                if (const Json *cfg = body.find("config"))
+                    point.set("config", *cfg);
+                specs.push_back(parsePoint(point, PointSpec{}));
+            }
+        }
+    }
+    fatal_if(specs.empty(), "request: no sweep points");
+    fatal_if(specs.size() > 4096,
+             "request: too many sweep points (%zu > 4096)", specs.size());
+    return specs;
+}
+
 /** Point result JSON: the sweep shape plus program output. */
 Json
 pointJson(const harness::SweepResult &r, bool with_stats)
@@ -173,7 +261,68 @@ pointJson(const harness::SweepResult &r, bool with_stats)
     return j;
 }
 
+/** Does a sweep body opt into the chunked NDJSON streaming path? */
+bool
+wantsStream(const HttpRequest &req)
+{
+    try {
+        const Json j = Json::parse(req.body);
+        if (!j.isObject())
+            return false;
+        const Json *s = j.find("stream");
+        return s && s->isBool() && s->asBool();
+    } catch (const std::exception &) {
+        return false; // route() will produce the proper 400
+    }
+}
+
 } // namespace
+
+/**
+ * One live connection. The event loop owns the fd, the parser, the
+ * input buffer and the state tag; producers (dispatch pool and job
+ * workers) only ever touch the mtx-guarded output channel. `cancel` is
+ * the per-connection cancellation token streaming sweeps poll — the
+ * loop flips it on disconnect, shutdown flips it on drain.
+ */
+struct Server::Conn
+{
+    enum class St : std::uint8_t {
+        Idle,    //!< keep-alive: waiting for the next request
+        Reading, //!< request started, not yet fully parsed
+        Busy,    //!< dispatched; response/stream being produced+written
+    };
+
+    int fd = -1;
+
+    // loop-owned
+    St st = St::Idle;
+    HttpParser parser;
+    std::string inBuf; //!< unconsumed (pipelined) bytes
+    unsigned served = 0;
+    bool writeArmed = false;    //!< EPOLLOUT registered
+    bool writeDeadline = false; //!< wheel holds a stalled-write deadline
+    Clock::time_point reqStart{};
+
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+
+    // producer <-> loop output channel, guarded by mtx
+    std::mutex mtx;
+    std::string out;
+    std::size_t outOff = 0;
+    bool outDone = false;    //!< producer finished this response
+    bool closeAfter = false; //!< close instead of keep-alive reset
+    bool dead = false;       //!< fd closed; producers must stop appending
+    std::string pathLabel = "other";
+    int respStatus = 0;
+};
+
+struct Server::DispatchItem
+{
+    std::shared_ptr<Conn> conn;
+    HttpRequest req;
+};
 
 Server::Server(ServerOptions options) : opts(std::move(options))
 {
@@ -184,7 +333,13 @@ Server::Server(ServerOptions options) : opts(std::move(options))
     m.describe("dieirb_http_requests_total", "counter",
                "HTTP requests by path and status code");
     m.describe("dieirb_http_request_seconds", "histogram",
-               "wall-clock request handling latency");
+               "first request byte to last response byte");
+    m.describe("dieirb_http_read_seconds", "histogram",
+               "first request byte to fully parsed request");
+    m.describe("dieirb_http_connections_total", "counter",
+               "connections accepted");
+    m.describe("dieirb_http_active_connections", "gauge",
+               "currently open connections");
     m.describe("dieirb_jobs_rejected_total", "counter",
                "jobs rejected by backpressure or drain");
     m.describe("dieirb_queue_depth", "gauge", "jobs waiting in the queue");
@@ -193,6 +348,10 @@ Server::Server(ServerOptions options) : opts(std::move(options))
     m.describe("dieirb_workers", "gauge", "simulation worker threads");
     m.describe("dieirb_workers_busy", "gauge",
                "workers currently running a job");
+    m.describe("dieirb_streams_total", "counter",
+               "streamed sweep responses started");
+    m.describe("dieirb_streams_cancelled_total", "counter",
+               "streamed sweeps whose remainder was cancelled");
     m.describe("dieirb_sweep_cache_hits_total", "counter",
                "sweep points restored from the result cache");
     m.describe("dieirb_sweep_cache_misses_total", "counter",
@@ -216,7 +375,7 @@ Server::start()
 {
     fatal_if(started, "server already started");
 
-    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    listenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     fatal_if(listenFd < 0, "socket(): %s", std::strerror(errno));
     const int one = 1;
     ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -230,141 +389,668 @@ Server::start()
                     sizeof(addr)) < 0,
              "cannot bind %s:%u: %s", opts.host.c_str(),
              static_cast<unsigned>(opts.port), std::strerror(errno));
-    fatal_if(::listen(listenFd, 256) < 0, "listen(): %s",
+    fatal_if(::listen(listenFd, 512) < 0, "listen(): %s",
              std::strerror(errno));
 
     socklen_t len = sizeof(addr);
     ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &len);
     boundPort = ntohs(addr.sin_port);
-    started = true;
 
-    acceptor = std::thread([this] { acceptLoop(); });
+    epollFd = ::epoll_create1(0);
+    fatal_if(epollFd < 0, "epoll_create1(): %s", std::strerror(errno));
+    wakeFd = ::eventfd(0, EFD_NONBLOCK);
+    fatal_if(wakeFd < 0, "eventfd(): %s", std::strerror(errno));
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET; // edge: accept until EAGAIN
+    ev.data.fd = listenFd;
+    fatal_if(::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev) < 0,
+             "epoll_ctl(listen): %s", std::strerror(errno));
+    ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeFd;
+    fatal_if(::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev) < 0,
+             "epoll_ctl(wake): %s", std::strerror(errno));
+
+    started = true;
+    loopThread = std::thread([this] { eventLoop(); });
     const unsigned n = opts.httpThreads > 0 ? opts.httpThreads : 1;
-    handlers.reserve(n);
+    dispatchers.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        handlers.emplace_back([this] { handlerLoop(); });
+        dispatchers.emplace_back([this] { dispatchLoop(); });
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+void
+Server::eventLoop()
+{
+    std::vector<epoll_event> events(128);
+    for (;;) {
+        const int timeout = wheel.pollTimeoutMs(200);
+        const int n = ::epoll_wait(epollFd, events.data(),
+                                   static_cast<int>(events.size()),
+                                   timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("epoll_wait(): %s; event loop exiting",
+                 std::strerror(errno));
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakeFd) {
+                std::uint64_t drained = 0;
+                while (::read(wakeFd, &drained, sizeof(drained)) > 0) {}
+                continue; // wakeQueue handled below
+            }
+            if (fd == listenFd) {
+                acceptReady();
+                continue;
+            }
+            const auto it = conns.find(fd);
+            if (it != conns.end())
+                onConnEvent(it->second, events[i].events);
+        }
+        processWakeups();
+        for (const int fd : wheel.expire(nowMs())) {
+            const auto it = conns.find(fd);
+            if (it != conns.end())
+                onDeadline(it->second);
+        }
+        if (stopping.load(std::memory_order_acquire) && !drainStarted)
+            beginDrainInLoop();
+        if (drainStarted && conns.empty())
+            break;
+    }
+    // Abnormal exit (epoll failure): drop whatever is still open so
+    // shutdown() can join without leaking fds.
+    std::vector<std::shared_ptr<Conn>> leftovers;
+    leftovers.reserve(conns.size());
+    for (const auto &[fd, conn] : conns)
+        leftovers.push_back(conn);
+    for (const auto &conn : leftovers)
+        closeConn(conn);
 }
 
 void
-Server::acceptLoop()
+Server::acceptReady()
 {
     for (;;) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
         if (fd < 0) {
-            if (stopping.load(std::memory_order_relaxed))
-                return;
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
-            warn("accept(): %s; acceptor exiting", std::strerror(errno));
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                !stopping.load(std::memory_order_relaxed)) {
+                warn("accept(): %s", std::strerror(errno));
+            }
             return;
         }
-        bool enqueued = false;
-        {
-            std::lock_guard<std::mutex> lock(connMtx);
-            if (!connClosed) {
-                connQueue.push_back(fd);
-                enqueued = true;
-            }
+        if (drainStarted) {
+            ::close(fd); // raced in after the drain began
+            continue;
         }
-        if (enqueued)
-            connAvailable.notify_one();
-        else
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conn->parser = HttpParser(
+            {/*maxHeaderBytes=*/64 * 1024, opts.maxBodyBytes});
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+            warn("epoll_ctl(conn): %s", std::strerror(errno));
             ::close(fd);
+            continue;
+        }
+        conns.emplace(fd, conn);
+        metricsRegistry.count("dieirb_http_connections_total");
+        metricsRegistry.gauge("dieirb_http_active_connections",
+                              static_cast<double>(conns.size()));
+        wheel.schedule(fd, nowMs(), opts.idleTimeoutMs);
+        pumpRead(conn); // edge-triggered: data may already be queued
     }
 }
 
 void
-Server::handlerLoop()
+Server::onConnEvent(const std::shared_ptr<Conn> &conn,
+                    std::uint32_t events)
 {
-    for (;;) {
-        int fd = -1;
-        {
-            std::unique_lock<std::mutex> lock(connMtx);
-            connAvailable.wait(lock, [this] {
-                return !connQueue.empty() || connClosed;
-            });
-            if (connQueue.empty()) {
-                if (connClosed)
-                    return; // queued connections all drained
-                continue;
-            }
-            fd = connQueue.front();
-            connQueue.pop_front();
-        }
-        handleConnection(fd);
-    }
-}
-
-void
-Server::handleConnection(int fd)
-{
-    timeval tv{};
-    tv.tv_sec = opts.socketTimeoutMs / 1000;
-    tv.tv_usec = (opts.socketTimeoutMs % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-
-    HttpParser parser({/*maxHeaderBytes=*/64 * 1024, opts.maxBodyBytes});
-    char buf[16384];
-    auto st = HttpParser::Status::NeedMore;
-    while (st == HttpParser::Status::NeedMore) {
-        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
-            break; // peer closed, read timeout or error
-        st = parser.feed(buf, static_cast<std::size_t>(n));
-    }
-
-    std::string requestId;
-    std::string pathLabel = "other";
-    HttpResponse resp;
-    const auto start = std::chrono::steady_clock::now();
-    if (st == HttpParser::Status::Done) {
-        const HttpRequest &req = parser.request();
-        const std::string path = req.path();
-        if (path == "/healthz" || path == "/metrics" ||
-            path == "/v1/simulate" || path == "/v1/sweep") {
-            pathLabel = path;
-        } else if (path.rfind("/v1/jobs/", 0) == 0) {
-            pathLabel = "/v1/jobs";
-        }
-        resp = route(req, requestId);
-        inform("[%s] %s %s -> %d", requestId.c_str(), req.method.c_str(),
-               req.target.c_str(), resp.status);
-    } else if (st == HttpParser::Status::Error) {
-        resp = errorResponse(parser.errorStatus(), parser.errorReason());
-        inform("[-] rejected request: %d %s", parser.errorStatus(),
-               parser.errorReason().c_str());
-    } else if (parser.started()) {
-        resp = errorResponse(408, "incomplete request");
-    } else {
-        ::close(fd); // probe connection: opened and closed silently
+    if (events & (EPOLLHUP | EPOLLERR)) {
+        conn->cancel->store(true, std::memory_order_relaxed);
+        closeConn(conn);
         return;
     }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
+    if (events & EPOLLRDHUP) {
+        // The client stopped sending. For a streaming sweep this is
+        // the disconnect signal that cancels the pending remainder;
+        // writes keep going until they fail or finish (a half-closed
+        // client may still be reading).
+        conn->cancel->store(true, std::memory_order_relaxed);
+    }
+    if (events & EPOLLOUT)
+        flushOut(conn);
+    if (conn->fd < 0)
+        return; // closed while flushing
+    if (events & (EPOLLIN | EPOLLRDHUP)) {
+        // While a response/stream is in production we deliberately do
+        // not read: pipelined bytes wait in the kernel buffer and are
+        // pulled in by completeResponse()'s pumpRead().
+        if (conn->st != Conn::St::Busy)
+            pumpRead(conn);
+    }
+}
 
-    // Count before sending: once the client has the response, a
-    // follow-up scrape of /metrics must already see this request.
-    const std::string labels = "path=\"" + pathLabel + "\",code=\"" +
-                               std::to_string(resp.status) + "\"";
-    metricsRegistry.count("dieirb_http_requests_total", labels);
+void
+Server::pumpRead(const std::shared_ptr<Conn> &conn)
+{
+    if (!feedParser(conn))
+        return; // leftovers already completed a request (or an error)
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = io::readSome(conn->fd, buf, sizeof(buf));
+        if (n > 0) {
+            conn->inBuf.append(buf, static_cast<std::size_t>(n));
+            if (!feedParser(conn))
+                return;
+            continue;
+        }
+        if (n == 0) { // EOF
+            conn->cancel->store(true, std::memory_order_relaxed);
+            if (conn->parser.started() &&
+                conn->parser.status() == HttpParser::Status::NeedMore) {
+                // Mid-request EOF: answer 408 on the off chance the
+                // client half-closed and still reads.
+                conn->st = Conn::St::Busy;
+                wheel.cancel(conn->fd);
+                sendResponse(conn,
+                             errorResponse(408, "incomplete request"),
+                             /*keep_alive=*/false, "other");
+            } else {
+                closeConn(conn);
+            }
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return; // drained; epoll will tell us about the next bytes
+        closeConn(conn); // ECONNRESET and friends
+        return;
+    }
+}
+
+/**
+ * Feed buffered input to the parser. Returns false once this
+ * connection stopped consuming reads: a complete request went to the
+ * dispatch queue, a parser error response was queued, or the
+ * connection died. Unconsumed pipelined bytes stay in inBuf for the
+ * next request.
+ */
+bool
+Server::feedParser(const std::shared_ptr<Conn> &conn)
+{
+    if (conn->inBuf.empty())
+        return true;
+    if (conn->st == Conn::St::Idle) {
+        // First byte of a new request: latency timing starts HERE, so
+        // slow-client read time is visible and a 408 records how long
+        // we actually waited (not ~0s).
+        conn->st = Conn::St::Reading;
+        conn->reqStart = Clock::now();
+        wheel.schedule(conn->fd, nowMs(), opts.socketTimeoutMs);
+    }
+    const std::size_t consumed =
+        conn->parser.feed(conn->inBuf.data(), conn->inBuf.size());
+    conn->inBuf.erase(0, consumed);
+
+    switch (conn->parser.status()) {
+      case HttpParser::Status::NeedMore:
+        return true;
+      case HttpParser::Status::Done: {
+        const std::chrono::duration<double> readTime =
+            Clock::now() - conn->reqStart;
+        HttpRequest req = conn->parser.takeRequest();
+        metricsRegistry.observe(
+            "dieirb_http_read_seconds", readTime.count(),
+            "path=\"" + labelForPath(req.path()) + "\"");
+        conn->st = Conn::St::Busy;
+        wheel.cancel(conn->fd);
+        auto item = std::make_unique<DispatchItem>();
+        item->conn = conn;
+        item->req = std::move(req);
+        {
+            std::lock_guard<std::mutex> lock(dispatchMtx);
+            dispatchQueue.push_back(std::move(item));
+        }
+        dispatchAvailable.notify_one();
+        return false;
+      }
+      case HttpParser::Status::Error: {
+        inform("[-] rejected request: %d %s",
+               conn->parser.errorStatus(),
+               conn->parser.errorReason().c_str());
+        conn->st = Conn::St::Busy;
+        wheel.cancel(conn->fd);
+        sendResponse(conn,
+                     errorResponse(conn->parser.errorStatus(),
+                                   conn->parser.errorReason()),
+                     /*keep_alive=*/false, "other");
+        return false;
+      }
+    }
+    return true; // unreachable
+}
+
+void
+Server::flushOut(const std::shared_ptr<Conn> &conn)
+{
+    std::unique_lock<std::mutex> lock(conn->mtx);
+    if (conn->dead)
+        return;
+    for (;;) {
+        if (conn->outOff == conn->out.size()) {
+            conn->out.clear();
+            conn->outOff = 0;
+            if (conn->outDone) {
+                lock.unlock();
+                completeResponse(conn);
+                return;
+            }
+            // Mid-stream lull: nothing pending, so no EPOLLOUT and no
+            // stalled-write deadline (the sweep bounds the stream).
+            if (conn->writeArmed) {
+                epoll_event ev{};
+                ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+                ev.data.fd = conn->fd;
+                ::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn->fd, &ev);
+                conn->writeArmed = false;
+            }
+            if (conn->writeDeadline) {
+                wheel.cancel(conn->fd);
+                conn->writeDeadline = false;
+            }
+            return;
+        }
+        const ssize_t n =
+            io::writeSome(conn->fd, conn->out.data() + conn->outOff,
+                          conn->out.size() - conn->outOff);
+        if (n > 0) {
+            conn->outOff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!conn->writeArmed) {
+                epoll_event ev{};
+                ev.events = EPOLLIN | EPOLLRDHUP | EPOLLOUT | EPOLLET;
+                ev.data.fd = conn->fd;
+                ::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn->fd, &ev);
+                conn->writeArmed = true;
+            }
+            // Any progress re-arms the stalled-write deadline.
+            wheel.schedule(conn->fd, nowMs(), opts.socketTimeoutMs);
+            conn->writeDeadline = true;
+            return;
+        }
+        // EPIPE/ECONNRESET: the client is gone. Cancel any stream
+        // still producing for this connection and drop it.
+        conn->cancel->store(true, std::memory_order_relaxed);
+        lock.unlock();
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+Server::completeResponse(const std::shared_ptr<Conn> &conn)
+{
+    // The producer is done with this response (outDone was set), so
+    // the shared fields are stable without the lock.
+    const std::chrono::duration<double> elapsed =
+        Clock::now() - conn->reqStart;
+    metricsRegistry.count("dieirb_http_requests_total",
+                          "path=\"" + conn->pathLabel + "\",code=\"" +
+                              std::to_string(conn->respStatus) + "\"");
     metricsRegistry.observe("dieirb_http_request_seconds",
                             elapsed.count(),
-                            "path=\"" + pathLabel + "\"");
-
-    if (!requestId.empty())
-        resp.set("X-Request-Id", requestId);
-    const std::string wire = resp.serialize();
-    std::size_t sent = 0;
-    while (sent < wire.size()) {
-        const ssize_t n = ::send(fd, wire.data() + sent,
-                                 wire.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0)
-            break; // peer went away; nothing useful left to do
-        sent += static_cast<std::size_t>(n);
+                            "path=\"" + conn->pathLabel + "\"");
+    ++conn->served;
+    if (conn->closeAfter || drainStarted) {
+        closeConn(conn);
+        return;
     }
-    ::close(fd);
+    conn->st = Conn::St::Idle;
+    conn->parser.reset();
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        conn->outDone = false;
+        conn->pathLabel = "other";
+        conn->respStatus = 0;
+    }
+    wheel.schedule(conn->fd, nowMs(), opts.idleTimeoutMs);
+    // Pipelined leftovers (or bytes that arrived while we were busy —
+    // edge-triggered epoll will not re-announce them) seed the next
+    // request immediately.
+    pumpRead(conn);
 }
+
+void
+Server::closeConn(const std::shared_ptr<Conn> &conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        if (conn->dead)
+            return;
+        conn->dead = true;
+    }
+    conn->cancel->store(true, std::memory_order_relaxed);
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    wheel.cancel(conn->fd);
+    conns.erase(conn->fd);
+    ::close(conn->fd);
+    conn->fd = -1;
+    metricsRegistry.gauge("dieirb_http_active_connections",
+                          static_cast<double>(conns.size()));
+}
+
+void
+Server::onDeadline(const std::shared_ptr<Conn> &conn)
+{
+    switch (conn->st) {
+      case Conn::St::Idle:
+        closeConn(conn); // keep-alive idle expiry: close silently
+        return;
+      case Conn::St::Reading:
+        // Slow client: the request never completed within the read
+        // deadline. 408 carries the real elapsed time into the
+        // latency histogram because reqStart began at the first byte.
+        conn->st = Conn::St::Busy;
+        sendResponse(conn, errorResponse(408, "incomplete request"),
+                     /*keep_alive=*/false, "other");
+        return;
+      case Conn::St::Busy:
+        // Only armed while output is pending: a stalled write.
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+Server::processWakeups()
+{
+    std::vector<std::shared_ptr<Conn>> ready;
+    {
+        std::lock_guard<std::mutex> lock(wakeMtx);
+        ready.swap(wakeQueue);
+    }
+    for (const auto &conn : ready)
+        flushOut(conn);
+}
+
+void
+Server::beginDrainInLoop()
+{
+    drainStarted = true;
+    if (listenFd >= 0) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    // Cancel every live stream's pending remainder and drop idle
+    // keep-alive connections; in-flight requests run to completion
+    // (their conns leave the map as their responses finish).
+    std::vector<std::shared_ptr<Conn>> idle;
+    for (const auto &[fd, conn] : conns) {
+        conn->cancel->store(true, std::memory_order_relaxed);
+        if (conn->st == Conn::St::Idle)
+            idle.push_back(conn);
+    }
+    for (const auto &conn : idle)
+        closeConn(conn);
+}
+
+// ---------------------------------------------------------------------
+// Producer side: dispatch pool and streaming jobs
+// ---------------------------------------------------------------------
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::unique_ptr<DispatchItem> item;
+        {
+            std::unique_lock<std::mutex> lock(dispatchMtx);
+            dispatchAvailable.wait(lock, [this] {
+                return !dispatchQueue.empty() || dispatchClosed;
+            });
+            if (dispatchQueue.empty()) {
+                if (dispatchClosed)
+                    return;
+                continue;
+            }
+            item = std::move(dispatchQueue.front());
+            dispatchQueue.pop_front();
+        }
+        processRequest(item->conn, item->req);
+    }
+}
+
+void
+Server::processRequest(const std::shared_ptr<Conn> &conn,
+                       const HttpRequest &req)
+{
+    const std::string label = labelForPath(req.path());
+    // served is stable here: the loop only advances it between
+    // requests, and this request is still in flight.
+    const bool keepAlive =
+        req.wantsKeepAlive() &&
+        (opts.keepAliveMaxRequests == 0 ||
+         conn->served + 1 < opts.keepAliveMaxRequests) &&
+        !stopping.load(std::memory_order_relaxed) &&
+        req.method != "HEAD"; // we answer HEAD with a body: must close
+
+    if (req.method == "POST" && req.path() == "/v1/sweep" &&
+        wantsStream(req)) {
+        const std::string *hdr = req.header("x-request-id");
+        const std::string rid = hdr && !hdr->empty()
+            ? *hdr
+            : "req-" + std::to_string(requestSeq.fetch_add(
+                  1, std::memory_order_relaxed));
+        handleSweepStream(conn, req, keepAlive, rid);
+        return;
+    }
+
+    std::string rid;
+    HttpResponse resp = route(req, rid);
+    if (!rid.empty())
+        resp.set("X-Request-Id", rid);
+    inform("[%s] %s %s -> %d", rid.c_str(), req.method.c_str(),
+           req.target.c_str(), resp.status);
+    sendResponse(conn, std::move(resp), keepAlive, label);
+}
+
+void
+Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
+                          const HttpRequest &req, bool keep_alive,
+                          const std::string &request_id)
+{
+    std::vector<PointSpec> specs;
+    bool useCache = true;
+    try {
+        const Json body = Json::parse(req.body);
+        fatal_if(!body.isObject(), "request: body must be a JSON object");
+        fatal_if(boolOr(body, "async", false),
+                 "request: stream and async are mutually exclusive");
+        specs = parseSweepSpecs(body);
+        useCache = boolOr(body, "cache", true);
+    } catch (const FatalError &e) {
+        HttpResponse r = errorResponse(400, e.what());
+        r.set("X-Request-Id", request_id);
+        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        return;
+    } catch (const std::exception &e) {
+        HttpResponse r = errorResponse(500, e.what());
+        r.set("X-Request-Id", request_id);
+        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        return;
+    }
+
+    // The whole stream is produced by the job worker: response head
+    // first, then one NDJSON line per point in deterministic enqueue
+    // order as the completed prefix grows, then the summary line and
+    // the terminal chunk. The connection's cancellation token makes a
+    // client disconnect (or a server drain) cancel the pending
+    // remainder exactly like SIGTERM does for buffered sweeps.
+    auto cancel = conn->cancel;
+    JobQueue::Work work = [this, conn, cancel, keep_alive, request_id,
+                           specs = std::move(specs),
+                           useCache]() -> Json {
+        metricsRegistry.count("dieirb_streams_total");
+        {
+            std::lock_guard<std::mutex> lock(conn->mtx);
+            if (!conn->dead) {
+                conn->pathLabel = "/v1/sweep";
+                conn->respStatus = 200;
+                conn->closeAfter = !keep_alive;
+                conn->out += streamHead(200, "application/x-ndjson",
+                                        keep_alive,
+                                        {{"X-Request-Id", request_id}});
+            }
+        }
+        wakeLoop(conn);
+
+        harness::Sweep sweep(opts.sweepJobs);
+        sweep.setSharedPool(&corePool);
+        for (const PointSpec &spec : specs) {
+            Config cfg = harness::baseConfig(spec.mode);
+            for (const auto &[key, value] : spec.overrides)
+                cfg.set(key, value);
+            if (useCache && !opts.cacheDir.empty())
+                cfg.set("sweep.cache", opts.cacheDir);
+            sweep.add(spec.name, spec.workload, std::move(cfg),
+                      spec.scale, spec.maxInsts);
+        }
+        if (stopping.load(std::memory_order_relaxed))
+            cancel->store(true, std::memory_order_relaxed);
+
+        std::uint64_t cached = 0;
+        std::uint64_t cancelled = 0;
+        std::vector<harness::SweepResult> results;
+        try {
+            results = sweep.run(
+                cancel.get(),
+                [&](const harness::SweepResult &r, std::size_t) {
+                    rollupPoint(r);
+                    cached += r.fromCache ? 1 : 0;
+                    cancelled +=
+                        r.status == harness::PointStatus::Cancelled ? 1
+                                                                    : 0;
+                    enqueueOutput(
+                        conn,
+                        encodeChunk(harness::resultJson(r).dump(0) +
+                                    "\n"),
+                        /*done=*/false);
+                });
+        } catch (...) {
+            // Close the chunk framing so the client sees a terminated
+            // (if truncated) stream, then let the job record the error.
+            enqueueOutput(conn, lastChunk(), /*done=*/true);
+            throw;
+        }
+
+        Json done = Json::object();
+        done.set("done", true);
+        done.set("total", static_cast<std::uint64_t>(results.size()));
+        done.set("cached", cached);
+        done.set("cancelled", cancelled);
+        enqueueOutput(conn, encodeChunk(done.dump(0) + "\n") + lastChunk(),
+                      /*done=*/true);
+        if (cancelled > 0)
+            metricsRegistry.count("dieirb_streams_cancelled_total");
+
+        Json summary = Json::object();
+        summary.set("streamed", true);
+        summary.set("total", static_cast<std::uint64_t>(results.size()));
+        summary.set("cached", cached);
+        summary.set("cancelled", cancelled);
+        return summary;
+    };
+
+    const JobQueue::Ticket ticket =
+        jobQueue->submit("sweep-stream", request_id, std::move(work));
+    if (!ticket.accepted) {
+        metricsRegistry.count("dieirb_jobs_rejected_total",
+                              ticket.closed ? "reason=\"draining\""
+                                            : "reason=\"queue_full\"");
+        HttpResponse r = ticket.closed
+            ? errorResponse(503, "server is draining")
+            : errorResponse(429,
+                            "job queue full (" +
+                                std::to_string(jobQueue->capacity()) +
+                                " outstanding); retry later");
+        if (!ticket.closed)
+            r.set("Retry-After", "1");
+        r.set("X-Request-Id", request_id);
+        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        return;
+    }
+    inform("[%s] POST /v1/sweep -> 200 (streaming, job %llu)",
+           request_id.c_str(),
+           static_cast<unsigned long long>(ticket.id));
+}
+
+void
+Server::sendResponse(const std::shared_ptr<Conn> &conn,
+                     HttpResponse resp, bool keep_alive,
+                     const std::string &path_label)
+{
+    const std::string wire = resp.serialize(keep_alive);
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        if (conn->dead)
+            return;
+        conn->pathLabel = path_label;
+        conn->respStatus = resp.status;
+        conn->closeAfter = !keep_alive;
+        conn->out += wire;
+        conn->outDone = true;
+    }
+    wakeLoop(conn);
+}
+
+void
+Server::enqueueOutput(const std::shared_ptr<Conn> &conn,
+                      const std::string &bytes, bool done)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        if (conn->dead)
+            return;
+        conn->out += bytes;
+        if (done)
+            conn->outDone = true;
+    }
+    wakeLoop(conn);
+}
+
+void
+Server::wakeLoop(const std::shared_ptr<Conn> &conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMtx);
+        wakeQueue.push_back(conn);
+    }
+    const std::uint64_t one = 1;
+    // A full eventfd counter already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t r =
+        ::write(wakeFd, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------------------
+// Request handlers (shared by the socket path and socket-free tests)
+// ---------------------------------------------------------------------
 
 HttpResponse
 Server::route(const HttpRequest &req, std::string &request_id)
@@ -468,60 +1154,10 @@ Server::handleSweep(const HttpRequest &req, const std::string &request_id)
 {
     const Json body = Json::parse(req.body);
     fatal_if(!body.isObject(), "request: body must be a JSON object");
-
-    // Point list: either an explicit "points" array, or the cross
-    // product of "workloads" x "modes" (the classic figure matrix).
-    std::vector<PointSpec> specs;
-    if (const Json *points = body.find("points")) {
-        fatal_if(!points->isArray(),
-                 "request: 'points' must be an array");
-        PointSpec base;
-        base.workload.clear(); // each point must name its workload
-        for (std::size_t i = 0; i < points->size(); ++i) {
-            fatal_if(!points->at(i).isObject(),
-                     "request: points[%zu] must be an object", i);
-            PointSpec spec = parsePoint(points->at(i), base);
-            spec.name = stringOr(points->at(i), "name", spec.name);
-            specs.push_back(std::move(spec));
-        }
-    } else {
-        const Json *wl = body.find("workloads");
-        fatal_if(!wl || !wl->isArray(),
-                 "request: need 'points' or a 'workloads' array");
-        std::vector<std::string> modes;
-        if (const Json *ms = body.find("modes")) {
-            fatal_if(!ms->isArray(),
-                     "request: 'modes' must be an array");
-            for (std::size_t i = 0; i < ms->size(); ++i) {
-                fatal_if(!ms->at(i).isString(),
-                         "request: modes[%zu] must be a string", i);
-                modes.push_back(ms->at(i).asString());
-            }
-        } else {
-            modes.push_back(stringOr(body, "mode", "sie"));
-        }
-        for (std::size_t i = 0; i < wl->size(); ++i) {
-            fatal_if(!wl->at(i).isString(),
-                     "request: workloads[%zu] must be a string", i);
-            for (const std::string &mode : modes) {
-                // Route shared scale/max_insts/config through the same
-                // per-point parser so they get the same validation.
-                Json point = Json::object();
-                point.set("workload", wl->at(i).asString());
-                point.set("mode", mode);
-                if (const Json *s = body.find("scale"))
-                    point.set("scale", *s);
-                if (const Json *mi = body.find("max_insts"))
-                    point.set("max_insts", *mi);
-                if (const Json *cfg = body.find("config"))
-                    point.set("config", *cfg);
-                specs.push_back(parsePoint(point, PointSpec{}));
-            }
-        }
-    }
-    fatal_if(specs.empty(), "request: no sweep points");
-    fatal_if(specs.size() > 4096,
-             "request: too many sweep points (%zu > 4096)", specs.size());
+    // Note: `"stream": true` is honoured on the socket path before
+    // route() is ever called; here (socket-free tests, or any future
+    // non-stream transport) it falls back to this buffered response.
+    std::vector<PointSpec> specs = parseSweepSpecs(body);
 
     const bool async = boolOr(body, "async", false);
     const bool useCache = boolOr(body, "cache", true);
@@ -682,34 +1318,50 @@ Server::shutdown()
     }
 
     // 1. New jobs are rejected (503) — but status/metrics/job-polling
-    //    requests already queued still get answered below.
+    //    requests already parsed still get answered below.
     jobQueue->close();
 
-    // 2. Stop accepting connections. shutdown() on the listening
-    //    socket pops the blocked accept() on Linux.
-    if (listenFd >= 0)
-        ::shutdown(listenFd, SHUT_RDWR);
-    if (acceptor.joinable())
-        acceptor.join();
-    if (listenFd >= 0) {
-        ::close(listenFd);
-        listenFd = -1;
+    // 2. Let the event loop drain: it stops accepting, cancels live
+    //    streams' pending remainders, closes idle connections, writes
+    //    out every in-flight response and exits once no connection is
+    //    left. The eventfd nudge makes it notice `stopping` now.
+    if (started) {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t r =
+            ::write(wakeFd, &one, sizeof(one));
+        if (loopThread.joinable())
+            loopThread.join();
     }
 
-    // 3. Serve every connection already accepted, then stop handlers.
+    // 3. Stop the dispatch pool: queued requests were all answered by
+    //    the loop drain (a closed job queue means 503s, not hangs).
     {
-        std::lock_guard<std::mutex> lock(connMtx);
-        connClosed = true;
+        std::lock_guard<std::mutex> lock(dispatchMtx);
+        dispatchClosed = true;
     }
-    connAvailable.notify_all();
-    for (std::thread &t : handlers) {
+    dispatchAvailable.notify_all();
+    for (std::thread &t : dispatchers) {
         if (t.joinable())
             t.join();
     }
 
     // 4. Drain the job queue: accepted jobs finish (in-flight sweeps
-    //    cancel their pending remainder via `stopping`), workers join.
+    //    cancel their pending remainder via `stopping` or their
+    //    connection token), workers join.
     jobQueue->drain();
+
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
+    }
+    if (wakeFd >= 0) {
+        ::close(wakeFd);
+        wakeFd = -1;
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
     stopped = true;
 }
 

@@ -2,30 +2,45 @@
  * @file
  * dieirb-serve's HTTP server: a long-running batching front-end over
  * the existing simulation engine (harness::run / harness::Sweep /
- * harness::CorePool), built on blocking POSIX sockets with no
+ * harness::CorePool), built on a non-blocking epoll event loop with no
  * third-party dependencies.
  *
  * Endpoints:
  *   POST /v1/simulate   one (workload, Config) point
- *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep
+ *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep;
+ *                       `"stream": true` streams per-point NDJSON
+ *                       results over a chunked response as they finish
  *   GET  /v1/jobs/<id>  async job status / result
  *   GET  /healthz       liveness + queue occupancy
  *   GET  /metrics       Prometheus text format
  *
- * Threading model: one acceptor thread hands sockets to a fixed pool of
- * HTTP handler threads (one request per connection, Connection: close);
- * simulation work never runs on a handler — handlers submit jobs to a
- * bounded JobQueue whose workers draw warm cores from one shared
- * harness::CorePool. Synchronous requests are just handlers waiting on
- * their job with a deadline; "async": true returns 202 + a job id
- * immediately. A full queue answers 429 with Retry-After.
+ * Threading model: ONE event-loop thread owns the listening socket
+ * (edge-triggered accept), every connection's state machine
+ * (read -> parse -> dispatch -> write), all epoll registration and a
+ * timer wheel for idle/read/stalled-write deadlines. Connections are
+ * HTTP/1.1 keep-alive: one connection serves many requests, pipelined
+ * leftovers seed the next parse. Parsed requests are handed to a small
+ * dispatch pool (the only threads that may block, e.g. on a sync job
+ * wait); simulation itself runs on the JobQueue's worker pool, drawing
+ * warm cores from one shared harness::CorePool. Responses travel back
+ * to the event loop through a per-connection output buffer plus an
+ * eventfd wakeup. A full queue answers 429 with Retry-After.
+ *
+ * Streaming: a sweep with `"stream": true` answers immediately with
+ * `Transfer-Encoding: chunked` + application/x-ndjson and then emits
+ * one JSON line per point, in deterministic enqueue order, as the
+ * completed prefix grows (Sweep::run's ordered PointCallback), ending
+ * with a `{"done": true, ...}` summary line. A client disconnect flips
+ * the connection's cancellation token, which the sweep polls between
+ * points — exactly the mechanism SIGTERM drain uses — so the pending
+ * remainder is cancelled instead of simulated into the void.
  *
  * Shutdown contract: shutdown() (idempotent, thread-safe) stops
  * accepting connections, rejects new jobs with 503, cancels the pending
- * remainder of in-flight sweeps via the cancellation token passed to
- * Sweep::run(), finishes every job already accepted, then joins all
- * threads. dieirb-serve wires SIGTERM/SIGINT to exactly this, so a
- * drained server exits 0.
+ * remainder of in-flight sweeps (drain token + every live streaming
+ * connection's token), finishes every request already in flight and
+ * every job already accepted, then joins all threads. dieirb-serve
+ * wires SIGTERM/SIGINT to exactly this, so a drained server exits 0.
  */
 
 #ifndef DIREB_SERVICE_SERVER_HH
@@ -39,6 +54,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "harness/core_pool.hh"
@@ -46,6 +62,7 @@
 #include "service/http.hh"
 #include "service/job_queue.hh"
 #include "service/metrics.hh"
+#include "service/timer_wheel.hh"
 
 namespace direb
 {
@@ -58,11 +75,13 @@ struct ServerOptions
     std::string host = "127.0.0.1";
     unsigned short port = 8100;  //!< 0 = kernel-assigned (tests)
     unsigned workers = 0;        //!< sim workers; 0 = hw concurrency
-    unsigned httpThreads = 16;   //!< connection handler threads
+    unsigned httpThreads = 16;   //!< request dispatch threads
     std::size_t queueDepth = 64; //!< max outstanding jobs (429 beyond)
     std::size_t maxBodyBytes = 8 * 1024 * 1024;
-    unsigned socketTimeoutMs = 10'000;   //!< per-request socket deadline
-    unsigned defaultDeadlineMs = 60'000; //!< sync wait before 202
+    unsigned socketTimeoutMs = 10'000; //!< read-a-request / stalled-write
+    unsigned idleTimeoutMs = 30'000;   //!< keep-alive wait between requests
+    unsigned keepAliveMaxRequests = 1000; //!< then Connection: close
+    unsigned defaultDeadlineMs = 60'000;  //!< sync wait before 202
     unsigned sweepJobs = 1;     //!< threads inside one sweep job
     std::string cacheDir;       //!< sweep.cache directory ("" = off)
 };
@@ -84,8 +103,9 @@ class Server
 
     /**
      * Graceful drain: stop accepting, reject new jobs (503), cancel
-     * pending sweep points, finish accepted jobs, join every thread.
-     * Safe to call from any thread, any number of times.
+     * pending sweep points (including live streams), finish in-flight
+     * requests and accepted jobs, join every thread. Safe to call from
+     * any thread, any number of times.
      */
     void shutdown();
 
@@ -106,14 +126,45 @@ class Server
     /**
      * Route one parsed request to its handler (also used by tests to
      * exercise handlers without a socket). @p request_id receives the
-     * propagated/generated id that handleConnection() echoes back.
+     * propagated/generated id echoed back on the wire. Streaming is a
+     * socket-path feature: route() serves `"stream": true` sweeps as a
+     * plain buffered response.
      */
     HttpResponse route(const HttpRequest &req, std::string &request_id);
 
   private:
-    void acceptLoop();
-    void handlerLoop();
-    void handleConnection(int fd);
+    struct Conn;
+    struct DispatchItem;
+
+    /** Event-loop side (all private state below `// loop-owned`). @{ */
+    void eventLoop();
+    void acceptReady();
+    void onConnEvent(const std::shared_ptr<Conn> &conn,
+                     std::uint32_t events);
+    void pumpRead(const std::shared_ptr<Conn> &conn);
+    bool feedParser(const std::shared_ptr<Conn> &conn);
+    void flushOut(const std::shared_ptr<Conn> &conn);
+    void completeResponse(const std::shared_ptr<Conn> &conn);
+    void closeConn(const std::shared_ptr<Conn> &conn);
+    void onDeadline(const std::shared_ptr<Conn> &conn);
+    void processWakeups();
+    void beginDrainInLoop();
+    /** @} */
+
+    /** Producer side (dispatch pool / job workers). @{ */
+    void dispatchLoop();
+    void processRequest(const std::shared_ptr<Conn> &conn,
+                        const HttpRequest &req);
+    void handleSweepStream(const std::shared_ptr<Conn> &conn,
+                           const HttpRequest &req, bool keep_alive,
+                           const std::string &request_id);
+    void sendResponse(const std::shared_ptr<Conn> &conn,
+                      HttpResponse resp, bool keep_alive,
+                      const std::string &path_label);
+    void enqueueOutput(const std::shared_ptr<Conn> &conn,
+                       const std::string &bytes, bool done);
+    void wakeLoop(const std::shared_ptr<Conn> &conn);
+    /** @} */
 
     HttpResponse handleSimulate(const HttpRequest &req,
                                 const std::string &request_id);
@@ -139,19 +190,32 @@ class Server
     std::unique_ptr<JobQueue> jobQueue;
 
     int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1; //!< eventfd: producers nudge the event loop
     unsigned short boundPort = 0;
     bool started = false;
     bool stopped = false;
-    std::atomic<bool> stopping{false}; //!< sweep cancellation token
+    std::atomic<bool> stopping{false}; //!< drain/cancellation token
     std::atomic<std::uint64_t> requestSeq{1};
 
-    std::thread acceptor;
-    std::vector<std::thread> handlers;
+    std::thread loopThread;
+    std::vector<std::thread> dispatchers;
 
-    std::mutex connMtx;
-    std::condition_variable connAvailable;
-    std::deque<int> connQueue;
-    bool connClosed = false;
+    // loop-owned (no locks: only eventLoop() and its helpers touch
+    // these, always on the loop thread)
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    TimerWheel wheel;
+    bool drainStarted = false;
+
+    // producer -> loop handoff
+    std::mutex wakeMtx;
+    std::vector<std::shared_ptr<Conn>> wakeQueue;
+
+    // loop -> dispatch pool handoff
+    std::mutex dispatchMtx;
+    std::condition_variable dispatchAvailable;
+    std::deque<std::unique_ptr<DispatchItem>> dispatchQueue;
+    bool dispatchClosed = false;
 };
 
 } // namespace service

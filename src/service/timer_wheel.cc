@@ -1,0 +1,77 @@
+#include "service/timer_wheel.hh"
+
+#include <algorithm>
+
+namespace direb
+{
+
+namespace service
+{
+
+TimerWheel::TimerWheel(std::uint64_t tick_ms, std::size_t slot_count)
+    : tickMs(tick_ms > 0 ? tick_ms : 1),
+      slots(slot_count > 0 ? slot_count : 1)
+{}
+
+void
+TimerWheel::schedule(int key, std::uint64_t now_ms,
+                     std::uint64_t delay_ms)
+{
+    const std::uint64_t deadline = now_ms + delay_ms;
+    const std::uint64_t gen = genSeq++;
+    deadlines[key] = {gen, deadline};
+    // Entries already queued for this key carry an older generation and
+    // are dropped lazily when their slot comes around.
+    slots[(deadline / tickMs) % slots.size()].push_back(
+        {key, gen, deadline});
+}
+
+void
+TimerWheel::cancel(int key)
+{
+    deadlines.erase(key); // queued entries die lazily
+}
+
+std::vector<int>
+TimerWheel::expire(std::uint64_t now_ms)
+{
+    std::vector<int> due;
+    const std::uint64_t nowTick = now_ms / tickMs;
+    if (cursor == 0) {
+        // First call: sweep one whole revolution so deadlines armed
+        // before any expire() ran cannot hide behind the cursor.
+        cursor = nowTick >= slots.size() ? nowTick - slots.size() + 1 : 0;
+    }
+    // Sweep at most one full revolution; nothing can be due twice.
+    const std::uint64_t last =
+        std::min(nowTick, cursor + slots.size() - 1);
+    for (std::uint64_t t = cursor; t <= last; ++t) {
+        std::vector<Entry> &slot = slots[t % slots.size()];
+        std::vector<Entry> keep;
+        for (const Entry &e : slot) {
+            const auto it = deadlines.find(e.key);
+            if (it == deadlines.end() || it->second.gen != e.gen)
+                continue; // cancelled or superseded
+            if (e.deadline <= now_ms) {
+                deadlines.erase(it);
+                due.push_back(e.key);
+            } else {
+                // Parked from a future revolution; not due yet.
+                keep.push_back(e);
+            }
+        }
+        slot.swap(keep);
+    }
+    cursor = nowTick;
+    return due;
+}
+
+int
+TimerWheel::pollTimeoutMs(int idle_ms) const
+{
+    return deadlines.empty() ? idle_ms : static_cast<int>(tickMs);
+}
+
+} // namespace service
+
+} // namespace direb

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A hashed timer wheel for the event loop's connection deadlines
+ * (keep-alive idle, header/body read, stalled write). One active
+ * deadline per key: scheduling a key again supersedes its previous
+ * deadline (lazy cancellation via a per-key generation counter, so
+ * rescheduling is O(1) and nothing is ever searched or removed from a
+ * slot eagerly). Deadlines further out than one wheel revolution are
+ * parked in their slot and re-examined each time the cursor passes —
+ * fine for connection timeouts, which are seconds, not hours.
+ *
+ * Single-threaded by design: only the event loop touches it.
+ */
+
+#ifndef DIREB_SERVICE_TIMER_WHEEL_HH
+#define DIREB_SERVICE_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace direb
+{
+
+namespace service
+{
+
+class TimerWheel
+{
+  public:
+    /**
+     * @param tick_ms wheel granularity — deadlines fire within one
+     *                tick after they are due.
+     * @param slots   wheel size; one revolution spans tick_ms * slots.
+     */
+    explicit TimerWheel(std::uint64_t tick_ms = 100,
+                        std::size_t slots = 512);
+
+    /** Arm (or re-arm) @p key to fire @p delay_ms after @p now_ms. */
+    void schedule(int key, std::uint64_t now_ms, std::uint64_t delay_ms);
+
+    /** Disarm @p key; expired/unknown keys are a no-op. */
+    void cancel(int key);
+
+    /** True while @p key has an armed deadline. */
+    bool armed(int key) const { return deadlines.count(key) != 0; }
+
+    /**
+     * Advance the cursor to @p now_ms and return every key whose
+     * deadline has passed, each at most once.
+     */
+    std::vector<int> expire(std::uint64_t now_ms);
+
+    /**
+     * Suggested epoll timeout: the tick size while anything is armed,
+     * @p idle_ms otherwise.
+     */
+    int pollTimeoutMs(int idle_ms) const;
+
+    std::size_t pendingCount() const { return deadlines.size(); }
+
+  private:
+    struct Entry
+    {
+        int key;
+        std::uint64_t gen;
+        std::uint64_t deadline; //!< absolute ms
+    };
+
+    struct Armed
+    {
+        std::uint64_t gen;
+        std::uint64_t deadline;
+    };
+
+    const std::uint64_t tickMs;
+    std::vector<std::vector<Entry>> slots;
+    std::unordered_map<int, Armed> deadlines; //!< live deadline per key
+    std::uint64_t cursor = 0; //!< last tick processed by expire()
+    std::uint64_t genSeq = 1;
+};
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_TIMER_WHEEL_HH

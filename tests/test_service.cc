@@ -1,22 +1,30 @@
 /**
  * @file
  * Tests for the simulation service: the incremental HTTP parser against
- * hostile and fragmented input, the bounded JobQueue (backpressure,
- * failure capture, drain), the Prometheus metrics registry, the
- * Server's request routing exercised without sockets, and end-to-end
- * socket tests (concurrent load, sweep-cache hits over HTTP, graceful
- * drain cancelling the pending remainder of an in-flight sweep).
+ * hostile and fragmented input (including pipelined back-to-back
+ * requests at every split boundary), the signal-safe io helpers, the
+ * timer wheel, the bounded JobQueue (backpressure, failure capture,
+ * drain), the Prometheus metrics registry, the Server's request routing
+ * exercised without sockets, and end-to-end socket tests against the
+ * epoll event loop (keep-alive, pipelining, streamed sweeps with
+ * disconnect cancellation, slow-client 408s, concurrent load,
+ * sweep-cache hits over HTTP, graceful drain).
  */
 
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <future>
@@ -27,33 +35,37 @@
 #include "common/logging.hh"
 #include "harness/report.hh"
 #include "service/http.hh"
+#include "service/io.hh"
 #include "service/job_queue.hh"
 #include "service/metrics.hh"
 #include "service/server.hh"
+#include "service/timer_wheel.hh"
 
 using namespace direb;
 using service::HttpParser;
 using service::HttpRequest;
 using service::HttpResponse;
+using service::TimerWheel;
+namespace io = service::io;
 
 namespace
 {
 
-/** Feed a request in one gulp. */
+/** Feed a request in one gulp; returns the resulting parser status. */
 HttpParser::Status
 feedAll(HttpParser &p, const std::string &wire)
 {
-    return p.feed(wire.data(), wire.size());
+    p.feed(wire.data(), wire.size());
+    return p.status();
 }
 
 /** Feed a request one byte at a time (the split-read torture case). */
 HttpParser::Status
 feedBytewise(HttpParser &p, const std::string &wire)
 {
-    auto st = HttpParser::Status::NeedMore;
     for (char c : wire)
-        st = p.feed(&c, 1);
-    return st;
+        p.feed(&c, 1);
+    return p.status();
 }
 
 /** Build an HttpRequest directly (for socket-free route() tests). */
@@ -116,17 +128,151 @@ httpExchange(unsigned short port, const std::string &wire)
     return resp;
 }
 
+/** Keep-alive request wires (the HTTP/1.1 default). @{ */
 std::string
-postWire(const std::string &target, const std::string &body)
+postWireKA(const std::string &target, const std::string &body)
 {
     return "POST " + target + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
            std::to_string(body.size()) + "\r\n\r\n" + body;
 }
 
 std::string
-getWire(const std::string &target)
+getWireKA(const std::string &target)
 {
     return "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+/** @} */
+
+/** One-shot wires for httpExchange (which reads to EOF). @{ */
+std::string
+postWire(const std::string &target, const std::string &body)
+{
+    return "POST " + target +
+           " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+           "Content-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+std::string
+getWire(const std::string &target)
+{
+    return "GET " + target +
+           " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+}
+/** @} */
+
+/** Blocking connect to 127.0.0.1:port; -1 on failure. */
+int
+connectTo(unsigned short port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** One framed response off a keep-alive connection. */
+struct WireResponse
+{
+    int status = 0;
+    std::string headers; //!< raw header block (incl. status line)
+    std::string body;    //!< decoded (de-chunked) body
+    bool chunked = false;
+    bool close = false; //!< server announced Connection: close
+};
+
+/**
+ * Read exactly one response using its framing (Content-Length or
+ * chunked), leaving any pipelined surplus in @p carry for the next
+ * call — the framing-aware client the keep-alive tests need (reading
+ * to EOF would hang forever on a kept-alive connection).
+ */
+bool
+readWireResponse(int fd, std::string &carry, WireResponse &out)
+{
+    const auto fill = [fd](std::string &buf) {
+        char tmp[16384];
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n <= 0)
+            return false;
+        buf.append(tmp, static_cast<std::size_t>(n));
+        return true;
+    };
+
+    std::size_t hdrEnd;
+    while ((hdrEnd = carry.find("\r\n\r\n")) == std::string::npos) {
+        if (!fill(carry))
+            return false;
+    }
+    out.headers = carry.substr(0, hdrEnd + 4);
+    carry.erase(0, hdrEnd + 4);
+    const std::size_t sp = out.headers.find(' ');
+    if (sp == std::string::npos)
+        return false;
+    out.status = std::atoi(out.headers.c_str() + sp + 1);
+
+    std::string lower = out.headers;
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    out.chunked =
+        lower.find("transfer-encoding: chunked") != std::string::npos;
+    out.close = lower.find("connection: close") != std::string::npos;
+
+    if (out.chunked) {
+        for (;;) {
+            std::size_t lineEnd;
+            while ((lineEnd = carry.find("\r\n")) ==
+                   std::string::npos) {
+                if (!fill(carry))
+                    return false;
+            }
+            const std::size_t len =
+                std::strtoul(carry.c_str(), nullptr, 16);
+            carry.erase(0, lineEnd + 2);
+            while (carry.size() < len + 2) {
+                if (!fill(carry))
+                    return false;
+            }
+            if (len == 0) {
+                carry.erase(0, 2);
+                return true;
+            }
+            out.body.append(carry, 0, len);
+            carry.erase(0, len + 2);
+        }
+    }
+
+    std::size_t contentLength = 0;
+    const std::size_t cl = lower.find("content-length:");
+    if (cl != std::string::npos)
+        contentLength = std::strtoul(lower.c_str() + cl + 15, nullptr, 10);
+    while (carry.size() < contentLength) {
+        if (!fill(carry))
+            return false;
+    }
+    out.body = carry.substr(0, contentLength);
+    carry.erase(0, contentLength);
+    return true;
+}
+
+/** The value of one exact series line in Prometheus text output. */
+double
+metricValue(const std::string &text, const std::string &series)
+{
+    const std::size_t pos = text.find("\n" + series + " ");
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::atof(text.c_str() + pos + 1 + series.size() + 1);
 }
 
 /** Server options sized for tests on a small machine. */
@@ -275,6 +421,129 @@ TEST(HttpParser, ErrorIsSticky)
     EXPECT_EQ(p.errorStatus(), status);
 }
 
+TEST(HttpParser, FeedReportsConsumedBytesAndLeavesTheTail)
+{
+    // The PR-5 parser discarded everything handed to feed() once the
+    // request completed — pipelined bytes evaporated. Now feed()
+    // reports how much it consumed and the tail stays with the caller.
+    const std::string one =
+        "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+    const std::string two = "GET /b HTTP/1.1\r\n\r\n";
+    const std::string wire = one + two;
+
+    HttpParser p;
+    const std::size_t consumed = p.feed(wire.data(), wire.size());
+    ASSERT_EQ(p.status(), HttpParser::Status::Done);
+    EXPECT_EQ(consumed, one.size());
+    EXPECT_EQ(p.request().target, "/a");
+    EXPECT_EQ(p.request().body, "abc");
+
+    // reset() + the unconsumed tail parse the second request whole.
+    p.reset();
+    EXPECT_EQ(p.feed(wire.data() + consumed, wire.size() - consumed),
+              two.size());
+    ASSERT_EQ(p.status(), HttpParser::Status::Done);
+    EXPECT_EQ(p.request().target, "/b");
+    EXPECT_EQ(p.request().body, "");
+}
+
+TEST(HttpParser, BackToBackRequestsAtEverySplitBoundary)
+{
+    const std::string one =
+        "POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+    const std::string two =
+        "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+    const std::string wire = one + two;
+
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+        HttpParser p;
+        std::string pending;
+        std::vector<HttpRequest> got;
+        const auto deliver = [&](const char *data, std::size_t n) {
+            pending.append(data, n);
+            while (!pending.empty()) {
+                pending.erase(0, p.feed(pending.data(), pending.size()));
+                if (p.status() != HttpParser::Status::Done)
+                    break;
+                got.push_back(p.takeRequest());
+                p.reset();
+            }
+        };
+        deliver(wire.data(), split);
+        deliver(wire.data() + split, wire.size() - split);
+
+        ASSERT_EQ(got.size(), 2u) << "split at " << split;
+        EXPECT_EQ(got[0].target, "/a");
+        EXPECT_EQ(got[0].body, "hello");
+        EXPECT_EQ(got[1].target, "/b");
+        EXPECT_EQ(got[1].body, "hi");
+    }
+}
+
+TEST(HttpParser, ResetAfterErrorAllowsReuse)
+{
+    HttpParser p;
+    ASSERT_EQ(feedAll(p, "bogus\r\n\r\n"), HttpParser::Status::Error);
+    p.reset();
+    ASSERT_EQ(feedAll(p, getWireKA("/healthz")),
+              HttpParser::Status::Done);
+    EXPECT_EQ(p.request().path(), "/healthz");
+}
+
+TEST(HttpRequest, KeepAliveSemantics)
+{
+    HttpRequest r;
+    r.version = "HTTP/1.1";
+    EXPECT_TRUE(r.wantsKeepAlive()); // 1.1 default: persistent
+
+    r.headers.emplace_back("connection", "close");
+    EXPECT_FALSE(r.wantsKeepAlive());
+
+    HttpRequest mixedCase;
+    mixedCase.version = "HTTP/1.1";
+    mixedCase.headers.emplace_back("connection", "Close");
+    EXPECT_FALSE(mixedCase.wantsKeepAlive());
+
+    HttpRequest ka;
+    ka.version = "HTTP/1.1";
+    ka.headers.emplace_back("connection", "keep-alive");
+    EXPECT_TRUE(ka.wantsKeepAlive());
+
+    HttpRequest old;
+    old.version = "HTTP/1.0";
+    EXPECT_FALSE(old.wantsKeepAlive()); // 1.0 always gets close
+}
+
+TEST(HttpChunks, EncodeTerminalAndStreamHead)
+{
+    EXPECT_EQ(service::encodeChunk("hello\n"), "6\r\nhello\n\r\n");
+    EXPECT_EQ(service::encodeChunk(std::string(16, 'x')).substr(0, 4),
+              "10\r\n"); // hex size
+    EXPECT_EQ(service::encodeChunk(""), ""); // zero size = terminal
+    EXPECT_EQ(service::lastChunk(), "0\r\n\r\n");
+
+    const std::string head = service::streamHead(
+        200, "application/x-ndjson", true, {{"X-Request-Id", "r1"}});
+    EXPECT_NE(head.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"),
+              std::string::npos);
+    EXPECT_NE(head.find("Content-Type: application/x-ndjson\r\n"),
+              std::string::npos);
+    EXPECT_NE(head.find("X-Request-Id: r1\r\n"), std::string::npos);
+    EXPECT_NE(head.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+    EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+}
+
+TEST(HttpResponse, SerializeKeepAliveConnectionHeader)
+{
+    const std::string wire = HttpResponse(200, "x").serialize(true);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.find("Connection: close"), std::string::npos);
+}
+
 TEST(HttpResponse, SerializeFramesBodyAndDefaults)
 {
     HttpResponse r(429, "{}\n");
@@ -288,6 +557,145 @@ TEST(HttpResponse, SerializeFramesBodyAndDefaults)
     EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
               std::string::npos);
     EXPECT_EQ(wire.substr(wire.size() - 7), "\r\n\r\n{}\n");
+}
+
+// ---------------------------------------------------------------------
+// Signal-safe io helpers
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<int> sigusr1Seen{0};
+
+void
+countSigusr1(int)
+{
+    sigusr1Seen.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+TEST(Io, FullTransferSurvivesSignalInterruptions)
+{
+    // Regression for the PR-5 bug: recv()/send() returning -1/EINTR was
+    // treated as "peer gone" and the rest of the transfer was silently
+    // dropped. A non-SA_RESTART handler makes every signal landing in a
+    // blocked recv() surface as EINTR, which readFull/writeFull must
+    // absorb without losing a byte.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const int small = 4096; // force short writes + writer blocking
+    ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+    ::setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+    struct sigaction sa = {};
+    sa.sa_handler = countSigusr1;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately NOT SA_RESTART
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+    sigusr1Seen.store(0);
+
+    const std::size_t total = 4 * 1024 * 1024;
+    std::string payload(total, '\0');
+    for (std::size_t i = 0; i < total; ++i)
+        payload[i] = static_cast<char>('a' + i % 23);
+
+    // The writer interrupts the reader (this thread) right when it is
+    // most likely blocked in recv() — after a pause that let it drain
+    // everything sent so far.
+    const pthread_t reader = pthread_self();
+    bool writeOk = false;
+    std::thread writer([&] {
+        const std::size_t chunk = 256 * 1024;
+        for (std::size_t off = 0; off < total; off += chunk) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            pthread_kill(reader, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            if (!io::writeFull(sv[0], payload.data() + off,
+                               std::min(chunk, total - off))) {
+                return;
+            }
+        }
+        writeOk = true;
+        ::shutdown(sv[0], SHUT_WR);
+    });
+
+    std::string got(total, '\0');
+    const std::size_t n = io::readFull(sv[1], got.data(), got.size());
+    writer.join();
+
+    EXPECT_TRUE(writeOk);
+    EXPECT_EQ(n, total);
+    EXPECT_EQ(got, payload);
+    EXPECT_GT(sigusr1Seen.load(), 0);
+
+    ::sigaction(SIGUSR1, &old, nullptr);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// ---------------------------------------------------------------------
+// TimerWheel
+// ---------------------------------------------------------------------
+
+TEST(TimerWheel, FiresAtDeadlineNotBeforeAndOnlyOnce)
+{
+    TimerWheel w(10, 8);
+    w.schedule(1, 0, 30);
+    EXPECT_TRUE(w.expire(29).empty());
+    const std::vector<int> due = w.expire(30);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 1);
+    EXPECT_TRUE(w.expire(1000).empty()); // one-shot
+}
+
+TEST(TimerWheel, CancelSuppressesAndRescheduleSupersedes)
+{
+    TimerWheel w(10, 8);
+    w.schedule(1, 0, 30);
+    w.cancel(1);
+    EXPECT_TRUE(w.expire(100).empty());
+
+    // Re-arming pushes the deadline out; the stale entry must not fire.
+    w.schedule(2, 100, 50);
+    w.schedule(2, 120, 500);
+    EXPECT_TRUE(w.expire(200).empty());
+    const std::vector<int> due = w.expire(620);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 2);
+}
+
+TEST(TimerWheel, DeadlineBeyondOneRevolutionParksAndStillFires)
+{
+    TimerWheel w(10, 4); // 40ms revolution, 1000ms deadline
+    w.schedule(7, 0, 1000);
+    EXPECT_TRUE(w.expire(990).empty());
+    const std::vector<int> due = w.expire(1000);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 7);
+}
+
+TEST(TimerWheel, ManyKeysExpireTogether)
+{
+    TimerWheel w(10, 16);
+    for (int key = 0; key < 64; ++key)
+        w.schedule(key, 0, 100 + (key % 3) * 10); // 100/110/120ms
+    EXPECT_TRUE(w.expire(99).empty());
+    std::vector<int> due = w.expire(200);
+    EXPECT_EQ(due.size(), 64u);
+    EXPECT_TRUE(w.expire(500).empty());
+}
+
+TEST(TimerWheel, PollTimeoutTracksArmedState)
+{
+    TimerWheel w(10, 4);
+    EXPECT_EQ(w.pollTimeoutMs(500), 500); // nothing armed: sleep long
+    w.schedule(1, 0, 100);
+    EXPECT_EQ(w.pollTimeoutMs(500), 10); // armed: wake every tick
+    w.cancel(1);
+    EXPECT_EQ(w.pollTimeoutMs(500), 500);
 }
 
 // ---------------------------------------------------------------------
@@ -819,5 +1227,253 @@ TEST(ServerSocket, SixtyFourConcurrentSimulatesAllSucceed)
               static_cast<std::uint64_t>(clients));
     EXPECT_EQ(server.jobs().rejectedCount(), 0u);
 
+    server.shutdown();
+}
+
+TEST(ServerSocket, KeepAliveServesManyRequestsOnOneConnection)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    server.start();
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    std::string carry;
+    const std::string simBody =
+        "{\"workload\": \"route\", \"max_insts\": 20000}";
+    for (int i = 0; i < 8; ++i) {
+        const std::string wire = (i % 2 == 0)
+            ? getWireKA("/healthz")
+            : postWireKA("/v1/simulate", simBody);
+        ASSERT_TRUE(io::writeFull(fd, wire.data(), wire.size())) << i;
+        WireResponse resp;
+        ASSERT_TRUE(readWireResponse(fd, carry, resp)) << i;
+        EXPECT_EQ(resp.status, 200) << i;
+        EXPECT_FALSE(resp.close) << i;
+        harness::Json::parse(resp.body); // intact framing, valid JSON
+    }
+    ::close(fd);
+
+    auto [ms, mb] =
+        splitResponse(httpExchange(server.port(), getWire("/metrics")));
+    ASSERT_EQ(ms, 200);
+    // 8 requests, one connection (+1 for the /metrics scrape itself).
+    EXPECT_EQ(metricValue(mb, "dieirb_http_connections_total"), 2.0);
+    EXPECT_EQ(metricValue(mb, "dieirb_http_requests_total{"
+                              "path=\"/healthz\",code=\"200\"}"),
+              4.0);
+    EXPECT_EQ(metricValue(mb, "dieirb_http_requests_total{"
+                              "path=\"/v1/simulate\",code=\"200\"}"),
+              4.0);
+    // The read phase is observable separately from handling.
+    EXPECT_NE(mb.find("dieirb_http_read_seconds_bucket"),
+              std::string::npos);
+
+    server.shutdown();
+}
+
+TEST(ServerSocket, PipelinedRequestsAnswerInOrder)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    server.start();
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    // Both requests in one write: the second must survive in the
+    // parser's unconsumed tail while the first is being served.
+    const std::string two =
+        getWireKA("/healthz") + getWireKA("/metrics");
+    ASSERT_TRUE(io::writeFull(fd, two.data(), two.size()));
+
+    std::string carry;
+    WireResponse r1, r2;
+    ASSERT_TRUE(readWireResponse(fd, carry, r1));
+    ASSERT_TRUE(readWireResponse(fd, carry, r2));
+    EXPECT_EQ(r1.status, 200);
+    EXPECT_EQ(r2.status, 200);
+    EXPECT_EQ(harness::Json::parse(r1.body).find("status")->asString(),
+              "ok");
+    EXPECT_NE(r2.body.find("# TYPE dieirb_http_requests_total counter"),
+              std::string::npos);
+    ::close(fd);
+    server.shutdown();
+}
+
+TEST(ServerSocket, ConnectionCloseAndHttp10GetCloseSemantics)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    server.start();
+
+    // Explicit Connection: close on an HTTP/1.1 request.
+    int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string closing = getWire("/healthz");
+    ASSERT_TRUE(io::writeFull(fd, closing.data(), closing.size()));
+    std::string carry;
+    WireResponse resp;
+    ASSERT_TRUE(readWireResponse(fd, carry, resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(resp.close);
+    char c;
+    EXPECT_EQ(::recv(fd, &c, 1, 0), 0); // server closed
+    ::close(fd);
+
+    // HTTP/1.0 clients always get close semantics.
+    fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string http10 = "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n";
+    ASSERT_TRUE(io::writeFull(fd, http10.data(), http10.size()));
+    carry.clear();
+    WireResponse old;
+    ASSERT_TRUE(readWireResponse(fd, carry, old));
+    EXPECT_EQ(old.status, 200);
+    EXPECT_TRUE(old.close);
+    EXPECT_EQ(::recv(fd, &c, 1, 0), 0);
+    ::close(fd);
+
+    server.shutdown();
+}
+
+TEST(ServerSocket, StreamedSweepDeliversNdjsonPerPointThenKeepAlive)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    server.start();
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    const std::string body =
+        "{\"workloads\": [\"route\", \"parse\"], \"modes\": [\"sie\"], "
+        "\"max_insts\": 1000000, \"deadline_ms\": 120000, "
+        "\"stream\": true}";
+    const std::string wire = postWireKA("/v1/sweep", body);
+    ASSERT_TRUE(io::writeFull(fd, wire.data(), wire.size()));
+
+    std::string carry;
+    WireResponse resp;
+    ASSERT_TRUE(readWireResponse(fd, carry, resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(resp.chunked);
+    EXPECT_FALSE(resp.close);
+    EXPECT_NE(resp.headers.find("application/x-ndjson"),
+              std::string::npos);
+
+    // One NDJSON line per point, in enqueue order, then the summary.
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < resp.body.size()) {
+        std::size_t end = resp.body.find('\n', start);
+        if (end == std::string::npos)
+            end = resp.body.size();
+        lines.push_back(resp.body.substr(start, end - start));
+        start = end + 1;
+    }
+    ASSERT_EQ(lines.size(), 3u) << resp.body;
+    const harness::Json p0 = harness::Json::parse(lines[0]);
+    const harness::Json p1 = harness::Json::parse(lines[1]);
+    EXPECT_EQ(p0.find("name")->asString(), "route/sie");
+    EXPECT_EQ(p0.find("status")->asString(), "ok");
+    EXPECT_EQ(p1.find("name")->asString(), "parse/sie");
+    const harness::Json done = harness::Json::parse(lines[2]);
+    EXPECT_TRUE(done.find("done")->asBool());
+    EXPECT_EQ(done.find("total")->asNumber(), 2.0);
+    EXPECT_EQ(done.find("cancelled")->asNumber(), 0.0);
+
+    // The connection survives the stream: next request, same socket.
+    const std::string next = getWireKA("/healthz");
+    ASSERT_TRUE(io::writeFull(fd, next.data(), next.size()));
+    WireResponse health;
+    ASSERT_TRUE(readWireResponse(fd, carry, health));
+    EXPECT_EQ(health.status, 200);
+    ::close(fd);
+
+    EXPECT_NE(server.metrics().render().find("dieirb_streams_total 1"),
+              std::string::npos);
+    server.shutdown();
+}
+
+TEST(ServerSocket, ClientDisconnectCancelsPendingStreamedPoints)
+{
+    setQuiet(true);
+    service::ServerOptions opts = testOptions();
+    opts.socketTimeoutMs = 60'000;
+    service::Server server(opts);
+    server.start();
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    // 6 points big enough that the tail is still pending when the
+    // client vanishes after the first streamed line.
+    const std::string body =
+        "{\"workloads\": [\"route\", \"parse\", \"compress\"], "
+        "\"modes\": [\"sie\", \"die-irb\"], \"max_insts\": 400000, "
+        "\"stream\": true}";
+    const std::string wire = postWireKA("/v1/sweep", body);
+    ASSERT_TRUE(io::writeFull(fd, wire.data(), wire.size()));
+
+    // Read the head and the first point line only, then vanish.
+    std::string seen;
+    char buf[4096];
+    while (seen.find("\r\n\r\n") == std::string::npos ||
+           seen.find('\n', seen.find("\r\n\r\n") + 4) ==
+               std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0);
+        seen.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd); // abrupt disconnect mid-stream
+
+    // The sweep job notices (EPOLLRDHUP -> connection token) and
+    // finishes early instead of simulating into the void.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (server.jobs().outstanding() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(server.jobs().outstanding(), 0u);
+
+    const std::string text = server.metrics().render();
+    EXPECT_EQ(metricValue(text, "dieirb_streams_total"), 1.0);
+    EXPECT_EQ(metricValue(text, "dieirb_streams_cancelled_total"), 1.0);
+    EXPECT_GT(metricValue(text, "dieirb_sim_points_total{"
+                                "status=\"cancelled\"}"),
+              0.0);
+    server.shutdown();
+}
+
+TEST(ServerSocket, SlowClientGets408WithRealElapsedTime)
+{
+    setQuiet(true);
+    service::ServerOptions opts = testOptions();
+    opts.socketTimeoutMs = 300;
+    service::Server server(opts);
+    server.start();
+
+    const int fd = connectTo(server.port());
+    ASSERT_GE(fd, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string partial = "GET /healthz HTTP/1.1\r\nHost: t";
+    ASSERT_TRUE(io::writeFull(fd, partial.data(), partial.size()));
+
+    std::string carry;
+    WireResponse resp;
+    ASSERT_TRUE(readWireResponse(fd, carry, resp));
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(resp.status, 408);
+    EXPECT_TRUE(resp.close);
+    EXPECT_GE(elapsed.count(), 0.25);
+    ::close(fd);
+
+    // PR-5 started the latency clock after the full read, so a 408
+    // recorded ~0s. It must now carry the real first-byte-to-response
+    // wait.
+    const double waited = metricValue(
+        server.metrics().render(),
+        "dieirb_http_request_seconds_sum{path=\"other\"}");
+    EXPECT_GE(waited, 0.25);
     server.shutdown();
 }

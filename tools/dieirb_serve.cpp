@@ -2,27 +2,32 @@
  * @file
  * dieirb-serve — the batching simulation server.
  *
- * Serves the DIE/IRB simulation engine over HTTP/1.1 (blocking sockets,
+ * Serves the DIE/IRB simulation engine over HTTP/1.1 on a non-blocking
+ * epoll event loop (keep-alive connections, chunked streaming sweeps,
  * no third-party deps):
  *
  *   POST /v1/simulate   one (workload, Config) point
- *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep
+ *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep;
+ *                       `"stream": true` => NDJSON per-point streaming
  *   GET  /v1/jobs/<id>  async job status / result
  *   GET  /healthz       liveness + queue occupancy
  *   GET  /metrics       Prometheus text format
  *
  * Usage:
  *   dieirb-serve [options]
- *     --port N          listen port (default 8100; 0 = kernel pick)
- *     --host A          listen address (default 127.0.0.1)
- *     --workers N       simulation worker threads (default: hw)
- *     --http-threads N  connection handler threads (default 16)
- *     --queue-depth N   max outstanding jobs before 429 (default 64)
- *     --cache-dir D     sweep result cache directory (default: off)
- *     --sweep-jobs N    threads inside one sweep job (default 1)
- *     --deadline-ms N   sync-request wait before 202 (default 60000)
- *     --max-body N      request body limit in bytes (default 8 MiB)
- *     -q                quiet (suppress per-request log lines)
+ *     --port N            listen port (default 8100; 0 = kernel pick)
+ *     --host A            listen address (default 127.0.0.1)
+ *     --workers N         simulation worker threads (default: hw)
+ *     --http-threads N    request dispatch threads (default 16)
+ *     --queue-depth N     max outstanding jobs before 429 (default 64)
+ *     --cache-dir D       sweep result cache directory (default: off)
+ *     --sweep-jobs N      threads inside one sweep job (default 1)
+ *     --deadline-ms N     sync-request wait before 202 (default 60000)
+ *     --max-body N        request body limit in bytes (default 8 MiB)
+ *     --socket-timeout-ms N  read-a-request / stalled-write deadline
+ *     --idle-timeout-ms N    keep-alive idle close (default 30000)
+ *     --keepalive-max N      requests per connection, 0 = unlimited
+ *     -q                  quiet (suppress per-request log lines)
  *
  * SIGTERM/SIGINT trigger a graceful drain: stop accepting, reject new
  * jobs with 503, cancel the pending remainder of in-flight sweeps,
@@ -58,6 +63,9 @@ usage(const char *argv0)
         "  --sweep-jobs N    threads inside one sweep job (1)\n"
         "  --deadline-ms N   sync wait before 202 handoff (60000)\n"
         "  --max-body N      request body limit, bytes (8388608)\n"
+        "  --socket-timeout-ms N  read/stalled-write deadline (10000)\n"
+        "  --idle-timeout-ms N    keep-alive idle close (30000)\n"
+        "  --keepalive-max N      requests per connection, 0=inf (1000)\n"
         "  -q                quiet\n",
         argv0);
 }
@@ -101,6 +109,15 @@ main(int argc, char **argv)
                 std::strtoul(next(), nullptr, 10));
         } else if (a == "--max-body") {
             opts.maxBodyBytes = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--socket-timeout-ms") {
+            opts.socketTimeoutMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--idle-timeout-ms") {
+            opts.idleTimeoutMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--keepalive-max") {
+            opts.keepAliveMaxRequests = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (a == "-q") {
             setQuiet(true);
         } else if (a == "-h" || a == "--help") {
