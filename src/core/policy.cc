@@ -54,7 +54,7 @@ DieIrbPolicy::unregisterStats(stats::Group &parent)
 }
 
 void
-DieIrbPolicy::prepareDuplicate(RuuEntry &dup, Cycle now,
+DieIrbPolicy::prepareDuplicate(PipelineState &st, int dup_idx, Cycle now,
                                trace::Tracer *tracer)
 {
     // The 3-stage pipelined lookup (Figure 3) starts at fetch and is
@@ -65,33 +65,37 @@ DieIrbPolicy::prepareDuplicate(RuuEntry &dup, Cycle now,
     // one cycle later, i.e. at the duplicate's first issue opportunity.
     // Loads/stores participate for address generation only; outputs and
     // NOP/HALT produce nothing worth reusing.
-    const bool eligible =
-        dup.cls != OpClass::Nop && !isOutput(dup.inst.op);
+    RuuCold &dup = st.cold[dup_idx];
+    const bool eligible = st.eCls[dup_idx] != OpClass::Nop &&
+                          !isOutput(dup.inst.op);
     if (!eligible)
         return;
     dup.irb = irb_->lookup(dup.pc);
     dup.irbReadyAt = now + 1;
-    dup.irbCandidate = dup.irb.pcHit;
-    DIREB_TRACE(tracer, trace::Kind::IrbLookup, dup.seq, dup.pc, true,
-                dup.inst,
+    if (dup.irb.pcHit)
+        st.set(dup_idx, ruuf::IrbCandidate);
+    DIREB_TRACE(tracer, trace::Kind::IrbLookup, st.eSeq[dup_idx], dup.pc,
+                true, dup.inst,
                 (dup.irb.pcHit ? 1u : 0u) | (dup.irb.portDrop ? 2u : 0u));
 }
 
 void
-DieIrbPolicy::onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+DieIrbPolicy::onPairCommitted(PipelineState &st, int head_idx, int dup_idx,
                               FaultInjector &injector,
                               trace::Tracer *tracer)
 {
     // Commit-time IRB update (paper §3.2: off the critical path, through
     // the write/rw ports). A reuse hit needs no rewrite — the stored
     // tuple is bit-identical already.
-    if (dup.cls != OpClass::Nop && !isOutput(dup.inst.op) &&
-        !dup.reuseHit) {
+    const RuuCold &head = st.cold[head_idx];
+    if (st.eCls[dup_idx] != OpClass::Nop &&
+        !isOutput(st.cold[dup_idx].inst.op) &&
+        !st.any(dup_idx, ruuf::ReuseHit)) {
         const bool wrote =
             irb_->update(head.pc, head.outcome.op1Val, head.outcome.op2Val,
                          head.outcome.result);
-        DIREB_TRACE(tracer, trace::Kind::IrbUpdate, head.seq, head.pc,
-                    false, head.inst, wrote ? 1 : 0);
+        DIREB_TRACE(tracer, trace::Kind::IrbUpdate, st.eSeq[head_idx],
+                    head.pc, false, head.inst, wrote ? 1 : 0);
     }
     // Fault site "irb": a transient strikes a random live entry; it is
     // caught when (and only when) a duplicate later reuses it.

@@ -91,27 +91,32 @@ class RedundancyPolicy
     /** @} */
 
     /**
-     * Dispatch-time hook on the freshly allocated duplicate entry (the
-     * DIE-IRB lookup that arms the wakeup-time reuse test).
+     * Dispatch-time hook on the freshly allocated duplicate entry at ring
+     * slot @p dup_idx (the DIE-IRB lookup that arms the wakeup-time reuse
+     * test).
      */
     virtual void
-    prepareDuplicate(RuuEntry &dup, Cycle now, trace::Tracer *tracer)
+    prepareDuplicate(PipelineState &st, int dup_idx, Cycle now,
+                     trace::Tracer *tracer)
     {
-        (void)dup;
+        (void)st;
+        (void)dup_idx;
         (void)now;
         (void)tracer;
     }
 
     /**
-     * A pair passed the commit check and is retiring: perform the
-     * commit-time reuse-buffer update and the IRB fault-site strike.
+     * The pair at ring slots (@p head_idx, @p dup_idx) passed the commit
+     * check and is retiring: perform the commit-time reuse-buffer update
+     * and the IRB fault-site strike.
      */
     virtual void
-    onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+    onPairCommitted(PipelineState &st, int head_idx, int dup_idx,
                     FaultInjector &injector, trace::Tracer *tracer)
     {
-        (void)head;
-        (void)dup;
+        (void)st;
+        (void)head_idx;
+        (void)dup_idx;
         (void)injector;
         (void)tracer;
     }
@@ -167,9 +172,9 @@ class DieIrbPolicy final : public RedundancyPolicy
     void registerStats(stats::Group &parent) override;
     void unregisterStats(stats::Group &parent) override;
 
-    void prepareDuplicate(RuuEntry &dup, Cycle now,
+    void prepareDuplicate(PipelineState &st, int dup_idx, Cycle now,
                           trace::Tracer *tracer) override;
-    void onPairCommitted(const RuuEntry &head, const RuuEntry &dup,
+    void onPairCommitted(PipelineState &st, int head_idx, int dup_idx,
                          FaultInjector &injector,
                          trace::Tracer *tracer) override;
     void onCheckFailed(Addr pc) override { irb_->invalidate(pc); }

@@ -14,24 +14,27 @@ namespace direb
 {
 
 void
-CommitStage::retireEntry(CoreContext &cx, RuuEntry &e)
+CommitStage::retireEntry(CoreContext &cx, int idx)
 {
-    panic_if(e.wrongPath, "retiring a wrong-path entry (pc %#llx)",
-             static_cast<unsigned long long>(e.pc));
+    PipelineState &st = *cx.st;
+    const RuuCold &c = st.cold[idx];
+    panic_if(st.any(idx, ruuf::WrongPath),
+             "retiring a wrong-path entry (pc %#llx)",
+             static_cast<unsigned long long>(c.pc));
 
-    if (isControl(e.inst.op))
-        cx.bp->update(e.pc, e.inst, e.outcome.taken, e.outcome.target);
+    if (isControl(c.inst.op))
+        cx.bp->update(c.pc, c.inst, c.outcome.taken, c.outcome.target);
 
-    if (isStore(e.inst.op)) {
+    if (st.any(idx, ruuf::IsStore)) {
         // The store performs its single (primary) cache access at commit.
-        cx.fus->tryMemPort(cx.st->now); // consume a port if one is free
-        cx.memHier->dataAccess(e.outcome.effAddr, true);
-        cx.sched->onRetiredStore(e);
+        cx.fus->tryMemPort(st.now); // consume a port if one is free
+        cx.memHier->dataAccess(c.outcome.effAddr, true);
+        cx.sched->onRetiredStore(idx);
     }
 
-    if (e.holdsLsqSlot) {
-        panic_if(cx.st->lsqUsed == 0, "LSQ accounting underflow at commit");
-        --cx.st->lsqUsed;
+    if (st.any(idx, ruuf::HoldsLsqSlot)) {
+        panic_if(st.lsqUsed == 0, "LSQ accounting underflow at commit");
+        --st.lsqUsed;
     }
 }
 
@@ -51,17 +54,19 @@ CommitStage::faultRewind(CoreContext &cx, std::size_t pair_offset)
     std::deque<ReplayRecord> records;
     std::uint64_t rewind_hist = cx.bp->committedHistory();
     for (std::size_t off = 0; off < st.ruuCount; ++off) {
-        RuuEntry &e = st.entryAt(off);
-        if (e.wrongPath || e.isDup)
+        const int idx = st.slotAt(off);
+        if (st.any(idx, ruuf::WrongPath | ruuf::IsDup))
             continue;
-        if (e.hasPrediction) {
-            rewind_hist = isBranch(e.inst.op)
-                ? (e.histAtFetch << 1) | (e.outcome.taken ? 1 : 0)
-                : e.histAtFetch;
+        const RuuCold &c = st.cold[idx];
+        if (st.any(idx, ruuf::HasPrediction)) {
+            rewind_hist = isBranch(c.inst.op)
+                ? (c.histAtFetch << 1) | (c.outcome.taken ? 1 : 0)
+                : c.histAtFetch;
         }
-        records.push_back({e.inst, e.pc, e.outcome});
+        records.push_back({c.inst, c.pc, c.outcome});
     }
-    for (const FetchedInst &fi : st.ifq) {
+    for (std::size_t i = 0; i < st.ifq.size(); ++i) {
+        const FetchedInst &fi = st.ifq.at(i);
         if (fi.hasOutcome)
             records.push_back({fi.inst, fi.pc, fi.savedOutcome});
     }
@@ -75,12 +80,14 @@ CommitStage::faultRewind(CoreContext &cx, std::size_t pair_offset)
 
     // Faults pending in younger entries never reach the checker; also
     // invalidate every squashed entry's seq so dangling dependence edges
-    // and create-vector slots cannot match reused slots.
+    // and create-vector slots cannot match reused slots, and return every
+    // wakeup chain to the arena so the slots are clean for reuse.
     for (std::size_t off = 0; off < st.ruuCount; ++off) {
-        RuuEntry &e = st.entryAt(off);
-        if (off >= 2 && e.faulted)
+        const int idx = st.slotAt(off);
+        if (off >= 2 && st.any(idx, ruuf::Faulted))
             cx.injector->recordSquashed();
-        e.seq = invalidSeq;
+        st.eSeq[idx] = invalidSeq;
+        st.freeDeps(idx);
     }
 
     st.ruuCount = 0;
@@ -109,25 +116,25 @@ CommitStage::run(CoreContext &cx)
     const bool dual = cx.policy->duplicates();
 
     while (budget > 0 && st.ruuCount > 0 && st.running) {
-        RuuEntry &head = st.ruu[st.ruuHead];
-        if (!head.completed) {
+        const int hidx = st.slotAt(0);
+        if (!st.any(hidx, ruuf::Completed)) {
             cx.stalls->blame(StallStage::Commit, StallReason::ExecWait);
             break;
         }
 
         if (!dual) {
-            retireEntry(cx, head);
-            DIREB_TRACE(cx.tracer, trace::Kind::Commit, head.seq, head.pc,
-                        false, head.inst);
+            const bool was_halt = st.any(hidx, ruuf::IsHalt);
+            retireEntry(cx, hidx);
+            DIREB_TRACE(cx.tracer, trace::Kind::Commit, st.eSeq[hidx],
+                        st.cold[hidx].pc, false, st.cold[hidx].inst);
             cx.stalls->busy(StallStage::Commit);
-            st.ruuHead = (st.ruuHead + 1) % st.ruu.size();
-            --st.ruuCount;
+            st.advanceHead(1);
             --budget;
             ++cx.stats->numEntriesCommitted;
             ++cx.stats->numArchInsts;
             st.lastCommitCycle = st.now;
 
-            if (head.isHalt) {
+            if (was_halt) {
                 st.finish(st.badPcSeen ? StopReason::BadPc
                                        : StopReason::Halted);
                 return;
@@ -146,52 +153,52 @@ CommitStage::run(CoreContext &cx)
             break;
         }
         panic_if(st.ruuCount < 2, "primary without duplicate at commit");
-        RuuEntry &dup = st.ruu[(st.ruuHead + 1) % st.ruu.size()];
-        panic_if(!dup.isDup || dup.pairIdx != static_cast<int>(st.ruuHead),
+        const int didx = st.slotAt(1);
+        panic_if(!st.any(didx, ruuf::IsDup) || st.ePair[didx] != hidx,
                  "RUU head is not a well-formed pair");
-        if (!dup.completed) {
+        if (!st.any(didx, ruuf::Completed)) {
             cx.stalls->blame(StallStage::Commit, StallReason::ExecWait);
             break;
         }
 
-        const bool ok =
-            cx.checker->check(head.checkValue, dup.checkValue);
+        const bool ok = cx.checker->check(st.cold[hidx].checkValue,
+                                          st.cold[didx].checkValue);
         if (!ok) {
             // Without injection enabled a mismatch can only be a
             // simulator bug: fail loudly.
             panic_if(!cx.injector->enabled(),
                      "checker mismatch without injected fault at pc %#llx "
                      "(simulator bug)",
-                     static_cast<unsigned long long>(head.pc));
+                     static_cast<unsigned long long>(st.cold[hidx].pc));
             cx.injector->recordDetected();
-            DIREB_TRACE(cx.tracer, trace::Kind::FaultDetect, head.seq,
-                        head.pc, false, head.inst);
+            DIREB_TRACE(cx.tracer, trace::Kind::FaultDetect, st.eSeq[hidx],
+                        st.cold[hidx].pc, false, st.cold[hidx].inst);
             cx.stalls->blame(StallStage::Commit, StallReason::Rewind);
             // A failing check invalidates the IRB entry for this PC, so
             // the replayed duplicate cannot pick the bad value up again.
-            cx.policy->onCheckFailed(head.pc);
+            cx.policy->onCheckFailed(st.cold[hidx].pc);
             faultRewind(cx, 0);
             return;
         }
-        if (head.faulted || dup.faulted) {
+        if (st.any(hidx, ruuf::Faulted) || st.any(didx, ruuf::Faulted)) {
             // A corrupted pair slipped through (identical corruption on
             // both copies — the FwdBoth scenario of Figure 6(c)).
             cx.injector->recordEscaped();
         }
 
-        retireEntry(cx, head);
+        retireEntry(cx, hidx);
 
-        cx.policy->onPairCommitted(head, dup, *cx.injector, cx.tracer);
+        cx.policy->onPairCommitted(st, hidx, didx, *cx.injector,
+                                   cx.tracer);
 
-        DIREB_TRACE(cx.tracer, trace::Kind::Commit, head.seq, head.pc,
-                    false, head.inst);
-        DIREB_TRACE(cx.tracer, trace::Kind::Commit, dup.seq, dup.pc, true,
-                    dup.inst);
+        DIREB_TRACE(cx.tracer, trace::Kind::Commit, st.eSeq[hidx],
+                    st.cold[hidx].pc, false, st.cold[hidx].inst);
+        DIREB_TRACE(cx.tracer, trace::Kind::Commit, st.eSeq[didx],
+                    st.cold[didx].pc, true, st.cold[didx].inst);
         cx.stalls->busy(StallStage::Commit, 2);
 
-        const bool was_halt = head.isHalt;
-        st.ruuHead = (st.ruuHead + 2) % st.ruu.size();
-        st.ruuCount -= 2;
+        const bool was_halt = st.any(hidx, ruuf::IsHalt);
+        st.advanceHead(2);
         budget -= 2;
         cx.stats->numEntriesCommitted += 2;
         ++cx.stats->numArchInsts;

@@ -129,7 +129,7 @@ OooCore::configure(const Program &program, const Config &config,
     mem.clear();
     arch.reset();
     specCtx.exitSpec();
-    st.reset(p.ruuSize);
+    st.reset(p.ruuSize, p.ifqSize);
 
     loadProgram(*prog, mem, arch);
     st.fetchPc = prog->entry;
@@ -166,6 +166,8 @@ OooCore::configure(const Program &program, const Config &config,
     cx.spec = &specCtx;
     cx.tracer = tracer_.get();
     cx.stalls = &stalls;
+    cx.schedMem = &schedMem;
+    schedMem.resetAll();
     sched = makeScheduler(p.readyListScheduler, cx);
     cx.sched = sched.get();
 }
@@ -198,7 +200,7 @@ OooCore::tick()
     panic_if(st.ruuCount > 0 && st.now - st.lastCommitCycle > 200'000,
              "pipeline deadlock at cycle %llu (pc %#llx, %zu in RUU)",
              static_cast<unsigned long long>(st.now),
-             static_cast<unsigned long long>(st.entryAt(0).pc),
+             static_cast<unsigned long long>(st.cold[st.ruuHead].pc),
              st.ruuCount);
 }
 

@@ -27,6 +27,7 @@ namespace direb
 {
 
 class SchedulerBackend;
+struct SchedStorage;
 
 /** Machine-width / capacity parameters (paper §2.2 base configuration). */
 struct CoreParams
@@ -162,6 +163,8 @@ struct CoreContext
     SpecExecContext *spec = nullptr;
     trace::Tracer *tracer = nullptr;
     trace::StallAccount *stalls = nullptr;
+    /** Core-owned scheduler storage arena (outlives scheduler rebuilds). */
+    SchedStorage *schedMem = nullptr;
 };
 
 } // namespace direb

@@ -16,34 +16,35 @@ namespace direb
 {
 
 void
-DispatchStage::linkSources(CoreContext &cx, RuuEntry &e, int idx,
-                           unsigned stream)
+DispatchStage::linkSources(CoreContext &cx, int idx, unsigned stream)
 {
     PipelineState &st = *cx.st;
-    const RegId srcs[2] = {e.inst.srcReg1(), e.inst.srcReg2()};
+    const Inst &inst = st.cold[idx].inst;
+    const RegId srcs[2] = {inst.srcReg1(), inst.srcReg2()};
     for (const RegId src : srcs) {
         if (src == noReg)
             continue;
         const Producer &prod = st.createVec[stream][src];
         if (prod.idx < 0)
             continue;
-        RuuEntry &pe = st.ruu[prod.idx];
-        if (pe.seq != prod.seq || pe.completed)
+        if (st.eSeq[prod.idx] != prod.seq ||
+            st.any(prod.idx, ruuf::Completed)) {
             continue; // producer retired/squashed/done: operand is ready
-        pe.dependents.push_back({idx, e.seq});
-        ++e.srcPending;
+        }
+        st.pushDep(prod.idx, {idx, st.eSeq[idx]});
+        ++st.eSrcPending[idx];
     }
 }
 
 void
-DispatchStage::maybeInjectForwardFault(CoreContext &cx, RuuEntry &prim,
-                                       RuuEntry &dup)
+DispatchStage::maybeInjectForwardFault(CoreContext &cx, int prim, int dup)
 {
+    PipelineState &st = *cx.st;
     const FaultSite site = cx.injector->site();
     if (site != FaultSite::FwdOne && site != FaultSite::FwdBoth)
         return;
     // A forwarding fault needs a forwarded operand to ride on.
-    if (dup.srcPending == 0 && prim.srcPending == 0)
+    if (st.eSrcPending[dup] == 0 && st.eSrcPending[prim] == 0)
         return;
     if (!cx.injector->strike())
         return;
@@ -51,14 +52,15 @@ DispatchStage::maybeInjectForwardFault(CoreContext &cx, RuuEntry &prim,
     if (site == FaultSite::FwdBoth && cx.policy->sharedForwardingBus()) {
         // DIE-IRB forwards primary results to BOTH streams on one bus: a
         // strike there corrupts both copies identically -> undetectable.
-        prim.checkValue ^= flip;
-        dup.checkValue ^= flip;
-        prim.faulted = dup.faulted = true;
+        st.cold[prim].checkValue ^= flip;
+        st.cold[dup].checkValue ^= flip;
+        st.set(prim, ruuf::Faulted);
+        st.set(dup, ruuf::Faulted);
     } else {
         // Plain DIE keeps per-stream dataflow, so any single forwarding
         // strike lands on one stream's copy only.
-        dup.checkValue ^= flip;
-        dup.faulted = true;
+        st.cold[dup].checkValue ^= flip;
+        st.set(dup, ruuf::Faulted);
     }
 }
 
@@ -96,82 +98,90 @@ DispatchStage::dispatchOne(CoreContext &cx, const FetchedInst &fi,
         st.haltSeen = true;
 
     const int idx = st.allocEntry();
-    RuuEntry &e = st.ruu[idx];
-    e.inst = fi.inst;
-    e.pc = fi.pc;
-    e.outcome = outcome;
-    e.cls = opClassOf(fi.inst.op);
-    e.wrongPath = was_spec;
-    e.dispatchedAt = st.now;
-    e.predTaken = fi.predTaken;
-    e.predNextPc = fi.predNextPc;
-    e.histAtFetch = fi.histAtFetch;
-    e.hasPrediction = fi.hasPrediction;
-    e.mispredicted = mispredicted;
-    e.isMemOp = isMem(fi.inst.op);
-    e.needsMemAccess = isLoad(fi.inst.op);
-    e.checkValue = outcome.result;
-    e.isHalt = outcome.halted; // covers HALT, synthesized, and replayed
-    if (synthesized_halt) {
-        e.cls = OpClass::Nop;
-        e.isMemOp = false;
-        e.needsMemAccess = false;
-    }
+    RuuCold &c = st.cold[idx];
+    c.inst = fi.inst;
+    c.pc = fi.pc;
+    c.outcome = outcome;
+    c.predNextPc = fi.predNextPc;
+    c.histAtFetch = fi.histAtFetch;
+    c.checkValue = outcome.result;
+    st.eCls[idx] = opClassOf(fi.inst.op);
+    st.eDispatchedAt[idx] = st.now;
+    st.eDst[idx] = fi.inst.dstReg();
 
-    linkSources(cx, e, idx, 0);
+    std::uint32_t f = 0;
+    if (was_spec)
+        f |= ruuf::WrongPath;
+    if (fi.predTaken)
+        f |= ruuf::PredTaken;
+    if (fi.hasPrediction)
+        f |= ruuf::HasPrediction;
+    if (mispredicted)
+        f |= ruuf::Mispredicted;
+    // The raw-opcode mirror bits follow inst.op unconditionally (the
+    // synthesized-halt special case below only clears the memory state
+    // machine, exactly as the AoS layout derived isLoad/isStore from the
+    // opcode at every use site).
+    if (isLoad(fi.inst.op))
+        f |= ruuf::IsLoad;
+    if (isStore(fi.inst.op))
+        f |= ruuf::IsStore;
+    if (isMem(fi.inst.op))
+        f |= ruuf::IsMemOp | (isLoad(fi.inst.op) ? ruuf::NeedsMemAccess : 0);
+    if (outcome.halted)
+        f |= ruuf::IsHalt; // covers HALT, synthesized, and replayed
+    if (synthesized_halt) {
+        st.eCls[idx] = OpClass::Nop;
+        f &= ~(ruuf::IsMemOp | ruuf::NeedsMemAccess);
+    }
+    st.eFlags[idx] = f;
+
+    linkSources(cx, idx, 0);
 
     cx.sched->onDispatched(idx);
 
-    if (e.isMemOp) {
-        e.holdsLsqSlot = true;
+    if (st.any(idx, ruuf::IsMemOp)) {
+        st.set(idx, ruuf::HoldsLsqSlot);
         ++st.lsqUsed;
     }
 
-    const RegId dst = e.inst.dstReg();
+    const RegId dst = fi.inst.dstReg();
 
     // The fetch event is back-dated: an instruction only gains a seq here,
     // so the fetch stage cannot record it itself.
-    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch, e.seq,
-                   e.pc, false, e.inst);
-    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, e.seq, e.pc, false,
-                e.inst);
+    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch,
+                   st.eSeq[idx], c.pc, false, c.inst);
+    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, st.eSeq[idx], c.pc,
+                false, c.inst);
 
     ++cx.stats->numDispatched;
-    if (e.wrongPath)
+    if (was_spec)
         ++cx.stats->numWrongPathDispatched;
     width_left -= 1;
     cx.stalls->busy(trace::StallStage::Dispatch);
 
     if (!dual) {
         if (dst != noReg)
-            st.createVec[0][dst] = {idx, e.seq};
+            st.createVec[0][dst] = {idx, st.eSeq[idx]};
         return;
     }
 
     // Duplicate-stream entry, adjacent in the RUU (paper Figure 1).
     const int didx = st.allocEntry();
-    RuuEntry &d = st.ruu[didx];
-    RuuEntry &prim = st.ruu[idx]; // re-reference: allocEntry may not move,
-                                  // but be explicit about aliasing
-    d.inst = prim.inst;
-    d.pc = prim.pc;
-    d.outcome = prim.outcome;
-    d.cls = prim.cls;
-    d.isDup = true;
-    d.wrongPath = prim.wrongPath;
-    d.dispatchedAt = st.now;
-    d.predTaken = prim.predTaken;
-    d.predNextPc = prim.predNextPc;
-    d.mispredicted = prim.mispredicted;
-    d.isMemOp = prim.isMemOp;
-    d.needsMemAccess = false; // memory accessed once, by the primary
-    d.checkValue = prim.outcome.result;
-    d.isHalt = prim.isHalt;
-    if (synthesized_halt)
-        d.cls = OpClass::Nop;
+    st.cold[didx] = c; // histAtFetch copied but dead: no HasPrediction
+    st.eCls[didx] = st.eCls[idx];
+    st.eDispatchedAt[didx] = st.now;
+    st.eDst[didx] = dst;
+    // The duplicate's memory access happens once, by the primary: the
+    // dup keeps the opcode-mirror and control bits but never
+    // NeedsMemAccess (and never a prediction/LSQ slot of its own).
+    st.eFlags[didx] =
+        ruuf::IsDup |
+        (f & (ruuf::WrongPath | ruuf::PredTaken | ruuf::Mispredicted |
+              ruuf::IsMemOp | ruuf::IsLoad | ruuf::IsStore | ruuf::IsHalt));
 
-    prim.pairIdx = didx;
-    d.pairIdx = idx;
+    st.ePair[idx] = didx;
+    st.ePair[didx] = idx;
 
     // Dataflow: plain DIE keeps the duplicate stream independent
     // (createVec[1]); DIE-IRB forwards primary results to both streams —
@@ -181,26 +191,27 @@ DispatchStage::dispatchOne(CoreContext &cx, const FetchedInst &fi,
     // "addi s0, s0, 1" reads the previous producer of s0 in both streams,
     // not its own primary.
     const bool own_dataflow = cx.policy->dupOwnDataflow();
-    linkSources(cx, d, didx, own_dataflow ? 1 : 0);
+    linkSources(cx, didx, own_dataflow ? 1 : 0);
     if (dst != noReg) {
-        st.createVec[0][dst] = {idx, prim.seq};
+        st.createVec[0][dst] = {idx, st.eSeq[idx]};
         if (own_dataflow)
-            st.createVec[1][dst] = {didx, d.seq};
+            st.createVec[1][dst] = {didx, st.eSeq[didx]};
     }
 
-    cx.policy->prepareDuplicate(d, st.now, cx.tracer);
+    cx.policy->prepareDuplicate(st, didx, st.now, cx.tracer);
 
     cx.sched->onDispatchedDup(didx);
 
-    maybeInjectForwardFault(cx, prim, d);
+    maybeInjectForwardFault(cx, idx, didx);
 
-    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch, d.seq,
-                   d.pc, true, d.inst);
-    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, d.seq, d.pc, true,
-                d.inst);
+    DIREB_TRACE_AT(cx.tracer, fi.fetchCycle, trace::Kind::Fetch,
+                   st.eSeq[didx], st.cold[didx].pc, true,
+                   st.cold[didx].inst);
+    DIREB_TRACE(cx.tracer, trace::Kind::Dispatch, st.eSeq[didx],
+                st.cold[didx].pc, true, st.cold[didx].inst);
 
     ++cx.stats->numDispatched;
-    if (d.wrongPath)
+    if (st.any(didx, ruuf::WrongPath))
         ++cx.stats->numWrongPathDispatched;
     width_left -= 1;
     cx.stalls->busy(trace::StallStage::Dispatch);

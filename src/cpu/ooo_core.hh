@@ -84,6 +84,13 @@ class OooCore
     /** Advance exactly one cycle (exposed for fine-grained tests). */
     void tick();
 
+    /**
+     * Set the commit-side instruction budget without entering run() —
+     * tick()-driven tests need this, since the budget defaults to 0 and
+     * the first committed instruction would otherwise stop the core.
+     */
+    void setMaxArchInsts(std::uint64_t n) { st.maxArchInsts = n; }
+
     /** Committed architectural state (registers/memory/output). */
     const ArchState &archState() const { return arch; }
 
@@ -132,6 +139,7 @@ class OooCore
 
     // ---- machine state / stages ---------------------------------------------
     PipelineState st;
+    SchedStorage schedMem; //!< scheduler arena; outlives sched rebuilds
     std::unique_ptr<SchedulerBackend> sched;
     FetchStage fetchStage_;
     DispatchStage dispatchStage_;

@@ -7,11 +7,32 @@
  * (stages.hh), the scheduler backends (scheduler.hh) and the redundancy
  * policies (core/policy.hh) operate on one plain struct instead of
  * reaching into a god-object.
+ *
+ * Memory layout: the RUU is stored structure-of-arrays. The fields the
+ * back-end touches every cycle (seq, completion cycle, the packed status
+ * flags, pending-operand counts, op class, pair link, dest tag) live in
+ * packed parallel arrays indexed by ring slot, so the wakeup/select/
+ * writeback walks stream through a few contiguous cache lines instead of
+ * chasing ~200-byte records. The cold per-entry payload (decoded Inst,
+ * ExecOutcome, branch-history checkpoint, IRB lookup, checker value)
+ * stays in a slim residual struct (RuuCold) touched only at dispatch,
+ * recovery and commit. Dependence edges are kept in a per-core slab
+ * arena (no per-slot heap vectors), and the ring capacity is rounded to
+ * a power of two so every slot computation is a mask, not a modulo.
+ *
+ * Slot reuse is clear-in-place: allocEntry() reinitializes the hot
+ * arrays only. Every RuuCold field is either unconditionally rewritten
+ * at dispatch (inst, pc, outcome, predNextPc, checkValue) or guarded by
+ * a hot flag that allocEntry() clears (histAtFetch by HasPrediction;
+ * irb/irbReadyAt by IrbCandidate), so stale cold state is unreachable
+ * and the steady-state dispatch path performs zero heap allocations.
  */
 
 #ifndef DIREB_CPU_PIPELINE_STATE_HH
 #define DIREB_CPU_PIPELINE_STATE_HH
 
+#include <bit>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -48,55 +69,62 @@ struct DepEdge
     InstSeq seq;
 };
 
-/** One RUU entry. */
-struct RuuEntry
+/**
+ * Packed per-slot status bits, kept in one hot word per RUU slot so the
+ * schedulers can test several conditions with a single mask compare.
+ */
+namespace ruuf
+{
+constexpr std::uint32_t IsDup = 1u << 0;      //!< duplicate-stream entry
+constexpr std::uint32_t WrongPath = 1u << 1;  //!< dispatched in spec mode
+constexpr std::uint32_t Issued = 1u << 2;
+constexpr std::uint32_t Completed = 1u << 3;
+/** Memory state machine (primary loads). @{ */
+constexpr std::uint32_t IsMemOp = 1u << 4;
+constexpr std::uint32_t NeedsMemAccess = 1u << 5; //!< must access dcache
+constexpr std::uint32_t AddrGenPending = 1u << 6; //!< completion = addr-gen
+constexpr std::uint32_t AddrDone = 1u << 7;
+constexpr std::uint32_t MemStarted = 1u << 8;
+constexpr std::uint32_t HoldsLsqSlot = 1u << 9;
+/** @} */
+/** Raw opcode class, mirrored so hot walks never touch the cold Inst. @{ */
+constexpr std::uint32_t IsLoad = 1u << 10;
+constexpr std::uint32_t IsStore = 1u << 11;
+/** @} */
+/** Control. @{ */
+constexpr std::uint32_t PredTaken = 1u << 12;
+constexpr std::uint32_t HasPrediction = 1u << 13;
+constexpr std::uint32_t Mispredicted = 1u << 14;
+constexpr std::uint32_t RecoveryDone = 1u << 15;
+/** @} */
+/** IRB (duplicate stream). @{ */
+constexpr std::uint32_t IrbCandidate = 1u << 16; //!< PC hit; test pending
+constexpr std::uint32_t ReuseTested = 1u << 17;
+constexpr std::uint32_t ReuseHit = 1u << 18;
+constexpr std::uint32_t BypassedAlu = 1u << 19;
+/** @} */
+/** Checker / fault injection. @{ */
+constexpr std::uint32_t Faulted = 1u << 20;
+/** @} */
+constexpr std::uint32_t IsHalt = 1u << 21;
+} // namespace ruuf
+
+/**
+ * Cold per-entry payload: everything an RUU entry carries that the
+ * per-cycle scheduler walks never touch. Written at dispatch, read at
+ * recovery/commit (and by the IRB reuse test, which runs at most once
+ * per duplicate).
+ */
+struct RuuCold
 {
     Inst inst;
     Addr pc = 0;
-    InstSeq seq = invalidSeq;
     ExecOutcome outcome;
-    OpClass cls = OpClass::Nop;
-
-    bool isDup = false;
-    int pairIdx = -1;        //!< partner entry (DIE modes)
-    bool wrongPath = false;  //!< dispatched in spec mode
-
-    unsigned srcPending = 0;
-    std::vector<DepEdge> dependents;
-    bool issued = false;
-    bool completed = false;
-    Cycle completeAt = 0;
-    Cycle dispatchedAt = 0;
-
-    // memory state machine (primary loads)
-    bool isMemOp = false;
-    bool needsMemAccess = false; //!< primary load: must access dcache
-    bool addrGenPending = false; //!< scheduled completion is addr-gen
-    bool addrDone = false;
-    bool memStarted = false;
-    bool holdsLsqSlot = false;
-
-    // control
-    bool predTaken = false;
     Addr predNextPc = 0;
-    std::uint64_t histAtFetch = 0;
-    bool hasPrediction = false;
-    bool mispredicted = false;
-    bool recoveryDone = false;
-
-    // IRB (duplicate stream)
-    bool irbCandidate = false; //!< PC hit; reuse test pending
-    IrbLookup irb;
-    Cycle irbReadyAt = 0;
-    bool reuseTested = false;
-    bool reuseHit = false;
-    bool bypassedAlu = false;
-
-    // checker / fault injection
+    std::uint64_t histAtFetch = 0; //!< valid iff ruuf::HasPrediction
+    IrbLookup irb;                 //!< valid iff ruuf::IrbCandidate
+    Cycle irbReadyAt = 0;          //!< valid iff ruuf::IrbCandidate
     RegVal checkValue = 0;
-    bool faulted = false;
-
-    bool isHalt = false;
 };
 
 /** Record used to replay committed-path work after a fault rewind. */
@@ -115,13 +143,95 @@ struct Producer
 };
 
 /**
+ * Fixed-capacity ring for the fetch/decode queue. The steady-state
+ * push/pop traffic of a std::deque churns block allocations; the ring
+ * allocates once per reset and never again.
+ */
+class FetchQueue
+{
+  public:
+    void
+    reset(std::size_t capacity)
+    {
+        buf.assign(capacity, FetchedInst{});
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    const FetchedInst &front() const { return buf[head]; }
+
+    /** The @p i-th queued instruction, oldest first (replay rebuild). */
+    const FetchedInst &
+    at(std::size_t i) const
+    {
+        std::size_t pos = head + i;
+        if (pos >= buf.size())
+            pos -= buf.size();
+        return buf[pos];
+    }
+
+    void
+    push_back(const FetchedInst &fi)
+    {
+        panic_if(count >= buf.size(), "IFQ overflow");
+        std::size_t pos = head + count;
+        if (pos >= buf.size())
+            pos -= buf.size();
+        buf[pos] = fi;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(count == 0, "IFQ underflow");
+        if (++head >= buf.size())
+            head = 0;
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    std::vector<FetchedInst> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+/**
  * All mutable pipeline state, shared by the stage components through a
  * CoreContext. A PipelineState is fully reusable: reset() restores the
- * freshly-constructed machine for the next program.
+ * freshly-constructed machine for the next program while recycling every
+ * buffer's capacity (no deallocation).
  */
 struct PipelineState
 {
-    std::vector<RuuEntry> ruu;
+    /**
+     * Hot RUU fields, parallel arrays of ringSlots() entries indexed by
+     * ring slot. eSeq is invalidSeq for dead slots, so dangling
+     * dependence edges and create-vector entries are detected by a seq
+     * mismatch exactly as before the SoA split. @{
+     */
+    std::vector<InstSeq> eSeq;
+    std::vector<Cycle> eCompleteAt;
+    std::vector<Cycle> eDispatchedAt;
+    std::vector<std::int32_t> ePair;  //!< partner slot (DIE modes), -1
+    std::vector<std::uint32_t> eFlags; //!< ruuf:: bit union
+    std::vector<std::uint8_t> eSrcPending;
+    std::vector<OpClass> eCls;
+    std::vector<RegId> eDst; //!< dest tag (noReg when none)
+    /** @} */
+    /** Cold payload, same indexing. */
+    std::vector<RuuCold> cold;
+
     std::size_t ruuHead = 0;
     std::size_t ruuCount = 0;
     std::size_t lsqUsed = 0;
@@ -130,7 +240,7 @@ struct PipelineState
     /** createVec[stream][reg] = newest in-flight producer. */
     std::vector<Producer> createVec[2];
 
-    std::deque<FetchedInst> ifq;
+    FetchQueue ifq;
     std::deque<ReplayRecord> replayQueue;
     Addr fetchPc = 0;
     Cycle fetchStallUntil = 0;
@@ -144,44 +254,121 @@ struct PipelineState
     std::uint64_t maxArchInsts = 0;
     Cycle lastCommitCycle = 0;
 
-    RuuEntry &
-    entryAt(std::size_t offset)
+    /** Logical RUU capacity (ruu.size; dispatch stalls at this). */
+    std::size_t ruuLimit = 0;
+
+    /** Ring capacity: ruuLimit rounded up to a power of two. */
+    std::size_t ringSlots() const { return eSeq.size(); }
+
+    /** Flag helpers over the packed status word. @{ */
+    bool any(int idx, std::uint32_t mask) const
+    {
+        return (eFlags[idx] & mask) != 0;
+    }
+    void set(int idx, std::uint32_t mask) { eFlags[idx] |= mask; }
+    void clear(int idx, std::uint32_t mask) { eFlags[idx] &= ~mask; }
+    /** @} */
+
+    /** Ring slot of the entry at RUU offset (age) @p offset. */
+    int
+    slotAt(std::size_t offset) const
     {
         panic_if(offset >= ruuCount,
                  "RUU offset %zu out of range (count %zu)", offset,
                  ruuCount);
-        return ruu[(ruuHead + offset) % ruu.size()];
+        return static_cast<int>((ruuHead + offset) & ringMask);
     }
 
-    const RuuEntry &
-    entryAt(std::size_t offset) const
+    /** RUU offset (age) of the entry at ring slot @p idx. */
+    std::size_t
+    offsetOf(int idx) const
     {
-        return const_cast<PipelineState *>(this)->entryAt(offset);
+        return (static_cast<std::size_t>(idx) - ruuHead) & ringMask;
     }
 
+    /**
+     * Allocate the next ring slot and reinitialize its hot fields in
+     * place (cold fields are rewritten or flag-guarded; see the file
+     * comment). The slot's dependence chain was returned to the arena
+     * when the previous occupant completed, squashed or rewound.
+     */
     int
     allocEntry()
     {
-        panic_if(ruuCount >= ruu.size(), "RUU overflow");
-        const int idx = static_cast<int>((ruuHead + ruuCount) % ruu.size());
+        panic_if(ruuCount >= ruuLimit, "RUU overflow");
+        const int idx = static_cast<int>((ruuHead + ruuCount) & ringMask);
         ++ruuCount;
-        ruu[idx] = RuuEntry{};
-        ruu[idx].seq = nextSeq++;
+        eSeq[idx] = nextSeq++;
+        eCompleteAt[idx] = 0;
+        eDispatchedAt[idx] = 0;
+        ePair[idx] = -1;
+        eFlags[idx] = 0;
+        eSrcPending[idx] = 0;
+        eCls[idx] = OpClass::Nop;
+        eDst[idx] = noReg;
+        panic_if(depHead[idx] != -1, "leaked dependence chain in slot %d",
+                 idx);
         return idx;
     }
 
     bool ruuFull(unsigned needed) const
     {
-        return ruuCount + needed > ruu.size();
+        return ruuCount + needed > ruuLimit;
     }
 
-    /** RUU offset (age) of the entry at ring index @p idx. */
-    std::size_t
-    offsetOf(int idx) const
+    /** Retire @p n entries: advance the ring head past them. */
+    void
+    advanceHead(std::size_t n)
     {
-        return (static_cast<std::size_t>(idx) + ruu.size() - ruuHead) %
-               ruu.size();
+        panic_if(n > ruuCount, "retiring past the RUU tail");
+        ruuHead = (ruuHead + n) & ringMask;
+        ruuCount -= n;
     }
+
+    /** Append a wakeup edge to producer @p idx's chain (slab arena). @{ */
+    void
+    pushDep(int idx, DepEdge edge)
+    {
+        std::int32_t node;
+        if (depFree >= 0) {
+            node = depFree;
+            depFree = depNodes[node].next;
+            depNodes[node] = {edge, -1};
+        } else {
+            node = static_cast<std::int32_t>(depNodes.size());
+            depNodes.push_back({edge, -1});
+        }
+        if (depHead[idx] < 0)
+            depHead[idx] = node;
+        else
+            depNodes[depTail[idx]].next = node;
+        depTail[idx] = node;
+    }
+
+    /** Return slot @p idx's whole chain to the freelist (O(1)). */
+    void
+    freeDeps(int idx)
+    {
+        if (depHead[idx] < 0)
+            return;
+        depNodes[depTail[idx]].next = depFree;
+        depFree = depHead[idx];
+        depHead[idx] = -1;
+        depTail[idx] = -1;
+    }
+    /** @} */
+
+    /** Dependence-chain arena (insertion order preserved via tail). @{ */
+    struct DepNode
+    {
+        DepEdge edge;
+        std::int32_t next;
+    };
+    std::vector<DepNode> depNodes;
+    std::vector<std::int32_t> depHead;
+    std::vector<std::int32_t> depTail;
+    std::int32_t depFree = -1;
+    /** @} */
 
     void
     finish(StopReason reason)
@@ -202,31 +389,48 @@ struct PipelineState
         createVec[0].assign(numArchRegs, Producer{});
         createVec[1].assign(numArchRegs, Producer{});
         for (std::size_t off = 0; off < ruuCount; ++off) {
-            const int idx =
-                static_cast<int>((ruuHead + off) % ruu.size());
-            const RuuEntry &e = ruu[idx];
-            const RegId dst = e.inst.dstReg();
+            const int idx = static_cast<int>((ruuHead + off) & ringMask);
+            const RegId dst = eDst[idx];
             if (dst == noReg)
                 continue;
-            if (!e.isDup)
-                createVec[0][dst] = {idx, e.seq};
+            if (!any(idx, ruuf::IsDup))
+                createVec[0][dst] = {idx, eSeq[idx]};
             else if (dup_own_dataflow)
-                createVec[1][dst] = {idx, e.seq};
+                createVec[1][dst] = {idx, eSeq[idx]};
         }
     }
 
-    /** Restore the freshly-constructed state for an RUU of @p ruu_size. */
+    /**
+     * Restore the freshly-constructed state for an RUU of @p ruu_size
+     * logical entries and a fetch queue of @p ifq_size. Every buffer is
+     * reinitialized in place; capacity from a previous binding survives.
+     */
     void
-    reset(std::size_t ruu_size)
+    reset(std::size_t ruu_size, std::size_t ifq_size)
     {
-        ruu.assign(ruu_size, RuuEntry{});
+        ruuLimit = ruu_size;
+        const std::size_t slots = std::bit_ceil(ruu_size);
+        ringMask = slots - 1;
+        eSeq.assign(slots, invalidSeq);
+        eCompleteAt.assign(slots, 0);
+        eDispatchedAt.assign(slots, 0);
+        ePair.assign(slots, -1);
+        eFlags.assign(slots, 0);
+        eSrcPending.assign(slots, 0);
+        eCls.assign(slots, OpClass::Nop);
+        eDst.assign(slots, noReg);
+        cold.assign(slots, RuuCold{});
+        depNodes.clear();
+        depHead.assign(slots, -1);
+        depTail.assign(slots, -1);
+        depFree = -1;
         ruuHead = 0;
         ruuCount = 0;
         lsqUsed = 0;
         nextSeq = 1;
         createVec[0].assign(numArchRegs, Producer{});
         createVec[1].assign(numArchRegs, Producer{});
-        ifq.clear();
+        ifq.reset(ifq_size);
         replayQueue.clear();
         fetchPc = 0;
         fetchStallUntil = 0;
@@ -239,6 +443,9 @@ struct PipelineState
         maxArchInsts = 0;
         lastCommitCycle = 0;
     }
+
+  private:
+    std::size_t ringMask = 0;
 };
 
 } // namespace direb

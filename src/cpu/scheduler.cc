@@ -40,44 +40,54 @@ void
 SchedulerBackend::wakeDependents(int idx)
 {
     PipelineState &st = *cx.st;
-    RuuEntry &e = st.ruu[idx];
-    for (const DepEdge &dep : e.dependents) {
-        RuuEntry &c = st.ruu[dep.idx];
-        if (c.seq != dep.seq)
-            continue; // consumer was squashed; slot may be reused
-        panic_if(c.srcPending == 0, "wakeup underflow (seq %llu)",
-                 static_cast<unsigned long long>(c.seq));
-        --c.srcPending;
-        if (c.srcPending == 0) {
-            DIREB_TRACE(cx.tracer, trace::Kind::Wakeup, c.seq, c.pc,
-                        c.isDup, c.inst);
+    // Walk the producer's edge chain over the packed seq/pending arrays.
+    // The liveness test and the pending decrement are branch-free; only
+    // a consumer actually becoming ready takes a branch.
+    for (std::int32_t n = st.depHead[idx]; n >= 0;
+         n = st.depNodes[n].next) {
+        const DepEdge dep = st.depNodes[n].edge;
+        const bool live = st.eSeq[dep.idx] == dep.seq;
+        panic_if(live && st.eSrcPending[dep.idx] == 0,
+                 "wakeup underflow (seq %llu)",
+                 static_cast<unsigned long long>(dep.seq));
+        st.eSrcPending[dep.idx] -=
+            static_cast<std::uint8_t>(live); // squashed: no-op
+        if (live && st.eSrcPending[dep.idx] == 0) {
+            DIREB_TRACE(cx.tracer, trace::Kind::Wakeup, st.eSeq[dep.idx],
+                        st.cold[dep.idx].pc, st.any(dep.idx, ruuf::IsDup),
+                        st.cold[dep.idx].inst);
             onWokenReady(dep.idx);
         }
     }
-    e.dependents.clear();
+    st.freeDeps(idx);
 }
 
 void
 SchedulerBackend::completeEntry(int idx)
 {
-    RuuEntry &e = cx.st->ruu[idx];
-    e.completed = true;
-    DIREB_TRACE(cx.tracer, trace::Kind::Complete, e.seq, e.pc, e.isDup,
-                e.inst);
+    PipelineState &st = *cx.st;
+    st.set(idx, ruuf::Completed);
+    DIREB_TRACE(cx.tracer, trace::Kind::Complete, st.eSeq[idx],
+                st.cold[idx].pc, st.any(idx, ruuf::IsDup),
+                st.cold[idx].inst);
 
     // Fault site "fu": a transient strikes the unit producing this value.
-    if (cx.injector->site() == FaultSite::Fu && e.cls != OpClass::Nop &&
-        !e.bypassedAlu && cx.injector->strike()) {
-        e.checkValue ^= RegVal(1) << cx.injector->bitToFlip();
-        e.faulted = true;
+    if (cx.injector->site() == FaultSite::Fu &&
+        st.eCls[idx] != OpClass::Nop && !st.any(idx, ruuf::BypassedAlu) &&
+        cx.injector->strike()) {
+        st.cold[idx].checkValue ^= RegVal(1) << cx.injector->bitToFlip();
+        st.set(idx, ruuf::Faulted);
     }
 
     // In DIE-IRB only primary results are forwarded; duplicate completions
     // wake nobody (their dependents list is empty by construction).
     wakeDependents(idx);
 
-    if (e.mispredicted && !e.wrongPath && !e.recoveryDone)
+    if ((st.eFlags[idx] &
+         (ruuf::Mispredicted | ruuf::WrongPath | ruuf::RecoveryDone)) ==
+        ruuf::Mispredicted) {
         handleMispredictRecovery(idx);
+    }
 
     onCompleted(idx);
 }
@@ -86,32 +96,37 @@ void
 SchedulerBackend::tryReuseTest(int idx)
 {
     PipelineState &st = *cx.st;
-    RuuEntry &e = st.ruu[idx];
-    if (!e.isDup || !e.irbCandidate || e.reuseTested || e.issued ||
-        e.completed || e.srcPending > 0 || st.now < e.irbReadyAt) {
+    // Rdy2L/Rdy2R preconditions in one mask test: a pending, unissued
+    // duplicate with an armed candidate lookup.
+    constexpr std::uint32_t care = ruuf::IsDup | ruuf::IrbCandidate |
+                                   ruuf::ReuseTested | ruuf::Issued |
+                                   ruuf::Completed;
+    constexpr std::uint32_t want = ruuf::IsDup | ruuf::IrbCandidate;
+    if ((st.eFlags[idx] & care) != want || st.eSrcPending[idx] > 0 ||
+        st.now < st.cold[idx].irbReadyAt) {
         return;
     }
-    e.reuseTested = true;
+    st.set(idx, ruuf::ReuseTested);
+    RuuCold &c = st.cold[idx];
     // A corrupted forwarded operand (fault injection) cannot match the
     // stored operand values: the reuse test fails and the duplicate
     // executes with the corrupted input — exactly the §3.4 behaviour.
-    const bool pass = !e.faulted && e.irb.op1 == e.outcome.op1Val &&
-                      e.irb.op2 == e.outcome.op2Val;
+    const bool pass = !st.any(idx, ruuf::Faulted) &&
+                      c.irb.op1 == c.outcome.op1Val &&
+                      c.irb.op2 == c.outcome.op2Val;
     cx.policy->irb()->recordReuseTest(pass);
     DIREB_TRACE(cx.tracer,
                 pass ? trace::Kind::IrbReuseHit : trace::Kind::IrbReuseMiss,
-                e.seq, e.pc, true, e.inst);
+                st.eSeq[idx], c.pc, true, c.inst);
     if (!pass)
         return;
 
     // Reuse hit: pick up the stored result and skip the ALUs entirely —
     // no issue slot, no functional unit, no result forwarding.
-    e.reuseHit = true;
-    e.bypassedAlu = true;
-    e.issued = true;
-    e.completeAt = st.now + 1;
-    e.checkValue = e.irb.result;
-    scheduleCompletion(idx, e.completeAt);
+    st.set(idx, ruuf::ReuseHit | ruuf::BypassedAlu | ruuf::Issued);
+    st.eCompleteAt[idx] = st.now + 1;
+    c.checkValue = c.irb.result;
+    scheduleCompletion(idx, st.eCompleteAt[idx]);
     ++cx.stats->numBypassedAlu;
 }
 
@@ -121,17 +136,19 @@ SchedulerBackend::squashYoungerThan(std::size_t keep_count)
     PipelineState &st = *cx.st;
     panic_if(keep_count > st.ruuCount, "bad squash point");
     for (std::size_t off = keep_count; off < st.ruuCount; ++off) {
-        RuuEntry &e = st.entryAt(off);
-        DIREB_TRACE(cx.tracer, trace::Kind::Squash, e.seq, e.pc, e.isDup,
-                    e.inst);
-        if (e.holdsLsqSlot) {
+        const int idx = st.slotAt(off);
+        DIREB_TRACE(cx.tracer, trace::Kind::Squash, st.eSeq[idx],
+                    st.cold[idx].pc, st.any(idx, ruuf::IsDup),
+                    st.cold[idx].inst);
+        if (st.any(idx, ruuf::HoldsLsqSlot)) {
             panic_if(st.lsqUsed == 0, "LSQ accounting underflow");
             --st.lsqUsed;
         }
-        if (e.faulted)
+        if (st.any(idx, ruuf::Faulted))
             cx.injector->recordSquashed();
-        onSquashEntry(e);
-        e.seq = invalidSeq; // invalidate dangling dependence edges
+        onSquashEntry(idx);
+        st.eSeq[idx] = invalidSeq; // invalidate dangling dependence edges
+        st.freeDeps(idx);          // recycle the slot's wakeup chain
     }
     st.ruuCount = keep_count;
     st.rebuildCreateVectors(cx.policy->dupOwnDataflow());
@@ -141,35 +158,36 @@ void
 SchedulerBackend::handleMispredictRecovery(int idx)
 {
     PipelineState &st = *cx.st;
-    RuuEntry &e = st.ruu[idx];
+    RuuCold &c = st.cold[idx];
     panic_if(!st.replayQueue.empty(), "recovery during fault replay");
-    DIREB_TRACE(cx.tracer, trace::Kind::Recovery, e.seq, e.pc, e.isDup,
-                e.inst);
+    DIREB_TRACE(cx.tracer, trace::Kind::Recovery, st.eSeq[idx], c.pc,
+                st.any(idx, ruuf::IsDup), c.inst);
 
     // Keep everything up to and including the branch's pair.
     const std::size_t own_off = st.offsetOf(idx);
     std::size_t keep = own_off + 1;
-    if (e.pairIdx >= 0) {
-        const std::size_t pair_off = st.offsetOf(e.pairIdx);
+    const std::int32_t pair = st.ePair[idx];
+    if (pair >= 0) {
+        const std::size_t pair_off = st.offsetOf(pair);
         keep = std::max(keep, pair_off + 1);
-        st.ruu[e.pairIdx].recoveryDone = true;
+        st.set(pair, ruuf::RecoveryDone);
     }
-    e.recoveryDone = true;
+    st.set(idx, ruuf::RecoveryDone);
 
     squashYoungerThan(keep);
     cx.spec->exitSpec();
     st.ifq.clear();
 
-    st.fetchPc = e.outcome.nextPc;
+    st.fetchPc = c.outcome.nextPc;
     st.fetchStallUntil = st.now + cx.p.redirectPenalty;
     st.lastFetchBlock = invalidAddr;
     // Repair the speculative global history to this branch's fetch-time
     // checkpoint, shifted by its now-known actual direction.
-    if (e.hasPrediction) {
-        cx.bp->recoverHistory(isBranch(e.inst.op)
-                                  ? (e.histAtFetch << 1) |
-                                        (e.outcome.taken ? 1 : 0)
-                                  : e.histAtFetch);
+    if (st.any(idx, ruuf::HasPrediction)) {
+        cx.bp->recoverHistory(isBranch(c.inst.op)
+                                  ? (c.histAtFetch << 1) |
+                                        (c.outcome.taken ? 1 : 0)
+                                  : c.histAtFetch);
     }
     ++cx.stats->numRecoveries;
 }

@@ -17,6 +17,12 @@
  * The front-end stages report scheduling events through the hook methods
  * (onDispatched, onRetiredStore, ...) which are no-ops for the scan
  * backend — the scan re-discovers everything by walking.
+ *
+ * All incremental containers draw their storage from a SchedStorage
+ * arena owned by the core (CoreContext::schedMem). OooCore::reset()
+ * rebuilds the scheduler object, but the arena survives, so a pooled
+ * core reuses every buffer's high-water capacity and the steady-state
+ * scheduling path performs no heap allocation.
  */
 
 #ifndef DIREB_CPU_SCHEDULER_HH
@@ -24,8 +30,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,11 +45,25 @@ namespace direb
  * sorts the appended tail and merges it into the sorted prefix, then
  * walks the items oldest-first and compacts the survivors in place. The
  * stages never insert into the list they are currently walking, so an
- * iteration only ever sees the normalized snapshot.
+ * iteration only ever sees the normalized snapshot. The item vector is
+ * borrowed from the core's SchedStorage so capacity survives reset.
  */
 struct SeqList
 {
-    std::vector<std::pair<InstSeq, int>> items;
+    SeqList(std::vector<std::pair<InstSeq, int>> &storage,
+            std::vector<std::pair<InstSeq, int>> &merge_scratch)
+        : items(storage), scratch(merge_scratch)
+    {
+        clear();
+    }
+
+    std::vector<std::pair<InstSeq, int>> &items;
+    /**
+     * Shared tail-merge buffer (SchedStorage::seqScratch). Safe to share
+     * between lists: each stage normalizes exactly one list before
+     * walking it, never two at once.
+     */
+    std::vector<std::pair<InstSeq, int>> &scratch;
     std::size_t sorted = 0; //!< items[0..sorted) are sorted by seq
 
     void push(InstSeq seq, int idx) { items.emplace_back(seq, idx); }
@@ -63,8 +81,24 @@ struct SeqList
         if (sorted == items.size())
             return;
         std::sort(items.begin() + sorted, items.end());
-        std::inplace_merge(items.begin(), items.begin() + sorted,
-                           items.end());
+        // Merge the sorted tail into the sorted prefix back-to-front
+        // through the recycled scratch buffer. std::inplace_merge would
+        // do the same job but grabs a temporary heap buffer on every
+        // call, which is exactly the per-cycle allocation this pass
+        // eliminates (test_alloc_steady pins it down). Ties take the
+        // prefix element first, matching inplace_merge's stability.
+        scratch.assign(items.begin() + sorted, items.end());
+        auto out = items.end();
+        auto a = items.begin() + sorted;
+        const auto a0 = items.begin();
+        auto b = scratch.end();
+        const auto b0 = scratch.begin();
+        while (b != b0) {
+            if (a != a0 && *(a - 1) > *(b - 1))
+                *--out = *--a;
+            else
+                *--out = *--b;
+        }
         sorted = items.size();
     }
 
@@ -74,6 +108,50 @@ struct SeqList
     {
         items.resize(kept);
         sorted = kept;
+    }
+};
+
+/** A scheduled completion: entry (idx, seq) finishes at cycle at. */
+struct WbEvent
+{
+    Cycle at;
+    InstSeq seq;
+    int idx;
+};
+
+/**
+ * Recycled storage for the incremental scheduler: owned by OooCore
+ * (outliving every scheduler rebuild), borrowed by ReadyListScheduler.
+ * resetAll() restores the logical empty state in O(1) per container
+ * while keeping all capacity.
+ */
+struct SchedStorage
+{
+    std::vector<std::pair<InstSeq, int>> readyItems;
+    std::vector<std::pair<InstSeq, int>> pendingMemItems;
+    std::vector<std::pair<InstSeq, int>> pendingReuseItems;
+    std::vector<std::pair<InstSeq, int>> seqScratch; //!< SeqList tail merge
+    std::vector<WbEvent> wbHeap;    //!< binary min-heap (see WbEventAfter)
+    std::vector<WbEvent> wbBatch;   //!< per-cycle writeback drain scratch
+    std::vector<InstSeq> unresolvedStores;
+    /**
+     * Resolved primary stores as (effAddr>>3, seq) pairs, sorted — the
+     * flat replacement for a map of per-block vectors: equal_range by
+     * block yields the block's stores oldest-first.
+     */
+    std::vector<std::pair<Addr, InstSeq>> resolvedStores;
+
+    void
+    resetAll()
+    {
+        readyItems.clear();
+        pendingMemItems.clear();
+        pendingReuseItems.clear();
+        seqScratch.clear();
+        wbHeap.clear();
+        wbBatch.clear();
+        unresolvedStores.clear();
+        resolvedStores.clear();
     }
 };
 
@@ -105,8 +183,8 @@ class SchedulerBackend
     virtual void onDispatchedDup(int idx) { (void)idx; }
     /** @} */
 
-    /** Commit retired primary store @p e (its forwarding window closed). */
-    virtual void onRetiredStore(const RuuEntry &e) { (void)e; }
+    /** Commit is retiring primary store slot @p idx (window closed). */
+    virtual void onRetiredStore(int idx) { (void)idx; }
 
     /** A fault rewind emptied the RUU: drop every in-flight reference. */
     virtual void reset() {}
@@ -128,8 +206,8 @@ class SchedulerBackend
     /** Entry @p idx just completed (runs after wakeup/recovery). */
     virtual void onCompleted(int idx) { (void)idx; }
 
-    /** Entry @p e is being squashed (still valid; seq cleared after). */
-    virtual void onSquashEntry(const RuuEntry &e) { (void)e; }
+    /** Slot @p idx is being squashed (still valid; seq cleared after). */
+    virtual void onSquashEntry(int idx) { (void)idx; }
 
     /** Shared machinery (bodies in scheduler.cc). @{ */
     void completeEntry(int idx);
@@ -169,16 +247,13 @@ class ScanScheduler final : public SchedulerBackend
 class ReadyListScheduler final : public SchedulerBackend
 {
   public:
-    explicit ReadyListScheduler(CoreContext &context)
-        : SchedulerBackend(context)
-    {
-    }
+    explicit ReadyListScheduler(CoreContext &context);
 
     void writeback() override;
     void memory() override;
     void onDispatched(int idx) override;
     void onDispatchedDup(int idx) override;
-    void onRetiredStore(const RuuEntry &e) override;
+    void onRetiredStore(int idx) override;
     void reset() override;
 
   protected:
@@ -186,17 +261,9 @@ class ReadyListScheduler final : public SchedulerBackend
     void onWokenReady(int idx) override;
     void scheduleCompletion(int idx, Cycle at) override;
     void onCompleted(int idx) override;
-    void onSquashEntry(const RuuEntry &e) override;
+    void onSquashEntry(int idx) override;
 
   private:
-    /** A scheduled completion: entry (idx, seq) finishes at cycle at. */
-    struct WbEvent
-    {
-        Cycle at;
-        InstSeq seq;
-        int idx;
-    };
-
     /** Min-heap order: earliest cycle first, oldest instruction first. */
     struct WbEventAfter
     {
@@ -208,22 +275,18 @@ class ReadyListScheduler final : public SchedulerBackend
     };
 
     void processWriteback(int idx);
-    void dropStoreIndex(const RuuEntry &e);
-    bool loadBlockedByStore(const RuuEntry &load, bool &forwarded) const;
+    void dropStoreIndex(Addr eff_addr, InstSeq seq);
+    bool loadBlockedByStore(int idx, bool &forwarded) const;
 
     // All sets are keyed by seq, so iteration order equals the scan's
     // oldest-first RUU order and references left dangling by a squash
     // (the slot may already hold a younger instruction) are detected by
-    // a seq mismatch and dropped lazily.
-    std::priority_queue<WbEvent, std::vector<WbEvent>, WbEventAfter>
-        wbEvents;
+    // a seq mismatch and dropped lazily. The backing vectors live in the
+    // core-owned SchedStorage arena (cx.schedMem).
+    SchedStorage &mem;
     SeqList readyList;    //!< operand-ready, not yet issued
     SeqList pendingMem;   //!< loads awaiting a D-cache port
     SeqList pendingReuse; //!< dups with pending reuse test
-    /** Primary stores pre addr-gen; appended in dispatch (= seq) order. */
-    std::vector<InstSeq> unresolvedStores;
-    /** Resolved primary stores by 8-byte block (effAddr>>3), oldest first. */
-    std::unordered_map<Addr, std::vector<InstSeq>> storeBlocks;
 };
 
 /** Build the backend selected by core.scheduler. */

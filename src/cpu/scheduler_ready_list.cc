@@ -2,11 +2,14 @@
  * @file
  * The "ready_list" scheduler backend (core.scheduler default): the scan's
  * per-cycle RUU walks replaced by incremental structures fed from the
- * dispatch/commit hooks — a completion-event min-heap for writeback, an
- * operand-ready SeqList for select/issue, a pending-load SeqList plus an
- * ordered store-address index for the memory stage, and a pending-reuse
- * SeqList for the IRB pre-pass. Bit-identical to the scan backend in
- * timing and statistics.
+ * dispatch/commit hooks — a completion-event min-heap for writeback
+ * (drained in one batch per cycle), an operand-ready SeqList for
+ * select/issue, a pending-load SeqList plus a flat sorted store-address
+ * index for the memory stage, and a pending-reuse SeqList for the IRB
+ * pre-pass. Bit-identical to the scan backend in timing and statistics.
+ * All container storage lives in the core-owned SchedStorage arena, so
+ * rebuilding the scheduler on OooCore::reset() keeps every buffer's
+ * capacity and the steady state allocates nothing.
  */
 
 #include "common/logging.hh"
@@ -15,16 +18,29 @@
 namespace direb
 {
 
+ReadyListScheduler::ReadyListScheduler(CoreContext &context)
+    : SchedulerBackend(context), mem(*context.schedMem),
+      readyList(mem.readyItems, mem.seqScratch),
+      pendingMem(mem.pendingMemItems, mem.seqScratch),
+      pendingReuse(mem.pendingReuseItems, mem.seqScratch)
+{
+    mem.wbHeap.clear();
+    mem.wbBatch.clear();
+    mem.unresolvedStores.clear();
+    mem.resolvedStores.clear();
+}
+
 void
 ReadyListScheduler::onWokenReady(int idx)
 {
-    readyList.push(cx.st->ruu[idx].seq, idx);
+    readyList.push(cx.st->eSeq[idx], idx);
 }
 
 void
 ReadyListScheduler::scheduleCompletion(int idx, Cycle at)
 {
-    wbEvents.push({at, cx.st->ruu[idx].seq, idx});
+    mem.wbHeap.push_back({at, cx.st->eSeq[idx], idx});
+    std::push_heap(mem.wbHeap.begin(), mem.wbHeap.end(), WbEventAfter{});
 }
 
 void
@@ -36,12 +52,16 @@ ReadyListScheduler::onCompleted(int idx)
     // its own (it sits right behind the primary, so it is visited next
     // within the same cycle); here the primary completes it directly.
     PipelineState &st = *cx.st;
-    RuuEntry &e = st.ruu[idx];
-    if (!e.isDup && e.pairIdx >= 0) {
-        RuuEntry &d = st.ruu[e.pairIdx];
-        if (d.isDup && d.pairIdx == idx && !d.completed && d.addrDone &&
-            isLoad(d.inst.op)) {
-            completeEntry(e.pairIdx);
+    const std::int32_t pair = st.ePair[idx];
+    if (!st.any(idx, ruuf::IsDup) && pair >= 0) {
+        constexpr std::uint32_t actionable = ruuf::IsDup | ruuf::IsLoad |
+                                             ruuf::AddrDone |
+                                             ruuf::Completed;
+        constexpr std::uint32_t want =
+            ruuf::IsDup | ruuf::IsLoad | ruuf::AddrDone;
+        if ((st.eFlags[pair] & actionable) == want &&
+            st.ePair[pair] == idx) {
+            completeEntry(pair);
         }
     }
 }
@@ -49,71 +69,69 @@ ReadyListScheduler::onCompleted(int idx)
 void
 ReadyListScheduler::onDispatched(int idx)
 {
-    const RuuEntry &e = cx.st->ruu[idx];
-    if (e.srcPending == 0)
-        readyList.push(e.seq, idx);
+    const PipelineState &st = *cx.st;
+    if (st.eSrcPending[idx] == 0)
+        readyList.push(st.eSeq[idx], idx);
     // Dispatch allocates seqs in increasing order, so appending here
     // keeps the unresolved-store list sorted.
-    if (isStore(e.inst.op))
-        unresolvedStores.push_back(e.seq);
+    if (st.any(idx, ruuf::IsStore))
+        mem.unresolvedStores.push_back(st.eSeq[idx]);
 }
 
 void
 ReadyListScheduler::onDispatchedDup(int idx)
 {
-    const RuuEntry &d = cx.st->ruu[idx];
-    if (d.srcPending == 0)
-        readyList.push(d.seq, idx);
-    if (d.irbCandidate && !cx.p.irbConsumesIssueSlot)
-        pendingReuse.push(d.seq, idx);
+    const PipelineState &st = *cx.st;
+    if (st.eSrcPending[idx] == 0)
+        readyList.push(st.eSeq[idx], idx);
+    if (st.any(idx, ruuf::IrbCandidate) && !cx.p.irbConsumesIssueSlot)
+        pendingReuse.push(st.eSeq[idx], idx);
 }
 
 void
-ReadyListScheduler::onRetiredStore(const RuuEntry &e)
+ReadyListScheduler::onRetiredStore(int idx)
 {
     // A retired store leaves the RUU and must stop forwarding to younger
     // loads (the scan only ever sees in-flight entries).
-    if (!e.isDup)
-        dropStoreIndex(e);
+    const PipelineState &st = *cx.st;
+    if (!st.any(idx, ruuf::IsDup))
+        dropStoreIndex(st.cold[idx].outcome.effAddr, st.eSeq[idx]);
 }
 
 void
-ReadyListScheduler::onSquashEntry(const RuuEntry &e)
+ReadyListScheduler::onSquashEntry(int idx)
 {
     // The store-address index is queried through its ordered ends, so
     // squashed stores must leave eagerly (the other scheduler sets drop
     // stale references lazily, by seq mismatch).
-    if (!e.isDup && isStore(e.inst.op))
-        dropStoreIndex(e);
+    const PipelineState &st = *cx.st;
+    if ((st.eFlags[idx] & (ruuf::IsStore | ruuf::IsDup)) == ruuf::IsStore)
+        dropStoreIndex(st.cold[idx].outcome.effAddr, st.eSeq[idx]);
 }
 
 void
 ReadyListScheduler::reset()
 {
-    wbEvents = {};
+    mem.wbHeap.clear();
     readyList.clear();
     pendingMem.clear();
     pendingReuse.clear();
-    unresolvedStores.clear();
-    storeBlocks.clear();
+    mem.unresolvedStores.clear();
+    mem.resolvedStores.clear();
 }
 
 void
-ReadyListScheduler::dropStoreIndex(const RuuEntry &e)
+ReadyListScheduler::dropStoreIndex(Addr eff_addr, InstSeq seq)
 {
-    const auto us = std::lower_bound(unresolvedStores.begin(),
-                                     unresolvedStores.end(), e.seq);
-    if (us != unresolvedStores.end() && *us == e.seq)
-        unresolvedStores.erase(us);
-    const auto it = storeBlocks.find(e.outcome.effAddr >> 3);
-    if (it != storeBlocks.end()) {
-        std::vector<InstSeq> &seqs = it->second;
-        const auto sb = std::lower_bound(seqs.begin(), seqs.end(), e.seq);
-        if (sb != seqs.end() && *sb == e.seq)
-            seqs.erase(sb);
-        if (seqs.empty())
-            storeBlocks.erase(it);
-    }
+    auto &us = mem.unresolvedStores;
+    const auto uit = std::lower_bound(us.begin(), us.end(), seq);
+    if (uit != us.end() && *uit == seq)
+        us.erase(uit);
+    auto &rs = mem.resolvedStores;
+    const std::pair<Addr, InstSeq> key{eff_addr >> 3, seq};
+    const auto rit = std::lower_bound(rs.begin(), rs.end(), key);
+    if (rit != rs.end() && *rit == key)
+        rs.erase(rit);
 }
 
 void
@@ -122,40 +140,46 @@ ReadyListScheduler::processWriteback(int idx)
     // One entry's worth of the scan's writeback body, reached via the
     // event heap instead of a full-RUU walk.
     PipelineState &st = *cx.st;
-    RuuEntry &e = st.ruu[idx];
-    if (e.completed)
+    const std::uint32_t f = st.eFlags[idx];
+    if (f & ruuf::Completed)
         return;
-    if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
-        if (st.ruu[e.pairIdx].completed)
+    constexpr std::uint32_t dup_load_done =
+        ruuf::IsDup | ruuf::IsLoad | ruuf::AddrDone;
+    if ((f & dup_load_done) == dup_load_done) {
+        if (st.any(st.ePair[idx], ruuf::Completed))
             completeEntry(idx);
         return;
     }
-    if (!e.issued || e.completeAt > st.now)
+    if (!(f & ruuf::Issued) || st.eCompleteAt[idx] > st.now)
         return;
-    if (e.needsMemAccess && e.addrDone && !e.memStarted)
+    constexpr std::uint32_t load_waiting =
+        ruuf::NeedsMemAccess | ruuf::AddrDone | ruuf::MemStarted;
+    if ((f & load_waiting) == (ruuf::NeedsMemAccess | ruuf::AddrDone))
         return;
-    if (e.addrGenPending) {
-        e.addrGenPending = false;
-        e.addrDone = true;
-        if (!e.isDup && isStore(e.inst.op)) {
+    if (f & ruuf::AddrGenPending) {
+        st.clear(idx, ruuf::AddrGenPending);
+        st.set(idx, ruuf::AddrDone);
+        if ((f & (ruuf::IsStore | ruuf::IsDup)) == ruuf::IsStore) {
             // The store's address is now known: move it from the
             // conservative "blocks every younger load" set into the
             // 8-byte-granular forwarding index.
-            const auto us = std::lower_bound(unresolvedStores.begin(),
-                                             unresolvedStores.end(), e.seq);
-            if (us != unresolvedStores.end() && *us == e.seq)
-                unresolvedStores.erase(us);
-            std::vector<InstSeq> &seqs =
-                storeBlocks[e.outcome.effAddr >> 3];
-            seqs.insert(std::upper_bound(seqs.begin(), seqs.end(), e.seq),
-                        e.seq);
+            const InstSeq seq = st.eSeq[idx];
+            auto &us = mem.unresolvedStores;
+            const auto uit = std::lower_bound(us.begin(), us.end(), seq);
+            if (uit != us.end() && *uit == seq)
+                us.erase(uit);
+            auto &rs = mem.resolvedStores;
+            const std::pair<Addr, InstSeq> key{
+                st.cold[idx].outcome.effAddr >> 3, seq};
+            rs.insert(std::upper_bound(rs.begin(), rs.end(), key), key);
         }
-        if (e.needsMemAccess) {
-            pendingMem.push(e.seq, idx);
+        if (f & ruuf::NeedsMemAccess) {
+            pendingMem.push(st.eSeq[idx], idx);
             return; // primary load: wait for the memory stage
         }
-        if (e.isDup && isLoad(e.inst.op)) {
-            if (st.ruu[e.pairIdx].completed)
+        if ((f & (ruuf::IsDup | ruuf::IsLoad)) ==
+            (ruuf::IsDup | ruuf::IsLoad)) {
+            if (st.any(st.ePair[idx], ruuf::Completed))
                 completeEntry(idx);
             return; // else: completed by the primary's completion hook
         }
@@ -167,27 +191,47 @@ void
 ReadyListScheduler::writeback()
 {
     PipelineState &st = *cx.st;
-    while (!wbEvents.empty() && wbEvents.top().at <= st.now) {
-        const WbEvent ev = wbEvents.top();
-        wbEvents.pop();
-        if (st.ruu[ev.idx].seq != ev.seq)
-            continue; // squashed; slot may be reused
-        processWriteback(ev.idx);
+    auto &heap = mem.wbHeap;
+    auto &batch = mem.wbBatch;
+    // Batch-drain: pop every event due this cycle into the scratch
+    // vector (heap pops deliver (at, seq) order), then process without
+    // touching the heap again. The outer loop re-checks in case a
+    // processed event scheduled another same-cycle completion.
+    while (!heap.empty() && heap.front().at <= st.now) {
+        batch.clear();
+        do {
+            std::pop_heap(heap.begin(), heap.end(), WbEventAfter{});
+            batch.push_back(heap.back());
+            heap.pop_back();
+        } while (!heap.empty() && heap.front().at <= st.now);
+        for (const WbEvent &ev : batch) {
+            if (st.eSeq[ev.idx] != ev.seq)
+                continue; // squashed; slot may be reused
+            processWriteback(ev.idx);
+        }
     }
 }
 
 bool
-ReadyListScheduler::loadBlockedByStore(const RuuEntry &load,
-                                       bool &forwarded) const
+ReadyListScheduler::loadBlockedByStore(int idx, bool &forwarded) const
 {
+    const PipelineState &st = *cx.st;
+    const InstSeq load_seq = st.eSeq[idx];
     forwarded = false;
     // Any older primary store without a generated address blocks the
     // load; since the sets are seq-ordered, "any older" is just a
     // comparison against the oldest unresolved store.
-    if (!unresolvedStores.empty() && unresolvedStores.front() < load.seq)
+    const auto &us = mem.unresolvedStores;
+    if (!us.empty() && us.front() < load_seq)
         return true; // conservative disambiguation
-    const auto it = storeBlocks.find(load.outcome.effAddr >> 3);
-    forwarded = it != storeBlocks.end() && it->second.front() < load.seq;
+    // Oldest resolved store in the load's 8-byte block, if any: the
+    // first index entry at or above (block, 0).
+    const auto &rs = mem.resolvedStores;
+    const Addr block = st.cold[idx].outcome.effAddr >> 3;
+    const auto rit = std::lower_bound(
+        rs.begin(), rs.end(), std::pair<Addr, InstSeq>{block, 0});
+    forwarded =
+        rit != rs.end() && rit->first == block && rit->second < load_seq;
     return false;
 }
 
@@ -200,19 +244,20 @@ ReadyListScheduler::memory()
     std::size_t kept = 0;
     for (std::size_t i = 0; i < pm.size(); ++i) {
         const auto [seq, idx] = pm[i];
-        RuuEntry &e = st.ruu[idx];
-        if (e.seq != seq || e.memStarted || e.completed)
+        if (st.eSeq[idx] != seq ||
+            st.any(idx, ruuf::MemStarted | ruuf::Completed)) {
             continue; // stale: drop
+        }
         bool forwarded = false;
-        if (loadBlockedByStore(e, forwarded)) {
+        if (loadBlockedByStore(idx, forwarded)) {
             ++cx.stats->numLoadsBlocked;
             pm[kept++] = pm[i]; // retry next cycle
             continue;
         }
         if (forwarded) {
-            e.memStarted = true;
-            e.completeAt = st.now + 1;
-            scheduleCompletion(idx, e.completeAt);
+            st.set(idx, ruuf::MemStarted);
+            st.eCompleteAt[idx] = st.now + 1;
+            scheduleCompletion(idx, st.eCompleteAt[idx]);
             ++cx.stats->numLoadsForwarded;
             continue;
         }
@@ -220,10 +265,11 @@ ReadyListScheduler::memory()
             pm[kept++] = pm[i]; // retry next cycle
             continue;
         }
-        e.memStarted = true;
-        e.completeAt =
-            st.now + cx.memHier->dataAccess(e.outcome.effAddr, false);
-        scheduleCompletion(idx, e.completeAt);
+        st.set(idx, ruuf::MemStarted);
+        st.eCompleteAt[idx] =
+            st.now +
+            cx.memHier->dataAccess(st.cold[idx].outcome.effAddr, false);
+        scheduleCompletion(idx, st.eCompleteAt[idx]);
     }
     pendingMem.compact(kept);
 }
@@ -242,11 +288,13 @@ ReadyListScheduler::issueImpl()
         std::size_t kept = 0;
         for (std::size_t i = 0; i < pr.size(); ++i) {
             const auto [seq, idx] = pr[i];
-            RuuEntry &e = st.ruu[idx];
-            if (e.seq != seq || e.reuseTested || e.issued || e.completed)
+            if (st.eSeq[idx] != seq ||
+                st.any(idx, ruuf::ReuseTested | ruuf::Issued |
+                                ruuf::Completed)) {
                 continue; // stale or already resolved: drop
+            }
             tryReuseTest(idx);
-            if (!e.reuseTested)
+            if (!st.any(idx, ruuf::ReuseTested))
                 pr[kept++] = pr[i]; // IRB data still in flight
         }
         pendingReuse.compact(kept);
@@ -259,49 +307,53 @@ ReadyListScheduler::issueImpl()
     unsigned slots = cx.p.issueWidth;
     for (; i < rl.size() && slots > 0; ++i) {
         const auto [seq, idx] = rl[i];
-        RuuEntry &e = st.ruu[idx];
-        if (e.seq != seq || e.issued || e.completed)
+        if (st.eSeq[idx] != seq ||
+            st.any(idx, ruuf::Issued | ruuf::Completed)) {
             continue; // stale: drop
-        panic_if(e.srcPending > 0, "unready entry on the ready list "
-                 "(seq %llu)",
-                 static_cast<unsigned long long>(e.seq));
-        if (e.irbCandidate && !e.reuseTested) {
+        }
+        panic_if(st.eSrcPending[idx] > 0,
+                 "unready entry on the ready list (seq %llu)",
+                 static_cast<unsigned long long>(seq));
+        if ((st.eFlags[idx] & (ruuf::IrbCandidate | ruuf::ReuseTested)) ==
+            ruuf::IrbCandidate) {
             if (!cx.p.irbConsumesIssueSlot) {
                 ++cycIrbDeferred;
                 rl[kept++] = rl[i];
                 continue;
             }
             tryReuseTest(idx);
-            if (!e.reuseTested) {
+            if (!st.any(idx, ruuf::ReuseTested)) {
                 ++cycIrbDeferred;
                 rl[kept++] = rl[i];
                 continue; // IRB data still in flight
             }
-            if (e.reuseHit) {
+            if (st.any(idx, ruuf::ReuseHit)) {
                 --slots; // ablation: the hit occupies issue bandwidth
                 cx.stalls->busy(trace::StallStage::Issue);
                 continue;
             }
         }
         Cycle lat = 1;
-        if (!cx.fus->tryIssue(e.cls, st.now, lat)) {
+        if (!cx.fus->tryIssue(st.eCls[idx], st.now, lat)) {
             ++cx.stats->numIssueStallFu;
             ++cycFuDenied;
             rl[kept++] = rl[i];
             continue; // other ready instructions may still find a unit
         }
-        e.issued = true;
-        e.completeAt = st.now + lat;
-        if (e.isMemOp)
-            e.addrGenPending = true; // first completion = address ready
-        scheduleCompletion(idx, e.completeAt);
+        st.set(idx, ruuf::Issued);
+        st.eCompleteAt[idx] = st.now + lat;
+        if (st.any(idx, ruuf::IsMemOp))
+            st.set(idx, ruuf::AddrGenPending); // first completion =
+                                               // address ready
+        scheduleCompletion(idx, st.eCompleteAt[idx]);
         --slots;
         ++cx.stats->numIssuedTotal;
         cx.stalls->busy(trace::StallStage::Issue);
         cx.stats->issueDelay.sample(
-            static_cast<double>(st.now - e.dispatchedAt));
-        DIREB_TRACE(cx.tracer, trace::Kind::Issue, e.seq, e.pc, e.isDup,
-                    e.inst);
+            static_cast<double>(st.now - st.eDispatchedAt[idx]));
+        DIREB_TRACE(cx.tracer, trace::Kind::Issue, st.eSeq[idx],
+                    st.cold[idx].pc, st.any(idx, ruuf::IsDup),
+                    st.cold[idx].inst);
     }
     for (; i < rl.size(); ++i)
         rl[kept++] = rl[i]; // issue bandwidth exhausted: keep the rest

@@ -18,33 +18,37 @@ ScanScheduler::writeback()
     // Oldest-first scan; a recovery squash inside completeEntry() shrinks
     // ruuCount, which the loop condition re-checks every iteration.
     for (std::size_t off = 0; off < st.ruuCount; ++off) {
-        const int idx =
-            static_cast<int>((st.ruuHead + off) % st.ruu.size());
-        RuuEntry &e = st.ruu[idx];
-        if (e.completed)
+        const int idx = st.slotAt(off);
+        const std::uint32_t f = st.eFlags[idx];
+        if (f & ruuf::Completed)
             continue;
         // Duplicate loads: address generation may be done, but the
         // register copy only arrives when the single (primary) memory
         // access returns — the duplicate stream must not see a faster
         // memory than the primary one.
-        if (e.isDup && isLoad(e.inst.op) && e.addrDone) {
-            if (st.ruu[e.pairIdx].completed)
+        constexpr std::uint32_t dup_load_done =
+            ruuf::IsDup | ruuf::IsLoad | ruuf::AddrDone;
+        if ((f & dup_load_done) == dup_load_done) {
+            if (st.any(st.ePair[idx], ruuf::Completed))
                 completeEntry(idx);
             continue;
         }
-        if (!e.issued || e.completeAt > st.now)
+        if (!(f & ruuf::Issued) || st.eCompleteAt[idx] > st.now)
             continue;
-        if (e.needsMemAccess && e.addrDone && !e.memStarted)
+        constexpr std::uint32_t load_waiting =
+            ruuf::NeedsMemAccess | ruuf::AddrDone | ruuf::MemStarted;
+        if ((f & load_waiting) == (ruuf::NeedsMemAccess | ruuf::AddrDone))
             continue; // load waiting for a memory port / disambiguation
-        if (e.addrGenPending) {
-            e.addrGenPending = false;
-            e.addrDone = true;
-            if (e.needsMemAccess)
+        if (f & ruuf::AddrGenPending) {
+            st.clear(idx, ruuf::AddrGenPending);
+            st.set(idx, ruuf::AddrDone);
+            if (f & ruuf::NeedsMemAccess)
                 continue; // primary load: wait for the memory stage
-            if (e.isDup && isLoad(e.inst.op)) {
+            if ((f & (ruuf::IsDup | ruuf::IsLoad)) ==
+                (ruuf::IsDup | ruuf::IsLoad)) {
                 // Re-checked above next cycle (or now if the primary is
                 // already done).
-                if (st.ruu[e.pairIdx].completed)
+                if (st.any(st.ePair[idx], ruuf::Completed))
                     completeEntry(idx);
                 continue;
             }
@@ -60,16 +64,19 @@ ScanScheduler::olderStoreBlocks(std::size_t load_offset,
                                 bool &forwarded) const
 {
     const PipelineState &st = *cx.st;
-    const RuuEntry &load = st.entryAt(load_offset);
+    const Addr load_block =
+        st.cold[st.slotAt(load_offset)].outcome.effAddr >> 3;
     forwarded = false;
     for (std::size_t off = 0; off < load_offset; ++off) {
-        const RuuEntry &e = st.entryAt(off);
-        if (!isStore(e.inst.op) || e.isDup)
+        const int idx = st.slotAt(off);
+        if ((st.eFlags[idx] & (ruuf::IsStore | ruuf::IsDup)) !=
+            ruuf::IsStore) {
             continue;
-        if (!e.addrDone)
+        }
+        if (!st.any(idx, ruuf::AddrDone))
             return true; // conservative disambiguation
         // 8-byte-granular overlap check; latest matching store wins.
-        if ((e.outcome.effAddr >> 3) == (load.outcome.effAddr >> 3))
+        if ((st.cold[idx].outcome.effAddr >> 3) == load_block)
             forwarded = true;
     }
     return false;
@@ -80,8 +87,13 @@ ScanScheduler::memory()
 {
     PipelineState &st = *cx.st;
     for (std::size_t off = 0; off < st.ruuCount; ++off) {
-        RuuEntry &e = st.entryAt(off);
-        if (!e.needsMemAccess || !e.addrDone || e.memStarted || e.completed)
+        const int idx = st.slotAt(off);
+        constexpr std::uint32_t care = ruuf::NeedsMemAccess |
+                                       ruuf::AddrDone | ruuf::MemStarted |
+                                       ruuf::Completed;
+        constexpr std::uint32_t want =
+            ruuf::NeedsMemAccess | ruuf::AddrDone;
+        if ((st.eFlags[idx] & care) != want)
             continue;
         bool forwarded = false;
         if (olderStoreBlocks(off, forwarded)) {
@@ -89,16 +101,17 @@ ScanScheduler::memory()
             continue;
         }
         if (forwarded) {
-            e.memStarted = true;
-            e.completeAt = st.now + 1;
+            st.set(idx, ruuf::MemStarted);
+            st.eCompleteAt[idx] = st.now + 1;
             ++cx.stats->numLoadsForwarded;
             continue;
         }
         if (!cx.fus->tryMemPort(st.now))
             continue;
-        e.memStarted = true;
-        e.completeAt =
-            st.now + cx.memHier->dataAccess(e.outcome.effAddr, false);
+        st.set(idx, ruuf::MemStarted);
+        st.eCompleteAt[idx] =
+            st.now +
+            cx.memHier->dataAccess(st.cold[idx].outcome.effAddr, false);
     }
 }
 
@@ -115,51 +128,54 @@ ScanScheduler::issueImpl()
     // loop and burn an issue slot.
     if (cx.policy->irb() && !cx.p.irbConsumesIssueSlot) {
         for (std::size_t off = 0; off < st.ruuCount; ++off)
-            tryReuseTest(
-                static_cast<int>((st.ruuHead + off) % st.ruu.size()));
+            tryReuseTest(st.slotAt(off));
     }
 
     unsigned slots = cx.p.issueWidth;
     for (std::size_t off = 0; off < st.ruuCount && slots > 0; ++off) {
-        RuuEntry &e = st.entryAt(off);
-        if (e.issued || e.completed || e.srcPending > 0)
+        const int idx = st.slotAt(off);
+        if (st.any(idx, ruuf::Issued | ruuf::Completed) ||
+            st.eSrcPending[idx] > 0) {
             continue;
+        }
         // Rdy2L/Rdy2R semantics (paper Figure 5): a duplicate with a
         // pending reuse test is not schedulable until the test resolves.
-        if (e.irbCandidate && !e.reuseTested) {
+        if ((st.eFlags[idx] & (ruuf::IrbCandidate | ruuf::ReuseTested)) ==
+            ruuf::IrbCandidate) {
             if (!cx.p.irbConsumesIssueSlot) {
                 ++cycIrbDeferred;
                 continue;
             }
-            tryReuseTest(
-                static_cast<int>((st.ruuHead + off) % st.ruu.size()));
-            if (!e.reuseTested) {
+            tryReuseTest(idx);
+            if (!st.any(idx, ruuf::ReuseTested)) {
                 ++cycIrbDeferred;
                 continue; // IRB data still in flight
             }
-            if (e.reuseHit) {
+            if (st.any(idx, ruuf::ReuseHit)) {
                 --slots; // ablation: the hit occupies issue bandwidth
                 cx.stalls->busy(trace::StallStage::Issue);
                 continue;
             }
         }
         Cycle lat = 1;
-        if (!cx.fus->tryIssue(e.cls, st.now, lat)) {
+        if (!cx.fus->tryIssue(st.eCls[idx], st.now, lat)) {
             ++cx.stats->numIssueStallFu;
             ++cycFuDenied;
             continue; // other ready instructions may still find a unit
         }
-        e.issued = true;
-        e.completeAt = st.now + lat;
-        if (e.isMemOp)
-            e.addrGenPending = true; // first completion = address ready
+        st.set(idx, ruuf::Issued);
+        st.eCompleteAt[idx] = st.now + lat;
+        if (st.any(idx, ruuf::IsMemOp))
+            st.set(idx, ruuf::AddrGenPending); // first completion =
+                                               // address ready
         --slots;
         ++cx.stats->numIssuedTotal;
         cx.stalls->busy(trace::StallStage::Issue);
         cx.stats->issueDelay.sample(
-            static_cast<double>(st.now - e.dispatchedAt));
-        DIREB_TRACE(cx.tracer, trace::Kind::Issue, e.seq, e.pc, e.isDup,
-                    e.inst);
+            static_cast<double>(st.now - st.eDispatchedAt[idx]));
+        DIREB_TRACE(cx.tracer, trace::Kind::Issue, st.eSeq[idx],
+                    st.cold[idx].pc, st.any(idx, ruuf::IsDup),
+                    st.cold[idx].inst);
     }
 }
 

@@ -39,10 +39,8 @@ struct DispatchStage
   private:
     void dispatchOne(CoreContext &cx, const FetchedInst &fi,
                      unsigned &width_left);
-    void linkSources(CoreContext &cx, RuuEntry &e, int idx,
-                     unsigned stream);
-    void maybeInjectForwardFault(CoreContext &cx, RuuEntry &prim,
-                                 RuuEntry &dup);
+    void linkSources(CoreContext &cx, int idx, unsigned stream);
+    void maybeInjectForwardFault(CoreContext &cx, int prim, int dup);
 };
 
 /**
@@ -56,7 +54,7 @@ struct CommitStage
     void run(CoreContext &cx);
 
   private:
-    void retireEntry(CoreContext &cx, RuuEntry &e);
+    void retireEntry(CoreContext &cx, int idx);
     void faultRewind(CoreContext &cx, std::size_t pair_offset);
 };
 

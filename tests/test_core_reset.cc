@@ -163,6 +163,57 @@ TEST(CorePool, ReusesIdleCoresAndCounts)
     pool.release(std::move(c));
 }
 
+TEST(CorePool, PooledAndResetCoresMatchFreshAcrossAllModes)
+{
+    // The SoA pipeline state and the scheduler arena survive reset() with
+    // their capacity intact; a single pooled core rebound through every
+    // mode must stay byte-identical (stats snapshot, rendered text,
+    // program output) to a fresh core in each one.
+    setQuiet(true);
+    const Program prog = workloads::build("compress", 1);
+    harness::CorePool pool;
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        SCOPED_TRACE(mode);
+        const Config cfg = makeConfig(mode, "ready_list");
+
+        OooCore fresh(prog, cfg);
+        const RunCapture want = capture(fresh);
+
+        auto pooled = pool.acquire(prog, cfg);
+        expectIdentical(want, capture(*pooled));
+        pool.release(std::move(pooled));
+    }
+    EXPECT_EQ(pool.constructions(), 1u);
+    EXPECT_EQ(pool.reuses(), 2u);
+}
+
+TEST(CorePool, PooledCoreSurvivesRuuResizeAcrossReuses)
+{
+    // Rebinding a pooled core to a different ruu.size re-sizes the
+    // power-of-two ring and every parallel array; growth and shrink must
+    // both land byte-identical to fresh construction (a stale high-water
+    // capacity or leftover dependence-arena node would diverge here).
+    setQuiet(true);
+    const Program prog = workloads::build("route", 1);
+    harness::CorePool pool;
+    for (const char *ruu : {"128", "16", "256", "32"}) {
+        SCOPED_TRACE(std::string("ruu.size=") + ruu);
+        Config cfg = makeConfig("die-irb", "ready_list");
+        cfg.set("ruu.size", ruu);
+
+        OooCore fresh(prog, cfg);
+        const RunCapture want = capture(fresh);
+
+        auto pooled = pool.acquire(prog, cfg);
+        expectIdentical(want, capture(*pooled));
+        EXPECT_EQ(pooled->params().ruuSize,
+                  static_cast<std::size_t>(std::stoul(ruu)));
+        pool.release(std::move(pooled));
+    }
+    EXPECT_EQ(pool.constructions(), 1u);
+    EXPECT_EQ(pool.reuses(), 3u);
+}
+
 TEST(CorePool, AcquireFailureDoesNotPoolTheCore)
 {
     setQuiet(true);

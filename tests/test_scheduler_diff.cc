@@ -99,6 +99,54 @@ TEST(SchedulerDiffAblations, DupOwnDataflow)
     EXPECT_EQ(a.stats, b.stats);
 }
 
+// Ring-wraparound stress: tiny and non-power-of-two RUU sizes make the
+// power-of-two ring wrap every few cycles (bit_ceil pads 6 -> 8,
+// 10 -> 16, 48 -> 64, leaving dead slots between tail and head), while
+// branchy kernels squash mid-wrap and immediately reuse the freed slots
+// under new sequence numbers. A scheduler reference surviving a squash
+// past the seq-guard, or a walk that crosses the ring seam wrongly,
+// diverges from the scan reference here.
+TEST(SchedulerDiffRingWrap, TinyRuuSizesStayBitIdentical)
+{
+    for (const char *kernel : {"compress", "pointer"}) {
+        for (const char *mode : {"sie", "die", "die-irb"}) {
+            for (const char *ruu : {"6", "10", "48"}) {
+                SCOPED_TRACE(std::string(kernel) + "/" + mode +
+                             "/ruu=" + ruu);
+                Config scan = harness::baseConfig(mode);
+                scan.set("ruu.size", ruu);
+                scan.set("core.scheduler", "scan");
+                Config list = harness::baseConfig(mode);
+                list.set("ruu.size", ruu);
+                list.set("core.scheduler", "ready_list");
+                const auto a = harness::runWorkload(kernel, scan);
+                const auto b = harness::runWorkload(kernel, list);
+                EXPECT_EQ(a.core.cycles, b.core.cycles);
+                EXPECT_EQ(a.core.archInsts, b.core.archInsts);
+                EXPECT_EQ(a.stats, b.stats);
+                EXPECT_EQ(a.output, b.output);
+            }
+        }
+    }
+}
+
+// SIE has no pairing constraint, so odd sizes are legal there — cover
+// the maximally-awkward ring (size 5 in an 8-slot ring).
+TEST(SchedulerDiffRingWrap, OddRuuSizeSieStaysBitIdentical)
+{
+    Config scan = harness::baseConfig("sie");
+    scan.set("ruu.size", "5");
+    scan.set("core.scheduler", "scan");
+    Config list = harness::baseConfig("sie");
+    list.set("ruu.size", "5");
+    list.set("core.scheduler", "ready_list");
+    const auto a = harness::runWorkload("sort", scan);
+    const auto b = harness::runWorkload("sort", list);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.output, b.output);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, SchedulerDiff,
     ::testing::ValuesIn([] {

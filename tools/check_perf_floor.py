@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI perf-floor gate for the simulator throughput bench.
+
+Compares the ready_list cycles/sec rates in a freshly produced
+BENCH_throughput.json against the checked-in per-workload floors
+(bench/perf_floors.json) and fails the build on a real regression:
+
+  * The floors were recorded on a specific host class, identified by its
+    hardware-thread count. When the current run's hw_threads differs,
+    absolute rates are not comparable — the check degrades to warn-only
+    (report printed, exit 0) instead of failing on machine noise.
+  * On a matching host, a geomean(current/floor) below 1 - slack
+    (default slack 10%) is a hard failure. Individual workloads below
+    their floor are listed as warnings either way; single-workload noise
+    does not gate.
+
+The full comparison is also written as a JSON report (--report) so CI
+can upload it as an artifact next to the bench output.
+
+Usage:
+  check_perf_floor.py BENCH_throughput.json bench/perf_floors.json \
+      [--report perf_floor_report.json] [--slack 0.10]
+
+To refresh the floors after an intentional perf change, run
+bench_throughput on the reference host and regenerate with:
+  check_perf_floor.py --update BENCH_throughput.json bench/perf_floors.json
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def bench_rates(bench):
+    """workload -> ready_list cycles/sec from a bench_throughput report."""
+    rates = {}
+    for row in bench["workloads"]:
+        rates[row["workload"]] = row["ready_list"]["cycles_per_sec"]
+    if not rates:
+        sys.exit("error: bench report contains no workloads")
+    return rates
+
+
+def bench_hw_threads(bench):
+    return int(bench["sweep"]["hardware_threads"])
+
+
+def update_floors(bench_path, floors_path):
+    bench = load(bench_path)
+    floors = {
+        "comment": "ready_list cycles/sec floors for check_perf_floor.py; "
+                   "regenerate with --update on the reference host",
+        "hw_threads": bench_hw_threads(bench),
+        "geomean_slack": 0.10,
+        "floors": bench_rates(bench),
+    }
+    with open(floors_path, "w") as f:
+        json.dump(floors, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {floors_path} ({len(floors['floors'])} workloads, "
+          f"hw_threads={floors['hw_threads']})")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("floors_json")
+    ap.add_argument("--report", help="write the comparison as JSON here")
+    ap.add_argument("--slack", type=float, default=None,
+                    help="allowed geomean regression (default: floors "
+                         "file's geomean_slack, else 0.10)")
+    ap.add_argument("--update", action="store_true",
+                    help="regenerate the floors file from the bench "
+                         "report instead of checking")
+    args = ap.parse_args()
+
+    if args.update:
+        update_floors(args.bench_json, args.floors_json)
+        return
+
+    bench = load(args.bench_json)
+    floors_doc = load(args.floors_json)
+    floors = floors_doc["floors"]
+    slack = args.slack if args.slack is not None else \
+        float(floors_doc.get("geomean_slack", 0.10))
+    rates = bench_rates(bench)
+
+    cur_hw = bench_hw_threads(bench)
+    ref_hw = int(floors_doc["hw_threads"])
+    host_match = cur_hw == ref_hw
+
+    rows = []
+    ratios = []
+    for name, floor in sorted(floors.items()):
+        if name not in rates:
+            rows.append({"workload": name, "status": "missing"})
+            continue
+        ratio = rates[name] / floor
+        ratios.append(ratio)
+        rows.append({
+            "workload": name,
+            "floor_cycles_per_sec": floor,
+            "current_cycles_per_sec": rates[name],
+            "ratio": ratio,
+            "status": "ok" if ratio >= 1.0 - slack else "below_floor",
+        })
+    if not ratios:
+        sys.exit("error: no floor workload matches the bench report "
+                 "(renamed workload set? refresh the floors file)")
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    gated = host_match
+    failed = gated and geomean < 1.0 - slack
+
+    report = {
+        "check": "perf_floor",
+        "hw_threads": {"current": cur_hw, "reference": ref_hw},
+        "gated": gated,
+        "geomean_ratio": geomean,
+        "slack": slack,
+        "result": "fail" if failed else "pass",
+        "workloads": rows,
+    }
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    width = max(len(r["workload"]) for r in rows)
+    for r in rows:
+        if r["status"] == "missing":
+            print(f"  {r['workload']:<{width}}  MISSING from bench report")
+        else:
+            mark = "" if r["status"] == "ok" else "  <-- below floor"
+            print(f"  {r['workload']:<{width}}  "
+                  f"{r['current_cycles_per_sec'] / 1e6:8.3f} Mcyc/s  "
+                  f"(floor {r['floor_cycles_per_sec'] / 1e6:8.3f}, "
+                  f"ratio {r['ratio']:.3f}){mark}")
+    print(f"geomean current/floor: {geomean:.3f} "
+          f"(hard floor at matching hw_threads: {1.0 - slack:.2f})")
+
+    if not gated:
+        print(f"WARN-ONLY: floors were recorded at hw_threads={ref_hw}, "
+              f"this host has {cur_hw}; absolute rates are not "
+              f"comparable, so the gate is skipped.")
+        return
+    if failed:
+        sys.exit(f"FAIL: geomean throughput regressed more than "
+                 f"{slack:.0%} against the checked-in floors")
+    print("PASS: throughput at or above the checked-in floors")
+
+
+if __name__ == "__main__":
+    main()
