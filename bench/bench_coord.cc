@@ -1,0 +1,402 @@
+/**
+ * @file
+ * dieirb-coord load generator: two in-process dieirb-serve backends, an
+ * in-process coordinator sharding across them, and many concurrent
+ * keep-alive clients each issuing streamed NDJSON sweeps through the
+ * coordinator over real sockets.
+ *
+ * Every response is checked end to end — HTTP 200, intact chunked
+ * framing all the way to the terminal chunk (a truncated stream is a
+ * dropped response), one NDJSON line per point in exact request order,
+ * a `"done"` summary with zero cancelled points, and byte-identical
+ * bodies across every repetition (the merged two-backend stream must be
+ * deterministic, not just complete).
+ *
+ * Acceptance: >= 100 sharded sweeps with zero dropped/short responses.
+ *
+ * Usage: bench_coord [BENCH_coord.json] [--connections N] [--sweeps N]
+ *   --connections N   concurrent client connections (default 8)
+ *   --sweeps N        sweeps per connection (default 16)
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "coord/coordinator.hh"
+#include "harness/report.hh"
+#include "service/io.hh"
+#include "service/server.hh"
+
+using namespace direb;
+using harness::Json;
+
+namespace
+{
+
+int
+connectTo(unsigned short port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+fill(int fd, std::string &buf)
+{
+    char tmp[16384];
+    const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n <= 0)
+        return false;
+    buf.append(tmp, static_cast<std::size_t>(n));
+    return true;
+}
+
+/**
+ * Read one chunked response off a keep-alive socket and decode it to
+ * @p body. Returns the HTTP status, or 0 on any framing or transport
+ * failure — including EOF before the terminal chunk, which is exactly
+ * how a failed fan-out announces itself.
+ */
+int
+readChunkedResponse(int fd, std::string &carry, std::string &body)
+{
+    std::size_t hdrEnd;
+    while ((hdrEnd = carry.find("\r\n\r\n")) == std::string::npos) {
+        if (!fill(fd, carry))
+            return 0;
+    }
+    std::string headers = carry.substr(0, hdrEnd + 4);
+    carry.erase(0, hdrEnd + 4);
+    for (char &c : headers)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    const std::size_t sp = headers.find(' ');
+    if (sp == std::string::npos)
+        return 0;
+    const int status = std::atoi(headers.c_str() + sp + 1);
+    if (headers.find("transfer-encoding: chunked") == std::string::npos) {
+        // Error responses are Content-Length framed.
+        const std::size_t cl = headers.find("content-length:");
+        if (cl == std::string::npos)
+            return 0;
+        const std::size_t want =
+            std::strtoul(headers.c_str() + cl + 15, nullptr, 10);
+        while (carry.size() < want) {
+            if (!fill(fd, carry))
+                return 0;
+        }
+        body = carry.substr(0, want);
+        carry.erase(0, want);
+        return status;
+    }
+
+    body.clear();
+    for (;;) {
+        std::size_t eol;
+        while ((eol = carry.find("\r\n")) == std::string::npos) {
+            if (!fill(fd, carry))
+                return 0;
+        }
+        const std::size_t size =
+            std::strtoul(carry.c_str(), nullptr, 16);
+        carry.erase(0, eol + 2);
+        while (carry.size() < size + 2) {
+            if (!fill(fd, carry))
+                return 0; // truncated mid-chunk: the stream failed
+        }
+        if (size == 0)
+            return status; // terminal chunk: the stream completed
+        body.append(carry, 0, size);
+        carry.erase(0, size + 2);
+    }
+}
+
+struct ClientResult
+{
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::vector<double> latencies;   //!< seconds per completed sweep
+    std::vector<std::string> bodies; //!< for the determinism check
+};
+
+/** One NDJSON body checked line by line against the request order. */
+bool
+checkSweepBody(const std::string &body,
+               const std::vector<std::string> &names)
+{
+    std::size_t pos = 0;
+    std::size_t idx = 0;
+    bool sawDone = false;
+    while (pos < body.size()) {
+        const std::size_t nl = body.find('\n', pos);
+        if (nl == std::string::npos)
+            return false; // unterminated final line
+        const std::string line = body.substr(pos, nl - pos);
+        pos = nl + 1;
+        try {
+            const Json j = Json::parse(line);
+            if (j.find("done")) {
+                const Json *cancelled = j.find("cancelled");
+                sawDone = j.find("done")->asBool() && cancelled &&
+                          cancelled->asNumber() == 0;
+                return sawDone && idx == names.size() &&
+                       pos == body.size();
+            }
+            if (idx >= names.size())
+                return false; // more lines than points
+            const Json *name = j.find("name");
+            if (!name || !name->isString() ||
+                name->asString() != names[idx]) {
+                return false; // out of order
+            }
+            ++idx;
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    return false; // no summary line
+}
+
+ClientResult
+runClient(unsigned short port, unsigned sweeps, const std::string &wire,
+          const std::vector<std::string> &names)
+{
+    ClientResult res;
+    const int fd = connectTo(port);
+    if (fd < 0) {
+        res.failed = sweeps;
+        return res;
+    }
+    std::string carry;
+    for (unsigned i = 0; i < sweeps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!service::io::writeFull(fd, wire.data(), wire.size())) {
+            res.failed += sweeps - i;
+            break;
+        }
+        std::string body;
+        const int status = readChunkedResponse(fd, carry, body);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (status == 200 && checkSweepBody(body, names)) {
+            ++res.ok;
+            res.latencies.push_back(dt.count());
+            res.bodies.push_back(std::move(body));
+        } else {
+            ++res.failed;
+            break; // chunk framing is gone; the connection is useless
+        }
+    }
+    ::close(fd);
+    return res;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(idx + 0.5)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_coord.json";
+    unsigned connections = 8;
+    unsigned sweeps = 16;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--connections" && i + 1 < argc) {
+            connections = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--sweeps" && i + 1 < argc) {
+            sweeps = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            jsonPath = a;
+        }
+    }
+    fatal_if(connections == 0 || sweeps == 0,
+             "need at least one connection and one sweep");
+
+    harness::banner("coord-load",
+                    "sharded streamed sweeps across two backends: zero "
+                    "dropped or short responses, deterministic merge");
+    setQuiet(true);
+
+    // Two backends + the coordinator, all in-process on kernel ports.
+    service::ServerOptions bopts;
+    bopts.port = 0;
+    bopts.workers = 0;
+    bopts.queueDepth = 4 * connections + 16;
+    bopts.socketTimeoutMs = 120'000;
+    bopts.idleTimeoutMs = 300'000;
+    service::Server backend1(bopts);
+    service::Server backend2(bopts);
+    backend1.start();
+    backend2.start();
+
+    service::ServerOptions copts;
+    copts.port = 0;
+    copts.workers = 4 * connections + 16; // fan-outs block on backends
+    copts.queueDepth = 4 * connections + 16;
+    copts.modeName = "coord";
+    copts.socketTimeoutMs = 120'000;
+    copts.idleTimeoutMs = 300'000;
+    service::Server front(copts);
+    coord::CoordOptions ccfg;
+    ccfg.backends = {
+        "127.0.0.1:" + std::to_string(backend1.port()),
+        "127.0.0.1:" + std::to_string(backend2.port()),
+    };
+    coord::Coordinator coordinator(front, ccfg);
+    coordinator.start();
+    front.start();
+
+    // Small points: the bench measures the fan-out path, not the
+    // simulator. Explicit names pin the expected merge order.
+    std::vector<std::string> names;
+    std::string points;
+    for (int p = 0; p < 6; ++p) {
+        names.push_back("p" + std::to_string(p));
+        if (!points.empty())
+            points += ", ";
+        points += "{\"name\": \"p" + std::to_string(p) +
+                  "\", \"workload\": \"route\", \"max_insts\": " +
+                  std::to_string(8000 + 1000 * p) + "}";
+    }
+    const std::string body = "{\"points\": [" + points +
+                             "], \"stream\": true, \"cache\": false}";
+    const std::string wire =
+        "POST /v1/sweep HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+
+    std::printf("  %u connections x %u streamed sweeps x %zu points "
+                "across 2 backends\n",
+                connections, sweeps, names.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    std::vector<ClientResult> results(connections);
+    threads.reserve(connections);
+    for (unsigned c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            results[c] =
+                runClient(front.port(), sweeps, wire, names);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - t0;
+
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::vector<double> latencies;
+    bool deterministic = true;
+    const std::string *reference = nullptr;
+    for (const ClientResult &r : results) {
+        ok += r.ok;
+        failed += r.failed;
+        latencies.insert(latencies.end(), r.latencies.begin(),
+                         r.latencies.end());
+        for (const std::string &b : r.bodies) {
+            if (!reference)
+                reference = &b;
+            else if (b != *reference)
+                deterministic = false;
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+
+    const double sps =
+        wall.count() > 0 ? static_cast<double>(ok) / wall.count() : 0;
+    const double p50 = percentile(latencies, 0.50);
+    const double p99 = percentile(latencies, 0.99);
+
+    std::printf("  ok=%llu failed=%llu in %.2fs -> %.1f sweeps/s, "
+                "deterministic=%s\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(failed), wall.count(),
+                sps, deterministic ? "yes" : "NO");
+    std::printf("  sweep latency p50=%.1fms p99=%.1fms\n", p50 * 1e3,
+                p99 * 1e3);
+
+    front.shutdown();
+    coordinator.stop();
+    backend1.shutdown();
+    backend2.shutdown();
+
+    Json root = Json::object();
+    root.set("experiment", "coord-load");
+    root.set("backends", 2);
+    root.set("connections", connections);
+    root.set("sweeps_per_connection", sweeps);
+    root.set("points_per_sweep",
+             static_cast<std::uint64_t>(names.size()));
+    root.set("ok", ok);
+    root.set("failed", failed);
+    root.set("wall_seconds", wall.count());
+    root.set("sweeps_per_sec", sps);
+    Json lat = Json::object();
+    lat.set("p50_seconds", p50);
+    lat.set("p99_seconds", p99);
+    root.set("latency", std::move(lat));
+    const bool scale_ok = ok >= 100;
+    root.set("accept_zero_failures", failed == 0);
+    root.set("accept_deterministic", deterministic);
+    root.set("accept_scale_100", scale_ok);
+    harness::writeJsonReport(jsonPath, root);
+
+    if (failed > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu dropped/short/misordered responses\n",
+                     static_cast<unsigned long long>(failed));
+        return 1;
+    }
+    if (!deterministic) {
+        std::fprintf(stderr,
+                     "FAIL: merged streams were not byte-identical\n");
+        return 1;
+    }
+    if (!scale_ok) {
+        std::fprintf(stderr,
+                     "FAIL: only %llu ok sweeps (< 100); raise "
+                     "--connections/--sweeps\n",
+                     static_cast<unsigned long long>(ok));
+        return 1;
+    }
+    std::printf("  PASS: %llu sharded sweeps, zero dropped, "
+                "byte-identical merges\n",
+                static_cast<unsigned long long>(ok));
+    return 0;
+}

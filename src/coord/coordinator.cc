@@ -1,0 +1,984 @@
+#include "coord/coordinator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+
+namespace direb
+{
+
+namespace coord
+{
+
+namespace
+{
+
+using harness::Json;
+using service::HttpRequest;
+using service::HttpResponse;
+using service::PointSpec;
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    Json j = Json::object();
+    j.set("error", message);
+    return HttpResponse(status, j.dump(0) + "\n");
+}
+
+/**
+ * The line a backend would emit for a point its drain cancelled:
+ * serialized through the same resultJson() path the backends use, so
+ * coordinator-synthesized cancellations are byte-identical to
+ * backend-emitted ones.
+ */
+std::string
+cancelledLine(const PointSpec &spec)
+{
+    harness::SweepResult r;
+    r.name = spec.name;
+    r.status = harness::PointStatus::Cancelled;
+    return harness::resultJson(r).dump(0) + "\n";
+}
+
+/** dieirb_* -> dieirb_backend_* (names already elsewhere untouched). */
+std::string
+renameBackendMetric(const std::string &name)
+{
+    if (name.rfind("dieirb_", 0) == 0)
+        return "dieirb_backend_" + name.substr(std::strlen("dieirb_"));
+    return name;
+}
+
+struct FamAgg
+{
+    std::string help;
+    std::string type;
+    std::vector<std::string> samples;
+};
+
+/**
+ * Fold one backend's /metrics body into the per-family aggregate:
+ * families renamed dieirb_* -> dieirb_backend_*, every sample tagged
+ * with a backend="host:port" label, HELP/TYPE kept once per family.
+ */
+void
+mergeBackendMetrics(const std::string &address, const std::string &body,
+                    std::map<std::string, FamAgg> &fams)
+{
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        const std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // "# HELP <name> <text>" / "# TYPE <name> <kind>"
+            const bool isHelp = line.rfind("# HELP ", 0) == 0;
+            const bool isType = line.rfind("# TYPE ", 0) == 0;
+            if (!isHelp && !isType)
+                continue;
+            const std::size_t nameStart = std::strlen("# HELP ");
+            const std::size_t nameEnd = line.find(' ', nameStart);
+            if (nameEnd == std::string::npos)
+                continue;
+            const std::string fam = renameBackendMetric(
+                line.substr(nameStart, nameEnd - nameStart));
+            FamAgg &agg = fams[fam];
+            const std::string rest = line.substr(nameEnd + 1);
+            if (isHelp && agg.help.empty())
+                agg.help = rest;
+            if (isType && agg.type.empty())
+                agg.type = rest;
+            continue;
+        }
+        // Sample: "<name>{labels} value" or "<name> value".
+        const std::size_t brace = line.find('{');
+        const std::size_t space = line.find(' ');
+        std::string name;
+        std::string rewritten;
+        if (brace != std::string::npos &&
+            (space == std::string::npos || brace < space)) {
+            name = renameBackendMetric(line.substr(0, brace));
+            rewritten = name + "{backend=\"" + address + "\"," +
+                        line.substr(brace + 1);
+        } else if (space != std::string::npos) {
+            name = renameBackendMetric(line.substr(0, space));
+            rewritten = name + "{backend=\"" + address + "\"}" +
+                        line.substr(space);
+        } else {
+            continue; // not a sample line
+        }
+        // Histogram samples hang off their family's base name.
+        std::string fam = name;
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::size_t n = std::strlen(suffix);
+            if (fam.size() > n &&
+                fam.compare(fam.size() - n, n, suffix) == 0 &&
+                fams.count(fam.substr(0, fam.size() - n))) {
+                fam = fam.substr(0, fam.size() - n);
+                break;
+            }
+        }
+        fams[fam].samples.push_back(std::move(rewritten));
+    }
+}
+
+std::string
+renderFams(const std::map<std::string, FamAgg> &fams)
+{
+    std::string out;
+    for (const auto &[name, agg] : fams) {
+        if (agg.samples.empty())
+            continue;
+        if (!agg.help.empty())
+            out += "# HELP " + name + " " + agg.help + "\n";
+        if (!agg.type.empty())
+            out += "# TYPE " + name + " " + agg.type + "\n";
+        for (const std::string &s : agg.samples)
+            out += s + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+backendStateName(BackendState state)
+{
+    switch (state) {
+      case BackendState::Up: return "up";
+      case BackendState::Draining: return "draining";
+      case BackendState::Down: return "down";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Fan-out bookkeeping
+// ---------------------------------------------------------------------
+
+/**
+ * Shared state of one sharded sweep. Every sub-sweep's callbacks and
+ * the coordinating job thread meet under `m`; `nextEmit` is the merge
+ * cursor that turns per-shard completion order into the deterministic
+ * global order the client sees.
+ */
+struct Coordinator::Fanout
+{
+    std::mutex m;
+    std::condition_variable cv;
+
+    std::vector<PointSpec> specs;
+    std::vector<std::uint64_t> keys; //!< shard key per point
+    bool useCache = true;
+    std::function<void(const std::string &line)> onLine;
+
+    std::vector<std::string> lines; //!< raw NDJSON per point, verbatim
+    std::vector<bool> done;
+    std::vector<unsigned> attempts;
+    std::size_t nextEmit = 0;
+    std::uint64_t cachedCount = 0;
+    unsigned outstanding = 0; //!< sub-sweeps in flight this round
+};
+
+/** One dispatched sub-sweep: a shard of points on one backend. */
+struct Coordinator::Shard
+{
+    std::size_t backend = 0;
+    std::vector<std::size_t> points; //!< global indices, global order
+    std::uint64_t transferId = 0;
+
+    // written by client-loop callbacks, read by the job thread after
+    // onDone (the fanout mutex orders the handoff)
+    std::string buf;          //!< partial NDJSON line
+    std::size_t lineIdx = 0;  //!< next shard-local point expected
+    int status = 0;
+    bool sawSummary = false;
+    bool sawCancelled = false; //!< backend drained mid-stream
+    bool failed = false;
+    std::string error;
+    std::string respBody; //!< non-200 diagnostics, capped
+};
+
+// ---------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------
+
+Coordinator::Coordinator(service::Server &server, CoordOptions options)
+    : srv(server), opts(std::move(options))
+{
+    fatal_if(opts.backends.empty(), "coordinator needs >= 1 backend");
+    backends.reserve(opts.backends.size());
+    for (const std::string &addr : opts.backends) {
+        const std::size_t colon = addr.rfind(':');
+        fatal_if(colon == std::string::npos || colon == 0 ||
+                     colon + 1 >= addr.size(),
+                 "backend '%s' is not host:port", addr.c_str());
+        char *end = nullptr;
+        const unsigned long port =
+            std::strtoul(addr.c_str() + colon + 1, &end, 10);
+        fatal_if(!end || *end != '\0' || port == 0 || port > 65535,
+                 "backend '%s' has a bad port", addr.c_str());
+        Backend b;
+        b.address = addr;
+        b.host = addr.substr(0, colon);
+        b.port = static_cast<unsigned short>(port);
+        backends.push_back(std::move(b));
+    }
+    ring = HashRing(opts.backends, opts.vnodes);
+
+    service::Metrics &m = srv.metrics();
+    m.describe("dieirb_coord_backends", "gauge",
+               "configured backends by health state");
+    m.describe("dieirb_coord_shards_total", "counter",
+               "sub-sweeps dispatched to backends");
+    m.describe("dieirb_coord_points_resharded_total", "counter",
+               "points re-dispatched after a backend failure or drain");
+    m.describe("dieirb_coord_backend_failures_total", "counter",
+               "sub-sweep failures by backend");
+    m.describe("dieirb_coord_scrape_failures_total", "counter",
+               "backend /metrics scrapes that failed");
+
+    service::Server::Hooks hooks;
+    hooks.route = [this](const HttpRequest &req,
+                         const std::string &request_id,
+                         HttpResponse &resp) {
+        return routeHook(req, request_id, resp);
+    };
+    hooks.stream = [this](const HttpRequest &req,
+                          const service::Server::StreamPtr &stream) {
+        return streamHook(req, stream);
+    };
+    srv.setHooks(std::move(hooks));
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void
+Coordinator::start()
+{
+    fatal_if(started, "coordinator already started");
+    started = true;
+    client.start();
+    healthThread = std::thread([this] { healthLoop(); });
+}
+
+void
+Coordinator::stop()
+{
+    if (stopRequested.exchange(true))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(healthMtx);
+    }
+    healthTick.notify_all();
+    backendUp.notify_all();
+    if (healthThread.joinable())
+        healthThread.join();
+    client.stop();
+}
+
+BackendState
+Coordinator::backendState(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return backends[i].state;
+}
+
+std::vector<std::size_t>
+Coordinator::upBackends() const
+{
+    std::vector<std::size_t> up;
+    std::lock_guard<std::mutex> lock(mtx);
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        if (backends[i].state == BackendState::Up)
+            up.push_back(i);
+    }
+    return up;
+}
+
+void
+Coordinator::setBackendState(std::size_t i, BackendState state)
+{
+    BackendState old;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        old = backends[i].state;
+        if (old == state)
+            return;
+        backends[i].state = state;
+    }
+    inform("[coord] backend %s: %s -> %s",
+           backends[i].address.c_str(), backendStateName(old),
+           backendStateName(state));
+    if (state == BackendState::Up)
+        backendUp.notify_all();
+}
+
+void
+Coordinator::healthLoop()
+{
+    while (!stopRequested.load(std::memory_order_relaxed)) {
+        {
+            std::unique_lock<std::mutex> lock(healthMtx);
+            healthTick.wait_for(
+                lock, std::chrono::milliseconds(opts.healthIntervalMs),
+                [this] {
+                    return stopRequested.load(
+                        std::memory_order_relaxed);
+                });
+        }
+        if (stopRequested.load(std::memory_order_relaxed))
+            return;
+        for (std::size_t i = 0; i < backends.size(); ++i) {
+            ClientRequest req;
+            req.host = backends[i].host;
+            req.port = backends[i].port;
+            req.method = "GET";
+            req.target = "/healthz";
+            req.connectTimeoutMs = opts.probeTimeoutMs;
+            req.idleTimeoutMs = opts.probeTimeoutMs;
+            const HttpClient::FetchResult res =
+                client.fetch(std::move(req));
+
+            BackendState next = BackendState::Down;
+            if (res.ok && res.status == 200) {
+                try {
+                    const Json j = Json::parse(res.body);
+                    const Json *st = j.find("status");
+                    next = st && st->isString() &&
+                                   st->asString() == "ok"
+                        ? BackendState::Up
+                        : BackendState::Draining;
+                } catch (const std::exception &) {
+                    next = BackendState::Down;
+                }
+            } else if (res.ok && res.status == 503) {
+                next = BackendState::Draining;
+            }
+            setBackendState(i, next);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hooks
+// ---------------------------------------------------------------------
+
+bool
+Coordinator::routeHook(const HttpRequest &req,
+                       const std::string &request_id,
+                       HttpResponse &resp)
+{
+    const std::string path = req.path();
+    if (path == "/healthz") {
+        if (req.method != "GET" && req.method != "HEAD")
+            return false; // built-in 405
+        // HTTP/1.0 + text/plain probes get the built-in bare body.
+        const std::string *accept = req.header("accept");
+        if (req.version == "HTTP/1.0" && accept &&
+            accept->find("text/plain") != std::string::npos) {
+            return false;
+        }
+        resp = handleHealth();
+        return true;
+    }
+    if (path == "/metrics") {
+        if (req.method != "GET" && req.method != "HEAD")
+            return false;
+        resp = handleMetrics();
+        return true;
+    }
+    if (path == "/v1/simulate" && req.method == "POST") {
+        resp = handleSimulateProxy(req, request_id);
+        return true;
+    }
+    if (path == "/v1/sweep" && req.method == "POST") {
+        resp = handleSweepBuffered(req, request_id);
+        return true;
+    }
+    return false; // /v1/jobs* fall through to the built-in handlers
+}
+
+HttpResponse
+Coordinator::handleHealth()
+{
+    Json j = srv.healthJson();
+    Json arr = Json::array();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const Backend &b : backends) {
+            Json e = Json::object();
+            e.set("address", b.address);
+            e.set("state", backendStateName(b.state));
+            arr.push(std::move(e));
+        }
+    }
+    j.set("backends", std::move(arr));
+    return HttpResponse(200, j.dump(2) + "\n");
+}
+
+HttpResponse
+Coordinator::handleMetrics()
+{
+    service::Metrics &m = srv.metrics();
+    m.gauge("dieirb_queue_depth",
+            static_cast<double>(srv.jobs().queued()));
+    m.gauge("dieirb_queue_capacity",
+            static_cast<double>(srv.jobs().capacity()));
+    m.gauge("dieirb_workers", srv.jobs().workers());
+    m.gauge("dieirb_workers_busy", srv.jobs().busyWorkers());
+    {
+        std::size_t up = 0, draining = 0, down = 0;
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const Backend &b : backends) {
+            switch (b.state) {
+              case BackendState::Up: ++up; break;
+              case BackendState::Draining: ++draining; break;
+              case BackendState::Down: ++down; break;
+            }
+        }
+        m.gauge("dieirb_coord_backends", static_cast<double>(up),
+                "state=\"up\"");
+        m.gauge("dieirb_coord_backends", static_cast<double>(draining),
+                "state=\"draining\"");
+        m.gauge("dieirb_coord_backends", static_cast<double>(down),
+                "state=\"down\"");
+    }
+
+    // Re-export every backend's counters under dieirb_backend_* with a
+    // backend="host:port" label, aggregated after the coordinator's
+    // own series.
+    std::map<std::string, FamAgg> fams;
+    for (const Backend &b : backends) {
+        ClientRequest req;
+        req.host = b.host;
+        req.port = b.port;
+        req.method = "GET";
+        req.target = "/metrics";
+        req.connectTimeoutMs = opts.probeTimeoutMs;
+        req.idleTimeoutMs = opts.probeTimeoutMs;
+        const HttpClient::FetchResult res = client.fetch(std::move(req));
+        if (!res.ok || res.status != 200) {
+            m.count("dieirb_coord_scrape_failures_total",
+                    "backend=\"" + b.address + "\"");
+            continue;
+        }
+        mergeBackendMetrics(b.address, res.body, fams);
+    }
+
+    HttpResponse r(200, m.render() + renderFams(fams));
+    r.set("Content-Type", "text/plain; version=0.0.4; charset=utf-8");
+    return r;
+}
+
+HttpResponse
+Coordinator::handleSimulateProxy(const HttpRequest &req,
+                                 const std::string &request_id)
+{
+    const Json body = Json::parse(req.body);
+    fatal_if(!body.isObject(), "request: body must be a JSON object");
+    const PointSpec spec = service::parsePoint(body, PointSpec{});
+    const std::uint64_t key = service::pointShardKey(spec);
+
+    std::string lastError = "no live backends";
+    for (unsigned attempt = 0; attempt < opts.maxPointAttempts;
+         ++attempt) {
+        std::vector<bool> up(backends.size());
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            for (std::size_t i = 0; i < backends.size(); ++i)
+                up[i] = backends[i].state == BackendState::Up;
+        }
+        const std::size_t owner = ring.lookup(
+            key, [&up](std::size_t b) { return up[b]; });
+        if (owner == HashRing::npos)
+            break;
+
+        ClientRequest sub;
+        sub.host = backends[owner].host;
+        sub.port = backends[owner].port;
+        sub.method = "POST";
+        sub.target = "/v1/simulate";
+        sub.body = req.body;
+        sub.headers = {{"Content-Type", "application/json"},
+                       {"X-Request-Id", request_id}};
+        sub.idleTimeoutMs = opts.subsweepIdleTimeoutMs;
+        const HttpClient::FetchResult res = client.fetch(std::move(sub));
+        if (!res.ok) {
+            lastError = backends[owner].address + ": " + res.error;
+            srv.metrics().count(
+                "dieirb_coord_backend_failures_total",
+                "backend=\"" + backends[owner].address + "\"");
+            setBackendState(owner, BackendState::Down);
+            continue;
+        }
+        HttpResponse out(res.status, res.body);
+        out.set("X-Backend", backends[owner].address);
+        return out;
+    }
+    return errorResponse(502, "no backend could serve the point: " +
+                                  lastError);
+}
+
+HttpResponse
+Coordinator::handleSweepBuffered(const HttpRequest &req,
+                                 const std::string &request_id)
+{
+    const Json body = Json::parse(req.body);
+    fatal_if(!body.isObject(), "request: body must be a JSON object");
+    std::vector<PointSpec> specs = service::parseSweepSpecs(body);
+    const bool async = service::jsonBoolOr(body, "async", false);
+    const bool useCache = service::jsonBoolOr(body, "cache", true);
+    const unsigned deadlineMs =
+        static_cast<unsigned>(service::jsonUintOr(
+            body, "deadline_ms", srv.options().defaultDeadlineMs));
+
+    service::JobQueue::Work work = [this, specs = std::move(specs),
+                                    useCache]() -> Json {
+        std::vector<std::string> lines;
+        lines.reserve(specs.size());
+        const Json stats = runFanout(
+            specs, useCache, nullptr,
+            [&lines](const std::string &line) {
+                lines.push_back(line);
+            });
+        Json out = Json::object();
+        out.set("total", *stats.find("total"));
+        out.set("cached", *stats.find("cached"));
+        out.set("cancelled", *stats.find("cancelled"));
+        out.set("shards", *stats.find("shards"));
+        out.set("resharded", *stats.find("resharded"));
+        Json points = Json::array();
+        for (const std::string &line : lines)
+            points.push(Json::parse(line));
+        out.set("points", std::move(points));
+        return out;
+    };
+    return srv.dispatchJob("sweep", request_id, async, deadlineMs,
+                           std::move(work));
+}
+
+bool
+Coordinator::streamHook(const HttpRequest &req,
+                        const service::Server::StreamPtr &stream)
+{
+    std::vector<PointSpec> specs;
+    bool useCache = true;
+    try {
+        const Json body = Json::parse(req.body);
+        fatal_if(!body.isObject(),
+                 "request: body must be a JSON object");
+        fatal_if(service::jsonBoolOr(body, "async", false),
+                 "request: stream and async are mutually exclusive");
+        specs = service::parseSweepSpecs(body);
+        useCache = service::jsonBoolOr(body, "cache", true);
+    } catch (const FatalError &e) {
+        stream->respond(errorResponse(400, e.what()));
+        return true;
+    } catch (const std::exception &e) {
+        stream->respond(errorResponse(500, e.what()));
+        return true;
+    }
+
+    service::JobQueue::Work work = [this, stream,
+                                    specs = std::move(specs),
+                                    useCache]() -> Json {
+        srv.metrics().count("dieirb_streams_total");
+        stream->begin(200, "application/x-ndjson");
+        Json stats;
+        try {
+            stats = runFanout(specs, useCache, stream->cancelToken(),
+                              [&stream](const std::string &line) {
+                                  stream->write(line);
+                              });
+        } catch (...) {
+            // Truncate the chunk framing: the client's decoder sees an
+            // incomplete stream instead of a silently short result.
+            stream->fail();
+            throw;
+        }
+        // Identical shape and key order to a single backend's summary
+        // line — the stream is byte-for-byte what one dieirb-serve
+        // would have produced.
+        Json done = Json::object();
+        done.set("done", true);
+        done.set("total", *stats.find("total"));
+        done.set("cached", *stats.find("cached"));
+        done.set("cancelled", *stats.find("cancelled"));
+        stream->write(done.dump(0) + "\n");
+        stream->end();
+        const Json *cancelled = stats.find("cancelled");
+        if (cancelled && cancelled->asNumber() > 0)
+            srv.metrics().count("dieirb_streams_cancelled_total");
+
+        Json summary = Json::object();
+        summary.set("streamed", true);
+        summary.set("total", *stats.find("total"));
+        summary.set("cached", *stats.find("cached"));
+        summary.set("cancelled", *stats.find("cancelled"));
+        summary.set("shards", *stats.find("shards"));
+        summary.set("resharded", *stats.find("resharded"));
+        return summary;
+    };
+
+    const service::JobQueue::Ticket ticket = srv.jobs().submit(
+        "coord-sweep-stream", stream->requestId(), std::move(work));
+    if (!ticket.accepted) {
+        srv.metrics().count("dieirb_jobs_rejected_total",
+                            ticket.closed ? "reason=\"draining\""
+                                          : "reason=\"queue_full\"");
+        HttpResponse r = ticket.closed
+            ? errorResponse(503, "server is draining")
+            : errorResponse(429,
+                            "job queue full (" +
+                                std::to_string(srv.jobs().capacity()) +
+                                " outstanding); retry later");
+        if (!ticket.closed)
+            r.set("Retry-After", "1");
+        stream->respond(std::move(r));
+        return true;
+    }
+    inform("[%s] POST /v1/sweep -> 200 (sharded stream, job %llu)",
+           stream->requestId().c_str(),
+           static_cast<unsigned long long>(ticket.id));
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// The fan-out engine
+// ---------------------------------------------------------------------
+
+void
+Coordinator::dispatchShard(const std::shared_ptr<Fanout> &fan,
+                           const std::shared_ptr<Shard> &shard)
+{
+    Json body = Json::object();
+    Json points = Json::array();
+    for (const std::size_t g : shard->points)
+        points.push(service::pointSpecJson(fan->specs[g]));
+    body.set("points", std::move(points));
+    body.set("stream", true);
+    body.set("cache", fan->useCache);
+
+    const Backend &b = backends[shard->backend];
+    ClientRequest req;
+    req.host = b.host;
+    req.port = b.port;
+    req.method = "POST";
+    req.target = "/v1/sweep";
+    req.body = body.dump(0);
+    req.headers = {{"Content-Type", "application/json"}};
+    req.idleTimeoutMs = opts.subsweepIdleTimeoutMs;
+    srv.metrics().count("dieirb_coord_shards_total");
+
+    ClientCallbacks cbs;
+    cbs.onHead = [shard](const ClientResponse &resp) {
+        shard->status = resp.status;
+    };
+    cbs.onBody = [this, fan, shard](const char *data, std::size_t n) {
+        if (shard->status != 200) {
+            if (shard->respBody.size() < 4096)
+                shard->respBody.append(data, n);
+            return;
+        }
+        shard->buf.append(data, n);
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = shard->buf.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            const std::string line =
+                shard->buf.substr(start, nl - start);
+            start = nl + 1;
+            processShardLine(fan, shard, line);
+        }
+        shard->buf.erase(0, start);
+    };
+    cbs.onDone = [fan, shard](bool ok, const std::string &error) {
+        if (!ok) {
+            shard->failed = true;
+            shard->error = error;
+        } else if (shard->status != 200) {
+            shard->failed = true;
+            shard->error = "status " + std::to_string(shard->status) +
+                           ": " + shard->respBody;
+        } else if (!shard->sawSummary) {
+            shard->failed = true;
+            shard->error = "truncated stream";
+        }
+        std::lock_guard<std::mutex> lock(fan->m);
+        --fan->outstanding;
+        fan->cv.notify_all();
+    };
+    shard->transferId = client.send(std::move(req), std::move(cbs));
+}
+
+void
+Coordinator::processShardLine(const std::shared_ptr<Fanout> &fan,
+                              const std::shared_ptr<Shard> &shard,
+                              const std::string &line)
+{
+    if (shard->failed)
+        return;
+    try {
+        const Json j = Json::parse(line);
+        if (j.find("done")) {
+            shard->sawSummary = true;
+            const Json *c = j.find("cancelled");
+            if (c && c->asNumber() > 0)
+                shard->sawCancelled = true;
+            return;
+        }
+        if (shard->lineIdx >= shard->points.size()) {
+            shard->failed = true;
+            shard->error = "more lines than points";
+            return;
+        }
+        const std::size_t g = shard->points[shard->lineIdx++];
+        const Json *st = j.find("status");
+        if (st && st->isString() && st->asString() == "cancelled") {
+            // The backend is draining: this point was never simulated.
+            // Leave it unfinished; the next round re-shards it.
+            shard->sawCancelled = true;
+            return;
+        }
+        const Json *name = j.find("name");
+        if (!name || !name->isString() ||
+            name->asString() != fan->specs[g].name) {
+            shard->failed = true;
+            shard->error = "point name mismatch at line " +
+                           std::to_string(shard->lineIdx);
+            return;
+        }
+        const bool cached = j.find("cached") != nullptr;
+        std::lock_guard<std::mutex> lock(fan->m);
+        if (fan->done[g])
+            return; // duplicate (should not happen; rounds are barriers)
+        fan->done[g] = true;
+        fan->lines[g] = line + "\n"; // verbatim backend bytes
+        if (cached)
+            ++fan->cachedCount;
+        while (fan->nextEmit < fan->done.size() &&
+               fan->done[fan->nextEmit]) {
+            if (fan->onLine)
+                fan->onLine(fan->lines[fan->nextEmit]);
+            ++fan->nextEmit;
+        }
+    } catch (const std::exception &e) {
+        shard->failed = true;
+        shard->error = std::string("unparsable line: ") + e.what();
+    }
+}
+
+harness::Json
+Coordinator::runFanout(
+    const std::vector<PointSpec> &specs, bool use_cache,
+    const std::shared_ptr<std::atomic<bool>> &cancel,
+    const std::function<void(const std::string &line)> &on_line)
+{
+    const std::size_t total = specs.size();
+    auto fan = std::make_shared<Fanout>();
+    fan->specs = specs;
+    fan->useCache = use_cache;
+    fan->onLine = on_line;
+    fan->lines.resize(total);
+    fan->done.assign(total, false);
+    fan->attempts.assign(total, 0);
+    fan->keys.resize(total);
+    for (std::size_t i = 0; i < total; ++i)
+        fan->keys[i] = service::pointShardKey(specs[i]);
+
+    const auto wantCancel = [&] {
+        return (cancel && cancel->load(std::memory_order_relaxed)) ||
+               srv.draining() ||
+               stopRequested.load(std::memory_order_relaxed);
+    };
+
+    unsigned firstRoundShards = 0;
+    std::uint64_t resharded = 0;
+    bool cancelledRun = false;
+
+    for (unsigned round = 0;; ++round) {
+        // The unfinished set. No lock needed between rounds: all
+        // sub-sweeps of the previous round have completed.
+        std::vector<std::size_t> todo;
+        for (std::size_t i = 0; i < total; ++i) {
+            if (!fan->done[i])
+                todo.push_back(i);
+        }
+        if (todo.empty())
+            break;
+        if (wantCancel()) {
+            cancelledRun = true;
+            break;
+        }
+        for (const std::size_t g : todo) {
+            if (fan->attempts[g] >= opts.maxPointAttempts) {
+                throw std::runtime_error(
+                    "point '" + fan->specs[g].name + "' failed after " +
+                    std::to_string(fan->attempts[g]) + " attempts");
+            }
+        }
+
+        // Group by ring owner among Up backends; wait (bounded) for
+        // any backend to come up when there is none.
+        std::vector<bool> up(backends.size());
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            for (std::size_t i = 0; i < backends.size(); ++i)
+                up[i] = backends[i].state == BackendState::Up;
+        }
+        if (std::find(up.begin(), up.end(), true) == up.end()) {
+            bool any = false;
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(opts.reshardWaitMs);
+            std::unique_lock<std::mutex> lock(mtx);
+            while (!any && !wantCancel() &&
+                   std::chrono::steady_clock::now() < deadline) {
+                backendUp.wait_for(lock,
+                                   std::chrono::milliseconds(100));
+                for (const Backend &b : backends)
+                    any |= b.state == BackendState::Up;
+            }
+            if (wantCancel()) {
+                cancelledRun = true;
+                break;
+            }
+            if (!any)
+                throw std::runtime_error(
+                    "no live backends to shard onto");
+            continue; // regroup with the fresh state
+        }
+
+        std::map<std::size_t, std::vector<std::size_t>> groups;
+        for (const std::size_t g : todo) {
+            const std::size_t owner = ring.lookup(
+                fan->keys[g], [&up](std::size_t b) { return up[b]; });
+            groups[owner].push_back(g);
+            ++fan->attempts[g];
+        }
+        if (round == 0) {
+            firstRoundShards = static_cast<unsigned>(groups.size());
+        } else {
+            resharded += todo.size();
+            srv.metrics().count("dieirb_coord_points_resharded_total",
+                                "", static_cast<double>(todo.size()));
+        }
+
+        std::vector<std::shared_ptr<Shard>> shards;
+        shards.reserve(groups.size());
+        {
+            std::lock_guard<std::mutex> lock(fan->m);
+            fan->outstanding = static_cast<unsigned>(groups.size());
+        }
+        for (auto &[backend, pts] : groups) {
+            auto shard = std::make_shared<Shard>();
+            shard->backend = backend;
+            shard->points = std::move(pts);
+            shards.push_back(shard);
+            dispatchShard(fan, shard);
+        }
+
+        // Wait out the round, forwarding a client disconnect (or a
+        // drain) to the backends by closing the sub-sweep sockets —
+        // their EPOLLRDHUP handlers cancel the sweep remainders.
+        bool cancelSent = false;
+        {
+            std::unique_lock<std::mutex> lock(fan->m);
+            while (fan->outstanding > 0) {
+                fan->cv.wait_for(lock,
+                                 std::chrono::milliseconds(100));
+                if (!cancelSent && wantCancel()) {
+                    cancelSent = true;
+                    for (const auto &shard : shards)
+                        client.cancel(shard->transferId);
+                }
+            }
+        }
+
+        // Fold the round's failures into the backend states.
+        bool anySaturated = false;
+        for (const auto &shard : shards) {
+            if (shard->error == "cancelled")
+                continue; // we closed it ourselves
+            if (shard->sawCancelled && !shard->failed)
+                setBackendState(shard->backend,
+                                BackendState::Draining);
+            if (!shard->failed)
+                continue;
+            srv.metrics().count(
+                "dieirb_coord_backend_failures_total",
+                "backend=\"" + backends[shard->backend].address +
+                    "\"");
+            warn("[coord] sub-sweep on %s failed: %s",
+                 backends[shard->backend].address.c_str(),
+                 shard->error.c_str());
+            if (shard->status == 503) {
+                setBackendState(shard->backend,
+                                BackendState::Draining);
+            } else if (shard->status == 429) {
+                anySaturated = true; // healthy, just full: back off
+            } else {
+                setBackendState(shard->backend, BackendState::Down);
+            }
+        }
+        if (cancelSent) {
+            cancelledRun = true;
+            break;
+        }
+        if (anySaturated) {
+            // Bounded backoff before re-offering the same backend.
+            const unsigned backoffMs =
+                std::min(100u * (round + 1), 1000u);
+            for (unsigned slept = 0;
+                 slept < backoffMs && !wantCancel(); slept += 50) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+        }
+    }
+
+    // Whatever is still unfinished was cancelled: emit the same
+    // cancelled lines a draining backend would have, in order.
+    std::uint64_t cancelledCount = 0;
+    {
+        std::lock_guard<std::mutex> lock(fan->m);
+        for (std::size_t i = 0; i < total; ++i) {
+            if (fan->done[i])
+                continue;
+            fan->done[i] = true;
+            fan->lines[i] = cancelledLine(fan->specs[i]);
+            ++cancelledCount;
+        }
+        while (fan->nextEmit < total && fan->done[fan->nextEmit]) {
+            if (fan->onLine)
+                fan->onLine(fan->lines[fan->nextEmit]);
+            ++fan->nextEmit;
+        }
+    }
+    (void)cancelledRun;
+
+    Json stats = Json::object();
+    stats.set("total", static_cast<std::uint64_t>(total));
+    stats.set("cached", fan->cachedCount);
+    stats.set("cancelled", cancelledCount);
+    stats.set("shards", firstRoundShards);
+    stats.set("resharded", resharded);
+    return stats;
+}
+
+} // namespace coord
+
+} // namespace direb

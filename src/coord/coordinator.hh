@@ -1,0 +1,171 @@
+/**
+ * @file
+ * dieirb-coord's brain: shard a sweep across N dieirb-serve backends,
+ * stream the merged result, survive backends dying mid-sweep.
+ *
+ * The coordinator is a thin front-end over service::Server — it
+ * installs the server's route/stream hooks instead of duplicating the
+ * epoll plumbing — plus three pieces of its own:
+ *
+ *  - a consistent-hash ring (HashRing) over the backends, keyed by the
+ *    same FNV-1a-64 point cache key the backends name their result
+ *    cache files with, so each backend's sweep.cache shard stays warm
+ *    and a point always lands on the same backend while it is up;
+ *
+ *  - a fan-out engine: each round groups the unfinished points by ring
+ *    owner among Up backends, dispatches one streamed NDJSON sub-sweep
+ *    per owner over the non-blocking HttpClient, passes each finished
+ *    point's line through *verbatim* (byte-identical to a
+ *    single-backend run — simulation is deterministic, so the line
+ *    does not depend on which backend produced it) in deterministic
+ *    global order via a merge cursor, and re-shards the unfinished
+ *    remainder of failed or draining backends onto the survivors in
+ *    the next round. The completed prefix is never re-simulated:
+ *    finished points leave the unfinished set the moment their line
+ *    arrives.
+ *
+ *  - a health checker: a background probe of every backend's /healthz
+ *    classifying it Up / Draining (graceful drain: finish what you
+ *    get, send nothing new) / Down (transport failure: resend its
+ *    unfinished points elsewhere). A backend's ring position never
+ *    changes — recovery moves its keys straight back.
+ *
+ * Client-disconnect cancellation propagates by construction: the
+ * server flips the connection's cancel token on EPOLLRDHUP, the
+ * fan-out sees it and cancels its sub-sweeps by closing the
+ * coordinator->backend sockets, and each backend's own EPOLLRDHUP
+ * handler cancels the sweep remainder there.
+ */
+
+#ifndef DIREB_COORD_COORDINATOR_HH
+#define DIREB_COORD_COORDINATOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/hash_ring.hh"
+#include "coord/http_client.hh"
+#include "harness/report.hh"
+#include "service/server.hh"
+#include "service/sweep_request.hh"
+
+namespace direb
+{
+
+namespace coord
+{
+
+enum class BackendState : std::uint8_t { Up, Draining, Down };
+
+const char *backendStateName(BackendState state);
+
+struct CoordOptions
+{
+    std::vector<std::string> backends; //!< "host:port" each
+    unsigned vnodes = 64;              //!< ring points per backend
+    unsigned healthIntervalMs = 500;   //!< /healthz probe period
+    unsigned maxPointAttempts = 3;     //!< dispatches per point before 500
+    unsigned reshardWaitMs = 4'000;    //!< wait for any Up backend
+    unsigned subsweepIdleTimeoutMs = 120'000; //!< no-progress bound
+    unsigned probeTimeoutMs = 1'000;   //!< health/metrics probe bound
+};
+
+class Coordinator
+{
+  public:
+    /**
+     * Binds to @p server's hooks; call before server.start(). The
+     * server must outlive the coordinator's stop().
+     */
+    Coordinator(service::Server &server, CoordOptions options);
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Start the client loop + health checker (hooks already set). */
+    void start();
+
+    /** Stop probes, fail in-flight backend transfers, join threads. */
+    void stop();
+
+    /** Current view of one backend (tests and /healthz). */
+    BackendState backendState(std::size_t i) const;
+    std::size_t backendCount() const { return backends.size(); }
+
+  private:
+    struct Backend
+    {
+        std::string address; //!< "host:port" as configured
+        std::string host;
+        unsigned short port = 0;
+        BackendState state = BackendState::Up;
+    };
+
+    /** Shared bookkeeping of one fan-out (all sub-sweeps merge here). */
+    struct Fanout;
+    /** One dispatched sub-sweep: a shard's points on one backend. */
+    struct Shard;
+
+    bool routeHook(const service::HttpRequest &req,
+                   const std::string &request_id,
+                   service::HttpResponse &resp);
+    bool streamHook(const service::HttpRequest &req,
+                    const service::Server::StreamPtr &stream);
+
+    service::HttpResponse handleHealth();
+    service::HttpResponse handleMetrics();
+    service::HttpResponse handleSimulateProxy(
+        const service::HttpRequest &req, const std::string &request_id);
+    service::HttpResponse handleSweepBuffered(
+        const service::HttpRequest &req, const std::string &request_id);
+
+    /**
+     * Run one sharded sweep to completion: emits every point's NDJSON
+     * line (in deterministic global order) through @p on_line, returns
+     * {total, cached, cancelled, shards, resharded}. Throws
+     * std::runtime_error when a point exhausts its attempts or no
+     * backend comes up within reshardWaitMs.
+     */
+    harness::Json
+    runFanout(const std::vector<service::PointSpec> &specs,
+              bool use_cache,
+              const std::shared_ptr<std::atomic<bool>> &cancel,
+              const std::function<void(const std::string &line)> &on_line);
+
+    void dispatchShard(const std::shared_ptr<Fanout> &fan,
+                       const std::shared_ptr<Shard> &shard);
+    void processShardLine(const std::shared_ptr<Fanout> &fan,
+                          const std::shared_ptr<Shard> &shard,
+                          const std::string &line);
+    void healthLoop();
+    void setBackendState(std::size_t i, BackendState state);
+    std::vector<std::size_t> upBackends() const;
+
+    service::Server &srv;
+    CoordOptions opts;
+    HashRing ring;
+    HttpClient client;
+
+    mutable std::mutex mtx;
+    std::condition_variable backendUp; //!< signalled on ->Up transitions
+    std::vector<Backend> backends;
+
+    std::thread healthThread;
+    std::atomic<bool> stopRequested{false};
+    std::mutex healthMtx;
+    std::condition_variable healthTick;
+    bool started = false;
+};
+
+} // namespace coord
+
+} // namespace direb
+
+#endif // DIREB_COORD_COORDINATOR_HH

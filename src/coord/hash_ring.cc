@@ -1,0 +1,83 @@
+#include "coord/hash_ring.hh"
+
+#include <algorithm>
+
+namespace direb
+{
+
+namespace coord
+{
+
+std::uint64_t
+HashRing::hashBytes(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL; // FNV prime
+    }
+    return h;
+}
+
+std::uint64_t
+HashRing::mix(std::uint64_t x)
+{
+    // splitmix64 finalizer: full-avalanche, so FNV keys that differ in
+    // a few low bits land far apart on the ring.
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+HashRing::HashRing(std::vector<std::string> nodes, unsigned vnodes)
+    : names(std::move(nodes))
+{
+    ring.reserve(names.size() * vnodes);
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        for (unsigned v = 0; v < vnodes; ++v) {
+            const std::string point =
+                names[n] + "#" + std::to_string(v);
+            ring.push_back(
+                {hashBytes(point.data(), point.size()),
+                 static_cast<std::uint32_t>(n)});
+        }
+    }
+    std::sort(ring.begin(), ring.end(),
+              [](const Vnode &a, const Vnode &b) {
+                  // Tie-break on node index so two nodes colliding on
+                  // a hash still order deterministically.
+                  return a.hash != b.hash ? a.hash < b.hash
+                                          : a.node < b.node;
+              });
+}
+
+std::size_t
+HashRing::lookup(std::uint64_t key,
+                 const std::function<bool(std::size_t)> &accept) const
+{
+    if (ring.empty())
+        return npos;
+    const std::uint64_t h = mix(key);
+    const auto it = std::lower_bound(
+        ring.begin(), ring.end(), h,
+        [](const Vnode &v, std::uint64_t value) {
+            return v.hash < value;
+        });
+    std::size_t start = static_cast<std::size_t>(it - ring.begin());
+    if (start == ring.size())
+        start = 0; // wrap: clockwise past the top of the circle
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const Vnode &v = ring[(start + i) % ring.size()];
+        if (!accept || accept(v.node))
+            return v.node;
+    }
+    return npos;
+}
+
+} // namespace coord
+
+} // namespace direb

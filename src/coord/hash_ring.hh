@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Consistent-hash ring mapping 64-bit point cache keys onto backend
+ * indices for dieirb-coord.
+ *
+ * Every configured backend is placed on the ring permanently (vnodes
+ * spread each one around the circle); liveness is a *lookup-time*
+ * filter, not a ring mutation. lookup() walks clockwise from the key
+ * to the first vnode whose backend the caller's predicate accepts, so
+ * a dead backend's keys spill onto their clockwise successors — and
+ * move *back* the moment it is accepted again — without ever
+ * re-shuffling keys between healthy backends. That minimal-movement
+ * property is what keeps each backend's sweep.cache shard warm across
+ * failures.
+ *
+ * Keys are remixed through a 64-bit finalizer before placement: the
+ * cache keys are FNV-1a hashes whose low bits correlate for related
+ * configs, and the finalizer de-correlates them so vnode ownership is
+ * close to uniform.
+ *
+ * Immutable after construction, so lookups are lock-free and
+ * thread-safe by construction.
+ */
+
+#ifndef DIREB_COORD_HASH_RING_HH
+#define DIREB_COORD_HASH_RING_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+namespace coord
+{
+
+class HashRing
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    HashRing() = default;
+
+    /**
+     * @param nodes  backend identities (e.g. "127.0.0.1:8101"); order
+     *               defines the indices lookup() returns.
+     * @param vnodes ring points per node; more vnodes = flatter load
+     *               split, linearly more placement memory.
+     */
+    explicit HashRing(std::vector<std::string> nodes,
+                      unsigned vnodes = 64);
+
+    /**
+     * Owner of @p key: the first vnode clockwise from mix(key) whose
+     * node @p accept allows (every node allowed when absent). npos
+     * when no node is acceptable.
+     */
+    std::size_t
+    lookup(std::uint64_t key,
+           const std::function<bool(std::size_t)> &accept = {}) const;
+
+    std::size_t size() const { return names.size(); }
+    const std::string &node(std::size_t i) const { return names[i]; }
+
+    /** FNV-1a-64 of arbitrary bytes (vnode placement uses this). */
+    static std::uint64_t hashBytes(const void *data, std::size_t n);
+
+    /** The 64-bit finalizer applied to keys before placement. */
+    static std::uint64_t mix(std::uint64_t x);
+
+  private:
+    struct Vnode
+    {
+        std::uint64_t hash;
+        std::uint32_t node;
+    };
+
+    std::vector<std::string> names;
+    std::vector<Vnode> ring; //!< sorted by hash
+};
+
+} // namespace coord
+
+} // namespace direb
+
+#endif // DIREB_COORD_HASH_RING_HH

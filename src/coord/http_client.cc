@@ -1,0 +1,719 @@
+#include "coord/http_client.hh"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "service/io.hh"
+
+namespace direb
+{
+
+namespace coord
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nowMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+lowered(std::string s)
+{
+    for (char &c : s) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    }
+    return s;
+}
+
+} // namespace
+
+const std::string *
+ClientResponse::header(const std::string &lower_name) const
+{
+    for (const auto &[name, value] : headers) {
+        if (name == lower_name)
+            return &value;
+    }
+    return nullptr;
+}
+
+/**
+ * One in-flight transfer, owned by the loop thread. The response side
+ * is an incremental parser: head (status line + headers), then one of
+ * three body framings, driven directly off the receive buffer.
+ */
+struct HttpClient::Xfer
+{
+    std::uint64_t id = 0;
+    int fd = -1;
+    ClientRequest req;
+    ClientCallbacks cbs;
+
+    std::string wire; //!< serialized request
+    std::size_t wireOff = 0;
+    bool connecting = true;
+    bool wantWrite = false; //!< EPOLLOUT currently registered
+
+    enum class Ps : std::uint8_t {
+        Head,
+        FixedBody,
+        Chunked,
+        UntilClose,
+        Done,
+    };
+    enum class Cs : std::uint8_t { Size, Data, DataCrlf, Trailers };
+
+    Ps ps = Ps::Head;
+    Cs cs = Cs::Size;
+    ClientResponse resp;
+    std::uint64_t remaining = 0; //!< fixed-body or current-chunk bytes
+    std::string in;              //!< unparsed received bytes
+    std::size_t inOff = 0;
+    bool finished = false;
+
+    /** in minus the consumed prefix. @{ */
+    const char *data() const { return in.data() + inOff; }
+    std::size_t avail() const { return in.size() - inOff; }
+    void consume(std::size_t n)
+    {
+        inOff += n;
+        if (inOff > 64 * 1024 && inOff * 2 >= in.size()) {
+            in.erase(0, inOff);
+            inOff = 0;
+        }
+    }
+    /** @} */
+};
+
+struct HttpClient::Command
+{
+    enum class Kind : std::uint8_t { Send, Cancel };
+    Kind kind = Kind::Send;
+    std::shared_ptr<Xfer> xfer; //!< Send
+    std::uint64_t id = 0;       //!< Cancel
+};
+
+HttpClient::HttpClient() = default;
+
+HttpClient::~HttpClient() { stop(); }
+
+void
+HttpClient::start()
+{
+    fatal_if(started, "http client already started");
+    epollFd = ::epoll_create1(0);
+    fatal_if(epollFd < 0, "epoll_create1(): %s", std::strerror(errno));
+    wakeFd = ::eventfd(0, EFD_NONBLOCK);
+    fatal_if(wakeFd < 0, "eventfd(): %s", std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeFd;
+    fatal_if(::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev) < 0,
+             "epoll_ctl(wake): %s", std::strerror(errno));
+    started = true;
+    loopThread = std::thread([this] { loop(); });
+}
+
+void
+HttpClient::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(cmdMtx);
+        if (stopRequested)
+            return;
+        stopRequested = true;
+    }
+    if (started) {
+        wake();
+        if (loopThread.joinable())
+            loopThread.join();
+    }
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
+    }
+    if (wakeFd >= 0) {
+        ::close(wakeFd);
+        wakeFd = -1;
+    }
+}
+
+void
+HttpClient::wake()
+{
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t r =
+        ::write(wakeFd, &one, sizeof(one));
+}
+
+std::uint64_t
+HttpClient::send(ClientRequest req, ClientCallbacks cbs)
+{
+    auto x = std::make_shared<Xfer>();
+    x->req = std::move(req);
+    x->cbs = std::move(cbs);
+    {
+        std::lock_guard<std::mutex> lock(cmdMtx);
+        x->id = nextId++;
+        if (stopRequested || !started) {
+            // Deliver the failure on the caller's thread — there is no
+            // loop left (or yet) to deliver it on.
+            if (x->cbs.onDone)
+                x->cbs.onDone(false, "client stopped");
+            return x->id;
+        }
+        Command cmd;
+        cmd.kind = Command::Kind::Send;
+        cmd.xfer = std::move(x);
+        const std::uint64_t id = cmd.xfer->id;
+        commands.push_back(std::move(cmd));
+        wake();
+        return id;
+    }
+}
+
+void
+HttpClient::cancel(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(cmdMtx);
+    if (stopRequested || !started)
+        return;
+    Command cmd;
+    cmd.kind = Command::Kind::Cancel;
+    cmd.id = id;
+    commands.push_back(std::move(cmd));
+    wake();
+}
+
+HttpClient::FetchResult
+HttpClient::fetch(ClientRequest req)
+{
+    FetchResult result;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool done = false;
+
+    ClientCallbacks cbs;
+    cbs.onHead = [&](const ClientResponse &resp) {
+        std::lock_guard<std::mutex> lock(mtx);
+        result.status = resp.status;
+    };
+    cbs.onBody = [&](const char *data, std::size_t n) {
+        std::lock_guard<std::mutex> lock(mtx);
+        result.body.append(data, n);
+    };
+    cbs.onDone = [&](bool ok, const std::string &error) {
+        std::lock_guard<std::mutex> lock(mtx);
+        result.ok = ok;
+        result.error = error;
+        done = true;
+        cv.notify_all();
+    };
+    send(std::move(req), std::move(cbs));
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [&] { return done; });
+    return result;
+}
+
+void
+HttpClient::loop()
+{
+    std::vector<epoll_event> events(64);
+    for (;;) {
+        const int timeout = wheel.pollTimeoutMs(200);
+        const int n = ::epoll_wait(epollFd, events.data(),
+                                   static_cast<int>(events.size()),
+                                   timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("client epoll_wait(): %s; loop exiting",
+                 std::strerror(errno));
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == wakeFd) {
+                std::uint64_t drained = 0;
+                while (::read(wakeFd, &drained, sizeof(drained)) > 0) {}
+                continue;
+            }
+            const auto it = byFd.find(fd);
+            if (it != byFd.end()) {
+                // Copy: finish() erases the map slot this iterator
+                // points into while callees still hold the pointer.
+                const std::shared_ptr<Xfer> x = it->second;
+                onEvent(x, events[i].events);
+            }
+        }
+        processCommands();
+        for (const int fd : wheel.expire(nowMs())) {
+            const auto it = byFd.find(fd);
+            if (it != byFd.end()) {
+                const std::shared_ptr<Xfer> x = it->second;
+                finish(x, false,
+                       x->connecting ? "connect timeout"
+                                     : "idle timeout");
+            }
+        }
+        bool stopNow = false;
+        {
+            std::lock_guard<std::mutex> lock(cmdMtx);
+            stopNow = stopRequested;
+        }
+        if (stopNow) {
+            std::vector<std::shared_ptr<Xfer>> inflight;
+            inflight.reserve(byId.size());
+            for (const auto &[id, x] : byId)
+                inflight.push_back(x);
+            for (const auto &x : inflight)
+                finish(x, false, "client stopped");
+            processCommands(); // fail sends that raced the stop
+            break;
+        }
+    }
+}
+
+void
+HttpClient::processCommands()
+{
+    std::vector<Command> batch;
+    bool stopNow = false;
+    {
+        std::lock_guard<std::mutex> lock(cmdMtx);
+        batch.swap(commands);
+        stopNow = stopRequested;
+    }
+    for (Command &cmd : batch) {
+        if (cmd.kind == Command::Kind::Send) {
+            if (stopNow) {
+                finish(cmd.xfer, false, "client stopped");
+            } else {
+                beginXfer(cmd.xfer);
+            }
+        } else {
+            const auto it = byId.find(cmd.id);
+            if (it != byId.end()) {
+                const std::shared_ptr<Xfer> x = it->second;
+                finish(x, false, "cancelled");
+            }
+        }
+    }
+}
+
+void
+HttpClient::beginXfer(const std::shared_ptr<Xfer> &x)
+{
+    const ClientRequest &req = x->req;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(req.port);
+    const int gai =
+        ::getaddrinfo(req.host.c_str(), portStr.c_str(), &hints, &res);
+    if (gai != 0 || !res) {
+        finish(x, false,
+               "resolve " + req.host + ": " + ::gai_strerror(gai));
+        return;
+    }
+
+    x->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (x->fd < 0) {
+        ::freeaddrinfo(res);
+        finish(x, false, std::string("socket(): ") +
+                             std::strerror(errno));
+        return;
+    }
+    const int rc = ::connect(x->fd, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    if (rc < 0 && errno != EINPROGRESS) {
+        finish(x, false, std::string("connect(): ") +
+                             std::strerror(errno));
+        return;
+    }
+    x->connecting = rc < 0;
+
+    std::string &w = x->wire;
+    w = req.method + " " + req.target + " HTTP/1.1\r\n";
+    w += "Host: " + req.host + ":" + portStr + "\r\n";
+    for (const auto &[name, value] : req.headers)
+        w += name + ": " + value + "\r\n";
+    if (!req.body.empty() || req.method == "POST" ||
+        req.method == "PUT") {
+        w += "Content-Length: " + std::to_string(req.body.size()) +
+             "\r\n";
+    }
+    w += "Connection: close\r\n\r\n";
+    w += req.body;
+
+    epoll_event ev{};
+    ev.events = EPOLLOUT | EPOLLIN | EPOLLRDHUP;
+    ev.data.fd = x->fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, x->fd, &ev) < 0) {
+        finish(x, false, std::string("epoll_ctl(): ") +
+                             std::strerror(errno));
+        return;
+    }
+    x->wantWrite = true;
+    byFd.emplace(x->fd, x);
+    byId.emplace(x->id, x);
+    wheel.schedule(x->fd, nowMs(), req.connectTimeoutMs);
+}
+
+void
+HttpClient::touch(const std::shared_ptr<Xfer> &x, unsigned delay_ms)
+{
+    wheel.schedule(x->fd, nowMs(), delay_ms);
+}
+
+void
+HttpClient::onEvent(const std::shared_ptr<Xfer> &x,
+                    std::uint32_t events)
+{
+    if (x->connecting) {
+        if (!(events & (EPOLLOUT | EPOLLERR | EPOLLHUP)))
+            return;
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        ::getsockopt(x->fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+        if (soErr != 0) {
+            finish(x, false, std::string("connect(): ") +
+                                 std::strerror(soErr));
+            return;
+        }
+        x->connecting = false;
+        touch(x, x->req.idleTimeoutMs);
+    }
+    if ((events & EPOLLOUT) && x->wireOff < x->wire.size())
+        pumpWrite(x);
+    if (x->fd < 0)
+        return; // finished while writing
+    if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR))
+        pumpRead(x);
+}
+
+void
+HttpClient::pumpWrite(const std::shared_ptr<Xfer> &x)
+{
+    while (x->wireOff < x->wire.size()) {
+        const ssize_t n = service::io::writeSome(
+            x->fd, x->wire.data() + x->wireOff,
+            x->wire.size() - x->wireOff);
+        if (n > 0) {
+            x->wireOff += static_cast<std::size_t>(n);
+            touch(x, x->req.idleTimeoutMs);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        finish(x, false, std::string("send(): ") +
+                             std::strerror(errno));
+        return;
+    }
+    // Request fully written: stop asking for EPOLLOUT.
+    if (x->wantWrite) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP;
+        ev.data.fd = x->fd;
+        ::epoll_ctl(epollFd, EPOLL_CTL_MOD, x->fd, &ev);
+        x->wantWrite = false;
+    }
+}
+
+void
+HttpClient::pumpRead(const std::shared_ptr<Xfer> &x)
+{
+    char buf[16384];
+    bool sawEof = false;
+    for (;;) {
+        const ssize_t n =
+            service::io::readSome(x->fd, buf, sizeof(buf));
+        if (n > 0) {
+            x->in.append(buf, static_cast<std::size_t>(n));
+            touch(x, x->req.idleTimeoutMs);
+            continue;
+        }
+        if (n == 0) {
+            sawEof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        finish(x, false, std::string("recv(): ") +
+                             std::strerror(errno));
+        return;
+    }
+
+    // Parse everything buffered so far.
+    for (;;) {
+        if (x->ps == Xfer::Ps::Head) {
+            std::string err;
+            if (!parseHead(*x, err)) {
+                if (!err.empty()) {
+                    finish(x, false, err);
+                    return;
+                }
+                break; // need more header bytes
+            }
+            if (x->cbs.onHead)
+                x->cbs.onHead(x->resp);
+            continue;
+        }
+        if (x->ps == Xfer::Ps::FixedBody) {
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(x->remaining, x->avail()));
+            if (take > 0) {
+                if (x->cbs.onBody)
+                    x->cbs.onBody(x->data(), take);
+                x->consume(take);
+                x->remaining -= take;
+            }
+            if (x->remaining == 0) {
+                finish(x, true, "");
+                return;
+            }
+            break;
+        }
+        if (x->ps == Xfer::Ps::UntilClose) {
+            if (x->avail() > 0) {
+                if (x->cbs.onBody)
+                    x->cbs.onBody(x->data(), x->avail());
+                x->consume(x->avail());
+            }
+            break;
+        }
+        if (x->ps == Xfer::Ps::Chunked) {
+            if (x->cs == Xfer::Cs::Size) {
+                const std::string_view v(x->data(), x->avail());
+                const std::size_t eol = v.find("\r\n");
+                if (eol == std::string_view::npos) {
+                    if (x->avail() > 1024) {
+                        finish(x, false, "oversized chunk-size line");
+                        return;
+                    }
+                    break;
+                }
+                std::uint64_t size = 0;
+                bool any = false;
+                for (std::size_t i = 0; i < eol; ++i) {
+                    const char c = v[i];
+                    if (c == ';')
+                        break; // chunk extensions: ignored
+                    int digit;
+                    if (c >= '0' && c <= '9') {
+                        digit = c - '0';
+                    } else if (c >= 'a' && c <= 'f') {
+                        digit = c - 'a' + 10;
+                    } else if (c >= 'A' && c <= 'F') {
+                        digit = c - 'A' + 10;
+                    } else {
+                        finish(x, false, "malformed chunk size");
+                        return;
+                    }
+                    size = size * 16 + static_cast<unsigned>(digit);
+                    any = true;
+                }
+                if (!any) {
+                    finish(x, false, "malformed chunk size");
+                    return;
+                }
+                x->consume(eol + 2);
+                if (size == 0) {
+                    x->cs = Xfer::Cs::Trailers;
+                } else {
+                    x->remaining = size;
+                    x->cs = Xfer::Cs::Data;
+                }
+                continue;
+            }
+            if (x->cs == Xfer::Cs::Data) {
+                const std::size_t take = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(x->remaining, x->avail()));
+                if (take > 0) {
+                    if (x->cbs.onBody)
+                        x->cbs.onBody(x->data(), take);
+                    x->consume(take);
+                    x->remaining -= take;
+                }
+                if (x->remaining > 0)
+                    break; // need more data bytes
+                x->cs = Xfer::Cs::DataCrlf;
+                continue;
+            }
+            if (x->cs == Xfer::Cs::DataCrlf) {
+                if (x->avail() < 2)
+                    break;
+                if (x->data()[0] != '\r' || x->data()[1] != '\n') {
+                    finish(x, false, "missing chunk-data CRLF");
+                    return;
+                }
+                x->consume(2);
+                x->cs = Xfer::Cs::Size;
+                continue;
+            }
+            // Trailers: lines until the blank one ends the response.
+            const std::string_view v(x->data(), x->avail());
+            const std::size_t eol = v.find("\r\n");
+            if (eol == std::string_view::npos)
+                break;
+            x->consume(eol + 2);
+            if (eol == 0) {
+                finish(x, true, "");
+                return;
+            }
+            continue;
+        }
+        break; // Ps::Done (unreachable: finish() precedes it)
+    }
+
+    if (x->fd < 0)
+        return;
+    if (sawEof) {
+        if (x->ps == Xfer::Ps::UntilClose) {
+            finish(x, true, "");
+        } else if (x->ps == Xfer::Ps::Head) {
+            finish(x, false, "connection closed before response");
+        } else {
+            finish(x, false, "truncated response");
+        }
+    }
+}
+
+/**
+ * Parse status line + headers out of x.in once the blank line arrived.
+ * True when the head is complete (x.ps advanced to the body framing);
+ * false otherwise, with @p error set on a malformed head.
+ */
+bool
+HttpClient::parseHead(Xfer &x, std::string &error)
+{
+    const std::string_view v(x.data(), x.avail());
+    const std::size_t end = v.find("\r\n\r\n");
+    if (end == std::string_view::npos) {
+        if (x.avail() > 64 * 1024)
+            error = "oversized response header";
+        return false;
+    }
+    const std::string_view head = v.substr(0, end);
+
+    // Status line: HTTP/1.x SP 3DIGIT SP reason
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view status_line =
+        head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                          : line_end);
+    const std::size_t sp = status_line.find(' ');
+    if (sp == std::string_view::npos ||
+        status_line.compare(0, 5, "HTTP/") != 0 ||
+        status_line.size() < sp + 4) {
+        error = "malformed status line";
+        return false;
+    }
+    int status = 0;
+    for (std::size_t i = sp + 1; i < sp + 4; ++i) {
+        const char c = status_line[i];
+        if (c < '0' || c > '9') {
+            error = "malformed status code";
+            return false;
+        }
+        status = status * 10 + (c - '0');
+    }
+    x.resp.status = status;
+
+    // Header lines.
+    std::size_t pos = line_end == std::string_view::npos
+        ? head.size()
+        : line_end + 2;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string_view::npos)
+            eol = head.size();
+        const std::string_view line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) {
+            error = "malformed response header";
+            return false;
+        }
+        std::string name = lowered(std::string(line.substr(0, colon)));
+        std::size_t vs = colon + 1;
+        while (vs < line.size() &&
+               (line[vs] == ' ' || line[vs] == '\t')) {
+            ++vs;
+        }
+        x.resp.headers.emplace_back(std::move(name),
+                                    std::string(line.substr(vs)));
+    }
+    x.consume(end + 4);
+
+    // Body framing, per RFC 7230 3.3.3 (the subset we produce).
+    const std::string *te = x.resp.header("transfer-encoding");
+    const std::string *cl = x.resp.header("content-length");
+    if (te && lowered(*te).find("chunked") != std::string::npos) {
+        x.ps = Xfer::Ps::Chunked;
+        x.cs = Xfer::Cs::Size;
+    } else if (cl) {
+        char *endp = nullptr;
+        const unsigned long long n =
+            std::strtoull(cl->c_str(), &endp, 10);
+        if (!endp || *endp != '\0') {
+            error = "malformed Content-Length";
+            return false;
+        }
+        x.remaining = n;
+        x.ps = Xfer::Ps::FixedBody;
+    } else if (status == 204 || status == 304) {
+        x.remaining = 0;
+        x.ps = Xfer::Ps::FixedBody;
+    } else {
+        x.ps = Xfer::Ps::UntilClose;
+    }
+    return true;
+}
+
+void
+HttpClient::finish(const std::shared_ptr<Xfer> &x, bool ok,
+                   const std::string &error)
+{
+    if (x->finished)
+        return;
+    x->finished = true;
+    if (x->fd >= 0) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, x->fd, nullptr);
+        wheel.cancel(x->fd);
+        byFd.erase(x->fd);
+        ::close(x->fd);
+        x->fd = -1;
+    }
+    byId.erase(x->id);
+    if (x->cbs.onDone)
+        x->cbs.onDone(ok, error);
+}
+
+} // namespace coord
+
+} // namespace direb

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Non-blocking HTTP/1.1 client for dieirb-coord's backend fan-out,
+ * built on the same epoll + timer-wheel substrate as the server side.
+ *
+ * One loop thread owns every in-flight transfer: connect (non-blocking
+ * with a deadline), write the request, then parse the response
+ * incrementally — status line, headers, then a Content-Length body,
+ * chunked transfer coding (the backends' streamed NDJSON sweeps), or
+ * read-until-close. Decoded body bytes are delivered to the caller's
+ * callback as they arrive, which is what lets the coordinator merge
+ * per-point lines from N sub-sweeps while they are still running.
+ *
+ * Every request rides its own connection with `Connection: close`:
+ * sub-sweeps are long-lived streams that would monopolize a pooled
+ * connection anyway, and closing the socket doubles as the
+ * cancellation path — the backend's EPOLLRDHUP handler flips its
+ * per-connection token and cancels the sweep remainder, exactly the
+ * propagation the coordinator wants for a disconnected client.
+ *
+ * Callbacks run on the loop thread: keep them short (append to a
+ * buffer, notify a condvar) and never call back into send()/cancel()
+ * from inside one (enqueueing from other threads is the design).
+ */
+
+#ifndef DIREB_COORD_HTTP_CLIENT_HH
+#define DIREB_COORD_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/timer_wheel.hh"
+
+namespace direb
+{
+
+namespace coord
+{
+
+struct ClientRequest
+{
+    std::string host; //!< numeric IPv4 or "localhost"
+    unsigned short port = 0;
+    std::string method = "GET";
+    std::string target = "/";
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> headers;
+    unsigned connectTimeoutMs = 2'000;
+    /**
+     * No-progress bound: the transfer fails when this long passes
+     * without a single byte moving in either direction. Generous for
+     * sub-sweeps (a slow point produces nothing for a while), tight
+     * for health probes.
+     */
+    unsigned idleTimeoutMs = 30'000;
+};
+
+struct ClientResponse
+{
+    int status = 0;
+    /** Lower-cased names, wire order. */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    const std::string *header(const std::string &lower_name) const;
+};
+
+struct ClientCallbacks
+{
+    /** Status line + headers parsed (before any body bytes). */
+    std::function<void(const ClientResponse &)> onHead;
+    /** Decoded body bytes, as they arrive (chunk framing removed). */
+    std::function<void(const char *data, std::size_t n)> onBody;
+    /**
+     * Exactly once, last: ok means the response completed (whatever
+     * its status code); !ok carries the transport/parse/timeout error.
+     */
+    std::function<void(bool ok, const std::string &error)> onDone;
+};
+
+class HttpClient
+{
+  public:
+    HttpClient();
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    void start();
+
+    /** Fail everything in flight ("client stopped"), join the loop. */
+    void stop();
+
+    /**
+     * Begin a transfer; returns its id (for cancel()). Thread-safe.
+     * Callbacks fire on the loop thread, onDone always exactly once —
+     * including after stop() or a send() on a stopped client.
+     */
+    std::uint64_t send(ClientRequest req, ClientCallbacks cbs);
+
+    /**
+     * Close the transfer's socket and deliver onDone(false,
+     * "cancelled"). Unknown/finished ids are a no-op. Thread-safe.
+     */
+    void cancel(std::uint64_t id);
+
+    /** Blocking one-shot convenience (health probes, metric scrapes). */
+    struct FetchResult
+    {
+        bool ok = false; //!< transport-level success
+        int status = 0;
+        std::string body;
+        std::string error;
+    };
+    FetchResult fetch(ClientRequest req);
+
+  private:
+    struct Xfer;
+    struct Command;
+
+    void loop();
+    void wake();
+    void processCommands();
+    void beginXfer(const std::shared_ptr<Xfer> &x);
+    void onEvent(const std::shared_ptr<Xfer> &x, std::uint32_t events);
+    void pumpWrite(const std::shared_ptr<Xfer> &x);
+    void pumpRead(const std::shared_ptr<Xfer> &x);
+    static bool parseHead(Xfer &x, std::string &error);
+    void finish(const std::shared_ptr<Xfer> &x, bool ok,
+                const std::string &error);
+    void touch(const std::shared_ptr<Xfer> &x, unsigned delay_ms);
+
+    int epollFd = -1;
+    int wakeFd = -1;
+    std::thread loopThread;
+    bool started = false;
+
+    std::mutex cmdMtx;
+    std::vector<Command> commands;
+    bool stopRequested = false;
+    std::uint64_t nextId = 1;
+
+    // loop-owned
+    std::unordered_map<int, std::shared_ptr<Xfer>> byFd;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Xfer>> byId;
+    service::TimerWheel wheel;
+};
+
+} // namespace coord
+
+} // namespace direb
+
+#endif // DIREB_COORD_HTTP_CLIENT_HH

@@ -69,20 +69,17 @@ jobsFromArgs(int argc, char **argv)
     return defaultJobs();
 }
 
-namespace
-{
-
 /**
  * Content address of one sweep point: FNV-1a 64 over the program image
  * (text words, data bytes, entry point), the instruction budget and
- * every explicit config override, rendered as 16 hex digits. The cache
- * directory itself (sweep.cache) is excluded so relocating the cache
- * does not invalidate it. The point's display name is deliberately not
- * hashed: two points running the same simulation share one entry.
+ * every explicit config override. The cache directory itself
+ * (sweep.cache) is excluded so relocating the cache does not invalidate
+ * it. The point's display name is deliberately not hashed: two points
+ * running the same simulation share one entry.
  */
-std::string
-cacheKeyHex(const Program &prog, const Config &cfg,
-            std::uint64_t max_insts)
+std::uint64_t
+pointCacheKey(const Program &prog, const Config &cfg,
+              std::uint64_t max_insts)
 {
     std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
     const auto feed = [&h](const void *data, std::size_t n) {
@@ -113,12 +110,22 @@ cacheKeyHex(const Program &prog, const Config &cfg,
         feed(value.data(), value.size());
         feed("\n", 1);
     }
+    return h;
+}
 
+std::string
+pointCacheKeyHex(const Program &prog, const Config &cfg,
+                 std::uint64_t max_insts)
+{
     char buf[24];
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
+                  static_cast<unsigned long long>(
+                      pointCacheKey(prog, cfg, max_insts)));
     return buf;
 }
+
+namespace
+{
 
 /**
  * Restore a cached point result; false when the file is absent,
@@ -309,7 +316,7 @@ Sweep::runPoint(const Point &point) const
             std::string cache_path;
             if (!cache_dir.empty()) {
                 cache_path = cache_dir + "/" +
-                             cacheKeyHex(prog, cfg, point.maxInsts) +
+                             pointCacheKeyHex(prog, cfg, point.maxInsts) +
                              ".json";
                 if (attempt == 1 && loadCachedResult(cache_path, res)) {
                     res.fromCache = true;

@@ -182,6 +182,21 @@ class Sweep
         std::make_unique<CorePool>();
 };
 
+/**
+ * Content address of one sweep point: FNV-1a 64 over the program image
+ * (text words, data bytes, entry point), the instruction budget and
+ * every explicit config override except sweep.cache. This is the key
+ * the result cache files are named after (pointCacheKeyHex) and the key
+ * dieirb-coord consistent-hashes onto its backend ring, so a sweep
+ * sharded across backends keeps each point's cache entry on the backend
+ * that owns the point. @{
+ */
+std::uint64_t pointCacheKey(const Program &program, const Config &config,
+                            std::uint64_t max_insts);
+std::string pointCacheKeyHex(const Program &program, const Config &config,
+                             std::uint64_t max_insts);
+/** @} */
+
 /** Worker count from DIREB_JOBS, else hardware concurrency (>= 1). */
 unsigned defaultJobs();
 

@@ -1,5 +1,6 @@
 #include "service/job_queue.hh"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -23,8 +24,9 @@ jobStateName(JobState state)
     return "?";
 }
 
-JobQueue::JobQueue(std::size_t capacity, unsigned workers)
-    : cap(capacity > 0 ? capacity : 1)
+JobQueue::JobQueue(std::size_t capacity, unsigned workers,
+                   std::size_t history)
+    : cap(capacity > 0 ? capacity : 1), historyLimit(history)
 {
     unsigned n = workers;
     if (n == 0) {
@@ -126,6 +128,21 @@ JobQueue::trimHistoryLocked()
         slots.erase(finishedOrder.front());
         finishedOrder.pop_front();
     }
+}
+
+std::vector<JobRecord>
+JobQueue::list(std::size_t limit) const
+{
+    std::vector<JobRecord> out;
+    std::lock_guard<std::mutex> lock(mtx);
+    out.reserve(std::min(limit, slots.size()));
+    // slots is keyed by monotonically assigned id, so reverse map order
+    // IS newest-first.
+    for (auto it = slots.rbegin();
+         it != slots.rend() && out.size() < limit; ++it) {
+        out.push_back(it->second.record);
+    }
+    return out;
 }
 
 bool

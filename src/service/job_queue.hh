@@ -69,8 +69,11 @@ class JobQueue
      * @param capacity max outstanding (queued + running) jobs; further
      *                 submissions are rejected (the 429 path).
      * @param workers  worker threads; 0 = hardware concurrency.
+     * @param history  finished records kept for lookup()/list() before
+     *                 the oldest are trimmed (the --job-history flag).
      */
-    JobQueue(std::size_t capacity, unsigned workers);
+    JobQueue(std::size_t capacity, unsigned workers,
+             std::size_t history = 4096);
 
     /** drain()s if the owner did not. */
     ~JobQueue();
@@ -92,6 +95,13 @@ class JobQueue
 
     /** Snapshot a job; false when the id is unknown (or trimmed). */
     bool lookup(std::uint64_t id, JobRecord &out) const;
+
+    /**
+     * Snapshot up to @p limit known jobs (queued, running and the
+     * bounded finished history), newest-first by id — the cheap
+     * GET /v1/jobs listing the coordinator's debug path leans on.
+     */
+    std::vector<JobRecord> list(std::size_t limit) const;
 
     /**
      * Block until the job finishes or @p deadline elapses; true when
@@ -133,10 +143,9 @@ class JobQueue
     void workerLoop();
     void trimHistoryLocked();
 
-    /** Finished records kept for lookup() before trimming. */
-    static constexpr std::size_t historyLimit = 4096;
-
     const std::size_t cap;
+    /** Finished records kept for lookup()/list() before trimming. */
+    const std::size_t historyLimit;
 
     mutable std::mutex mtx;
     std::condition_variable workAvailable;

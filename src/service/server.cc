@@ -17,7 +17,14 @@
 #include "common/logging.hh"
 #include "harness/runner.hh"
 #include "service/io.hh"
+#include "service/sweep_request.hh"
 #include "workloads/workloads.hh"
+
+// Injected by src/service/CMakeLists.txt from `git describe` at
+// configure time; tarball builds fall back to the placeholder.
+#ifndef DIREB_GIT_DESCRIBE
+#define DIREB_GIT_DESCRIBE "unknown"
+#endif
 
 namespace direb
 {
@@ -66,184 +73,9 @@ labelForPath(const std::string &path)
         path == "/v1/simulate" || path == "/v1/sweep") {
         return path;
     }
-    if (path.rfind("/v1/jobs/", 0) == 0)
+    if (path == "/v1/jobs" || path.rfind("/v1/jobs/", 0) == 0)
         return "/v1/jobs";
     return "other";
-}
-
-/** Typed member accessors over a request body; fatal() => HTTP 400. @{ */
-std::string
-stringOr(const Json &obj, const char *key, const std::string &def)
-{
-    const Json *v = obj.find(key);
-    if (!v)
-        return def;
-    fatal_if(!v->isString(), "request: '%s' must be a string", key);
-    return v->asString();
-}
-
-std::uint64_t
-uintOr(const Json &obj, const char *key, std::uint64_t def)
-{
-    const Json *v = obj.find(key);
-    if (!v)
-        return def;
-    fatal_if(!v->isNumber() || v->asNumber() < 0,
-             "request: '%s' must be a non-negative number", key);
-    return static_cast<std::uint64_t>(v->asNumber());
-}
-
-bool
-boolOr(const Json &obj, const char *key, bool def)
-{
-    const Json *v = obj.find(key);
-    if (!v)
-        return def;
-    // asBool panics on non-bool kinds; pre-check for a clean 400.
-    fatal_if(!v->isBool(), "request: '%s' must be a boolean", key);
-    return v->asBool();
-}
-/** @} */
-
-/** Render a config-override value the way Config::set expects it. */
-std::string
-overrideValue(const Json &v, const std::string &key)
-{
-    if (v.isString())
-        return v.asString();
-    if (v.isNumber()) {
-        const double d = v.asNumber();
-        if (d == static_cast<double>(static_cast<std::int64_t>(d)))
-            return std::to_string(static_cast<std::int64_t>(d));
-        char buf[48];
-        std::snprintf(buf, sizeof(buf), "%.17g", d);
-        return buf;
-    }
-    // Panics (abort) must never be reachable from network input, so
-    // every other kind — including null — is rejected before asBool().
-    fatal_if(!v.isBool(), "request: config.%s must be a scalar",
-             key.c_str());
-    return v.asBool() ? "true" : "false";
-}
-
-bool
-knownWorkload(const std::string &name)
-{
-    for (const auto &w : workloads::list()) {
-        if (w.name == name)
-            return true;
-    }
-    return false;
-}
-
-/** Everything needed to enqueue one sweep point, parsed up front so
- *  malformed requests fail with 400 before a job is ever created. */
-struct PointSpec
-{
-    std::string name;
-    std::string workload;
-    std::string mode = "sie";
-    unsigned scale = 1;
-    std::uint64_t maxInsts = 50'000'000;
-    std::vector<std::pair<std::string, std::string>> overrides;
-};
-
-PointSpec
-parsePoint(const Json &obj, const PointSpec &defaults)
-{
-    PointSpec spec = defaults;
-    spec.workload = stringOr(obj, "workload", defaults.workload);
-    fatal_if(spec.workload.empty(), "request: 'workload' is required");
-    fatal_if(!knownWorkload(spec.workload),
-             "request: unknown workload '%s' (see dieirb-sim -l)",
-             spec.workload.c_str());
-    spec.mode = stringOr(obj, "mode", defaults.mode);
-    fatal_if(spec.mode != "sie" && spec.mode != "die" &&
-                 spec.mode != "die-irb",
-             "request: mode must be sie, die or die-irb, got '%s'",
-             spec.mode.c_str());
-    spec.scale =
-        static_cast<unsigned>(uintOr(obj, "scale", defaults.scale));
-    fatal_if(spec.scale < 1 || spec.scale > 1024,
-             "request: scale must be in [1, 1024]");
-    spec.maxInsts = uintOr(obj, "max_insts", defaults.maxInsts);
-    fatal_if(spec.maxInsts < 1, "request: max_insts must be positive");
-    if (const Json *cfg = obj.find("config")) {
-        fatal_if(!cfg->isObject(), "request: 'config' must be an object");
-        for (std::size_t i = 0; i < cfg->size(); ++i) {
-            const std::string &key = cfg->memberName(i);
-            fatal_if(key == "sweep.cache",
-                     "request: sweep.cache is server-controlled");
-            spec.overrides.emplace_back(
-                key, overrideValue(cfg->memberValue(i), key));
-        }
-    }
-    if (spec.name.empty())
-        spec.name = spec.workload + "/" + spec.mode;
-    return spec;
-}
-
-/**
- * Point list of a sweep request body: either an explicit "points"
- * array, or the cross product of "workloads" x "modes" (the classic
- * figure matrix). Shared by the buffered and the streaming sweep
- * handlers so both validate identically.
- */
-std::vector<PointSpec>
-parseSweepSpecs(const Json &body)
-{
-    std::vector<PointSpec> specs;
-    if (const Json *points = body.find("points")) {
-        fatal_if(!points->isArray(),
-                 "request: 'points' must be an array");
-        PointSpec base;
-        base.workload.clear(); // each point must name its workload
-        for (std::size_t i = 0; i < points->size(); ++i) {
-            fatal_if(!points->at(i).isObject(),
-                     "request: points[%zu] must be an object", i);
-            PointSpec spec = parsePoint(points->at(i), base);
-            spec.name = stringOr(points->at(i), "name", spec.name);
-            specs.push_back(std::move(spec));
-        }
-    } else {
-        const Json *wl = body.find("workloads");
-        fatal_if(!wl || !wl->isArray(),
-                 "request: need 'points' or a 'workloads' array");
-        std::vector<std::string> modes;
-        if (const Json *ms = body.find("modes")) {
-            fatal_if(!ms->isArray(),
-                     "request: 'modes' must be an array");
-            for (std::size_t i = 0; i < ms->size(); ++i) {
-                fatal_if(!ms->at(i).isString(),
-                         "request: modes[%zu] must be a string", i);
-                modes.push_back(ms->at(i).asString());
-            }
-        } else {
-            modes.push_back(stringOr(body, "mode", "sie"));
-        }
-        for (std::size_t i = 0; i < wl->size(); ++i) {
-            fatal_if(!wl->at(i).isString(),
-                     "request: workloads[%zu] must be a string", i);
-            for (const std::string &mode : modes) {
-                // Route shared scale/max_insts/config through the same
-                // per-point parser so they get the same validation.
-                Json point = Json::object();
-                point.set("workload", wl->at(i).asString());
-                point.set("mode", mode);
-                if (const Json *s = body.find("scale"))
-                    point.set("scale", *s);
-                if (const Json *mi = body.find("max_insts"))
-                    point.set("max_insts", *mi);
-                if (const Json *cfg = body.find("config"))
-                    point.set("config", *cfg);
-                specs.push_back(parsePoint(point, PointSpec{}));
-            }
-        }
-    }
-    fatal_if(specs.empty(), "request: no sweep points");
-    fatal_if(specs.size() > 4096,
-             "request: too many sweep points (%zu > 4096)", specs.size());
-    return specs;
 }
 
 /** Point result JSON: the sweep shape plus program output. */
@@ -324,10 +156,80 @@ struct Server::DispatchItem
     HttpRequest req;
 };
 
+// ---------------------------------------------------------------------
+// Stream: the writer side of one chunked response, thread-safe
+// ---------------------------------------------------------------------
+
+void
+Server::Stream::respond(HttpResponse resp)
+{
+    resp.set("X-Request-Id", rid);
+    srv->sendResponse(conn, std::move(resp), keep, label);
+}
+
+void
+Server::Stream::begin(
+    int status, const std::string &content_type,
+    const std::vector<std::pair<std::string, std::string>>
+        &extra_headers)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        if (conn->dead)
+            return;
+        conn->pathLabel = label;
+        conn->respStatus = status;
+        conn->closeAfter = !keep;
+        auto headers = extra_headers;
+        headers.emplace_back("X-Request-Id", rid);
+        conn->out += streamHead(status, content_type, keep, headers);
+    }
+    srv->wakeLoop(conn);
+}
+
+void
+Server::Stream::write(const std::string &payload)
+{
+    if (payload.empty())
+        return;
+    srv->enqueueOutput(conn, encodeChunk(payload), /*done=*/false);
+}
+
+void
+Server::Stream::end()
+{
+    srv->enqueueOutput(conn, lastChunk(), /*done=*/true);
+}
+
+void
+Server::Stream::fail()
+{
+    // No terminal chunk: the client's decoder sees the truncation. The
+    // connection must close (chunk framing is unrecoverable mid-body).
+    {
+        std::lock_guard<std::mutex> lock(conn->mtx);
+        conn->closeAfter = true;
+        conn->outDone = true;
+    }
+    srv->wakeLoop(conn);
+}
+
+bool
+Server::Stream::cancelled() const
+{
+    return conn->cancel->load(std::memory_order_relaxed);
+}
+
+const std::shared_ptr<std::atomic<bool>> &
+Server::Stream::cancelToken() const
+{
+    return conn->cancel;
+}
+
 Server::Server(ServerOptions options) : opts(std::move(options))
 {
-    jobQueue =
-        std::make_unique<JobQueue>(opts.queueDepth, opts.workers);
+    jobQueue = std::make_unique<JobQueue>(opts.queueDepth, opts.workers,
+                                          opts.jobHistory);
 
     Metrics &m = metricsRegistry;
     m.describe("dieirb_http_requests_total", "counter",
@@ -413,6 +315,7 @@ Server::start()
              "epoll_ctl(wake): %s", std::strerror(errno));
 
     started = true;
+    startTime = Clock::now();
     loopThread = std::thread([this] { eventLoop(); });
     const unsigned n = opts.httpThreads > 0 ? opts.httpThreads : 1;
     dispatchers.reserve(n);
@@ -452,14 +355,20 @@ Server::eventLoop()
                 continue;
             }
             const auto it = conns.find(fd);
-            if (it != conns.end())
-                onConnEvent(it->second, events[i].events);
+            if (it != conns.end()) {
+                // Copy: closeConn() erases the map slot this iterator
+                // points into while callees still hold the pointer.
+                const std::shared_ptr<Conn> conn = it->second;
+                onConnEvent(conn, events[i].events);
+            }
         }
         processWakeups();
         for (const int fd : wheel.expire(nowMs())) {
             const auto it = conns.find(fd);
-            if (it != conns.end())
-                onDeadline(it->second);
+            if (it != conns.end()) {
+                const std::shared_ptr<Conn> conn = it->second;
+                onDeadline(conn);
+            }
         }
         if (stopping.load(std::memory_order_acquire) && !drainStarted)
             beginDrainInLoop();
@@ -854,11 +763,19 @@ Server::processRequest(const std::shared_ptr<Conn> &conn,
     if (req.method == "POST" && req.path() == "/v1/sweep" &&
         wantsStream(req)) {
         const std::string *hdr = req.header("x-request-id");
-        const std::string rid = hdr && !hdr->empty()
+        auto stream = std::make_shared<Stream>();
+        stream->srv = this;
+        stream->conn = conn;
+        stream->keep = keepAlive;
+        stream->rid = hdr && !hdr->empty()
             ? *hdr
             : "req-" + std::to_string(requestSeq.fetch_add(
                   1, std::memory_order_relaxed));
-        handleSweepStream(conn, req, keepAlive, rid);
+        // A front-end hook (the coordinator) gets first claim on the
+        // stream; otherwise the built-in sweep handler drives it.
+        if (hooks.stream && hooks.stream(req, stream))
+            return;
+        handleSweepStream(req, stream);
         return;
     }
 
@@ -872,28 +789,23 @@ Server::processRequest(const std::shared_ptr<Conn> &conn,
 }
 
 void
-Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
-                          const HttpRequest &req, bool keep_alive,
-                          const std::string &request_id)
+Server::handleSweepStream(const HttpRequest &req,
+                          const StreamPtr &stream)
 {
     std::vector<PointSpec> specs;
     bool useCache = true;
     try {
         const Json body = Json::parse(req.body);
         fatal_if(!body.isObject(), "request: body must be a JSON object");
-        fatal_if(boolOr(body, "async", false),
+        fatal_if(jsonBoolOr(body, "async", false),
                  "request: stream and async are mutually exclusive");
         specs = parseSweepSpecs(body);
-        useCache = boolOr(body, "cache", true);
+        useCache = jsonBoolOr(body, "cache", true);
     } catch (const FatalError &e) {
-        HttpResponse r = errorResponse(400, e.what());
-        r.set("X-Request-Id", request_id);
-        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        stream->respond(errorResponse(400, e.what()));
         return;
     } catch (const std::exception &e) {
-        HttpResponse r = errorResponse(500, e.what());
-        r.set("X-Request-Id", request_id);
-        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        stream->respond(errorResponse(500, e.what()));
         return;
     }
 
@@ -903,23 +815,10 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
     // the terminal chunk. The connection's cancellation token makes a
     // client disconnect (or a server drain) cancel the pending
     // remainder exactly like SIGTERM does for buffered sweeps.
-    auto cancel = conn->cancel;
-    JobQueue::Work work = [this, conn, cancel, keep_alive, request_id,
-                           specs = std::move(specs),
+    JobQueue::Work work = [this, stream, specs = std::move(specs),
                            useCache]() -> Json {
         metricsRegistry.count("dieirb_streams_total");
-        {
-            std::lock_guard<std::mutex> lock(conn->mtx);
-            if (!conn->dead) {
-                conn->pathLabel = "/v1/sweep";
-                conn->respStatus = 200;
-                conn->closeAfter = !keep_alive;
-                conn->out += streamHead(200, "application/x-ndjson",
-                                        keep_alive,
-                                        {{"X-Request-Id", request_id}});
-            }
-        }
-        wakeLoop(conn);
+        stream->begin(200, "application/x-ndjson");
 
         harness::Sweep sweep(opts.sweepJobs);
         sweep.setSharedPool(&corePool);
@@ -932,6 +831,7 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
             sweep.add(spec.name, spec.workload, std::move(cfg),
                       spec.scale, spec.maxInsts);
         }
+        auto cancel = stream->cancelToken();
         if (stopping.load(std::memory_order_relaxed))
             cancel->store(true, std::memory_order_relaxed);
 
@@ -947,16 +847,12 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
                     cancelled +=
                         r.status == harness::PointStatus::Cancelled ? 1
                                                                     : 0;
-                    enqueueOutput(
-                        conn,
-                        encodeChunk(harness::resultJson(r).dump(0) +
-                                    "\n"),
-                        /*done=*/false);
+                    stream->write(harness::resultJson(r).dump(0) + "\n");
                 });
         } catch (...) {
             // Close the chunk framing so the client sees a terminated
             // (if truncated) stream, then let the job record the error.
-            enqueueOutput(conn, lastChunk(), /*done=*/true);
+            stream->end();
             throw;
         }
 
@@ -965,8 +861,8 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
         done.set("total", static_cast<std::uint64_t>(results.size()));
         done.set("cached", cached);
         done.set("cancelled", cancelled);
-        enqueueOutput(conn, encodeChunk(done.dump(0) + "\n") + lastChunk(),
-                      /*done=*/true);
+        stream->write(done.dump(0) + "\n");
+        stream->end();
         if (cancelled > 0)
             metricsRegistry.count("dieirb_streams_cancelled_total");
 
@@ -978,8 +874,8 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
         return summary;
     };
 
-    const JobQueue::Ticket ticket =
-        jobQueue->submit("sweep-stream", request_id, std::move(work));
+    const JobQueue::Ticket ticket = jobQueue->submit(
+        "sweep-stream", stream->requestId(), std::move(work));
     if (!ticket.accepted) {
         metricsRegistry.count("dieirb_jobs_rejected_total",
                               ticket.closed ? "reason=\"draining\""
@@ -992,12 +888,11 @@ Server::handleSweepStream(const std::shared_ptr<Conn> &conn,
                                 " outstanding); retry later");
         if (!ticket.closed)
             r.set("Retry-After", "1");
-        r.set("X-Request-Id", request_id);
-        sendResponse(conn, std::move(r), keep_alive, "/v1/sweep");
+        stream->respond(std::move(r));
         return;
     }
     inform("[%s] POST /v1/sweep -> 200 (streaming, job %llu)",
-           request_id.c_str(),
+           stream->requestId().c_str(),
            static_cast<unsigned long long>(ticket.id));
 }
 
@@ -1063,10 +958,15 @@ Server::route(const HttpRequest &req, std::string &request_id)
 
     const std::string path = req.path();
     try {
+        if (hooks.route) {
+            HttpResponse resp;
+            if (hooks.route(req, request_id, resp))
+                return resp;
+        }
         if (path == "/healthz") {
             if (req.method != "GET" && req.method != "HEAD")
                 return methodNotAllowed("GET");
-            return handleHealth();
+            return handleHealth(req);
         }
         if (path == "/metrics") {
             if (req.method != "GET" && req.method != "HEAD")
@@ -1082,6 +982,11 @@ Server::route(const HttpRequest &req, std::string &request_id)
             if (req.method != "POST")
                 return methodNotAllowed("POST");
             return handleSweep(req, request_id);
+        }
+        if (path == "/v1/jobs") {
+            if (req.method != "GET")
+                return methodNotAllowed("GET");
+            return handleJobList(req);
         }
         if (path.rfind("/v1/jobs/", 0) == 0) {
             if (req.method != "GET")
@@ -1125,11 +1030,11 @@ Server::handleSimulate(const HttpRequest &req,
     const Json body = Json::parse(req.body);
     fatal_if(!body.isObject(), "request: body must be a JSON object");
     const PointSpec spec = parsePoint(body, PointSpec{});
-    const bool async = boolOr(body, "async", false);
-    const bool withStats = boolOr(body, "stats", false);
-    const bool useCache = boolOr(body, "cache", true);
+    const bool async = jsonBoolOr(body, "async", false);
+    const bool withStats = jsonBoolOr(body, "stats", false);
+    const bool useCache = jsonBoolOr(body, "cache", true);
     const unsigned deadlineMs = static_cast<unsigned>(
-        uintOr(body, "deadline_ms", opts.defaultDeadlineMs));
+        jsonUintOr(body, "deadline_ms", opts.defaultDeadlineMs));
 
     JobQueue::Work work = [this, spec, withStats, useCache]() -> Json {
         harness::Sweep sweep(1);
@@ -1159,10 +1064,10 @@ Server::handleSweep(const HttpRequest &req, const std::string &request_id)
     // non-stream transport) it falls back to this buffered response.
     std::vector<PointSpec> specs = parseSweepSpecs(body);
 
-    const bool async = boolOr(body, "async", false);
-    const bool useCache = boolOr(body, "cache", true);
+    const bool async = jsonBoolOr(body, "async", false);
+    const bool useCache = jsonBoolOr(body, "cache", true);
     const unsigned deadlineMs = static_cast<unsigned>(
-        uintOr(body, "deadline_ms", opts.defaultDeadlineMs));
+        jsonUintOr(body, "deadline_ms", opts.defaultDeadlineMs));
 
     JobQueue::Work work = [this, specs, useCache]() -> Json {
         harness::Sweep sweep(opts.sweepJobs);
@@ -1275,16 +1180,86 @@ Server::handleJobGet(const std::string &path)
 }
 
 HttpResponse
-Server::handleHealth()
+Server::handleJobList(const HttpRequest &req)
 {
+    std::size_t limit = 50;
+    const std::size_t q = req.target.find('?');
+    if (q != std::string::npos) {
+        // Only ?limit=N is recognised; anything else is ignored so
+        // probes with stray parameters still get an answer.
+        std::string query = req.target.substr(q + 1);
+        for (std::size_t pos = 0; pos < query.size();) {
+            std::size_t amp = query.find('&', pos);
+            if (amp == std::string::npos)
+                amp = query.size();
+            const std::string param = query.substr(pos, amp - pos);
+            pos = amp + 1;
+            if (param.rfind("limit=", 0) != 0)
+                continue;
+            const std::string val = param.substr(std::strlen("limit="));
+            fatal_if(val.empty() ||
+                         val.find_first_not_of("0123456789") !=
+                             std::string::npos,
+                     "request: limit must be a decimal integer");
+            limit = static_cast<std::size_t>(
+                std::strtoull(val.c_str(), nullptr, 10));
+        }
+    }
+    fatal_if(limit < 1 || limit > 1000,
+             "request: limit must be in [1, 1000]");
+
+    Json jobs = Json::array();
+    for (const JobRecord &rec : jobQueue->list(limit)) {
+        // Status only — result payloads stay behind /v1/jobs/<id>, so
+        // the listing is cheap even with big sweep results in history.
+        Json j = Json::object();
+        j.set("job", rec.id);
+        j.set("kind", rec.kind);
+        j.set("request_id", rec.requestId);
+        j.set("state", jobStateName(rec.state));
+        if (rec.state == JobState::Failed)
+            j.set("error", rec.error);
+        if (rec.finished())
+            j.set("run_seconds", rec.runSeconds);
+        jobs.push(std::move(j));
+    }
+    Json out = Json::object();
+    out.set("count", static_cast<std::uint64_t>(jobs.size()));
+    out.set("jobs", std::move(jobs));
+    return HttpResponse(200, out.dump(2) + "\n");
+}
+
+harness::Json
+Server::healthJson() const
+{
+    const std::chrono::duration<double> up = Clock::now() - startTime;
     Json j = Json::object();
     j.set("status", draining() ? "draining" : "ok");
+    j.set("mode", opts.modeName);
+    j.set("version", DIREB_GIT_DESCRIBE);
+    j.set("uptime_seconds", started ? up.count() : 0.0);
     j.set("queued", static_cast<std::uint64_t>(jobQueue->queued()));
     j.set("outstanding",
           static_cast<std::uint64_t>(jobQueue->outstanding()));
     j.set("workers", jobQueue->workers());
     j.set("busy", jobQueue->busyWorkers());
-    return HttpResponse(200, j.dump(2) + "\n");
+    return j;
+}
+
+HttpResponse
+Server::handleHealth(const HttpRequest &req)
+{
+    // Legacy HTTP/1.0 probes that ask for plain text (busybox wget,
+    // haproxy `option httpchk`) get the two-word body they can match
+    // on; everything else gets the JSON health document.
+    const std::string *accept = req.header("accept");
+    if (req.version == "HTTP/1.0" && accept &&
+        accept->find("text/plain") != std::string::npos) {
+        HttpResponse r(200, draining() ? "draining\n" : "ok\n");
+        r.set("Content-Type", "text/plain; charset=utf-8");
+        return r;
+    }
+    return HttpResponse(200, healthJson().dump(2) + "\n");
 }
 
 HttpResponse

@@ -47,14 +47,17 @@
 #define DIREB_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "harness/core_pool.hh"
@@ -84,6 +87,8 @@ struct ServerOptions
     unsigned defaultDeadlineMs = 60'000;  //!< sync wait before 202
     unsigned sweepJobs = 1;     //!< threads inside one sweep job
     std::string cacheDir;       //!< sweep.cache directory ("" = off)
+    std::string modeName = "serve";  //!< healthz "mode" (serve vs coord)
+    std::size_t jobHistory = 4096;   //!< finished JobRecords kept
 };
 
 class Server
@@ -94,6 +99,80 @@ class Server
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
+
+    struct Conn; // private in spirit; Stream needs the full type
+
+    /**
+     * A live chunked response owned by a hook (or by the built-in
+     * streaming sweep handler): the writer side of one connection,
+     * usable from any thread. Exactly one of respond() or
+     * begin()+write()*+end()/fail() must be called per Stream. Writes
+     * after the client disconnected are silently dropped; poll
+     * cancelled() to stop producing early.
+     */
+    class Stream
+    {
+      public:
+        /** Buffered non-stream answer (error paths: 400/429/503). */
+        void respond(HttpResponse resp);
+
+        /** Send the chunked-response head (status + content type). */
+        void begin(int status, const std::string &content_type,
+                   const std::vector<std::pair<std::string, std::string>>
+                       &extra_headers = {});
+
+        /** One chunk of payload (no-op on an empty string). */
+        void write(const std::string &payload);
+
+        /** Terminal chunk: the stream completed normally. */
+        void end();
+
+        /**
+         * Abort without the terminal chunk and close the connection:
+         * the client's chunk decoder sees a truncated body and knows
+         * the stream did NOT complete (curl exits non-zero).
+         */
+        void fail();
+
+        /** Client disconnect / server drain: stop producing. */
+        bool cancelled() const;
+        const std::shared_ptr<std::atomic<bool>> &cancelToken() const;
+
+        const std::string &requestId() const { return rid; }
+        bool keepAlive() const { return keep; }
+
+      private:
+        friend class Server;
+        Server *srv = nullptr;
+        std::shared_ptr<Conn> conn;
+        bool keep = false;
+        std::string rid;
+        std::string label = "/v1/sweep";
+    };
+
+    using StreamPtr = std::shared_ptr<Stream>;
+
+    /**
+     * Interception points for a front-end built on this server's HTTP
+     * plumbing (dieirb-coord): `route` may claim any buffered request
+     * before the built-in handlers run (return true and fill the
+     * response); `stream` may claim a streaming sweep (POST /v1/sweep
+     * with `"stream": true`) and owns the Stream from then on. Both run
+     * on dispatch threads and must not block on long work — submit to
+     * jobs() instead, exactly like the built-in handlers do. Set before
+     * start(); never called for requests that fail to parse.
+     */
+    struct Hooks
+    {
+        std::function<bool(const HttpRequest &req,
+                           const std::string &request_id,
+                           HttpResponse &resp)>
+            route;
+        std::function<bool(const HttpRequest &req, StreamPtr stream)>
+            stream;
+    };
+
+    void setHooks(Hooks hooks) { this->hooks = std::move(hooks); }
 
     /** Bind + listen + spawn threads; fatal() if the bind fails. */
     void start();
@@ -132,8 +211,25 @@ class Server
      */
     HttpResponse route(const HttpRequest &req, std::string &request_id);
 
+    /**
+     * Submit @p work and either wait for it (sync, up to
+     * @p deadline_ms, then 202) or answer 202 immediately (async).
+     * Public so a front-end hook (the coordinator) can run its own job
+     * kinds through the same queue, backpressure and job-record
+     * plumbing as the built-in handlers.
+     */
+    HttpResponse dispatchJob(const char *kind,
+                             const std::string &request_id, bool async,
+                             unsigned deadline_ms, JobQueue::Work work);
+
+    /**
+     * The healthz body shared by serve and coord: status (ok/draining),
+     * mode, version (git describe at configure time), uptime and queue
+     * occupancy. The coordinator's hook extends it with backend states.
+     */
+    harness::Json healthJson() const;
+
   private:
-    struct Conn;
     struct DispatchItem;
 
     /** Event-loop side (all private state below `// loop-owned`). @{ */
@@ -155,9 +251,8 @@ class Server
     void dispatchLoop();
     void processRequest(const std::shared_ptr<Conn> &conn,
                         const HttpRequest &req);
-    void handleSweepStream(const std::shared_ptr<Conn> &conn,
-                           const HttpRequest &req, bool keep_alive,
-                           const std::string &request_id);
+    void handleSweepStream(const HttpRequest &req,
+                           const StreamPtr &stream);
     void sendResponse(const std::shared_ptr<Conn> &conn,
                       HttpResponse resp, bool keep_alive,
                       const std::string &path_label);
@@ -171,18 +266,16 @@ class Server
     HttpResponse handleSweep(const HttpRequest &req,
                              const std::string &request_id);
     HttpResponse handleJobGet(const std::string &path);
-    HttpResponse handleHealth();
+    HttpResponse handleJobList(const HttpRequest &req);
+    HttpResponse handleHealth(const HttpRequest &req);
     HttpResponse handleMetrics();
-
-    /** Submit + optional sync wait shared by simulate and sweep. */
-    HttpResponse dispatchJob(const char *kind,
-                             const std::string &request_id, bool async,
-                             unsigned deadline_ms, JobQueue::Work work);
 
     /** Fold one finished sweep point into the roll-up counters. */
     void rollupPoint(const harness::SweepResult &point);
 
     ServerOptions opts;
+    Hooks hooks;
+    std::chrono::steady_clock::time_point startTime{};
     Metrics metricsRegistry;
     harness::CorePool corePool; //!< shared across all jobs and sweeps
     /** Declared after corePool: the queue's drain-on-destroy must run

@@ -1,0 +1,212 @@
+#include "service/sweep_request.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+using harness::Json;
+
+std::string
+jsonStringOr(const Json &obj, const char *key, const std::string &def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    fatal_if(!v->isString(), "request: '%s' must be a string", key);
+    return v->asString();
+}
+
+std::uint64_t
+jsonUintOr(const Json &obj, const char *key, std::uint64_t def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    fatal_if(!v->isNumber() || v->asNumber() < 0,
+             "request: '%s' must be a non-negative number", key);
+    return static_cast<std::uint64_t>(v->asNumber());
+}
+
+bool
+jsonBoolOr(const Json &obj, const char *key, bool def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    // asBool panics on non-bool kinds; pre-check for a clean 400.
+    fatal_if(!v->isBool(), "request: '%s' must be a boolean", key);
+    return v->asBool();
+}
+
+namespace
+{
+
+/** Render a config-override value the way Config::set expects it. */
+std::string
+overrideValue(const Json &v, const std::string &key)
+{
+    if (v.isString())
+        return v.asString();
+    if (v.isNumber()) {
+        const double d = v.asNumber();
+        if (d == static_cast<double>(static_cast<std::int64_t>(d)))
+            return std::to_string(static_cast<std::int64_t>(d));
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        return buf;
+    }
+    // Panics (abort) must never be reachable from network input, so
+    // every other kind — including null — is rejected before asBool().
+    fatal_if(!v.isBool(), "request: config.%s must be a scalar",
+             key.c_str());
+    return v.asBool() ? "true" : "false";
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::list()) {
+        if (w.name == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+PointSpec
+parsePoint(const Json &obj, const PointSpec &defaults)
+{
+    PointSpec spec = defaults;
+    spec.workload = jsonStringOr(obj, "workload", defaults.workload);
+    fatal_if(spec.workload.empty(), "request: 'workload' is required");
+    fatal_if(!knownWorkload(spec.workload),
+             "request: unknown workload '%s' (see dieirb-sim -l)",
+             spec.workload.c_str());
+    spec.mode = jsonStringOr(obj, "mode", defaults.mode);
+    fatal_if(spec.mode != "sie" && spec.mode != "die" &&
+                 spec.mode != "die-irb",
+             "request: mode must be sie, die or die-irb, got '%s'",
+             spec.mode.c_str());
+    spec.scale =
+        static_cast<unsigned>(jsonUintOr(obj, "scale", defaults.scale));
+    fatal_if(spec.scale < 1 || spec.scale > 1024,
+             "request: scale must be in [1, 1024]");
+    spec.maxInsts = jsonUintOr(obj, "max_insts", defaults.maxInsts);
+    fatal_if(spec.maxInsts < 1, "request: max_insts must be positive");
+    if (const Json *cfg = obj.find("config")) {
+        fatal_if(!cfg->isObject(), "request: 'config' must be an object");
+        for (std::size_t i = 0; i < cfg->size(); ++i) {
+            const std::string &key = cfg->memberName(i);
+            fatal_if(key == "sweep.cache",
+                     "request: sweep.cache is server-controlled");
+            spec.overrides.emplace_back(
+                key, overrideValue(cfg->memberValue(i), key));
+        }
+    }
+    if (spec.name.empty())
+        spec.name = spec.workload + "/" + spec.mode;
+    return spec;
+}
+
+std::vector<PointSpec>
+parseSweepSpecs(const Json &body)
+{
+    std::vector<PointSpec> specs;
+    if (const Json *points = body.find("points")) {
+        fatal_if(!points->isArray(),
+                 "request: 'points' must be an array");
+        PointSpec base;
+        base.workload.clear(); // each point must name its workload
+        for (std::size_t i = 0; i < points->size(); ++i) {
+            fatal_if(!points->at(i).isObject(),
+                     "request: points[%zu] must be an object", i);
+            PointSpec spec = parsePoint(points->at(i), base);
+            spec.name = jsonStringOr(points->at(i), "name", spec.name);
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        const Json *wl = body.find("workloads");
+        fatal_if(!wl || !wl->isArray(),
+                 "request: need 'points' or a 'workloads' array");
+        std::vector<std::string> modes;
+        if (const Json *ms = body.find("modes")) {
+            fatal_if(!ms->isArray(),
+                     "request: 'modes' must be an array");
+            for (std::size_t i = 0; i < ms->size(); ++i) {
+                fatal_if(!ms->at(i).isString(),
+                         "request: modes[%zu] must be a string", i);
+                modes.push_back(ms->at(i).asString());
+            }
+        } else {
+            modes.push_back(jsonStringOr(body, "mode", "sie"));
+        }
+        for (std::size_t i = 0; i < wl->size(); ++i) {
+            fatal_if(!wl->at(i).isString(),
+                     "request: workloads[%zu] must be a string", i);
+            for (const std::string &mode : modes) {
+                // Route shared scale/max_insts/config through the same
+                // per-point parser so they get the same validation.
+                Json point = Json::object();
+                point.set("workload", wl->at(i).asString());
+                point.set("mode", mode);
+                if (const Json *s = body.find("scale"))
+                    point.set("scale", *s);
+                if (const Json *mi = body.find("max_insts"))
+                    point.set("max_insts", *mi);
+                if (const Json *cfg = body.find("config"))
+                    point.set("config", *cfg);
+                specs.push_back(parsePoint(point, PointSpec{}));
+            }
+        }
+    }
+    fatal_if(specs.empty(), "request: no sweep points");
+    fatal_if(specs.size() > 4096,
+             "request: too many sweep points (%zu > 4096)", specs.size());
+    return specs;
+}
+
+Json
+pointSpecJson(const PointSpec &spec)
+{
+    Json j = Json::object();
+    j.set("name", spec.name);
+    j.set("workload", spec.workload);
+    j.set("mode", spec.mode);
+    j.set("scale", spec.scale);
+    j.set("max_insts", spec.maxInsts);
+    if (!spec.overrides.empty()) {
+        Json cfg = Json::object();
+        for (const auto &[key, value] : spec.overrides)
+            cfg.set(key, value);
+        j.set("config", std::move(cfg));
+    }
+    return j;
+}
+
+std::uint64_t
+pointShardKey(const PointSpec &spec)
+{
+    // Reproduce exactly what the backend's Sweep will content-address:
+    // the built program plus baseConfig(mode) with the explicit
+    // overrides applied. sweep.cache never enters the key, so the
+    // backend adding its own cache directory does not change it.
+    const Program prog = workloads::build(spec.workload, spec.scale);
+    Config cfg = harness::baseConfig(spec.mode);
+    for (const auto &[key, value] : spec.overrides)
+        cfg.set(key, value);
+    return harness::pointCacheKey(prog, cfg, spec.maxInsts);
+}
+
+} // namespace service
+
+} // namespace direb

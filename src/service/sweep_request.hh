@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request-body parsing shared by dieirb-serve and dieirb-coord: typed
+ * accessors over an untrusted JSON body (fatal() => HTTP 400) and the
+ * simulate/sweep point specification. Both servers must accept exactly
+ * the same wire format — a sweep the coordinator shards across backends
+ * is validated once at the edge and re-encoded point-by-point for the
+ * sub-sweeps, so the two parsers being one parser is a correctness
+ * property, not a convenience.
+ */
+
+#ifndef DIREB_SERVICE_SWEEP_REQUEST_HH
+#define DIREB_SERVICE_SWEEP_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/report.hh"
+
+namespace direb
+{
+
+namespace service
+{
+
+/** Typed member accessors over a request body; fatal() => HTTP 400. @{ */
+std::string jsonStringOr(const harness::Json &obj, const char *key,
+                         const std::string &def);
+std::uint64_t jsonUintOr(const harness::Json &obj, const char *key,
+                         std::uint64_t def);
+bool jsonBoolOr(const harness::Json &obj, const char *key, bool def);
+/** @} */
+
+/** Everything needed to enqueue one sweep point, parsed up front so
+ *  malformed requests fail with 400 before a job is ever created. */
+struct PointSpec
+{
+    std::string name;
+    std::string workload;
+    std::string mode = "sie";
+    unsigned scale = 1;
+    std::uint64_t maxInsts = 50'000'000;
+    std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/** Parse one point object, filling absent members from @p defaults. */
+PointSpec parsePoint(const harness::Json &obj, const PointSpec &defaults);
+
+/**
+ * Point list of a sweep request body: either an explicit "points"
+ * array, or the cross product of "workloads" x "modes" (the classic
+ * figure matrix). Shared by the buffered and the streaming sweep
+ * handlers — and by the coordinator — so all of them validate
+ * identically.
+ */
+std::vector<PointSpec> parseSweepSpecs(const harness::Json &body);
+
+/**
+ * Re-encode one spec as a request-body point object (the inverse of
+ * parsePoint): what the coordinator sends each backend, per point, in
+ * its sub-sweep "points" arrays. parsePoint(pointSpecJson(s)) == s.
+ */
+harness::Json pointSpecJson(const PointSpec &spec);
+
+/**
+ * The shard key of one spec: the PR-4 FNV-1a-64 sweep-cache content
+ * address of the point this spec expands to (program image, instruction
+ * budget, explicit config overrides). Two specs describing the same
+ * simulation hash identically, so the coordinator's consistent-hash
+ * placement keeps every point on the backend whose result cache
+ * already holds it.
+ */
+std::uint64_t pointShardKey(const PointSpec &spec);
+
+} // namespace service
+
+} // namespace direb
+
+#endif // DIREB_SERVICE_SWEEP_REQUEST_HH

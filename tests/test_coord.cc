@@ -1,0 +1,545 @@
+/**
+ * @file
+ * The coordinator subsystem: hash-ring placement properties, and
+ * end-to-end sharded sweeps over real sockets against two in-process
+ * dieirb-serve backends — including a backend drained mid-streamed-
+ * sweep, after which the merged client stream must still complete,
+ * in order, byte-identical to an undisturbed run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <vector>
+
+#include "common/logging.hh"
+#include "coord/coordinator.hh"
+#include "coord/hash_ring.hh"
+#include "harness/report.hh"
+#include "service/server.hh"
+#include "service/sweep_request.hh"
+
+using namespace direb;
+using harness::Json;
+using service::HttpRequest;
+using service::HttpResponse;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Socket helpers (mirrors test_service.cc's one-shot client)
+// ---------------------------------------------------------------------
+
+int
+connectTo(unsigned short port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Read everything until EOF (requests carry Connection: close). */
+std::string
+readToEof(int fd)
+{
+    std::string raw;
+    char buf[16384];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    return raw;
+}
+
+/** De-chunk a complete raw response capture. */
+struct Dechunked
+{
+    int status = 0;
+    std::string body;
+    bool complete = false; //!< saw the terminal chunk
+};
+
+Dechunked
+dechunk(const std::string &raw)
+{
+    Dechunked out;
+    const std::size_t hdrEnd = raw.find("\r\n\r\n");
+    if (hdrEnd == std::string::npos)
+        return out;
+    const std::size_t sp = raw.find(' ');
+    out.status = std::atoi(raw.c_str() + sp + 1);
+    std::string lower = raw.substr(0, hdrEnd);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    std::size_t pos = hdrEnd + 4;
+    if (lower.find("transfer-encoding: chunked") == std::string::npos) {
+        out.body = raw.substr(pos);
+        out.complete = true;
+        return out;
+    }
+    for (;;) {
+        const std::size_t eol = raw.find("\r\n", pos);
+        if (eol == std::string::npos)
+            return out; // truncated mid-size-line
+        const std::size_t size =
+            std::strtoul(raw.c_str() + pos, nullptr, 16);
+        pos = eol + 2;
+        if (size == 0) {
+            out.complete = true;
+            return out;
+        }
+        if (pos + size + 2 > raw.size())
+            return out; // truncated mid-chunk
+        out.body.append(raw, pos, size);
+        pos += size + 2;
+    }
+}
+
+std::string
+postCloseWire(const std::string &target, const std::string &body)
+{
+    return "POST " + target +
+           " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+           "Content-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// ---------------------------------------------------------------------
+// Two-backend fixture
+// ---------------------------------------------------------------------
+
+service::ServerOptions
+backendOptions()
+{
+    service::ServerOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.httpThreads = 4;
+    opts.queueDepth = 8;
+    return opts;
+}
+
+struct CoordFixture
+{
+    service::Server backend1;
+    service::Server backend2;
+    service::Server front;
+    coord::CoordOptions copts;
+    coord::Coordinator coordinator;
+
+    static service::ServerOptions
+    frontOptions()
+    {
+        service::ServerOptions opts;
+        opts.port = 0;
+        opts.workers = 8; // fan-out jobs block on the backends
+        opts.httpThreads = 4;
+        opts.queueDepth = 8;
+        opts.modeName = "coord";
+        return opts;
+    }
+
+    static coord::CoordOptions
+    coordOptions(const service::Server &b1, const service::Server &b2)
+    {
+        coord::CoordOptions copts;
+        copts.backends = {
+            "127.0.0.1:" + std::to_string(b1.port()),
+            "127.0.0.1:" + std::to_string(b2.port()),
+        };
+        return copts;
+    }
+
+    CoordFixture()
+        : backend1(backendOptions()), backend2(backendOptions()),
+          front(frontOptions()),
+          // Members initialise in declaration order, so the backends
+          // are listening (ports assigned) before copts reads them.
+          copts((backend1.start(), backend2.start(),
+                 coordOptions(backend1, backend2))),
+          coordinator(front, copts)
+    {
+        coordinator.start();
+    }
+
+    ~CoordFixture()
+    {
+        front.shutdown();
+        coordinator.stop();
+        backend1.shutdown();
+        backend2.shutdown();
+    }
+
+    coord::HashRing
+    localRing() const
+    {
+        return coord::HashRing(
+            {"127.0.0.1:" + std::to_string(backend1.port()),
+             "127.0.0.1:" + std::to_string(backend2.port())},
+            coord::CoordOptions{}.vnodes);
+    }
+};
+
+/** route() plus response-body JSON parse (socket-free hook tests). */
+std::pair<int, Json>
+call(service::Server &server, const std::string &method,
+     const std::string &target, const std::string &body = "")
+{
+    HttpRequest req;
+    req.method = method;
+    req.target = target;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    std::string rid;
+    HttpResponse resp = server.route(req, rid);
+    return {resp.status, Json::parse(resp.body)};
+}
+
+/** A small explicit-name sweep matrix ("p0".."pN-1", distinct keys). */
+std::string
+sweepBody(std::size_t points, std::uint64_t base_insts, bool stream)
+{
+    std::string out = "{\"points\": [";
+    for (std::size_t p = 0; p < points; ++p) {
+        if (p)
+            out += ", ";
+        out += "{\"name\": \"p" + std::to_string(p) +
+               "\", \"workload\": \"route\", \"max_insts\": " +
+               std::to_string(base_insts + 1000 * p) + "}";
+    }
+    out += "], \"cache\": false";
+    if (stream)
+        out += ", \"stream\": true";
+    out += "}";
+    return out;
+}
+
+/** The PointSpecs the body above parses to (for local ring lookups). */
+std::vector<service::PointSpec>
+sweepSpecs(std::size_t points, std::uint64_t base_insts)
+{
+    std::vector<service::PointSpec> specs;
+    for (std::size_t p = 0; p < points; ++p) {
+        service::PointSpec s;
+        s.name = "p" + std::to_string(p);
+        s.workload = "route";
+        s.maxInsts = base_insts + 1000 * p;
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+/** Expect a complete NDJSON stream: p0..pN-1 all ok, then the summary. */
+void
+expectCleanStream(const std::string &body, std::size_t points)
+{
+    std::size_t pos = 0;
+    std::size_t idx = 0;
+    bool sawDone = false;
+    while (pos < body.size()) {
+        const std::size_t nl = body.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        const Json j = Json::parse(body.substr(pos, nl - pos));
+        pos = nl + 1;
+        if (j.find("done")) {
+            sawDone = true;
+            EXPECT_EQ(j.find("total")->asNumber(),
+                      static_cast<double>(points));
+            EXPECT_EQ(j.find("cancelled")->asNumber(), 0.0);
+            EXPECT_EQ(pos, body.size());
+            break;
+        }
+        ASSERT_LT(idx, points);
+        EXPECT_EQ(j.find("name")->asString(),
+                  "p" + std::to_string(idx));
+        EXPECT_EQ(j.find("status")->asString(), "ok");
+        ++idx;
+    }
+    EXPECT_TRUE(sawDone);
+    EXPECT_EQ(idx, points);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------------
+
+TEST(HashRing, SpreadsKeysAcrossAllNodes)
+{
+    const std::vector<std::string> nodes = {"n0:1", "n1:1", "n2:1",
+                                            "n3:1"};
+    coord::HashRing ring(nodes, 64);
+    std::vector<std::size_t> counts(nodes.size(), 0);
+    const std::size_t keys = 20'000;
+    for (std::size_t k = 0; k < keys; ++k) {
+        const std::size_t owner = ring.lookup(k);
+        ASSERT_LT(owner, nodes.size());
+        ++counts[owner];
+    }
+    // 64 vnodes per node keeps the split near 25% each; generous
+    // bounds so the test pins the property, not the exact hash.
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        EXPECT_GT(counts[n], keys / 12) << "node " << n;
+        EXPECT_LT(counts[n], keys / 2) << "node " << n;
+    }
+}
+
+TEST(HashRing, LookupIsDeterministicAcrossInstances)
+{
+    const std::vector<std::string> nodes = {"a:1", "b:2", "c:3"};
+    coord::HashRing r1(nodes, 32);
+    coord::HashRing r2(nodes, 32);
+    for (std::uint64_t k = 0; k < 4'096; ++k)
+        EXPECT_EQ(r1.lookup(k), r2.lookup(k));
+}
+
+TEST(HashRing, ExcludingANodeMovesOnlyItsKeys)
+{
+    const std::vector<std::string> nodes = {"a:1", "b:2", "c:3",
+                                            "d:4"};
+    coord::HashRing ring(nodes, 64);
+    const std::size_t dead = 1;
+    const auto alive = [dead](std::size_t n) { return n != dead; };
+    std::size_t moved = 0;
+    std::size_t kept = 0;
+    for (std::uint64_t k = 0; k < 20'000; ++k) {
+        const std::size_t before = ring.lookup(k);
+        const std::size_t after = ring.lookup(k, alive);
+        ASSERT_NE(after, dead);
+        if (before == dead) {
+            ++moved; // must land somewhere else
+        } else {
+            // Minimal movement: a live node's keys never move.
+            EXPECT_EQ(after, before) << "key " << k;
+            ++kept;
+        }
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_GT(kept, 0u);
+}
+
+TEST(HashRing, NoAcceptableNodeIsNpos)
+{
+    coord::HashRing ring({"a:1", "b:2"}, 16);
+    EXPECT_EQ(ring.lookup(7, [](std::size_t) { return false; }),
+              coord::HashRing::npos);
+    EXPECT_EQ(coord::HashRing().lookup(7), coord::HashRing::npos);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator hooks (socket-free route() paths)
+// ---------------------------------------------------------------------
+
+TEST(CoordRoute, HealthzListsBackendStates)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    auto [status, j] = call(fx.front, "GET", "/healthz");
+    ASSERT_EQ(status, 200);
+    EXPECT_EQ(j.find("status")->asString(), "ok");
+    EXPECT_EQ(j.find("mode")->asString(), "coord");
+    const Json *backends = j.find("backends");
+    ASSERT_NE(backends, nullptr);
+    ASSERT_EQ(backends->size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(backends->at(i).find("state")->asString(), "up");
+        EXPECT_FALSE(
+            backends->at(i).find("address")->asString().empty());
+    }
+}
+
+TEST(CoordRoute, SimulateIsProxiedToItsRingOwner)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/simulate";
+    req.version = "HTTP/1.1";
+    req.body = "{\"workload\": \"route\", \"max_insts\": 30000, "
+               "\"cache\": false}";
+    std::string rid;
+    HttpResponse resp = fx.front.route(req, rid);
+    ASSERT_EQ(resp.status, 200);
+    const Json j = Json::parse(resp.body);
+    EXPECT_EQ(j.find("state")->asString(), "done");
+    bool sawBackend = false;
+    for (const auto &[name, value] : resp.headers) {
+        if (name == "X-Backend") {
+            sawBackend = true;
+            EXPECT_NE(value.find("127.0.0.1:"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(sawBackend);
+}
+
+TEST(CoordRoute, BufferedSweepReportsItsShardCount)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    const std::size_t points = 12;
+    auto [status, j] =
+        call(fx.front, "POST", "/v1/sweep",
+             sweepBody(points, 20'000, /*stream=*/false));
+    ASSERT_EQ(status, 200);
+    const Json *result = j.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->find("total")->asNumber(),
+              static_cast<double>(points));
+    EXPECT_EQ(result->find("cancelled")->asNumber(), 0.0);
+    ASSERT_NE(result->find("points"), nullptr);
+    EXPECT_EQ(result->find("points")->size(), points);
+
+    // The shard count must equal what the ring actually spreads the
+    // matrix over (ports are kernel-assigned, so compute it locally).
+    const coord::HashRing ring = fx.localRing();
+    std::vector<bool> owns(2, false);
+    for (const service::PointSpec &s : sweepSpecs(points, 20'000))
+        owns[ring.lookup(service::pointShardKey(s))] = true;
+    const double expected = (owns[0] ? 1.0 : 0.0) + (owns[1] ? 1.0 : 0.0);
+    EXPECT_EQ(result->find("shards")->asNumber(), expected);
+}
+
+TEST(CoordRoute, MetricsAggregatesBackendSeries)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    std::string rid;
+    HttpRequest req;
+    req.method = "GET";
+    req.target = "/metrics";
+    req.version = "HTTP/1.1";
+    const HttpResponse resp = fx.front.route(req, rid);
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(
+        resp.body.find("dieirb_coord_backends{state=\"up\"} 2"),
+        std::string::npos);
+    // Backend series re-exported under dieirb_backend_* with a
+    // backend label naming the scraped instance.
+    EXPECT_NE(resp.body.find("dieirb_backend_queue_depth{backend="
+                             "\"127.0.0.1:"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("# TYPE dieirb_backend_queue_depth gauge"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end sharded sweeps over real sockets
+// ---------------------------------------------------------------------
+
+TEST(CoordSocket, ShardedStreamIsCompleteOrderedAndDeterministic)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    fx.front.start();
+    // Big enough a budget that every point completes with status ok
+    // (tiny budgets report "timeout", which is fine but not what this
+    // test pins down).
+    const std::size_t points = 8;
+    const std::string wire = postCloseWire(
+        "/v1/sweep", sweepBody(points, 400'000, /*stream=*/true));
+
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        const int fd = connectTo(fx.front.port());
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+                  static_cast<ssize_t>(wire.size()));
+        const Dechunked got = dechunk(readToEof(fd));
+        ::close(fd);
+        ASSERT_EQ(got.status, 200);
+        ASSERT_TRUE(got.complete);
+        expectCleanStream(got.body, points);
+        if (run == 0)
+            first = got.body;
+        else
+            EXPECT_EQ(got.body, first); // byte-identical reruns
+    }
+}
+
+TEST(CoordSocket, BackendDrainMidSweepReshardsAndStaysByteIdentical)
+{
+    setQuiet(true);
+    CoordFixture fx;
+    fx.front.start();
+    // Heavier points: the sweep must still be in flight when the
+    // backend drains (~100ms+ per point on one backend worker).
+    const std::size_t points = 8;
+    const std::uint64_t insts = 400'000;
+    const std::string wire = postCloseWire(
+        "/v1/sweep", sweepBody(points, insts, /*stream=*/true));
+
+    // Reference run with both backends healthy.
+    int fd = connectTo(fx.front.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    const Dechunked reference = dechunk(readToEof(fd));
+    ::close(fd);
+    ASSERT_EQ(reference.status, 200);
+    ASSERT_TRUE(reference.complete);
+    expectCleanStream(reference.body, points);
+
+    // Drain the owner of the LAST point once the first line lands, so
+    // at least one of its points is still unfinished and must reshard
+    // onto the survivor.
+    const coord::HashRing ring = fx.localRing();
+    const std::vector<service::PointSpec> specs =
+        sweepSpecs(points, insts);
+    const std::size_t victim =
+        ring.lookup(service::pointShardKey(specs.back()));
+    service::Server &doomed =
+        victim == 0 ? fx.backend1 : fx.backend2;
+
+    fd = connectTo(fx.front.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    std::string raw;
+    char buf[16384];
+    bool drained = false;
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+        if (!drained && raw.find("\"ipc\"") != std::string::npos) {
+            // First point line arrived: the sweep is mid-flight.
+            doomed.shutdown(); // graceful drain, blocks until done
+            drained = true;
+        }
+    }
+    ::close(fd);
+    ASSERT_TRUE(drained);
+
+    const Dechunked got = dechunk(raw);
+    ASSERT_EQ(got.status, 200);
+    ASSERT_TRUE(got.complete)
+        << "stream truncated after backend drain";
+    expectCleanStream(got.body, points);
+    EXPECT_EQ(got.body, reference.body)
+        << "resharded merge diverged from the healthy run";
+}

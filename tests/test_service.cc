@@ -853,6 +853,103 @@ TEST(ServerRoute, HealthzReportsOk)
     EXPECT_EQ(j.find("workers")->asNumber(), 1.0);
 }
 
+TEST(ServerRoute, HealthzJsonCarriesModeVersionAndUptime)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    auto [status, j] = call(server, makeRequest("GET", "/healthz"));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(j.find("mode")->asString(), "serve");
+    ASSERT_NE(j.find("version"), nullptr);
+    EXPECT_FALSE(j.find("version")->asString().empty());
+    ASSERT_NE(j.find("uptime_seconds"), nullptr);
+    EXPECT_GE(j.find("uptime_seconds")->asNumber(), 0.0);
+    ASSERT_NE(j.find("queued"), nullptr);
+    ASSERT_NE(j.find("busy"), nullptr);
+}
+
+TEST(ServerRoute, HealthzHttp10TextPlainKeepsBareBody)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    HttpRequest req = makeRequest("GET", "/healthz");
+    req.version = "HTTP/1.0";
+    req.headers.emplace_back("accept", "text/plain");
+    std::string rid;
+    const HttpResponse r = server.route(req, rid);
+    EXPECT_EQ(r.status, 200);
+    // Legacy probes match on the bare body, not a JSON document.
+    EXPECT_EQ(r.body, "ok\n");
+
+    // The same probe speaking HTTP/1.1 gets the JSON document.
+    auto [status, j] = call(server, makeRequest("GET", "/healthz"));
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(j.find("status")->asString(), "ok");
+}
+
+TEST(ServerRoute, JobListIsNewestFirstBoundedAndPayloadFree)
+{
+    setQuiet(true);
+    service::Server server(testOptions());
+    for (int i = 0; i < 3; ++i) {
+        auto [status, j] = call(
+            server,
+            makeRequest("POST", "/v1/simulate",
+                        "{\"workload\": \"route\", \"max_insts\": "
+                        "20000, \"cache\": false}"));
+        ASSERT_EQ(status, 200);
+    }
+
+    auto [status, j] = call(server, makeRequest("GET", "/v1/jobs"));
+    ASSERT_EQ(status, 200);
+    EXPECT_EQ(j.find("count")->asNumber(), 3.0);
+    const harness::Json *jobs = j.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->size(), 3u);
+    EXPECT_GT(jobs->at(0).find("job")->asNumber(),
+              jobs->at(2).find("job")->asNumber()); // newest first
+    for (std::size_t i = 0; i < jobs->size(); ++i) {
+        EXPECT_EQ(jobs->at(i).find("state")->asString(), "done");
+        EXPECT_EQ(jobs->at(i).find("kind")->asString(), "simulate");
+        ASSERT_NE(jobs->at(i).find("run_seconds"), nullptr);
+        // Status only: result payloads stay behind /v1/jobs/<id>.
+        EXPECT_EQ(jobs->at(i).find("result"), nullptr);
+    }
+
+    auto [s2, j2] =
+        call(server, makeRequest("GET", "/v1/jobs?limit=1"));
+    ASSERT_EQ(s2, 200);
+    EXPECT_EQ(j2.find("jobs")->size(), 1u);
+
+    auto [s3, j3] =
+        call(server, makeRequest("GET", "/v1/jobs?limit=0"));
+    EXPECT_EQ(s3, 400);
+    auto [s4, j4] =
+        call(server, makeRequest("GET", "/v1/jobs?limit=bogus"));
+    EXPECT_EQ(s4, 400);
+}
+
+TEST(JobQueue, HistoryLimitTrimsOldestFinishedRecords)
+{
+    service::JobQueue q(8, 1, /*history=*/2);
+    std::uint64_t first = 0;
+    for (int i = 0; i < 4; ++i) {
+        const auto t = q.submit("k", "rid", [] {
+            return harness::Json::object();
+        });
+        ASSERT_TRUE(t.accepted);
+        if (i == 0)
+            first = t.id;
+        service::JobRecord rec;
+        ASSERT_TRUE(
+            q.wait(t.id, std::chrono::milliseconds(10'000), rec));
+    }
+    service::JobRecord rec;
+    EXPECT_FALSE(q.lookup(first, rec)); // trimmed out of history
+    EXPECT_EQ(q.list(100).size(), 2u);  // only the newest two remain
+    EXPECT_EQ(q.list(1).size(), 1u);
+}
+
 TEST(ServerRoute, SimulateRunsAPoint)
 {
     setQuiet(true);

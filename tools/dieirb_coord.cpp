@@ -1,0 +1,192 @@
+/**
+ * @file
+ * dieirb-coord — the sharded sweep coordinator.
+ *
+ * Speaks the same HTTP API as dieirb-serve but simulates nothing
+ * itself: every sweep is sharded across N dieirb-serve backends by
+ * consistent-hashing each point's cache key onto a ring, fanned out as
+ * streamed NDJSON sub-sweeps, and merged back into one
+ * deterministic-order response — byte-identical to what a single
+ * backend would have produced, including when a backend dies or drains
+ * mid-sweep (its unfinished points re-shard onto the survivors; the
+ * completed prefix is never re-simulated).
+ *
+ *   POST /v1/simulate   proxied to the point's ring owner
+ *   POST /v1/sweep      sharded fan-out; `"stream": true` => NDJSON
+ *   GET  /v1/jobs       the coordinator's own job listing
+ *   GET  /v1/jobs/<id>  async fan-out job status / result
+ *   GET  /healthz       coordinator + per-backend health states
+ *   GET  /metrics       coordinator series + re-exported backend
+ *                       counters (dieirb_backend_*, backend="..." label)
+ *
+ * Usage:
+ *   dieirb-coord --backend H:P [--backend H:P ...] [options]
+ *     --backend H:P       a dieirb-serve backend (repeat; >= 1 required)
+ *     --port N            listen port (default 8200; 0 = kernel pick)
+ *     --host A            listen address (default 127.0.0.1)
+ *     --http-threads N    request dispatch threads (default 16)
+ *     --queue-depth N     max outstanding fan-outs before 429 (64)
+ *     --deadline-ms N     sync-request wait before 202 (default 60000)
+ *     --job-history N     finished job records kept (default 4096)
+ *     --vnodes N          ring points per backend (default 64)
+ *     --health-interval-ms N  backend /healthz probe period (500)
+ *     --max-attempts N    dispatches per point before 500 (default 3)
+ *     --reshard-wait-ms N wait for any live backend (default 4000)
+ *     --subsweep-idle-ms N   sub-sweep no-progress bound (120000)
+ *     -q                  quiet (suppress per-request log lines)
+ *
+ * SIGTERM/SIGINT drain exactly like dieirb-serve: stop accepting,
+ * reject new sweeps with 503, cancel in-flight fan-outs (which cancels
+ * their sub-sweeps on the backends), exit 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "coord/coordinator.hh"
+#include "service/server.hh"
+
+using namespace direb;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --backend H:P [--backend H:P ...] [options]\n"
+        "  --backend H:P     a dieirb-serve backend (repeatable)\n"
+        "  --port N          listen port (default 8200; 0 = kernel)\n"
+        "  --host A          listen address (default 127.0.0.1)\n"
+        "  --http-threads N  connection handler threads (default 16)\n"
+        "  --queue-depth N   max outstanding fan-outs before 429 (64)\n"
+        "  --deadline-ms N   sync wait before 202 handoff (60000)\n"
+        "  --job-history N   finished job records kept (4096)\n"
+        "  --vnodes N        ring points per backend (64)\n"
+        "  --health-interval-ms N  backend probe period (500)\n"
+        "  --max-attempts N  dispatches per point before 500 (3)\n"
+        "  --reshard-wait-ms N     wait for any live backend (4000)\n"
+        "  --subsweep-idle-ms N    sub-sweep no-progress bound (120000)\n"
+        "  -q                quiet\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    service::ServerOptions opts;
+    opts.port = 8200;
+    opts.workers = 1; // fan-out jobs wait on backends, never simulate
+    opts.modeName = "coord";
+    coord::CoordOptions copts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--backend") {
+            copts.backends.push_back(next());
+        } else if (a == "--port") {
+            opts.port = static_cast<unsigned short>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--host") {
+            opts.host = next();
+        } else if (a == "--http-threads") {
+            opts.httpThreads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--queue-depth") {
+            opts.queueDepth = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--deadline-ms") {
+            opts.defaultDeadlineMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--job-history") {
+            opts.jobHistory = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--vnodes") {
+            copts.vnodes = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--health-interval-ms") {
+            copts.healthIntervalMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--max-attempts") {
+            copts.maxPointAttempts = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--reshard-wait-ms") {
+            copts.reshardWaitMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "--subsweep-idle-ms") {
+            copts.subsweepIdleTimeoutMs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (a == "-q") {
+            setQuiet(true);
+        } else if (a == "-h" || a == "--help") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+    if (copts.backends.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    // Fan-out jobs are I/O-bound waits on the backends: give the queue
+    // enough workers to run a queue-depth's worth concurrently.
+    opts.workers = static_cast<unsigned>(opts.queueDepth);
+
+    std::signal(SIGPIPE, SIG_IGN);
+    sigset_t drainSignals;
+    sigemptyset(&drainSignals);
+    sigaddset(&drainSignals, SIGINT);
+    sigaddset(&drainSignals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &drainSignals, nullptr);
+
+    try {
+        service::Server server(opts);
+        coord::Coordinator coordinator(server, copts);
+        coordinator.start();
+        server.start();
+        std::string backend_list;
+        for (const std::string &b : copts.backends) {
+            if (!backend_list.empty())
+                backend_list += ",";
+            backend_list += b;
+        }
+        std::printf("dieirb-coord listening on %s:%u "
+                    "(backends=%s vnodes=%u queue-depth=%zu)\n",
+                    opts.host.c_str(),
+                    static_cast<unsigned>(server.port()),
+                    backend_list.c_str(), copts.vnodes,
+                    server.jobs().capacity());
+        std::fflush(stdout);
+
+        int sig = 0;
+        sigwait(&drainSignals, &sig);
+        std::fprintf(stderr,
+                     "dieirb-coord: signal %d (%s), draining...\n", sig,
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        // Drain the front-end first: in-flight fan-outs observe the
+        // drain token, cancel their sub-sweeps and finish; only then
+        // stop the probes and the client loop they rode on.
+        server.shutdown();
+        coordinator.stop();
+        std::fprintf(stderr, "dieirb-coord: drained, exiting 0\n");
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}

@@ -27,6 +27,7 @@
  *     --socket-timeout-ms N  read-a-request / stalled-write deadline
  *     --idle-timeout-ms N    keep-alive idle close (default 30000)
  *     --keepalive-max N      requests per connection, 0 = unlimited
+ *     --job-history N     finished job records kept for /v1/jobs (4096)
  *     -q                  quiet (suppress per-request log lines)
  *
  * SIGTERM/SIGINT trigger a graceful drain: stop accepting, reject new
@@ -66,6 +67,7 @@ usage(const char *argv0)
         "  --socket-timeout-ms N  read/stalled-write deadline (10000)\n"
         "  --idle-timeout-ms N    keep-alive idle close (30000)\n"
         "  --keepalive-max N      requests per connection, 0=inf (1000)\n"
+        "  --job-history N   finished job records kept (4096)\n"
         "  -q                quiet\n",
         argv0);
 }
@@ -118,6 +120,8 @@ main(int argc, char **argv)
         } else if (a == "--keepalive-max") {
             opts.keepAliveMaxRequests = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (a == "--job-history") {
+            opts.jobHistory = std::strtoull(next(), nullptr, 10);
         } else if (a == "-q") {
             setQuiet(true);
         } else if (a == "-h" || a == "--help") {
