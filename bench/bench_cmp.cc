@@ -1,0 +1,162 @@
+/**
+ * @file
+ * CMP scaling study: aggregate IPC and IRB reuse rate versus core count
+ * on the shared-L2 chip. Every core runs the same kernel (rate mode),
+ * plus one heterogeneous-bundle point, so the shared L2 / bank
+ * arbitration / coherence costs show up as the delta from linear
+ * scaling while the per-core IRB keeps its single-core reuse profile.
+ *
+ * Also cross-checks the CMP plumbing: the cmp.cores=1 sweep point must
+ * reproduce the legacy single-core run cycle-for-cycle.
+ *
+ * Runs on the parallel sweep engine (--jobs N / DIREB_JOBS); emits
+ * BENCH_cmp.json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+
+using namespace direb;
+using harness::Json;
+using harness::Table;
+
+namespace
+{
+
+struct Point
+{
+    std::string mode;
+    unsigned cores;
+    std::string bundle; //!< empty = every core runs `route`
+};
+
+/** "core." for a single-core run, "core<i>." on the chip. */
+std::string
+corePrefix(unsigned cores, unsigned c)
+{
+    return cores == 1 ? "core." : "core" + std::to_string(c) + ".";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    harness::banner(
+        "CMP scaling — IPC and IRB reuse vs core count",
+        "the IRB is a per-core structure: reuse rate holds as cores "
+        "share one banked L2, so DIE-IRB's ALU-bandwidth recovery "
+        "survives CMP integration");
+
+    const std::vector<Point> points = {
+        {"sie", 1, ""},     {"sie", 2, ""},     {"sie", 4, ""},
+        {"die-irb", 1, ""}, {"die-irb", 2, ""}, {"die-irb", 4, ""},
+        {"die-irb", 4, "mix_int"},
+    };
+
+    harness::Sweep sweep(harness::jobsFromArgs(argc, argv));
+    for (const Point &p : points) {
+        Config cfg = harness::baseConfig(p.mode);
+        cfg.set("cmp.cores", std::to_string(p.cores));
+        if (!p.bundle.empty())
+            cfg.set("cmp.bundle", p.bundle);
+        const std::string name = p.mode + "/x" + std::to_string(p.cores) +
+                                 (p.bundle.empty() ? "" : "/" + p.bundle);
+        sweep.add(name, "route", cfg);
+    }
+    const auto results = sweep.run();
+
+    // Legacy cross-check: the cores=1 points must be bit-identical to a
+    // run that never mentions cmp.* at all.
+    for (const char *mode : {"sie", "die-irb"}) {
+        const harness::SimResult legacy =
+            harness::runWorkload("route", harness::baseConfig(mode));
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].mode != mode || points[i].cores != 1)
+                continue;
+            const harness::SimResult &r = harness::requireOk(results[i]);
+            fatal_if(r.core.cycles != legacy.core.cycles,
+                     "%s cmp.cores=1 diverged from the legacy "
+                     "single-core path: %llu vs %llu cycles",
+                     mode,
+                     static_cast<unsigned long long>(r.core.cycles),
+                     static_cast<unsigned long long>(legacy.core.cycles));
+        }
+    }
+
+    Table t({"mode", "cores", "bundle", "IPC", "IPC/core", "IRB reuse",
+             "L2 miss", "bank confl", "DRAM"});
+    Json rows = Json::array();
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const harness::SimResult &r = harness::requireOk(results[i]);
+
+        double reuse_hits = 0, reuse_tests = 0;
+        Json per_core_ipc = Json::array();
+        for (unsigned c = 0; c < p.cores; ++c) {
+            const std::string pre = corePrefix(p.cores, c);
+            reuse_hits += r.stat(pre + "irb.reuse_hits");
+            reuse_tests += r.stat(pre + "irb.reuse_hits") +
+                           r.stat(pre + "irb.reuse_misses");
+        }
+        if (p.cores == 1) {
+            per_core_ipc.push(r.core.ipc);
+        } else {
+            for (const CoreResult &c : r.cores)
+                per_core_ipc.push(c.ipc);
+        }
+        const double reuse =
+            reuse_tests > 0 ? reuse_hits / reuse_tests : 0.0;
+
+        const std::string l2 =
+            p.cores == 1 ? "core.memhier.l2." : "mem.l2.";
+        const double l2_acc =
+            r.stat(l2 + "hits") + r.stat(l2 + "misses");
+        const double l2_miss =
+            l2_acc > 0 ? r.stat(l2 + "misses") / l2_acc : 0.0;
+        const double bank_conflicts = r.stat("mem.l2bus.conflicts");
+        const double dram = r.stat("mem.dram.accesses");
+
+        t.row()
+            .cell(p.mode)
+            .num(p.cores, 0)
+            .cell(p.bundle.empty() ? "-" : p.bundle)
+            .num(r.core.ipc, 3)
+            .num(r.core.ipc / p.cores, 3)
+            .pct(reuse, 1)
+            .pct(l2_miss, 1)
+            .num(bank_conflicts, 0)
+            .num(dram, 0);
+
+        rows.push(Json::object()
+                      .set("mode", p.mode)
+                      .set("cores", p.cores)
+                      .set("bundle", p.bundle)
+                      .set("ipc", r.core.ipc)
+                      .set("ipc_per_core", std::move(per_core_ipc))
+                      .set("irb_reuse_rate", reuse)
+                      .set("l2_miss_rate", l2_miss)
+                      .set("bank_conflicts", bank_conflicts)
+                      .set("dram_accesses", dram)
+                      .set("cycles",
+                           static_cast<std::uint64_t>(r.core.cycles)));
+    }
+
+    std::printf("%s\n", t.render().c_str());
+
+    Json root = Json::object();
+    root.set("bench", "cmp");
+    root.set("jobs", sweep.jobs());
+    root.set("points", std::move(rows));
+    harness::writeJsonReport("BENCH_cmp.json", root);
+    std::printf("wrote BENCH_cmp.json\n");
+    return 0;
+}

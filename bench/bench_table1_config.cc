@@ -31,7 +31,7 @@ main()
     Config cfg = harness::baseConfig("die-irb");
     const CoreParams p = CoreParams::fromConfig(cfg);
     FuPool fus(cfg);
-    MemHierarchy mem(cfg);
+    mem::MemorySystem mem(cfg, 1);
     Irb irb(cfg);
 
     Table t({"parameter", "value"});
@@ -74,8 +74,8 @@ main()
                           c.params().hitLatency));
         row(name, buf);
     };
-    cache_row("L1 I-cache", mem.l1i());
-    cache_row("L1 D-cache", mem.l1d());
+    cache_row("L1 I-cache", mem.l1i(0));
+    cache_row("L1 D-cache", mem.l1d(0));
     cache_row("L2 unified", mem.l2());
     row("memory latency", "100 cycles");
 

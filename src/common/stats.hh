@@ -157,6 +157,14 @@ class Group
 
     const std::string &groupName() const { return name; }
 
+    /**
+     * Rebrand the group's name prefix. Used by owners that instantiate
+     * one component template several times (e.g. a Chip renaming each
+     * core's "core" group to "core0", "core1", ...) so snapshots and
+     * text reports stay unambiguous. Call before the first dump().
+     */
+    void setName(std::string new_name) { name = std::move(new_name); }
+
   private:
     template <typename T>
     struct Named

@@ -1,0 +1,105 @@
+#include "cpu/chip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+Chip::Chip(const std::vector<const Program *> &programs,
+           const Config &config)
+{
+    fatal_if(programs.empty(), "Chip needs at least one program");
+    const unsigned n = static_cast<unsigned>(programs.size());
+
+    memSys = std::make_unique<mem::MemorySystem>(config, n);
+    cores_.reserve(n);
+    for (unsigned c = 0; c < n; ++c) {
+        cores_.push_back(std::make_unique<OooCore>(*programs[c], config,
+                                                   memSys->port(c)));
+        // Disambiguate the per-core stat trees: core0.*, core1.*, ...
+        cores_[c]->statGroup().setName("core" + std::to_string(c));
+        root.addChild(&cores_[c]->statGroup());
+    }
+    if (memSys->shared())
+        root.addChild(&memSys->sharedStatGroup());
+
+    cmpGroup.addScalar(&aggCycles, "cycles",
+                       "chip cycles (max over all cores)");
+    cmpGroup.addScalar(&aggArchInsts, "arch_insts",
+                       "architectural instructions committed, all cores");
+    cmpGroup.addScalar(&coreCount, "cores", "cores on the chip");
+    aggIpc = stats::Formula(&aggArchInsts, &aggCycles);
+    cmpGroup.addFormula(&aggIpc, "ipc",
+                        "aggregate IPC: total insts / chip cycles");
+    root.addChild(&cmpGroup);
+
+    coreCount += n;
+}
+
+Chip::~Chip() = default;
+
+Chip::Result
+Chip::run(std::uint64_t max_insts_per_core, Cycle max_cycles)
+{
+    for (auto &c : cores_)
+        c->setMaxArchInsts(max_insts_per_core);
+
+    // Lockstep: each chip cycle ticks every still-running core once, in
+    // core-index order (the determinism contract — see file comment).
+    Cycle chip_cycle = 0;
+    while (chip_cycle < max_cycles) {
+        bool any = false;
+        for (auto &c : cores_) {
+            if (!c->done()) {
+                c->tick();
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+        ++chip_cycle;
+    }
+    for (auto &c : cores_)
+        c->forceStop(StopReason::InstLimit); // only still-running cores
+
+    Result r;
+    r.cores.reserve(cores_.size());
+    for (auto &c : cores_) {
+        const CoreResult cr = c->result();
+        r.cores.push_back(cr);
+        r.cycles = std::max(r.cycles, cr.cycles);
+        r.archInsts += cr.archInsts;
+        if (cr.stop == StopReason::BadPc)
+            r.stop = StopReason::BadPc;
+        else if (cr.stop == StopReason::InstLimit &&
+                 r.stop != StopReason::BadPc)
+            r.stop = StopReason::InstLimit;
+
+        // Satellite invariant: the PR-3 stall accounting must close per
+        // core under CMP interleaving too.
+        c->stallAccount().audit(cr.cycles);
+    }
+    aggCycles += r.cycles;
+    aggArchInsts += r.archInsts;
+    r.ipc = r.cycles ? static_cast<double>(r.archInsts) / r.cycles : 0.0;
+
+    memSys->auditCoherence();
+    return r;
+}
+
+std::string
+Chip::output() const
+{
+    std::string out;
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        out += "[core" + std::to_string(c) + "]\n";
+        out += cores_[c]->archState().out;
+        if (!out.empty() && out.back() != '\n')
+            out += '\n';
+    }
+    return out;
+}
+
+} // namespace direb

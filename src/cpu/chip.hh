@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The chip-multiprocessor layer: N OooCores ticked in lockstep over one
+ * shared mem::MemorySystem, rate-mode style (one independent program per
+ * core; a core that finishes keeps its caches resident but stops
+ * ticking).
+ *
+ * Determinism contract: cores tick in core-index order within every chip
+ * cycle, and every shared-structure interaction (L2 banks, coherence,
+ * inclusion) happens synchronously inside MemorySystem calls issued from
+ * those ticks — so the same (programs, config) pair always produces
+ * bit-identical per-core statistics, regardless of host or thread
+ * environment.
+ *
+ * Statistics: each core's group is renamed "core<i>" and attached under
+ * an unnamed root, giving core0.cycles, core0.memhier.l1d.misses, ...;
+ * the shared fabric appears as mem.l2.*, mem.l2bus.*, mem.dram.*,
+ * mem.coh.* (only with >= 2 cores), and a "cmp" roll-up group carries
+ * the chip-level aggregates (cycles, arch_insts, cores, ipc).
+ */
+
+#ifndef DIREB_CPU_CHIP_HH
+#define DIREB_CPU_CHIP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/mem_system.hh"
+
+namespace direb
+{
+
+/** N cores + shared memory hierarchy, run in lockstep. */
+class Chip
+{
+  public:
+    /**
+     * Build one core per entry of @p programs over a shared hierarchy.
+     * The programs (and @p config) must outlive the chip.
+     */
+    Chip(const std::vector<const Program *> &programs,
+         const Config &config);
+    ~Chip();
+
+    Chip(const Chip &) = delete;
+    Chip &operator=(const Chip &) = delete;
+
+    /** Aggregate results of one chip run. */
+    struct Result
+    {
+        /** BadPc if any core left its text segment, else InstLimit if
+         * any core hit a budget, else Halted. */
+        StopReason stop = StopReason::Halted;
+        Cycle cycles = 0;            //!< chip cycles (max over cores)
+        std::uint64_t archInsts = 0; //!< total committed, all cores
+        double ipc = 0.0;            //!< aggregate: archInsts / cycles
+        std::vector<CoreResult> cores;
+    };
+
+    /**
+     * Run every core to completion (per-core HALT / instruction budget /
+     * chip cycle cap), then assert the per-core stall-attribution
+     * invariant and the shared-hierarchy coherence invariants.
+     */
+    Result run(std::uint64_t max_insts_per_core = 50'000'000,
+               Cycle max_cycles = 500'000'000);
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    OooCore &core(unsigned i) { return *cores_[i]; }
+    mem::MemorySystem &memorySystem() { return *memSys; }
+
+    /** Root stats group: core<i>.*, mem.* (CMP only), cmp.*. */
+    stats::Group &statGroup() { return root; }
+
+    /** Per-core program output, tagged "[core<i>]" per line group. */
+    std::string output() const;
+
+  private:
+    std::unique_ptr<mem::MemorySystem> memSys;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+
+    stats::Group root{""};
+    stats::Group cmpGroup{"cmp"};
+    stats::Scalar aggCycles;
+    stats::Scalar aggArchInsts;
+    stats::Scalar coreCount;
+    stats::Formula aggIpc;
+};
+
+} // namespace direb
+
+#endif // DIREB_CPU_CHIP_HH

@@ -28,7 +28,7 @@ CommitStage::retireEntry(CoreContext &cx, int idx)
     if (st.any(idx, ruuf::IsStore)) {
         // The store performs its single (primary) cache access at commit.
         cx.fus->tryMemPort(st.now); // consume a port if one is free
-        cx.memHier->dataAccess(c.outcome.effAddr, true);
+        cx.memPort->store(c.outcome.effAddr, st.now);
         cx.sched->onRetiredStore(idx);
     }
 

@@ -63,8 +63,9 @@ CoreParams::fromConfig(const Config &config)
     return p;
 }
 
-OooCore::OooCore(const Program &program, const Config &config)
-    : arch(mem), specCtx(arch)
+OooCore::OooCore(const Program &program, const Config &config,
+                 mem::MemPort external_port)
+    : arch(mem), specCtx(arch), extPort(external_port)
 {
     // The core's own counters are registered once; configure() zeroes
     // them on every later rebind.
@@ -94,7 +95,7 @@ OooCore::configure(const Program &program, const Config &config,
         // original order (the text report is child-order dependent).
         group.reset();
         group.removeChild(&bp->statGroup());
-        group.removeChild(&memHier->statGroup());
+        group.removeChild(&port.system().coreStatGroup(port.core()));
         group.removeChild(&fus->statGroup());
         group.removeChild(&injector->statGroup());
         group.removeChild(&pairChecker.statGroup());
@@ -104,7 +105,15 @@ OooCore::configure(const Program &program, const Config &config,
     }
 
     bp = std::make_unique<BranchPredictor>(config);
-    memHier = std::make_unique<MemHierarchy>(config);
+    if (extPort.valid()) {
+        // Chip-attached: the shared hierarchy outlives the core and is
+        // never rebuilt here (the Chip constructs it per simulation).
+        ownMem.reset();
+        port = extPort;
+    } else {
+        ownMem = std::make_unique<mem::MemorySystem>(config, 1);
+        port = ownMem->port(0);
+    }
     fus = std::make_unique<FuPool>(config);
     injector = std::make_unique<FaultInjector>(config);
     policy = makeRedundancyPolicy(p.mode, p.dupOwnDataflow, config);
@@ -142,7 +151,7 @@ OooCore::configure(const Program &program, const Config &config,
         stalls.registerStats(group); // stage groups stay attached forever
 
     group.addChild(&bp->statGroup());
-    group.addChild(&memHier->statGroup());
+    group.addChild(&port.system().coreStatGroup(port.core()));
     group.addChild(&fus->statGroup());
     group.addChild(&injector->statGroup());
     if (first)
@@ -159,7 +168,7 @@ OooCore::configure(const Program &program, const Config &config,
     cx.stats = &cstats;
     cx.policy = policy.get();
     cx.bp = bp.get();
-    cx.memHier = memHier.get();
+    cx.memPort = &port;
     cx.fus = fus.get();
     cx.injector = injector.get();
     cx.checker = &pairChecker;

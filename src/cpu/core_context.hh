@@ -18,7 +18,7 @@
 #include "cpu/fu_pool.hh"
 #include "cpu/pipeline_state.hh"
 #include "cpu/spec_state.hh"
-#include "mem/cache.hh"
+#include "mem/mem_system.hh"
 #include "trace/stall.hh"
 #include "trace/trace.hh"
 #include "vm/vm.hh"
@@ -156,7 +156,13 @@ struct CoreContext
     RedundancyPolicy *policy = nullptr;
     SchedulerBackend *sched = nullptr;
     BranchPredictor *bp = nullptr;
-    MemHierarchy *memHier = nullptr;
+    /**
+     * The core's port into the memory system — its own private
+     * MemorySystem when the core runs standalone, or the chip-shared one
+     * in CMP mode. Stages are topology-blind: every instruction and data
+     * access goes through this request/response interface.
+     */
+    mem::MemPort *memPort = nullptr;
     FuPool *fus = nullptr;
     FaultInjector *injector = nullptr;
     Checker *checker = nullptr;

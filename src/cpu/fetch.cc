@@ -28,7 +28,7 @@ FetchStage::run(CoreContext &cx)
                      st.now < st.fetchStallUntil
                          ? (st.lastFetchBlock == invalidAddr
                                 ? StallReason::Redirect
-                                : StallReason::IcacheMiss)
+                                : st.fetchMissBlame)
                          : StallReason::Drained);
         return;
     }
@@ -38,17 +38,25 @@ FetchStage::run(CoreContext &cx)
     // Charge I-cache timing once per block transition. Returns false and
     // stalls the front end on a miss.
     const auto charge_icache = [&](Addr pc) {
-        const Addr block_bytes = cx.memHier->l1i().params().blockBytes;
+        const Addr block_bytes = cx.memPort->l1i().params().blockBytes;
         const Addr block = pc & ~(block_bytes - 1);
         if (block == st.lastFetchBlock)
             return true;
-        const Cycle lat = cx.memHier->instAccess(pc);
+        const mem::MemResp resp = cx.memPort->fetch(pc, st.now);
         st.lastFetchBlock = block;
-        if (lat > cx.memHier->l1i().params().hitLatency) {
-            st.fetchStallUntil = st.now + lat;
-            stalls.blame(StallStage::Fetch, StallReason::IcacheMiss);
+        if (resp.servedBy != mem::MemResp::Served::L1) {
+            st.fetchStallUntil = st.now + resp.latency;
+            // Standalone cores keep the legacy icache_miss blame; with a
+            // shared hierarchy the serving level refines it so L2/DRAM
+            // pressure from the other cores is visible per core.
+            st.fetchMissBlame =
+                !cx.memPort->shared() ? StallReason::IcacheMiss
+                : resp.servedBy == mem::MemResp::Served::L2
+                    ? StallReason::L2Wait
+                    : StallReason::DramWait;
+            stalls.blame(StallStage::Fetch, st.fetchMissBlame);
             DIREB_TRACE(cx.tracer, trace::Kind::FetchStall, invalidSeq, pc,
-                        false, Inst{}, lat);
+                        false, Inst{}, resp.latency);
             return false;
         }
         return true;

@@ -47,7 +47,7 @@
 #include "cpu/scheduler.hh"
 #include "cpu/spec_state.hh"
 #include "cpu/stages.hh"
-#include "mem/cache.hh"
+#include "mem/mem_system.hh"
 #include "trace/stall.hh"
 #include "trace/trace.hh"
 #include "vm/vm.hh"
@@ -62,7 +62,14 @@ namespace direb
 class OooCore
 {
   public:
-    OooCore(const Program &program, const Config &config);
+    /**
+     * Build a core. With the default (invalid) @p external_port the core
+     * owns a private single-core MemorySystem — the legacy standalone
+     * configuration. A Chip passes a port into its shared hierarchy
+     * instead; the port (and the system behind it) must outlive the core.
+     */
+    OooCore(const Program &program, const Config &config,
+            mem::MemPort external_port = mem::MemPort());
     ~OooCore();
 
     OooCore(const OooCore &) = delete;
@@ -97,7 +104,8 @@ class OooCore
     /** Components (exposed for stats/bench inspection). @{ */
     stats::Group &statGroup() { return group; }
     BranchPredictor &predictor() { return *bp; }
-    MemHierarchy &memHierarchy() { return *memHier; }
+    mem::MemPort &memPort() { return port; }
+    mem::MemorySystem &memorySystem() { return port.system(); }
     FuPool &fuPool() { return *fus; }
     Irb *irb() { return policy->irb(); }
     FaultInjector &faultInjector() { return *injector; }
@@ -116,6 +124,27 @@ class OooCore
     }
     bool done() const { return !st.running; }
 
+    /** Stop a still-running core (Chip budget exhaustion). */
+    void
+    forceStop(StopReason reason)
+    {
+        if (st.running)
+            st.finish(reason);
+    }
+
+    /** Results so far — what run() returns, computable at any point. */
+    CoreResult
+    result() const
+    {
+        CoreResult r;
+        r.stop = st.stopReason;
+        r.cycles = st.now;
+        r.archInsts = cstats.numArchInsts.value();
+        r.ruuEntriesCommitted = cstats.numEntriesCommitted.value();
+        r.ipc = r.cycles ? static_cast<double>(r.archInsts) / r.cycles : 0.0;
+        return r;
+    }
+
   private:
     /** Shared body of the constructor and reset(). */
     void configure(const Program &program, const Config &config,
@@ -130,7 +159,12 @@ class OooCore
     SpecExecContext specCtx;
 
     std::unique_ptr<BranchPredictor> bp;
-    std::unique_ptr<MemHierarchy> memHier;
+    /** Private hierarchy when standalone; null when chip-attached. */
+    std::unique_ptr<mem::MemorySystem> ownMem;
+    /** The port every stage accesses memory through (cx.memPort). */
+    mem::MemPort port;
+    /** Chip-provided port, kept so reset() can rebind to it. */
+    mem::MemPort extPort;
     std::unique_ptr<FuPool> fus;
     std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<RedundancyPolicy> policy;

@@ -41,6 +41,7 @@
 #include "core/irb.hh"
 #include "isa/inst.hh"
 #include "isa/opcodes.hh"
+#include "trace/stall.hh"
 #include "vm/executor.hh"
 #include "vm/vm.hh"
 
@@ -245,6 +246,14 @@ struct PipelineState
     Addr fetchPc = 0;
     Cycle fetchStallUntil = 0;
     Addr lastFetchBlock = invalidAddr;
+    /**
+     * Which stage of the hierarchy the in-flight fetch miss is waiting
+     * on — the fetch stage keeps blaming this reason for the stalled
+     * cycles until fetchStallUntil passes. Always IcacheMiss on a
+     * standalone core (legacy attribution); L2Wait/DramWait under a
+     * shared hierarchy.
+     */
+    trace::StallReason fetchMissBlame = trace::StallReason::IcacheMiss;
     bool haltSeen = false;   //!< stop fetching/dispatching new work
     bool badPcSeen = false;
 
@@ -435,6 +444,7 @@ struct PipelineState
         fetchPc = 0;
         fetchStallUntil = 0;
         lastFetchBlock = invalidAddr;
+        fetchMissBlame = trace::StallReason::IcacheMiss;
         haltSeen = false;
         badPcSeen = false;
         now = 0;

@@ -268,7 +268,7 @@ ReadyListScheduler::memory()
         st.set(idx, ruuf::MemStarted);
         st.eCompleteAt[idx] =
             st.now +
-            cx.memHier->dataAccess(st.cold[idx].outcome.effAddr, false);
+            cx.memPort->load(st.cold[idx].outcome.effAddr, st.now).latency;
         scheduleCompletion(idx, st.eCompleteAt[idx]);
     }
     pendingMem.compact(kept);

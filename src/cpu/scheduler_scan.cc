@@ -111,7 +111,7 @@ ScanScheduler::memory()
         st.set(idx, ruuf::MemStarted);
         st.eCompleteAt[idx] =
             st.now +
-            cx.memHier->dataAccess(st.cold[idx].outcome.effAddr, false);
+            cx.memPort->load(st.cold[idx].outcome.effAddr, st.now).latency;
     }
 }
 

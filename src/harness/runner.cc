@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "cpu/chip.hh"
 #include "trace/export.hh"
 #include "workloads/workloads.hh"
 
@@ -19,6 +20,29 @@ baseConfig(const std::string &mode)
     Config c;
     c.set("core.mode", mode);
     return c;
+}
+
+unsigned
+cmpCores(const Config &config)
+{
+    const unsigned n = static_cast<unsigned>(config.getUint(
+        "cmp.cores", 1,
+        "cores on the simulated chip (1 = legacy single-core path; >1 "
+        "runs a lockstep CMP over a shared L2)"));
+    fatal_if(n == 0, "cmp.cores must be positive");
+    cmpBundle(config); // consume the companion key on every path
+    return n;
+}
+
+std::string
+cmpBundle(const Config &config)
+{
+    return config.getString(
+        "cmp.bundle", "",
+        "rate-mode workload bundle for CMP runs: a named mix "
+        "(workloads::bundles()) or a comma-separated kernel list, "
+        "assigned to cores round-robin; empty = every core runs the "
+        "given program");
 }
 
 namespace
@@ -68,11 +92,65 @@ exportTraces(OooCore &core, const Config &config)
     }
 }
 
+/**
+ * The CMP path of run(): build the per-core programs (cmp.bundle or N
+ * copies of @p program), run a Chip to completion, and flatten the chip
+ * snapshot into a SimResult.
+ */
+SimResult
+runChip(const Program &program, const Config &config, unsigned n_cores,
+        std::uint64_t max_insts)
+{
+    const std::string bundle = cmpBundle(config);
+
+    std::vector<Program> bundle_progs;
+    std::vector<const Program *> progs;
+    if (!bundle.empty()) {
+        bundle_progs = workloads::buildBundle(bundle, n_cores);
+        for (const Program &p : bundle_progs)
+            progs.push_back(&p);
+    } else {
+        progs.assign(n_cores, &program);
+    }
+
+    Chip chip(progs, config);
+    const Chip::Result cr = chip.run(max_insts);
+
+    // The per-core tracers stay in-memory only: consume the export keys
+    // (the unused-key audit must still accept them) but warn rather than
+    // write N interleaved files.
+    const std::string trace_path = config.getString(
+        "trace.path", "",
+        "write the event trace here after the run (empty = keep "
+        "in-memory)");
+    config.getString("trace.format", "both",
+                     "trace export format: konata, chrome or both");
+    if (!trace_path.empty())
+        warn("trace.path is ignored in CMP mode (cmp.cores > 1)");
+    config.checkUnused();
+
+    SimResult r;
+    r.core.stop = cr.stop;
+    r.core.cycles = cr.cycles;
+    r.core.archInsts = cr.archInsts;
+    r.core.ipc = cr.ipc;
+    for (const CoreResult &c : cr.cores)
+        r.core.ruuEntriesCommitted += c.ruuEntriesCommitted;
+    r.cores = cr.cores;
+    r.stats = chip.statGroup().snapshot();
+    r.output = chip.output();
+    r.statsText = chip.statGroup().dump();
+    return r;
+}
+
 } // namespace
 
 SimResult
 run(const Program &program, const Config &config, std::uint64_t max_insts)
 {
+    const unsigned n_cores = cmpCores(config);
+    if (n_cores > 1)
+        return runChip(program, config, n_cores, max_insts);
     OooCore core(program, config);
     return runWithCore(core, config, max_insts);
 }
@@ -98,6 +176,9 @@ GoldenResult
 goldenRun(const Program &program, const Config &config,
           std::uint64_t max_insts)
 {
+    fatal_if(cmpCores(config) > 1,
+             "the golden VM cross-check is single-core only "
+             "(cmp.cores=1)");
     Vm vm(program);
     const StopReason vm_stop = vm.run(max_insts);
 

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "cpu/ooo_core.hh"
@@ -28,6 +29,13 @@ struct SimResult
     std::map<std::string, double> stats; //!< flattened statistics snapshot
     std::string output;                  //!< program PUTC/PUTINT output
     std::string statsText;               //!< rendered statistics dump
+    /**
+     * Per-core results when the run was a CMP (cmp.cores > 1); empty on
+     * the single-core path. `core` then carries the chip aggregate
+     * (cycles = max over cores, insts summed, stop = worst) and `stats`
+     * uses core<i>.* / mem.* / cmp.* prefixes instead of core.*.
+     */
+    std::vector<CoreResult> cores;
 
     double ipc() const { return core.ipc; }
 
@@ -44,7 +52,26 @@ struct SimResult
 Config baseConfig(const std::string &mode = "sie");
 
 /**
- * Run @p program on an OooCore configured by @p config.
+ * Read cmp.cores from @p config (the one documented read site, shared
+ * by run()/Sweep/dieirb-sim so the key registers identically
+ * everywhere). 1 selects the legacy single-core path.
+ */
+unsigned cmpCores(const Config &config);
+
+/**
+ * Read cmp.bundle: the rate-mode workload mix of a CMP run (a named
+ * workloads bundle or a comma-separated kernel list; empty = none).
+ * Ignored — but still consumed for the unused-key audit — when
+ * cmp.cores is 1.
+ */
+std::string cmpBundle(const Config &config);
+
+/**
+ * Run @p program under @p config — on a single OooCore, or, when
+ * cmp.cores > 1, on a Chip of that many cores over a shared memory
+ * hierarchy. In CMP mode the per-core programs come from cmp.bundle
+ * (a named workloads bundle or comma-separated kernel list, assigned
+ * round-robin); with no bundle every core runs @p program.
  *
  * After core construction every valid key has been consumed, so this
  * also audits @p config for typos (fatal on unknown keys).

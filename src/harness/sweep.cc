@@ -187,6 +187,32 @@ loadCachedResult(const std::string &path, SweepResult &res)
             static_cast<std::uint64_t>(coreNum("ruu_entries"));
         res.sim.core.ipc = coreNum("ipc");
 
+        // Per-core results of a CMP point (absent in caches written by
+        // single-core points and by older builds — both mean "none").
+        res.sim.cores.clear();
+        if (const Json *cores = j.find("cores"); cores && cores->isArray()) {
+            for (std::size_t i = 0; i < cores->size(); ++i) {
+                const Json &cj = cores->at(i);
+                fatal_if(!cj.isObject(), "cache: bad cores[%zu]", i);
+                const auto num = [&cj, i](const char *key) {
+                    const Json *v = cj.find(key);
+                    fatal_if(!v || !v->isNumber(),
+                             "cache: bad cores[%zu].%s", i, key);
+                    return v->asNumber();
+                };
+                CoreResult cr;
+                cr.stop = static_cast<StopReason>(
+                    static_cast<int>(num("stop")));
+                cr.cycles = static_cast<Cycle>(num("cycles"));
+                cr.archInsts =
+                    static_cast<std::uint64_t>(num("arch_insts"));
+                cr.ruuEntriesCommitted =
+                    static_cast<std::uint64_t>(num("ruu_entries"));
+                cr.ipc = num("ipc");
+                res.sim.cores.push_back(cr);
+            }
+        }
+
         res.sim.stats.clear();
         for (std::size_t i = 0; i < stats->size(); ++i) {
             const Json &v = stats->memberValue(i);
@@ -224,6 +250,18 @@ storeCachedResult(const std::string &path, const SweepResult &res)
         core.set("ruu_entries", res.sim.core.ruuEntriesCommitted);
         core.set("ipc", res.sim.core.ipc);
         j.set("core", std::move(core));
+        if (!res.sim.cores.empty()) {
+            Json cores = Json::array();
+            for (const CoreResult &cr : res.sim.cores) {
+                cores.push(Json::object()
+                               .set("stop", static_cast<int>(cr.stop))
+                               .set("cycles", cr.cycles)
+                               .set("arch_insts", cr.archInsts)
+                               .set("ruu_entries", cr.ruuEntriesCommitted)
+                               .set("ipc", cr.ipc));
+            }
+            j.set("cores", std::move(cores));
+        }
         Json stats = Json::object();
         for (const auto &[name, value] : res.sim.stats)
             stats.set(name, value);
@@ -324,7 +362,10 @@ Sweep::runPoint(const Point &point) const
                 }
             }
 
-            if (pooling) {
+            // CMP points (cmp.cores > 1) build a fresh Chip per run and
+            // bypass the single-core pool; the cache key above already
+            // covers cmp.* since it hashes every config entry.
+            if (pooling && cmpCores(cfg) <= 1) {
                 CorePool &pool = sharedPool ? *sharedPool : *corePool;
                 auto core = pool.acquire(prog, cfg);
                 res.sim = runWithCore(*core, cfg, point.maxInsts);

@@ -36,17 +36,55 @@ Cache::tagOf(Addr addr) const
     return addr / p.blockBytes / numSets;
 }
 
-bool
-Cache::contains(Addr addr) const
+Cache::Line *
+Cache::findLine(Addr addr)
 {
     const std::size_t base = setIndex(addr) * p.assoc;
     const Addr tag = tagOf(addr);
     for (unsigned w = 0; w < p.assoc; ++w) {
-        const Line &l = lines[base + w];
+        Line &l = lines[base + w];
         if (l.valid && l.tag == tag)
-            return true;
+            return &l;
     }
-    return false;
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::containsDirty(Addr addr) const
+{
+    const Line *l = findLine(addr);
+    return l && l->dirty;
+}
+
+bool
+Cache::invalidate(Addr addr, bool *was_dirty)
+{
+    Line *l = findLine(addr);
+    if (was_dirty)
+        *was_dirty = l && l->dirty;
+    if (!l)
+        return false;
+    *l = Line{};
+    return true;
+}
+
+void
+Cache::clearDirty(Addr addr)
+{
+    if (Line *l = findLine(addr))
+        l->dirty = false;
 }
 
 Cache::AccessResult
@@ -77,12 +115,14 @@ Cache::access(Addr addr, bool is_write)
 
     ++numMisses;
     panic_if(victim == nullptr, "no victim line");
-    if (victim->valid && victim->dirty) {
-        ++numWritebacks;
-        res.writeback = true;
-        // Reconstruct the victim block address from tag + set.
-        res.writebackAddr =
-            (victim->tag * numSets + set) * p.blockBytes;
+    if (victim->valid) {
+        res.evicted = true;
+        res.evictedAddr = blockAddr(victim->tag, set);
+        if (victim->dirty) {
+            ++numWritebacks;
+            res.writeback = true;
+            res.writebackAddr = res.evictedAddr;
+        }
     }
     victim->valid = true;
     victim->dirty = is_write;
@@ -96,77 +136,6 @@ Cache::flush()
 {
     for (auto &l : lines)
         l = Line{};
-}
-
-namespace
-{
-
-CacheParams
-paramsFor(const Config &config, const std::string &prefix,
-          std::size_t def_size, unsigned def_assoc, unsigned def_block,
-          Cycle def_lat)
-{
-    CacheParams p;
-    p.name = prefix;
-    const std::string what = prefix == "l1i"   ? "L1 instruction cache"
-                             : prefix == "l1d" ? "L1 data cache"
-                                               : "unified L2 cache";
-    p.sizeBytes = config.getUint(prefix + ".size", def_size,
-                                 (what + " capacity in bytes").c_str());
-    p.assoc = static_cast<unsigned>(config.getUint(
-        prefix + ".assoc", def_assoc, (what + " associativity").c_str()));
-    p.blockBytes = static_cast<unsigned>(config.getUint(
-        prefix + ".block", def_block,
-        (what + " block size in bytes").c_str()));
-    p.hitLatency = config.getUint(prefix + ".lat", def_lat,
-                                  (what + " hit latency in cycles").c_str());
-    return p;
-}
-
-} // namespace
-
-MemHierarchy::MemHierarchy(const Config &config)
-    : il1(paramsFor(config, "l1i", 64 * 1024, 2, 32, 1)),
-      dl1(paramsFor(config, "l1d", 64 * 1024, 2, 32, 3)),
-      ul2(paramsFor(config, "l2", 1024 * 1024, 4, 64, 12)),
-      memLatency(config.getUint("mem.lat", 100,
-                                "main-memory access latency in cycles"))
-{
-    group.addChild(&il1.statGroup());
-    group.addChild(&dl1.statGroup());
-    group.addChild(&ul2.statGroup());
-}
-
-Cycle
-MemHierarchy::l2Fill(Addr addr, bool is_write)
-{
-    const auto r2 = ul2.access(addr, is_write);
-    if (r2.hit)
-        return ul2.params().hitLatency;
-    // L2 miss: go to memory; dirty L2 victims write back to memory at no
-    // extra modelled latency (write buffer assumption).
-    return ul2.params().hitLatency + memLatency;
-}
-
-Cycle
-MemHierarchy::instAccess(Addr addr)
-{
-    const auto r1 = il1.access(addr, false);
-    if (r1.hit)
-        return il1.params().hitLatency;
-    return il1.params().hitLatency + l2Fill(addr, false);
-}
-
-Cycle
-MemHierarchy::dataAccess(Addr addr, bool is_write)
-{
-    const auto r1 = dl1.access(addr, is_write);
-    Cycle lat = dl1.params().hitLatency;
-    if (!r1.hit)
-        lat += l2Fill(addr, false);
-    if (r1.writeback)
-        ul2.access(r1.writebackAddr, true);
-    return lat;
 }
 
 } // namespace direb

@@ -16,7 +16,6 @@
 #include <string>
 #include <vector>
 
-#include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -41,13 +40,17 @@ class Cache
 
     /**
      * Access result: hit/miss plus whether a dirty block was evicted
-     * (charged as a writeback to the next level).
+     * (charged as a writeback to the next level). A clean victim is
+     * reported too (evicted without writeback) so an inclusive outer
+     * level can back-invalidate its inner copies.
      */
     struct AccessResult
     {
         bool hit = false;
         bool writeback = false;
         Addr writebackAddr = invalidAddr;
+        bool evicted = false;
+        Addr evictedAddr = invalidAddr;
     };
 
     /** Probe + update state for an access to @p addr. */
@@ -55,6 +58,41 @@ class Cache
 
     /** Probe only — no state update (used by tests). */
     bool contains(Addr addr) const;
+
+    /** Probe only: true iff the block is present AND dirty. */
+    bool containsDirty(Addr addr) const;
+
+    /**
+     * Drop the block containing @p addr if present (coherence
+     * invalidation / inclusion back-invalidation). Returns true when a
+     * line was actually invalidated; when @p was_dirty is non-null it
+     * reports whether the dropped copy held unwritten-back data.
+     */
+    bool invalidate(Addr addr, bool *was_dirty = nullptr);
+
+    /**
+     * Downgrade the block containing @p addr from modified to shared
+     * (clears the dirty bit; the caller is responsible for merging the
+     * data into the next level). No-op when absent or clean.
+     */
+    void clearDirty(Addr addr);
+
+    /**
+     * Visit every valid line as (block base address, dirty). Audit/test
+     * helper (inclusion checks) — not for the simulation hot path.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (std::size_t set = 0; set < numSets; ++set) {
+            for (unsigned w = 0; w < p.assoc; ++w) {
+                const Line &l = lines[set * p.assoc + w];
+                if (l.valid)
+                    fn(blockAddr(l.tag, set), l.dirty);
+            }
+        }
+    }
 
     /** Invalidate everything. */
     void flush();
@@ -83,6 +121,15 @@ class Cache
 
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /** Reconstruct a block's base address from its tag + set index. */
+    Addr
+    blockAddr(Addr tag, std::size_t set) const
+    {
+        return (tag * numSets + set) * p.blockBytes;
+    }
 
     CacheParams p;
     std::size_t numSets;
@@ -93,39 +140,6 @@ class Cache
     stats::Scalar numHits;
     stats::Scalar numMisses;
     stats::Scalar numWritebacks;
-};
-
-/**
- * Two-level hierarchy: split L1 I/D over a unified L2 over DRAM.
- *
- * Config keys (defaults): l1i.size=65536, l1i.assoc=2, l1i.block=32,
- * l1i.lat=1; l1d.* likewise (lat=3); l2.size=1048576, l2.assoc=4,
- * l2.block=64, l2.lat=12; mem.lat=100.
- */
-class MemHierarchy
-{
-  public:
-    explicit MemHierarchy(const Config &config);
-
-    /** Latency of an instruction fetch of the block containing @p addr. */
-    Cycle instAccess(Addr addr);
-
-    /** Latency of a data access. */
-    Cycle dataAccess(Addr addr, bool is_write);
-
-    Cache &l1i() { return il1; }
-    Cache &l1d() { return dl1; }
-    Cache &l2() { return ul2; }
-    stats::Group &statGroup() { return group; }
-
-  private:
-    Cycle l2Fill(Addr addr, bool is_write);
-
-    Cache il1;
-    Cache dl1;
-    Cache ul2;
-    Cycle memLatency;
-    stats::Group group{"memhier"};
 };
 
 } // namespace direb

@@ -1,0 +1,258 @@
+#include "mem/mem_system.hh"
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace mem
+{
+
+namespace
+{
+
+CacheParams
+paramsFor(const Config &config, const std::string &prefix,
+          std::size_t def_size, unsigned def_assoc, unsigned def_block,
+          Cycle def_lat)
+{
+    CacheParams p;
+    p.name = prefix;
+    const std::string what = prefix == "l1i"   ? "L1 instruction cache"
+                             : prefix == "l1d" ? "L1 data cache"
+                                               : "unified L2 cache";
+    p.sizeBytes = config.getUint(prefix + ".size", def_size,
+                                 (what + " capacity in bytes").c_str());
+    p.assoc = static_cast<unsigned>(config.getUint(
+        prefix + ".assoc", def_assoc, (what + " associativity").c_str()));
+    p.blockBytes = static_cast<unsigned>(config.getUint(
+        prefix + ".block", def_block,
+        (what + " block size in bytes").c_str()));
+    p.hitLatency = config.getUint(prefix + ".lat", def_lat,
+                                  (what + " hit latency in cycles").c_str());
+    return p;
+}
+
+} // namespace
+
+MemorySystem::MemorySystem(const Config &config, unsigned num_cores)
+    : nCores(num_cores),
+      ul2(paramsFor(config, "l2", 1024 * 1024, 4, 64, 12))
+{
+    fatal_if(nCores == 0, "MemorySystem needs at least one core");
+
+    // L1 geometry is shared by all cores; read the keys once (the legacy
+    // single-core key set, same descriptions) and stamp out one private
+    // pair per core.
+    const CacheParams ip = paramsFor(config, "l1i", 64 * 1024, 2, 32, 1);
+    const CacheParams dp = paramsFor(config, "l1d", 64 * 1024, 2, 32, 3);
+    const Cycle mem_lat = config.getUint(
+        "mem.lat", 100, "main-memory access latency in cycles");
+
+    // CMP-only knobs, read unconditionally so they register for
+    // --list-config and count as consumed under Config::checkUnused().
+    numBanks = static_cast<unsigned>(config.getUint(
+        "l2.banks", 8, "shared-L2 bank count (CMP arbitration)"));
+    bankLatency = config.getUint(
+        "l2.bank_lat", 1,
+        "extra cycles per same-cycle conflicting access to an L2 bank");
+    dramLatency = config.getUint(
+        "dram.lat", mem_lat,
+        "DRAM backend latency in cycles (defaults to mem.lat)");
+    fatal_if(numBanks == 0, "l2.banks must be positive");
+
+    cores_.reserve(nCores);
+    for (unsigned c = 0; c < nCores; ++c)
+        cores_.push_back(std::make_unique<CoreCaches>(ip, dp));
+
+    bankStamp.assign(numBanks, ~Cycle(0));
+    bankCount.assign(numBanks, 0);
+
+    if (nCores == 1) {
+        // Legacy stat topology: the (nominally shared) L2 appears under
+        // the single core's memhier group — core.memhier.l2.*.
+        cores_[0]->group.addChild(&ul2.statGroup());
+    } else {
+        sharedGroup.addChild(&ul2.statGroup());
+    }
+    busGroup.addScalar(&bankConflicts, "conflicts",
+                       "L2 accesses that lost same-cycle bank arbitration");
+    busGroup.addScalar(&bankConflictCycles, "conflict_cycles",
+                       "total extra cycles paid to L2 bank conflicts");
+    dramGroup.addScalar(&dramAccesses, "accesses",
+                        "demand fills served by the DRAM backend");
+    cohGroup.addScalar(&cohInvalidations, "invalidations",
+                       "remote L1D copies invalidated by stores");
+    cohGroup.addScalar(&cohDowngrades, "downgrades",
+                       "remote modified L1D copies downgraded by loads");
+    cohGroup.addScalar(&cohBackInvalidations, "back_invalidations",
+                       "L1 copies dropped to keep the L2 inclusive");
+    sharedGroup.addChild(&busGroup);
+    sharedGroup.addChild(&dramGroup);
+    sharedGroup.addChild(&cohGroup);
+}
+
+Cycle
+MemorySystem::bankDelay(Addr addr, Cycle now)
+{
+    if (nCores <= 1)
+        return 0;
+    const std::size_t b =
+        static_cast<std::size_t>(addr / ul2.params().blockBytes) % numBanks;
+    if (bankStamp[b] != now) {
+        bankStamp[b] = now;
+        bankCount[b] = 0;
+    }
+    const unsigned k = bankCount[b]++;
+    if (k == 0)
+        return 0;
+    ++bankConflicts;
+    const Cycle extra = k * bankLatency;
+    bankConflictCycles += extra;
+    return extra;
+}
+
+void
+MemorySystem::backInvalidate(Addr block_addr)
+{
+    // An L2 block may span several (smaller) L1 blocks; drop them all.
+    const Addr l2_block = ul2.params().blockBytes;
+    const Addr l1_block = cores_[0]->dl1.params().blockBytes;
+    for (auto &cc : cores_) {
+        for (Addr a = block_addr; a < block_addr + l2_block;
+             a += l1_block) {
+            if (cc->il1.invalidate(a))
+                ++cohBackInvalidations;
+            if (cc->dl1.invalidate(a))
+                ++cohBackInvalidations;
+        }
+    }
+}
+
+Cycle
+MemorySystem::l2Fill(Addr addr, bool is_write, Cycle now,
+                     MemResp::Served &served)
+{
+    const Cycle extra = bankDelay(addr, now);
+    const auto r2 = ul2.access(addr, is_write);
+    Cycle lat = ul2.params().hitLatency + extra;
+    if (r2.hit) {
+        served = MemResp::Served::L2;
+    } else {
+        // L2 miss: go to DRAM; dirty L2 victims write back to memory at
+        // no extra modelled latency (write-buffer assumption).
+        served = MemResp::Served::Dram;
+        ++dramAccesses;
+        lat += dramLatency;
+        if (shared() && r2.evicted)
+            backInvalidate(r2.evictedAddr);
+    }
+    return lat;
+}
+
+void
+MemorySystem::l2Writeback(Addr addr, Cycle now)
+{
+    if (shared())
+        bankDelay(addr, now); // occupies a bank; requester not charged
+    const auto r2 = ul2.access(addr, true);
+    if (shared() && !r2.hit && r2.evicted)
+        backInvalidate(r2.evictedAddr);
+}
+
+void
+MemorySystem::storeCoherence(unsigned core, Addr addr, Cycle now)
+{
+    for (unsigned o = 0; o < nCores; ++o) {
+        if (o == core)
+            continue;
+        bool was_dirty = false;
+        if (cores_[o]->dl1.invalidate(addr, &was_dirty)) {
+            ++cohInvalidations;
+            if (was_dirty)
+                l2Writeback(addr, now); // merge the remote modified copy
+        }
+    }
+}
+
+void
+MemorySystem::loadCoherence(unsigned core, Addr addr, Cycle now)
+{
+    for (unsigned o = 0; o < nCores; ++o) {
+        if (o == core)
+            continue;
+        if (cores_[o]->dl1.containsDirty(addr)) {
+            cores_[o]->dl1.clearDirty(addr); // M -> S
+            ++cohDowngrades;
+            l2Writeback(addr, now); // merge so the L2 copy is current
+        }
+    }
+}
+
+MemResp
+MemorySystem::fetchAccess(unsigned core, Addr addr, Cycle now)
+{
+    CoreCaches &cc = *cores_[core];
+    const auto r1 = cc.il1.access(addr, false);
+    MemResp resp;
+    resp.latency = cc.il1.params().hitLatency;
+    if (!r1.hit)
+        resp.latency += l2Fill(addr, false, now, resp.servedBy);
+    return resp;
+}
+
+MemResp
+MemorySystem::dataAccess(unsigned core, Addr addr, bool is_write, Cycle now)
+{
+    if (shared()) {
+        if (is_write)
+            storeCoherence(core, addr, now);
+        else
+            loadCoherence(core, addr, now);
+    }
+
+    CoreCaches &cc = *cores_[core];
+    const auto r1 = cc.dl1.access(addr, is_write);
+    MemResp resp;
+    resp.latency = cc.dl1.params().hitLatency;
+    if (!r1.hit)
+        resp.latency += l2Fill(addr, false, now, resp.servedBy);
+    if (r1.writeback)
+        l2Writeback(r1.writebackAddr, now);
+    return resp;
+}
+
+void
+MemorySystem::auditCoherence() const
+{
+    for (unsigned c = 0; c < nCores; ++c) {
+        // Inclusion: every valid L1 block must be resident in the L2.
+        const auto check_inclusion = [&](Addr block, bool) {
+            panic_if(!ul2.contains(block),
+                     "inclusion violated: core %u holds %#llx but the "
+                     "shared L2 does not", c,
+                     static_cast<unsigned long long>(block));
+        };
+        if (shared()) {
+            cores_[c]->il1.forEachValid(check_inclusion);
+            cores_[c]->dl1.forEachValid(check_inclusion);
+        }
+
+        // Single-writer: a block dirty here must be absent (or at least
+        // clean) in every other core's L1D.
+        cores_[c]->dl1.forEachValid([&](Addr block, bool dirty) {
+            if (!dirty)
+                return;
+            for (unsigned o = 0; o < nCores; ++o) {
+                panic_if(o != c && cores_[o]->dl1.containsDirty(block),
+                         "single-writer violated: %#llx dirty in core %u "
+                         "and core %u L1D",
+                         static_cast<unsigned long long>(block), c, o);
+            }
+        });
+    }
+}
+
+} // namespace mem
+
+} // namespace direb

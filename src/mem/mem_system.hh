@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Shared memory hierarchy for 1..N cores: per-core private split L1s over
+ * one shared, banked, inclusive L2 over a fixed-latency DRAM backend.
+ *
+ * Cores never touch caches directly — each one holds a MemPort (core id +
+ * system pointer) and issues request/response transactions through it; the
+ * response carries the modelled latency and which level served the access,
+ * which the core feeds into its completion heap and stall attribution.
+ *
+ * Contract (enforced by tests/golden and test_mem_system):
+ *
+ *  - With one core the latency composition is exactly the legacy
+ *    single-core model this subsystem replaced: L1 hit latency, plus
+ *    L2 hit latency on an L1 miss, plus mem.lat on an L2 miss; dirty L1
+ *    victims write back to the L2 at no modelled latency, dirty L2
+ *    victims to DRAM likewise (write-buffer assumption). No coherence,
+ *    no inclusion enforcement, no bank arbitration — cycle-identical to
+ *    the pre-CMP simulator.
+ *
+ *  - With more than one core the shared-mode semantics switch on, keyed
+ *    on topology (never on ExecMode — redundancy policy purity extends
+ *    to the memory system):
+ *      * MSI-style single-writer: a store invalidates the block in every
+ *        other core's L1D (a dirty remote copy merges into the L2
+ *        first); a load downgrades a remote modified copy to shared.
+ *      * Inclusion: an L2 victim back-invalidates that block in every
+ *        L1 of every core.
+ *      * Bank arbitration: the k-th access to an L2 bank in one cycle
+ *        pays k * l2.bank_lat extra.
+ *    All loops run in core-index order, so a lockstep CMP tick is fully
+ *    deterministic.
+ */
+
+#ifndef DIREB_MEM_MEM_SYSTEM_HH
+#define DIREB_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace direb
+{
+
+namespace mem
+{
+
+/** One memory transaction as issued by a core. */
+struct MemReq
+{
+    enum class Kind : std::uint8_t { Fetch, Load, Store };
+    Kind kind = Kind::Load;
+    Addr addr = invalidAddr;
+    Cycle now = 0; //!< issue cycle (bank arbitration granularity)
+};
+
+/** The response: modelled latency plus which level supplied the block. */
+struct MemResp
+{
+    enum class Served : std::uint8_t { L1, L2, Dram };
+    Cycle latency = 0;
+    Served servedBy = Served::L1;
+};
+
+class MemorySystem;
+
+/**
+ * A core's handle into the shared MemorySystem. Cheap value type: the
+ * core id is baked in so the stages never carry topology knowledge.
+ */
+class MemPort
+{
+  public:
+    MemPort() = default;
+    MemPort(MemorySystem *system, unsigned core)
+        : sys(system), coreId(core)
+    {}
+
+    MemResp request(const MemReq &req);
+
+    /** Convenience wrappers for the three stages. @{ */
+    MemResp fetch(Addr addr, Cycle now);
+    MemResp load(Addr addr, Cycle now);
+    MemResp store(Addr addr, Cycle now);
+    /** @} */
+
+    /** This core's private caches (geometry/stat inspection). @{ */
+    Cache &l1i();
+    Cache &l1d();
+    /** @} */
+
+    /** True when the backing system serves more than one core. */
+    bool shared() const;
+
+    unsigned core() const { return coreId; }
+    MemorySystem &system() { return *sys; }
+    bool valid() const { return sys != nullptr; }
+
+  private:
+    MemorySystem *sys = nullptr;
+    unsigned coreId = 0;
+};
+
+/**
+ * The hierarchy itself. Construct once per simulation; ports are handed
+ * out per core. All state is preallocated in the constructor — the
+ * request path performs zero heap allocations (test_alloc_steady).
+ *
+ * Config keys (defaults): l1i.size=65536, l1i.assoc=2, l1i.block=32,
+ * l1i.lat=1; l1d.* likewise (lat=3); l2.size=1048576, l2.assoc=4,
+ * l2.block=64, l2.lat=12; mem.lat=100; l2.banks=8, l2.bank_lat=1 (CMP
+ * arbitration; inert with one core); dram.lat defaults to mem.lat.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const Config &config, unsigned num_cores);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /** Latency of an instruction fetch by @p core. */
+    MemResp fetchAccess(unsigned core, Addr addr, Cycle now);
+
+    /** Latency of a data access by @p core. */
+    MemResp dataAccess(unsigned core, Addr addr, bool is_write, Cycle now);
+
+    MemPort port(unsigned core) { return MemPort(this, core); }
+
+    unsigned numCores() const { return nCores; }
+    bool shared() const { return nCores > 1; }
+
+    Cache &l1i(unsigned core) { return cores_[core]->il1; }
+    Cache &l1d(unsigned core) { return cores_[core]->dl1; }
+    Cache &l2() { return ul2; }
+
+    /**
+     * The per-core "memhier" group (l1i + l1d; with one core the L2 is a
+     * child too, reproducing the legacy core.memhier.l2.* stat names).
+     */
+    stats::Group &coreStatGroup(unsigned core)
+    {
+        return cores_[core]->group;
+    }
+
+    /**
+     * The shared-fabric group ("mem": l2 + bus/dram/coherence counters).
+     * Only meaningful — and only attached by the Chip — in CMP mode.
+     */
+    stats::Group &sharedStatGroup() { return sharedGroup; }
+
+    /**
+     * Panic unless the coherence invariants hold: inclusion (every valid
+     * L1 block is present in the L2) and single-writer (no block dirty
+     * in more than one L1D). Audit/test helper; shared mode only.
+     */
+    void auditCoherence() const;
+
+    std::uint64_t bankConflictCount() const { return bankConflicts.value(); }
+    std::uint64_t dramAccessCount() const { return dramAccesses.value(); }
+
+  private:
+    /** One core's private slice. */
+    struct CoreCaches
+    {
+        CoreCaches(const CacheParams &ip, const CacheParams &dp)
+            : il1(ip), dl1(dp)
+        {
+            group.addChild(&il1.statGroup());
+            group.addChild(&dl1.statGroup());
+        }
+
+        Cache il1;
+        Cache dl1;
+        stats::Group group{"memhier"};
+    };
+
+    /**
+     * Shared-L2 access for a fill on behalf of @p core: bank
+     * arbitration + L2 probe + DRAM on miss + inclusion
+     * back-invalidation of the L2 victim. Returns the latency beyond
+     * the L1 and reports the serving level.
+     */
+    Cycle l2Fill(Addr addr, bool is_write, Cycle now,
+                 MemResp::Served &served);
+
+    /**
+     * Non-latency-bearing L2 write (L1 victim writeback / coherence
+     * merge): occupies a bank slot and keeps inclusion intact, but the
+     * requester is not charged.
+     */
+    void l2Writeback(Addr addr, Cycle now);
+
+    /** Extra cycles this access pays for its L2 bank this cycle. */
+    Cycle bankDelay(Addr addr, Cycle now);
+
+    /** Drop @p block_addr from every L1 (inclusion enforcement). */
+    void backInvalidate(Addr block_addr);
+
+    /** MSI pre-pass over the other cores' L1Ds. @{ */
+    void storeCoherence(unsigned core, Addr addr, Cycle now);
+    void loadCoherence(unsigned core, Addr addr, Cycle now);
+    /** @} */
+
+    unsigned nCores;
+    std::vector<std::unique_ptr<CoreCaches>> cores_;
+    Cache ul2;
+    Cycle dramLatency;
+    unsigned numBanks;
+    Cycle bankLatency;
+
+    /** Per-bank same-cycle access counts (arbitration state). @{ */
+    std::vector<Cycle> bankStamp;
+    std::vector<unsigned> bankCount;
+    /** @} */
+
+    stats::Group sharedGroup{"mem"};
+    stats::Group busGroup{"l2bus"};
+    stats::Group dramGroup{"dram"};
+    stats::Group cohGroup{"coh"};
+    stats::Scalar bankConflicts;
+    stats::Scalar bankConflictCycles;
+    stats::Scalar dramAccesses;
+    stats::Scalar cohInvalidations;
+    stats::Scalar cohDowngrades;
+    stats::Scalar cohBackInvalidations;
+};
+
+inline MemResp
+MemPort::fetch(Addr addr, Cycle now)
+{
+    return sys->fetchAccess(coreId, addr, now);
+}
+
+inline MemResp
+MemPort::load(Addr addr, Cycle now)
+{
+    return sys->dataAccess(coreId, addr, false, now);
+}
+
+inline MemResp
+MemPort::store(Addr addr, Cycle now)
+{
+    return sys->dataAccess(coreId, addr, true, now);
+}
+
+inline MemResp
+MemPort::request(const MemReq &req)
+{
+    switch (req.kind) {
+      case MemReq::Kind::Fetch: return fetch(req.addr, req.now);
+      case MemReq::Kind::Load: return load(req.addr, req.now);
+      case MemReq::Kind::Store: return store(req.addr, req.now);
+    }
+    return MemResp{};
+}
+
+inline Cache &MemPort::l1i() { return sys->l1i(coreId); }
+inline Cache &MemPort::l1d() { return sys->l1d(coreId); }
+inline bool MemPort::shared() const { return sys->shared(); }
+
+} // namespace mem
+
+} // namespace direb
+
+#endif // DIREB_MEM_MEM_SYSTEM_HH

@@ -39,6 +39,8 @@ stallReasonName(StallReason r)
       case StallReason::IrbDeferral: return "irb_deferral";
       case StallReason::ExecWait: return "exec_wait";
       case StallReason::Rewind: return "rewind";
+      case StallReason::L2Wait: return "l2";
+      case StallReason::DramWait: return "dram";
       case StallReason::Unattributed: return "unattributed";
       case StallReason::NumReasons: break;
     }
@@ -53,7 +55,8 @@ StallAccount::allowed(StallStage s, StallReason r)
     switch (s) {
       case StallStage::Fetch:
         return r == StallReason::IcacheMiss || r == StallReason::Redirect ||
-               r == StallReason::IfqFull || r == StallReason::Drained;
+               r == StallReason::IfqFull || r == StallReason::Drained ||
+               r == StallReason::L2Wait || r == StallReason::DramWait;
       case StallStage::Dispatch:
         return r == StallReason::FetchStarved ||
                r == StallReason::WindowFull || r == StallReason::LsqFull ||
@@ -113,6 +116,29 @@ StallAccount::endCycle()
                  stallStageName(static_cast<StallStage>(s)), used, width);
         counters[s][idx(StallReason::Busy)] += used;
         counters[s][idx(blamedNow[s])] += width - used;
+    }
+}
+
+void
+StallAccount::audit(std::uint64_t cycles) const
+{
+    for (unsigned s = 0; s < numStallStages; ++s) {
+        const auto stage = static_cast<StallStage>(s);
+        std::uint64_t sum = 0;
+        for (unsigned r = 0; r < numStallReasons; ++r)
+            sum += counters[s][r].value();
+        const std::uint64_t expect = cycles * widths[s];
+        panic_if(sum != expect,
+                 "stall audit: %s slot-cycles %llu != cycles*width %llu",
+                 stallStageName(stage),
+                 static_cast<unsigned long long>(sum),
+                 static_cast<unsigned long long>(expect));
+        const std::uint64_t unattr =
+            counters[s][idx(StallReason::Unattributed)].value();
+        panic_if(unattr != 0,
+                 "stall audit: %s has %llu unattributed slot-cycles",
+                 stallStageName(stage),
+                 static_cast<unsigned long long>(unattr));
     }
 }
 

@@ -61,6 +61,8 @@ enum class StallReason : std::uint8_t
     IrbDeferral,  //!< issue: duplicates waiting on the IRB reuse test
     ExecWait,     //!< commit: head pair not yet executed/completed
     Rewind,       //!< commit: cycle lost to a checker-triggered rewind
+    L2Wait,       //!< fetch: miss being served by the shared L2 (CMP)
+    DramWait,     //!< fetch: miss that went all the way to DRAM (CMP)
     Unattributed, //!< leftover no exit path blamed (accounting bug guard)
     NumReasons,
 };
@@ -101,6 +103,14 @@ class StallAccount
 
     /** Register the stall.* groups under @p parent. */
     void registerStats(stats::Group &parent);
+
+    /**
+     * Panic unless the accounting invariant holds: for every stage,
+     * sum(counters) == @p cycles * width and unattributed == 0. The Chip
+     * runs this per core after every CMP simulation so the invariant that
+     * test_trace spot-checks is asserted on every multi-core run too.
+     */
+    void audit(std::uint64_t cycles) const;
 
     /** Cumulative count for (@p stage, @p reason). */
     std::uint64_t

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Rate-mode workload bundles: named kernel mixes for the CMP layer. A
+ * bundle names the per-core programs of a multi-core run; members are
+ * assigned round-robin so one bundle serves every core count.
+ */
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace direb
+{
+
+namespace workloads
+{
+
+const std::vector<BundleInfo> &
+bundles()
+{
+    static const std::vector<BundleInfo> regs = {
+        {"mix_int",
+         {"compress", "parse", "route", "sort"},
+         "integer-ALU mix: high- and low-reuse int kernels"},
+        {"mix_fp",
+         {"stencil", "neural", "moldyn", "raster"},
+         "floating-point mix: FP-latency and FP-bandwidth bound"},
+        {"mix_mem",
+         {"pointer", "object", "sort", "compress"},
+         "memory-pressure mix: cache-miss and store-heavy kernels"},
+        {"mix_reuse",
+         {"parse", "cc_expr", "anneal", "neural"},
+         "IRB-stress mix: very high vs very low operand repetition"},
+        {"mix_all",
+         {"compress", "route", "cc_expr", "pointer", "parse", "object",
+          "sort", "anneal", "stencil", "neural", "moldyn", "raster"},
+         "all twelve kernels in canonical order"},
+    };
+    return regs;
+}
+
+bool
+bundleExists(const std::string &name)
+{
+    for (const auto &b : bundles()) {
+        if (b.name == name)
+            return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+std::vector<std::string>
+memberKernels(const std::string &name)
+{
+    for (const auto &b : bundles()) {
+        if (b.name == name)
+            return b.kernels;
+    }
+
+    // Not a named bundle: accept an explicit comma-separated kernel list.
+    std::vector<std::string> members;
+    std::stringstream ss(name);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            members.push_back(item);
+    }
+    fatal_if(members.empty(), "empty workload bundle '%s'", name.c_str());
+    for (const auto &k : members) {
+        fatal_if(!exists(k),
+                 "unknown kernel '%s' in bundle '%s' (expected a bundle "
+                 "name or a comma-separated kernel list)",
+                 k.c_str(), name.c_str());
+    }
+    return members;
+}
+
+} // namespace
+
+std::vector<Program>
+buildBundle(const std::string &name, unsigned cores, unsigned scale)
+{
+    fatal_if(cores == 0, "bundle '%s' needs at least one core",
+             name.c_str());
+    const std::vector<std::string> members = memberKernels(name);
+    std::vector<Program> programs;
+    programs.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        programs.push_back(build(members[c % members.size()], scale));
+    return programs;
+}
+
+} // namespace workloads
+
+} // namespace direb

@@ -74,6 +74,33 @@ struct SyntheticParams
  */
 Program synthetic(const SyntheticParams &params);
 
+/**
+ * Multi-program rate-mode bundles for the CMP layer: a named mix of
+ * kernels, assigned round-robin so any core count works (SPEC-rate
+ * style — independent copies, no sharing between programs).
+ */
+struct BundleInfo
+{
+    std::string name;                 //!< bundle name ("mix_int", ...)
+    std::vector<std::string> kernels; //!< members, round-robin order
+    std::string description;          //!< one-line behaviour summary
+};
+
+/** The named bundles, in canonical order. */
+const std::vector<BundleInfo> &bundles();
+
+/** True if @p name is a known bundle. */
+bool bundleExists(const std::string &name);
+
+/**
+ * Build the programs for a @p cores -core rate-mode run of bundle
+ * @p name. Accepts either a named bundle or an explicit comma-separated
+ * kernel list ("compress,route,sort"); members are assigned to cores
+ * round-robin. @throws FatalError for unknown bundle/kernel names.
+ */
+std::vector<Program> buildBundle(const std::string &name, unsigned cores,
+                                 unsigned scale = 1);
+
 } // namespace workloads
 
 } // namespace direb

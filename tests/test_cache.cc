@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "mem/cache.hh"
+#include "mem/mem_system.hh"
 
 using namespace direb;
 
@@ -119,7 +120,94 @@ TEST(Cache, MissRate)
 }
 
 // ---------------------------------------------------------------------------
-// Hierarchy
+// Eviction reporting / coherence hooks
+// ---------------------------------------------------------------------------
+
+TEST(Cache, CleanEvictionIsStillReported)
+{
+    Cache c(smallCache(1));
+    c.access(0x0000, false); // clean resident
+    const auto res = c.access(0x0100, false);
+    EXPECT_TRUE(res.evicted); // inclusion needs clean victims too
+    EXPECT_EQ(res.evictedAddr, 0x0000u);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(Cache, DirtyEvictionReportsBothAddresses)
+{
+    Cache c(smallCache(1));
+    c.access(0x0000, true);
+    const auto res = c.access(0x0100, false);
+    EXPECT_TRUE(res.evicted);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.evictedAddr, res.writebackAddr);
+}
+
+TEST(Cache, ColdMissEvictsNothing)
+{
+    Cache c(smallCache(2));
+    const auto res = c.access(0x0000, false);
+    EXPECT_FALSE(res.evicted);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(Cache, InvalidateDropsLineAndReportsDirtiness)
+{
+    Cache c(smallCache(2));
+    c.access(0x0000, true);
+    bool was_dirty = false;
+    EXPECT_TRUE(c.invalidate(0x0020, &was_dirty)); // same 64B block
+    EXPECT_TRUE(was_dirty);
+    EXPECT_FALSE(c.contains(0x0000));
+
+    // Absent block: no-op, reports clean.
+    was_dirty = true;
+    EXPECT_FALSE(c.invalidate(0x4000, &was_dirty));
+    EXPECT_FALSE(was_dirty);
+}
+
+TEST(Cache, InvalidatedLineDoesNotWriteBackLater)
+{
+    Cache c(smallCache(1));
+    c.access(0x0000, true);
+    c.invalidate(0x0000);
+    // The frame was freed: a conflicting fill must not report a stale
+    // writeback of the dropped dirty line.
+    const auto res = c.access(0x0100, false);
+    EXPECT_FALSE(res.writeback);
+    EXPECT_FALSE(res.evicted);
+}
+
+TEST(Cache, ClearDirtyDowngradesWithoutEviction)
+{
+    Cache c(smallCache(1));
+    c.access(0x0000, true);
+    EXPECT_TRUE(c.containsDirty(0x0000));
+    c.clearDirty(0x0000);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.containsDirty(0x0000));
+    // Now-clean victim: evicted but not written back.
+    const auto res = c.access(0x0100, false);
+    EXPECT_TRUE(res.evicted);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(Cache, ForEachValidVisitsEveryLine)
+{
+    Cache c(smallCache(2));
+    c.access(0x0000, false);
+    c.access(0x1000, true);
+    unsigned valid = 0, dirty = 0;
+    c.forEachValid([&](Addr, bool d) {
+        ++valid;
+        dirty += d ? 1 : 0;
+    });
+    EXPECT_EQ(valid, 2u);
+    EXPECT_EQ(dirty, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy (single-core MemorySystem must reproduce the legacy model)
 // ---------------------------------------------------------------------------
 
 TEST(MemHierarchy, LatencyComposition)
@@ -128,12 +216,12 @@ TEST(MemHierarchy, LatencyComposition)
     cfg.setInt("l1d.lat", 3);
     cfg.setInt("l2.lat", 12);
     cfg.setInt("mem.lat", 100);
-    MemHierarchy h(cfg);
+    mem::MemorySystem h(cfg, 1);
 
     // Cold: L1 miss + L2 miss + memory.
-    EXPECT_EQ(h.dataAccess(0x8000, false), 3u + 12u + 100u);
+    EXPECT_EQ(h.dataAccess(0, 0x8000, false, 0).latency, 3u + 12u + 100u);
     // Warm: L1 hit.
-    EXPECT_EQ(h.dataAccess(0x8000, false), 3u);
+    EXPECT_EQ(h.dataAccess(0, 0x8000, false, 0).latency, 3u);
 }
 
 TEST(MemHierarchy, L2HitAfterL1Eviction)
@@ -142,33 +230,34 @@ TEST(MemHierarchy, L2HitAfterL1Eviction)
     cfg.setInt("l1d.size", 1024); // tiny L1: 16 sets x 2 x 32B
     cfg.setInt("l1d.assoc", 1);
     cfg.setInt("l1d.block", 32);
-    MemHierarchy h(cfg);
+    mem::MemorySystem h(cfg, 1);
 
-    h.dataAccess(0x0000, false);           // cold fill
-    h.dataAccess(0x0000 + 1024, false);    // evicts from L1, fills L2
-    const Cycle lat = h.dataAccess(0x0000, false); // L1 miss, L2 hit
-    EXPECT_EQ(lat, 3u + 12u);
+    h.dataAccess(0, 0x0000, false, 0);        // cold fill
+    h.dataAccess(0, 0x0000 + 1024, false, 0); // evicts from L1, fills L2
+    const auto r = h.dataAccess(0, 0x0000, false, 0); // L1 miss, L2 hit
+    EXPECT_EQ(r.latency, 3u + 12u);
+    EXPECT_EQ(r.servedBy, mem::MemResp::Served::L2);
 }
 
 TEST(MemHierarchy, InstAndDataAreSplit)
 {
     Config cfg;
-    MemHierarchy h(cfg);
-    h.instAccess(0x1000);
-    EXPECT_EQ(h.l1i().misses(), 1u);
-    EXPECT_EQ(h.l1d().misses(), 0u);
+    mem::MemorySystem h(cfg, 1);
+    h.fetchAccess(0, 0x1000, 0);
+    EXPECT_EQ(h.l1i(0).misses(), 1u);
+    EXPECT_EQ(h.l1d(0).misses(), 0u);
     // Same block via data side still misses L1D (split caches) but hits
     // the shared L2.
-    EXPECT_EQ(h.dataAccess(0x1000, false),
+    EXPECT_EQ(h.dataAccess(0, 0x1000, false, 0).latency,
               3u + cfg.getUint("l2.lat", 12));
 }
 
 TEST(MemHierarchy, DefaultGeometryMatchesPaperBase)
 {
     Config cfg;
-    MemHierarchy h(cfg);
-    EXPECT_EQ(h.l1i().params().sizeBytes, 64u * 1024u);
-    EXPECT_EQ(h.l1d().params().sizeBytes, 64u * 1024u);
+    mem::MemorySystem h(cfg, 1);
+    EXPECT_EQ(h.l1i(0).params().sizeBytes, 64u * 1024u);
+    EXPECT_EQ(h.l1d(0).params().sizeBytes, 64u * 1024u);
     EXPECT_EQ(h.l2().params().sizeBytes, 1024u * 1024u);
     EXPECT_EQ(h.l2().params().assoc, 4u);
 }

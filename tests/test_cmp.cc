@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Chip-level CMP tests.
+ *
+ * The heart of this file is the refactor gate: with cmp.cores=1 the
+ * simulator must be cycle-identical to the pre-CMP single-core build.
+ * tests/golden/ holds --stats-json snapshots captured from the seed
+ * binary across {route, compress} x {sie, die, die-irb} x {ready_list,
+ * scan}; every shared stat key must match exactly, and any key the
+ * refactored build adds must be zero (nothing new may fire on the
+ * legacy path).
+ *
+ * The rest covers the CMP mode itself: deterministic lockstep
+ * interleaving (same bundle twice -> bit-identical per-core stats),
+ * aggregate roll-ups, heterogeneous bundles, and sweep integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+using harness::Json;
+
+namespace
+{
+
+Json
+loadGolden(const std::string &name)
+{
+    const std::string path = std::string(DIREB_GOLDEN_DIR) + "/" + name;
+    std::ifstream in(path);
+    if (!in)
+        ADD_FAILURE() << "missing golden file " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return Json::parse(ss.str());
+}
+
+harness::SimResult
+runLegacy(const std::string &workload, const std::string &mode,
+          const std::string &scheduler)
+{
+    Config cfg = harness::baseConfig(mode);
+    cfg.set("core.scheduler", scheduler);
+    return harness::runWorkload(workload, cfg);
+}
+
+harness::SimResult
+runCmp(const std::string &workload, const std::string &mode,
+       unsigned cores, const std::string &bundle = "")
+{
+    Config cfg = harness::baseConfig(mode);
+    cfg.set("cmp.cores", std::to_string(cores));
+    if (!bundle.empty())
+        cfg.set("cmp.bundle", bundle);
+    return harness::runWorkload(workload, cfg);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// The refactor gate: cmp.cores=1 is the pre-CMP simulator, bit for bit.
+// ---------------------------------------------------------------------------
+
+class GoldenIdentity
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, const char *, const char *>>
+{};
+
+TEST_P(GoldenIdentity, SharedKeysMatchNewKeysZero)
+{
+    const auto [workload, mode, scheduler] = GetParam();
+    const Json golden = loadGolden(std::string(workload) + "_" + mode +
+                                   "_" + scheduler + ".json");
+    ASSERT_TRUE(golden.isObject());
+
+    const harness::SimResult r = runLegacy(workload, mode, scheduler);
+
+    EXPECT_EQ(r.core.cycles, static_cast<Cycle>(
+                                 golden.find("cycles")->asNumber()));
+    EXPECT_EQ(r.core.archInsts,
+              static_cast<std::uint64_t>(
+                  golden.find("arch_insts")->asNumber()));
+
+    const Json *gstats = golden.find("stats");
+    ASSERT_NE(gstats, nullptr);
+
+    // Every pre-refactor key must still exist with the same value.
+    // Counters compare exactly; derived stats (ipc, means, rates) were
+    // serialised at 12 significant digits, so they get a matching
+    // relative tolerance.
+    for (std::size_t i = 0; i < gstats->size(); ++i) {
+        const std::string &key = gstats->memberName(i);
+        const auto it = r.stats.find(key);
+        ASSERT_NE(it, r.stats.end()) << "stat disappeared: " << key;
+        const double g = gstats->memberValue(i).asNumber();
+        if (g == std::rint(g) && it->second == std::rint(it->second)) {
+            EXPECT_EQ(it->second, g) << "stat diverged: " << key;
+        } else {
+            EXPECT_NEAR(it->second, g, std::abs(g) * 1e-9)
+                << "stat diverged: " << key;
+        }
+    }
+    // Keys the refactor added must be inert on the single-core path.
+    for (const auto &[key, value] : r.stats) {
+        if (gstats->find(key) == nullptr) {
+            EXPECT_EQ(value, 0.0)
+                << "new stat " << key
+                << " fired on the legacy single-core path";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, GoldenIdentity,
+    ::testing::Combine(::testing::Values("route", "compress"),
+                       ::testing::Values("sie", "die", "die-irb"),
+                       ::testing::Values("ready_list", "scan")),
+    [](const auto &info) {
+        std::string n = std::string(std::get<0>(info.param)) + "_" +
+                        std::get<1>(info.param) + "_" +
+                        std::get<2>(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+// cmp.cores=1 through the explicit key must also be the legacy path.
+TEST(Cmp, CoresEqualsOneIsTheLegacyPath)
+{
+    Config plain = harness::baseConfig("die-irb");
+    const harness::SimResult a = harness::runWorkload("route", plain);
+
+    Config keyed = harness::baseConfig("die-irb");
+    keyed.set("cmp.cores", "1");
+    const harness::SimResult b = harness::runWorkload("route", keyed);
+
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_TRUE(b.cores.empty()); // single-core result shape
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+// ---------------------------------------------------------------------------
+// CMP mode proper
+// ---------------------------------------------------------------------------
+
+TEST(Cmp, SameBundleTwiceIsBitIdentical)
+{
+    const harness::SimResult a = runCmp("route", "die-irb", 2);
+    const harness::SimResult b = runCmp("route", "die-irb", 2);
+    ASSERT_EQ(a.cores.size(), 2u);
+    for (unsigned c = 0; c < 2; ++c) {
+        EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+        EXPECT_EQ(a.cores[c].archInsts, b.cores[c].archInsts);
+    }
+    EXPECT_EQ(a.stats, b.stats); // every counter, both cores + fabric
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Cmp, AggregateRollupsAreConsistent)
+{
+    const harness::SimResult r = runCmp("route", "sie", 4);
+    ASSERT_EQ(r.cores.size(), 4u);
+
+    std::uint64_t insts = 0;
+    Cycle max_cycles = 0;
+    for (const CoreResult &c : r.cores) {
+        EXPECT_EQ(c.stop, StopReason::Halted);
+        insts += c.archInsts;
+        max_cycles = std::max(max_cycles, c.cycles);
+    }
+    EXPECT_EQ(r.core.archInsts, insts);
+    EXPECT_EQ(r.core.cycles, max_cycles);
+    EXPECT_DOUBLE_EQ(r.core.ipc,
+                     static_cast<double>(insts) /
+                         static_cast<double>(max_cycles));
+
+    // The stats tree agrees with the flattened result.
+    EXPECT_DOUBLE_EQ(r.stat("cmp.cores"), 4.0);
+    EXPECT_DOUBLE_EQ(r.stat("cmp.cycles"),
+                     static_cast<double>(max_cycles));
+    EXPECT_DOUBLE_EQ(r.stat("cmp.arch_insts"),
+                     static_cast<double>(insts));
+
+    // Per-core committed-entry counters roll up to the aggregate (in
+    // SIE mode one RUU entry is one architectural instruction).
+    double per_core = 0.0;
+    for (unsigned c = 0; c < 4; ++c)
+        per_core +=
+            r.stat("core" + std::to_string(c) + ".entries_committed");
+    EXPECT_DOUBLE_EQ(per_core, static_cast<double>(insts));
+}
+
+TEST(Cmp, HeterogeneousBundleRunsDistinctPrograms)
+{
+    const harness::SimResult r =
+        runCmp("route", "die-irb", 2, "route,compress");
+    ASSERT_EQ(r.cores.size(), 2u);
+    EXPECT_EQ(r.cores[0].stop, StopReason::Halted);
+    EXPECT_EQ(r.cores[1].stop, StopReason::Halted);
+    // Different kernels: the cores cannot have committed the same count.
+    EXPECT_NE(r.cores[0].archInsts, r.cores[1].archInsts);
+    // Both per-core outputs are present and tagged.
+    EXPECT_NE(r.output.find("[core0]"), std::string::npos);
+    EXPECT_NE(r.output.find("[core1]"), std::string::npos);
+}
+
+TEST(Cmp, NamedBundleMatchesExplicitList)
+{
+    ASSERT_TRUE(workloads::bundleExists("mix_int"));
+    const harness::SimResult a = runCmp("route", "sie", 2, "mix_int");
+    const std::vector<workloads::BundleInfo> all = workloads::bundles();
+    std::string kernels;
+    for (const workloads::BundleInfo &b : all) {
+        if (b.name == "mix_int") {
+            kernels = b.kernels[0] + "," + b.kernels[1] + "," +
+                      b.kernels[2] + "," + b.kernels[3];
+        }
+    }
+    ASSERT_FALSE(kernels.empty());
+    const harness::SimResult b = runCmp("route", "sie", 2, kernels);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Cmp, SharedFabricCountersOnlyExistInCmpMode)
+{
+    const harness::SimResult solo = runCmp("route", "die-irb", 1);
+    EXPECT_EQ(solo.stats.count("mem.l2.hits"), 0u);
+    EXPECT_EQ(solo.stats.count("mem.coh.invalidations"), 0u);
+    EXPECT_NE(solo.stats.count("core.memhier.l2.hits"), 0u);
+
+    const harness::SimResult duo = runCmp("route", "die-irb", 2);
+    EXPECT_NE(duo.stats.count("mem.l2.hits"), 0u);
+    EXPECT_NE(duo.stats.count("mem.coh.invalidations"), 0u);
+    EXPECT_EQ(duo.stats.count("core.memhier.l2.hits"), 0u);
+    // Sharing one L2 between two copies of route must produce some
+    // coherence traffic (both touch the same static data addresses).
+    EXPECT_GT(duo.stat("mem.coh.invalidations"), 0.0);
+}
+
+TEST(Cmp, SweepRunsCmpPoints)
+{
+    harness::Sweep sweep(2);
+    Config solo = harness::baseConfig("die-irb");
+    sweep.add("solo", "route", solo);
+    Config duo = harness::baseConfig("die-irb");
+    duo.set("cmp.cores", "2");
+    sweep.add("duo", "route", duo);
+    const auto results = sweep.run();
+
+    const harness::SimResult &a = harness::requireOk(results[0]);
+    const harness::SimResult &b = harness::requireOk(results[1]);
+    EXPECT_TRUE(a.cores.empty());
+    ASSERT_EQ(b.cores.size(), 2u);
+
+    // The sweep point must agree with a direct run of the same config.
+    const harness::SimResult direct = runCmp("route", "die-irb", 2);
+    EXPECT_EQ(b.core.cycles, direct.core.cycles);
+    EXPECT_EQ(b.stats, direct.stats);
+}
+
+TEST(Cmp, GoldenModeRejectsCmp)
+{
+    Config cfg = harness::baseConfig("sie");
+    cfg.set("cmp.cores", "2");
+    const Program prog = workloads::build("route", 1);
+    EXPECT_THROW(harness::goldenRun(prog, cfg), FatalError);
+}
+
+TEST(Cmp, ZeroCoresIsRejected)
+{
+    Config cfg = harness::baseConfig("sie");
+    cfg.set("cmp.cores", "0");
+    const Program prog = workloads::build("route", 1);
+    EXPECT_THROW(harness::run(prog, cfg), FatalError);
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the shared memory system (mem::MemorySystem) in CMP
+ * mode: MSI-style invalidation/downgrade between private L1s, inclusion
+ * back-invalidation from the shared L2, bank-conflict arbitration, and
+ * the single-core degenerate case that must stay coherence-free.
+ *
+ * The single-core latency-composition behaviour (the legacy MemHierarchy
+ * contract) is covered in test_cache.cc; this file is about what changes
+ * when two or more cores share the L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "mem/mem_system.hh"
+
+using namespace direb;
+using mem::MemResp;
+using mem::MemorySystem;
+
+namespace
+{
+
+/** Two cores over the default hierarchy. */
+Config
+defaultCfg()
+{
+    return Config();
+}
+
+} // namespace
+
+TEST(MemSystem, SingleCoreIsNotShared)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 1);
+    EXPECT_FALSE(h.shared());
+    EXPECT_EQ(h.numCores(), 1u);
+    // Same-cycle accesses pay no bank arbitration on the legacy path.
+    const auto a = h.dataAccess(0, 0x0000, false, 7);
+    const auto b = h.dataAccess(0, 0x4000, false, 7);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(h.bankConflictCount(), 0u);
+}
+
+TEST(MemSystem, StoreInvalidatesRemoteCleanCopy)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 2);
+    ASSERT_TRUE(h.shared());
+
+    h.dataAccess(1, 0x1000, false, 0); // core 1 reads: clean copy
+    ASSERT_TRUE(h.l1d(1).contains(0x1000));
+
+    h.dataAccess(0, 0x1000, true, 1); // core 0 writes: single writer
+    EXPECT_FALSE(h.l1d(1).contains(0x1000));
+    EXPECT_TRUE(h.l1d(0).containsDirty(0x1000));
+    h.auditCoherence();
+}
+
+TEST(MemSystem, StoreStealsRemoteDirtyLine)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 2);
+
+    h.dataAccess(0, 0x2000, true, 0); // core 0 owns the line dirty
+    ASSERT_TRUE(h.l1d(0).containsDirty(0x2000));
+
+    h.dataAccess(1, 0x2000, true, 1); // ownership migrates
+    EXPECT_FALSE(h.l1d(0).contains(0x2000));
+    EXPECT_TRUE(h.l1d(1).containsDirty(0x2000));
+    // The dirty remote copy merged into the L2 rather than vanishing.
+    EXPECT_TRUE(h.l2().contains(0x2000));
+    h.auditCoherence();
+}
+
+TEST(MemSystem, LoadDowngradesRemoteDirtyLine)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 2);
+
+    h.dataAccess(0, 0x3000, true, 0); // core 0 dirty
+    h.dataAccess(1, 0x3000, false, 1); // core 1 reads: M -> S
+
+    // Both keep a copy, neither dirty (the L2 took the data).
+    EXPECT_TRUE(h.l1d(0).contains(0x3000));
+    EXPECT_FALSE(h.l1d(0).containsDirty(0x3000));
+    EXPECT_TRUE(h.l1d(1).contains(0x3000));
+    EXPECT_FALSE(h.l1d(1).containsDirty(0x3000));
+    EXPECT_TRUE(h.l2().contains(0x3000));
+    h.auditCoherence();
+}
+
+TEST(MemSystem, InstructionFetchesAreCoherenceTransparent)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 2);
+
+    h.fetchAccess(1, 0x5000, 0);
+    h.dataAccess(0, 0x5000, true, 1); // store to the same block
+    // I-side copies are read-only and never dirtied; the store must not
+    // have disturbed the remote I-cache (no self-modifying code in the
+    // ISA) while the D-side invariants still hold.
+    EXPECT_TRUE(h.l1i(1).contains(0x5000));
+    EXPECT_TRUE(h.l1d(0).containsDirty(0x5000));
+    h.auditCoherence();
+}
+
+TEST(MemSystem, InclusionBackInvalidatesL1OnL2Eviction)
+{
+    Config cfg = defaultCfg();
+    // Tiny direct-mapped L2 (64 sets x 64B): stride 4096 conflicts.
+    cfg.setInt("l2.size", 4096);
+    cfg.setInt("l2.assoc", 1);
+    MemorySystem h(cfg, 2);
+
+    h.dataAccess(0, 0x0000, false, 0);
+    h.dataAccess(0, 0x0020, false, 0); // second 32B L1 block, same L2 block
+    ASSERT_TRUE(h.l1d(0).contains(0x0000));
+    ASSERT_TRUE(h.l1d(0).contains(0x0020));
+
+    // Conflicting L2 fill from the other core evicts block 0x0000 from
+    // the L2; inclusion forces both covered L1 sub-blocks out too.
+    h.dataAccess(1, 0x1000, false, 1);
+    EXPECT_FALSE(h.l2().contains(0x0000));
+    EXPECT_FALSE(h.l1d(0).contains(0x0000));
+    EXPECT_FALSE(h.l1d(0).contains(0x0020));
+    h.auditCoherence();
+}
+
+TEST(MemSystem, BackInvalidatedDirtyLineIsNotLost)
+{
+    Config cfg = defaultCfg();
+    cfg.setInt("l2.size", 4096);
+    cfg.setInt("l2.assoc", 1);
+    MemorySystem h(cfg, 2);
+
+    h.dataAccess(0, 0x0000, true, 0); // dirty in core 0's L1
+    h.dataAccess(1, 0x1000, false, 1); // evicts 0x0000 from the L2
+    EXPECT_FALSE(h.l1d(0).contains(0x0000));
+
+    // Timing-only model: the dropped dirty line's data lives in the
+    // functional memory image, so nothing is lost — but the block is
+    // gone from the whole hierarchy and a re-read must go to DRAM.
+    const auto r = h.dataAccess(0, 0x0000, false, 2);
+    EXPECT_EQ(r.servedBy, MemResp::Served::Dram);
+    h.auditCoherence();
+}
+
+TEST(MemSystem, BankConflictChargesSecondSameCycleAccess)
+{
+    Config cfg = defaultCfg();
+    cfg.setInt("l2.banks", 1); // everything collides
+    cfg.setInt("l2.bank_lat", 3);
+    MemorySystem h(cfg, 2);
+
+    // Two cold misses in the same cycle, one bank: the second queues.
+    const auto a = h.dataAccess(0, 0x0000, false, 9);
+    const auto b = h.dataAccess(1, 0x8000, false, 9);
+    EXPECT_EQ(b.latency, a.latency + 3);
+    EXPECT_EQ(h.bankConflictCount(), 1u);
+
+    // A different cycle starts a fresh arbitration window.
+    const auto c = h.dataAccess(0, 0x10000, false, 10);
+    EXPECT_EQ(c.latency, a.latency);
+}
+
+TEST(MemSystem, L1HitsBypassTheBanks)
+{
+    Config cfg = defaultCfg();
+    cfg.setInt("l2.banks", 1);
+    MemorySystem h(cfg, 2);
+
+    h.dataAccess(0, 0x0000, false, 0);
+    h.dataAccess(1, 0x8000, false, 0);
+    const auto conflicts = h.bankConflictCount();
+
+    // L1 hits from both cores in one cycle never touch the L2 banks.
+    h.dataAccess(0, 0x0000, false, 5);
+    h.dataAccess(1, 0x8000, false, 5);
+    EXPECT_EQ(h.bankConflictCount(), conflicts);
+}
+
+TEST(MemSystem, DramAccessesAreCounted)
+{
+    Config cfg = defaultCfg();
+    MemorySystem h(cfg, 2);
+    EXPECT_EQ(h.dramAccessCount(), 0u);
+    h.dataAccess(0, 0x0000, false, 0); // cold: L2 miss -> DRAM
+    EXPECT_EQ(h.dramAccessCount(), 1u);
+    h.dataAccess(1, 0x0000, false, 1); // L2 hit: no DRAM
+    EXPECT_EQ(h.dramAccessCount(), 1u);
+}
+
+TEST(MemSystem, SharedLatencyAddsDramOverL2)
+{
+    Config cfg = defaultCfg();
+    cfg.setInt("dram.lat", 250);
+    MemorySystem h(cfg, 2);
+    // Cold: L1 (3) + L2 tag (12) + DRAM (dram.lat, not mem.lat).
+    EXPECT_EQ(h.dataAccess(0, 0x0000, false, 0).latency, 3u + 12u + 250u);
+    // Remote L2 hit: no DRAM leg.
+    EXPECT_EQ(h.dataAccess(1, 0x0000, false, 1).latency, 3u + 12u);
+}
+
+TEST(MemSystem, DeterministicAcrossIdenticalRuns)
+{
+    const auto drive = [](MemorySystem &h) {
+        std::uint64_t sum = 0;
+        Cycle now = 0;
+        for (unsigned i = 0; i < 2000; ++i) {
+            const Addr a = (i * 1237u) % 0x20000u;
+            const unsigned c = i % 2;
+            sum += h.dataAccess(c, a, (i % 7) == 0, now).latency;
+            if (i % 3 == 0)
+                sum += h.fetchAccess(c, (a * 5) % 0x20000u, now).latency;
+            now += i % 2;
+        }
+        h.auditCoherence();
+        return sum;
+    };
+    Config cfg_a = defaultCfg();
+    Config cfg_b = defaultCfg();
+    MemorySystem ha(cfg_a, 2);
+    MemorySystem hb(cfg_b, 2);
+    EXPECT_EQ(drive(ha), drive(hb));
+    EXPECT_EQ(ha.bankConflictCount(), hb.bankConflictCount());
+    EXPECT_EQ(ha.dramAccessCount(), hb.dramAccessCount());
+}

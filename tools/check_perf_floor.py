@@ -19,7 +19,13 @@ can upload it as an artifact next to the bench output.
 
 Usage:
   check_perf_floor.py BENCH_throughput.json bench/perf_floors.json \
-      [--report perf_floor_report.json] [--slack 0.10]
+      [--report perf_floor_report.json] [--slack 0.10] \
+      [--cmp-bench BENCH_cmp.json]
+
+--cmp-bench attaches the CMP scaling series (bench_cmp's aggregate IPC
+and IRB reuse rate per core count) to the printed summary and the JSON
+report. It is report-only: CMP numbers are simulated-machine results,
+not host throughput, so they never gate the build.
 
 To refresh the floors after an intentional perf change, run
 bench_throughput on the reference host and regenerate with:
@@ -67,11 +73,41 @@ def update_floors(bench_path, floors_path):
           f"hw_threads={floors['hw_threads']})")
 
 
+def cmp_series(path):
+    """Report-only rows from a bench_cmp BENCH_cmp.json."""
+    cmp_bench = load(path)
+    rows = []
+    for p in cmp_bench["points"]:
+        rows.append({
+            "mode": p["mode"],
+            "cores": p["cores"],
+            "bundle": p.get("bundle", ""),
+            "ipc": p["ipc"],
+            "irb_reuse_rate": p["irb_reuse_rate"],
+            "l2_miss_rate": p.get("l2_miss_rate"),
+            "dram_accesses": p.get("dram_accesses"),
+        })
+    return rows
+
+
+def print_cmp_series(rows):
+    print("CMP scaling series (report-only, from bench_cmp):")
+    for r in rows:
+        bundle = f" bundle={r['bundle']}" if r["bundle"] else ""
+        print(f"  {r['mode']:<8} x{r['cores']}{bundle}: "
+              f"IPC {r['ipc']:.3f} "
+              f"({r['ipc'] / r['cores']:.3f}/core), "
+              f"IRB reuse {100.0 * r['irb_reuse_rate']:.1f}%")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("bench_json")
     ap.add_argument("floors_json")
     ap.add_argument("--report", help="write the comparison as JSON here")
+    ap.add_argument("--cmp-bench",
+                    help="BENCH_cmp.json to attach as a report-only CMP "
+                         "scaling series (never gates)")
     ap.add_argument("--slack", type=float, default=None,
                     help="allowed geomean regression (default: floors "
                          "file's geomean_slack, else 0.10)")
@@ -127,6 +163,10 @@ def main():
         "result": "fail" if failed else "pass",
         "workloads": rows,
     }
+    cmp_rows = None
+    if args.cmp_bench:
+        cmp_rows = cmp_series(args.cmp_bench)
+        report["cmp"] = {"report_only": True, "points": cmp_rows}
     if args.report:
         with open(args.report, "w") as f:
             json.dump(report, f, indent=2)
@@ -144,6 +184,8 @@ def main():
                   f"ratio {r['ratio']:.3f}){mark}")
     print(f"geomean current/floor: {geomean:.3f} "
           f"(hard floor at matching hw_threads: {1.0 - slack:.2f})")
+    if cmp_rows is not None:
+        print_cmp_series(cmp_rows)
 
     if not gated:
         print(f"WARN-ONLY: floors were recorded at hw_threads={ref_hw}, "

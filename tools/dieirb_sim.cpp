@@ -11,6 +11,9 @@
  *   -l              list built-in workloads and exit
  *   -m <mode>       sie | die | die-irb            (default sie)
  *   -n <insts>      max architectural instructions (default 50M)
+ *   --cores <n>     simulate an n-core CMP over a shared L2 (shorthand
+ *                   for cmp.cores=n; pair with cmp.bundle=<mix> to give
+ *                   each core its own kernel)
  *   -s <scale>      workload scale factor          (default 1)
  *   -d              dump the full statistics block
  *   -g              golden-check against the functional VM
@@ -65,6 +68,8 @@ usage(const char *argv0)
                  "  -l          list workloads\n"
                  "  -m <mode>   sie | die | die-irb (default sie)\n"
                  "  -n <insts>  max architectural instructions\n"
+                 "  --cores <n> n-core CMP over a shared L2 "
+                 "(= cmp.cores=n)\n"
                  "  -s <scale>  workload scale factor\n"
                  "  -d          dump full statistics\n"
                  "  -g          golden-check against the functional VM\n"
@@ -138,6 +143,7 @@ main(int argc, char **argv)
     std::string mode = "sie";
     std::uint64_t max_insts = 50'000'000;
     unsigned scale = 1;
+    unsigned cores = 0; // 0 = not given on the command line
     bool dump_stats = false;
     bool golden = false;
     bool trace = false;
@@ -166,6 +172,8 @@ main(int argc, char **argv)
             mode = next();
         } else if (a == "-n") {
             max_insts = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--cores") {
+            cores = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
         } else if (a == "-s") {
             scale = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
         } else if (a == "-d") {
@@ -208,6 +216,8 @@ main(int argc, char **argv)
 
     try {
         Config cfg = harness::baseConfig(mode);
+        if (cores != 0)
+            cfg.set("cmp.cores", std::to_string(cores));
         if (trace) {
             if (trace_path.empty())
                 trace_path =
@@ -261,6 +271,15 @@ main(int argc, char **argv)
         std::fprintf(human, "cycles     : %llu\n",
                      static_cast<unsigned long long>(r.core.cycles));
         std::fprintf(human, "IPC        : %.4f\n", r.core.ipc);
+        for (std::size_t c = 0; c < r.cores.size(); ++c) {
+            const CoreResult &cr = r.cores[c];
+            std::fprintf(human,
+                         "core%-7zu: %llu insts, %llu cycles, IPC %.4f\n",
+                         c,
+                         static_cast<unsigned long long>(cr.archInsts),
+                         static_cast<unsigned long long>(cr.cycles),
+                         cr.ipc);
+        }
         if (!r.output.empty())
             std::fprintf(human, "output     : %s", r.output.c_str());
         if (trace) {
