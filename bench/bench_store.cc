@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Columnar store benchmark: pack / unpack / query throughput and the
+ * compression ratio over a synthetic sweep.cache directory of >= 10k
+ * entries shaped like real Figure-7 sweep results (shared stat-key
+ * dictionary, monotone counters, repetitive stats_text templates).
+ *
+ * The directory is rendered to disk with the real cache serialiser
+ * (harness::renderSweepCacheEntry), packed with store::packDirectory —
+ * which includes the parse + re-render byte-identity proof per entry —
+ * unpacked back and byte-compared, and then queried repeatedly through
+ * store::runQuery. Emits BENCH_store.json; check_perf_floor.py attaches
+ * it report-only via --store-bench.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "store/query.hh"
+#include "store/store.hh"
+
+using namespace direb;
+using harness::Json;
+
+namespace
+{
+
+constexpr std::size_t numEntries = 10'000;
+
+double
+seconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Deterministic pseudo-random stream (no host randomness in benches). */
+std::uint64_t
+next(std::uint64_t &state)
+{
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+}
+
+/**
+ * One synthetic sweep result shaped like a real Figure-7 point: ~20
+ * shared stat keys with counter-like values, an exact-fraction IPC, and
+ * a stats_text rendered from the same keys (the repetitive template a
+ * real statistics dump produces).
+ */
+harness::SweepResult
+makeEntry(std::size_t i, std::uint64_t &rng)
+{
+    static const char *kernels[] = {"ammp", "applu", "apsi", "art",
+                                    "equake", "gcc", "gzip", "mcf",
+                                    "mesa", "parser", "twolf", "vpr"};
+    static const char *stats[] = {
+        "core.commit.insts",      "core.commit.cycles",
+        "core.fetch.insts",       "core.dispatch.insts",
+        "core.issue.insts",       "core.issue.alu_ops",
+        "core.ruu.occupancy_sum", "core.lsq.loads",
+        "core.lsq.stores",        "irb.reuse_hits",
+        "irb.reuse_misses",       "irb.evictions",
+        "bp.lookups",             "bp.mispredicts",
+        "dl1.hits",               "dl1.misses",
+        "il1.hits",               "il1.misses",
+        "l2.hits",                "l2.misses",
+    };
+
+    harness::SweepResult r;
+    r.name = "fig7/lat" + std::to_string(1 + i % 3) + "/rb" +
+             std::to_string(4 << (i % 4)) + "/" + kernels[i % 12];
+    r.status = i % 50 == 49 ? harness::PointStatus::Timeout
+                            : harness::PointStatus::Ok;
+    if (r.status == harness::PointStatus::Timeout)
+        r.error = "exhausted the 50000000-instruction budget";
+    r.attempts = 1;
+    r.sim.core.stop = r.status == harness::PointStatus::Ok
+                          ? StopReason::Halted
+                          : StopReason::InstLimit;
+    r.sim.core.cycles = 400'000 + i * 37 + next(rng) % 1'000;
+    r.sim.core.archInsts = 300'000 + i * 29 + next(rng) % 1'000;
+    r.sim.core.ruuEntriesCommitted = 2 * r.sim.core.archInsts;
+    // Exact 1/64 fractions: representable doubles, stored raw.
+    r.sim.core.ipc = 0.5 + double(next(rng) % 96) / 64.0;
+
+    std::string text = "---- statistics (" + r.name + ") ----\n";
+    for (const char *key : stats) {
+        const double v =
+            double(100'000 + i * 13 + next(rng) % 10'000);
+        r.sim.stats[key] = v;
+        text += "  ";
+        text += key;
+        text += " ";
+        text += std::to_string(static_cast<std::uint64_t>(v));
+        text += "\n";
+    }
+    r.sim.stats["core.ipc"] = r.sim.core.ipc;
+    r.sim.output = "checksum " + std::to_string(next(rng) % 1'000'000) +
+                   "\n";
+    r.sim.statsText = std::move(text);
+    return r;
+}
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    harness::banner(
+        "store — pack/unpack/query throughput and compression ratio",
+        "one artifact file replaces a sweep.cache directory; byte "
+        "identity is proven per entry at pack time");
+
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "direb_bench_store";
+    fs::remove_all(root);
+    const fs::path dir = root / "cache";
+    const fs::path dir2 = root / "unpacked";
+    fs::create_directories(dir);
+
+    // ---- render the synthetic sweep.cache directory -----------------
+    std::uint64_t rng = 20260808;
+    std::uint64_t raw_bytes = 0;
+    for (std::size_t i = 0; i < numEntries; ++i) {
+        const harness::SweepResult r = makeEntry(i, rng);
+        const std::string bytes = harness::renderSweepCacheEntry(r);
+        raw_bytes += bytes.size();
+        char name[32];
+        std::snprintf(name, sizeof(name), "%016zx.json", i);
+        std::ofstream out(dir / name, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        fatal_if(!out, "short write rendering the bench directory");
+    }
+
+    // ---- pack (includes the per-entry byte-identity proof) ----------
+    const auto t_pack = std::chrono::steady_clock::now();
+    const store::Artifact art = store::packDirectory(dir.string());
+    const std::string encoded = store::encodeArtifact(art);
+    const double pack_s = seconds(t_pack);
+    fatal_if(art.entries.size() != numEntries,
+             "%zu of %zu entries did not round-trip byte-identically",
+             numEntries - art.entries.size(), numEntries);
+
+    const double ratio = double(raw_bytes) / double(encoded.size());
+
+    // ---- unpack + directory byte-compare ----------------------------
+    const auto t_unpack = std::chrono::steady_clock::now();
+    const store::Artifact back = store::decodeArtifact(encoded);
+    store::unpackArtifact(back, dir2.string());
+    const double unpack_s = seconds(t_unpack);
+
+    std::size_t checked = 0;
+    for (const auto &ent : fs::directory_iterator(dir)) {
+        fatal_if(slurp(ent.path()) !=
+                     slurp(dir2 / ent.path().filename()),
+                 "unpack is not byte-identical for %s",
+                 ent.path().filename().string().c_str());
+        ++checked;
+    }
+    fatal_if(checked != numEntries, "unpacked directory is incomplete");
+
+    // ---- query throughput -------------------------------------------
+    const std::vector<const store::Artifact *> stores = {&back};
+    store::QueryRequest req;
+    req.metric = "ipc";
+    req.groupBy = "name:2";
+    req.aggs = {"count", "mean", "geomean"};
+    constexpr unsigned queryIters = 50;
+    double matched = 0;
+    const auto t_query = std::chrono::steady_clock::now();
+    for (unsigned q = 0; q < queryIters; ++q) {
+        const Json resp = store::runQuery(stores, req);
+        matched = resp.find("matched")->asNumber();
+    }
+    const double query_s = seconds(t_query);
+    fatal_if(matched != double(numEntries), "query missed entries");
+
+    const double query_points_per_sec =
+        double(numEntries) * queryIters / query_s;
+
+    // ---- report ------------------------------------------------------
+    std::printf("entries            : %zu\n", numEntries);
+    std::printf("raw bytes          : %llu\n",
+                static_cast<unsigned long long>(raw_bytes));
+    std::printf("artifact bytes     : %zu\n", encoded.size());
+    std::printf("compression ratio  : %.2fx\n", ratio);
+    std::printf("pack               : %.3f s (%.1f MB/s)\n", pack_s,
+                raw_bytes / 1e6 / pack_s);
+    std::printf("unpack             : %.3f s (%.1f MB/s)\n", unpack_s,
+                raw_bytes / 1e6 / unpack_s);
+    std::printf("query              : %u runs in %.3f s "
+                "(%.1f Mpoints/s)\n",
+                queryIters, query_s, query_points_per_sec / 1e6);
+
+    Json root_json = Json::object();
+    root_json.set("bench", "store");
+    root_json.set("entries", static_cast<std::uint64_t>(numEntries));
+    root_json.set("raw_bytes", static_cast<std::uint64_t>(raw_bytes));
+    root_json.set("artifact_bytes",
+                  static_cast<std::uint64_t>(encoded.size()));
+    root_json.set("compression_ratio", ratio);
+    root_json.set("byte_identical", true);
+    root_json.set("pack_seconds", pack_s);
+    root_json.set("pack_mb_per_sec", raw_bytes / 1e6 / pack_s);
+    root_json.set("unpack_seconds", unpack_s);
+    root_json.set("unpack_mb_per_sec", raw_bytes / 1e6 / unpack_s);
+    root_json.set("query_iters", static_cast<std::uint64_t>(queryIters));
+    root_json.set("query_seconds", query_s);
+    root_json.set("query_points_per_sec", query_points_per_sec);
+    harness::writeJsonReport("BENCH_store.json", root_json);
+    std::printf("wrote BENCH_store.json\n");
+
+    fs::remove_all(root);
+    return 0;
+}

@@ -407,6 +407,10 @@ Coordinator::routeHook(const HttpRequest &req,
         resp = handleSweepBuffered(req, request_id);
         return true;
     }
+    if (path == "/v1/query" && req.method == "POST") {
+        resp = handleQueryProxy(req, request_id);
+        return true;
+    }
     return false; // /v1/jobs* fall through to the built-in handlers
 }
 
@@ -529,6 +533,49 @@ Coordinator::handleSimulateProxy(const HttpRequest &req,
     }
     return errorResponse(502, "no backend could serve the point: " +
                                   lastError);
+}
+
+HttpResponse
+Coordinator::handleQueryProxy(const HttpRequest &req,
+                              const std::string &request_id)
+{
+    // Stores are replicated, not sharded: every backend mounts the same
+    // artifacts, so any Up backend can answer. Walk the Up set in order,
+    // marking unreachable backends Down exactly like the point proxy.
+    std::string lastError = "no live backends";
+    for (unsigned attempt = 0; attempt < opts.maxPointAttempts;
+         ++attempt) {
+        // A failed fetch marks its backend Down, so the head of the Up
+        // list is always a backend this loop has not yet burned.
+        const std::vector<std::size_t> up = upBackends();
+        if (up.empty())
+            break;
+        const std::size_t owner = up[0];
+
+        ClientRequest sub;
+        sub.host = backends[owner].host;
+        sub.port = backends[owner].port;
+        sub.method = "POST";
+        sub.target = "/v1/query";
+        sub.body = req.body;
+        sub.headers = {{"Content-Type", "application/json"},
+                       {"X-Request-Id", request_id}};
+        sub.idleTimeoutMs = opts.subsweepIdleTimeoutMs;
+        const HttpClient::FetchResult res = client.fetch(std::move(sub));
+        if (!res.ok) {
+            lastError = backends[owner].address + ": " + res.error;
+            srv.metrics().count(
+                "dieirb_coord_backend_failures_total",
+                "backend=\"" + backends[owner].address + "\"");
+            setBackendState(owner, BackendState::Down);
+            continue;
+        }
+        HttpResponse out(res.status, res.body);
+        out.set("X-Backend", backends[owner].address);
+        return out;
+    }
+    return errorResponse(502,
+                         "no backend could serve the query: " + lastError);
 }
 
 HttpResponse

@@ -125,6 +125,11 @@ class Coordinator
         const service::HttpRequest &req, const std::string &request_id);
     service::HttpResponse handleSweepBuffered(
         const service::HttpRequest &req, const std::string &request_id);
+    /** Proxy /v1/query to any Up backend (stores are replicas, not
+     *  shards: every backend mounts the same artifacts, so the first
+     *  healthy answer is the answer). */
+    service::HttpResponse handleQueryProxy(
+        const service::HttpRequest &req, const std::string &request_id);
 
     /**
      * Run one sharded sweep to completion: emits every point's NDJSON

@@ -11,6 +11,7 @@
 #include "cpu/ooo_core.hh"
 
 #include "common/logging.hh"
+#include "vm/checkpoint.hh"
 
 namespace direb
 {
@@ -79,6 +80,26 @@ void
 OooCore::reset(const Program &program, const Config &config)
 {
     configure(program, config, false);
+}
+
+void
+OooCore::applyArchCheckpoint(const ArchCheckpoint &ck)
+{
+    // Restoring into a part-run core would mix two executions' state;
+    // this is a harness sequencing bug, not a user error.
+    panic_if(st.now != 0 || cstats.numArchInsts.value() != 0,
+             "applyArchCheckpoint needs a freshly configured core");
+    fatal_if(ck.programFnv != programImageFnv(*prog),
+             "checkpoint image hash %016llx does not match program '%s' "
+             "(%016llx) — it was captured from a different program",
+             static_cast<unsigned long long>(ck.programFnv),
+             prog->name.c_str(),
+             static_cast<unsigned long long>(programImageFnv(*prog)));
+    fatal_if(!prog->inText(ck.pc),
+             "checkpoint pc %llx is outside the program text",
+             static_cast<unsigned long long>(ck.pc));
+    applyCheckpoint(ck, arch, mem);
+    st.fetchPc = ck.pc;
 }
 
 void

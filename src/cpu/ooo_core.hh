@@ -55,6 +55,8 @@
 namespace direb
 {
 
+struct ArchCheckpoint;
+
 /**
  * The out-of-order core. Owns all substrate components; construct one per
  * run, or reuse across runs via reset().
@@ -100,6 +102,21 @@ class OooCore
 
     /** Committed architectural state (registers/memory/output). */
     const ArchState &archState() const { return arch; }
+
+    /** The program this core is currently bound to. */
+    const Program &program() const { return *prog; }
+
+    /**
+     * Warm-start from an architectural checkpoint: replace memory,
+     * registers, pc and accumulated output with the checkpoint's and
+     * point fetch at its pc, so run() continues where the functional
+     * prefix left off. Only valid on a freshly constructed/reset() core
+     * (panic otherwise) whose bound program matches the checkpoint's
+     * image hash (fatal otherwise). Microarchitectural state (caches,
+     * predictor, IRB) stays cold — arch results equal a straight run;
+     * timing reflects the cold start.
+     */
+    void applyArchCheckpoint(const ArchCheckpoint &ck);
 
     /** Components (exposed for stats/bench inspection). @{ */
     stats::Group &statGroup() { return group; }

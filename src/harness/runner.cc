@@ -2,10 +2,13 @@
 
 #include <bit>
 #include <cstdio>
+#include <filesystem>
 
 #include "common/logging.hh"
 #include "cpu/chip.hh"
+#include "store/checkpoint.hh"
 #include "trace/export.hh"
+#include "vm/checkpoint.hh"
 #include "workloads/workloads.hh"
 
 namespace direb
@@ -92,6 +95,117 @@ exportTraces(OooCore &core, const Config &config)
     }
 }
 
+/** A resolved warm-start request: insts == 0 means "cold start". */
+struct Warmstart
+{
+    std::uint64_t insts = 0;
+    ArchCheckpoint ck;
+};
+
+/** Shared doc strings: these keys are read on every run path. @{ */
+constexpr const char *restoreDesc =
+    "restore architectural state from this checkpoint file before the "
+    "timing run (see dieirb-sim --checkpoint-at/--checkpoint-out)";
+constexpr const char *warmstartDesc =
+    "fast-forward this many instructions on the functional VM before "
+    "the timing run (0 = simulate everything; must be < the budget)";
+constexpr const char *warmstartDirDesc =
+    "cache directory for warm-start checkpoints, content-addressed by "
+    "program image and prefix length (empty = recompute every time)";
+/** @} */
+
+/**
+ * Read ckpt.restore / sweep.warmstart / sweep.warmstart_dir and produce
+ * the checkpoint to apply before the timing run, if any. A warm-start
+ * prefix is fast-forwarded on the functional VM (and, when a cache
+ * directory is given, persisted under its content address so repeated
+ * sweeps reuse it); a corrupt or foreign cache entry is recomputed, not
+ * trusted. All three keys are consumed on every call so the unused-key
+ * audit accepts them regardless of path taken.
+ */
+Warmstart
+resolveWarmstart(const Program &program, const Config &config,
+                 std::uint64_t max_insts)
+{
+    const std::string restore =
+        config.getString("ckpt.restore", "", restoreDesc);
+    const std::uint64_t warm =
+        config.getUint("sweep.warmstart", 0, warmstartDesc);
+    const std::string warm_dir =
+        config.getString("sweep.warmstart_dir", "", warmstartDirDesc);
+
+    Warmstart w;
+    if (!restore.empty()) {
+        fatal_if(warm != 0,
+                 "ckpt.restore and sweep.warmstart are mutually "
+                 "exclusive");
+        w.ck = store::loadCheckpoint(restore);
+        fatal_if(w.ck.programFnv != programImageFnv(program),
+                 "checkpoint %s was captured from a different program",
+                 restore.c_str());
+        fatal_if(w.ck.insts >= max_insts,
+                 "checkpoint %s is at instruction %llu, past the "
+                 "%llu-instruction budget",
+                 restore.c_str(),
+                 static_cast<unsigned long long>(w.ck.insts),
+                 static_cast<unsigned long long>(max_insts));
+        w.insts = w.ck.insts;
+        return w;
+    }
+    if (warm == 0)
+        return w;
+    fatal_if(warm >= max_insts,
+             "sweep.warmstart=%llu consumes the whole %llu-instruction "
+             "budget",
+             static_cast<unsigned long long>(warm),
+             static_cast<unsigned long long>(max_insts));
+
+    const std::uint64_t fnv = programImageFnv(program);
+    std::string cache_path;
+    if (!warm_dir.empty()) {
+        cache_path = warm_dir + "/" +
+                     store::checkpointKeyHex(fnv, warm) + ".ckpt";
+        if (std::filesystem::exists(cache_path)) {
+            try {
+                w.ck = store::loadCheckpoint(cache_path);
+                if (w.ck.programFnv == fnv && w.ck.insts == warm) {
+                    w.insts = warm;
+                    return w;
+                }
+                warn("warm-start cache %s holds a different run; "
+                     "recomputing",
+                     cache_path.c_str());
+            } catch (const FatalError &e) {
+                warn("warm-start cache %s is unreadable (%s); "
+                     "recomputing",
+                     cache_path.c_str(), e.what());
+            }
+        }
+    }
+    w.ck = fastForward(program, warm);
+    w.insts = warm;
+    if (!cache_path.empty())
+        store::saveCheckpoint(cache_path, w.ck);
+    return w;
+}
+
+/**
+ * Consume the warm-start keys on paths that cannot honour them (CMP
+ * runs, the golden cross-check) and reject any explicit request: a
+ * silently ignored warm-start would report wrong timing.
+ */
+void
+rejectWarmstart(const Config &config, const char *why)
+{
+    const std::string restore =
+        config.getString("ckpt.restore", "", restoreDesc);
+    const std::uint64_t warm =
+        config.getUint("sweep.warmstart", 0, warmstartDesc);
+    config.getString("sweep.warmstart_dir", "", warmstartDirDesc);
+    fatal_if(!restore.empty() || warm != 0,
+             "ckpt.restore / sweep.warmstart are not supported %s", why);
+}
+
 /**
  * The CMP path of run(): build the per-core programs (cmp.bundle or N
  * copies of @p program), run a Chip to completion, and flatten the chip
@@ -101,6 +215,7 @@ SimResult
 runChip(const Program &program, const Config &config, unsigned n_cores,
         std::uint64_t max_insts)
 {
+    rejectWarmstart(config, "in CMP mode (cmp.cores > 1)");
     const std::string bundle = cmpBundle(config);
 
     std::vector<Program> bundle_progs;
@@ -158,10 +273,21 @@ run(const Program &program, const Config &config, std::uint64_t max_insts)
 SimResult
 runWithCore(OooCore &core, const Config &config, std::uint64_t max_insts)
 {
-    const CoreResult cr = core.run(max_insts);
+    const Warmstart warm =
+        resolveWarmstart(core.program(), config, max_insts);
+    if (warm.insts) {
+        core.applyArchCheckpoint(warm.ck);
+        store::noteCheckpointRestore();
+    }
+    // The timing core simulates only the suffix: its instruction budget
+    // shrinks by the prefix so warm and cold runs stop at the same
+    // architectural instruction.
+    const CoreResult cr = core.run(max_insts - warm.insts);
     exportTraces(core, config);
     config.checkUnused(); // every valid key was consumed by binding
-    return snapshot(core, cr);
+    SimResult r = snapshot(core, cr);
+    r.warmstartInsts = warm.insts;
+    return r;
 }
 
 SimResult
@@ -179,6 +305,9 @@ goldenRun(const Program &program, const Config &config,
     fatal_if(cmpCores(config) > 1,
              "the golden VM cross-check is single-core only "
              "(cmp.cores=1)");
+    // The cross-check compares the VM's full-program run against the
+    // core's, so a fast-forwarded prefix would always diverge.
+    rejectWarmstart(config, "under the golden VM cross-check");
     Vm vm(program);
     const StopReason vm_stop = vm.run(max_insts);
 

@@ -30,6 +30,14 @@ struct SimResult
     std::string output;                  //!< program PUTC/PUTINT output
     std::string statsText;               //!< rendered statistics dump
     /**
+     * Instructions fast-forwarded functionally before the timing run
+     * (sweep.warmstart / ckpt.restore); 0 on a straight run. The
+     * timing-side counters (core.cycles, core.archInsts, stats) cover
+     * only the simulated suffix, so the architectural instruction total
+     * of the whole program is core.archInsts + warmstartInsts.
+     */
+    std::uint64_t warmstartInsts = 0;
+    /**
      * Per-core results when the run was a CMP (cmp.cores > 1); empty on
      * the single-core path. `core` then carries the chip aggregate
      * (cycles = max over cores, insts summed, stop = worst) and `stats`

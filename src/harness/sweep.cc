@@ -103,7 +103,13 @@ pointCacheKey(const Program &prog, const Config &cfg,
     feedU64(prog.entry);
     feedU64(max_insts);
     for (const auto &[key, value] : cfg.entries()) {
-        if (key == "sweep.cache")
+        // Directory locations are excluded so relocating a cache does
+        // not invalidate it: sweep.cache (the result cache itself) and
+        // sweep.warmstart_dir (where warm-start checkpoints live).
+        // sweep.warmstart — the prefix length — IS hashed: a
+        // warm-started point has different timing than a straight run
+        // and must not share its cache entry.
+        if (key == "sweep.cache" || key == "sweep.warmstart_dir")
             continue;
         feed(key.data(), key.size());
         feed("=", 1);
@@ -124,39 +130,80 @@ pointCacheKeyHex(const Program &prog, const Config &cfg,
     return buf;
 }
 
-namespace
+Json
+sweepCacheEntryJson(const SweepResult &res)
 {
+    Json j = Json::object();
+    j.set("version", sweepCacheVersion);
+    j.set("name", res.name);
+    j.set("status", pointStatusName(res.status));
+    if (!res.error.empty())
+        j.set("error", res.error);
+    j.set("attempts", res.attempts);
+    if (res.sim.warmstartInsts)
+        j.set("warmstart_insts", res.sim.warmstartInsts);
+    Json core = Json::object();
+    core.set("stop", static_cast<int>(res.sim.core.stop));
+    core.set("cycles", res.sim.core.cycles);
+    core.set("arch_insts", res.sim.core.archInsts);
+    core.set("ruu_entries", res.sim.core.ruuEntriesCommitted);
+    core.set("ipc", res.sim.core.ipc);
+    j.set("core", std::move(core));
+    if (!res.sim.cores.empty()) {
+        Json cores = Json::array();
+        for (const CoreResult &cr : res.sim.cores) {
+            cores.push(Json::object()
+                           .set("stop", static_cast<int>(cr.stop))
+                           .set("cycles", cr.cycles)
+                           .set("arch_insts", cr.archInsts)
+                           .set("ruu_entries", cr.ruuEntriesCommitted)
+                           .set("ipc", cr.ipc));
+        }
+        j.set("cores", std::move(cores));
+    }
+    Json stats = Json::object();
+    for (const auto &[name, value] : res.sim.stats)
+        stats.set(name, value);
+    j.set("stats", std::move(stats));
+    j.set("output", res.sim.output);
+    j.set("stats_text", res.sim.statsText);
+    return j;
+}
 
-/**
- * Restore a cached point result; false when the file is absent,
- * unparsable or from an incompatible cache version (the caller then
- * simply re-simulates).
- */
-bool
-loadCachedResult(const std::string &path, SweepResult &res)
+std::string
+renderSweepCacheEntry(const SweepResult &res)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream body;
-    body << in.rdbuf();
+    // Full precision: the restored stats/ipc doubles must compare
+    // bit-equal to a live simulation of the same point — and the store
+    // relies on parse + re-render being byte-identical.
+    return sweepCacheEntryJson(res).dump(2, /*full_precision=*/true) +
+           "\n";
+}
+
+bool
+parseSweepCacheEntry(const std::string &text, SweepResult &res)
+{
     try {
-        const Json j = Json::parse(body.str());
+        const Json j = Json::parse(text);
+        if (!j.isObject())
+            return false;
         const Json *version = j.find("version");
         if (!version || !version->isNumber() ||
-            version->asNumber() != 1.0) {
+            version->asNumber() !=
+                static_cast<double>(sweepCacheVersion)) {
             return false;
         }
+        const Json *name = j.find("name");
         const Json *status = j.find("status");
         const Json *attempts = j.find("attempts");
         const Json *core = j.find("core");
         const Json *stats = j.find("stats");
         const Json *output = j.find("output");
         const Json *stats_text = j.find("stats_text");
-        if (!status || !status->isString() || !attempts ||
-            !attempts->isNumber() || !core || !core->isObject() ||
-            !stats || !stats->isObject() || !output ||
-            !output->isString() || !stats_text ||
+        if (!name || !name->isString() || !status ||
+            !status->isString() || !attempts || !attempts->isNumber() ||
+            !core || !core->isObject() || !stats || !stats->isObject() ||
+            !output || !output->isString() || !stats_text ||
             !stats_text->isString()) {
             return false;
         }
@@ -166,13 +213,20 @@ loadCachedResult(const std::string &path, SweepResult &res)
             res.status = PointStatus::Timeout;
         else
             return false;
+        res.name = name->asString();
         const Json *error = j.find("error");
         res.error = error && error->isString() ? error->asString()
                                                : std::string();
         res.attempts = static_cast<unsigned>(attempts->asNumber());
+        const Json *warm = j.find("warmstart_insts");
+        if (warm && !warm->isNumber())
+            return false;
+        res.sim.warmstartInsts = warm
+            ? static_cast<std::uint64_t>(warm->asNumber())
+            : 0;
 
         // fatal() (not panic()) on malformed leaves: it throws, landing
-        // in the catch below, and the point is simply re-simulated.
+        // in the catch below, and the entry is treated as a miss.
         const auto coreNum = [core](const char *key) {
             const Json *v = core->find(key);
             fatal_if(!v || !v->isNumber(), "cache: bad core.%s", key);
@@ -187,8 +241,8 @@ loadCachedResult(const std::string &path, SweepResult &res)
             static_cast<std::uint64_t>(coreNum("ruu_entries"));
         res.sim.core.ipc = coreNum("ipc");
 
-        // Per-core results of a CMP point (absent in caches written by
-        // single-core points and by older builds — both mean "none").
+        // Per-core results of a CMP point (absent on single-core
+        // points, meaning "none").
         res.sim.cores.clear();
         if (const Json *cores = j.find("cores"); cores && cores->isArray()) {
             for (std::size_t i = 0; i < cores->size(); ++i) {
@@ -224,8 +278,33 @@ loadCachedResult(const std::string &path, SweepResult &res)
         res.sim.statsText = stats_text->asString();
         return true;
     } catch (const std::exception &) {
-        return false; // corrupt/foreign file: fall through to a real run
+        return false; // corrupt/foreign file: treat as a miss
     }
+}
+
+namespace
+{
+
+/**
+ * Restore a cached point result; false when the file is absent,
+ * unparsable or from an incompatible cache version (the caller then
+ * simply re-simulates). The enqueued point name is kept: two points
+ * running the same simulation share one entry, and the entry stores
+ * whichever name cached it first.
+ */
+bool
+loadCachedResult(const std::string &path, SweepResult &res)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream body;
+    body << in.rdbuf();
+    const std::string keep_name = res.name;
+    if (!parseSweepCacheEntry(body.str(), res))
+        return false;
+    res.name = keep_name;
+    return true;
 }
 
 /**
@@ -236,39 +315,6 @@ void
 storeCachedResult(const std::string &path, const SweepResult &res)
 {
     try {
-        Json j = Json::object();
-        j.set("version", 1);
-        j.set("name", res.name);
-        j.set("status", pointStatusName(res.status));
-        if (!res.error.empty())
-            j.set("error", res.error);
-        j.set("attempts", res.attempts);
-        Json core = Json::object();
-        core.set("stop", static_cast<int>(res.sim.core.stop));
-        core.set("cycles", res.sim.core.cycles);
-        core.set("arch_insts", res.sim.core.archInsts);
-        core.set("ruu_entries", res.sim.core.ruuEntriesCommitted);
-        core.set("ipc", res.sim.core.ipc);
-        j.set("core", std::move(core));
-        if (!res.sim.cores.empty()) {
-            Json cores = Json::array();
-            for (const CoreResult &cr : res.sim.cores) {
-                cores.push(Json::object()
-                               .set("stop", static_cast<int>(cr.stop))
-                               .set("cycles", cr.cycles)
-                               .set("arch_insts", cr.archInsts)
-                               .set("ruu_entries", cr.ruuEntriesCommitted)
-                               .set("ipc", cr.ipc));
-            }
-            j.set("cores", std::move(cores));
-        }
-        Json stats = Json::object();
-        for (const auto &[name, value] : res.sim.stats)
-            stats.set(name, value);
-        j.set("stats", std::move(stats));
-        j.set("output", res.sim.output);
-        j.set("stats_text", res.sim.statsText);
-
         const std::filesystem::path target(path);
         std::filesystem::create_directories(target.parent_path());
         std::ostringstream tmp_name;
@@ -280,9 +326,7 @@ storeCachedResult(const std::string &path, const SweepResult &res)
                 warn("sweep cache: cannot write %s", tmp.c_str());
                 return;
             }
-            // Full precision: the restored stats/ipc doubles must compare
-            // bit-equal to a live simulation of the same point.
-            out << j.dump(2, /*full_precision=*/true) << "\n";
+            out << renderSweepCacheEntry(res);
         }
         // rename() is atomic within a filesystem, so concurrent workers
         // caching the same key can only ever publish a complete file.

@@ -197,6 +197,34 @@ std::string pointCacheKeyHex(const Program &program, const Config &config,
                              std::uint64_t max_insts);
 /** @} */
 
+/**
+ * Schema version stamped into every sweep.cache entry file. An entry
+ * whose version field differs (older build, foreign file) is treated as
+ * a cache miss and re-simulated — a format change can never silently
+ * read stale-shaped entries. History: v1 = PR-4 original shape; v2
+ * added the warmstart_insts field (checkpoint warm-start prefix).
+ */
+constexpr unsigned sweepCacheVersion = 2;
+
+/**
+ * The canonical serialisation of one Ok/Timeout result as a sweep.cache
+ * entry: sweepCacheEntryJson() builds the JSON document,
+ * renderSweepCacheEntry() the exact file bytes
+ * (dump(2, full_precision) + newline). Exported so the columnar result
+ * store (src/store/) can re-render parsed entries byte-identically. @{
+ */
+Json sweepCacheEntryJson(const SweepResult &result);
+std::string renderSweepCacheEntry(const SweepResult &result);
+/** @} */
+
+/**
+ * Parse @p text as a current-version cache entry into @p result
+ * (including the stored point name). Returns false — never throws — on
+ * malformed JSON, a version mismatch or a missing/ill-typed field, so
+ * callers treat anything unparsable as a miss.
+ */
+bool parseSweepCacheEntry(const std::string &text, SweepResult &result);
+
 /** Worker count from DIREB_JOBS, else hardware concurrency (>= 1). */
 unsigned defaultJobs();
 

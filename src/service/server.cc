@@ -18,6 +18,7 @@
 #include "harness/runner.hh"
 #include "service/io.hh"
 #include "service/sweep_request.hh"
+#include "store/checkpoint.hh"
 #include "workloads/workloads.hh"
 
 // Injected by src/service/CMakeLists.txt from `git describe` at
@@ -70,7 +71,8 @@ std::string
 labelForPath(const std::string &path)
 {
     if (path == "/healthz" || path == "/metrics" ||
-        path == "/v1/simulate" || path == "/v1/sweep") {
+        path == "/v1/simulate" || path == "/v1/sweep" ||
+        path == "/v1/query") {
         return path;
     }
     if (path == "/v1/jobs" || path.rfind("/v1/jobs/", 0) == 0)
@@ -268,6 +270,25 @@ Server::Server(ServerOptions options) : opts(std::move(options))
                "cores constructed because the pool was empty");
     m.describe("dieirb_core_pool_reuses_total", "counter",
                "core acquisitions served by reset() reuse");
+    m.describe("dieirb_store_artifacts", "gauge",
+               "columnar store artifacts mounted for /v1/query");
+    m.describe("dieirb_store_entries", "gauge",
+               "columnar entries across all mounted artifacts");
+    m.describe("dieirb_store_raw_files", "gauge",
+               "verbatim (non-columnar) files across mounted artifacts");
+    m.describe("dieirb_store_queries_total", "counter",
+               "/v1/query requests answered");
+    m.describe("dieirb_store_query_seconds", "histogram",
+               "/v1/query evaluation time");
+    m.describe("dieirb_store_checkpoint_restores_total", "counter",
+               "architectural checkpoints applied to cores "
+               "(warm-started sweep points and ckpt.restore runs)");
+
+    // Mounting is load-once: the artifacts are immutable for the
+    // server's lifetime, so /v1/query needs no locking and a corrupt
+    // artifact fails the server at construction, not mid-query.
+    for (const std::string &path : opts.storePaths)
+        mountedStores.push_back(store::readArtifact(path));
 }
 
 Server::~Server() { shutdown(); }
@@ -983,6 +1004,11 @@ Server::route(const HttpRequest &req, std::string &request_id)
                 return methodNotAllowed("POST");
             return handleSweep(req, request_id);
         }
+        if (path == "/v1/query") {
+            if (req.method != "POST")
+                return methodNotAllowed("POST");
+            return handleQuery(req);
+        }
         if (path == "/v1/jobs") {
             if (req.method != "GET")
                 return methodNotAllowed("GET");
@@ -1229,6 +1255,29 @@ Server::handleJobList(const HttpRequest &req)
     return HttpResponse(200, out.dump(2) + "\n");
 }
 
+HttpResponse
+Server::handleQuery(const HttpRequest &req)
+{
+    if (mountedStores.empty()) {
+        return errorResponse(404,
+                             "no result stores mounted (start with "
+                             "--store <artifact>)");
+    }
+    const auto t0 = Clock::now();
+    // parseQuery fatals on malformed requests; route() maps that
+    // FatalError to the 400 every other endpoint uses.
+    const store::QueryRequest q = store::parseQuery(Json::parse(req.body));
+    std::vector<const store::Artifact *> stores;
+    stores.reserve(mountedStores.size());
+    for (const store::Artifact &a : mountedStores)
+        stores.push_back(&a);
+    const Json out = store::runQuery(stores, q);
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    metricsRegistry.count("dieirb_store_queries_total");
+    metricsRegistry.observe("dieirb_store_query_seconds", dt.count());
+    return HttpResponse(200, out.dump(2, /*full_precision=*/true) + "\n");
+}
+
 harness::Json
 Server::healthJson() const
 {
@@ -1243,6 +1292,16 @@ Server::healthJson() const
           static_cast<std::uint64_t>(jobQueue->outstanding()));
     j.set("workers", jobQueue->workers());
     j.set("busy", jobQueue->busyWorkers());
+    // Only present when stores are mounted, so the established health
+    // document shape is unchanged on store-less servers.
+    if (!mountedStores.empty()) {
+        std::size_t entries = 0;
+        for (const store::Artifact &a : mountedStores)
+            entries += a.entries.size();
+        j.set("stores",
+              static_cast<std::uint64_t>(mountedStores.size()));
+        j.set("store_entries", static_cast<std::uint64_t>(entries));
+    }
     return j;
 }
 
@@ -1276,6 +1335,26 @@ Server::handleMetrics()
             static_cast<double>(corePool.constructions()));
     m.gauge("dieirb_core_pool_reuses_total",
             static_cast<double>(corePool.reuses()));
+    std::size_t entries = 0, rawFiles = 0;
+    for (const store::Artifact &a : mountedStores) {
+        entries += a.entries.size();
+        rawFiles += a.rawFiles.size();
+    }
+    m.gauge("dieirb_store_artifacts",
+            static_cast<double>(mountedStores.size()));
+    m.gauge("dieirb_store_entries", static_cast<double>(entries));
+    m.gauge("dieirb_store_raw_files", static_cast<double>(rawFiles));
+    // The restore count lives in a process-wide atomic (the harness has
+    // no handle on the server); export the delta since the last scrape
+    // so the counter stays monotone even with concurrent scrapes.
+    const std::uint64_t restores = store::checkpointRestores();
+    const std::uint64_t prev = lastCkptRestores.exchange(restores);
+    if (restores > prev) {
+        m.count("dieirb_store_checkpoint_restores_total", "",
+                static_cast<double>(restores - prev));
+    } else {
+        m.count("dieirb_store_checkpoint_restores_total", "", 0.0);
+    }
 
     HttpResponse r(200, m.render());
     r.set("Content-Type", "text/plain; version=0.0.4; charset=utf-8");

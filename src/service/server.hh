@@ -10,6 +10,9 @@
  *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep;
  *                       `"stream": true` streams per-point NDJSON
  *                       results over a chunked response as they finish
+ *   POST /v1/query      filter/group-by/aggregate over mounted columnar
+ *                       result stores (ServerOptions::storePaths; see
+ *                       src/store/query.hh for the request shape)
  *   GET  /v1/jobs/<id>  async job status / result
  *   GET  /healthz       liveness + queue occupancy
  *   GET  /metrics       Prometheus text format
@@ -63,6 +66,7 @@
 #include "harness/core_pool.hh"
 #include "harness/sweep.hh"
 #include "service/http.hh"
+#include "store/query.hh"
 #include "service/job_queue.hh"
 #include "service/metrics.hh"
 #include "service/timer_wheel.hh"
@@ -89,6 +93,10 @@ struct ServerOptions
     std::string cacheDir;       //!< sweep.cache directory ("" = off)
     std::string modeName = "serve";  //!< healthz "mode" (serve vs coord)
     std::size_t jobHistory = 4096;   //!< finished JobRecords kept
+    /** Columnar store artifacts to mount read-only for /v1/query
+     *  (dieirb-serve --store; loaded once at construction, fatal() on a
+     *  missing or corrupt artifact). Empty = /v1/query answers 404. */
+    std::vector<std::string> storePaths;
 };
 
 class Server
@@ -265,6 +273,7 @@ class Server
                                 const std::string &request_id);
     HttpResponse handleSweep(const HttpRequest &req,
                              const std::string &request_id);
+    HttpResponse handleQuery(const HttpRequest &req);
     HttpResponse handleJobGet(const std::string &path);
     HttpResponse handleJobList(const HttpRequest &req);
     HttpResponse handleHealth(const HttpRequest &req);
@@ -277,6 +286,12 @@ class Server
     Hooks hooks;
     std::chrono::steady_clock::time_point startTime{};
     Metrics metricsRegistry;
+    /** Artifacts mounted at construction; immutable afterwards, so
+     *  dispatch threads may query them without locking. */
+    std::vector<store::Artifact> mountedStores;
+    /** checkpointRestores() value already folded into the counter at
+     *  the previous /metrics scrape (exchange-based delta export). */
+    std::atomic<std::uint64_t> lastCkptRestores{0};
     harness::CorePool corePool; //!< shared across all jobs and sweeps
     /** Declared after corePool: the queue's drain-on-destroy must run
      *  while the pool the workers draw from is still alive. */

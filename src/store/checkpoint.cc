@@ -1,0 +1,182 @@
+#include "store/checkpoint.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "store/codec.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+namespace
+{
+
+constexpr char ckptMagic[8] = {'D', 'I', 'R', 'B', 'C', 'K', 'P', 'T'};
+
+/** 4 GiB of pages: far beyond any real run, cheap corruption stop. */
+constexpr std::uint64_t maxCheckpointPages = std::uint64_t(1) << 20;
+
+std::atomic<std::uint64_t> restores{0};
+
+} // namespace
+
+std::uint64_t
+checkpointRestores()
+{
+    return restores.load(std::memory_order_relaxed);
+}
+
+void
+noteCheckpointRestore()
+{
+    restores.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+encodeCheckpoint(const ArchCheckpoint &ck)
+{
+    BitWriter payload;
+    payload.putVarint(ck.programFnv);
+    payload.putVarint(ck.insts);
+    payload.putVarint(ck.pc);
+    payload.putVarint(ck.out.size());
+    payload.putBytes(ck.out.data(), ck.out.size());
+    for (const RegVal v : ck.intRegs)
+        payload.putVarint(v);
+    for (const RegVal v : ck.fpRegs)
+        payload.putVarint(v);
+    payload.putVarint(ck.pages.size());
+    for (const CheckpointPage &page : ck.pages) {
+        payload.putVarint(page.pageNumber);
+        payload.putBytes(page.bytes.data(), page.bytes.size());
+    }
+    const std::string compressed = compress(payload.finish());
+
+    BitWriter out;
+    out.putBytes(ckptMagic, sizeof(ckptMagic));
+    out.putVarint(checkpointFormatVersion);
+    out.putVarint(compressed.size());
+    out.putBytes(compressed.data(), compressed.size());
+    out.putVarint(fnv1a64(compressed.data(), compressed.size()));
+    return out.finish();
+}
+
+ArchCheckpoint
+decodeCheckpoint(const std::string &bytes)
+{
+    BitReader r(bytes);
+    char magic[sizeof(ckptMagic)];
+    r.getBytes(magic, sizeof(magic));
+    fatal_if(std::memcmp(magic, ckptMagic, sizeof(magic)) != 0,
+             "checkpoint: bad magic (not a dieirb checkpoint file)");
+    const std::uint64_t version = r.getVarint();
+    fatal_if(version != checkpointFormatVersion,
+             "checkpoint: format version %llu (this build reads %u)",
+             static_cast<unsigned long long>(version),
+             checkpointFormatVersion);
+    const std::uint64_t clen = r.getVarint();
+    fatal_if(clen > bytes.size(),
+             "checkpoint: declared payload of %llu bytes in a %zu-byte "
+             "file",
+             static_cast<unsigned long long>(clen), bytes.size());
+    std::string compressed(clen, '\0');
+    r.getBytes(compressed.data(), compressed.size());
+    const std::uint64_t sum = r.getVarint();
+    fatal_if(sum != fnv1a64(compressed.data(), compressed.size()),
+             "checkpoint: payload checksum mismatch (corrupt file)");
+    fatal_if(r.bitsLeft() >= 8,
+             "checkpoint: %zu trailing bytes after the checksum",
+             r.bitsLeft() / 8);
+
+    const std::string payload = decompress(compressed);
+    BitReader p(payload);
+    ArchCheckpoint ck;
+    ck.programFnv = p.getVarint();
+    ck.insts = p.getVarint();
+    ck.pc = p.getVarint();
+    const std::uint64_t outLen = p.getVarint();
+    fatal_if(outLen > payload.size(),
+             "checkpoint: output length %llu exceeds the payload",
+             static_cast<unsigned long long>(outLen));
+    ck.out.resize(outLen);
+    p.getBytes(ck.out.data(), ck.out.size());
+    for (RegVal &v : ck.intRegs)
+        v = p.getVarint();
+    for (RegVal &v : ck.fpRegs)
+        v = p.getVarint();
+    const std::uint64_t pages = p.getVarint();
+    fatal_if(pages > maxCheckpointPages,
+             "checkpoint: absurd page count %llu",
+             static_cast<unsigned long long>(pages));
+    ck.pages.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        CheckpointPage page;
+        page.pageNumber = p.getVarint();
+        fatal_if(!ck.pages.empty() &&
+                     page.pageNumber <= ck.pages.back().pageNumber,
+                 "checkpoint: pages out of order");
+        page.bytes.resize(Memory::pageSize);
+        p.getBytes(page.bytes.data(), page.bytes.size());
+        ck.pages.push_back(std::move(page));
+    }
+    fatal_if(p.bitsLeft() >= 8,
+             "checkpoint: %zu trailing bytes after the last page",
+             p.bitsLeft() / 8);
+    return ck;
+}
+
+void
+saveCheckpoint(const std::string &path, const ArchCheckpoint &ck)
+{
+    const std::string bytes = encodeCheckpoint(ck);
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path());
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "checkpoint: cannot write %s", tmp.c_str());
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        fatal_if(!out, "checkpoint: short write to %s", tmp.c_str());
+    }
+    std::filesystem::rename(tmp, target);
+}
+
+ArchCheckpoint
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "checkpoint: cannot open %s", path.c_str());
+    std::ostringstream body;
+    body << in.rdbuf();
+    return decodeCheckpoint(body.str());
+}
+
+std::string
+checkpointKeyHex(std::uint64_t program_fnv, std::uint64_t insts)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(insts >> (8 * i));
+    const std::uint64_t key = fnv1a64(b, sizeof(b), program_fnv);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace store
+
+} // namespace direb

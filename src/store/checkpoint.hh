@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Checkpoint serialisation: the on-disk form of vm::ArchCheckpoint.
+ *
+ * Layout (all multi-byte fields little-endian / LEB128 varints):
+ *
+ *   magic    "DIRBCKPT"                     8 bytes
+ *   version  varint                         (checkpointFormatVersion)
+ *   clen     varint                         compressed payload bytes
+ *   payload  clen bytes                     store::compress() output
+ *   checksum varint                         FNV-1a 64 of the payload
+ *
+ * Decompressed payload:
+ *
+ *   programFnv, insts, pc                   varints
+ *   out                                     varint length + bytes
+ *   intRegs[32], fpRegs[32]                 varints (raw bit patterns)
+ *   pageCount                               varint
+ *   per page: pageNumber varint (strictly increasing) + 4096 raw bytes
+ *
+ * Every load path is hardened: magic/version/checksum mismatches,
+ * truncation, out-of-order pages and absurd page counts all raise
+ * FatalError — a corrupt checkpoint must never be silently applied.
+ */
+
+#ifndef DIREB_STORE_CHECKPOINT_HH
+#define DIREB_STORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "vm/checkpoint.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+constexpr std::uint32_t checkpointFormatVersion = 1;
+
+/** Serialise to the compressed, checksummed file format. */
+std::string encodeCheckpoint(const ArchCheckpoint &ck);
+
+/** Inverse of encodeCheckpoint(); FatalError on any corruption. */
+ArchCheckpoint decodeCheckpoint(const std::string &bytes);
+
+/** Write atomically (tmp + rename); fatal() on I/O failure. */
+void saveCheckpoint(const std::string &path, const ArchCheckpoint &ck);
+
+/** Read + decode; fatal() on I/O failure or corruption. */
+ArchCheckpoint loadCheckpoint(const std::string &path);
+
+/**
+ * Content address of a warm-start checkpoint: program image hash x
+ * prefix length, as the 16-hex-digit filename stem used inside a
+ * sweep.warmstart_dir cache.
+ */
+std::string checkpointKeyHex(std::uint64_t program_fnv,
+                             std::uint64_t insts);
+
+/**
+ * Process-wide count of checkpoints applied to cores (warm-starts and
+ * --restore runs); exported as dieirb_store_checkpoint_restores_total. @{
+ */
+std::uint64_t checkpointRestores();
+void noteCheckpointRestore();
+/** @} */
+
+} // namespace store
+
+} // namespace direb
+
+#endif // DIREB_STORE_CHECKPOINT_HH

@@ -1,0 +1,565 @@
+#include "store/codec.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------------
+// Bit streams
+// ---------------------------------------------------------------------------
+
+void
+BitWriter::flushAligned()
+{
+    while (fill >= 8) {
+        out.push_back(static_cast<char>(acc & 0xff));
+        acc >>= 8;
+        fill -= 8;
+    }
+}
+
+void
+BitWriter::putBits(std::uint64_t value, unsigned bits)
+{
+    panic_if(bits > 57, "BitWriter::putBits: %u bits per call", bits);
+    if (bits < 64)
+        value &= (std::uint64_t(1) << bits) - 1;
+    acc |= value << fill;
+    fill += bits;
+    flushAligned();
+}
+
+void
+BitWriter::putVarint(std::uint64_t value)
+{
+    do {
+        const std::uint8_t byte = value & 0x7f;
+        value >>= 7;
+        putBits(byte | (value ? 0x80 : 0), 8);
+    } while (value);
+}
+
+void
+BitWriter::putBytes(const void *data, std::size_t n)
+{
+    if (fill % 8 != 0)
+        putBits(0, 8 - fill % 8); // align
+    flushAligned();
+    out.append(static_cast<const char *>(data), n);
+}
+
+std::string
+BitWriter::finish()
+{
+    if (fill % 8 != 0)
+        putBits(0, 8 - fill % 8);
+    flushAligned();
+    return std::move(out);
+}
+
+std::uint64_t
+BitReader::getBits(unsigned bits)
+{
+    panic_if(bits > 57, "BitReader::getBits: %u bits per call", bits);
+    fatal_if(pos + bits > size * 8,
+             "store codec: truncated stream (want %u bits at bit %zu of "
+             "%zu bytes)",
+             bits, pos, size);
+    std::uint64_t v = 0;
+    unsigned got = 0;
+    while (got < bits) {
+        const std::size_t byte = (pos + got) >> 3;
+        const unsigned off = (pos + got) & 7;
+        const unsigned take = std::min(8 - off, bits - got);
+        const std::uint64_t chunk = (buf[byte] >> off) &
+                                    ((1u << take) - 1);
+        v |= chunk << got;
+        got += take;
+    }
+    pos += bits;
+    return v;
+}
+
+std::uint64_t
+BitReader::getVarint()
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const std::uint64_t byte = getBits(8);
+        fatal_if(shift >= 64 || (shift == 63 && (byte & 0x7f) > 1),
+                 "store codec: varint overflows 64 bits");
+        v |= (byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+void
+BitReader::getBytes(void *data, std::size_t n)
+{
+    if (pos % 8 != 0)
+        pos += 8 - pos % 8; // align, mirroring putBytes
+    fatal_if(pos / 8 + n > size,
+             "store codec: truncated stream (want %zu raw bytes at byte "
+             "%zu of %zu)",
+             n, pos / 8, size);
+    std::memcpy(data, buf + pos / 8, n);
+    pos += n * 8;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Compute Huffman code lengths for @p freq by pairing the two lightest
+ * live nodes (simple O(n^2) selection — alphabets here are <= 512
+ * symbols, so table build time is noise next to the byte loops).
+ */
+std::vector<std::uint8_t>
+huffmanLengths(const std::vector<std::uint64_t> &freq)
+{
+    const unsigned n = static_cast<unsigned>(freq.size());
+    struct Node
+    {
+        std::uint64_t weight;
+        int parent = -1;
+        bool live = false;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(2 * n);
+    unsigned liveCount = 0;
+    for (unsigned s = 0; s < n; ++s) {
+        Node nd;
+        nd.weight = freq[s];
+        nd.live = freq[s] > 0;
+        liveCount += nd.live ? 1 : 0;
+        nodes.push_back(nd);
+    }
+    std::vector<std::uint8_t> len(n, 0);
+    if (liveCount == 0)
+        return len;
+    if (liveCount == 1) {
+        for (unsigned s = 0; s < n; ++s)
+            len[s] = freq[s] ? 1 : 0;
+        return len;
+    }
+
+    for (;;) {
+        int a = -1, b = -1;
+        for (unsigned i = 0; i < nodes.size(); ++i) {
+            if (!nodes[i].live)
+                continue;
+            if (a < 0 || nodes[i].weight < nodes[a].weight) {
+                b = a;
+                a = static_cast<int>(i);
+            } else if (b < 0 || nodes[i].weight < nodes[b].weight) {
+                b = static_cast<int>(i);
+            }
+        }
+        if (b < 0)
+            break; // one live root left: done
+        Node parent;
+        parent.weight = nodes[a].weight + nodes[b].weight;
+        parent.live = true;
+        nodes[a].live = nodes[b].live = false;
+        nodes[a].parent = nodes[b].parent =
+            static_cast<int>(nodes.size());
+        nodes.push_back(parent);
+    }
+
+    for (unsigned s = 0; s < n; ++s) {
+        if (!freq[s])
+            continue;
+        unsigned depth = 0;
+        for (int i = nodes[s].parent; i >= 0; i = nodes[i].parent)
+            ++depth;
+        len[s] = static_cast<std::uint8_t>(depth);
+    }
+    return len;
+}
+
+} // namespace
+
+Huffman
+Huffman::fromFrequencies(const std::uint64_t *freq, unsigned symbols)
+{
+    panic_if(symbols == 0 || symbols > 512,
+             "Huffman: alphabet of %u symbols", symbols);
+    std::vector<std::uint64_t> f(freq, freq + symbols);
+
+    // Depth-limit by scaling: halving (and keeping live symbols at
+    // >= 1) flattens the distribution; in the limit all weights are 1
+    // and the tree is balanced (depth <= 10 for <= 512 symbols).
+    for (;;) {
+        const std::vector<std::uint8_t> lens = huffmanLengths(f);
+        const std::uint8_t deepest =
+            *std::max_element(lens.begin(), lens.end());
+        if (deepest <= maxCodeLen) {
+            Huffman h;
+            h.symbols = symbols;
+            h.len = lens;
+            h.buildCanonical();
+            return h;
+        }
+        for (auto &w : f) {
+            if (w)
+                w = w / 2 + 1;
+        }
+    }
+}
+
+Huffman
+Huffman::fromLengths(const std::uint8_t *lengths, unsigned symbols)
+{
+    panic_if(symbols == 0 || symbols > 512,
+             "Huffman: alphabet of %u symbols", symbols);
+    Huffman h;
+    h.symbols = symbols;
+    h.len.assign(lengths, lengths + symbols);
+    for (const std::uint8_t l : h.len) {
+        fatal_if(l > maxCodeLen,
+                 "store codec: Huffman code length %u exceeds %u", l,
+                 maxCodeLen);
+    }
+    h.buildCanonical();
+    return h;
+}
+
+void
+Huffman::buildCanonical()
+{
+    // Kraft check first: a corrupted length table must be rejected, not
+    // turned into an ambiguous decoder.
+    std::array<std::uint32_t, maxCodeLen + 1> countAt{};
+    unsigned live = 0;
+    for (unsigned s = 0; s < symbols; ++s) {
+        if (len[s]) {
+            ++countAt[len[s]];
+            ++live;
+        }
+    }
+    if (live == 0) {
+        fatal("store codec: Huffman table has no symbols");
+    } else if (live > 1) {
+        std::uint64_t kraft = 0;
+        for (unsigned l = 1; l <= maxCodeLen; ++l)
+            kraft += std::uint64_t(countAt[l])
+                     << (maxCodeLen - l);
+        fatal_if(kraft != (std::uint64_t(1) << maxCodeLen),
+                 "store codec: invalid Huffman table (Kraft sum "
+                 "mismatch)");
+    }
+
+    // Canonical assignment: symbols sorted by (length, symbol).
+    sorted.clear();
+    sorted.reserve(live);
+    for (unsigned l = 1; l <= maxCodeLen; ++l) {
+        for (unsigned s = 0; s < symbols; ++s) {
+            if (len[s] == l)
+                sorted.push_back(static_cast<std::uint16_t>(s));
+        }
+    }
+
+    code.assign(symbols, 0);
+    std::uint32_t next = 0;
+    std::uint32_t index = 0;
+    firstCode.fill(0);
+    firstIndex.fill(0);
+    liveAt.fill(0);
+    for (unsigned l = 1; l <= maxCodeLen; ++l) {
+        firstCode[l] = next;
+        firstIndex[l] = index;
+        liveAt[l] = countAt[l];
+        for (unsigned s = 0; s < symbols; ++s) {
+            if (len[s] != l)
+                continue;
+            // Codes are emitted LSB-first, so store the bit-reversed
+            // canonical code: the decoder reads bits in the same order.
+            std::uint32_t c = next++;
+            std::uint32_t rev = 0;
+            for (unsigned b = 0; b < l; ++b) {
+                rev = (rev << 1) | (c & 1);
+                c >>= 1;
+            }
+            code[s] = static_cast<std::uint16_t>(rev);
+            ++index;
+        }
+        next <<= 1;
+    }
+}
+
+unsigned
+Huffman::decode(BitReader &r) const
+{
+    std::uint32_t acc = 0;
+    for (unsigned l = 1; l <= maxCodeLen; ++l) {
+        acc = (acc << 1) | static_cast<std::uint32_t>(r.getBits(1));
+        if (!liveAt[l])
+            continue;
+        const std::uint32_t offset = acc - firstCode[l];
+        if (acc >= firstCode[l] && offset < liveAt[l])
+            return sorted[firstIndex[l] + offset];
+    }
+    fatal("store codec: invalid Huffman code in stream");
+}
+
+// ---------------------------------------------------------------------------
+// LZ77 + Huffman block format
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+constexpr unsigned lzMinMatch = 4;
+constexpr unsigned lzMaxMatch = 1u << 16;
+constexpr std::size_t lzWindow = std::size_t(1) << 20;
+constexpr unsigned lzHashBits = 16;
+constexpr unsigned lzChainDepth = 32;
+constexpr unsigned eobSymbol = 256; //!< end-of-block in the token alphabet
+
+constexpr std::uint8_t methodStored = 0;
+constexpr std::uint8_t methodLzHuff = 1;
+
+std::uint32_t
+lzHash(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - lzHashBits);
+}
+
+/**
+ * Greedy LZ77 parse of @p raw into a byte-oriented token stream:
+ *   varint litRunLen, <litRunLen literal bytes>,
+ *   varint matchLen (0 terminates the stream), varint matchDist, ...
+ * Every byte of the token stream then goes through one Huffman table.
+ */
+std::string
+lzTokenize(const std::string &raw)
+{
+    const auto *data =
+        reinterpret_cast<const std::uint8_t *>(raw.data());
+    const std::size_t n = raw.size();
+
+    std::string tokens;
+    tokens.reserve(n / 2 + 16);
+    const auto putVar = [&tokens](std::uint64_t v) {
+        do {
+            const std::uint8_t b = v & 0x7f;
+            v >>= 7;
+            tokens.push_back(static_cast<char>(b | (v ? 0x80 : 0)));
+        } while (v);
+    };
+
+    std::vector<std::int64_t> head(std::size_t(1) << lzHashBits, -1);
+    std::vector<std::int64_t> chain(n, -1);
+
+    std::size_t litStart = 0;
+    std::size_t i = 0;
+    const auto flushLiterals = [&](std::size_t end) {
+        putVar(end - litStart);
+        tokens.append(raw, litStart, end - litStart);
+    };
+
+    while (i < n) {
+        std::size_t bestLen = 0;
+        std::size_t bestDist = 0;
+        if (i + lzMinMatch <= n) {
+            const std::uint32_t h = lzHash(data + i);
+            std::int64_t cand = head[h];
+            unsigned depth = 0;
+            while (cand >= 0 && depth < lzChainDepth &&
+                   i - static_cast<std::size_t>(cand) <= lzWindow) {
+                const std::size_t c = static_cast<std::size_t>(cand);
+                std::size_t l = 0;
+                const std::size_t lim =
+                    std::min<std::size_t>(n - i, lzMaxMatch);
+                while (l < lim && data[c + l] == data[i + l])
+                    ++l;
+                if (l > bestLen) {
+                    bestLen = l;
+                    bestDist = i - c;
+                }
+                cand = chain[c];
+                ++depth;
+            }
+            chain[i] = head[h];
+            head[h] = static_cast<std::int64_t>(i);
+        }
+
+        if (bestLen >= lzMinMatch) {
+            flushLiterals(i);
+            putVar(bestLen);
+            putVar(bestDist);
+            // Index the skipped positions so later matches can start
+            // inside this one (cap the work on long runs).
+            const std::size_t stop =
+                std::min(i + bestLen, n >= lzMinMatch ? n - lzMinMatch + 1
+                                                      : std::size_t(0));
+            for (std::size_t j = i + 1;
+                 j < stop && j < i + 64; ++j) {
+                const std::uint32_t h2 = lzHash(data + j);
+                chain[j] = head[h2];
+                head[h2] = static_cast<std::int64_t>(j);
+            }
+            i += bestLen;
+            litStart = i;
+        } else {
+            ++i;
+        }
+    }
+    flushLiterals(n);
+    putVar(0); // terminator
+    return tokens;
+}
+
+} // namespace
+
+std::string
+compress(const std::string &raw)
+{
+    const std::string tokens = lzTokenize(raw);
+
+    // Entropy stage over the token bytes + explicit end-of-block.
+    std::uint64_t freq[257] = {};
+    for (const char c : tokens)
+        ++freq[static_cast<std::uint8_t>(c)];
+    freq[eobSymbol] = 1;
+    const Huffman huff = Huffman::fromFrequencies(freq, 257);
+
+    BitWriter w;
+    w.putBits(methodLzHuff, 8);
+    w.putVarint(raw.size());
+    // 257 4-bit code lengths, packed two per byte.
+    const std::uint8_t *lens = huff.lengths();
+    for (unsigned s = 0; s < 257; s += 2) {
+        const std::uint8_t hi = s + 1 < 257 ? lens[s + 1] : 0;
+        w.putBits(lens[s] | (hi << 4), 8);
+    }
+    for (const char c : tokens)
+        huff.encode(w, static_cast<std::uint8_t>(c));
+    huff.encode(w, eobSymbol);
+    std::string block = w.finish();
+
+    if (block.size() >= raw.size() + 2) {
+        BitWriter stored;
+        stored.putBits(methodStored, 8);
+        stored.putVarint(raw.size());
+        stored.putBytes(raw.data(), raw.size());
+        block = stored.finish();
+    }
+    return block;
+}
+
+std::string
+decompress(const std::string &block, std::size_t max_raw_size)
+{
+    BitReader r(block);
+    const std::uint64_t method = r.getBits(8);
+    const std::uint64_t rawSize = r.getVarint();
+    fatal_if(rawSize > max_raw_size,
+             "store codec: declared size %llu exceeds the %zu-byte limit",
+             static_cast<unsigned long long>(rawSize), max_raw_size);
+
+    if (method == methodStored) {
+        std::string raw(rawSize, '\0');
+        r.getBytes(raw.data(), raw.size());
+        return raw;
+    }
+    fatal_if(method != methodLzHuff,
+             "store codec: unknown block method %llu",
+             static_cast<unsigned long long>(method));
+
+    std::uint8_t lens[257];
+    for (unsigned s = 0; s < 257; s += 2) {
+        const std::uint64_t packed = r.getBits(8);
+        lens[s] = packed & 0x0f;
+        if (s + 1 < 257)
+            lens[s + 1] = (packed >> 4) & 0x0f;
+    }
+    const Huffman huff = Huffman::fromLengths(lens, 257);
+
+    // Decode the token stream and replay it in one pass.
+    const auto tokenByte = [&]() -> std::uint8_t {
+        const unsigned sym = huff.decode(r);
+        fatal_if(sym == eobSymbol,
+                 "store codec: unexpected end-of-block inside a token");
+        return static_cast<std::uint8_t>(sym);
+    };
+    const auto tokenVarint = [&]() -> std::uint64_t {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            const std::uint8_t b = tokenByte();
+            fatal_if(shift >= 64, "store codec: token varint overflow");
+            v |= std::uint64_t(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+        }
+    };
+
+    std::string raw;
+    raw.reserve(rawSize);
+    for (;;) {
+        const std::uint64_t litLen = tokenVarint();
+        fatal_if(raw.size() + litLen > rawSize,
+                 "store codec: literal run overflows the declared size");
+        for (std::uint64_t i = 0; i < litLen; ++i)
+            raw.push_back(static_cast<char>(tokenByte()));
+        const std::uint64_t matchLen = tokenVarint();
+        if (matchLen == 0)
+            break;
+        const std::uint64_t dist = tokenVarint();
+        fatal_if(matchLen < lzMinMatch || matchLen > lzMaxMatch,
+                 "store codec: match length %llu out of range",
+                 static_cast<unsigned long long>(matchLen));
+        fatal_if(dist == 0 || dist > raw.size(),
+                 "store codec: match distance %llu outside the window "
+                 "(%zu bytes decoded)",
+                 static_cast<unsigned long long>(dist), raw.size());
+        fatal_if(raw.size() + matchLen > rawSize,
+                 "store codec: match overflows the declared size");
+        // Byte-by-byte on purpose: overlapping matches (dist < len)
+        // replicate the most recent bytes, RLE-style.
+        const std::size_t start = raw.size() - dist;
+        for (std::uint64_t i = 0; i < matchLen; ++i)
+            raw.push_back(raw[start + i]);
+    }
+    const unsigned tail = huff.decode(r);
+    fatal_if(tail != eobSymbol,
+             "store codec: missing end-of-block marker");
+    fatal_if(raw.size() != rawSize,
+             "store codec: decoded %zu bytes, header declared %llu",
+             raw.size(), static_cast<unsigned long long>(rawSize));
+    return raw;
+}
+
+} // namespace store
+
+} // namespace direb

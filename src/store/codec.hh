@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Dependency-free bit-stream and entropy-coding primitives shared by the
+ * columnar sweep-result store and the architectural-checkpoint files.
+ *
+ * Three layers, each usable on its own:
+ *
+ *  - BitWriter / BitReader: LSB-first bit packing over a byte string,
+ *    plus LEB128 varints and zigzag mapping for signed deltas. The
+ *    reader is hardened for untrusted input: every read is
+ *    bounds-checked and raises FatalError past the end — never UB.
+ *
+ *  - Huffman: a canonical, length-limited (<= 15 bit) Huffman coder
+ *    over a 256-symbol byte alphabet plus an explicit end-of-block
+ *    symbol. Code lengths are stored as 4-bit nibbles, so the table
+ *    costs a fixed 129 bytes in the stream and decode tables rebuild
+ *    deterministically on any host.
+ *
+ *  - compress() / decompress(): the block format every store artifact
+ *    section and checkpoint payload goes through — greedy LZ77 with a
+ *    1 MiB window over the raw bytes, the token stream then entropy
+ *    coded with one Huffman table. Incompressible input falls back to
+ *    stored bytes, so compress() never expands by more than the small
+ *    fixed header. decompress() validates the declared raw size, every
+ *    match offset/length and the Huffman tables, and fails with
+ *    FatalError on any inconsistency — corrupt input must never crash
+ *    or silently return partial data.
+ */
+
+#ifndef DIREB_STORE_CODEC_HH
+#define DIREB_STORE_CODEC_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace direb
+{
+
+namespace store
+{
+
+/** FNV-1a 64 over @p n bytes (the artifact section checksum). */
+std::uint64_t fnv1a64(const void *data, std::size_t n,
+                      std::uint64_t seed = 1469598103934665603ULL);
+
+/** Zigzag mapping: small-magnitude signed values become small varints. @{ */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+/** @} */
+
+/** LSB-first bit packer over a growable byte string. */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits of @p value (bits <= 57 per call). */
+    void putBits(std::uint64_t value, unsigned bits);
+
+    /** Append one LEB128 varint (7 value bits per byte). */
+    void putVarint(std::uint64_t value);
+
+    /** Byte-align, then append @p n raw bytes. */
+    void putBytes(const void *data, std::size_t n);
+
+    /** Pad the tail bits with zeros and return the finished buffer. */
+    std::string finish();
+
+    std::size_t bitCount() const { return out.size() * 8 + fill; }
+
+  private:
+    void flushAligned();
+
+    std::string out;
+    std::uint64_t acc = 0;
+    unsigned fill = 0; //!< bits currently buffered in acc
+};
+
+/**
+ * Bounds-checked LSB-first bit reader over an immutable byte buffer.
+ * Every overrun raises FatalError ("truncated stream"), so a corrupted
+ * or maliciously short input fails loudly at the exact read.
+ */
+class BitReader
+{
+  public:
+    BitReader(const void *data, std::size_t n)
+        : buf(static_cast<const std::uint8_t *>(data)), size(n)
+    {}
+    explicit BitReader(const std::string &bytes)
+        : BitReader(bytes.data(), bytes.size())
+    {}
+
+    std::uint64_t getBits(unsigned bits);
+    std::uint64_t getVarint();
+
+    /** Byte-align, then copy @p n raw bytes out. */
+    void getBytes(void *data, std::size_t n);
+
+    /** Bits not yet consumed (for end-of-stream assertions). */
+    std::size_t bitsLeft() const { return size * 8 - pos; }
+
+  private:
+    const std::uint8_t *buf;
+    std::size_t size;
+    std::size_t pos = 0; //!< in bits
+};
+
+/**
+ * Canonical Huffman code over @p symbols symbols, depth-limited to
+ * maxCodeLen bits by frequency scaling. Symbols with zero frequency get
+ * no code; a degenerate alphabet (<= 1 live symbol) is handled with a
+ * 1-bit code so the stream shape stays uniform.
+ */
+class Huffman
+{
+  public:
+    static constexpr unsigned maxCodeLen = 15;
+
+    /** Build from symbol frequencies (size = alphabet size, <= 512). */
+    static Huffman fromFrequencies(const std::uint64_t *freq,
+                                   unsigned symbols);
+
+    /** Rebuild from the code lengths read back out of a stream. */
+    static Huffman fromLengths(const std::uint8_t *lengths,
+                               unsigned symbols);
+
+    /** Write one symbol's code. */
+    void
+    encode(BitWriter &w, unsigned symbol) const
+    {
+        w.putBits(code[symbol], len[symbol]);
+    }
+
+    /** Read one symbol (FatalError on an invalid code). */
+    unsigned decode(BitReader &r) const;
+
+    /** Per-symbol code lengths, 0 = unused (for serialisation). */
+    const std::uint8_t *lengths() const { return len.data(); }
+    unsigned alphabet() const { return symbols; }
+
+  private:
+    void buildCanonical();
+
+    unsigned symbols = 0;
+    std::vector<std::uint8_t> len;
+    std::vector<std::uint16_t> code;
+    /** Canonical decode state: per length, first code + symbol base. @{ */
+    std::array<std::uint32_t, maxCodeLen + 2> firstCode{};
+    std::array<std::uint32_t, maxCodeLen + 2> firstIndex{};
+    std::array<std::uint32_t, maxCodeLen + 2> liveAt{};
+    std::vector<std::uint16_t> sorted; //!< symbols in canonical order
+    /** @} */
+};
+
+/**
+ * Compress @p raw: LZ77 token stream, Huffman entropy stage, stored
+ * fallback when that would expand. The result is self-describing and
+ * host-independent.
+ */
+std::string compress(const std::string &raw);
+
+/**
+ * Inverse of compress(). FatalError on any corruption: bad method byte,
+ * truncated stream, invalid Huffman table, out-of-window match, or a
+ * decoded size that disagrees with the header. @p max_raw_size bounds
+ * the allocation a hostile header can demand.
+ */
+std::string decompress(const std::string &block,
+                       std::size_t max_raw_size = std::size_t(1) << 32);
+
+} // namespace store
+
+} // namespace direb
+
+#endif // DIREB_STORE_CODEC_HH

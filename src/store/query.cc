@@ -1,0 +1,269 @@
+#include "store/query.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+using harness::Json;
+using harness::SweepResult;
+
+namespace
+{
+
+const char *const allAggs[] = {"count", "min",     "max",
+                               "mean",  "geomean", "sum"};
+
+bool
+knownAgg(const std::string &name)
+{
+    for (const char *a : allAggs) {
+        if (name == a)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Extract the requested metric from one entry; false when the entry
+ * does not carry it (only possible for stats.<key> metrics).
+ */
+bool
+metricValue(const SweepResult &res, const std::string &metric, double &out)
+{
+    if (metric == "ipc") {
+        out = res.sim.core.ipc;
+    } else if (metric == "cycles") {
+        out = static_cast<double>(res.sim.core.cycles);
+    } else if (metric == "arch_insts") {
+        out = static_cast<double>(res.sim.core.archInsts);
+    } else if (metric == "ruu_entries") {
+        out = static_cast<double>(res.sim.core.ruuEntriesCommitted);
+    } else if (metric == "attempts") {
+        out = res.attempts;
+    } else if (metric == "warmstart_insts") {
+        out = static_cast<double>(res.sim.warmstartInsts);
+    } else { // validated to start with "stats." by parseQuery
+        const auto it = res.sim.stats.find(metric.substr(6));
+        if (it == res.sim.stats.end())
+            return false;
+        out = it->second;
+    }
+    return true;
+}
+
+/** The k-th '/'-separated component of @p name ("" when missing). */
+std::string
+nameComponent(const std::string &name, unsigned k)
+{
+    std::size_t begin = 0;
+    for (unsigned i = 0; i < k; ++i) {
+        const std::size_t slash = name.find('/', begin);
+        if (slash == std::string::npos)
+            return "";
+        begin = slash + 1;
+    }
+    const std::size_t end = name.find('/', begin);
+    return name.substr(begin, end == std::string::npos ? std::string::npos
+                                                       : end - begin);
+}
+
+std::string
+groupKey(const SweepResult &res, const std::string &group_by)
+{
+    if (group_by.empty())
+        return "";
+    if (group_by == "status")
+        return harness::pointStatusName(res.status);
+    if (group_by == "name")
+        return res.name;
+    // validated shape "name:<k>" by parseQuery
+    const unsigned k =
+        static_cast<unsigned>(std::stoul(group_by.substr(5)));
+    return nameComponent(res.name, k);
+}
+
+} // namespace
+
+QueryRequest
+parseQuery(const Json &body)
+{
+    fatal_if(!body.isObject(), "query: request body must be an object");
+    QueryRequest req;
+
+    const Json *metric = body.find("metric");
+    fatal_if(!metric || !metric->isString(),
+             "query: 'metric' (string) is required");
+    req.metric = metric->asString();
+    const bool builtin = req.metric == "ipc" || req.metric == "cycles" ||
+                         req.metric == "arch_insts" ||
+                         req.metric == "ruu_entries" ||
+                         req.metric == "attempts" ||
+                         req.metric == "warmstart_insts";
+    fatal_if(!builtin && (req.metric.rfind("stats.", 0) != 0 ||
+                          req.metric.size() <= 6),
+             "query: unknown metric '%s' (want ipc, cycles, arch_insts, "
+             "ruu_entries, attempts, warmstart_insts or stats.<key>)",
+             req.metric.c_str());
+
+    if (const Json *filter = body.find("filter")) {
+        fatal_if(!filter->isObject(), "query: 'filter' must be an object");
+        const auto str = [filter](const char *key) -> std::string {
+            const Json *v = filter->find(key);
+            if (!v)
+                return "";
+            fatal_if(!v->isString(), "query: filter.%s must be a string",
+                     key);
+            return v->asString();
+        };
+        req.filterStatus = str("status");
+        req.namePrefix = str("name_prefix");
+        req.nameContains = str("name_contains");
+        fatal_if(!req.filterStatus.empty() &&
+                     req.filterStatus != "ok" &&
+                     req.filterStatus != "timeout" &&
+                     req.filterStatus != "error" &&
+                     req.filterStatus != "cancelled",
+                 "query: unknown filter.status '%s'",
+                 req.filterStatus.c_str());
+        for (std::size_t i = 0; i < filter->size(); ++i) {
+            const std::string &name = filter->memberName(i);
+            fatal_if(name != "status" && name != "name_prefix" &&
+                         name != "name_contains",
+                     "query: unknown filter member '%s'", name.c_str());
+        }
+    }
+
+    if (const Json *group = body.find("group_by")) {
+        fatal_if(!group->isString(), "query: 'group_by' must be a string");
+        req.groupBy = group->asString();
+        if (!req.groupBy.empty() && req.groupBy != "status" &&
+            req.groupBy != "name") {
+            bool ok = req.groupBy.rfind("name:", 0) == 0 &&
+                      req.groupBy.size() > 5;
+            for (std::size_t i = 5; ok && i < req.groupBy.size(); ++i)
+                ok = req.groupBy[i] >= '0' && req.groupBy[i] <= '9';
+            fatal_if(!ok,
+                     "query: unknown group_by '%s' (want \"\", status, "
+                     "name or name:<k>)",
+                     req.groupBy.c_str());
+        }
+    }
+
+    if (const Json *aggs = body.find("aggs")) {
+        fatal_if(!aggs->isArray() || aggs->size() == 0,
+                 "query: 'aggs' must be a non-empty array");
+        for (std::size_t i = 0; i < aggs->size(); ++i) {
+            const Json &a = aggs->at(i);
+            fatal_if(!a.isString() || !knownAgg(a.asString()),
+                     "query: unknown aggregate (want count, min, max, "
+                     "mean, geomean or sum)");
+            req.aggs.push_back(a.asString());
+        }
+    }
+
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        const std::string &name = body.memberName(i);
+        fatal_if(name != "metric" && name != "filter" &&
+                     name != "group_by" && name != "aggs",
+                 "query: unknown request member '%s'", name.c_str());
+    }
+    return req;
+}
+
+Json
+runQuery(const std::vector<const Artifact *> &stores,
+         const QueryRequest &req)
+{
+    std::size_t points = 0, matched = 0, missing = 0, raw = 0;
+    std::map<std::string, std::vector<double>> groups;
+    for (const Artifact *art : stores) {
+        raw += art->rawFiles.size();
+        for (const StoredEntry &e : art->entries) {
+            ++points;
+            const SweepResult &res = e.result;
+            if (!req.filterStatus.empty() &&
+                req.filterStatus != harness::pointStatusName(res.status))
+                continue;
+            if (!req.namePrefix.empty() &&
+                res.name.rfind(req.namePrefix, 0) != 0)
+                continue;
+            if (!req.nameContains.empty() &&
+                res.name.find(req.nameContains) == std::string::npos)
+                continue;
+            double v;
+            if (!metricValue(res, req.metric, v)) {
+                ++missing;
+                continue;
+            }
+            ++matched;
+            groups[groupKey(res, req.groupBy)].push_back(v);
+        }
+    }
+
+    const std::vector<std::string> aggs =
+        req.aggs.empty()
+            ? std::vector<std::string>(std::begin(allAggs),
+                                       std::end(allAggs))
+            : req.aggs;
+
+    Json out = Json::object();
+    out.set("metric", req.metric);
+    out.set("group_by", req.groupBy);
+    out.set("points", points);
+    out.set("matched", matched);
+    out.set("missing_metric", missing);
+    out.set("skipped_raw_files", raw);
+    Json garr = Json::array();
+    for (const auto &[key, vals] : groups) {
+        Json g = Json::object();
+        g.set("key", key);
+        double mn = vals[0], mx = vals[0], sum = 0.0, logsum = 0.0;
+        bool positive = true;
+        for (const double v : vals) {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+            sum += v;
+            if (v > 0.0)
+                logsum += std::log(v);
+            else
+                positive = false;
+        }
+        for (const std::string &agg : aggs) {
+            if (agg == "count")
+                g.set("count", vals.size());
+            else if (agg == "min")
+                g.set("min", mn);
+            else if (agg == "max")
+                g.set("max", mx);
+            else if (agg == "mean")
+                g.set("mean", sum / static_cast<double>(vals.size()));
+            else if (agg == "sum")
+                g.set("sum", sum);
+            else if (agg == "geomean") {
+                // Geometric mean is only meaningful over positive
+                // values; null marks a group where it is undefined.
+                if (positive)
+                    g.set("geomean",
+                          std::exp(logsum /
+                                   static_cast<double>(vals.size())));
+                else
+                    g.set("geomean", Json());
+            }
+        }
+        garr.push(std::move(g));
+    }
+    out.set("groups", std::move(garr));
+    return out;
+}
+
+} // namespace store
+
+} // namespace direb

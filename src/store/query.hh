@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Aggregation queries over store artifacts: the engine behind the
+ * dieirb-serve /v1/query endpoint and the dieirb-store tool.
+ *
+ * Request shape (JSON body of POST /v1/query):
+ *
+ *   {
+ *     "metric":   "ipc",            // required — see metric names below
+ *     "filter":   {                 // optional, all members optional
+ *       "status":        "ok",      // exact PointStatus name
+ *       "name_prefix":   "fig7/",
+ *       "name_contains": "rb8"
+ *     },
+ *     "group_by": "name:1",         // optional; "" = one global group
+ *     "aggs":     ["mean","max"]    // optional; default = all of them
+ *   }
+ *
+ * Metrics: ipc, cycles, arch_insts, ruu_entries, attempts,
+ * warmstart_insts, or stats.<key> for any flattened statistic. Entries
+ * lacking the stat are skipped and counted in missing_metric.
+ *
+ * group_by: "" (everything in one group), "status", "name" (full point
+ * name), or "name:<k>" — the k-th '/'-separated component of the point
+ * name (missing component = empty key), which is how sweep points
+ * encode their matrix axes ("fig7/lat2/rb8/ammp" etc.).
+ *
+ * Aggregates: count, min, max, mean, geomean, sum. geomean is null
+ * unless every value in the group is positive.
+ *
+ * parseQuery() fatals (FatalError -> HTTP 400) on malformed requests;
+ * runQuery() never fails on data, only skips (and counts) what does
+ * not match.
+ */
+
+#ifndef DIREB_STORE_QUERY_HH
+#define DIREB_STORE_QUERY_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "store/store.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+/** A parsed /v1/query request. */
+struct QueryRequest
+{
+    std::string metric;
+    std::string filterStatus;   //!< "" = any
+    std::string namePrefix;     //!< "" = any
+    std::string nameContains;   //!< "" = any
+    std::string groupBy;        //!< "", "status", "name" or "name:<k>"
+    std::vector<std::string> aggs; //!< validated; empty = all
+};
+
+/** Validate @p body into a QueryRequest; fatal() on anything malformed. */
+QueryRequest parseQuery(const harness::Json &body);
+
+/**
+ * Run @p req over every entry of @p stores and return the response
+ * document: metric/group_by echoes, points / matched / missing_metric /
+ * skipped_raw_files counts, and a "groups" array (sorted by key) with
+ * the requested aggregates per group.
+ */
+harness::Json runQuery(const std::vector<const Artifact *> &stores,
+                       const QueryRequest &req);
+
+} // namespace store
+
+} // namespace direb
+
+#endif // DIREB_STORE_QUERY_HH

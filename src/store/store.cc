@@ -1,0 +1,524 @@
+#include "store/store.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "store/codec.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+using harness::PointStatus;
+using harness::SweepResult;
+
+namespace
+{
+
+constexpr char storeMagic[8] = {'D', 'I', 'R', 'B', 'S', 'T', 'O', 'R'};
+
+constexpr std::uint64_t sectionColumnar = 0;
+constexpr std::uint64_t sectionRawFiles = 1;
+
+/** Stats-column type bytes. */
+constexpr std::uint64_t statIntegral = 0; //!< delta + zigzag varints
+constexpr std::uint64_t statDouble = 1;   //!< raw 8-byte bit patterns
+
+void
+putString(BitWriter &w, const std::string &s)
+{
+    w.putVarint(s.size());
+    w.putBytes(s.data(), s.size());
+}
+
+/**
+ * Read a string whose declared length must fit inside the payload —
+ * bounding BEFORE the resize turns a hostile length into FatalError
+ * instead of a gigantic allocation.
+ */
+std::string
+getString(BitReader &r, std::size_t bound)
+{
+    const std::uint64_t len = r.getVarint();
+    fatal_if(len > bound, "store: string length %llu exceeds the payload",
+             static_cast<unsigned long long>(len));
+    std::string s(len, '\0');
+    r.getBytes(s.data(), s.size());
+    return s;
+}
+
+void
+putDouble(BitWriter &w, double v)
+{
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(bits >> (8 * i));
+    w.putBytes(b, sizeof(b));
+}
+
+double
+getDouble(BitReader &r)
+{
+    unsigned char b[8];
+    r.getBytes(b, sizeof(b));
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return std::bit_cast<double>(bits);
+}
+
+/**
+ * Delta + zigzag a u64 column: deltas wrap in unsigned arithmetic (so
+ * no overflow UB regardless of value order) and zigzag keeps small
+ * negative deltas short. @{
+ */
+void
+putDeltaColumn(BitWriter &w, const std::vector<std::uint64_t> &col)
+{
+    std::uint64_t prev = 0;
+    for (const std::uint64_t v : col) {
+        w.putVarint(zigzagEncode(static_cast<std::int64_t>(v - prev)));
+        prev = v;
+    }
+}
+
+std::vector<std::uint64_t>
+getDeltaColumn(BitReader &r, std::size_t n)
+{
+    std::vector<std::uint64_t> col(n);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        prev += static_cast<std::uint64_t>(zigzagDecode(r.getVarint()));
+        col[i] = prev;
+    }
+    return col;
+}
+/** @} */
+
+/**
+ * True when @p v survives a double->int64->double round trip with the
+ * exact bit pattern — which excludes NaN, infinities, -0.0, fractions
+ * and out-of-range magnitudes, everything the integral column encoding
+ * could not restore bit-identically.
+ */
+bool
+integralBits(double v)
+{
+    if (v < -9.2e18 || v > 9.2e18)
+        return false;
+    const auto i = static_cast<std::int64_t>(v);
+    return std::bit_cast<std::uint64_t>(static_cast<double>(i)) ==
+           std::bit_cast<std::uint64_t>(v);
+}
+
+void
+putCore(BitWriter &w, const CoreResult &cr)
+{
+    w.putBits(static_cast<std::uint64_t>(cr.stop) & 0xff, 8);
+    w.putVarint(cr.cycles);
+    w.putVarint(cr.archInsts);
+    w.putVarint(cr.ruuEntriesCommitted);
+    putDouble(w, cr.ipc);
+}
+
+CoreResult
+getCore(BitReader &r)
+{
+    CoreResult cr;
+    cr.stop = static_cast<StopReason>(r.getBits(8));
+    cr.cycles = static_cast<Cycle>(r.getVarint());
+    cr.archInsts = r.getVarint();
+    cr.ruuEntriesCommitted = r.getVarint();
+    cr.ipc = getDouble(r);
+    return cr;
+}
+
+std::string
+encodeColumnarSection(const std::vector<StoredEntry> &entries)
+{
+    BitWriter w;
+    const std::size_t n = entries.size();
+    w.putVarint(n);
+    for (const StoredEntry &e : entries)
+        putString(w, e.filename);
+    for (const StoredEntry &e : entries)
+        putString(w, e.result.name);
+    for (const StoredEntry &e : entries)
+        w.putBits(static_cast<std::uint64_t>(e.result.status), 8);
+    for (const StoredEntry &e : entries)
+        putString(w, e.result.error);
+    for (const StoredEntry &e : entries)
+        w.putVarint(e.result.attempts);
+    for (const StoredEntry &e : entries)
+        w.putVarint(e.result.sim.warmstartInsts);
+
+    // Aggregate-core columns: counters are near-monotone across a
+    // sorted cache directory, so delta + zigzag keeps them short.
+    for (const StoredEntry &e : entries)
+        w.putBits(static_cast<std::uint64_t>(e.result.sim.core.stop) &
+                      0xff,
+                  8);
+    std::vector<std::uint64_t> col(n);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = entries[i].result.sim.core.cycles;
+    putDeltaColumn(w, col);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = entries[i].result.sim.core.archInsts;
+    putDeltaColumn(w, col);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = entries[i].result.sim.core.ruuEntriesCommitted;
+    putDeltaColumn(w, col);
+    for (const StoredEntry &e : entries)
+        putDouble(w, e.result.sim.core.ipc);
+
+    // CMP per-core lists (rare; stored row-wise per entry).
+    for (const StoredEntry &e : entries) {
+        w.putVarint(e.result.sim.cores.size());
+        for (const CoreResult &cr : e.result.sim.cores)
+            putCore(w, cr);
+    }
+
+    // Stats dictionary: each key named once, then one column per key
+    // with a presence bitmap (entries of a sweep share most keys, so
+    // the bitmaps are nearly all-ones and compress to nothing).
+    std::map<std::string, bool> keys; // key -> all present values integral
+    for (const StoredEntry &e : entries) {
+        for (const auto &[k, v] : e.result.sim.stats) {
+            auto [it, fresh] = keys.emplace(k, true);
+            it->second = it->second && integralBits(v);
+        }
+    }
+    w.putVarint(keys.size());
+    for (const auto &[k, integral] : keys)
+        putString(w, k);
+    for (const auto &[k, integral] : keys) {
+        for (const StoredEntry &e : entries)
+            w.putBits(e.result.sim.stats.count(k) ? 1 : 0, 1);
+        w.putBits(integral ? statIntegral : statDouble, 8);
+        if (integral) {
+            std::vector<std::uint64_t> vals;
+            for (const StoredEntry &e : entries) {
+                const auto it = e.result.sim.stats.find(k);
+                if (it != e.result.sim.stats.end())
+                    vals.push_back(static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(it->second)));
+            }
+            putDeltaColumn(w, vals);
+        } else {
+            for (const StoredEntry &e : entries) {
+                const auto it = e.result.sim.stats.find(k);
+                if (it != e.result.sim.stats.end())
+                    putDouble(w, it->second);
+            }
+        }
+    }
+
+    for (const StoredEntry &e : entries)
+        putString(w, e.result.sim.output);
+    for (const StoredEntry &e : entries)
+        putString(w, e.result.sim.statsText);
+    return w.finish();
+}
+
+std::vector<StoredEntry>
+decodeColumnarSection(const std::string &payload)
+{
+    BitReader r(payload);
+    const std::uint64_t n = r.getVarint();
+    fatal_if(n > payload.size(),
+             "store: %llu entries declared in a %zu-byte section",
+             static_cast<unsigned long long>(n), payload.size());
+    std::vector<StoredEntry> entries(n);
+    const std::size_t bound = payload.size();
+    for (StoredEntry &e : entries)
+        e.filename = getString(r, bound);
+    for (StoredEntry &e : entries)
+        e.result.name = getString(r, bound);
+    for (StoredEntry &e : entries) {
+        const std::uint64_t s = r.getBits(8);
+        fatal_if(s > static_cast<std::uint64_t>(PointStatus::Cancelled),
+                 "store: bad point status %llu",
+                 static_cast<unsigned long long>(s));
+        e.result.status = static_cast<PointStatus>(s);
+    }
+    for (StoredEntry &e : entries)
+        e.result.error = getString(r, bound);
+    for (StoredEntry &e : entries)
+        e.result.attempts = static_cast<unsigned>(r.getVarint());
+    for (StoredEntry &e : entries)
+        e.result.sim.warmstartInsts = r.getVarint();
+
+    for (StoredEntry &e : entries)
+        e.result.sim.core.stop = static_cast<StopReason>(r.getBits(8));
+    std::vector<std::uint64_t> col = getDeltaColumn(r, n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        entries[i].result.sim.core.cycles = static_cast<Cycle>(col[i]);
+    col = getDeltaColumn(r, n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        entries[i].result.sim.core.archInsts = col[i];
+    col = getDeltaColumn(r, n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        entries[i].result.sim.core.ruuEntriesCommitted = col[i];
+    for (StoredEntry &e : entries)
+        e.result.sim.core.ipc = getDouble(r);
+
+    for (StoredEntry &e : entries) {
+        const std::uint64_t cores = r.getVarint();
+        fatal_if(cores > bound, "store: absurd CMP core count %llu",
+                 static_cast<unsigned long long>(cores));
+        e.result.sim.cores.reserve(cores);
+        for (std::uint64_t i = 0; i < cores; ++i)
+            e.result.sim.cores.push_back(getCore(r));
+    }
+
+    const std::uint64_t nkeys = r.getVarint();
+    fatal_if(nkeys > bound, "store: absurd stat-key count %llu",
+             static_cast<unsigned long long>(nkeys));
+    std::vector<std::string> keys(nkeys);
+    for (std::string &k : keys)
+        k = getString(r, bound);
+    for (const std::string &k : keys) {
+        std::vector<bool> present(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            present[i] = r.getBits(1) != 0;
+        const std::uint64_t type = r.getBits(8);
+        if (type == statIntegral) {
+            std::uint64_t cnt = 0;
+            for (std::uint64_t i = 0; i < n; ++i)
+                cnt += present[i];
+            const std::vector<std::uint64_t> vals =
+                getDeltaColumn(r, cnt);
+            std::size_t next = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (present[i]) {
+                    entries[i].result.sim.stats[k] = static_cast<double>(
+                        static_cast<std::int64_t>(vals[next++]));
+                }
+            }
+        } else if (type == statDouble) {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (present[i])
+                    entries[i].result.sim.stats[k] = getDouble(r);
+            }
+        } else {
+            fatal("store: bad stat column type %llu",
+                  static_cast<unsigned long long>(type));
+        }
+    }
+
+    for (StoredEntry &e : entries)
+        e.result.sim.output = getString(r, bound);
+    for (StoredEntry &e : entries)
+        e.result.sim.statsText = getString(r, bound);
+    fatal_if(r.bitsLeft() >= 8,
+             "store: %zu trailing bytes after the columnar section",
+             r.bitsLeft() / 8);
+    return entries;
+}
+
+std::string
+encodeRawSection(const std::vector<RawFile> &files)
+{
+    BitWriter w;
+    w.putVarint(files.size());
+    for (const RawFile &f : files) {
+        putString(w, f.filename);
+        putString(w, f.bytes);
+    }
+    return w.finish();
+}
+
+std::vector<RawFile>
+decodeRawSection(const std::string &payload)
+{
+    BitReader r(payload);
+    const std::uint64_t n = r.getVarint();
+    fatal_if(n > payload.size(),
+             "store: %llu raw files declared in a %zu-byte section",
+             static_cast<unsigned long long>(n), payload.size());
+    std::vector<RawFile> files(n);
+    for (RawFile &f : files) {
+        f.filename = getString(r, payload.size());
+        f.bytes = getString(r, payload.size());
+    }
+    fatal_if(r.bitsLeft() >= 8,
+             "store: %zu trailing bytes after the raw section",
+             r.bitsLeft() / 8);
+    return files;
+}
+
+void
+putSection(BitWriter &w, std::uint64_t kind, const std::string &payload)
+{
+    const std::string compressed = compress(payload);
+    w.putVarint(kind);
+    w.putVarint(compressed.size());
+    w.putBytes(compressed.data(), compressed.size());
+    w.putVarint(fnv1a64(compressed.data(), compressed.size()));
+}
+
+} // namespace
+
+std::string
+renderEntryBytes(const StoredEntry &entry)
+{
+    return harness::renderSweepCacheEntry(entry.result);
+}
+
+Artifact
+packDirectory(const std::string &dir)
+{
+    fatal_if(!std::filesystem::is_directory(dir),
+             "store: %s is not a directory", dir.c_str());
+    std::vector<std::string> names;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        if (de.is_regular_file())
+            names.push_back(de.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+
+    Artifact art;
+    for (const std::string &name : names) {
+        const std::string path = dir + "/" + name;
+        std::ifstream in(path, std::ios::binary);
+        fatal_if(!in, "store: cannot read %s", path.c_str());
+        std::ostringstream body;
+        body << in.rdbuf();
+        const std::string bytes = body.str();
+
+        // Columnar only when re-rendering the parse reproduces the file
+        // byte-for-byte — the structural guarantee behind "unpack is
+        // always byte-identical". Everything else rides verbatim.
+        StoredEntry entry;
+        entry.filename = name;
+        if (harness::parseSweepCacheEntry(bytes, entry.result) &&
+            harness::renderSweepCacheEntry(entry.result) == bytes) {
+            art.entries.push_back(std::move(entry));
+        } else {
+            art.rawFiles.push_back(RawFile{name, bytes});
+        }
+    }
+    return art;
+}
+
+std::string
+encodeArtifact(const Artifact &artifact)
+{
+    BitWriter w;
+    w.putBytes(storeMagic, sizeof(storeMagic));
+    w.putVarint(storeFormatVersion);
+    w.putVarint(2);
+    putSection(w, sectionColumnar,
+               encodeColumnarSection(artifact.entries));
+    putSection(w, sectionRawFiles, encodeRawSection(artifact.rawFiles));
+    return w.finish();
+}
+
+Artifact
+decodeArtifact(const std::string &bytes)
+{
+    BitReader r(bytes);
+    char magic[sizeof(storeMagic)];
+    r.getBytes(magic, sizeof(magic));
+    fatal_if(std::memcmp(magic, storeMagic, sizeof(magic)) != 0,
+             "store: bad magic (not a dieirb store artifact)");
+    const std::uint64_t version = r.getVarint();
+    fatal_if(version != storeFormatVersion,
+             "store: format version %llu (this build reads %u)",
+             static_cast<unsigned long long>(version), storeFormatVersion);
+    const std::uint64_t nsect = r.getVarint();
+    fatal_if(nsect > 16, "store: absurd section count %llu",
+             static_cast<unsigned long long>(nsect));
+
+    Artifact art;
+    for (std::uint64_t s = 0; s < nsect; ++s) {
+        const std::uint64_t kind = r.getVarint();
+        const std::uint64_t clen = r.getVarint();
+        fatal_if(clen > bytes.size(),
+                 "store: declared section of %llu bytes in a %zu-byte "
+                 "file",
+                 static_cast<unsigned long long>(clen), bytes.size());
+        std::string compressed(clen, '\0');
+        r.getBytes(compressed.data(), compressed.size());
+        const std::uint64_t sum = r.getVarint();
+        fatal_if(sum != fnv1a64(compressed.data(), compressed.size()),
+                 "store: section checksum mismatch (corrupt artifact)");
+        const std::string payload = decompress(compressed);
+        if (kind == sectionColumnar)
+            art.entries = decodeColumnarSection(payload);
+        else if (kind == sectionRawFiles)
+            art.rawFiles = decodeRawSection(payload);
+        else
+            fatal("store: unknown section kind %llu",
+                  static_cast<unsigned long long>(kind));
+    }
+    fatal_if(r.bitsLeft() >= 8,
+             "store: %zu trailing bytes after the last section",
+             r.bitsLeft() / 8);
+    return art;
+}
+
+void
+writeArtifact(const std::string &path, const Artifact &artifact)
+{
+    const std::string bytes = encodeArtifact(artifact);
+    const std::filesystem::path target(path);
+    if (target.has_parent_path())
+        std::filesystem::create_directories(target.parent_path());
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "store: cannot write %s", tmp.c_str());
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        fatal_if(!out, "store: short write to %s", tmp.c_str());
+    }
+    std::filesystem::rename(tmp, target);
+}
+
+Artifact
+readArtifact(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "store: cannot open %s", path.c_str());
+    std::ostringstream body;
+    body << in.rdbuf();
+    return decodeArtifact(body.str());
+}
+
+void
+unpackArtifact(const Artifact &artifact, const std::string &dir)
+{
+    std::filesystem::create_directories(dir);
+    const auto writeFile = [&dir](const std::string &name,
+                                  const std::string &bytes) {
+        fatal_if(name.empty() || name.find('/') != std::string::npos ||
+                     name == ".." || name == ".",
+                 "store: refusing to unpack suspicious filename '%s'",
+                 name.c_str());
+        const std::string path = dir + "/" + name;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "store: cannot write %s", path.c_str());
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        fatal_if(!out, "store: short write to %s", path.c_str());
+    };
+    for (const StoredEntry &e : artifact.entries)
+        writeFile(e.filename, renderEntryBytes(e));
+    for (const RawFile &f : artifact.rawFiles)
+        writeFile(f.filename, f.bytes);
+}
+
+} // namespace store
+
+} // namespace direb

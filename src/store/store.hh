@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Compressed columnar sweep-result store.
+ *
+ * A sweep.cache directory (or a directory of BENCH_*.json reports)
+ * holds many small JSON files that share almost all of their structure:
+ * the same stat keys repeated per entry, monotone counters, long
+ * identical stats_text templates. dieirb-store packs such a directory
+ * into ONE artifact file that stores each stat key once (dictionary
+ * encoding), each numeric column together (delta + zigzag varints for
+ * integral columns, raw IEEE-754 bytes for true doubles), and entropy-codes
+ * the result — and unpacks it back **byte-identically**.
+ *
+ * Byte identity is guaranteed structurally, not hopefully: at pack time
+ * every file is parsed with harness::parseSweepCacheEntry and accepted
+ * into the columnar section only if re-rendering the parse
+ * (harness::renderSweepCacheEntry) reproduces the original bytes
+ * exactly. Anything else — foreign files, BENCH reports, entries from
+ * older cache versions, hand-edited files — is carried verbatim in a
+ * raw section (still compressed). Unpack therefore always restores the
+ * original directory bit-for-bit.
+ *
+ * File layout (LEB128 varints; sections individually compressed and
+ * FNV-1a-64 checksummed so corruption anywhere raises FatalError):
+ *
+ *   magic    "DIRBSTOR"                     8 bytes
+ *   version  varint                         (storeFormatVersion)
+ *   nsect    varint
+ *   per section:
+ *     kind     varint                       0 = columnar, 1 = raw files
+ *     clen     varint
+ *     payload  clen bytes                   store::compress() output
+ *     checksum varint                       FNV-1a 64 of the payload
+ *
+ * Columnar payload (decompressed): entry count n; then whole columns in
+ * order — filenames, point names, status bytes, error strings, attempt
+ * varints, warmstart varints; the aggregate-core columns (stop bytes;
+ * cycles / arch_insts / ruu_entries as delta+zigzag varints; ipc as raw
+ * doubles); per-entry CMP core lists; the stats dictionary (sorted
+ * unique keys, then per key a presence bitmap, a type byte — 0 =
+ * integral delta+zigzag, 1 = raw doubles — and the present values); and
+ * finally the output and stats_text string columns. Strings are varint
+ * length + bytes; doubles are 8 little-endian bytes of the bit pattern,
+ * so every value round-trips bit-exactly (including NaN payloads and
+ * -0.0, which the integral classifier rejects by bit-pattern compare).
+ */
+
+#ifndef DIREB_STORE_STORE_HH
+#define DIREB_STORE_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace direb
+{
+
+namespace store
+{
+
+constexpr std::uint32_t storeFormatVersion = 1;
+
+/** One columnar entry: a parsed cache file plus its directory name. */
+struct StoredEntry
+{
+    std::string filename; //!< basename inside the packed directory
+    harness::SweepResult result;
+};
+
+/** One verbatim-carried file (anything that is not a v2 cache entry). */
+struct RawFile
+{
+    std::string filename;
+    std::string bytes;
+};
+
+/** The in-memory form of one artifact. */
+struct Artifact
+{
+    std::vector<StoredEntry> entries;
+    std::vector<RawFile> rawFiles;
+
+    std::size_t size() const { return entries.size() + rawFiles.size(); }
+};
+
+/**
+ * Scan @p dir (non-recursively) and classify every regular file:
+ * parse-and-re-render-identical sweep-cache entries become columnar
+ * StoredEntries, everything else a RawFile. Files are taken in sorted
+ * name order so packing is deterministic. fatal() if the directory
+ * cannot be read.
+ */
+Artifact packDirectory(const std::string &dir);
+
+/** Serialise to the compressed artifact format described above. */
+std::string encodeArtifact(const Artifact &artifact);
+
+/**
+ * Inverse of encodeArtifact(). FatalError — never a crash or a partial
+ * result — on any corruption: bad magic, foreign version, truncation,
+ * checksum mismatch, or impossible lengths.
+ */
+Artifact decodeArtifact(const std::string &bytes);
+
+/** encodeArtifact + atomic write (tmp + rename); fatal() on I/O error. */
+void writeArtifact(const std::string &path, const Artifact &artifact);
+
+/** Read + decodeArtifact; fatal() on I/O error or corruption. */
+Artifact readArtifact(const std::string &path);
+
+/**
+ * Restore the packed directory: every entry re-rendered through
+ * harness::renderSweepCacheEntry, every raw file verbatim. Existing
+ * files of the same names are overwritten; fatal() on I/O error.
+ */
+void unpackArtifact(const Artifact &artifact, const std::string &dir);
+
+/** The exact bytes unpackArtifact() writes for one columnar entry. */
+std::string renderEntryBytes(const StoredEntry &entry);
+
+} // namespace store
+
+} // namespace direb
+
+#endif // DIREB_STORE_STORE_HH

@@ -1,0 +1,104 @@
+#include "vm/checkpoint.hh"
+
+#include "common/logging.hh"
+#include "vm/vm.hh"
+
+namespace direb
+{
+
+namespace
+{
+
+void
+fnvFeed(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+}
+
+void
+fnvFeedU64(std::uint64_t &h, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    fnvFeed(h, b, sizeof(b));
+}
+
+} // namespace
+
+std::uint64_t
+programImageFnv(const Program &program)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint32_t w : program.text)
+        fnvFeedU64(h, w);
+    if (!program.data.empty())
+        fnvFeed(h, program.data.data(), program.data.size());
+    fnvFeedU64(h, program.entry);
+    return h;
+}
+
+ArchCheckpoint
+captureCheckpoint(const ArchState &state, const Memory &mem,
+                  std::uint64_t insts, std::uint64_t program_fnv)
+{
+    ArchCheckpoint ck;
+    ck.programFnv = program_fnv;
+    ck.insts = insts;
+    ck.pc = state.pc;
+    ck.out = state.out;
+    for (unsigned r = 0; r < numIntRegs; ++r)
+        ck.intRegs[r] = state.readIntReg(r);
+    for (unsigned r = 0; r < numFpRegs; ++r)
+        ck.fpRegs[r] = state.readFpReg(r);
+    for (const Addr pn : mem.touchedPageNumbers()) {
+        CheckpointPage page;
+        page.pageNumber = pn;
+        page.bytes.resize(Memory::pageSize);
+        mem.readBlob(pn << Memory::pageShift, page.bytes.data(),
+                     page.bytes.size());
+        ck.pages.push_back(std::move(page));
+    }
+    return ck;
+}
+
+void
+applyCheckpoint(const ArchCheckpoint &ck, ArchState &state, Memory &mem)
+{
+    mem.clear();
+    for (const CheckpointPage &page : ck.pages) {
+        panic_if(page.bytes.size() != Memory::pageSize,
+                 "checkpoint page of %zu bytes", page.bytes.size());
+        mem.writeBlob(page.pageNumber << Memory::pageShift,
+                      page.bytes.data(), page.bytes.size());
+    }
+    for (unsigned r = 0; r < numIntRegs; ++r)
+        state.writeIntReg(r, ck.intRegs[r]);
+    for (unsigned r = 0; r < numFpRegs; ++r)
+        state.writeFpReg(r, ck.fpRegs[r]);
+    state.pc = ck.pc;
+    state.out = ck.out;
+}
+
+ArchCheckpoint
+fastForward(const Program &program, std::uint64_t insts)
+{
+    fatal_if(insts == 0, "checkpoint boundary must be positive");
+    Vm vm(program);
+    const StopReason stop = vm.run(insts);
+    fatal_if(stop != StopReason::InstLimit,
+             "program '%s' stopped (%s) after %llu instructions — cannot "
+             "checkpoint at %llu",
+             program.name.c_str(),
+             stop == StopReason::Halted ? "halt" : "bad pc",
+             static_cast<unsigned long long>(vm.instCount()),
+             static_cast<unsigned long long>(insts));
+    return captureCheckpoint(vm.state(), vm.state().mem, vm.instCount(),
+                             programImageFnv(program));
+}
+
+} // namespace direb

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Architectural checkpoints: a snapshot of committed machine state at an
+ * instruction boundary, taken by fast-forwarding the functional VM.
+ *
+ * A checkpoint is purely architectural — registers, pc, program output
+ * and every touched memory page. No timing state (caches, predictors,
+ * IRB) is captured, so a timing run restored from a checkpoint commits
+ * the exact same architectural results as a straight run of the same
+ * program, while its cycle counts reflect a cold microarchitecture at
+ * the restore point. That is the intended trade: warm-starting a sweep
+ * point skips re-executing a shared workload prefix, and the
+ * arch-visible results stay golden-equal to the full run (enforced by
+ * tests/test_store.cc).
+ *
+ * Serialisation (file format, compression, checksums) lives in
+ * src/store/checkpoint.hh — this header is the in-memory state and the
+ * capture/apply/fast-forward operations only, so the cpu layer can
+ * restore a checkpoint without depending on the store codec.
+ */
+
+#ifndef DIREB_VM_CHECKPOINT_HH
+#define DIREB_VM_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "vm/arch_state.hh"
+#include "vm/memory.hh"
+#include "vm/program.hh"
+
+namespace direb
+{
+
+/** One captured page: page number + its full pageSize-byte image. */
+struct CheckpointPage
+{
+    Addr pageNumber = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Committed architectural state at an instruction boundary. */
+struct ArchCheckpoint
+{
+    /** Image hash of the program this was captured from (programImageFnv). */
+    std::uint64_t programFnv = 0;
+    /** Instructions committed before the snapshot (the prefix length). */
+    std::uint64_t insts = 0;
+    /** Next instruction to execute after restore. */
+    Addr pc = 0;
+    /** PUTC/PUTINT output accumulated over the prefix. */
+    std::string out;
+    std::array<RegVal, numIntRegs> intRegs{};
+    std::array<RegVal, numFpRegs> fpRegs{};
+    /** Touched pages, sorted by page number. */
+    std::vector<CheckpointPage> pages;
+};
+
+/**
+ * FNV-1a 64 over a program's text words, data bytes and entry point —
+ * the identity a checkpoint is bound to. Matching hashes mean the same
+ * loaded image, so a restore into a core bound to a different program
+ * can be rejected instead of silently diverging.
+ */
+std::uint64_t programImageFnv(const Program &program);
+
+/** Snapshot @p state / @p mem after @p insts committed instructions. */
+ArchCheckpoint captureCheckpoint(const ArchState &state, const Memory &mem,
+                                 std::uint64_t insts,
+                                 std::uint64_t program_fnv);
+
+/**
+ * Load @p ck into @p state / @p mem, replacing their entire contents
+ * (memory is cleared first: pages untouched at capture time must read
+ * zero after restore, exactly as they did in the original run).
+ */
+void applyCheckpoint(const ArchCheckpoint &ck, ArchState &state,
+                     Memory &mem);
+
+/**
+ * Execute exactly @p insts instructions of @p program on the functional
+ * VM and capture the resulting checkpoint. fatal() if the program halts
+ * or leaves the text segment before the boundary — a checkpoint past
+ * the end of execution is meaningless.
+ */
+ArchCheckpoint fastForward(const Program &program, std::uint64_t insts);
+
+} // namespace direb
+
+#endif // DIREB_VM_CHECKPOINT_HH

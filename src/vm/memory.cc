@@ -1,5 +1,6 @@
 #include "vm/memory.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -53,6 +54,17 @@ Memory::writeBlob(Addr addr, const void *data, std::size_t len)
     const auto *bytes = static_cast<const std::uint8_t *>(data);
     for (std::size_t i = 0; i < len; ++i)
         poke(addr + i, bytes[i]);
+}
+
+std::vector<Addr>
+Memory::touchedPageNumbers() const
+{
+    std::vector<Addr> out;
+    out.reserve(pages.size());
+    for (const auto &[pn, page] : pages)
+        out.push_back(pn);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void

@@ -48,6 +48,13 @@ class Memory
     /** Number of pages that have been touched. */
     std::size_t pagesAllocated() const { return pages.size(); }
 
+    /**
+     * Page numbers of every touched page, sorted ascending — the
+     * deterministic iteration order architectural checkpoints are
+     * captured in (the backing map is unordered).
+     */
+    std::vector<Addr> touchedPageNumbers() const;
+
     /** Drop all contents. */
     void clear() { pages.clear(); }
 

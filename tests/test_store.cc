@@ -1,0 +1,960 @@
+/**
+ * @file
+ * Tests for the compressed columnar result store and architectural
+ * checkpoints: bit-stream / Huffman / compress round-trips, seeded
+ * corruption fuzzing of every untrusted decode path (mutated input must
+ * raise FatalError or decode to identical data — never crash), the
+ * checkpoint golden-equality contract (a restored timing run commits the
+ * exact architectural results of a straight run), warm-started sweeps
+ * through harness::run, the sweep-cache schema-version gate, pack/unpack
+ * byte identity on a real sweep.cache directory, /v1/query aggregation
+ * against hand-computed values, and the Server route for /v1/query
+ * (exercised without sockets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "harness/sweep.hh"
+#include "service/server.hh"
+#include "store/checkpoint.hh"
+#include "store/codec.hh"
+#include "store/query.hh"
+#include "store/store.hh"
+#include "vm/checkpoint.hh"
+#include "workloads/workloads.hh"
+
+using namespace direb;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::uint64_t budget = 20'000; //!< keep each timing run cheap
+
+/** A fresh scratch directory under the test temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Every regular file of @p dir as name -> bytes (non-recursive). */
+std::map<std::string, std::string>
+dirBytes(const std::string &dir)
+{
+    std::map<std::string, std::string> files;
+    for (const auto &ent : fs::directory_iterator(dir))
+        if (ent.is_regular_file())
+            files[ent.path().filename().string()] =
+                slurp(ent.path().string());
+    return files;
+}
+
+/** Apply one seeded random mutation (the test_report.cc pattern). */
+std::string
+mutate(const std::string &valid, std::mt19937 &rng, int kind)
+{
+    std::uniform_int_distribution<std::size_t> posDist(
+        0, valid.empty() ? 0 : valid.size() - 1);
+    std::uniform_int_distribution<int> byteDist(0, 255);
+    std::string m = valid;
+    if (m.empty())
+        return m;
+    switch (kind % 4) {
+      case 0: // overwrite one byte
+        m[posDist(rng)] = static_cast<char>(byteDist(rng));
+        break;
+      case 1: // truncate
+        m.resize(posDist(rng));
+        break;
+      case 2: // delete one byte
+        m.erase(posDist(rng), 1);
+        break;
+      default: // insert one byte
+        m.insert(posDist(rng), 1, static_cast<char>(byteDist(rng)));
+        break;
+    }
+    return m;
+}
+
+/**
+ * One deterministic short program for the checkpoint tests: a small
+ * synthetic kernel that runs well past the checkpoint boundary, prints
+ * its checksum and HALTs, so straight and restored runs can be compared
+ * over a complete execution.
+ */
+Program
+testProgram()
+{
+    workloads::SyntheticParams p;
+    p.seed = 7;
+    p.blocks = 16;
+    p.instsPerBlock = 8;
+    p.outerIters = 60;
+    p.memFraction = 0.25;
+    p.branchFraction = 0.1;
+    return workloads::synthetic(p);
+}
+
+constexpr std::uint64_t ckptAt = 2'000; //!< checkpoint boundary
+
+bool
+sameCheckpoint(const ArchCheckpoint &a, const ArchCheckpoint &b)
+{
+    if (a.programFnv != b.programFnv || a.insts != b.insts ||
+        a.pc != b.pc || a.out != b.out || a.intRegs != b.intRegs ||
+        a.fpRegs != b.fpRegs || a.pages.size() != b.pages.size())
+        return false;
+    for (std::size_t i = 0; i < a.pages.size(); ++i)
+        if (a.pages[i].pageNumber != b.pages[i].pageNumber ||
+            a.pages[i].bytes != b.pages[i].bytes)
+            return false;
+    return true;
+}
+
+/** Artifact contents as the exact bytes unpack would write. */
+std::map<std::string, std::string>
+flatten(const store::Artifact &artifact)
+{
+    std::map<std::string, std::string> files;
+    for (const auto &e : artifact.entries)
+        files[e.filename] = store::renderEntryBytes(e);
+    for (const auto &r : artifact.rawFiles)
+        files[r.filename] = r.bytes;
+    return files;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Bit streams and varints
+// ---------------------------------------------------------------------
+
+TEST(BitStream, BitsVarintsAndBytesRoundTrip)
+{
+    store::BitWriter w;
+    w.putBits(0b1011, 4);
+    w.putBits(0, 1);
+    w.putBits(0x1FFFFFFFFFFFFFFULL, 57); // the per-call maximum
+    w.putVarint(0);
+    w.putVarint(127);
+    w.putVarint(128);
+    w.putVarint(0xDEADBEEFCAFEULL);
+    w.putVarint(~0ULL);
+    const char raw[] = "raw bytes after unaligned bits";
+    w.putBits(1, 3); // force a non-byte boundary before putBytes
+    w.putBytes(raw, sizeof(raw));
+    w.putBits(0x2A, 6);
+    const std::string buf = w.finish();
+
+    store::BitReader r(buf);
+    EXPECT_EQ(r.getBits(4), 0b1011u);
+    EXPECT_EQ(r.getBits(1), 0u);
+    EXPECT_EQ(r.getBits(57), 0x1FFFFFFFFFFFFFFULL);
+    EXPECT_EQ(r.getVarint(), 0u);
+    EXPECT_EQ(r.getVarint(), 127u);
+    EXPECT_EQ(r.getVarint(), 128u);
+    EXPECT_EQ(r.getVarint(), 0xDEADBEEFCAFEULL);
+    EXPECT_EQ(r.getVarint(), ~0ULL);
+    EXPECT_EQ(r.getBits(3), 1u);
+    char back[sizeof(raw)];
+    r.getBytes(back, sizeof(back));
+    EXPECT_EQ(std::string(back, sizeof(back)),
+              std::string(raw, sizeof(raw)));
+    EXPECT_EQ(r.getBits(6), 0x2Au);
+    EXPECT_LT(r.bitsLeft(), 8u); // only the padding remains
+}
+
+TEST(BitStream, ZigzagIsAnInvolutionOnExtremes)
+{
+    for (std::int64_t v :
+         {std::int64_t(0), std::int64_t(1), std::int64_t(-1),
+          std::int64_t(123456789), std::int64_t(-123456789),
+          std::numeric_limits<std::int64_t>::min(),
+          std::numeric_limits<std::int64_t>::max()}) {
+        EXPECT_EQ(store::zigzagDecode(store::zigzagEncode(v)), v);
+    }
+    // Small magnitudes map to small codes (the point of the mapping).
+    EXPECT_EQ(store::zigzagEncode(-1), 1u);
+    EXPECT_EQ(store::zigzagEncode(1), 2u);
+}
+
+TEST(BitStream, ReaderRaisesFatalErrorPastTheEnd)
+{
+    store::BitWriter w;
+    w.putBits(0xFF, 8);
+    const std::string buf = w.finish();
+
+    store::BitReader bits(buf);
+    EXPECT_EQ(bits.getBits(8), 0xFFu);
+    EXPECT_THROW(bits.getBits(1), FatalError);
+
+    // (BitReader borrows the buffer, so it must outlive the reader.)
+    const std::string unterminated("\xFF\xFF\xFF", 3);
+    store::BitReader varint(unterminated);
+    EXPECT_THROW(varint.getVarint(), FatalError); // unterminated
+
+    store::BitReader bytes(buf);
+    char sink[2];
+    EXPECT_THROW(bytes.getBytes(sink, 2), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Huffman and the compress()/decompress() block format
+// ---------------------------------------------------------------------
+
+TEST(Huffman, EncodeDecodeRoundTripsSkewedFrequencies)
+{
+    std::uint64_t freq[257] = {};
+    freq['a'] = 1000;
+    freq['b'] = 300;
+    freq['c'] = 40;
+    freq['z'] = 1;
+    freq[256] = 1; // end-of-block
+    const store::Huffman enc = store::Huffman::fromFrequencies(freq, 257);
+
+    const std::string msg = "abacabadabacabaz"; // 'd' has no code? it does not
+    store::BitWriter w;
+    for (char ch : msg)
+        if (ch != 'd')
+            enc.encode(w, static_cast<unsigned char>(ch));
+    enc.encode(w, 256);
+    const std::string buf = w.finish();
+
+    // Rebuild from the serialised lengths, exactly as a stream decoder.
+    const store::Huffman dec =
+        store::Huffman::fromLengths(enc.lengths(), enc.alphabet());
+    store::BitReader r(buf);
+    std::string back;
+    for (;;) {
+        const unsigned sym = dec.decode(r);
+        if (sym == 256)
+            break;
+        back += static_cast<char>(sym);
+    }
+    std::string expect = msg;
+    expect.erase(std::remove(expect.begin(), expect.end(), 'd'),
+                 expect.end());
+    EXPECT_EQ(back, expect);
+}
+
+TEST(Codec, CompressRoundTripsEveryShapeOfInput)
+{
+    std::vector<std::string> inputs;
+    inputs.emplace_back();                       // empty
+    inputs.emplace_back("x");                    // single byte
+    inputs.emplace_back(std::string(100'000, 'A')); // maximally repetitive
+    std::string text;
+    for (int i = 0; i < 2000; ++i)
+        text += "core.commit.insts " + std::to_string(i * 37) + "\n";
+    inputs.push_back(text);                      // realistic stats text
+    std::mt19937 rng(20260808);
+    std::string random(65'536, '\0');
+    for (char &c : random)
+        c = static_cast<char>(rng());
+    inputs.push_back(random);                    // incompressible
+
+    for (const std::string &raw : inputs) {
+        SCOPED_TRACE(raw.size());
+        const std::string block = store::compress(raw);
+        EXPECT_EQ(store::decompress(block), raw);
+        // Stored fallback bounds expansion to a small fixed header.
+        EXPECT_LE(block.size(), raw.size() + 16);
+    }
+    // Repetitive and structured inputs actually shrink.
+    EXPECT_LT(store::compress(std::string(100'000, 'A')).size(), 1000u);
+    EXPECT_LT(store::compress(text).size(), text.size() / 3);
+}
+
+TEST(Codec, DecompressBoundsHostileRawSize)
+{
+    const std::string block = store::compress(std::string(4096, 'q'));
+    EXPECT_EQ(store::decompress(block, 4096).size(), 4096u);
+    EXPECT_THROW(store::decompress(block, 4095), FatalError);
+}
+
+TEST(Codec, MutatedBlockNeverCrashes)
+{
+    std::string raw;
+    for (int i = 0; i < 500; ++i)
+        raw += "entry " + std::to_string(i) + ": ipc 1.25 cycles 4000\n";
+    const std::string block = store::compress(raw);
+
+    std::mt19937 rng(20260808);
+    for (int i = 0; i < 1500; ++i) {
+        const std::string m = mutate(block, rng, i);
+        // The block format carries no checksum (the layers above add
+        // one), so a mutation may decode to different bytes — the
+        // contract here is FatalError or a clean decode, never UB.
+        try {
+            (void)store::decompress(m, raw.size() * 2);
+        } catch (const FatalError &) {
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Architectural checkpoints
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, EncodeDecodeRoundTripsFastForwardState)
+{
+    setQuiet(true);
+    const Program prog = testProgram();
+    const ArchCheckpoint ck = fastForward(prog, ckptAt);
+    EXPECT_EQ(ck.insts, ckptAt);
+    EXPECT_EQ(ck.programFnv, programImageFnv(prog));
+    EXPECT_FALSE(ck.pages.empty());
+
+    const std::string bytes = store::encodeCheckpoint(ck);
+    const ArchCheckpoint back = store::decodeCheckpoint(bytes);
+    EXPECT_TRUE(sameCheckpoint(ck, back));
+
+    // File round trip through the atomic writer.
+    const std::string dir = scratchDir("direb_store_ckpt");
+    store::saveCheckpoint(dir + "/a.ckpt", ck);
+    EXPECT_TRUE(sameCheckpoint(ck, store::loadCheckpoint(dir + "/a.ckpt")));
+}
+
+TEST(Checkpoint, MutatedFileNeverCrashesOrDecodesWrong)
+{
+    setQuiet(true);
+    const std::string bytes =
+        store::encodeCheckpoint(fastForward(testProgram(), ckptAt));
+    const ArchCheckpoint truth = store::decodeCheckpoint(bytes);
+
+    std::mt19937 rng(20260808);
+    for (int i = 0; i < 600; ++i) {
+        const std::string m = mutate(bytes, rng, i);
+        // The payload is checksummed, so any decode that does NOT
+        // throw must have decoded the original state (e.g. a mutation
+        // that wrote back the same byte).
+        try {
+            const ArchCheckpoint back = store::decodeCheckpoint(m);
+            EXPECT_TRUE(sameCheckpoint(truth, back)) << "iteration " << i;
+        } catch (const FatalError &) {
+        }
+    }
+    EXPECT_THROW(store::decodeCheckpoint(""), FatalError);
+    EXPECT_THROW(store::decodeCheckpoint("DIRBSTOR"), FatalError);
+    EXPECT_THROW(store::decodeCheckpoint(bytes + "x"), FatalError);
+}
+
+TEST(Checkpoint, RestoredRunCommitsIdenticalArchResults)
+{
+    setQuiet(true);
+    const Program prog = testProgram();
+    const Config cfg = harness::baseConfig("die-irb");
+
+    OooCore straight(prog, cfg);
+    const CoreResult sr = straight.run();
+    ASSERT_EQ(sr.stop, StopReason::Halted);
+    ASSERT_GT(sr.archInsts, ckptAt);
+
+    const ArchCheckpoint ck = fastForward(prog, ckptAt);
+    OooCore restored(prog, cfg);
+    restored.applyArchCheckpoint(ck);
+    const CoreResult rr = restored.run();
+    EXPECT_EQ(rr.stop, StopReason::Halted);
+    EXPECT_EQ(rr.archInsts, sr.archInsts - ckptAt);
+
+    // Arch-visible results of the completed execution must be
+    // bit-identical: program output and both register files. (arch pc
+    // is not compared — the timing core tracks fetch pc in speculative
+    // state and does not write it back to ArchState.)
+    const ArchState &sa = straight.archState();
+    const ArchState &ra = restored.archState();
+    EXPECT_EQ(sa.out, ra.out);
+    for (unsigned i = 0; i < numIntRegs; ++i)
+        EXPECT_EQ(sa.readIntReg(i), ra.readIntReg(i)) << "r" << i;
+    for (unsigned i = 0; i < numFpRegs; ++i)
+        EXPECT_EQ(sa.readFpReg(i), ra.readFpReg(i)) << "f" << i;
+    // Timing is allowed to differ (cold microarchitecture), but both
+    // runs must have made progress.
+    EXPECT_GT(rr.cycles, 0u);
+}
+
+TEST(Checkpoint, RestoreRejectsAForeignProgram)
+{
+    setQuiet(true);
+    const ArchCheckpoint ck = fastForward(testProgram(), 1'000);
+    const Program other = workloads::build("route", 1);
+    OooCore core(other, harness::baseConfig("sie"));
+    EXPECT_THROW(core.applyArchCheckpoint(ck), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Warm-started harness runs
+// ---------------------------------------------------------------------
+
+TEST(Warmstart, WarmRunEqualsColdRunArchitecturally)
+{
+    setQuiet(true);
+    const Program prog = testProgram();
+    const std::string dir = scratchDir("direb_store_warm");
+
+    const harness::SimResult cold =
+        harness::run(prog, harness::baseConfig("die-irb"));
+    ASSERT_EQ(cold.warmstartInsts, 0u);
+    ASSERT_EQ(cold.core.stop, StopReason::Halted);
+
+    const auto warm_run = [&] {
+        Config cfg = harness::baseConfig("die-irb");
+        cfg.set("sweep.warmstart", std::to_string(ckptAt));
+        cfg.set("sweep.warmstart_dir", dir);
+        return harness::run(prog, cfg);
+    };
+    const harness::SimResult warm = warm_run();
+    EXPECT_EQ(warm.warmstartInsts, ckptAt);
+    // The timing run covers only the suffix; the arch totals and the
+    // program output cover the whole execution and must match exactly.
+    EXPECT_EQ(warm.core.archInsts + warm.warmstartInsts,
+              cold.core.archInsts);
+    EXPECT_EQ(warm.output, cold.output);
+    EXPECT_EQ(warm.core.stop, cold.core.stop);
+    EXPECT_LT(warm.core.archInsts, cold.core.archInsts);
+
+    // The fast-forwarded prefix was persisted under its content address.
+    const std::string cache_path =
+        dir + "/" +
+        store::checkpointKeyHex(programImageFnv(prog), ckptAt) + ".ckpt";
+    EXPECT_TRUE(fs::exists(cache_path));
+
+    // A second warm run reuses the cached checkpoint and is
+    // deterministic down to the cycle counts and statistics.
+    const harness::SimResult again = warm_run();
+    EXPECT_EQ(again.core.cycles, warm.core.cycles);
+    EXPECT_EQ(again.stats, warm.stats);
+    EXPECT_EQ(again.statsText, warm.statsText);
+
+    // A corrupt cached checkpoint is recomputed, not trusted.
+    spit(cache_path, "DIRBCKPT garbage");
+    const harness::SimResult repaired = warm_run();
+    EXPECT_EQ(repaired.core.cycles, warm.core.cycles);
+    EXPECT_EQ(repaired.output, warm.output);
+}
+
+TEST(Warmstart, RestoreFromFileEqualsColdRun)
+{
+    setQuiet(true);
+    const Program prog = testProgram();
+    const std::string dir = scratchDir("direb_store_restore");
+    const std::string path = dir + "/prefix.ckpt";
+    store::saveCheckpoint(path, fastForward(prog, ckptAt));
+
+    const harness::SimResult cold =
+        harness::run(prog, harness::baseConfig("die"));
+    ASSERT_EQ(cold.core.stop, StopReason::Halted);
+
+    Config cfg = harness::baseConfig("die");
+    cfg.set("ckpt.restore", path);
+    const harness::SimResult warm = harness::run(prog, cfg);
+    EXPECT_EQ(warm.warmstartInsts, ckptAt);
+    EXPECT_EQ(warm.core.archInsts + warm.warmstartInsts,
+              cold.core.archInsts);
+    EXPECT_EQ(warm.output, cold.output);
+}
+
+TEST(Warmstart, InvalidRequestsAreRejectedLoudly)
+{
+    setQuiet(true);
+    const Program prog = testProgram();
+    const std::string dir = scratchDir("direb_store_warm_bad");
+    const std::string path = dir + "/p.ckpt";
+    store::saveCheckpoint(path, fastForward(prog, 1'000));
+
+    { // warmstart must leave budget for the timing run
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("sweep.warmstart", std::to_string(budget));
+        EXPECT_THROW(harness::run(prog, cfg, budget), FatalError);
+    }
+    { // restore and warmstart are mutually exclusive
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("ckpt.restore", path);
+        cfg.set("sweep.warmstart", "500");
+        EXPECT_THROW(harness::run(prog, cfg, budget), FatalError);
+    }
+    { // a checkpoint from a different program is rejected
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("ckpt.restore", path);
+        EXPECT_THROW(
+            harness::run(workloads::build("route", 1), cfg, budget),
+            FatalError);
+    }
+    { // CMP runs cannot warm-start
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("cmp.cores", "2");
+        cfg.set("sweep.warmstart", "500");
+        EXPECT_THROW(harness::run(prog, cfg, budget), FatalError);
+    }
+    { // the golden cross-check must see the whole execution
+        Config cfg = harness::baseConfig("sie");
+        cfg.set("sweep.warmstart", "500");
+        EXPECT_THROW(harness::goldenRun(prog, cfg, budget), FatalError);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep-cache entry schema (render / parse / version gate)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One cached sweep over three modes; returns the results. */
+std::vector<harness::SweepResult>
+runCachedSweep(const std::string &dir)
+{
+    harness::Sweep sweep(1);
+    for (const char *mode : {"sie", "die", "die-irb"}) {
+        Config cfg = harness::baseConfig(mode);
+        cfg.set("sweep.cache", dir);
+        sweep.add(std::string("fig7/") + mode + "/compress", "compress",
+                  cfg, 1, budget);
+    }
+    return sweep.run();
+}
+
+} // namespace
+
+TEST(CacheEntry, RenderParseRoundTrip)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_entry");
+    const auto cold = runCachedSweep(dir);
+    ASSERT_EQ(cold.size(), 3u);
+
+    for (const auto &r : cold) {
+        SCOPED_TRACE(r.name);
+        const std::string text = harness::renderSweepCacheEntry(r);
+        harness::SweepResult back;
+        ASSERT_TRUE(harness::parseSweepCacheEntry(text, back));
+        EXPECT_EQ(back.name, r.name);
+        EXPECT_EQ(back.status, r.status);
+        EXPECT_EQ(back.attempts, r.attempts);
+        EXPECT_EQ(back.sim.core.cycles, r.sim.core.cycles);
+        EXPECT_EQ(back.sim.stats, r.sim.stats); // exact doubles
+        EXPECT_EQ(back.sim.output, r.sim.output);
+        EXPECT_EQ(back.sim.statsText, r.sim.statsText);
+        // The round trip is byte-exact, which is what lets the store
+        // re-render parsed entries identically.
+        EXPECT_EQ(harness::renderSweepCacheEntry(back), text);
+    }
+
+    harness::SweepResult sink;
+    EXPECT_FALSE(harness::parseSweepCacheEntry("{ not json", sink));
+    EXPECT_FALSE(harness::parseSweepCacheEntry("{}", sink));
+}
+
+TEST(CacheEntry, VersionMismatchIsACacheMiss)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_version");
+    const auto cold = runCachedSweep(dir);
+    for (const auto &r : cold)
+        ASSERT_FALSE(r.fromCache) << r.name;
+
+    // Downgrade every entry's version stamp in place: the files stay
+    // perfectly well-formed JSON, only the schema version disagrees.
+    std::size_t patched = 0;
+    for (const auto &ent : fs::directory_iterator(dir)) {
+        std::string text = slurp(ent.path().string());
+        const std::string from = "\"version\": 2";
+        const std::size_t pos = text.find(from);
+        ASSERT_NE(pos, std::string::npos) << ent.path();
+        text.replace(pos, from.size(), "\"version\": 1");
+        spit(ent.path().string(), text);
+        ++patched;
+    }
+    ASSERT_EQ(patched, 3u);
+
+    harness::SweepResult sink;
+    EXPECT_FALSE(harness::parseSweepCacheEntry(
+        slurp(fs::directory_iterator(dir)->path().string()), sink));
+
+    // Stale-shaped entries re-simulate (and repair the cache)...
+    const auto rerun = runCachedSweep(dir);
+    for (std::size_t i = 0; i < rerun.size(); ++i) {
+        EXPECT_FALSE(rerun[i].fromCache) << rerun[i].name;
+        EXPECT_EQ(rerun[i].sim.core.cycles, cold[i].sim.core.cycles);
+    }
+    // ...after which the current-version entries hit again.
+    const auto warm = runCachedSweep(dir);
+    for (const auto &r : warm)
+        EXPECT_TRUE(r.fromCache) << r.name;
+}
+
+// ---------------------------------------------------------------------
+// The columnar artifact: pack / unpack byte identity + corruption
+// ---------------------------------------------------------------------
+
+TEST(Store, PackUnpackRestoresTheDirectoryByteIdentically)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_pack");
+    runCachedSweep(dir);
+    // Foreign files ride along verbatim in the raw section.
+    spit(dir + "/notes.txt", "kept as-is\x00\x01\xFF binary too");
+    spit(dir + "/broken.json", "{ \"version\": 2, truncated");
+    const auto original = dirBytes(dir);
+    ASSERT_EQ(original.size(), 5u);
+
+    const store::Artifact art = store::packDirectory(dir);
+    EXPECT_EQ(art.entries.size(), 3u);
+    EXPECT_EQ(art.rawFiles.size(), 2u);
+    EXPECT_EQ(flatten(art), original);
+
+    // The artifact actually compresses the directory.
+    std::size_t raw_total = 0;
+    for (const auto &[name, bytes] : original)
+        raw_total += bytes.size();
+    const std::string encoded = store::encodeArtifact(art);
+    EXPECT_LT(encoded.size(), raw_total);
+
+    // File round trip + unpack into a fresh directory.
+    const std::string art_path =
+        scratchDir("direb_store_artifact") + "/sweep.dirbstor";
+    store::writeArtifact(art_path, art);
+    const store::Artifact back = store::readArtifact(art_path);
+    const std::string dir2 = scratchDir("direb_store_unpack");
+    store::unpackArtifact(back, dir2);
+    EXPECT_EQ(dirBytes(dir2), original);
+}
+
+TEST(Store, MutatedArtifactNeverCrashesOrDecodesWrong)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_fuzz");
+    runCachedSweep(dir);
+    spit(dir + "/raw.bin", std::string("\x01\x02\x03\x00zzz", 8));
+    const store::Artifact art = store::packDirectory(dir);
+    const std::string bytes = store::encodeArtifact(art);
+    const auto truth = flatten(art);
+
+    std::mt19937 rng(20260808);
+    for (int i = 0; i < 600; ++i) {
+        const std::string m = mutate(bytes, rng, i);
+        // Sections are FNV-checksummed: any decode that does not throw
+        // must have decoded the original contents.
+        try {
+            const store::Artifact back = store::decodeArtifact(m);
+            EXPECT_EQ(flatten(back), truth) << "iteration " << i;
+        } catch (const FatalError &) {
+        }
+    }
+    EXPECT_THROW(store::decodeArtifact(""), FatalError);
+    EXPECT_THROW(store::decodeArtifact("DIRBCKPT"), FatalError);
+    EXPECT_THROW(store::decodeArtifact(bytes + "tail"), FatalError);
+    EXPECT_THROW(store::readArtifact(dir + "/does-not-exist"),
+                 FatalError);
+}
+
+TEST(Store, UnpackRejectsHostileFilenames)
+{
+    store::Artifact art;
+    art.rawFiles.push_back({"../escape", "x"});
+    const std::string dir = scratchDir("direb_store_hostile");
+    EXPECT_THROW(store::unpackArtifact(art, dir), FatalError);
+    art.rawFiles[0].filename = "a/b";
+    EXPECT_THROW(store::unpackArtifact(art, dir), FatalError);
+    art.rawFiles[0].filename = "";
+    EXPECT_THROW(store::unpackArtifact(art, dir), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// /v1/query aggregation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A hand-built artifact with known values (no simulation needed). */
+store::Artifact
+syntheticArtifact()
+{
+    store::Artifact art;
+    const struct
+    {
+        const char *name;
+        harness::PointStatus status;
+        double ipc;
+        double misses;
+    } rows[] = {
+        {"fig7/lat1/ammp", harness::PointStatus::Ok, 1.0, 10.0},
+        {"fig7/lat1/gcc", harness::PointStatus::Ok, 2.0, 30.0},
+        {"fig7/lat2/ammp", harness::PointStatus::Ok, 4.0, 20.0},
+        {"fig7/lat2/gcc", harness::PointStatus::Timeout, 8.0, 0.0},
+    };
+    unsigned n = 0;
+    for (const auto &row : rows) {
+        harness::SweepResult r;
+        r.name = row.name;
+        r.status = row.status;
+        r.attempts = 1;
+        r.sim.core.stop = StopReason::Halted;
+        r.sim.core.cycles = 1000 + n;
+        r.sim.core.archInsts =
+            static_cast<std::uint64_t>(row.ipc * (1000 + n));
+        r.sim.core.ipc = row.ipc;
+        r.sim.stats["dl1.misses"] = row.misses;
+        r.sim.output = "out";
+        r.sim.statsText = "text";
+        art.entries.push_back(
+            {"entry" + std::to_string(n++) + ".json", r});
+    }
+    art.rawFiles.push_back({"readme.txt", "skipped by queries"});
+    return art;
+}
+
+harness::Json
+query(const store::Artifact &art, const std::string &body)
+{
+    const store::QueryRequest req =
+        store::parseQuery(harness::Json::parse(body));
+    return store::runQuery({&art}, req);
+}
+
+double
+groupAgg(const harness::Json &resp, const std::string &key,
+         const std::string &agg)
+{
+    const harness::Json *groups = resp.find("groups");
+    EXPECT_NE(groups, nullptr);
+    for (std::size_t i = 0; i < groups->size(); ++i) {
+        const harness::Json &g = groups->at(i);
+        if (g.find("key")->asString() == key)
+            return g.find(agg)->asNumber();
+    }
+    ADD_FAILURE() << "no group " << key;
+    return std::nan("");
+}
+
+} // namespace
+
+TEST(Query, AggregatesMatchHandComputedValues)
+{
+    const store::Artifact art = syntheticArtifact();
+    const harness::Json resp =
+        query(art, "{\"metric\": \"ipc\", \"group_by\": \"\"}");
+    EXPECT_EQ(resp.find("points")->asNumber(), 4.0);
+    EXPECT_EQ(resp.find("matched")->asNumber(), 4.0);
+    EXPECT_EQ(resp.find("skipped_raw_files")->asNumber(), 1.0);
+    EXPECT_EQ(groupAgg(resp, "", "count"), 4.0);
+    EXPECT_EQ(groupAgg(resp, "", "min"), 1.0);
+    EXPECT_EQ(groupAgg(resp, "", "max"), 8.0);
+    EXPECT_DOUBLE_EQ(groupAgg(resp, "", "mean"), 15.0 / 4.0);
+    EXPECT_DOUBLE_EQ(groupAgg(resp, "", "sum"), 15.0);
+    // geomean(1,2,4,8) = (64)^(1/4) = 2*sqrt(2)
+    EXPECT_NEAR(groupAgg(resp, "", "geomean"), 2.0 * std::sqrt(2.0),
+                1e-12);
+}
+
+TEST(Query, GroupByNameComponentAndFilters)
+{
+    const store::Artifact art = syntheticArtifact();
+
+    // Group on the second '/'-component (the latency axis).
+    const harness::Json by_lat = query(
+        art, "{\"metric\": \"ipc\", \"group_by\": \"name:1\"}");
+    EXPECT_DOUBLE_EQ(groupAgg(by_lat, "lat1", "mean"), 1.5);
+    EXPECT_DOUBLE_EQ(groupAgg(by_lat, "lat2", "mean"), 6.0);
+
+    // Status filter + contains filter compose.
+    const harness::Json ok_gcc = query(
+        art, "{\"metric\": \"ipc\", \"filter\": {\"status\": \"ok\", "
+             "\"name_contains\": \"gcc\"}}");
+    EXPECT_EQ(ok_gcc.find("matched")->asNumber(), 1.0);
+    EXPECT_EQ(groupAgg(ok_gcc, "", "max"), 2.0);
+
+    // Group by status; the timeout point lands in its own group.
+    const harness::Json by_status =
+        query(art, "{\"metric\": \"ipc\", \"group_by\": \"status\", "
+                   "\"aggs\": [\"count\", \"sum\"]}");
+    EXPECT_EQ(groupAgg(by_status, "ok", "count"), 3.0);
+    EXPECT_EQ(groupAgg(by_status, "timeout", "sum"), 8.0);
+
+    // stats.<key> metrics skip entries lacking the stat... here none do,
+    // but a zero value must kill the geomean, not the group.
+    const harness::Json misses =
+        query(art, "{\"metric\": \"stats.dl1.misses\"}");
+    EXPECT_EQ(groupAgg(misses, "", "min"), 0.0);
+    EXPECT_TRUE(misses.find("groups")->at(0).find("geomean")->isNull());
+
+    // An unknown stat matches nothing and counts as missing.
+    const harness::Json none =
+        query(art, "{\"metric\": \"stats.no.such.key\"}");
+    EXPECT_EQ(none.find("matched")->asNumber(), 0.0);
+    EXPECT_EQ(none.find("missing_metric")->asNumber(), 4.0);
+}
+
+TEST(Query, MalformedRequestsAreRejected)
+{
+    const auto parse = [](const std::string &body) {
+        return store::parseQuery(harness::Json::parse(body));
+    };
+    EXPECT_THROW(parse("{}"), FatalError); // metric is required
+    EXPECT_THROW(parse("{\"metric\": \"bogus\"}"), FatalError);
+    EXPECT_THROW(parse("{\"metric\": \"ipc\", \"aggs\": [\"median\"]}"),
+                 FatalError);
+    EXPECT_THROW(parse("{\"metric\": \"ipc\", \"group_by\": \"mode\"}"),
+                 FatalError);
+    EXPECT_THROW(
+        parse("{\"metric\": \"ipc\", \"filter\": {\"nope\": \"x\"}}"),
+        FatalError);
+    EXPECT_THROW(parse("{\"metric\": \"ipc\", \"unknown\": 1}"),
+                 FatalError);
+    EXPECT_NO_THROW(parse("{\"metric\": \"stats.dl1.misses\", "
+                          "\"group_by\": \"name:2\"}"));
+}
+
+TEST(Query, MatchesAggregateOverTheRawCacheFiles)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_query_raw");
+    runCachedSweep(dir);
+    const store::Artifact art = store::packDirectory(dir);
+    ASSERT_EQ(art.entries.size(), 3u);
+
+    // The reference value comes straight from the JSON files on disk.
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto &[name, bytes] : dirBytes(dir)) {
+        const harness::Json j = harness::Json::parse(bytes);
+        sum += j.find("core")->find("ipc")->asNumber();
+        ++n;
+    }
+    ASSERT_EQ(n, 3u);
+
+    const harness::Json resp = query(art, "{\"metric\": \"ipc\"}");
+    EXPECT_EQ(resp.find("matched")->asNumber(), double(n));
+    EXPECT_DOUBLE_EQ(groupAgg(resp, "", "sum"), sum);
+    EXPECT_DOUBLE_EQ(groupAgg(resp, "", "mean"), sum / double(n));
+}
+
+// ---------------------------------------------------------------------
+// The /v1/query server route (socket-free)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+service::HttpRequest
+makeRequest(const std::string &method, const std::string &target,
+            const std::string &body = "")
+{
+    service::HttpRequest req;
+    req.method = method;
+    req.target = target;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+service::ServerOptions
+storeServerOptions()
+{
+    service::ServerOptions opts;
+    opts.port = 0;
+    opts.workers = 1;
+    opts.httpThreads = 2;
+    opts.queueDepth = 2;
+    return opts;
+}
+
+} // namespace
+
+TEST(ServerQuery, RouteServesMountedStores)
+{
+    setQuiet(true);
+    const std::string dir = scratchDir("direb_store_serve");
+    runCachedSweep(dir);
+    const std::string art_path = dir + "/all.dirbstor";
+    store::writeArtifact(art_path, store::packDirectory(dir));
+
+    service::ServerOptions opts = storeServerOptions();
+    opts.storePaths = {art_path};
+    service::Server server(opts);
+    std::string rid;
+
+    service::HttpResponse r = server.route(
+        makeRequest("POST", "/v1/query", "{\"metric\": \"ipc\"}"), rid);
+    ASSERT_EQ(r.status, 200);
+    const harness::Json j = harness::Json::parse(r.body);
+    EXPECT_EQ(j.find("matched")->asNumber(), 3.0);
+
+    // Malformed body and method discipline.
+    r = server.route(
+        makeRequest("POST", "/v1/query", "{\"metric\": \"nope\"}"), rid);
+    EXPECT_EQ(r.status, 400);
+    r = server.route(makeRequest("GET", "/v1/query"), rid);
+    EXPECT_EQ(r.status, 405);
+
+    // healthz advertises the mounted stores; /metrics exports the
+    // dieirb_store_* series including the query counter bumped above.
+    r = server.route(makeRequest("GET", "/healthz"), rid);
+    const harness::Json h = harness::Json::parse(r.body);
+    ASSERT_NE(h.find("stores"), nullptr);
+    EXPECT_EQ(h.find("stores")->asNumber(), 1.0);
+    EXPECT_EQ(h.find("store_entries")->asNumber(), 3.0);
+
+    r = server.route(makeRequest("GET", "/metrics"), rid);
+    EXPECT_NE(r.body.find("dieirb_store_artifacts 1"),
+              std::string::npos);
+    EXPECT_NE(r.body.find("dieirb_store_entries 3"), std::string::npos);
+    EXPECT_NE(r.body.find("dieirb_store_queries_total"),
+              std::string::npos);
+    EXPECT_NE(r.body.find("dieirb_store_checkpoint_restores_total"),
+              std::string::npos);
+}
+
+TEST(ServerQuery, NoMountedStoresAnswers404AndCorruptPathIsFatal)
+{
+    setQuiet(true);
+    service::Server bare(storeServerOptions());
+    std::string rid;
+    const service::HttpResponse r = bare.route(
+        makeRequest("POST", "/v1/query", "{\"metric\": \"ipc\"}"), rid);
+    EXPECT_EQ(r.status, 404);
+
+    const std::string dir = scratchDir("direb_store_serve_bad");
+    spit(dir + "/junk.dirbstor", "not an artifact");
+    service::ServerOptions opts = storeServerOptions();
+    opts.storePaths = {dir + "/junk.dirbstor"};
+    EXPECT_THROW(service::Server server(opts), FatalError);
+}

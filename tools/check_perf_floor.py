@@ -20,12 +20,18 @@ can upload it as an artifact next to the bench output.
 Usage:
   check_perf_floor.py BENCH_throughput.json bench/perf_floors.json \
       [--report perf_floor_report.json] [--slack 0.10] \
-      [--cmp-bench BENCH_cmp.json]
+      [--cmp-bench BENCH_cmp.json] [--store-bench BENCH_store.json]
 
 --cmp-bench attaches the CMP scaling series (bench_cmp's aggregate IPC
 and IRB reuse rate per core count) to the printed summary and the JSON
 report. It is report-only: CMP numbers are simulated-machine results,
 not host throughput, so they never gate the build.
+
+--store-bench attaches the columnar store summary (bench_store's
+compression ratio and pack/unpack/query throughput) the same way. Also
+report-only: the interesting invariants (byte identity, ratio >= 3x)
+are enforced inside bench_store itself, and MB/s numbers are
+host-dependent.
 
 To refresh the floors after an intentional perf change, run
 bench_throughput on the reference host and regenerate with:
@@ -100,6 +106,32 @@ def print_cmp_series(rows):
               f"IRB reuse {100.0 * r['irb_reuse_rate']:.1f}%")
 
 
+def store_series(path):
+    """Report-only summary from a bench_store BENCH_store.json."""
+    b = load(path)
+    return {
+        "entries": b["entries"],
+        "raw_bytes": b["raw_bytes"],
+        "artifact_bytes": b["artifact_bytes"],
+        "compression_ratio": b["compression_ratio"],
+        "byte_identical": b.get("byte_identical"),
+        "pack_mb_per_sec": b["pack_mb_per_sec"],
+        "unpack_mb_per_sec": b["unpack_mb_per_sec"],
+        "query_points_per_sec": b["query_points_per_sec"],
+    }
+
+
+def print_store_series(s):
+    print("Columnar store series (report-only, from bench_store):")
+    print(f"  {s['entries']} entries: {s['raw_bytes']} -> "
+          f"{s['artifact_bytes']} bytes "
+          f"({s['compression_ratio']:.2f}x, "
+          f"byte_identical={s['byte_identical']})")
+    print(f"  pack {s['pack_mb_per_sec']:.1f} MB/s, "
+          f"unpack {s['unpack_mb_per_sec']:.1f} MB/s, "
+          f"query {s['query_points_per_sec'] / 1e6:.1f} Mpoints/s")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("bench_json")
@@ -108,6 +140,9 @@ def main():
     ap.add_argument("--cmp-bench",
                     help="BENCH_cmp.json to attach as a report-only CMP "
                          "scaling series (never gates)")
+    ap.add_argument("--store-bench",
+                    help="BENCH_store.json to attach as a report-only "
+                         "columnar-store series (never gates)")
     ap.add_argument("--slack", type=float, default=None,
                     help="allowed geomean regression (default: floors "
                          "file's geomean_slack, else 0.10)")
@@ -167,6 +202,10 @@ def main():
     if args.cmp_bench:
         cmp_rows = cmp_series(args.cmp_bench)
         report["cmp"] = {"report_only": True, "points": cmp_rows}
+    store_row = None
+    if args.store_bench:
+        store_row = store_series(args.store_bench)
+        report["store"] = {"report_only": True, **store_row}
     if args.report:
         with open(args.report, "w") as f:
             json.dump(report, f, indent=2)
@@ -186,6 +225,8 @@ def main():
           f"(hard floor at matching hw_threads: {1.0 - slack:.2f})")
     if cmp_rows is not None:
         print_cmp_series(cmp_rows)
+    if store_row is not None:
+        print_store_series(store_row)
 
     if not gated:
         print(f"WARN-ONLY: floors were recorded at hw_threads={ref_hw}, "

@@ -12,6 +12,7 @@
  * completed prefix is never re-simulated).
  *
  *   POST /v1/simulate   proxied to the point's ring owner
+ *   POST /v1/query      proxied to any Up backend (stores are replicas)
  *   POST /v1/sweep      sharded fan-out; `"stream": true` => NDJSON
  *   GET  /v1/jobs       the coordinator's own job listing
  *   GET  /v1/jobs/<id>  async fan-out job status / result

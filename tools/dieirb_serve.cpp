@@ -9,6 +9,7 @@
  *   POST /v1/simulate   one (workload, Config) point
  *   POST /v1/sweep      a (workload x Config) matrix via harness::Sweep;
  *                       `"stream": true` => NDJSON per-point streaming
+ *   POST /v1/query      aggregate over mounted result stores (--store)
  *   GET  /v1/jobs/<id>  async job status / result
  *   GET  /healthz       liveness + queue occupancy
  *   GET  /metrics       Prometheus text format
@@ -21,6 +22,8 @@
  *     --http-threads N    request dispatch threads (default 16)
  *     --queue-depth N     max outstanding jobs before 429 (default 64)
  *     --cache-dir D       sweep result cache directory (default: off)
+ *     --store F           mount a dieirb-store artifact for /v1/query
+ *                         (repeatable; default: none, /v1/query = 404)
  *     --sweep-jobs N      threads inside one sweep job (default 1)
  *     --deadline-ms N     sync-request wait before 202 (default 60000)
  *     --max-body N        request body limit in bytes (default 8 MiB)
@@ -61,6 +64,8 @@ usage(const char *argv0)
         "  --http-threads N  connection handler threads (default 16)\n"
         "  --queue-depth N   max outstanding jobs before 429 (64)\n"
         "  --cache-dir D     sweep result cache directory (off)\n"
+        "  --store F         mount an artifact for /v1/query "
+        "(repeatable)\n"
         "  --sweep-jobs N    threads inside one sweep job (1)\n"
         "  --deadline-ms N   sync wait before 202 handoff (60000)\n"
         "  --max-body N      request body limit, bytes (8388608)\n"
@@ -103,6 +108,8 @@ main(int argc, char **argv)
             opts.queueDepth = std::strtoull(next(), nullptr, 10);
         } else if (a == "--cache-dir") {
             opts.cacheDir = next();
+        } else if (a == "--store") {
+            opts.storePaths.push_back(next());
         } else if (a == "--sweep-jobs") {
             opts.sweepJobs = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
@@ -147,8 +154,12 @@ main(int argc, char **argv)
     try {
         service::Server server(opts);
         server.start();
-        const std::string cache_note =
+        std::string cache_note =
             opts.cacheDir.empty() ? "" : ", cache=" + opts.cacheDir;
+        if (!opts.storePaths.empty()) {
+            cache_note +=
+                ", stores=" + std::to_string(opts.storePaths.size());
+        }
         std::printf("dieirb-serve listening on %s:%u "
                     "(workers=%u http-threads=%u queue-depth=%zu%s)\n",
                     opts.host.c_str(),

@@ -21,6 +21,17 @@
  *   --trace[=file]  record a pipeline trace; writes <file> (Konata /
  *                   O3PipeView text) and <file>.json (Chrome trace_event)
  *   --stats-json <file>  dump the flattened statistics snapshot as JSON
+ *   --checkpoint-at <n>  fast-forward n instructions on the functional
+ *                   VM, write an architectural checkpoint and exit
+ *                   (no timing run); pair with --checkpoint-out
+ *   --checkpoint-out <file>  where --checkpoint-at writes (default
+ *                   <program>.ckpt)
+ *   --restore <file>  restore a --checkpoint-at checkpoint before the
+ *                   timing run (= ckpt.restore=<file>); the reported
+ *                   instruction totals still cover the whole program,
+ *                   so a restored run is arch-identical to a straight
+ *                   one — only the timing-only counters shrink to the
+ *                   simulated suffix
  *
  * Both report sinks accept "-" for stdout, so the server and shell
  * pipelines can consume reports without temp files (e.g.
@@ -50,7 +61,9 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/sweep.hh"
+#include "store/checkpoint.hh"
 #include "trace/trace.hh"
+#include "vm/checkpoint.hh"
 #include "workloads/workloads.hh"
 
 using namespace direb;
@@ -78,6 +91,12 @@ usage(const char *argv0)
                  "(Konata text + Chrome JSON)\n"
                  "  --stats-json <file>  dump the statistics snapshot as "
                  "JSON\n"
+                 "  --checkpoint-at <n>  write an architectural "
+                 "checkpoint after n instructions and exit\n"
+                 "  --checkpoint-out <file>  checkpoint destination "
+                 "(default <program>.ckpt)\n"
+                 "  --restore <file>     restore a checkpoint before the "
+                 "timing run\n"
                  "  --list-config        print every recognized config "
                  "key and exit\n",
                  argv0);
@@ -149,6 +168,9 @@ main(int argc, char **argv)
     bool trace = false;
     std::string trace_path;
     std::string stats_json;
+    std::uint64_t checkpoint_at = 0; // 0 = no checkpoint capture
+    std::string checkpoint_out;
+    std::string restore;
     std::vector<std::string> overrides;
 
     for (int i = 1; i < argc; ++i) {
@@ -192,6 +214,12 @@ main(int argc, char **argv)
             trace_path = a.substr(std::strlen("--trace="));
         } else if (a == "--stats-json") {
             stats_json = next();
+        } else if (a == "--checkpoint-at") {
+            checkpoint_at = std::strtoull(next(), nullptr, 0);
+        } else if (a == "--checkpoint-out") {
+            checkpoint_out = next();
+        } else if (a == "--restore") {
+            restore = next();
         } else if (a == "--list-config") {
             try {
                 return listConfig();
@@ -230,6 +258,8 @@ main(int argc, char **argv)
                 cfg.set("trace.format", "konata");
         }
         cfg.parseAll(overrides); // key=value may still override trace.*
+        if (!restore.empty())
+            cfg.set("ckpt.restore", restore);
 
         // Machine-readable output on stdout demotes the human summary
         // to stderr — and the two sinks cannot share one stream.
@@ -241,6 +271,26 @@ main(int argc, char **argv)
         const Program prog = !workload.empty()
             ? workloads::build(workload, scale)
             : assemble(readFile(file), file);
+
+        if (checkpoint_at != 0) {
+            // Capture is purely architectural (functional VM), so the
+            // timing configuration is irrelevant and no timing run
+            // happens: fast-forward, save, done.
+            fatal_if(golden,
+                     "--checkpoint-at runs no timing core; drop -g");
+            if (checkpoint_out.empty())
+                checkpoint_out =
+                    (!workload.empty() ? workload : file) + ".ckpt";
+            const ArchCheckpoint ck = fastForward(prog, checkpoint_at);
+            store::saveCheckpoint(checkpoint_out, ck);
+            std::fprintf(human,
+                         "checkpoint : %s (%llu instructions, %zu "
+                         "touched pages)\n",
+                         checkpoint_out.c_str(),
+                         static_cast<unsigned long long>(ck.insts),
+                         ck.pages.size());
+            return 0;
+        }
 
         harness::SimResult r;
         if (golden) {
@@ -266,8 +316,19 @@ main(int argc, char **argv)
                      r.core.stop == StopReason::Halted ? "halt"
                      : r.core.stop == StopReason::BadPc ? "bad pc"
                                                         : "inst limit");
+        // The architectural instruction total covers the whole program
+        // even when a checkpoint skipped the prefix, so a restored run
+        // reports the same totals as a straight one.
         std::fprintf(human, "instructions: %llu\n",
-                     static_cast<unsigned long long>(r.core.archInsts));
+                     static_cast<unsigned long long>(r.core.archInsts +
+                                                     r.warmstartInsts));
+        if (r.warmstartInsts != 0) {
+            std::fprintf(human,
+                         "warm start : %llu instructions restored from "
+                         "a checkpoint (timing covers the last %llu)\n",
+                         static_cast<unsigned long long>(r.warmstartInsts),
+                         static_cast<unsigned long long>(r.core.archInsts));
+        }
         std::fprintf(human, "cycles     : %llu\n",
                      static_cast<unsigned long long>(r.core.cycles));
         std::fprintf(human, "IPC        : %.4f\n", r.core.ipc);
@@ -304,9 +365,13 @@ main(int argc, char **argv)
                      r.core.stop == StopReason::Halted    ? "halt"
                      : r.core.stop == StopReason::BadPc   ? "bad pc"
                                                           : "inst limit");
-            root.set("arch_insts", r.core.archInsts);
+            root.set("arch_insts", r.core.archInsts + r.warmstartInsts);
             root.set("cycles", static_cast<std::uint64_t>(r.core.cycles));
             root.set("ipc", r.core.ipc);
+            // Only present on warm-started runs, so straight runs keep
+            // their established JSON shape byte-for-byte.
+            if (r.warmstartInsts != 0)
+                root.set("warmstart_insts", r.warmstartInsts);
             // Only present when a trace was requested, so runs without
             // --trace keep their established JSON shape byte-for-byte.
             if (trace)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * dieirb-store — pack, inspect and query compressed columnar
+ * sweep-result artifacts (src/store/).
+ *
+ * Usage:
+ *   dieirb-store pack   <dir> <artifact>     pack a sweep.cache (or any
+ *                                            report directory) into one
+ *                                            compressed artifact
+ *   dieirb-store unpack <artifact> <dir>     restore the directory
+ *                                            byte-identically
+ *   dieirb-store ls     <artifact>           list the packed contents
+ *   dieirb-store verify <artifact> [<dir>]   decode + checksum-check the
+ *                                            artifact; with <dir>, also
+ *                                            prove every file round-trips
+ *                                            byte-identically
+ *   dieirb-store query  <artifact> <json>    run a /v1/query-shaped
+ *                                            aggregation (see
+ *                                            src/store/query.hh) and
+ *                                            print the response
+ *
+ * pack prints the compression summary (files, raw vs packed bytes,
+ * ratio); verify exits non-zero on any mismatch or corruption.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "store/query.hh"
+#include "store/store.hh"
+
+using namespace direb;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <command> ...\n"
+                 "  pack   <dir> <artifact>   pack a directory\n"
+                 "  unpack <artifact> <dir>   restore it byte-identically\n"
+                 "  ls     <artifact>         list packed contents\n"
+                 "  verify <artifact> [<dir>] checksum (+ round-trip) "
+                 "check\n"
+                 "  query  <artifact> <json>  run an aggregation query\n",
+                 argv0);
+}
+
+std::uint64_t
+directoryBytes(const std::string &dir)
+{
+    std::uint64_t total = 0;
+    for (const auto &de : std::filesystem::directory_iterator(dir)) {
+        if (de.is_regular_file())
+            total += de.file_size();
+    }
+    return total;
+}
+
+int
+cmdPack(const std::string &dir, const std::string &artifact)
+{
+    const store::Artifact art = store::packDirectory(dir);
+    store::writeArtifact(artifact, art);
+    const std::uint64_t raw = directoryBytes(dir);
+    const std::uint64_t packed = std::filesystem::file_size(artifact);
+    std::printf("packed %zu columnar entries + %zu raw files\n",
+                art.entries.size(), art.rawFiles.size());
+    std::printf("%llu bytes -> %llu bytes (%.2fx)\n",
+                static_cast<unsigned long long>(raw),
+                static_cast<unsigned long long>(packed),
+                packed ? static_cast<double>(raw) /
+                             static_cast<double>(packed)
+                       : 0.0);
+    return 0;
+}
+
+int
+cmdUnpack(const std::string &artifact, const std::string &dir)
+{
+    const store::Artifact art = store::readArtifact(artifact);
+    store::unpackArtifact(art, dir);
+    std::printf("restored %zu files into %s\n", art.size(), dir.c_str());
+    return 0;
+}
+
+int
+cmdLs(const std::string &artifact)
+{
+    const store::Artifact art = store::readArtifact(artifact);
+    for (const store::StoredEntry &e : art.entries) {
+        std::printf("%-20s %-9s ipc=%-8.4f %12llu insts  %s\n",
+                    e.filename.c_str(),
+                    harness::pointStatusName(e.result.status),
+                    e.result.sim.core.ipc,
+                    static_cast<unsigned long long>(
+                        e.result.sim.core.archInsts),
+                    e.result.name.c_str());
+    }
+    for (const store::RawFile &f : art.rawFiles) {
+        std::printf("%-20s raw       %zu bytes\n", f.filename.c_str(),
+                    f.bytes.size());
+    }
+    return 0;
+}
+
+int
+cmdVerify(const std::string &artifact, const std::string &dir)
+{
+    // readArtifact already checksums every section; reaching this line
+    // means the artifact itself is sound.
+    const store::Artifact art = store::readArtifact(artifact);
+    if (dir.empty()) {
+        std::printf("ok: %zu entries + %zu raw files, checksums good\n",
+                    art.entries.size(), art.rawFiles.size());
+        return 0;
+    }
+
+    std::size_t checked = 0, mismatched = 0;
+    const auto check = [&](const std::string &name,
+                           const std::string &want) {
+        std::ifstream in(dir + "/" + name, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "MISSING: %s\n", name.c_str());
+            ++mismatched;
+            return;
+        }
+        std::ostringstream body;
+        body << in.rdbuf();
+        ++checked;
+        if (body.str() != want) {
+            std::fprintf(stderr, "MISMATCH: %s\n", name.c_str());
+            ++mismatched;
+        }
+    };
+    for (const store::StoredEntry &e : art.entries)
+        check(e.filename, store::renderEntryBytes(e));
+    for (const store::RawFile &f : art.rawFiles)
+        check(f.filename, f.bytes);
+    if (mismatched) {
+        std::fprintf(stderr, "%zu of %zu files diverge from %s\n",
+                     mismatched, art.size(), dir.c_str());
+        return 1;
+    }
+    std::printf("ok: %zu files byte-identical to %s\n", checked,
+                dir.c_str());
+    return 0;
+}
+
+int
+cmdQuery(const std::string &artifact, const std::string &body)
+{
+    const store::Artifact art = store::readArtifact(artifact);
+    const store::QueryRequest req =
+        store::parseQuery(harness::Json::parse(body));
+    const std::vector<const store::Artifact *> stores{&art};
+    std::printf("%s\n",
+                store::runQuery(stores, req)
+                    .dump(2, /*full_precision=*/false)
+                    .c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "pack" && argc == 4)
+            return cmdPack(argv[2], argv[3]);
+        if (cmd == "unpack" && argc == 4)
+            return cmdUnpack(argv[2], argv[3]);
+        if (cmd == "ls" && argc == 3)
+            return cmdLs(argv[2]);
+        if (cmd == "verify" && (argc == 3 || argc == 4))
+            return cmdVerify(argv[2], argc == 4 ? argv[3] : "");
+        if (cmd == "query" && argc == 4)
+            return cmdQuery(argv[2], argv[3]);
+        usage(argv[0]);
+        return 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+}
